@@ -1,0 +1,64 @@
+//! # psens-algorithms
+//!
+//! Search algorithms producing masked microdata with (p-sensitive)
+//! k-anonymity:
+//!
+//! - [`samarati`]: Samarati's binary search for a k-minimal generalization
+//!   with suppression [19], and the paper's **Algorithm 3** — the same search
+//!   for a *p-k-minimal* generalization, with the two necessary conditions as
+//!   an optional pruning stage (the ablation the paper's future work
+//!   proposes).
+//! - [`exhaustive`]: full lattice scan; exact set of minimal generalizations
+//!   (reproduces Table 4) and per-node violation annotations (Figure 3).
+//! - [`levelwise`]: bottom-up search with rollup pruning; finds all minimal
+//!   nodes without scanning the whole lattice.
+//! - [`incognito`]: the full Incognito algorithm [12] — Apriori pruning
+//!   through attribute-subset lattices plus rollup, extended with the
+//!   p-sensitivity check at the full-QI stage.
+//! - [`mondrian`]: multidimensional local-recoding baseline extended with
+//!   the p-sensitivity constraint.
+//! - [`parallel`]: scoped-thread parallel exhaustive scan.
+//! - [`greedy_cluster`]: the authors' follow-up GreedyPKClustering — record
+//!   clustering under the joint size/sensitivity constraint with local
+//!   recoding.
+//!
+//! ## Example
+//!
+//! ```
+//! use psens_algorithms::samarati::{pk_minimal_generalization, Pruning};
+//! use psens_datasets::{hierarchies::figure2_qi_space, paper::figure3_microdata};
+//!
+//! let im = figure3_microdata();
+//! let qi = figure2_qi_space();
+//! let outcome =
+//!     pk_minimal_generalization(&im, &qi, 2, 2, 0, Pruning::NecessaryConditions).unwrap();
+//! let node = outcome.node.expect("achievable");
+//! let masked = outcome.masked.unwrap();
+//! let keys = masked.schema().key_indices();
+//! let conf = masked.schema().confidential_indices();
+//! assert!(psens_core::is_p_sensitive_k_anonymous(&masked, &keys, &conf, 2, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exhaustive;
+pub mod greedy_cluster;
+pub mod incognito;
+pub mod levelwise;
+pub mod mondrian;
+pub mod parallel;
+mod recode;
+pub mod samarati;
+pub mod stats;
+
+pub use exhaustive::{exhaustive_scan, ExhaustiveOutcome};
+pub use greedy_cluster::{greedy_pk_cluster, ClusterError, GreedyClusterConfig, GreedyClusterOutcome};
+pub use incognito::{incognito_minimal, IncognitoOutcome, IncognitoStats};
+pub use levelwise::{levelwise_minimal, LevelWiseOutcome};
+pub use mondrian::{mondrian_anonymize, MondrianConfig, MondrianOutcome};
+pub use parallel::parallel_exhaustive_scan;
+pub use samarati::{
+    k_minimal_generalization, pk_minimal_generalization, Pruning, SearchOutcome,
+};
+pub use stats::SearchStats;

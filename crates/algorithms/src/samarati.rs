@@ -1,0 +1,306 @@
+//! Samarati's binary search for a (p-)k-minimal generalization, and the
+//! paper's **Algorithm 3** extension with the two necessary conditions.
+//!
+//! The search exploits monotonicity: if a node satisfies the property, so
+//! does every node above it [19]. Binary search on *height* therefore finds
+//! the smallest height at which some node satisfies; any satisfying node at
+//! that height is a minimal generalization. Algorithm 3 adds, underlined in
+//! the paper: an up-front Condition 1 abort, and a per-node Condition 2 skip
+//! that avoids the detailed scan for nodes with too many QI-groups.
+
+use crate::stats::SearchStats;
+use psens_core::conditions::ConfidentialStats;
+use psens_core::masking::MaskingContext;
+use psens_core::CheckStage;
+use psens_hierarchy::{Node, QiSpace};
+use psens_microdata::Table;
+
+/// Whether Algorithm 3's necessary-condition pruning is active — the ablation
+/// knob for the paper's future-work comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pruning {
+    /// Plain Samarati + Algorithm 1: every candidate gets the full check.
+    None,
+    /// Algorithm 3: Condition 1 aborts, Condition 2 skips candidates.
+    NecessaryConditions,
+}
+
+/// Result of a lattice search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// A minimal satisfying node, or `None` when the property is
+    /// unachievable (even the lattice top fails).
+    pub node: Option<Node>,
+    /// The masked microdata at `node` (generalized + suppressed).
+    pub masked: Option<Table>,
+    /// Number of tuples suppressed at `node`.
+    pub suppressed: usize,
+    /// Work counters.
+    pub stats: SearchStats,
+}
+
+/// Confidential statistics that disable both necessary conditions — used to
+/// run the unpruned baseline through the same code path.
+fn unbounded_stats(n: usize) -> ConfidentialStats {
+    ConfidentialStats {
+        n,
+        per_attribute: Vec::new(),
+        cf: Vec::new(),
+    }
+}
+
+/// Finds a **k-minimal generalization with suppression threshold** `ts`
+/// (Samarati [19]): binary search over heights for the lowest node whose
+/// masked microdata is k-anonymous after suppressing at most `ts` tuples.
+pub fn k_minimal_generalization(
+    initial: &Table,
+    qi: &QiSpace,
+    k: u32,
+    ts: usize,
+) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    // k-anonymity alone is p-sensitive k-anonymity with p = 1.
+    search(initial, qi, 1, k, ts, Pruning::None)
+}
+
+/// The paper's **Algorithm 3**: finds a **p-k-minimal generalization**
+/// (Definition 3) by binary search, optionally pruned by the two necessary
+/// conditions.
+pub fn pk_minimal_generalization(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    pruning: Pruning,
+) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    search(initial, qi, p, k, ts, pruning)
+}
+
+fn search(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    pruning: Pruning,
+) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    let ctx = MaskingContext {
+        initial,
+        qi,
+        k,
+        p,
+        ts,
+    };
+    let mut stats = SearchStats::default();
+    let real_stats = ctx.initial_stats();
+    let check_stats = match pruning {
+        Pruning::NecessaryConditions => real_stats.clone(),
+        Pruning::None => unbounded_stats(initial.n_rows()),
+    };
+
+    // Algorithm 3: "first necessary condition can be checked from the
+    // beginning" — one comparison settles unsatisfiable instances.
+    if pruning == Pruning::NecessaryConditions && !real_stats.condition1(p) {
+        stats.aborted_condition1 = true;
+        return Ok(SearchOutcome {
+            node: None,
+            masked: None,
+            suppressed: 0,
+            stats,
+        });
+    }
+
+    let lattice = qi.lattice();
+    let mut low = 0usize;
+    let mut high = lattice.height();
+    let mut best: Option<(Node, Table, usize)> = None;
+
+    // Monotonicity makes "some node at height h satisfies" monotone in h, so
+    // binary search converges on the minimal satisfiable height.
+    while low < high {
+        let try_height = (low + high) / 2;
+        stats.heights_probed.push(try_height);
+        let found = probe_height(&ctx, &lattice, try_height, &check_stats, &mut stats)?;
+        match found {
+            Some(hit) => {
+                best = Some(hit);
+                high = try_height;
+            }
+            None => low = try_height + 1,
+        }
+    }
+    // `low == high`: verify the final height (binary search never probes the
+    // initial `high`, and for unsatisfiable instances no height works).
+    if best.as_ref().map(|(n, _, _)| n.height()) != Some(low) {
+        stats.heights_probed.push(low);
+        if let Some(hit) = probe_height(&ctx, &lattice, low, &check_stats, &mut stats)? {
+            best = Some(hit);
+        }
+    }
+
+    Ok(match best {
+        Some((node, masked, suppressed)) => SearchOutcome {
+            node: Some(node),
+            masked: Some(masked),
+            suppressed,
+            stats,
+        },
+        None => SearchOutcome {
+            node: None,
+            masked: None,
+            suppressed: 0,
+            stats,
+        },
+    })
+}
+
+/// Evaluates the nodes of one lattice stratum; returns the first satisfier.
+fn probe_height(
+    ctx: &MaskingContext<'_>,
+    lattice: &psens_hierarchy::Lattice,
+    height: usize,
+    check_stats: &ConfidentialStats,
+    stats: &mut SearchStats,
+) -> Result<Option<(Node, Table, usize)>, psens_hierarchy::Error> {
+    for node in lattice.nodes_at_height(height) {
+        stats.nodes_evaluated += 1;
+        let outcome = ctx.evaluate(&node, check_stats)?;
+        if outcome.satisfied {
+            return Ok(Some((node, outcome.masked, outcome.suppressed)));
+        }
+        match outcome.stage {
+            CheckStage::Condition2 => stats.rejected_condition2 += 1,
+            CheckStage::KAnonymity => stats.rejected_k += 1,
+            CheckStage::DetailedScan => stats.rejected_detailed += 1,
+            CheckStage::Condition1 | CheckStage::Passed => {}
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_datasets::hierarchies::figure2_qi_space;
+    use psens_datasets::paper::figure3_microdata;
+
+    /// The paper's Table 4: expected 3-minimal generalizations by TS.
+    /// (Binary search returns *one* of them.)
+    fn table4_expected(ts: usize) -> Vec<Node> {
+        match ts {
+            0 | 1 => vec![Node(vec![0, 2])],
+            2..=6 => vec![Node(vec![0, 2]), Node(vec![1, 1])],
+            7..=9 => vec![Node(vec![1, 0]), Node(vec![0, 1])],
+            10 => vec![Node(vec![0, 0])],
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn binary_search_reproduces_table4_heights() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        for ts in 0..=10usize {
+            let outcome = k_minimal_generalization(&im, &qi, 3, ts).unwrap();
+            let node = outcome.node.expect("3-anonymity is achievable");
+            let expected = table4_expected(ts);
+            assert!(
+                expected.contains(&node),
+                "TS={ts}: got {node}, expected one of {expected:?}"
+            );
+            // All expected nodes share a height; ours must match it.
+            assert_eq!(node.height(), expected[0].height(), "TS={ts}");
+        }
+    }
+
+    #[test]
+    fn masked_output_is_k_anonymous() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        let outcome = k_minimal_generalization(&im, &qi, 3, 2).unwrap();
+        let masked = outcome.masked.unwrap();
+        let keys = masked.schema().key_indices();
+        assert!(psens_core::is_k_anonymous(&masked, &keys, 3));
+        assert!(outcome.suppressed <= 2);
+    }
+
+    #[test]
+    fn pk_search_finds_sensitive_node() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        // p = 2: groups must carry >= 2 illnesses.
+        for pruning in [Pruning::None, Pruning::NecessaryConditions] {
+            let outcome = pk_minimal_generalization(&im, &qi, 2, 2, 0, pruning).unwrap();
+            assert!(outcome.node.is_some(), "achievable");
+            let masked = outcome.masked.unwrap();
+            let keys = masked.schema().key_indices();
+            let conf = masked.schema().confidential_indices();
+            assert!(psens_core::is_p_sensitive_k_anonymous(
+                &masked, &keys, &conf, 2, 2
+            ));
+        }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree_on_node_height() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        for p in 1..=3u32 {
+            for k in [2u32, 3] {
+                for ts in [0usize, 2, 5] {
+                    let a = pk_minimal_generalization(&im, &qi, p, k, ts, Pruning::None)
+                        .unwrap();
+                    let b = pk_minimal_generalization(
+                        &im,
+                        &qi,
+                        p,
+                        k,
+                        ts,
+                        Pruning::NecessaryConditions,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        a.node.as_ref().map(Node::height),
+                        b.node.as_ref().map(Node::height),
+                        "p={p} k={k} ts={ts}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn condition1_aborts_impossible_p() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        // Illness has 3 distinct values; p = 4 is impossible.
+        let outcome =
+            pk_minimal_generalization(&im, &qi, 4, 2, 0, Pruning::NecessaryConditions)
+                .unwrap();
+        assert!(outcome.node.is_none());
+        assert!(outcome.stats.aborted_condition1);
+        assert_eq!(outcome.stats.nodes_evaluated, 0);
+        // The unpruned search grinds through the lattice to learn the same.
+        let outcome = pk_minimal_generalization(&im, &qi, 4, 2, 0, Pruning::None).unwrap();
+        assert!(outcome.node.is_none());
+        assert!(outcome.stats.nodes_evaluated > 0);
+    }
+
+    #[test]
+    fn unsatisfiable_k_returns_none() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        // k = 11 with 10 tuples and TS = 0 cannot hold even at the top.
+        let outcome = k_minimal_generalization(&im, &qi, 11, 0).unwrap();
+        assert!(outcome.node.is_none());
+    }
+
+    #[test]
+    fn stats_record_probes() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        let outcome = k_minimal_generalization(&im, &qi, 3, 0).unwrap();
+        assert!(!outcome.stats.heights_probed.is_empty());
+        assert!(outcome.stats.nodes_evaluated >= 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Instrumentation shared by the lattice-search algorithms.
+
+use serde::Serialize;
+
+/// Counters describing how much work a lattice search performed — the
+/// quantities the paper's future-work experiment compares ("the running time
+/// of these modified algorithms against the existing algorithms").
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct SearchStats {
+    /// Lattice heights probed by the search, in probe order.
+    pub heights_probed: Vec<usize>,
+    /// Nodes for which a masked table was materialized and checked.
+    pub nodes_evaluated: usize,
+    /// Candidate nodes skipped because Condition 2 rejected their group
+    /// count before the detailed scan.
+    pub rejected_condition2: usize,
+    /// Candidate maskings rejected at the k-anonymity stage.
+    pub rejected_k: usize,
+    /// Candidate maskings rejected by the detailed per-group scan.
+    pub rejected_detailed: usize,
+    /// True when Condition 1 proved the whole search unsatisfiable up front.
+    pub aborted_condition1: bool,
+}
+
+impl SearchStats {
+    /// Total rejections across all stages.
+    pub fn total_rejections(&self) -> usize {
+        self.rejected_condition2 + self.rejected_k + self.rejected_detailed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let stats = SearchStats {
+            heights_probed: vec![4, 2, 1],
+            nodes_evaluated: 10,
+            rejected_condition2: 3,
+            rejected_k: 4,
+            rejected_detailed: 2,
+            aborted_condition1: false,
+        };
+        assert_eq!(stats.total_rejections(), 9);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let stats = SearchStats::default();
+        assert_eq!(stats.nodes_evaluated, 0);
+        assert!(stats.heights_probed.is_empty());
+        assert!(!stats.aborted_condition1);
+    }
+}

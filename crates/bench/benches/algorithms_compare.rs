@@ -1,0 +1,63 @@
+//! Head-to-head: the four ways of producing a (p-sensitive) k-anonymous
+//! masking — Samarati binary search, Incognito-style level-wise, exhaustive
+//! scan, and Mondrian local recoding — on the same synthetic Adult sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psens_algorithms::exhaustive::exhaustive_scan;
+use psens_algorithms::incognito::incognito_minimal;
+use psens_algorithms::levelwise::levelwise_minimal;
+use psens_algorithms::mondrian::{mondrian_anonymize, MondrianConfig};
+use psens_algorithms::parallel::parallel_exhaustive_scan;
+use psens_algorithms::samarati::{pk_minimal_generalization, Pruning};
+use psens_bench::workloads;
+use psens_datasets::hierarchies::adult_qi_space;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    let qi = adult_qi_space();
+    let table = workloads::adult(1000);
+    let (p, k, ts) = (2u32, 2u32, 10usize);
+
+    group.bench_function("samarati_binary_search", |b| {
+        b.iter(|| {
+            black_box(
+                pk_minimal_generalization(&table, &qi, p, k, ts, Pruning::NecessaryConditions)
+                    .expect("valid"),
+            )
+        });
+    });
+    group.bench_function("levelwise_rollup", |b| {
+        b.iter(|| black_box(levelwise_minimal(&table, &qi, p, k, ts).expect("valid")));
+    });
+    group.bench_function("incognito_subset_pruning", |b| {
+        b.iter(|| black_box(incognito_minimal(&table, &qi, p, k, ts).expect("valid")));
+    });
+    group.bench_function("exhaustive_scan", |b| {
+        b.iter(|| black_box(exhaustive_scan(&table, &qi, p, k, ts).expect("valid")));
+    });
+    group.bench_function("exhaustive_scan_parallel_4", |b| {
+        b.iter(|| {
+            black_box(parallel_exhaustive_scan(&table, &qi, p, k, ts, 4).expect("valid"))
+        });
+    });
+    group.bench_function("mondrian_local_recoding", |b| {
+        b.iter(|| black_box(mondrian_anonymize(&table, MondrianConfig { k, p })));
+    });
+    group.bench_function("greedy_pk_clustering", |b| {
+        b.iter(|| {
+            black_box(
+                psens_algorithms::greedy_pk_cluster(
+                    &table,
+                    psens_algorithms::GreedyClusterConfig { k, p },
+                )
+                .expect("valid"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Algorithm 1 vs Algorithm 2: the basic p-sensitive k-anonymity test
+//! against the improved test that short-circuits through the two necessary
+//! conditions. The win shows on maskings the conditions reject — the
+//! detailed per-group distinct scan never runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psens_bench::workloads;
+use psens_core::conditions::ConfidentialStats;
+use psens_core::{check_improved, is_p_sensitive_k_anonymous};
+use std::hint::black_box;
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    for &n in &[10_000usize, 100_000] {
+        // 97 distinct keys => 97 groups; with a 99.9%-dominant confidential
+        // value only ~n/1000 tuples fall outside the top values, so
+        // Condition 2's maxGroups for p = 3 stays below 97 at every size and
+        // rejects the masking before the detailed scan.
+        let table = workloads::skewed_confidential(n, 999, 5);
+        let keys = [0usize];
+        let conf = [1usize];
+        let stats = ConfidentialStats::compute(&table, &conf);
+        let rejected = check_improved(&table, &keys, &conf, 3, 2, &stats);
+        assert!(
+            !rejected.satisfied && rejected.stage == psens_core::CheckStage::Condition2,
+            "workload must be a Condition-2 rejection, got {:?}",
+            rejected.stage
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_basic", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    is_p_sensitive_k_anonymous(
+                        black_box(&table),
+                        black_box(&keys),
+                        black_box(&conf),
+                        3,
+                        2,
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2_improved", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    check_improved(
+                        black_box(&table),
+                        black_box(&keys),
+                        black_box(&conf),
+                        3,
+                        2,
+                        black_box(&stats),
+                    )
+                });
+            },
+        );
+        // Condition 1 rejection: p beyond the attribute's distinct count —
+        // Algorithm 2 answers without touching the table.
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2_condition1_reject", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    check_improved(
+                        black_box(&table),
+                        black_box(&keys),
+                        black_box(&conf),
+                        99,
+                        2,
+                        black_box(&stats),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Tables 5–6: computing the confidential-attribute frequency statistics and
+//! the two necessary-condition bounds (`maxP`, `maxGroups`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psens_bench::workloads;
+use psens_core::conditions::ConfidentialStats;
+use psens_datasets::paper::example1_microdata;
+use std::hint::black_box;
+
+fn bench_conditions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conditions");
+
+    // The paper's Example 1 (n = 1000, three confidential attributes).
+    let example1 = example1_microdata();
+    let conf = example1.schema().confidential_indices();
+    group.bench_function("example1_stats", |b| {
+        b.iter(|| ConfidentialStats::compute(black_box(&example1), black_box(&conf)));
+    });
+    let stats = ConfidentialStats::compute(&example1, &conf);
+    group.bench_function("example1_max_groups_p2_to_p5", |b| {
+        b.iter(|| {
+            for p in 2..=5u32 {
+                black_box(stats.max_groups(p));
+            }
+        });
+    });
+
+    // Scaling on skewed single-attribute data.
+    for &n in &[10_000usize, 100_000] {
+        let table = workloads::skewed_confidential(n, 900, 10);
+        let conf = table.schema().confidential_indices();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("skewed_stats", n), &n, |b, _| {
+            b.iter(|| ConfidentialStats::compute(black_box(&table), black_box(&conf)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conditions);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Substrate throughput: group-by, frequency sets, and per-group distinct
+//! counts — the operators every anonymity check is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psens_bench::workloads;
+use psens_microdata::{FrequencySet, GroupBy};
+use std::hint::black_box;
+
+fn bench_groupby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("groupby");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let table = workloads::adult(n);
+        let keys = table.schema().key_indices();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("compute", n), &n, |b, _| {
+            b.iter(|| GroupBy::compute(black_box(&table), black_box(&keys)));
+        });
+        let gb = GroupBy::compute(&table, &keys);
+        let pay = table.column_by_name("Pay").expect("Pay exists");
+        group.bench_with_input(BenchmarkId::new("distinct_per_group", n), &n, |b, _| {
+            b.iter(|| gb.distinct_per_group(black_box(pay)));
+        });
+        group.bench_with_input(BenchmarkId::new("frequency_set", n), &n, |b, _| {
+            let conf = table.schema().index_of("Pay").expect("Pay exists");
+            b.iter(|| FrequencySet::of(black_box(&table), &[conf]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_groupby);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Generalization-lattice operations: stratum enumeration, full traversal,
+//! and minimal-element reduction — the bookkeeping around every search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psens_hierarchy::Lattice;
+use std::hint::black_box;
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice");
+    // The Adult lattice (96 nodes) and a larger 8-attribute lattice
+    // (6,561 nodes) representative of wider QI sets.
+    let adult = Lattice::new(vec![3, 2, 3, 1]);
+    let wide = Lattice::new(vec![2; 8]);
+
+    group.bench_function("adult_all_nodes", |b| {
+        b.iter(|| black_box(adult.all_nodes()));
+    });
+    group.bench_function("wide_all_nodes", |b| {
+        b.iter(|| black_box(wide.all_nodes()));
+    });
+    group.bench_function("wide_mid_stratum", |b| {
+        b.iter(|| black_box(wide.nodes_at_height(8)));
+    });
+    let satisfying = wide
+        .all_nodes()
+        .into_iter()
+        .filter(|n| n.height() >= 8)
+        .collect::<Vec<_>>();
+    group.bench_function("wide_minimal_elements", |b| {
+        b.iter(|| black_box(wide.minimal_elements(&satisfying)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lattice);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Throughput of the classical disclosure-control methods the paper's
+//! Section 2 surveys, at the Adult scales used elsewhere.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psens_bench::workloads;
+use psens_methods::{
+    add_noise, microaggregate_mdav, microaggregate_univariate, pram, rank_swap,
+    simple_random_sample, PramMatrix,
+};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("methods");
+    for &n in &[1_000usize, 10_000] {
+        let table = workloads::adult(n);
+        let age = table.schema().index_of("Age").expect("Age exists");
+        let fnlwgt = table.schema().index_of("FnlWgt").expect("FnlWgt exists");
+        let pay = table.schema().index_of("Pay").expect("Pay exists");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sample_half", n), &n, |b, _| {
+            b.iter(|| black_box(simple_random_sample(&table, n / 2, 1)));
+        });
+        group.bench_with_input(BenchmarkId::new("microagg_univariate", n), &n, |b, _| {
+            b.iter(|| black_box(microaggregate_univariate(&table, age, 5).expect("valid")));
+        });
+        // MDAV is quadratic in n; bench it at the small scale only.
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("microagg_mdav", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(microaggregate_mdav(&table, &[age, fnlwgt], 5).expect("valid"))
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("rank_swap", n), &n, |b, _| {
+            b.iter(|| black_box(rank_swap(&table, age, 5, 1).expect("valid")));
+        });
+        group.bench_with_input(BenchmarkId::new("add_noise", n), &n, |b, _| {
+            b.iter(|| black_box(add_noise(&table, fnlwgt, 0.1, 1).expect("valid")));
+        });
+        let matrix =
+            PramMatrix::uniform_retention(vec!["<=50K", ">50K"], 0.85).expect("valid");
+        group.bench_with_input(BenchmarkId::new("pram", n), &n, |b, _| {
+            b.iter(|| black_box(pram(&table, pay, &matrix, 1).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! SQL-subset engine throughput: the paper's two statements (the k-anonymity
+//! group-by and Condition 1's COUNT DISTINCT) at increasing scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psens_bench::workloads;
+use psens_sql::{execute, parse, Catalog};
+use std::hint::black_box;
+
+fn bench_sql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql");
+    group.bench_function("parse_group_by", |b| {
+        b.iter(|| {
+            parse(black_box(
+                "SELECT COUNT(*) FROM Adult GROUP BY Sex, MaritalStatus, Race, Age \
+                 HAVING COUNT(*) < 2",
+            ))
+            .expect("valid")
+        });
+    });
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let table = workloads::adult(n);
+        let mut catalog = Catalog::new();
+        catalog.register("Adult", &table);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("k_anonymity_audit", n), &n, |b, _| {
+            b.iter(|| {
+                execute(
+                    black_box(&catalog),
+                    "SELECT COUNT(*) FROM Adult GROUP BY Sex, MaritalStatus, Race, Age \
+                     HAVING COUNT(*) < 2",
+                )
+                .expect("valid")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("count_distinct", n), &n, |b, _| {
+            b.iter(|| {
+                execute(
+                    black_box(&catalog),
+                    "SELECT COUNT(DISTINCT Pay), COUNT(DISTINCT TaxPeriod) FROM Adult",
+                )
+                .expect("valid")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("filtered_projection", n), &n, |b, _| {
+            b.iter(|| {
+                execute(
+                    black_box(&catalog),
+                    "SELECT Age, Pay FROM Adult WHERE Age >= 40 AND Sex = 'Male' LIMIT 100",
+                )
+                .expect("valid")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! A small hand-rolled argument parser: `--flag value` pairs plus a leading
+//! subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand and its `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut iter = args.into_iter();
+        let command = iter.next().unwrap_or_default();
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got `{arg}`"))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("option --{key} needs a value"))?;
+            if options.insert(key.to_owned(), value).is_some() {
+                return Err(format!("option --{key} given twice"));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional integer option with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// An optional `u32` option with a default.
+    pub fn get_u32(&self, key: &str, default: u32) -> Result<u32, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// An optional `u64` option with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, String> {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let args = parse(&["check", "--input", "a.csv", "--k", "3"]).unwrap();
+        assert_eq!(args.command, "check");
+        assert_eq!(args.require("input").unwrap(), "a.csv");
+        assert_eq!(args.get_u32("k", 2).unwrap(), 3);
+        assert_eq!(args.get_u32("p", 2).unwrap(), 2);
+        assert!(args.get("out").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&["check", "input"]).is_err());
+        assert!(parse(&["check", "--input"]).is_err());
+        assert!(parse(&["check", "--k", "1", "--k", "2"]).is_err());
+        let args = parse(&["check", "--k", "x"]).unwrap();
+        assert!(args.get_u32("k", 2).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_reported() {
+        let args = parse(&["check"]).unwrap();
+        let err = args.require("input").unwrap_err();
+        assert!(err.contains("--input"));
+    }
+
+    #[test]
+    fn empty_command_line() {
+        let args = parse(&[]).unwrap();
+        assert!(args.command.is_empty());
+    }
+}

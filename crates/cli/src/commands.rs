@@ -1,0 +1,547 @@
+//! Implementation of the CLI subcommands.
+
+use crate::args::Args;
+use crate::spec::Spec;
+use psens_algorithms::mondrian::{mondrian_anonymize, MondrianConfig};
+use psens_algorithms::samarati::{pk_minimal_generalization, Pruning};
+use psens_core::conditions::{ConfidentialStats, MaxGroups};
+use psens_core::{check_p_sensitivity, max_k, max_p_of_masked};
+use psens_datasets::AdultGenerator;
+use psens_metrics::{attribute_risk, identity_risk};
+use psens_microdata::{csv, Table};
+
+/// Usage text printed by `psens help` and on argument errors.
+pub const USAGE: &str = "\
+psens — p-sensitive k-anonymity toolkit (Truta & Vinay, ICDE 2006)
+
+USAGE:
+  psens <command> [--option value ...]
+
+COMMANDS:
+  generate   Generate synthetic Adult microdata
+             --rows N [--seed S] --out FILE.csv
+  spec       Write the built-in Adult spec as JSON
+             --out SPEC.json
+  check      Check p-sensitive k-anonymity of a CSV
+             --spec SPEC.json --input FILE.csv [--k K] [--p P]
+  analyze    Print frequency statistics, condition bounds, and risks
+             --spec SPEC.json --input FILE.csv
+  anonymize  Produce a masked release
+             --spec SPEC.json --input FILE.csv --out FILE.csv
+             [--k K] [--p P] [--ts N] [--algorithm samarati|mondrian]
+  attack     Run the record-linkage attack against a masked release
+             --spec SPEC.json --masked FILE.csv --external FILE.csv
+             --node L1,L2,... --identifier NAME
+  query      Run a SQL statement against a CSV file (table name: data)
+             --input FILE.csv --sql STATEMENT [--spec SPEC.json]
+  help       Show this message
+";
+
+/// Runs a parsed command line; returns the text to print or an error.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "spec" => write_spec(args),
+        "check" => check(args),
+        "analyze" => analyze(args),
+        "anonymize" => anonymize(args),
+        "attack" => attack(args),
+        "query" => query(args),
+        "help" | "" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn load_table(args: &Args, spec: &Spec) -> Result<Table, String> {
+    let path = args.require("input")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let schema = spec.schema().map_err(|e| e.to_string())?;
+    csv::read_table_str(&text, schema, true).map_err(|e| e.to_string())
+}
+
+fn load_spec(args: &Args) -> Result<Spec, String> {
+    let path = args.require("spec")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn generate(args: &Args) -> Result<String, String> {
+    let rows = args.get_usize("rows", 1000)?;
+    let seed = args.get_u64("seed", 42)?;
+    let out = args.require("out")?;
+    let table = AdultGenerator::new(seed).generate(rows);
+    let mut file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+    csv::write_table(&mut file, &table, true).map_err(|e| e.to_string())?;
+    Ok(format!("wrote {rows} rows to {out}"))
+}
+
+fn write_spec(args: &Args) -> Result<String, String> {
+    let out = args.require("out")?;
+    let json = serde_json::to_string_pretty(&Spec::adult())
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!("wrote Adult spec to {out}"))
+}
+
+fn check(args: &Args) -> Result<String, String> {
+    let spec = load_spec(args)?;
+    let table = load_table(args, &spec)?;
+    let k = args.get_u32("k", 2)?;
+    let p = args.get_u32("p", 2)?;
+    let keys = table.schema().key_indices();
+    let conf = table.schema().confidential_indices();
+    let report = check_p_sensitivity(&table, &keys, &conf, p, k);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rows: {} | QI-groups: {}\n",
+        table.n_rows(),
+        report.n_groups
+    ));
+    out.push_str(&format!(
+        "k-anonymity (k = {k}): {} (max k = {})\n",
+        if report.k_anonymous { "SATISFIED" } else { "VIOLATED" },
+        max_k(&table, &keys)
+    ));
+    out.push_str(&format!(
+        "p-sensitivity (p = {p}): {} (max p = {})\n",
+        if report.violations.is_empty() {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        },
+        max_p_of_masked(&table, &keys, &conf)
+    ));
+    for v in report.violations.iter().take(10) {
+        out.push_str(&format!(
+            "  group {} (size {}): {} has {} distinct value(s)\n",
+            v.group, v.group_size, v.attribute_name, v.distinct
+        ));
+    }
+    if report.violations.len() > 10 {
+        out.push_str(&format!(
+            "  ... and {} more violations\n",
+            report.violations.len() - 10
+        ));
+    }
+    out.push_str(&format!(
+        "p-sensitive k-anonymity: {}\n",
+        if report.satisfied() { "SATISFIED" } else { "VIOLATED" }
+    ));
+    Ok(out)
+}
+
+fn analyze(args: &Args) -> Result<String, String> {
+    let spec = load_spec(args)?;
+    let table = load_table(args, &spec)?;
+    let keys = table.schema().key_indices();
+    let conf = table.schema().confidential_indices();
+    let stats = ConfidentialStats::compute(&table, &conf);
+    let mut out = String::new();
+    out.push_str(&format!("rows: {}\n\ncolumn profile:\n", table.n_rows()));
+    for summary in psens_microdata::describe(&table) {
+        let range = match (summary.min, summary.max) {
+            (Some(lo), Some(hi)) => format!(" range {lo}..{hi}"),
+            _ => String::new(),
+        };
+        let top = summary
+            .top
+            .as_ref()
+            .map(|(v, c)| format!(" top `{v}` x{c}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  {:<14} {:<13} distinct {:>5}  missing {:>4}{}{}\n",
+            summary.name, summary.role, summary.distinct, summary.missing, range, top
+        ));
+    }
+    out.push_str("\nconfidential attributes:\n");
+    for attr in &stats.per_attribute {
+        let top: Vec<String> = attr
+            .descending
+            .iter()
+            .take(5)
+            .map(ToString::to_string)
+            .collect();
+        out.push_str(&format!(
+            "  {} — {} distinct, top frequencies [{}]\n",
+            attr.name,
+            attr.s,
+            top.join(", ")
+        ));
+    }
+    out.push_str(&format!("\nCondition 1: maxP = {}\n", stats.max_p()));
+    out.push_str("Condition 2: maxGroups by p:\n");
+    for p in 2..=stats.max_p().min(8) as u32 {
+        if let MaxGroups::Bounded(b) = stats.max_groups(p) {
+            out.push_str(&format!("  p = {p}: at most {b} QI-groups\n"));
+        }
+    }
+    let id_risk = identity_risk(&table, &keys);
+    out.push_str(&format!(
+        "\nidentity risk: max {:.4}, avg {:.4}, uniques {}\n",
+        id_risk.max_risk, id_risk.avg_risk, id_risk.uniques
+    ));
+    let attr_risk = attribute_risk(&table, &keys, &conf);
+    out.push_str(&format!(
+        "attribute risk: {} disclosures across {} groups ({:.1}% of tuples affected)\n",
+        attr_risk.disclosures,
+        attr_risk.affected_groups,
+        attr_risk.affected_fraction * 100.0
+    ));
+    Ok(out)
+}
+
+fn anonymize(args: &Args) -> Result<String, String> {
+    let spec = load_spec(args)?;
+    let table = load_table(args, &spec)?;
+    let out_path = args.require("out")?;
+    let k = args.get_u32("k", 2)?;
+    let p = args.get_u32("p", 1)?;
+    let ts = args.get_usize("ts", 0)?;
+    let algorithm = args.get("algorithm").unwrap_or("samarati");
+    let mut out = String::new();
+    let masked = match algorithm {
+        "samarati" => {
+            let qi = spec.qi_space()?;
+            let outcome =
+                pk_minimal_generalization(&table, &qi, p, k, ts, Pruning::NecessaryConditions)
+                    .map_err(|e| e.to_string())?;
+            let node = outcome.node.ok_or_else(|| {
+                format!("no masking satisfies p = {p}, k = {k} with TS = {ts}")
+            })?;
+            let levels: Vec<String> =
+                node.levels().iter().map(ToString::to_string).collect();
+            out.push_str(&format!(
+                "p-k-minimal node: {} (height {}), suppressed {} tuple(s)\n\
+                 node levels (for `psens attack --node`): {}\n",
+                qi.describe_node(&node),
+                node.height(),
+                outcome.suppressed,
+                levels.join(",")
+            ));
+            outcome.masked.expect("masked accompanies node")
+        }
+        "mondrian" => {
+            let outcome = mondrian_anonymize(&table, MondrianConfig { k, p });
+            let keys = outcome.masked.schema().key_indices();
+            let conf = outcome.masked.schema().confidential_indices();
+            if !psens_core::is_p_sensitive_k_anonymous(&outcome.masked, &keys, &conf, p, k) {
+                return Err(format!(
+                    "mondrian could not satisfy p = {p}, k = {k} (input too small or too uniform)"
+                ));
+            }
+            out.push_str(&format!(
+                "mondrian: {} partitions after {} splits\n",
+                outcome.partitions.len(),
+                outcome.splits
+            ));
+            outcome.masked
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let mut file =
+        std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    csv::write_table(&mut file, &masked, true).map_err(|e| e.to_string())?;
+    out.push_str(&format!("wrote {} rows to {out_path}\n", masked.n_rows()));
+    Ok(out)
+}
+
+fn query(args: &Args) -> Result<String, String> {
+    let path = args.require("input")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // With a spec the CSV is read against its schema (roles included);
+    // without one, kinds are inferred and all roles default to `other`.
+    let table = match args.get("spec") {
+        Some(_) => {
+            let spec = load_spec(args)?;
+            let schema = spec.schema().map_err(|e| e.to_string())?;
+            csv::read_table_str(&text, schema, true).map_err(|e| e.to_string())?
+        }
+        None => csv::read_table_infer(&text).map_err(|e| e.to_string())?,
+    };
+    let sql = args.require("sql")?;
+    let mut catalog = psens_sql::Catalog::new();
+    catalog.register("data", &table);
+    let result = psens_sql::execute(&catalog, sql).map_err(|e| e.to_string())?;
+    Ok(psens_microdata::render(&result, 100))
+}
+
+fn attack(args: &Args) -> Result<String, String> {
+    use psens_core::attack::linkage_attack;
+    use psens_hierarchy::Node;
+    use psens_microdata::{Attribute, Kind, Role, Schema};
+
+    let spec = load_spec(args)?;
+    let qi = spec.qi_space()?;
+    let node_text = args.require("node")?;
+    let levels: Vec<u8> = node_text
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<u8>()
+                .map_err(|_| format!("bad node component `{part}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let node = Node(levels);
+    if !qi.lattice().contains(&node) {
+        return Err(format!(
+            "node {node} is outside the {}-attribute lattice",
+            qi.len()
+        ));
+    }
+
+    // The masked release's schema: spec attributes minus identifiers, with
+    // key attributes generalized above level 0 recoded as categorical.
+    let spec_schema = spec.schema().map_err(|e| e.to_string())?;
+    let mut masked_attrs = Vec::new();
+    for attr in spec_schema.attributes() {
+        if attr.role() == Role::Identifier {
+            continue;
+        }
+        let kind = match qi.names().iter().position(|n| *n == attr.name()) {
+            Some(pos) if node.levels()[pos] > 0 => Kind::Cat,
+            _ => attr.kind(),
+        };
+        masked_attrs.push(Attribute::new(attr.name(), kind, attr.role()));
+    }
+    let masked_schema = Schema::new(masked_attrs).map_err(|e| e.to_string())?;
+    let masked_path = args.require("masked")?;
+    let masked_text = std::fs::read_to_string(masked_path)
+        .map_err(|e| format!("reading {masked_path}: {e}"))?;
+    let masked = csv::read_table_str(&masked_text, masked_schema, true)
+        .map_err(|e| e.to_string())?;
+
+    // The intruder's external knowledge uses the raw spec schema.
+    let external_path = args.require("external")?;
+    let external_text = std::fs::read_to_string(external_path)
+        .map_err(|e| format!("reading {external_path}: {e}"))?;
+    let external = csv::read_table_str(&external_text, spec_schema, true)
+        .map_err(|e| e.to_string())?;
+
+    let identifier = args.require("identifier")?;
+    let findings = linkage_attack(&masked, &qi, &node, &external, identifier)
+        .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let mut reidentified = 0usize;
+    let mut leaked = 0usize;
+    for f in &findings {
+        reidentified += usize::from(f.identity_disclosed);
+        leaked += usize::from(!f.learned.is_empty());
+        if f.identity_disclosed || !f.learned.is_empty() {
+            let learned: Vec<String> = f
+                .learned
+                .iter()
+                .map(|(a, v)| format!("{a} = {v}"))
+                .collect();
+            out.push_str(&format!(
+                "  {} -> {}{}\n",
+                f.individual,
+                if f.identity_disclosed {
+                    "RE-IDENTIFIED"
+                } else {
+                    "linked to group"
+                },
+                if learned.is_empty() {
+                    String::new()
+                } else {
+                    format!("; learns {}", learned.join(", "))
+                }
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{} of {} individuals linked; {reidentified} re-identified; \
+         {leaked} suffer attribute disclosure\n",
+        findings.len(),
+        external.n_rows()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, String> {
+        let args = Args::parse(line.iter().map(|s| s.to_string()))?;
+        run(&args)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("psens_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_line(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_line(&[]).unwrap().contains("USAGE"));
+        assert!(run_line(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_check_anonymize() {
+        let data = temp_path("data.csv");
+        let spec = temp_path("spec.json");
+        let masked = temp_path("masked.csv");
+        let data_s = data.to_str().unwrap();
+        let spec_s = spec.to_str().unwrap();
+        let masked_s = masked.to_str().unwrap();
+
+        let msg =
+            run_line(&["generate", "--rows", "300", "--seed", "7", "--out", data_s]).unwrap();
+        assert!(msg.contains("300 rows"));
+        run_line(&["spec", "--out", spec_s]).unwrap();
+
+        let report = run_line(&[
+            "check", "--spec", spec_s, "--input", data_s, "--k", "2", "--p", "2",
+        ])
+        .unwrap();
+        assert!(report.contains("k-anonymity"));
+        assert!(report.contains("VIOLATED"), "raw data is not anonymous");
+
+        let analysis = run_line(&["analyze", "--spec", spec_s, "--input", data_s]).unwrap();
+        assert!(analysis.contains("Condition 1"));
+        assert!(analysis.contains("identity risk"));
+
+        let result = run_line(&[
+            "anonymize", "--spec", spec_s, "--input", data_s, "--out", masked_s, "--k", "2",
+            "--p", "2", "--ts", "10",
+        ])
+        .unwrap();
+        assert!(result.contains("p-k-minimal node"));
+
+        // The released file must pass its own check. Its schema differs from
+        // the spec (key columns became categorical labels), so verify via a
+        // fresh parse with inferred roles is out of scope here — instead,
+        // confirm the CSV exists and is non-trivial.
+        let released = std::fs::read_to_string(&masked).unwrap();
+        assert!(released.lines().count() > 100);
+        assert!(released.starts_with("Age,MaritalStatus"));
+    }
+
+    #[test]
+    fn mondrian_path() {
+        let data = temp_path("mdata.csv");
+        let spec = temp_path("mspec.json");
+        let masked = temp_path("mmasked.csv");
+        run_line(&[
+            "generate", "--rows", "400", "--seed", "9", "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
+        let result = run_line(&[
+            "anonymize", "--spec", spec.to_str().unwrap(), "--input",
+            data.to_str().unwrap(), "--out", masked.to_str().unwrap(), "--k", "3", "--p",
+            "2", "--algorithm", "mondrian",
+        ])
+        .unwrap();
+        assert!(result.contains("partitions"));
+    }
+
+    #[test]
+    fn attack_workflow_on_k_only_release() {
+        let data = temp_path("adata.csv");
+        let spec = temp_path("aspec.json");
+        let masked = temp_path("amasked.csv");
+        run_line(&[
+            "generate", "--rows", "400", "--seed", "21", "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
+        // k-anonymity only (p = 1): attribute disclosures expected.
+        let result = run_line(&[
+            "anonymize", "--spec", spec.to_str().unwrap(), "--input",
+            data.to_str().unwrap(), "--out", masked.to_str().unwrap(), "--k", "2", "--p",
+            "1", "--ts", "0",
+        ])
+        .unwrap();
+        let node_line = result
+            .lines()
+            .find(|l| l.contains("node levels"))
+            .expect("anonymize prints node levels");
+        let node = node_line.rsplit(' ').next().unwrap();
+
+        let attack = run_line(&[
+            "attack", "--spec", spec.to_str().unwrap(), "--masked",
+            masked.to_str().unwrap(), "--external", data.to_str().unwrap(), "--node",
+            node, "--identifier", "Id",
+        ])
+        .unwrap();
+        assert!(attack.contains("individuals linked"), "{attack}");
+        assert!(attack.contains("0 re-identified"), "{attack}");
+        assert!(
+            !attack.contains("; 0 suffer attribute disclosure"),
+            "a k-only release should leak: {attack}"
+        );
+
+        // Bad node strings are rejected.
+        assert!(run_line(&[
+            "attack", "--spec", spec.to_str().unwrap(), "--masked",
+            masked.to_str().unwrap(), "--external", data.to_str().unwrap(), "--node",
+            "9,9,9,9", "--identifier", "Id",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn query_subcommand_runs_sql() {
+        let data = temp_path("qdata.csv");
+        run_line(&[
+            "generate", "--rows", "120", "--seed", "33", "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Schema inference path.
+        let out = run_line(&[
+            "query", "--input", data.to_str().unwrap(), "--sql",
+            "SELECT Sex, COUNT(*) FROM data GROUP BY Sex ORDER BY 2 DESC",
+        ])
+        .unwrap();
+        assert!(out.contains("COUNT(*)"), "{out}");
+        assert!(out.contains("Male"));
+        // Spec-schema path.
+        let spec = temp_path("qspec.json");
+        run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
+        let out = run_line(&[
+            "query", "--input", data.to_str().unwrap(), "--spec",
+            spec.to_str().unwrap(), "--sql", "SELECT MAX(Age) FROM data",
+        ])
+        .unwrap();
+        assert!(out.contains("MAX(Age)"));
+        // SQL errors surface.
+        assert!(run_line(&[
+            "query", "--input", data.to_str().unwrap(), "--sql", "SELECT FROM",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = run_line(&["check", "--spec", "/nonexistent.json", "--input", "x.csv"])
+            .unwrap_err();
+        assert!(err.contains("/nonexistent.json"));
+    }
+
+    #[test]
+    fn unsatisfiable_anonymize_is_an_error() {
+        let data = temp_path("udata.csv");
+        let spec = temp_path("uspec.json");
+        run_line(&[
+            "generate", "--rows", "200", "--seed", "3", "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
+        // Pay has 2 distinct values: p = 5 is impossible.
+        let err = run_line(&[
+            "anonymize", "--spec", spec.to_str().unwrap(), "--input",
+            data.to_str().unwrap(), "--out", "/dev/null", "--k", "2", "--p", "5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no masking"), "{err}");
+    }
+}

@@ -1,0 +1,29 @@
+//! `psens` — the command-line p-sensitive k-anonymity toolkit.
+//!
+//! See [`commands::USAGE`] or run `psens help` for the command reference.
+
+mod args;
+mod commands;
+mod spec;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

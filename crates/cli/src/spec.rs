@@ -1,0 +1,95 @@
+//! The JSON dataset specification consumed by the CLI: attribute roles plus
+//! optional generalization hierarchies per key attribute.
+
+use psens_datasets::hierarchies as adult_hierarchies;
+use psens_datasets::AdultGenerator;
+use psens_hierarchy::{Hierarchy, QiSpace};
+use psens_microdata::{Attribute, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dataset specification: schema attributes (with privacy roles) and the
+/// generalization hierarchy of each key attribute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Spec {
+    /// Attributes in column order.
+    pub attributes: Vec<Attribute>,
+    /// Hierarchies by key-attribute name. Key attributes without an entry
+    /// cannot be generalized (they get an implicit single-level hierarchy
+    /// only if categorical — otherwise `qi_space` errors).
+    #[serde(default)]
+    pub hierarchies: BTreeMap<String, Hierarchy>,
+}
+
+impl Spec {
+    /// Builds the schema described by the spec.
+    pub fn schema(&self) -> Result<Schema, psens_microdata::Error> {
+        Schema::new(self.attributes.clone())
+    }
+
+    /// Builds the QI space from the schema's key attributes and the spec's
+    /// hierarchies, in schema order.
+    pub fn qi_space(&self) -> Result<QiSpace, String> {
+        let schema = self.schema().map_err(|e| e.to_string())?;
+        let mut entries = Vec::new();
+        for &idx in &schema.key_indices() {
+            let name = schema.attribute(idx).name();
+            let hierarchy = self
+                .hierarchies
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("no hierarchy for key attribute `{name}`"))?;
+            entries.push((name.to_owned(), hierarchy));
+        }
+        QiSpace::new(entries).map_err(|e| e.to_string())
+    }
+
+    /// The built-in spec for the synthetic Adult dataset (paper Section 4).
+    pub fn adult() -> Spec {
+        let schema = AdultGenerator::schema();
+        let mut hierarchies = BTreeMap::new();
+        hierarchies.insert("Age".to_owned(), adult_hierarchies::adult_age());
+        hierarchies.insert(
+            "MaritalStatus".to_owned(),
+            adult_hierarchies::adult_marital_status(),
+        );
+        hierarchies.insert("Race".to_owned(), adult_hierarchies::adult_race());
+        hierarchies.insert("Sex".to_owned(), adult_hierarchies::adult_sex());
+        Spec {
+            attributes: schema.attributes().to_vec(),
+            hierarchies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adult_spec_roundtrips_through_json() {
+        let spec = Spec::adult();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: Spec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.attributes.len(), spec.attributes.len());
+        assert_eq!(back.hierarchies.len(), 4);
+        let qi = back.qi_space().unwrap();
+        assert_eq!(qi.lattice().node_count(), 96);
+    }
+
+    #[test]
+    fn missing_hierarchy_is_reported() {
+        let mut spec = Spec::adult();
+        spec.hierarchies.remove("Race");
+        let err = spec.qi_space().unwrap_err();
+        assert!(err.contains("Race"), "{err}");
+    }
+
+    #[test]
+    fn schema_from_spec() {
+        let spec = Spec::adult();
+        let schema = spec.schema().unwrap();
+        assert_eq!(schema.key_indices().len(), 4);
+        assert_eq!(schema.confidential_indices().len(), 4);
+    }
+}

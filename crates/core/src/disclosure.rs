@@ -1,0 +1,194 @@
+//! Disclosure accounting: identity vs. attribute disclosure (paper
+//! Sections 2 and 4, Table 8).
+//!
+//! *Identity disclosure* is the re-identification of an entity; *attribute
+//! disclosure* occurs when the intruder learns something new about the
+//! entity — possible even without re-identification when a QI-group is
+//! homogeneous in a confidential attribute (the paper's Sam/Erich Diabetes
+//! example). Table 8 counts such homogeneous `(group, attribute)` pairs in
+//! k-anonymous maskings.
+
+use psens_microdata::{GroupBy, Table, Value};
+use serde::Serialize;
+
+/// One attribute disclosure: a QI-group whose members all share the same
+/// value of a confidential attribute, so group membership reveals the value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AttributeDisclosure {
+    /// Group id within the grouping used for the count.
+    pub group: u32,
+    /// Key-attribute values identifying the group.
+    pub key: Vec<Value>,
+    /// Number of individuals affected (the group size).
+    pub group_size: u32,
+    /// Index of the disclosed confidential attribute.
+    pub attribute: usize,
+    /// Name of the disclosed confidential attribute.
+    pub attribute_name: String,
+    /// The value every group member shares.
+    pub value: Value,
+}
+
+/// Finds every attribute disclosure in `table`: `(group, attribute)` pairs
+/// where a confidential attribute is constant within a QI-group.
+///
+/// This is exactly the paper's Table 8 metric ("several groups of attributes
+/// with the same value for a confidential attribute, ... the attribute
+/// disclosure could take place"), equivalently the set of 2-sensitivity
+/// violations.
+pub fn attribute_disclosures(
+    table: &Table,
+    keys: &[usize],
+    confidential: &[usize],
+) -> Vec<AttributeDisclosure> {
+    let groups = GroupBy::compute(table, keys);
+    let mut out = Vec::new();
+    for &attr in confidential {
+        let distinct = groups.distinct_per_group(table.column(attr));
+        for (g, &d) in distinct.iter().enumerate() {
+            if d == 1 {
+                let rep = groups.representatives()[g] as usize;
+                out.push(AttributeDisclosure {
+                    group: g as u32,
+                    key: groups.key_of_group(table, g),
+                    group_size: groups.sizes()[g],
+                    attribute: attr,
+                    attribute_name: table.schema().attribute(attr).name().to_owned(),
+                    value: table.value(rep, attr),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|d| (d.group, d.attribute));
+    out
+}
+
+/// Number of attribute disclosures (Table 8's "No of attribute disclosures").
+pub fn attribute_disclosure_count(
+    table: &Table,
+    keys: &[usize],
+    confidential: &[usize],
+) -> usize {
+    attribute_disclosures(table, keys, confidential).len()
+}
+
+/// Number of individuals at risk of *identity* disclosure under exact
+/// linkage: tuples whose QI-group is a singleton.
+pub fn identity_disclosure_count(table: &Table, keys: &[usize]) -> usize {
+    let groups = GroupBy::compute(table, keys);
+    groups.sizes().iter().filter(|&&s| s == 1).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::{table_from_str_rows, Attribute, Schema};
+
+    /// Paper Table 1 plus its homogeneous (20, 43102, M) Diabetes group.
+    fn table1() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::int_key("Age"),
+            Attribute::cat_key("ZipCode"),
+            Attribute::cat_key("Sex"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap();
+        table_from_str_rows(
+            schema,
+            &[
+                &["50", "43102", "M", "Colon Cancer"],
+                &["30", "43102", "F", "Breast Cancer"],
+                &["30", "43102", "F", "HIV"],
+                &["20", "43102", "M", "Diabetes"],
+                &["20", "43102", "M", "Diabetes"],
+                &["50", "43102", "M", "Heart Disease"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_has_exactly_the_diabetes_disclosure() {
+        // The paper: "both of the tuples have Diabetes as the illness, and
+        // therefore both Sam and Erich have Diabetes."
+        let t = table1();
+        let keys = t.schema().key_indices();
+        let conf = t.schema().confidential_indices();
+        let disclosures = attribute_disclosures(&t, &keys, &conf);
+        assert_eq!(disclosures.len(), 1);
+        let d = &disclosures[0];
+        assert_eq!(d.attribute_name, "Illness");
+        assert_eq!(d.value, Value::Text("Diabetes".into()));
+        assert_eq!(d.group_size, 2);
+        assert_eq!(
+            d.key,
+            vec![
+                Value::Int(20),
+                Value::Text("43102".into()),
+                Value::Text("M".into())
+            ]
+        );
+        assert_eq!(attribute_disclosure_count(&t, &keys, &conf), 1);
+    }
+
+    #[test]
+    fn no_identity_disclosure_in_2_anonymous_table() {
+        let t = table1();
+        let keys = t.schema().key_indices();
+        assert_eq!(identity_disclosure_count(&t, &keys), 0);
+    }
+
+    #[test]
+    fn singleton_groups_are_identity_disclosures() {
+        let t = table1();
+        // Grouping by nothing but Age splits 50/30/20 into groups of 2 — add
+        // Illness to the key set to force singletons.
+        let keys = vec![0usize, 3];
+        let count = identity_disclosure_count(&t, &keys);
+        assert_eq!(count, 4); // only the Diabetes pair is non-singleton
+    }
+
+    #[test]
+    fn multiple_attributes_counted_independently() {
+        let schema = Schema::new(vec![
+            Attribute::cat_key("Zip"),
+            Attribute::cat_confidential("Illness"),
+            Attribute::cat_confidential("Pay"),
+        ])
+        .unwrap();
+        let t = table_from_str_rows(
+            schema,
+            &[
+                &["A", "Flu", "Low"],
+                &["A", "Flu", "Low"],
+                &["B", "Flu", "Low"],
+                &["B", "HIV", "Low"],
+            ],
+        )
+        .unwrap();
+        let disclosures = attribute_disclosures(&t, &[0], &[1, 2]);
+        // Group A: Illness and Pay homogeneous (2 disclosures).
+        // Group B: Pay homogeneous (1 disclosure).
+        assert_eq!(disclosures.len(), 3);
+        let affected: usize = disclosures.iter().map(|d| d.group_size as usize).sum();
+        assert_eq!(affected, 6);
+    }
+
+    #[test]
+    fn empty_and_clean_tables() {
+        let t = table1().filter(|_| false);
+        assert_eq!(attribute_disclosure_count(&t, &[0, 1, 2], &[3]), 0);
+        // A table where every group has 2 distinct illnesses is clean.
+        let schema = Schema::new(vec![
+            Attribute::cat_key("Zip"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap();
+        let clean = table_from_str_rows(
+            schema,
+            &[&["A", "Flu"], &["A", "HIV"], &["B", "Flu"], &["B", "HIV"]],
+        )
+        .unwrap();
+        assert_eq!(attribute_disclosure_count(&clean, &[0], &[1]), 0);
+    }
+}

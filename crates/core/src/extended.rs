@@ -1,0 +1,283 @@
+//! Extended p-sensitive k-anonymity (the follow-up model by Campan, Truta
+//! et al., sketched as future work in the paper).
+//!
+//! Plain p-sensitivity counts *distinct values*. That is gameable: a group
+//! whose illnesses are `{HIV, AIDS}` is 2-sensitive, yet both values mean
+//! "serious infectious disease" — the intruder still learns the harmful
+//! category. The extended model attaches a generalization hierarchy to each
+//! confidential attribute and demands `p` distinct values **at a chosen
+//! ancestor level**: the group must span `p` different *categories*, not
+//! merely `p` spellings.
+//!
+//! Level 0 reduces to plain p-sensitivity, so this module strictly
+//! generalizes [`crate::psensitive`].
+
+use crate::kanonymity::report_from_groups;
+use psens_hierarchy::Hierarchy;
+use psens_microdata::{GroupBy, Table};
+use serde::Serialize;
+
+/// A confidential attribute paired with its hierarchy and the level at which
+/// distinct categories are counted.
+#[derive(Debug, Clone)]
+pub struct ConfidentialSpec<'a> {
+    /// Index of the confidential attribute in the table's schema.
+    pub attribute: usize,
+    /// The attribute's generalization hierarchy.
+    pub hierarchy: &'a Hierarchy,
+    /// Hierarchy level at which categories are compared (0 = raw values).
+    pub level: usize,
+}
+
+/// One extended-sensitivity violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExtendedViolation {
+    /// Group id within the grouping used for the check.
+    pub group: u32,
+    /// Size of the offending group.
+    pub group_size: u32,
+    /// Index of the offending confidential attribute.
+    pub attribute: usize,
+    /// Distinct categories the attribute spans within the group, at the
+    /// requested level.
+    pub distinct_categories: u32,
+}
+
+/// Result of the extended check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExtendedReport {
+    /// The `p` that was checked.
+    pub p: u32,
+    /// The `k` that was checked.
+    pub k: u32,
+    /// Whether k-anonymity holds.
+    pub k_anonymous: bool,
+    /// All violations found.
+    pub violations: Vec<ExtendedViolation>,
+}
+
+impl ExtendedReport {
+    /// True when extended p-sensitive k-anonymity holds.
+    pub fn satisfied(&self) -> bool {
+        self.k_anonymous && self.violations.is_empty()
+    }
+}
+
+/// Checks extended p-sensitive k-anonymity: k-anonymity over `keys` plus,
+/// per QI-group and per confidential attribute, at least `p` distinct
+/// ancestor categories at that attribute's configured level.
+///
+/// # Errors
+/// Fails when a confidential value is outside its hierarchy's domain or a
+/// level is out of range.
+pub fn check_extended(
+    table: &Table,
+    keys: &[usize],
+    confidential: &[ConfidentialSpec<'_>],
+    p: u32,
+    k: u32,
+) -> Result<ExtendedReport, psens_hierarchy::Error> {
+    let groups = GroupBy::compute(table, keys);
+    let k_report = report_from_groups(&groups, k);
+    let mut violations = Vec::new();
+    for spec in confidential {
+        // Recode the confidential column to its category level, then count
+        // distinct categories per group with the standard machinery.
+        let categories = spec
+            .hierarchy
+            .apply(table.column(spec.attribute), spec.level)?;
+        let distinct = groups.distinct_per_group(&categories);
+        for (g, &d) in distinct.iter().enumerate() {
+            if d < p {
+                violations.push(ExtendedViolation {
+                    group: g as u32,
+                    group_size: groups.sizes()[g],
+                    attribute: spec.attribute,
+                    distinct_categories: d,
+                });
+            }
+        }
+    }
+    violations.sort_by_key(|v| (v.group, v.attribute));
+    Ok(ExtendedReport {
+        p,
+        k,
+        k_anonymous: k_report.satisfied(),
+        violations,
+    })
+}
+
+/// The largest `p` the extended property can satisfy on this table — the
+/// extended analogue of Condition 1: the number of distinct categories each
+/// confidential attribute has *overall* at its configured level, minimized
+/// over attributes. (`usize::MAX` when `confidential` is empty.)
+pub fn extended_max_p(
+    table: &Table,
+    confidential: &[ConfidentialSpec<'_>],
+) -> Result<usize, psens_hierarchy::Error> {
+    let mut max_p = usize::MAX;
+    for spec in confidential {
+        let categories = spec
+            .hierarchy
+            .apply(table.column(spec.attribute), spec.level)?;
+        max_p = max_p.min(categories.n_distinct());
+    }
+    Ok(max_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_hierarchy::CatHierarchy;
+    use psens_microdata::{table_from_str_rows, Attribute, Schema};
+
+    /// Illness hierarchy: diseases -> categories -> *.
+    fn illness_hierarchy() -> Hierarchy {
+        Hierarchy::Cat(
+            CatHierarchy::identity([
+                "HIV",
+                "AIDS",
+                "Colon Cancer",
+                "Breast Cancer",
+                "Diabetes",
+                "Flu",
+            ])
+            .unwrap()
+            .push_level([
+                ("HIV", "Infectious"),
+                ("AIDS", "Infectious"),
+                ("Colon Cancer", "Cancer"),
+                ("Breast Cancer", "Cancer"),
+                ("Diabetes", "Chronic"),
+                ("Flu", "Infectious"),
+            ])
+            .unwrap()
+            .push_top("*")
+            .unwrap(),
+        )
+    }
+
+    fn table(rows: &[&[&str]]) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::cat_key("Zip"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap();
+        table_from_str_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn hiv_aids_group_is_2_sensitive_but_not_extended_2_sensitive() {
+        // The motivating case: 2 distinct values, 1 category.
+        let t = table(&[
+            &["A", "HIV"],
+            &["A", "AIDS"],
+            &["B", "Diabetes"],
+            &["B", "Colon Cancer"],
+        ]);
+        let keys = [0usize];
+        // Plain p-sensitivity is satisfied with p = 2...
+        assert!(crate::psensitive::is_p_sensitive_k_anonymous(
+            &t, &keys, &[1], 2, 2
+        ));
+        // ...but at category level the first group collapses to Infectious.
+        let h = illness_hierarchy();
+        let spec = [ConfidentialSpec {
+            attribute: 1,
+            hierarchy: &h,
+            level: 1,
+        }];
+        let report = check_extended(&t, &keys, &spec, 2, 2).unwrap();
+        assert!(!report.satisfied());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].distinct_categories, 1);
+        assert!(report.k_anonymous);
+    }
+
+    #[test]
+    fn level_zero_reduces_to_plain_p_sensitivity() {
+        let t = table(&[
+            &["A", "HIV"],
+            &["A", "AIDS"],
+            &["B", "Diabetes"],
+            &["B", "Diabetes"],
+        ]);
+        let keys = [0usize];
+        let h = illness_hierarchy();
+        let spec = [ConfidentialSpec {
+            attribute: 1,
+            hierarchy: &h,
+            level: 0,
+        }];
+        for p in 1..=3u32 {
+            let plain = crate::psensitive::is_p_sensitive_k_anonymous(&t, &keys, &[1], p, 2);
+            let extended = check_extended(&t, &keys, &spec, p, 2).unwrap().satisfied();
+            assert_eq!(plain, extended, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn category_diverse_group_passes() {
+        let t = table(&[
+            &["A", "HIV"],
+            &["A", "Colon Cancer"],
+            &["B", "Diabetes"],
+            &["B", "Breast Cancer"],
+        ]);
+        let h = illness_hierarchy();
+        let spec = [ConfidentialSpec {
+            attribute: 1,
+            hierarchy: &h,
+            level: 1,
+        }];
+        let report = check_extended(&t, &[0], &spec, 2, 2).unwrap();
+        assert!(report.satisfied());
+    }
+
+    #[test]
+    fn extended_max_p_counts_categories() {
+        let t = table(&[
+            &["A", "HIV"],
+            &["A", "Flu"],
+            &["B", "AIDS"],
+            &["B", "Breast Cancer"],
+        ]);
+        let h = illness_hierarchy();
+        // Raw: 4 distinct values; level 1: Infectious + Cancer = 2; top: 1.
+        for (level, expected) in [(0usize, 4usize), (1, 2), (2, 1)] {
+            let spec = [ConfidentialSpec {
+                attribute: 1,
+                hierarchy: &h,
+                level,
+            }];
+            assert_eq!(extended_max_p(&t, &spec).unwrap(), expected, "level {level}");
+        }
+        assert_eq!(extended_max_p(&t, &[]).unwrap(), usize::MAX);
+    }
+
+    #[test]
+    fn unknown_value_is_an_error() {
+        let t = table(&[&["A", "Plague"], &["A", "HIV"]]);
+        let h = illness_hierarchy();
+        let spec = [ConfidentialSpec {
+            attribute: 1,
+            hierarchy: &h,
+            level: 1,
+        }];
+        assert!(check_extended(&t, &[0], &spec, 2, 2).is_err());
+    }
+
+    #[test]
+    fn k_failure_is_reported() {
+        let t = table(&[&["A", "HIV"], &["B", "Flu"], &["B", "Diabetes"]]);
+        let h = illness_hierarchy();
+        let spec = [ConfidentialSpec {
+            attribute: 1,
+            hierarchy: &h,
+            level: 1,
+        }];
+        let report = check_extended(&t, &[0], &spec, 1, 2).unwrap();
+        assert!(!report.k_anonymous);
+        assert!(!report.satisfied());
+    }
+}

@@ -1,0 +1,261 @@
+//! Tuple suppression (paper Section 3).
+//!
+//! > *After generalization is performed, we can identify the number of tuples
+//! > that have a frequency of key attribute values less than k. If this
+//! > number is below a defined threshold we apply suppression, and these
+//! > tuples will be removed from the resulting masked microdata.*
+
+use psens_microdata::{GroupBy, Table};
+
+/// Result of suppressing undersized QI-groups.
+#[derive(Debug, Clone)]
+pub struct SuppressionResult {
+    /// The table with offending tuples removed.
+    pub table: Table,
+    /// Number of tuples removed.
+    pub removed: usize,
+}
+
+/// Removes every tuple living in a QI-group of size `< k`.
+///
+/// The result always satisfies k-anonymity over `keys`: removing whole
+/// undersized groups leaves the remaining groups untouched.
+pub fn suppress_to_k(table: &Table, keys: &[usize], k: u32) -> SuppressionResult {
+    let groups = GroupBy::compute(table, keys);
+    let doomed = groups.small_group_rows(k);
+    if doomed.is_empty() {
+        return SuppressionResult {
+            table: table.clone(),
+            removed: 0,
+        };
+    }
+    let doomed_set: std::collections::HashSet<usize> = doomed.iter().copied().collect();
+    let kept = table.filter(|row| !doomed_set.contains(&row));
+    SuppressionResult {
+        removed: doomed.len(),
+        table: kept,
+    }
+}
+
+/// Like [`suppress_to_k`] but refuses to remove more than `ts` tuples:
+/// returns `None` when the number of violating tuples exceeds the threshold
+/// (the masking at this lattice node is not acceptable).
+pub fn suppress_within_threshold(
+    table: &Table,
+    keys: &[usize],
+    k: u32,
+    ts: usize,
+) -> Option<SuppressionResult> {
+    let groups = GroupBy::compute(table, keys);
+    let violating = groups.rows_in_small_groups(k);
+    if violating > ts {
+        return None;
+    }
+    Some(suppress_to_k(table, keys, k))
+}
+
+/// Result of cell-level (local) suppression.
+#[derive(Debug, Clone)]
+pub struct LocalSuppressionResult {
+    /// The table with offending key cells blanked to missing.
+    pub table: Table,
+    /// Number of individual cells suppressed.
+    pub cells_suppressed: usize,
+    /// Number of rounds the greedy loop ran.
+    pub rounds: usize,
+}
+
+/// Cell-level (local) suppression: instead of deleting tuples in undersized
+/// QI-groups, blank their key-attribute cells until k-anonymity holds.
+///
+/// The paper lists "local suppression" [19, 13] among the masking methods;
+/// this greedy variant repeatedly picks, among the violating tuples, the key
+/// attribute with the most distinct values (the most distinguishing one),
+/// blanks it for all violating tuples, and regroups. Missing cells compare
+/// equal to each other, so fully-blanked tuples pool into one group; the
+/// loop always terminates because each round either reaches k-anonymity or
+/// strictly reduces the remaining distinguishing cells.
+///
+/// Returns `None` when even blanking every key cell of every violating tuple
+/// cannot reach k-anonymity (fewer than `k` violating tuples pooled
+/// together) — callers should fall back to [`suppress_to_k`].
+pub fn locally_suppress_to_k(
+    table: &Table,
+    keys: &[usize],
+    k: u32,
+) -> Option<LocalSuppressionResult> {
+    let mut current = table.clone();
+    let mut cells = 0usize;
+    let mut rounds = 0usize;
+    loop {
+        let groups = GroupBy::compute(&current, keys);
+        let violating = groups.small_group_rows(k);
+        if violating.is_empty() {
+            return Some(LocalSuppressionResult {
+                table: current,
+                cells_suppressed: cells,
+                rounds,
+            });
+        }
+        rounds += 1;
+        // Pick the key attribute that still distinguishes the violating
+        // tuples the most: the one with the most distinct *present* values
+        // among them.
+        let mut best: Option<(usize, usize)> = None; // (attr, distinct)
+        for &attr in keys {
+            let column = current.column(attr);
+            let mut seen = std::collections::HashSet::new();
+            let mut present = 0usize;
+            for &row in &violating {
+                let value = column.value(row);
+                if !value.is_missing() {
+                    present += 1;
+                    seen.insert(value);
+                }
+            }
+            if present > 0 {
+                let distinct = seen.len();
+                if best.is_none_or(|(_, d)| distinct > d) {
+                    best = Some((attr, distinct));
+                }
+            }
+        }
+        let Some((attr, _)) = best else {
+            // Every key cell of every violating tuple is already missing:
+            // they form one pooled group smaller than k. Unreachable via
+            // further local suppression.
+            return None;
+        };
+        let blanked = current.column(attr).with_missing(&violating);
+        current = current
+            .with_column_replaced(attr, blanked)
+            .expect("same kind and length");
+        cells += violating.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kanonymity::is_k_anonymous;
+    use psens_microdata::{table_from_str_rows, Attribute, Schema, Value};
+
+    /// The paper's Figure 3 microdata: 10 (Sex, ZipCode) tuples.
+    fn figure3() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::cat_key("Sex"),
+            Attribute::cat_key("ZipCode"),
+        ])
+        .unwrap();
+        table_from_str_rows(
+            schema,
+            &[
+                &["M", "41076"],
+                &["F", "41099"],
+                &["M", "41099"],
+                &["M", "41076"],
+                &["F", "43102"],
+                &["M", "43102"],
+                &["M", "43102"],
+                &["F", "43103"],
+                &["M", "48202"],
+                &["M", "48201"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn suppressing_bottom_node_removes_everything_below_3() {
+        // Figure 3 annotates <S0, Z0> with 10: all tuples violate 3-anonymity.
+        let t = figure3();
+        let result = suppress_to_k(&t, &[0, 1], 3);
+        assert_eq!(result.removed, 10);
+        assert!(result.table.is_empty());
+    }
+
+    #[test]
+    fn suppression_yields_k_anonymity() {
+        // Group (M, 43102) has 2 tuples; everything else is smaller. For
+        // k = 2, suppression keeps exactly (M, 41076) x2 and (M, 43102) x2.
+        let t = figure3();
+        let result = suppress_to_k(&t, &[0, 1], 2);
+        assert_eq!(result.removed, 6);
+        assert_eq!(result.table.n_rows(), 4);
+        assert!(is_k_anonymous(&result.table, &[0, 1], 2));
+    }
+
+    #[test]
+    fn no_op_when_already_anonymous() {
+        let t = figure3();
+        let result = suppress_to_k(&t, &[0, 1], 1);
+        assert_eq!(result.removed, 0);
+        assert_eq!(result.table.n_rows(), 10);
+    }
+
+    #[test]
+    fn threshold_gates_suppression() {
+        let t = figure3();
+        // 6 tuples violate 2-anonymity: TS = 5 refuses, TS = 6 accepts.
+        assert!(suppress_within_threshold(&t, &[0, 1], 2, 5).is_none());
+        let ok = suppress_within_threshold(&t, &[0, 1], 2, 6).unwrap();
+        assert_eq!(ok.removed, 6);
+        assert!(is_k_anonymous(&ok.table, &[0, 1], 2));
+    }
+
+    #[test]
+    fn local_suppression_reaches_k_without_deleting_rows() {
+        let t = figure3();
+        let result = locally_suppress_to_k(&t, &[0, 1], 2).expect("achievable");
+        assert_eq!(result.table.n_rows(), 10, "no tuples deleted");
+        assert!(is_k_anonymous(&result.table, &[0, 1], 2));
+        assert!(result.cells_suppressed > 0);
+        assert!(result.rounds >= 1);
+        // Strictly fewer cells lost than row suppression would cost:
+        // deleting 6 tuples destroys 12 cells.
+        assert!(result.cells_suppressed < 12, "{}", result.cells_suppressed);
+    }
+
+    #[test]
+    fn local_suppression_noop_when_anonymous() {
+        let t = figure3();
+        let result = locally_suppress_to_k(&t, &[0, 1], 1).unwrap();
+        assert_eq!(result.cells_suppressed, 0);
+        assert_eq!(result.rounds, 0);
+        assert_eq!(result.table, t);
+    }
+
+    #[test]
+    fn local_suppression_reports_unreachable_k() {
+        // A single tuple can never reach 2-anonymity by blanking cells
+        // (the pooled missing group has size 1).
+        let t = figure3().take(&[0]);
+        assert!(locally_suppress_to_k(&t, &[0, 1], 2).is_none());
+    }
+
+    #[test]
+    fn local_suppression_pools_fully_blanked_rows() {
+        // Three mutually distinct tuples: blanking both key cells pools
+        // them into one group of 3 >= 2.
+        let t = figure3().take(&[1, 7, 8]);
+        let result = locally_suppress_to_k(&t, &[0, 1], 3).expect("achievable by pooling");
+        assert!(is_k_anonymous(&result.table, &[0, 1], 3));
+        assert_eq!(result.table.n_rows(), 3);
+    }
+
+    #[test]
+    fn surviving_tuples_are_unchanged() {
+        let t = figure3();
+        let result = suppress_to_k(&t, &[0, 1], 2);
+        for row in 0..result.table.n_rows() {
+            let sex = result.table.value(row, 0);
+            let zip = result.table.value(row, 1);
+            assert!(
+                (sex == Value::Text("M".into())
+                    && (zip == Value::Text("41076".into())
+                        || zip == Value::Text("43102".into()))),
+                "unexpected survivor {sex} {zip}"
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Theorems 1 and 2 (paper Section 3): the initial microdata's `maxP` and
+//! `maxGroups` upper-bound those of any masked microdata derived by
+//! generalization followed by suppression — so the necessary conditions may
+//! be checked once against initial-microdata statistics.
+//!
+//! The theorems are proved in the paper; this module provides executable
+//! checks of the inequalities (used by property tests as an oracle, and by
+//! callers who want runtime verification when composing custom pipelines).
+
+use crate::conditions::{ConfidentialStats, MaxGroups};
+
+/// Verifies Theorem 1 for a concrete pair of statistics:
+/// `maxP(IM) >= maxP(MM)`.
+pub fn theorem1_holds(initial: &ConfidentialStats, masked: &ConfidentialStats) -> bool {
+    initial.max_p() >= masked.max_p()
+}
+
+/// Verifies Theorem 2 for a concrete pair of statistics and one `p`:
+/// `maxGroups(IM) >= maxGroups(MM)`.
+///
+/// `Unbounded` dominates every bound; `Unsatisfiable` is dominated by every
+/// bound (the masked microdata cannot do better than the initial one).
+pub fn theorem2_holds(initial: &ConfidentialStats, masked: &ConfidentialStats, p: u32) -> bool {
+    match (initial.max_groups(p), masked.max_groups(p)) {
+        (MaxGroups::Unbounded, _) => true,
+        (_, MaxGroups::Unsatisfiable) => true,
+        (MaxGroups::Unsatisfiable, _) => false,
+        (MaxGroups::Bounded(im), MaxGroups::Bounded(mm)) => im >= mm,
+        (MaxGroups::Bounded(_), MaxGroups::Unbounded) => false,
+    }
+}
+
+/// Verifies both theorems across every valid `p` for the masked statistics.
+pub fn theorems_hold(initial: &ConfidentialStats, masked: &ConfidentialStats) -> bool {
+    if !theorem1_holds(initial, masked) {
+        return false;
+    }
+    let limit = match masked.max_p() {
+        usize::MAX => return true, // no confidential attributes: vacuous
+        max_p => max_p,
+    };
+    (2..=limit as u32).all(|p| theorem2_holds(initial, masked, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::{table_from_str_rows, Attribute, Schema, Table};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::cat_key("Zip"),
+            Attribute::cat_confidential("S1"),
+            Attribute::cat_confidential("S2"),
+        ])
+        .unwrap()
+    }
+
+    fn initial() -> Table {
+        table_from_str_rows(
+            schema(),
+            &[
+                &["A", "x", "p"],
+                &["A", "x", "q"],
+                &["A", "y", "p"],
+                &["B", "y", "q"],
+                &["B", "z", "r"],
+                &["B", "z", "p"],
+                &["C", "x", "q"],
+                &["C", "w", "p"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn suppression_respects_both_theorems() {
+        let im = initial();
+        let im_stats = ConfidentialStats::compute(&im, &[1, 2]);
+        // Suppress rows in every possible prefix pattern.
+        for mask in 0..256u32 {
+            let mm = im.filter(|row| mask & (1 << row) == 0);
+            let mm_stats = ConfidentialStats::compute(&mm, &[1, 2]);
+            assert!(
+                theorem1_holds(&im_stats, &mm_stats),
+                "theorem 1 violated by mask {mask:08b}"
+            );
+            assert!(
+                theorems_hold(&im_stats, &mm_stats),
+                "theorem 2 violated by mask {mask:08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn generalization_is_invariant() {
+        // Generalization never touches confidential attributes, so the
+        // statistics are literally identical — both theorems hold with
+        // equality.
+        let im = initial();
+        let im_stats = ConfidentialStats::compute(&im, &[1, 2]);
+        assert!(theorem1_holds(&im_stats, &im_stats));
+        assert!(theorems_hold(&im_stats, &im_stats));
+    }
+
+    #[test]
+    fn unrelated_tables_can_violate() {
+        // Sanity: the checks are not tautologies. A "masked" table with MORE
+        // distinct confidential values than the initial one breaks Theorem 1.
+        let im = table_from_str_rows(schema(), &[&["A", "x", "p"], &["A", "x", "q"]]).unwrap();
+        let mm = initial();
+        let im_stats = ConfidentialStats::compute(&im, &[1, 2]);
+        let mm_stats = ConfidentialStats::compute(&mm, &[1, 2]);
+        assert!(!theorem1_holds(&im_stats, &mm_stats));
+    }
+
+    #[test]
+    fn theorem2_lattice_of_bounds() {
+        let im = initial();
+        let im_stats = ConfidentialStats::compute(&im, &[1, 2]);
+        let empty_stats = ConfidentialStats::compute(&im.filter(|_| false), &[1, 2]);
+        // Empty masked table: max_p = 0, every p is Unsatisfiable for it.
+        assert!(theorem2_holds(&im_stats, &empty_stats, 2));
+        // No confidential attributes on the initial side: Unbounded wins.
+        let no_conf = ConfidentialStats::compute(&im, &[]);
+        assert!(theorem2_holds(&no_conf, &im_stats, 2));
+    }
+}

@@ -1,0 +1,224 @@
+//! Generalization hierarchies used by the paper's figures and experiments.
+
+use psens_hierarchy::builders::{flat_hierarchy, grouping_hierarchy, prefix_hierarchy};
+use psens_hierarchy::{CatHierarchy, Hierarchy, IntHierarchy, IntLevel, QiSpace};
+
+/// The Adult marital-status domain (7 distinct values, paper Table 7).
+pub const MARITAL_STATUS: [&str; 7] = [
+    "Never-married",
+    "Married-civ-spouse",
+    "Divorced",
+    "Separated",
+    "Widowed",
+    "Married-spouse-absent",
+    "Married-AF-spouse",
+];
+
+/// The Adult race domain (5 distinct values, paper Table 7).
+pub const RACE: [&str; 5] = [
+    "White",
+    "Black",
+    "Asian-Pac-Islander",
+    "Amer-Indian-Eskimo",
+    "Other",
+];
+
+/// The Adult sex domain.
+pub const SEX: [&str; 2] = ["Male", "Female"];
+
+/// Figure 1's ZipCode hierarchy: 5-digit codes → 2-digit prefixes → `*****`.
+pub fn figure1_zipcode() -> CatHierarchy {
+    prefix_hierarchy(
+        vec!["41076", "41099", "43102", "43103", "48201", "48202"],
+        &[2, 0],
+    )
+    .expect("static hierarchy is valid")
+}
+
+/// Figure 1's Sex hierarchy: `{M, F}` → `{*}`.
+pub fn figure1_sex() -> Hierarchy {
+    flat_hierarchy(vec!["M", "F"]).expect("static hierarchy is valid")
+}
+
+/// The QI space of Figures 2–3 / Table 4: Sex (2 domains) × ZipCode
+/// (3 domains), giving the 6-node, height-3 lattice of Figure 2.
+pub fn figure2_qi_space() -> QiSpace {
+    QiSpace::new(vec![
+        ("Sex".into(), figure1_sex()),
+        ("ZipCode".into(), Hierarchy::Cat(figure1_zipcode())),
+    ])
+    .expect("static QI space is valid")
+}
+
+/// Table 7's Age hierarchy: 74 distinct values (17–90) → 10-year ranges →
+/// `{<50, >=50}` → one group. The decade cuts include 50 so the levels nest.
+pub fn adult_age() -> Hierarchy {
+    Hierarchy::Int(
+        IntHierarchy::new(vec![
+            IntLevel::Ranges {
+                cuts: vec![20, 30, 40, 50, 60, 70, 80, 90],
+                labels: vec![
+                    "<20", "20-29", "30-39", "40-49", "50-59", "60-69", "70-79", "80-89", ">=90",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            },
+            IntLevel::Ranges {
+                cuts: vec![50],
+                labels: vec!["<50".into(), ">=50".into()],
+            },
+            IntLevel::Single("*".into()),
+        ])
+        .expect("static hierarchy is valid"),
+    )
+}
+
+/// Table 7's MaritalStatus hierarchy: 7 values → `{Single, Married}` → one
+/// group.
+pub fn adult_marital_status() -> Hierarchy {
+    Hierarchy::Cat(
+        grouping_hierarchy(
+            MARITAL_STATUS.to_vec(),
+            &[&[
+                ("Never-married", "Single"),
+                ("Married-civ-spouse", "Married"),
+                ("Divorced", "Single"),
+                ("Separated", "Single"),
+                ("Widowed", "Single"),
+                ("Married-spouse-absent", "Married"),
+                ("Married-AF-spouse", "Married"),
+            ]],
+        )
+        .and_then(|h| h.push_top("*"))
+        .expect("static hierarchy is valid"),
+    )
+}
+
+/// Table 7's Race hierarchy: 5 values → `{White, Black, Other}` →
+/// `{White, Other}` → one group.
+pub fn adult_race() -> Hierarchy {
+    Hierarchy::Cat(
+        grouping_hierarchy(
+            RACE.to_vec(),
+            &[
+                &[
+                    ("White", "White"),
+                    ("Black", "Black"),
+                    ("Asian-Pac-Islander", "Other"),
+                    ("Amer-Indian-Eskimo", "Other"),
+                    ("Other", "Other"),
+                ],
+                &[("White", "White"), ("Black", "Other"), ("Other", "Other")],
+            ],
+        )
+        .and_then(|h| h.push_top("*"))
+        .expect("static hierarchy is valid"),
+    )
+}
+
+/// Table 7's Sex hierarchy: `{Male, Female}` → one group.
+pub fn adult_sex() -> Hierarchy {
+    flat_hierarchy(SEX.to_vec()).expect("static hierarchy is valid")
+}
+
+/// The full Adult QI space of Section 4: `<A, M, R, S>` with 4 × 3 × 4 × 2 =
+/// 96 lattice nodes and `height(GL_A) = 9`.
+pub fn adult_qi_space() -> QiSpace {
+    QiSpace::new(vec![
+        ("Age".into(), adult_age()),
+        ("MaritalStatus".into(), adult_marital_status()),
+        ("Race".into(), adult_race()),
+        ("Sex".into(), adult_sex()),
+    ])
+    .expect("static QI space is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::Value;
+
+    #[test]
+    fn figure2_lattice_dimensions() {
+        let qi = figure2_qi_space();
+        let gl = qi.lattice();
+        assert_eq!(gl.node_count(), 6);
+        assert_eq!(gl.height(), 3);
+    }
+
+    #[test]
+    fn adult_lattice_matches_section4() {
+        let qi = adult_qi_space();
+        let gl = qi.lattice();
+        assert_eq!(gl.node_count(), 96);
+        assert_eq!(gl.height(), 9);
+        assert_eq!(gl.max_levels(), &[3, 2, 3, 1]);
+    }
+
+    #[test]
+    fn age_levels() {
+        let age = adult_age();
+        assert_eq!(
+            age.generalize(&Value::Int(44), 1).unwrap(),
+            Value::Text("40-49".into())
+        );
+        assert_eq!(
+            age.generalize(&Value::Int(44), 2).unwrap(),
+            Value::Text("<50".into())
+        );
+        assert_eq!(
+            age.generalize(&Value::Int(44), 3).unwrap(),
+            Value::Text("*".into())
+        );
+    }
+
+    #[test]
+    fn marital_levels() {
+        let m = adult_marital_status();
+        assert_eq!(
+            m.generalize(&Value::Text("Widowed".into()), 1).unwrap(),
+            Value::Text("Single".into())
+        );
+        assert_eq!(
+            m.generalize(&Value::Text("Married-AF-spouse".into()), 1)
+                .unwrap(),
+            Value::Text("Married".into())
+        );
+        assert_eq!(m.n_levels(), 3);
+    }
+
+    #[test]
+    fn race_levels() {
+        let r = adult_race();
+        assert_eq!(r.n_levels(), 4);
+        assert_eq!(
+            r.generalize(&Value::Text("Asian-Pac-Islander".into()), 1)
+                .unwrap(),
+            Value::Text("Other".into())
+        );
+        assert_eq!(
+            r.generalize(&Value::Text("Black".into()), 1).unwrap(),
+            Value::Text("Black".into())
+        );
+        assert_eq!(
+            r.generalize(&Value::Text("Black".into()), 2).unwrap(),
+            Value::Text("Other".into())
+        );
+        assert_eq!(
+            r.generalize(&Value::Text("White".into()), 2).unwrap(),
+            Value::Text("White".into())
+        );
+        assert_eq!(
+            r.generalize(&Value::Text("White".into()), 3).unwrap(),
+            Value::Text("*".into())
+        );
+    }
+
+    #[test]
+    fn zipcode_prefixes() {
+        let z = figure1_zipcode();
+        assert_eq!(z.generalize("48201", 1).unwrap(), "48***");
+        assert_eq!(z.generalize("48201", 2).unwrap(), "*****");
+    }
+}

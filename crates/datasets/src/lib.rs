@@ -1,0 +1,20 @@
+//! # psens-datasets
+//!
+//! Data for reproducing the paper's examples and experiments:
+//!
+//! - [`paper`]: verbatim fixtures of Tables 1–3, Figure 3's microdata, and
+//!   Example 1's 1,000-tuple dataset (exact Table 5 frequencies).
+//! - [`hierarchies`]: the Figure 1/2 ZipCode & Sex hierarchies and the
+//!   Table 7 Adult hierarchies (96-node lattice, height 9).
+//! - [`adult`]: a deterministic synthetic UCI-Adult generator matching the
+//!   published census marginals — the offline substitute for the dataset the
+//!   paper downloaded from the UCI repository (DESIGN.md §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adult;
+pub mod hierarchies;
+pub mod paper;
+
+pub use adult::{paper_samples, AdultGenerator};

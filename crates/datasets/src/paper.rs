@@ -1,0 +1,225 @@
+//! Verbatim fixtures of every worked example in the paper.
+
+use psens_microdata::{table_from_str_rows, Attribute, Schema, Table, TableBuilder, Value};
+
+/// Paper **Table 1**: patient masked microdata satisfying 2-anonymity.
+///
+/// Age holds decade labels ("the Age attribute was generalized to multiples
+/// of 10"), so the column is categorical in the masked release.
+pub fn table1_patients() -> Table {
+    let schema = Schema::new(vec![
+        Attribute::cat_key("Age"),
+        Attribute::cat_key("ZipCode"),
+        Attribute::cat_key("Sex"),
+        Attribute::cat_confidential("Illness"),
+    ])
+    .expect("valid schema");
+    table_from_str_rows(
+        schema,
+        &[
+            &["50", "43102", "M", "Colon Cancer"],
+            &["30", "43102", "F", "Breast Cancer"],
+            &["30", "43102", "F", "HIV"],
+            &["20", "43102", "M", "Diabetes"],
+            &["20", "43102", "M", "Diabetes"],
+            &["50", "43102", "M", "Heart Disease"],
+        ],
+    )
+    .expect("fixture is well-formed")
+}
+
+/// Paper **Table 2**: the intruder's external information.
+pub fn table2_external() -> Table {
+    let schema = Schema::new(vec![
+        Attribute::cat_identifier("Name"),
+        Attribute::int_key("Age"),
+        Attribute::cat_key("Sex"),
+        Attribute::cat_key("ZipCode"),
+    ])
+    .expect("valid schema");
+    table_from_str_rows(
+        schema,
+        &[
+            &["Sam", "29", "M", "43102"],
+            &["Gloria", "38", "F", "43102"],
+            &["Adam", "51", "M", "43102"],
+            &["Eric", "29", "M", "43102"],
+            &["Tanisha", "34", "F", "43102"],
+            &["Don", "51", "M", "43102"],
+        ],
+    )
+    .expect("fixture is well-formed")
+}
+
+/// Paper **Table 3**: masked microdata satisfying 1-sensitive 3-anonymity
+/// (the first group has two illnesses but a single income).
+pub fn table3_psensitive_example() -> Table {
+    let schema = Schema::new(vec![
+        Attribute::cat_key("Age"),
+        Attribute::cat_key("ZipCode"),
+        Attribute::cat_key("Sex"),
+        Attribute::cat_confidential("Illness"),
+        Attribute::int_confidential("Income"),
+    ])
+    .expect("valid schema");
+    table_from_str_rows(
+        schema,
+        &[
+            &["20", "43102", "F", "AIDS", "50000"],
+            &["20", "43102", "F", "AIDS", "50000"],
+            &["20", "43102", "F", "Diabetes", "50000"],
+            &["30", "43102", "M", "Diabetes", "30000"],
+            &["30", "43102", "M", "Diabetes", "40000"],
+            &["30", "43102", "M", "Heart Disease", "30000"],
+            &["30", "43102", "M", "Heart Disease", "40000"],
+        ],
+    )
+    .expect("fixture is well-formed")
+}
+
+/// Paper **Table 3, amended**: "If the first tuple would have a different
+/// value for income (such as 40,000) ... the value of p would be 2."
+pub fn table3_fixed() -> Table {
+    let schema = table3_psensitive_example().schema().clone();
+    table_from_str_rows(
+        schema,
+        &[
+            &["20", "43102", "F", "AIDS", "40000"],
+            &["20", "43102", "F", "AIDS", "50000"],
+            &["20", "43102", "F", "Diabetes", "50000"],
+            &["30", "43102", "M", "Diabetes", "30000"],
+            &["30", "43102", "M", "Diabetes", "40000"],
+            &["30", "43102", "M", "Heart Disease", "30000"],
+            &["30", "43102", "M", "Heart Disease", "40000"],
+        ],
+    )
+    .expect("fixture is well-formed")
+}
+
+/// Paper **Figure 3**: the 10-tuple (Sex, ZipCode) initial microdata used
+/// for the minimal-generalization-with-suppression walkthrough (Table 4).
+///
+/// An `Illness` confidential attribute is attached (the paper's figure shows
+/// only the key attributes; the sensitivity side needs at least one
+/// confidential attribute to be non-vacuous).
+pub fn figure3_microdata() -> Table {
+    let schema = Schema::new(vec![
+        Attribute::cat_key("Sex"),
+        Attribute::cat_key("ZipCode"),
+        Attribute::cat_confidential("Illness"),
+    ])
+    .expect("valid schema");
+    table_from_str_rows(
+        schema,
+        &[
+            &["M", "41076", "Flu"],
+            &["F", "41099", "HIV"],
+            &["M", "41099", "Asthma"],
+            &["M", "41076", "HIV"],
+            &["F", "43102", "Flu"],
+            &["M", "43102", "Asthma"],
+            &["M", "43102", "HIV"],
+            &["F", "43103", "Flu"],
+            &["M", "48202", "Asthma"],
+            &["M", "48201", "Flu"],
+        ],
+    )
+    .expect("fixture is well-formed")
+}
+
+/// Paper **Example 1 / Tables 5–6**: a 1,000-tuple microdata whose three
+/// confidential attributes have exactly the frequency sets of Table 5
+/// (`S1`: 300/300/200/100/100; `S2`: 500/300/100/40/35/25; `S3`:
+/// 700/200/50/10/10/10/10/5/3/2).
+///
+/// Two key attributes are included as the example prescribes; their values
+/// cycle so group structure is available if needed.
+pub fn example1_microdata() -> Table {
+    let schema = Schema::new(vec![
+        Attribute::cat_key("K1"),
+        Attribute::cat_key("K2"),
+        Attribute::cat_confidential("S1"),
+        Attribute::cat_confidential("S2"),
+        Attribute::cat_confidential("S3"),
+    ])
+    .expect("valid schema");
+    let f1: &[usize] = &[300, 300, 200, 100, 100];
+    let f2: &[usize] = &[500, 300, 100, 40, 35, 25];
+    let f3: &[usize] = &[700, 200, 50, 10, 10, 10, 10, 5, 3, 2];
+    let expand = |freqs: &[usize]| -> Vec<String> {
+        freqs
+            .iter()
+            .enumerate()
+            .flat_map(|(v, &count)| std::iter::repeat_n(format!("v{v}"), count))
+            .collect()
+    };
+    let (c1, c2, c3) = (expand(f1), expand(f2), expand(f3));
+    let mut builder = TableBuilder::new(schema);
+    for i in 0..1000 {
+        builder
+            .push_row(vec![
+                Value::Text(format!("k{}", i % 4)),
+                Value::Text(format!("g{}", i % 2)),
+                Value::Text(c1[i].clone()),
+                Value::Text(c2[i].clone()),
+                Value::Text(c3[i].clone()),
+            ])
+            .expect("fixture row is valid");
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let t = table1_patients();
+        assert_eq!(t.n_rows(), 6);
+        assert_eq!(t.schema().key_indices(), vec![0, 1, 2]);
+        assert_eq!(t.schema().confidential_indices(), vec![3]);
+    }
+
+    #[test]
+    fn table2_shape() {
+        let t = table2_external();
+        assert_eq!(t.n_rows(), 6);
+        assert_eq!(t.schema().identifier_indices(), vec![0]);
+        assert_eq!(t.value(0, 0), Value::Text("Sam".into()));
+        assert_eq!(t.value(2, 1), Value::Int(51));
+    }
+
+    #[test]
+    fn table3_shapes() {
+        assert_eq!(table3_psensitive_example().n_rows(), 7);
+        assert_eq!(table3_fixed().n_rows(), 7);
+        assert_eq!(
+            table3_psensitive_example().schema().confidential_indices(),
+            vec![3, 4]
+        );
+    }
+
+    #[test]
+    fn figure3_shape() {
+        let t = figure3_microdata();
+        assert_eq!(t.n_rows(), 10);
+        assert_eq!(t.schema().key_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn example1_has_exact_frequencies() {
+        use psens_microdata::FrequencySet;
+        let t = example1_microdata();
+        assert_eq!(t.n_rows(), 1000);
+        let fs = FrequencySet::of_attribute(&t, "S1").unwrap();
+        assert_eq!(fs.descending_counts(), vec![300, 300, 200, 100, 100]);
+        let fs = FrequencySet::of_attribute(&t, "S2").unwrap();
+        assert_eq!(fs.descending_counts(), vec![500, 300, 100, 40, 35, 25]);
+        let fs = FrequencySet::of_attribute(&t, "S3").unwrap();
+        assert_eq!(
+            fs.descending_counts(),
+            vec![700, 200, 50, 10, 10, 10, 10, 5, 3, 2]
+        );
+    }
+}

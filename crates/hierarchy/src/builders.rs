@@ -1,0 +1,218 @@
+//! Convenience constructors for common hierarchy shapes.
+
+use crate::error::Result;
+use crate::hierarchy::{CatHierarchy, Hierarchy, IntHierarchy, IntLevel};
+
+/// Prefix-truncation hierarchy for code-like strings (the paper's ZipCode
+/// example, Figure 1). Each level keeps the first `keep[i]` characters and
+/// pads the rest with `*` to the original length; `keep = 0` yields all `*`.
+///
+/// Values of differing lengths are supported; padding matches each value.
+pub fn prefix_hierarchy<S: Into<String> + AsRef<str>>(
+    ground: Vec<S>,
+    keep: &[usize],
+) -> Result<CatHierarchy> {
+    /// One prefix-truncation level, boxed so levels with different `keep`
+    /// lengths share a slice type.
+    type LevelFn = Box<dyn Fn(&str) -> String>;
+    let fns: Vec<LevelFn> = keep
+        .iter()
+        .map(|&k| {
+            Box::new(move |s: &str| {
+                let chars: Vec<char> = s.chars().collect();
+                let kept = k.min(chars.len());
+                let mut out: String = chars[..kept].iter().collect();
+                for _ in kept..chars.len() {
+                    out.push('*');
+                }
+                out
+            }) as LevelFn
+        })
+        .collect();
+    CatHierarchy::from_functions(ground, &fns)
+}
+
+/// Uniform-width range level for integers: cuts at `lo + width`, `lo + 2w`,
+/// ..., up to (and excluding values `>= hi`), with labels `"<lo+w>"` style:
+/// the leftmost bin is `"<{first}"`, interior bins `"{a}-{b}"` (inclusive),
+/// and the rightmost `">={last}"`.
+pub fn uniform_ranges(lo: i64, hi: i64, width: i64) -> IntLevel {
+    assert!(width > 0, "width must be positive");
+    assert!(hi > lo, "hi must exceed lo");
+    let mut cuts = Vec::new();
+    let mut c = lo + width;
+    while c < hi {
+        cuts.push(c);
+        c += width;
+    }
+    if cuts.is_empty() {
+        cuts.push(lo + width);
+    }
+    let mut labels = Vec::with_capacity(cuts.len() + 1);
+    labels.push(format!("<{}", cuts[0]));
+    for pair in cuts.windows(2) {
+        labels.push(format!("{}-{}", pair[0], pair[1] - 1));
+    }
+    labels.push(format!(">={}", cuts[cuts.len() - 1]));
+    IntLevel::Ranges { cuts, labels }
+}
+
+/// Threshold-split level: one cut, labels `"<c"` and `">=c"` (the paper's
+/// Table 7 second Age generalization, "<50 and >50 groups").
+pub fn threshold_split(cut: i64) -> IntLevel {
+    IntLevel::Ranges {
+        cuts: vec![cut],
+        labels: vec![format!("<{cut}"), format!(">={cut}")],
+    }
+}
+
+/// Integer hierarchy: uniform ranges, then a threshold split, then one group.
+/// The threshold must be one of the uniform cuts (nesting requirement).
+pub fn int_hierarchy_ranges_then_split(
+    lo: i64,
+    hi: i64,
+    width: i64,
+    split: i64,
+) -> Result<Hierarchy> {
+    Ok(Hierarchy::Int(IntHierarchy::new(vec![
+        uniform_ranges(lo, hi, width),
+        threshold_split(split),
+        IntLevel::Single("*".into()),
+    ])?))
+}
+
+/// Categorical hierarchy built from explicit grouping tables: level `i + 1`
+/// maps each label of level `i` to a coarser label. The final level need not
+/// be a single group; push one with [`CatHierarchy::push_top`] if desired.
+pub fn grouping_hierarchy<S: Into<String>>(
+    ground: Vec<S>,
+    levels: &[&[(&str, &str)]],
+) -> Result<CatHierarchy> {
+    let mut h = CatHierarchy::identity(ground)?;
+    for level in levels {
+        h = h.push_level(level.iter().copied())?;
+    }
+    Ok(h)
+}
+
+/// Two-domain hierarchy: the ground values and a single `*` group — the
+/// paper's Sex hierarchy (Figure 1, Table 7).
+pub fn flat_hierarchy<S: Into<String>>(ground: Vec<S>) -> Result<Hierarchy> {
+    Ok(Hierarchy::Cat(
+        CatHierarchy::identity(ground)?.push_top("*")?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::Value;
+
+    #[test]
+    fn prefix_hierarchy_matches_figure1() {
+        let h = prefix_hierarchy(vec!["41076", "41099", "43102"], &[2, 0]).unwrap();
+        assert_eq!(h.n_levels(), 3);
+        assert_eq!(h.generalize("41076", 1).unwrap(), "41***");
+        assert_eq!(h.generalize("43102", 1).unwrap(), "43***");
+        assert_eq!(h.generalize("41076", 2).unwrap(), "*****");
+    }
+
+    #[test]
+    fn prefix_hierarchy_digit_at_a_time() {
+        // The paper notes ZipCode could instead have six domains, dropping
+        // one digit per level.
+        let h = prefix_hierarchy(vec!["41076", "41099"], &[4, 3, 2, 1, 0]).unwrap();
+        assert_eq!(h.n_levels(), 6);
+        assert_eq!(h.generalize("41076", 1).unwrap(), "4107*");
+        assert_eq!(h.generalize("41076", 4).unwrap(), "4****");
+        assert_eq!(h.generalize("41076", 5).unwrap(), "*****");
+    }
+
+    #[test]
+    fn uniform_ranges_labels() {
+        let level = uniform_ranges(17, 91, 10);
+        if let IntLevel::Ranges { cuts, labels } = &level {
+            assert_eq!(cuts, &[27, 37, 47, 57, 67, 77, 87]);
+            assert_eq!(labels[0], "<27");
+            assert_eq!(labels[1], "27-36");
+            assert_eq!(labels.last().unwrap(), ">=87");
+            assert_eq!(labels.len(), cuts.len() + 1);
+        } else {
+            panic!("expected ranges");
+        }
+    }
+
+    #[test]
+    fn uniform_ranges_degenerate_width() {
+        // hi - lo <= width still yields one cut / two bins.
+        let level = uniform_ranges(0, 5, 10);
+        if let IntLevel::Ranges { cuts, labels } = &level {
+            assert_eq!(cuts, &[10]);
+            assert_eq!(labels.len(), 2);
+        } else {
+            panic!("expected ranges");
+        }
+    }
+
+    #[test]
+    fn ranges_then_split_hierarchy() {
+        let h = int_hierarchy_ranges_then_split(0, 100, 10, 50).unwrap();
+        assert_eq!(h.n_levels(), 4);
+        assert_eq!(
+            h.generalize(&Value::Int(42), 1).unwrap(),
+            Value::Text("40-49".into())
+        );
+        assert_eq!(
+            h.generalize(&Value::Int(42), 2).unwrap(),
+            Value::Text("<50".into())
+        );
+        assert_eq!(
+            h.generalize(&Value::Int(42), 3).unwrap(),
+            Value::Text("*".into())
+        );
+        // Non-nested split rejected.
+        assert!(int_hierarchy_ranges_then_split(0, 100, 10, 55).is_err());
+    }
+
+    #[test]
+    fn grouping_hierarchy_marital_status() {
+        // Paper Table 7: MaritalStatus -> {Single, Married} -> one group.
+        let h = grouping_hierarchy(
+            vec![
+                "Never-married",
+                "Married-civ-spouse",
+                "Divorced",
+                "Separated",
+                "Widowed",
+                "Married-spouse-absent",
+                "Married-AF-spouse",
+            ],
+            &[&[
+                ("Never-married", "Single"),
+                ("Married-civ-spouse", "Married"),
+                ("Divorced", "Single"),
+                ("Separated", "Single"),
+                ("Widowed", "Single"),
+                ("Married-spouse-absent", "Married"),
+                ("Married-AF-spouse", "Married"),
+            ]],
+        )
+        .unwrap()
+        .push_top("*")
+        .unwrap();
+        assert_eq!(h.n_levels(), 3);
+        assert_eq!(h.generalize("Divorced", 1).unwrap(), "Single");
+        assert_eq!(h.generalize("Married-AF-spouse", 1).unwrap(), "Married");
+        assert_eq!(h.generalize("Widowed", 2).unwrap(), "*");
+    }
+
+    #[test]
+    fn flat_hierarchy_sex() {
+        let h = flat_hierarchy(vec!["M", "F"]).unwrap();
+        assert_eq!(h.n_levels(), 2);
+        assert_eq!(
+            h.generalize(&Value::Text("M".into()), 1).unwrap(),
+            Value::Text("*".into())
+        );
+    }
+}

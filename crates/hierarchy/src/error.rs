@@ -1,0 +1,137 @@
+//! Error types for hierarchy construction and application.
+
+use std::fmt;
+
+/// Errors produced when building or applying generalization hierarchies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A requested generalization level exceeds the hierarchy's height.
+    LevelOutOfRange {
+        /// Requested level.
+        level: usize,
+        /// Number of levels the hierarchy defines (valid levels are
+        /// `0..n_levels`).
+        n_levels: usize,
+    },
+    /// A ground value was not found in the hierarchy's domain.
+    UnknownValue(String),
+    /// A level mapping does not cover some label of the previous level.
+    IncompleteLevel {
+        /// Level whose mapping is incomplete.
+        level: usize,
+        /// A label left unmapped.
+        missing: String,
+    },
+    /// Consecutive levels are not nested (a finer bin straddles two coarser
+    /// bins), so the chain is not a valid domain generalization hierarchy.
+    NotACoarsening {
+        /// Level at which nesting fails.
+        level: usize,
+        /// Description of the offending boundary or label.
+        detail: String,
+    },
+    /// A hierarchy was applied to a column of the wrong kind.
+    KindMismatch {
+        /// What the hierarchy generalizes.
+        expected: &'static str,
+        /// What the column stores.
+        found: &'static str,
+    },
+    /// A hierarchy definition was structurally invalid.
+    Invalid(String),
+    /// Error bubbled up from the microdata layer.
+    Microdata(psens_microdata::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::LevelOutOfRange { level, n_levels } => write!(
+                f,
+                "level {level} out of range; hierarchy has {n_levels} levels"
+            ),
+            Error::UnknownValue(v) => write!(f, "value `{v}` is not in the hierarchy's domain"),
+            Error::IncompleteLevel { level, missing } => {
+                write!(f, "level {level} does not map label `{missing}`")
+            }
+            Error::NotACoarsening { level, detail } => {
+                write!(f, "level {level} is not a coarsening: {detail}")
+            }
+            Error::KindMismatch { expected, found } => {
+                write!(f, "hierarchy generalizes {expected} but column holds {found}")
+            }
+            Error::Invalid(msg) => write!(f, "invalid hierarchy: {msg}"),
+            Error::Microdata(e) => write!(f, "microdata error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Microdata(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<psens_microdata::Error> for Error {
+    fn from(e: psens_microdata::Error) -> Self {
+        Error::Microdata(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::LevelOutOfRange {
+                    level: 4,
+                    n_levels: 3,
+                },
+                "level 4",
+            ),
+            (Error::UnknownValue("48210".into()), "48210"),
+            (
+                Error::IncompleteLevel {
+                    level: 2,
+                    missing: "Widowed".into(),
+                },
+                "Widowed",
+            ),
+            (
+                Error::NotACoarsening {
+                    level: 1,
+                    detail: "cut 25 splits bin 20-29".into(),
+                },
+                "not a coarsening",
+            ),
+            (
+                Error::KindMismatch {
+                    expected: "integers",
+                    found: "text",
+                },
+                "generalizes integers",
+            ),
+            (Error::Invalid("empty domain".into()), "empty domain"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn microdata_error_converts_with_source() {
+        let inner = psens_microdata::Error::UnknownAttribute("Zip".into());
+        let err: Error = inner.into();
+        assert!(err.to_string().contains("Zip"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

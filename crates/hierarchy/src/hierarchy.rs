@@ -1,0 +1,694 @@
+//! Domain and value generalization hierarchies (paper Section 3, Figure 1).
+//!
+//! A *domain generalization hierarchy* (DGH) is a totally ordered chain of
+//! domains for one attribute — e.g. `Z0 = {41076, 41099, ...}` up to
+//! `Z2 = {*****}` for ZipCode. The per-value edges form the *value
+//! generalization hierarchy* (VGH) tree. [`CatHierarchy`] and
+//! [`IntHierarchy`] represent both at once: level 0 is the ground domain and
+//! each higher level maps every value to its ancestor label.
+
+use crate::error::{Error, Result};
+use psens_microdata::{CatColumn, Column, Dictionary, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One generalized level of a categorical hierarchy: its labels and, for each
+/// ground value, the label it maps to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct CatLevel {
+    labels: Vec<String>,
+    of_ground: Vec<u32>,
+}
+
+/// A generalization hierarchy over an enumerated categorical domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatHierarchy {
+    ground: Vec<String>,
+    levels: Vec<CatLevel>,
+}
+
+impl CatHierarchy {
+    /// A hierarchy with only the ground domain (no generalization possible).
+    pub fn identity<I, S>(ground: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let ground: Vec<String> = ground.into_iter().map(Into::into).collect();
+        if ground.is_empty() {
+            return Err(Error::Invalid("empty ground domain".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for g in &ground {
+            if !seen.insert(g.clone()) {
+                return Err(Error::Invalid(format!("duplicate ground value `{g}`")));
+            }
+        }
+        Ok(CatHierarchy {
+            ground,
+            levels: Vec::new(),
+        })
+    }
+
+    /// Extends the hierarchy with one level defined by a mapping from the
+    /// *previous* level's labels to new labels (the DGH edge `D_l -> D_{l+1}`).
+    ///
+    /// Every previous label must be mapped; new labels are deduplicated in
+    /// first-appearance order. Chaining construction makes each level a
+    /// coarsening of the one below by construction.
+    pub fn push_level<'a, I>(mut self, mapping: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let map: BTreeMap<&str, &str> = mapping.into_iter().collect();
+        let prev_labels: Vec<String> = match self.levels.last() {
+            Some(level) => level.labels.clone(),
+            None => self.ground.clone(),
+        };
+        let mut labels: Vec<String> = Vec::new();
+        let mut label_index: BTreeMap<String, u32> = BTreeMap::new();
+        let mut prev_to_new: Vec<u32> = Vec::with_capacity(prev_labels.len());
+        let level_no = self.levels.len() + 1;
+        for prev in &prev_labels {
+            let next = map
+                .get(prev.as_str())
+                .ok_or_else(|| Error::IncompleteLevel {
+                    level: level_no,
+                    missing: prev.clone(),
+                })?;
+            let idx = *label_index.entry((*next).to_owned()).or_insert_with(|| {
+                labels.push((*next).to_owned());
+                (labels.len() - 1) as u32
+            });
+            prev_to_new.push(idx);
+        }
+        // Compose: ground -> prev level -> new level.
+        let of_ground = match self.levels.last() {
+            Some(level) => level
+                .of_ground
+                .iter()
+                .map(|&p| prev_to_new[p as usize])
+                .collect(),
+            None => prev_to_new,
+        };
+        self.levels.push(CatLevel { labels, of_ground });
+        Ok(self)
+    }
+
+    /// Appends a top level mapping everything to the single label `label`
+    /// (conventionally `*` — total suppression of the attribute).
+    pub fn push_top(self, label: &str) -> Result<Self> {
+        let prev: Vec<String> = match self.levels.last() {
+            Some(level) => level.labels.clone(),
+            None => self.ground.clone(),
+        };
+        let pairs: Vec<(&str, &str)> = prev.iter().map(|p| (p.as_str(), label)).collect();
+        self.push_level(pairs)
+    }
+
+    /// Builds levels by applying one function per level directly to ground
+    /// values. Validates the coarsening property: values that share a label
+    /// at level `l` must share a label at level `l + 1`.
+    pub fn from_functions<S, F>(ground: Vec<S>, level_fns: &[F]) -> Result<Self>
+    where
+        S: Into<String>,
+        F: Fn(&str) -> String,
+    {
+        let mut hierarchy = CatHierarchy::identity(ground)?;
+        for f in level_fns {
+            let pairs: Vec<(String, String)> = {
+                let prev_labels: Vec<String> = match hierarchy.levels.last() {
+                    Some(level) => level.labels.clone(),
+                    None => hierarchy.ground.clone(),
+                };
+                // For a function of the ground value to induce a well-defined
+                // map on the previous level's labels, all ground values under
+                // one previous label must map to one new label.
+                let mut label_of_prev: BTreeMap<String, String> = BTreeMap::new();
+                for (gi, g) in hierarchy.ground.iter().enumerate() {
+                    let prev = match hierarchy.levels.last() {
+                        Some(level) => prev_labels[level.of_ground[gi] as usize].clone(),
+                        None => g.clone(),
+                    };
+                    let new = f(g);
+                    match label_of_prev.get(&prev) {
+                        Some(existing) if *existing != new => {
+                            return Err(Error::NotACoarsening {
+                                level: hierarchy.levels.len() + 1,
+                                detail: format!(
+                                    "label `{prev}` maps to both `{existing}` and `{new}`"
+                                ),
+                            });
+                        }
+                        Some(_) => {}
+                        None => {
+                            label_of_prev.insert(prev, new);
+                        }
+                    }
+                }
+                label_of_prev.into_iter().collect()
+            };
+            let borrowed: Vec<(&str, &str)> = pairs
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            hierarchy = hierarchy.push_level(borrowed)?;
+        }
+        Ok(hierarchy)
+    }
+
+    /// The ground domain, in declaration order.
+    pub fn ground(&self) -> &[String] {
+        &self.ground
+    }
+
+    /// Number of domains in the DGH chain (ground included), i.e. valid
+    /// levels are `0..n_levels()`.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Labels of the domain at `level` (level 0 is the ground domain).
+    pub fn labels_at(&self, level: usize) -> Result<Vec<String>> {
+        match level.checked_sub(1) {
+            None => Ok(self.ground.clone()),
+            Some(l) => self
+                .levels
+                .get(l)
+                .map(|lv| lv.labels.clone())
+                .ok_or(Error::LevelOutOfRange {
+                    level,
+                    n_levels: self.n_levels(),
+                }),
+        }
+    }
+
+    /// Generalizes one ground value to its label at `level`.
+    pub fn generalize(&self, value: &str, level: usize) -> Result<String> {
+        let gi = self
+            .ground
+            .iter()
+            .position(|g| g == value)
+            .ok_or_else(|| Error::UnknownValue(value.to_owned()))?;
+        match level.checked_sub(1) {
+            None => Ok(value.to_owned()),
+            Some(l) => {
+                let lv = self.levels.get(l).ok_or(Error::LevelOutOfRange {
+                    level,
+                    n_levels: self.n_levels(),
+                })?;
+                Ok(lv.labels[lv.of_ground[gi] as usize].clone())
+            }
+        }
+    }
+}
+
+/// One generalized level of an integer hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntLevel {
+    /// Half-open bins: `(-inf, cuts[0])`, `[cuts[0], cuts[1])`, ...,
+    /// `[cuts[last], +inf)`. `labels.len()` must equal `cuts.len() + 1`.
+    Ranges {
+        /// Ascending cut points.
+        cuts: Vec<i64>,
+        /// One label per bin.
+        labels: Vec<String>,
+    },
+    /// Everything maps to one label (total suppression).
+    Single(String),
+}
+
+impl IntLevel {
+    fn n_bins(&self) -> usize {
+        match self {
+            IntLevel::Ranges { labels, .. } => labels.len(),
+            IntLevel::Single(_) => 1,
+        }
+    }
+
+    fn label_of(&self, v: i64) -> &str {
+        match self {
+            IntLevel::Ranges { cuts, labels } => {
+                let bin = cuts.partition_point(|&c| c <= v);
+                &labels[bin]
+            }
+            IntLevel::Single(label) => label,
+        }
+    }
+}
+
+/// A generalization hierarchy over 64-bit integers.
+///
+/// Level 0 is the identity (the raw integers); higher levels coarsen into
+/// ranges and finally a single group. Consecutive range levels must be
+/// nested: every cut of level `l + 1` must also be a cut of level `l`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntHierarchy {
+    levels: Vec<IntLevel>,
+}
+
+impl IntHierarchy {
+    /// Builds an integer hierarchy from its generalized levels (level 0, the
+    /// identity, is implicit). Validates nesting and label arity.
+    pub fn new(levels: Vec<IntLevel>) -> Result<Self> {
+        for (i, level) in levels.iter().enumerate() {
+            if let IntLevel::Ranges { cuts, labels } = level {
+                if labels.len() != cuts.len() + 1 {
+                    return Err(Error::Invalid(format!(
+                        "level {}: {} cuts need {} labels, got {}",
+                        i + 1,
+                        cuts.len(),
+                        cuts.len() + 1,
+                        labels.len()
+                    )));
+                }
+                if cuts.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(Error::Invalid(format!(
+                        "level {}: cuts must be strictly ascending",
+                        i + 1
+                    )));
+                }
+                if cuts.is_empty() {
+                    return Err(Error::Invalid(format!(
+                        "level {}: a Ranges level needs at least one cut",
+                        i + 1
+                    )));
+                }
+            }
+        }
+        for (i, pair) in levels.windows(2).enumerate() {
+            match (&pair[0], &pair[1]) {
+                (IntLevel::Ranges { cuts: fine, .. }, IntLevel::Ranges { cuts: coarse, .. }) => {
+                    for c in coarse {
+                        if !fine.contains(c) {
+                            return Err(Error::NotACoarsening {
+                                level: i + 2,
+                                detail: format!("cut {c} is not a cut of level {}", i + 1),
+                            });
+                        }
+                    }
+                    if coarse.len() >= fine.len() {
+                        return Err(Error::NotACoarsening {
+                            level: i + 2,
+                            detail: "coarser level must have strictly fewer bins".into(),
+                        });
+                    }
+                }
+                (IntLevel::Single(_), IntLevel::Ranges { .. }) => {
+                    return Err(Error::NotACoarsening {
+                        level: i + 2,
+                        detail: "ranges cannot follow total suppression".into(),
+                    });
+                }
+                (IntLevel::Ranges { .. }, IntLevel::Single(_))
+                | (IntLevel::Single(_), IntLevel::Single(_)) => {}
+            }
+        }
+        Ok(IntHierarchy { levels })
+    }
+
+    /// Number of domains in the DGH chain (identity level included).
+    pub fn n_levels(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Number of bins at `level` (`None` at level 0, whose domain is ℤ).
+    pub fn n_bins_at(&self, level: usize) -> Option<usize> {
+        level
+            .checked_sub(1)
+            .and_then(|l| self.levels.get(l))
+            .map(IntLevel::n_bins)
+    }
+
+    /// Generalizes `v` to its label at `level`.
+    pub fn generalize(&self, v: i64, level: usize) -> Result<Value> {
+        match level.checked_sub(1) {
+            None => Ok(Value::Int(v)),
+            Some(l) => {
+                let lv = self.levels.get(l).ok_or(Error::LevelOutOfRange {
+                    level,
+                    n_levels: self.n_levels(),
+                })?;
+                Ok(Value::Text(lv.label_of(v).to_owned()))
+            }
+        }
+    }
+}
+
+/// A generalization hierarchy for either attribute kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Hierarchy {
+    /// Hierarchy over an enumerated categorical domain.
+    Cat(CatHierarchy),
+    /// Hierarchy over integers.
+    Int(IntHierarchy),
+}
+
+impl Hierarchy {
+    /// Number of domains in the DGH chain; valid levels are `0..n_levels()`.
+    pub fn n_levels(&self) -> usize {
+        match self {
+            Hierarchy::Cat(h) => h.n_levels(),
+            Hierarchy::Int(h) => h.n_levels(),
+        }
+    }
+
+    /// The highest level (`n_levels() - 1`).
+    pub fn max_level(&self) -> usize {
+        self.n_levels() - 1
+    }
+
+    /// Generalizes a single value. Missing stays missing at every level.
+    pub fn generalize(&self, value: &Value, level: usize) -> Result<Value> {
+        match (self, value) {
+            (_, Value::Missing) => Ok(Value::Missing),
+            (Hierarchy::Cat(h), Value::Text(s)) => {
+                Ok(Value::Text(h.generalize(s, level)?))
+            }
+            (Hierarchy::Int(h), Value::Int(v)) => h.generalize(*v, level),
+            (Hierarchy::Cat(_), other) => Err(Error::KindMismatch {
+                expected: "text",
+                found: other.kind_name(),
+            }),
+            (Hierarchy::Int(_), other) => Err(Error::KindMismatch {
+                expected: "integers",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Recodes a whole column to `level`.
+    ///
+    /// Level 0 returns a clone. Higher levels always produce a categorical
+    /// column of ancestor labels (an integer column generalized to ranges
+    /// becomes text like `"20-29"`). The recode is a code-to-code remap:
+    /// ground values are resolved through the dictionary (or a value cache
+    /// for integers) once, not per row.
+    pub fn apply(&self, column: &Column, level: usize) -> Result<Column> {
+        if level == 0 {
+            if level >= self.n_levels() {
+                return Err(Error::LevelOutOfRange {
+                    level,
+                    n_levels: self.n_levels(),
+                });
+            }
+            return Ok(column.clone());
+        }
+        match (self, column) {
+            (Hierarchy::Cat(h), Column::Cat(col)) => {
+                // Map each *used* dictionary code to its ancestor label's
+                // code, lazily: gathered columns may carry dictionary entries
+                // with zero occurrences, which need not be in the hierarchy.
+                let mut target = Dictionary::new();
+                let source = col.dictionary();
+                let mut remap: Vec<Option<u32>> = vec![None; source.len()];
+                let mut out = CatColumn::new();
+                for row in 0..col.len() {
+                    match col.code_at(row) {
+                        Some(code) => {
+                            let mapped = match remap[code as usize] {
+                                Some(m) => m,
+                                None => {
+                                    let text =
+                                        source.text(code).expect("code from this dictionary");
+                                    let label = h.generalize(text, level)?;
+                                    let m = target.intern(&label);
+                                    remap[code as usize] = Some(m);
+                                    m
+                                }
+                            };
+                            let label = target
+                                .text(mapped)
+                                .expect("interned above")
+                                .to_owned();
+                            out.push(&label);
+                        }
+                        None => out.push_missing(),
+                    }
+                }
+                Ok(Column::Cat(out))
+            }
+            (Hierarchy::Int(h), Column::Int(col)) => {
+                let mut cache: std::collections::HashMap<i64, String> = Default::default();
+                let mut out = CatColumn::new();
+                for row in 0..col.len() {
+                    match col.get(row) {
+                        Some(v) => {
+                            let label = match cache.entry(v) {
+                                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    match h.generalize(v, level)? {
+                                        Value::Text(s) => e.insert(s),
+                                        _ => unreachable!("level >= 1 yields text"),
+                                    }
+                                }
+                            };
+                            out.push(label);
+                        }
+                        None => out.push_missing(),
+                    }
+                }
+                Ok(Column::Cat(out))
+            }
+            (Hierarchy::Cat(_), Column::Int(_)) => Err(Error::KindMismatch {
+                expected: "text",
+                found: "integer",
+            }),
+            (Hierarchy::Int(_), Column::Cat(_)) => Err(Error::KindMismatch {
+                expected: "integers",
+                found: "text",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::IntColumn;
+
+    /// The paper's Figure 1 ZipCode hierarchy: 5-digit -> 2-digit prefix -> *.
+    fn zip_hierarchy() -> CatHierarchy {
+        crate::builders::prefix_hierarchy(
+            vec!["41076", "41099", "43102", "43103", "48201", "48202"],
+            &[2, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zip_levels() {
+        let h = zip_hierarchy();
+        assert_eq!(h.n_levels(), 3);
+        assert_eq!(h.generalize("41076", 0).unwrap(), "41076");
+        assert_eq!(h.generalize("41076", 1).unwrap(), "41***");
+        assert_eq!(h.generalize("41099", 1).unwrap(), "41***");
+        assert_eq!(h.generalize("43102", 1).unwrap(), "43***");
+        assert_eq!(h.generalize("43102", 2).unwrap(), "*****");
+        assert_eq!(
+            h.labels_at(1).unwrap(),
+            vec!["41***", "43***", "48***"]
+        );
+        assert_eq!(h.labels_at(2).unwrap(), vec!["*****"]);
+    }
+
+    #[test]
+    fn unknown_value_and_level_errors() {
+        let h = zip_hierarchy();
+        assert!(matches!(
+            h.generalize("99999", 1),
+            Err(Error::UnknownValue(_))
+        ));
+        assert!(matches!(
+            h.generalize("41076", 3),
+            Err(Error::LevelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            h.labels_at(9),
+            Err(Error::LevelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn chained_levels_via_push() {
+        // The paper's Figure 1 Sex hierarchy: {M, F} -> {*}.
+        let h = CatHierarchy::identity(["M", "F"])
+            .unwrap()
+            .push_top("*")
+            .unwrap();
+        assert_eq!(h.n_levels(), 2);
+        assert_eq!(h.generalize("M", 1).unwrap(), "*");
+        assert_eq!(h.generalize("F", 1).unwrap(), "*");
+    }
+
+    #[test]
+    fn incomplete_level_rejected() {
+        let result = CatHierarchy::identity(["M", "F"])
+            .unwrap()
+            .push_level([("M", "*")]);
+        assert!(matches!(result, Err(Error::IncompleteLevel { .. })));
+    }
+
+    #[test]
+    fn duplicate_ground_rejected() {
+        assert!(matches!(
+            CatHierarchy::identity(["M", "M"]),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            CatHierarchy::identity(Vec::<String>::new()),
+            Err(Error::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn non_coarsening_function_rejected() {
+        // Level 1 groups by first char, level 2 tries to split by last char.
+        let fns: Vec<fn(&str) -> String> =
+            vec![|s| s[..1].to_owned(), |s| s[1..].to_owned()];
+        let result = CatHierarchy::from_functions(vec!["ab", "ac"], &fns);
+        assert!(matches!(result, Err(Error::NotACoarsening { .. })));
+    }
+
+    fn age_hierarchy() -> IntHierarchy {
+        // Paper Table 7: Age -> 10-year ranges -> {<50, >=50} -> one group.
+        IntHierarchy::new(vec![
+            IntLevel::Ranges {
+                cuts: vec![20, 30, 40, 50, 60, 70, 80, 90],
+                labels: vec![
+                    "<20", "20-29", "30-39", "40-49", "50-59", "60-69", "70-79", "80-89", ">=90",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            },
+            IntLevel::Ranges {
+                cuts: vec![50],
+                labels: vec!["<50".into(), ">=50".into()],
+            },
+            IntLevel::Single("*".into()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn int_generalization() {
+        let h = age_hierarchy();
+        assert_eq!(h.n_levels(), 4);
+        assert_eq!(h.generalize(29, 0).unwrap(), Value::Int(29));
+        assert_eq!(h.generalize(29, 1).unwrap(), Value::Text("20-29".into()));
+        assert_eq!(h.generalize(17, 1).unwrap(), Value::Text("<20".into()));
+        assert_eq!(h.generalize(90, 1).unwrap(), Value::Text(">=90".into()));
+        assert_eq!(h.generalize(49, 2).unwrap(), Value::Text("<50".into()));
+        assert_eq!(h.generalize(50, 2).unwrap(), Value::Text(">=50".into()));
+        assert_eq!(h.generalize(70, 3).unwrap(), Value::Text("*".into()));
+        assert_eq!(h.n_bins_at(1), Some(9));
+        assert_eq!(h.n_bins_at(2), Some(2));
+        assert_eq!(h.n_bins_at(3), Some(1));
+        assert_eq!(h.n_bins_at(0), None);
+    }
+
+    #[test]
+    fn int_validation() {
+        // Non-nested cuts rejected.
+        let result = IntHierarchy::new(vec![
+            IntLevel::Ranges {
+                cuts: vec![20, 40],
+                labels: vec!["a".into(), "b".into(), "c".into()],
+            },
+            IntLevel::Ranges {
+                cuts: vec![30],
+                labels: vec!["x".into(), "y".into()],
+            },
+        ]);
+        assert!(matches!(result, Err(Error::NotACoarsening { .. })));
+        // Label arity checked.
+        let result = IntHierarchy::new(vec![IntLevel::Ranges {
+            cuts: vec![20],
+            labels: vec!["only".into()],
+        }]);
+        assert!(matches!(result, Err(Error::Invalid(_))));
+        // Descending cuts rejected.
+        let result = IntHierarchy::new(vec![IntLevel::Ranges {
+            cuts: vec![40, 20],
+            labels: vec!["a".into(), "b".into(), "c".into()],
+        }]);
+        assert!(matches!(result, Err(Error::Invalid(_))));
+        // Ranges after Single rejected.
+        let result = IntHierarchy::new(vec![
+            IntLevel::Single("*".into()),
+            IntLevel::Ranges {
+                cuts: vec![1],
+                labels: vec!["a".into(), "b".into()],
+            },
+        ]);
+        assert!(matches!(result, Err(Error::NotACoarsening { .. })));
+    }
+
+    #[test]
+    fn hierarchy_enum_dispatch() {
+        let h = Hierarchy::Int(age_hierarchy());
+        assert_eq!(h.max_level(), 3);
+        assert_eq!(
+            h.generalize(&Value::Int(35), 1).unwrap(),
+            Value::Text("30-39".into())
+        );
+        assert_eq!(h.generalize(&Value::Missing, 2).unwrap(), Value::Missing);
+        assert!(matches!(
+            h.generalize(&Value::Text("x".into()), 1),
+            Err(Error::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_to_int_column() {
+        let h = Hierarchy::Int(age_hierarchy());
+        let mut col = IntColumn::new();
+        for v in [25, 51, 25] {
+            col.push(v);
+        }
+        col.push_missing();
+        let col = Column::Int(col);
+        let out = h.apply(&col, 2).unwrap();
+        assert_eq!(out.value(0), Value::Text("<50".into()));
+        assert_eq!(out.value(1), Value::Text(">=50".into()));
+        assert_eq!(out.value(3), Value::Missing);
+        // Level 0 clones.
+        let same = h.apply(&col, 0).unwrap();
+        assert_eq!(same, col);
+    }
+
+    #[test]
+    fn apply_to_cat_column() {
+        let h = Hierarchy::Cat(zip_hierarchy());
+        let col = Column::Cat(CatColumn::from_values(["41076", "43102", "41099"]))
+;
+        let out = h.apply(&col, 1).unwrap();
+        assert_eq!(out.value(0), Value::Text("41***".into()));
+        assert_eq!(out.value(1), Value::Text("43***".into()));
+        assert_eq!(out.value(2), Value::Text("41***".into()));
+        assert!(matches!(
+            h.apply(&Column::Int(IntColumn::from_values([1])), 1),
+            Err(Error::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_unknown_ground_value_errors() {
+        let h = Hierarchy::Cat(zip_hierarchy());
+        let col = Column::Cat(CatColumn::from_values(["00000"]));
+        assert!(matches!(h.apply(&col, 1), Err(Error::UnknownValue(_))));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = Hierarchy::Int(age_hierarchy());
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Hierarchy = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+        let h = Hierarchy::Cat(zip_hierarchy());
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Hierarchy = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,321 @@
+//! The generalization lattice (paper Figure 2).
+//!
+//! For key attributes with DGH heights `l_1, ..., l_m`, the lattice is the
+//! product `{0..=l_1} x ... x {0..=l_m}` ordered componentwise. A node `Y`
+//! *generalizes* (dominates) `X` when `Y[i] >= X[i]` for every attribute —
+//! "Y is on the path from X to the upper level of the lattice". `height(X)`
+//! is the length of the minimum path from the bottom, i.e. the component sum.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lattice node: one generalization level per key attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Node(pub Vec<u8>);
+
+impl Node {
+    /// Height of the node: the sum of its levels.
+    pub fn height(&self) -> usize {
+        self.0.iter().map(|&l| l as usize).sum()
+    }
+
+    /// True when `self` generalizes `other` (componentwise `>=`; reflexive).
+    pub fn dominates(&self, other: &Node) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// True when `self` strictly generalizes `other`.
+    pub fn strictly_dominates(&self, other: &Node) -> bool {
+        self != other && self.dominates(other)
+    }
+
+    /// Levels per attribute.
+    pub fn levels(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Node {
+    /// Renders like the paper: `<S1, Z0>` becomes `<1, 0>` — attribute names
+    /// are not known to the node itself.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// The product lattice of per-attribute generalization levels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lattice {
+    max_levels: Vec<u8>,
+}
+
+impl Lattice {
+    /// Builds a lattice from the maximum level of each attribute's DGH.
+    pub fn new(max_levels: Vec<u8>) -> Self {
+        Lattice { max_levels }
+    }
+
+    /// Number of key attributes (lattice dimensions).
+    pub fn n_attributes(&self) -> usize {
+        self.max_levels.len()
+    }
+
+    /// Maximum level per attribute.
+    pub fn max_levels(&self) -> &[u8] {
+        &self.max_levels
+    }
+
+    /// Total number of nodes: `prod(l_i + 1)`.
+    pub fn node_count(&self) -> usize {
+        self.max_levels
+            .iter()
+            .map(|&l| l as usize + 1)
+            .product()
+    }
+
+    /// Height of the lattice (`height(GL)`): the height of its top node.
+    pub fn height(&self) -> usize {
+        self.max_levels.iter().map(|&l| l as usize).sum()
+    }
+
+    /// The bottom node `<0, ..., 0>` (no generalization).
+    pub fn bottom(&self) -> Node {
+        Node(vec![0; self.max_levels.len()])
+    }
+
+    /// The top node (every attribute fully generalized).
+    pub fn top(&self) -> Node {
+        Node(self.max_levels.clone())
+    }
+
+    /// True when `node` has the right dimension and levels within range.
+    pub fn contains(&self, node: &Node) -> bool {
+        node.0.len() == self.max_levels.len()
+            && node.0.iter().zip(&self.max_levels).all(|(l, max)| l <= max)
+    }
+
+    /// All nodes with `height(node) == height`, in lexicographic order.
+    pub fn nodes_at_height(&self, height: usize) -> Vec<Node> {
+        let mut out = Vec::new();
+        let mut levels = vec![0u8; self.max_levels.len()];
+        self.enumerate_height(0, height, &mut levels, &mut out);
+        out
+    }
+
+    fn enumerate_height(
+        &self,
+        dim: usize,
+        remaining: usize,
+        levels: &mut Vec<u8>,
+        out: &mut Vec<Node>,
+    ) {
+        if dim == self.max_levels.len() {
+            if remaining == 0 {
+                out.push(Node(levels.clone()));
+            }
+            return;
+        }
+        // Prune: the remaining dimensions can absorb at most their max sum.
+        let rest_capacity: usize = self.max_levels[dim + 1..]
+            .iter()
+            .map(|&l| l as usize)
+            .sum();
+        let lo = remaining.saturating_sub(rest_capacity);
+        let hi = (self.max_levels[dim] as usize).min(remaining);
+        for l in lo..=hi {
+            levels[dim] = l as u8;
+            self.enumerate_height(dim + 1, remaining - l, levels, out);
+        }
+        levels[dim] = 0;
+    }
+
+    /// All nodes, in ascending height order (ties in lexicographic order).
+    pub fn all_nodes(&self) -> Vec<Node> {
+        (0..=self.height())
+            .flat_map(|h| self.nodes_at_height(h))
+            .collect()
+    }
+
+    /// Direct generalizations of `node`: one attribute raised one level.
+    pub fn parents(&self, node: &Node) -> Vec<Node> {
+        let mut out = Vec::new();
+        for i in 0..node.0.len() {
+            if node.0[i] < self.max_levels[i] {
+                let mut levels = node.0.clone();
+                levels[i] += 1;
+                out.push(Node(levels));
+            }
+        }
+        out
+    }
+
+    /// Direct specializations of `node`: one attribute lowered one level.
+    pub fn children(&self, node: &Node) -> Vec<Node> {
+        let mut out = Vec::new();
+        for i in 0..node.0.len() {
+            if node.0[i] > 0 {
+                let mut levels = node.0.clone();
+                levels[i] -= 1;
+                out.push(Node(levels));
+            }
+        }
+        out
+    }
+
+    /// All nodes dominating `node` (its generalizations), including itself.
+    pub fn ancestors_of(&self, node: &Node) -> Vec<Node> {
+        self.all_nodes()
+            .into_iter()
+            .filter(|candidate| candidate.dominates(node))
+            .collect()
+    }
+
+    /// Reduces `nodes` to its minimal elements: members not strictly
+    /// dominating any other member. These are the *(p-)k-minimal
+    /// generalizations* once `nodes` is the satisfying set (Definition 3).
+    pub fn minimal_elements(&self, nodes: &[Node]) -> Vec<Node> {
+        nodes
+            .iter()
+            .filter(|candidate| {
+                !nodes
+                    .iter()
+                    .any(|other| candidate.strictly_dominates(other))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 lattice: Sex (2 domains) x ZipCode (3 domains).
+    fn figure2() -> Lattice {
+        Lattice::new(vec![1, 2])
+    }
+
+    #[test]
+    fn figure2_heights_match_paper() {
+        let gl = figure2();
+        // height(<S0,Z0>) = 0, height(<S1,Z0>) = 1, height(<S0,Z1>) = 1,
+        // height(<S1,Z1>) = 2, height(<S1,Z2>) = 3, height(GL) = 3.
+        assert_eq!(Node(vec![0, 0]).height(), 0);
+        assert_eq!(Node(vec![1, 0]).height(), 1);
+        assert_eq!(Node(vec![0, 1]).height(), 1);
+        assert_eq!(Node(vec![1, 1]).height(), 2);
+        assert_eq!(Node(vec![1, 2]).height(), 3);
+        assert_eq!(gl.height(), 3);
+        assert_eq!(gl.node_count(), 6);
+    }
+
+    #[test]
+    fn domination_is_the_generalization_order() {
+        let top = Node(vec![1, 2]);
+        let mid = Node(vec![1, 1]);
+        let bottom = Node(vec![0, 0]);
+        assert!(top.dominates(&mid));
+        assert!(top.dominates(&bottom));
+        assert!(mid.dominates(&bottom));
+        assert!(top.dominates(&top));
+        assert!(!top.strictly_dominates(&top));
+        // Incomparable pair.
+        let a = Node(vec![1, 0]);
+        let b = Node(vec![0, 1]);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Dimension mismatch never dominates.
+        assert!(!top.dominates(&Node(vec![1])));
+    }
+
+    #[test]
+    fn nodes_at_height_enumeration() {
+        let gl = figure2();
+        assert_eq!(gl.nodes_at_height(0), vec![Node(vec![0, 0])]);
+        let h1 = gl.nodes_at_height(1);
+        assert_eq!(h1, vec![Node(vec![0, 1]), Node(vec![1, 0])]);
+        let h2 = gl.nodes_at_height(2);
+        assert_eq!(h2, vec![Node(vec![0, 2]), Node(vec![1, 1])]);
+        assert_eq!(gl.nodes_at_height(3), vec![Node(vec![1, 2])]);
+        assert!(gl.nodes_at_height(4).is_empty());
+    }
+
+    #[test]
+    fn all_nodes_covers_lattice_once() {
+        let gl = Lattice::new(vec![3, 2, 3, 1]); // the paper's Adult lattice
+        let all = gl.all_nodes();
+        assert_eq!(all.len(), 96); // 4 x 3 x 4 x 2 (paper Section 4)
+        assert_eq!(gl.height(), 9); // height(GL_A) = 9
+        let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(unique.len(), 96);
+        // Ascending height order.
+        for pair in all.windows(2) {
+            assert!(pair[0].height() <= pair[1].height());
+        }
+    }
+
+    #[test]
+    fn parents_and_children() {
+        let gl = figure2();
+        let node = Node(vec![0, 1]);
+        assert_eq!(
+            gl.parents(&node),
+            vec![Node(vec![1, 1]), Node(vec![0, 2])]
+        );
+        assert_eq!(gl.children(&node), vec![Node(vec![0, 0])]);
+        assert!(gl.children(&gl.bottom()).is_empty());
+        assert!(gl.parents(&gl.top()).is_empty());
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let gl = figure2();
+        assert!(gl.contains(&Node(vec![1, 2])));
+        assert!(!gl.contains(&Node(vec![2, 0])));
+        assert!(!gl.contains(&Node(vec![0])));
+    }
+
+    #[test]
+    fn minimal_elements_of_satisfying_set() {
+        let gl = figure2();
+        // Suppose {<0,2>, <1,1>, <1,2>} satisfy: minimal are <0,2> and <1,1>.
+        let satisfying = vec![Node(vec![0, 2]), Node(vec![1, 1]), Node(vec![1, 2])];
+        let minimal = gl.minimal_elements(&satisfying);
+        assert_eq!(minimal, vec![Node(vec![0, 2]), Node(vec![1, 1])]);
+        // A single node is its own minimal set.
+        assert_eq!(
+            gl.minimal_elements(&[Node(vec![1, 2])]),
+            vec![Node(vec![1, 2])]
+        );
+        assert!(gl.minimal_elements(&[]).is_empty());
+    }
+
+    #[test]
+    fn ancestors_of_node() {
+        let gl = figure2();
+        let ancestors = gl.ancestors_of(&Node(vec![1, 1]));
+        assert_eq!(ancestors, vec![Node(vec![1, 1]), Node(vec![1, 2])]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Node(vec![1, 0, 2]).to_string(), "<1, 0, 2>");
+    }
+
+    #[test]
+    fn strata_sizes_sum_to_node_count() {
+        let gl = Lattice::new(vec![3, 2, 3, 1]);
+        let total: usize = (0..=gl.height())
+            .map(|h| gl.nodes_at_height(h).len())
+            .sum();
+        assert_eq!(total, gl.node_count());
+    }
+}

@@ -1,0 +1,58 @@
+//! # psens-hierarchy
+//!
+//! Generalization machinery for full-domain recoding (Samarati/Sweeney style),
+//! as used by the p-sensitive k-anonymity paper (Truta & Vinay, ICDE 2006):
+//!
+//! - [`CatHierarchy`] / [`IntHierarchy`] / [`Hierarchy`]: domain and value
+//!   generalization hierarchies (paper Figure 1) with validated coarsening.
+//! - [`Lattice`] / [`Node`]: the product generalization lattice over all key
+//!   attributes (paper Figure 2), with heights, strata, and domination order.
+//! - [`QiSpace`]: binds hierarchies to named key attributes and applies a
+//!   lattice node to a table (full-domain generalization / global recoding).
+//! - [`builders`]: prefix hierarchies (ZipCode), uniform ranges and threshold
+//!   splits (Age), grouping tables (MaritalStatus, Race), flat `{*}` tops.
+//!
+//! ## Example
+//!
+//! ```
+//! use psens_hierarchy::{builders, Node, QiSpace};
+//! use psens_microdata::{table_from_str_rows, Attribute, Schema, Value};
+//!
+//! let schema = Schema::new(vec![
+//!     Attribute::cat_key("Sex"),
+//!     Attribute::cat_key("ZipCode"),
+//! ]).unwrap();
+//! let table = table_from_str_rows(schema, &[
+//!     &["M", "41076"],
+//!     &["F", "41099"],
+//! ]).unwrap();
+//!
+//! let qi = QiSpace::new(vec![
+//!     ("Sex".into(), builders::flat_hierarchy(vec!["M", "F"]).unwrap()),
+//!     ("ZipCode".into(), psens_hierarchy::Hierarchy::Cat(
+//!         builders::prefix_hierarchy(vec!["41076", "41099"], &[2, 0]).unwrap())),
+//! ]).unwrap();
+//!
+//! // The paper's Figure 2 lattice: 2 x 3 domains, height 3.
+//! let lattice = qi.lattice();
+//! assert_eq!(lattice.node_count(), 6);
+//! assert_eq!(lattice.height(), 3);
+//!
+//! let masked = qi.apply(&table, &Node(vec![1, 1])).unwrap();
+//! assert_eq!(masked.value(0, 0), Value::Text("*".into()));
+//! assert_eq!(masked.value(0, 1), Value::Text("41***".into()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+pub mod builders;
+mod error;
+mod hierarchy;
+mod lattice;
+
+pub use apply::QiSpace;
+pub use error::{Error, Result};
+pub use hierarchy::{CatHierarchy, Hierarchy, IntHierarchy, IntLevel};
+pub use lattice::{Lattice, Node};

@@ -1,0 +1,108 @@
+//! Property tests for hierarchies and the generalization lattice.
+
+use proptest::prelude::*;
+use psens_hierarchy::{builders, Lattice, Node};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prefix_hierarchy_levels_are_coarsenings(
+        values in prop::collection::hash_set("[0-9]{5}", 2..20),
+    ) {
+        let ground: Vec<String> = values.into_iter().collect();
+        let hierarchy = builders::prefix_hierarchy(ground.clone(), &[3, 1, 0]).unwrap();
+        // Values sharing a level-l label share every higher-level label.
+        for level in 1..hierarchy.n_levels() - 1 {
+            for a in &ground {
+                for b in &ground {
+                    let la = hierarchy.generalize(a, level).unwrap();
+                    let lb = hierarchy.generalize(b, level).unwrap();
+                    if la == lb {
+                        let ha = hierarchy.generalize(a, level + 1).unwrap();
+                        let hb = hierarchy.generalize(b, level + 1).unwrap();
+                        prop_assert_eq!(ha, hb, "coarsening broken at level {}", level);
+                    }
+                }
+            }
+        }
+        // The top level is a single label.
+        let top = hierarchy.n_levels() - 1;
+        let labels = hierarchy.labels_at(top).unwrap();
+        prop_assert_eq!(labels.len(), 1);
+    }
+
+    #[test]
+    fn parents_and_children_are_inverse(
+        dims in prop::collection::vec(1u8..4, 1..5),
+    ) {
+        let lattice = Lattice::new(dims);
+        for node in lattice.all_nodes() {
+            for parent in lattice.parents(&node) {
+                prop_assert!(lattice.contains(&parent));
+                prop_assert_eq!(parent.height(), node.height() + 1);
+                prop_assert!(parent.strictly_dominates(&node));
+                prop_assert!(
+                    lattice.children(&parent).contains(&node),
+                    "child link missing for {} -> {}", node, parent
+                );
+            }
+            for child in lattice.children(&node) {
+                prop_assert!(lattice.parents(&child).contains(&node));
+            }
+        }
+    }
+
+    #[test]
+    fn domination_is_a_partial_order(
+        dims in prop::collection::vec(1u8..4, 1..4),
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 3),
+    ) {
+        let lattice = Lattice::new(dims);
+        let all = lattice.all_nodes();
+        let a = &all[picks[0].index(all.len())];
+        let b = &all[picks[1].index(all.len())];
+        let c = &all[picks[2].index(all.len())];
+        // Reflexive, antisymmetric, transitive.
+        prop_assert!(a.dominates(a));
+        if a.dominates(b) && b.dominates(a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.dominates(b) && b.dominates(c) {
+            prop_assert!(a.dominates(c));
+        }
+        // Height is monotone along domination.
+        if a.dominates(b) {
+            prop_assert!(a.height() >= b.height());
+        }
+    }
+
+    #[test]
+    fn ancestors_are_exactly_the_dominating_nodes(
+        dims in prop::collection::vec(1u8..3, 1..4),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let lattice = Lattice::new(dims);
+        let all = lattice.all_nodes();
+        let node = &all[pick.index(all.len())];
+        let ancestors = lattice.ancestors_of(node);
+        for candidate in &all {
+            prop_assert_eq!(
+                ancestors.contains(candidate),
+                candidate.dominates(node),
+            );
+        }
+        // Bottom and top bracket everything.
+        prop_assert!(ancestors.contains(&lattice.top()));
+        prop_assert_eq!(
+            ancestors.contains(&lattice.bottom()),
+            *node == lattice.bottom()
+        );
+    }
+}
+
+#[test]
+fn node_display_is_stable() {
+    assert_eq!(Node(vec![0]).to_string(), "<0>");
+    assert_eq!(Node(vec![3, 1, 2]).to_string(), "<3, 1, 2>");
+}

@@ -1,0 +1,55 @@
+//! # psens-methods
+//!
+//! The classical statistical disclosure-control toolbox the paper's
+//! Section 2 surveys before settling on generalization + suppression:
+//!
+//! - [`sampling`]: simple random / Bernoulli sampling [20];
+//! - [`microagg`]: univariate and MDAV multivariate microaggregation [5];
+//! - [`swapping`]: rank swapping [4, 17];
+//! - [`noise`]: additive Gaussian noise [9];
+//! - [`pram`]: the Post-RAndomisation Method [10].
+//!
+//! These are *perturbative* or *subsampling* alternatives to the paper's
+//! non-perturbative masking; having them executable lets examples and tests
+//! place p-sensitive k-anonymity in its design space ("the data owner should
+//! decide where to draw the line").
+//!
+//! ## Example
+//!
+//! ```
+//! use psens_methods::{microaggregate_univariate, rank_swap};
+//! use psens_microdata::{table_from_str_rows, Attribute, FrequencySet, Schema};
+//!
+//! let schema = Schema::new(vec![Attribute::int_key("Age")]).unwrap();
+//! let table = table_from_str_rows(
+//!     schema,
+//!     &[&["21"], &["22"], &["23"], &["51"], &["52"], &["53"]],
+//! ).unwrap();
+//!
+//! // Microaggregation with k = 3: each released age is shared by >= 3 rows.
+//! let masked = microaggregate_univariate(&table, 0, 3).unwrap();
+//! let fs = FrequencySet::of(&masked, &[0]);
+//! assert!(fs.iter().all(|(_, count)| count >= 3));
+//!
+//! // Rank swapping preserves the marginal exactly.
+//! let swapped = rank_swap(&table, 0, 50, 7).unwrap();
+//! assert_eq!(
+//!     FrequencySet::of(&swapped, &[0]).descending_counts(),
+//!     FrequencySet::of(&table, &[0]).descending_counts(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod microagg;
+pub mod noise;
+pub mod pram;
+pub mod sampling;
+pub mod swapping;
+
+pub use microagg::{microaggregate_mdav, microaggregate_univariate};
+pub use noise::add_noise;
+pub use pram::{pram, PramMatrix};
+pub use sampling::{bernoulli_sample, simple_random_sample};
+pub use swapping::rank_swap;

@@ -1,0 +1,335 @@
+//! Microaggregation (paper Section 2's survey, ref [5] Domingo-Ferrer &
+//! Mateo-Sanz).
+//!
+//! Numeric values are clustered into groups of at least `k` similar records
+//! and replaced by the group centroid, so each released value is shared by
+//! `>= k` records — k-anonymity for the aggregated attribute by
+//! construction, with far less information loss than coarse global ranges.
+
+use psens_microdata::{Column, IntColumn, Table};
+
+/// Errors from microaggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The attribute is not an integer column.
+    NotNumeric(String),
+    /// The attribute has missing values (aggregate after imputation).
+    HasMissing(String),
+    /// `k` was zero.
+    ZeroK,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::NotNumeric(name) => write!(f, "attribute `{name}` is not numeric"),
+            Error::HasMissing(name) => write!(f, "attribute `{name}` has missing values"),
+            Error::ZeroK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn int_values(table: &Table, attribute: usize) -> Result<Vec<i64>, Error> {
+    let name = table.schema().attribute(attribute).name().to_owned();
+    let Column::Int(column) = table.column(attribute) else {
+        return Err(Error::NotNumeric(name));
+    };
+    column
+        .iter()
+        .map(|v| v.ok_or_else(|| Error::HasMissing(name.clone())))
+        .collect()
+}
+
+fn replace_int_column(table: &Table, attribute: usize, values: Vec<i64>) -> Table {
+    table
+        .with_column_replaced(attribute, Column::Int(IntColumn::from_values(values)))
+        .expect("same kind and length")
+}
+
+/// Rounded mean of the values at `rows`.
+fn centroid(values: &[i64], rows: &[usize]) -> i64 {
+    let sum: i128 = rows.iter().map(|&r| i128::from(values[r])).sum();
+    let n = rows.len() as i128;
+    // Round half away from zero.
+    let rounded = (2 * sum + n.signum() * n) / (2 * n);
+    rounded as i64
+}
+
+/// Univariate microaggregation: sort by value, cut into consecutive runs of
+/// `k` (the final run absorbs the remainder, size `k..2k`), and replace each
+/// value with its run's rounded mean.
+pub fn microaggregate_univariate(
+    table: &Table,
+    attribute: usize,
+    k: usize,
+) -> Result<Table, Error> {
+    if k == 0 {
+        return Err(Error::ZeroK);
+    }
+    let values = int_values(table, attribute)?;
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by_key(|&r| (values[r], r));
+    let mut output = values.clone();
+    let n = order.len();
+    let mut start = 0;
+    while start < n {
+        // Last group absorbs a remainder smaller than k.
+        let end = if n - start < 2 * k { n } else { start + k };
+        let group = &order[start..end];
+        let mean = centroid(&values, group);
+        for &row in group {
+            output[row] = mean;
+        }
+        start = end;
+    }
+    Ok(replace_int_column(table, attribute, output))
+}
+
+/// MDAV (Maximum Distance to Average Vector) multivariate microaggregation
+/// over several integer attributes, with Euclidean distance on z-score
+/// normalized coordinates.
+pub fn microaggregate_mdav(
+    table: &Table,
+    attributes: &[usize],
+    k: usize,
+) -> Result<Table, Error> {
+    if k == 0 {
+        return Err(Error::ZeroK);
+    }
+    let columns: Vec<Vec<i64>> = attributes
+        .iter()
+        .map(|&a| int_values(table, a))
+        .collect::<Result<_, _>>()?;
+    let n = table.n_rows();
+    if n == 0 {
+        return Ok(table.clone());
+    }
+    // Normalize to zero mean / unit spread per attribute so distances are
+    // comparable across scales.
+    let normalized: Vec<Vec<f64>> = columns
+        .iter()
+        .map(|vals| {
+            let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+            let var = vals
+                .iter()
+                .map(|&v| (v as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            let sd = var.sqrt().max(1e-12);
+            vals.iter().map(|&v| (v as f64 - mean) / sd).collect()
+        })
+        .collect();
+    let distance2 = |a: usize, b: usize| -> f64 {
+        normalized
+            .iter()
+            .map(|col| (col[a] - col[b]).powi(2))
+            .sum()
+    };
+    let centroid_dist2 = |rows: &[usize], point: usize| -> f64 {
+        normalized
+            .iter()
+            .map(|col| {
+                let c = rows.iter().map(|&r| col[r]).sum::<f64>() / rows.len() as f64;
+                (col[point] - c).powi(2)
+            })
+            .sum()
+    };
+
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    while remaining.len() >= 3 * k {
+        // r: farthest record from the centroid of the remaining set.
+        let r = *remaining
+            .iter()
+            .max_by(|&&a, &&b| {
+                centroid_dist2(&remaining, a)
+                    .partial_cmp(&centroid_dist2(&remaining, b))
+                    .expect("finite")
+            })
+            .expect("nonempty");
+        // s: farthest record from r.
+        let s = *remaining
+            .iter()
+            .max_by(|&&a, &&b| {
+                distance2(r, a).partial_cmp(&distance2(r, b)).expect("finite")
+            })
+            .expect("nonempty");
+        for anchor in [r, s] {
+            let mut by_distance = remaining.clone();
+            by_distance.sort_by(|&a, &b| {
+                distance2(anchor, a)
+                    .partial_cmp(&distance2(anchor, b))
+                    .expect("finite")
+                    .then(a.cmp(&b))
+            });
+            let cluster: Vec<usize> = by_distance.into_iter().take(k).collect();
+            remaining.retain(|row| !cluster.contains(row));
+            clusters.push(cluster);
+        }
+    }
+    if remaining.len() >= 2 * k {
+        let r = *remaining
+            .iter()
+            .max_by(|&&a, &&b| {
+                centroid_dist2(&remaining, a)
+                    .partial_cmp(&centroid_dist2(&remaining, b))
+                    .expect("finite")
+            })
+            .expect("nonempty");
+        let mut by_distance = remaining.clone();
+        by_distance.sort_by(|&a, &b| {
+            distance2(r, a).partial_cmp(&distance2(r, b)).expect("finite").then(a.cmp(&b))
+        });
+        let cluster: Vec<usize> = by_distance.into_iter().take(k).collect();
+        remaining.retain(|row| !cluster.contains(row));
+        clusters.push(cluster);
+    }
+    if !remaining.is_empty() {
+        clusters.push(remaining);
+    }
+
+    let mut result = table.clone();
+    for (pos, &attr) in attributes.iter().enumerate() {
+        let mut output = columns[pos].clone();
+        for cluster in &clusters {
+            let mean = centroid(&columns[pos], cluster);
+            for &row in cluster {
+                output[row] = mean;
+            }
+        }
+        result = replace_int_column(&result, attr, output);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::{table_from_str_rows, Attribute, FrequencySet, Schema, Value};
+
+    fn income_table(values: &[i64]) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::int_key("Income"),
+            Attribute::int_key("Age"),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<String>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| vec![v.to_string(), (20 + (i as i64 % 40)).to_string()])
+            .collect();
+        let borrowed: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = borrowed.iter().map(Vec::as_slice).collect();
+        table_from_str_rows(schema, &slices).unwrap()
+    }
+
+    #[test]
+    fn univariate_groups_have_at_least_k_sharers() {
+        let t = income_table(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 95]);
+        let result = microaggregate_univariate(&t, 0, 3).unwrap();
+        let fs = FrequencySet::of(&result, &[0]);
+        for (_, count) in fs.iter() {
+            assert!(count >= 3, "every released value is shared k times");
+        }
+        assert_eq!(result.n_rows(), 10);
+    }
+
+    #[test]
+    fn univariate_replaces_with_run_means() {
+        let t = income_table(&[1, 2, 3, 100, 200, 300]);
+        let result = microaggregate_univariate(&t, 0, 3).unwrap();
+        assert_eq!(result.value(0, 0), Value::Int(2)); // mean(1,2,3)
+        assert_eq!(result.value(3, 0), Value::Int(200)); // mean(100,200,300)
+    }
+
+    #[test]
+    fn univariate_total_mean_is_roughly_preserved() {
+        let values: Vec<i64> = (0..100).map(|i| i * 37 % 1000).collect();
+        let t = income_table(&values);
+        let result = microaggregate_univariate(&t, 0, 5).unwrap();
+        let before: i64 = values.iter().sum();
+        let after: i64 = (0..100)
+            .map(|r| result.value(r, 0).as_int().unwrap())
+            .sum();
+        let drift = (before - after).abs() as f64 / before as f64;
+        assert!(drift < 0.01, "mean drift {drift}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let t = income_table(&[1, 2, 3]);
+        assert_eq!(
+            microaggregate_univariate(&t, 0, 0),
+            Err(Error::ZeroK)
+        );
+        let schema = Schema::new(vec![Attribute::cat_key("C")]).unwrap();
+        let cat = table_from_str_rows(schema, &[&["a"]]).unwrap();
+        assert!(matches!(
+            microaggregate_univariate(&cat, 0, 2),
+            Err(Error::NotNumeric(_))
+        ));
+        let schema = Schema::new(vec![Attribute::int_key("I")]).unwrap();
+        let missing = table_from_str_rows(schema, &[&["1"], &["?"]]).unwrap();
+        assert!(matches!(
+            microaggregate_univariate(&missing, 0, 2),
+            Err(Error::HasMissing(_))
+        ));
+    }
+
+    #[test]
+    fn mdav_clusters_have_k_to_2k_minus_1_members() {
+        let t = income_table(&[
+            5, 7, 6, 300, 310, 305, 900, 905, 910, 8, 302, 912, 4, 307,
+        ]);
+        let result = microaggregate_mdav(&t, &[0], 3).unwrap();
+        let fs = FrequencySet::of(&result, &[0]);
+        for (_, count) in fs.iter() {
+            assert!(count >= 3, "cluster of {count} < k");
+        }
+    }
+
+    #[test]
+    fn mdav_respects_multivariate_structure() {
+        // Two tight 2-D clusters: MDAV must not mix them.
+        let schema = Schema::new(vec![
+            Attribute::int_key("A"),
+            Attribute::int_key("B"),
+        ])
+        .unwrap();
+        let t = table_from_str_rows(
+            schema,
+            &[
+                &["0", "0"],
+                &["1", "1"],
+                &["2", "0"],
+                &["100", "100"],
+                &["101", "99"],
+                &["102", "101"],
+            ],
+        )
+        .unwrap();
+        let result = microaggregate_mdav(&t, &[0, 1], 3).unwrap();
+        // Rows 0-2 share one centroid, rows 3-5 another.
+        assert_eq!(result.value(0, 0), result.value(1, 0));
+        assert_eq!(result.value(0, 0), result.value(2, 0));
+        assert_eq!(result.value(3, 0), result.value(4, 0));
+        assert_ne!(result.value(0, 0), result.value(3, 0));
+        assert_eq!(result.value(0, 0), Value::Int(1));
+        assert_eq!(result.value(3, 0), Value::Int(101));
+    }
+
+    #[test]
+    fn mdav_small_or_empty_inputs() {
+        let t = income_table(&[1, 2]);
+        // Fewer than 2k rows: one residual cluster.
+        let result = microaggregate_mdav(&t, &[0], 3).unwrap();
+        assert_eq!(result.value(0, 0), result.value(1, 0));
+        let empty = t.filter(|_| false);
+        assert_eq!(microaggregate_mdav(&empty, &[0], 3).unwrap().n_rows(), 0);
+    }
+}

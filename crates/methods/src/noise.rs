@@ -1,0 +1,151 @@
+//! Additive random noise (paper Section 2's survey, ref [9] Kim).
+//!
+//! Each numeric value is perturbed by zero-mean Gaussian noise whose
+//! standard deviation is a fraction `eps` of the attribute's own standard
+//! deviation — preserving means and approximately preserving variances
+//! while making exact linkage on the attribute impossible.
+
+use psens_microdata::{Column, IntColumn, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Errors from noise addition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The attribute is not an integer column.
+    NotNumeric(String),
+    /// The attribute has missing values.
+    HasMissing(String),
+    /// `eps` was not a positive finite number.
+    BadEpsilon(f64),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::NotNumeric(name) => write!(f, "attribute `{name}` is not numeric"),
+            Error::HasMissing(name) => write!(f, "attribute `{name}` has missing values"),
+            Error::BadEpsilon(e) => write!(f, "epsilon {e} must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One standard normal draw via Box–Muller.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Adds `N(0, (eps * sd)^2)` noise to `attribute`, rounding to integers.
+pub fn add_noise(table: &Table, attribute: usize, eps: f64, seed: u64) -> Result<Table, Error> {
+    if !(eps > 0.0 && eps.is_finite()) {
+        return Err(Error::BadEpsilon(eps));
+    }
+    let name = table.schema().attribute(attribute).name().to_owned();
+    let Column::Int(column) = table.column(attribute) else {
+        return Err(Error::NotNumeric(name));
+    };
+    let values: Vec<i64> = column
+        .iter()
+        .map(|v| v.ok_or_else(|| Error::HasMissing(name.clone())))
+        .collect::<Result<_, _>>()?;
+    let n = values.len();
+    if n == 0 {
+        return Ok(table.clone());
+    }
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let sd = (values
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64)
+        .sqrt();
+    let scale = eps * sd;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noisy: Vec<i64> = values
+        .iter()
+        .map(|&v| {
+            let noise = standard_normal(&mut rng) * scale;
+            (v as f64 + noise).round() as i64
+        })
+        .collect();
+    Ok(table
+        .with_column_replaced(attribute, Column::Int(IntColumn::from_values(noisy)))
+        .expect("same kind and length"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::{table_from_str_rows, Attribute, Schema};
+
+    fn table(values: &[i64]) -> Table {
+        let schema = Schema::new(vec![Attribute::int_confidential("Income")]).unwrap();
+        let rows: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        let refs: Vec<Vec<&str>> = rows.iter().map(|r| vec![r.as_str()]).collect();
+        let slices: Vec<&[&str]> = refs.iter().map(Vec::as_slice).collect();
+        table_from_str_rows(schema, &slices).unwrap()
+    }
+
+    #[test]
+    fn mean_is_approximately_preserved() {
+        let values: Vec<i64> = (0..2000).map(|i| 1000 + (i * 17 % 400)).collect();
+        let t = table(&values);
+        let noisy = add_noise(&t, 0, 0.1, 3).unwrap();
+        let before = values.iter().sum::<i64>() as f64 / 2000.0;
+        let after = (0..2000)
+            .map(|r| noisy.value(r, 0).as_int().unwrap())
+            .sum::<i64>() as f64
+            / 2000.0;
+        assert!((before - after).abs() / before < 0.01, "{before} vs {after}");
+    }
+
+    #[test]
+    fn noise_magnitude_scales_with_eps() {
+        let values: Vec<i64> = (0..500).map(|i| i * 10).collect();
+        let t = table(&values);
+        let spread = |eps: f64| -> f64 {
+            let noisy = add_noise(&t, 0, eps, 5).unwrap();
+            (0..500)
+                .map(|r| {
+                    (noisy.value(r, 0).as_int().unwrap() - values[r]).abs() as f64
+                })
+                .sum::<f64>()
+                / 500.0
+        };
+        let small = spread(0.01);
+        let large = spread(0.5);
+        assert!(large > small * 5.0, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = table(&(0..100).collect::<Vec<_>>());
+        assert_eq!(
+            add_noise(&t, 0, 0.2, 9).unwrap(),
+            add_noise(&t, 0, 0.2, 9).unwrap()
+        );
+        assert_ne!(
+            add_noise(&t, 0, 0.2, 9).unwrap(),
+            add_noise(&t, 0, 0.2, 10).unwrap()
+        );
+    }
+
+    #[test]
+    fn errors_and_edges() {
+        let t = table(&[1, 2, 3]);
+        assert!(matches!(add_noise(&t, 0, 0.0, 1), Err(Error::BadEpsilon(_))));
+        assert!(matches!(
+            add_noise(&t, 0, f64::NAN, 1),
+            Err(Error::BadEpsilon(_))
+        ));
+        let empty = t.filter(|_| false);
+        assert_eq!(add_noise(&empty, 0, 0.1, 1).unwrap().n_rows(), 0);
+        // Constant column: sd = 0 => released unchanged.
+        let constant = table(&[7, 7, 7]);
+        assert_eq!(add_noise(&constant, 0, 0.5, 1).unwrap(), constant);
+    }
+}

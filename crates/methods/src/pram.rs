@@ -1,0 +1,262 @@
+//! PRAM — the Post-RAndomisation Method (paper Section 2's survey, ref [10]
+//! Kooiman, Willemborg & Gouweleeuw).
+//!
+//! Each categorical value is independently re-drawn from a row-stochastic
+//! transition matrix `P` where `P[i][j]` is the probability of releasing
+//! category `j` for a record whose true category is `i`. The data holder
+//! publishes `P`, letting researchers correct estimates, while no individual
+//! cell can be trusted — plausible deniability per record.
+
+use psens_microdata::{CatColumn, Column, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A row-stochastic transition matrix over a categorical domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PramMatrix {
+    domain: Vec<String>,
+    /// `rows[i][j]` = P(release j | true i); each row sums to 1.
+    rows: Vec<Vec<f64>>,
+}
+
+/// Errors from PRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The matrix is not square over its domain, or a row does not sum to 1.
+    BadMatrix(String),
+    /// The attribute is not categorical.
+    NotCategorical(String),
+    /// A data value is missing from the matrix domain.
+    UnknownCategory(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadMatrix(msg) => write!(f, "bad PRAM matrix: {msg}"),
+            Error::NotCategorical(name) => write!(f, "attribute `{name}` is not categorical"),
+            Error::UnknownCategory(v) => write!(f, "value `{v}` is not in the PRAM domain"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl PramMatrix {
+    /// Builds a matrix, validating shape and row sums.
+    pub fn new(domain: Vec<String>, rows: Vec<Vec<f64>>) -> Result<Self, Error> {
+        let d = domain.len();
+        if d == 0 {
+            return Err(Error::BadMatrix("empty domain".into()));
+        }
+        if rows.len() != d {
+            return Err(Error::BadMatrix(format!(
+                "{} rows for a domain of {d}",
+                rows.len()
+            )));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                return Err(Error::BadMatrix(format!("row {i} has {} entries", row.len())));
+            }
+            if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+                return Err(Error::BadMatrix(format!("row {i} has out-of-range entries")));
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(Error::BadMatrix(format!("row {i} sums to {sum}")));
+            }
+        }
+        Ok(PramMatrix { domain, rows })
+    }
+
+    /// The "retain with probability `retain`, otherwise uniform over the
+    /// other categories" matrix — the most common PRAM design.
+    pub fn uniform_retention<S: Into<String>>(
+        domain: Vec<S>,
+        retain: f64,
+    ) -> Result<Self, Error> {
+        let domain: Vec<String> = domain.into_iter().map(Into::into).collect();
+        let d = domain.len();
+        if d == 0 {
+            return Err(Error::BadMatrix("empty domain".into()));
+        }
+        if !(0.0..=1.0).contains(&retain) {
+            return Err(Error::BadMatrix(format!("retention {retain} not a probability")));
+        }
+        let off = if d > 1 {
+            (1.0 - retain) / (d as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let rows = (0..d)
+            .map(|i| {
+                (0..d)
+                    .map(|j| if i == j { if d == 1 { 1.0 } else { retain } } else { off })
+                    .collect()
+            })
+            .collect();
+        PramMatrix::new(domain, rows)
+    }
+
+    /// The domain, in matrix order.
+    pub fn domain(&self) -> &[String] {
+        &self.domain
+    }
+
+    /// Samples a released category for true category `i`.
+    fn sample(&self, i: usize, rng: &mut StdRng) -> usize {
+        let roll: f64 = rng.gen();
+        let mut cumulative = 0.0;
+        for (j, &p) in self.rows[i].iter().enumerate() {
+            cumulative += p;
+            if roll < cumulative {
+                return j;
+            }
+        }
+        self.rows[i].len() - 1
+    }
+}
+
+/// Applies PRAM to `attribute`. Missing cells stay missing.
+pub fn pram(
+    table: &Table,
+    attribute: usize,
+    matrix: &PramMatrix,
+    seed: u64,
+) -> Result<Table, Error> {
+    let name = table.schema().attribute(attribute).name().to_owned();
+    let Column::Cat(column) = table.column(attribute) else {
+        return Err(Error::NotCategorical(name));
+    };
+    // Map dictionary codes to matrix indices once.
+    let mut code_to_matrix: Vec<Option<usize>> = vec![None; column.dictionary().len()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = CatColumn::new();
+    for row in 0..column.len() {
+        match column.code_at(row) {
+            Some(code) => {
+                let i = match code_to_matrix[code as usize] {
+                    Some(i) => i,
+                    None => {
+                        let text = column
+                            .dictionary()
+                            .text(code)
+                            .expect("code from this dictionary");
+                        let i = matrix
+                            .domain
+                            .iter()
+                            .position(|d| d == text)
+                            .ok_or_else(|| Error::UnknownCategory(text.to_owned()))?;
+                        code_to_matrix[code as usize] = Some(i);
+                        i
+                    }
+                };
+                let j = matrix.sample(i, &mut rng);
+                out.push(&matrix.domain[j]);
+            }
+            None => out.push_missing(),
+        }
+    }
+    Ok(table
+        .with_column_replaced(attribute, Column::Cat(out))
+        .expect("same kind and length"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::{table_from_str_rows, Attribute, FrequencySet, Schema, Value};
+
+    fn table(values: &[&str]) -> Table {
+        let schema = Schema::new(vec![Attribute::cat_confidential("Illness")]).unwrap();
+        let rows: Vec<Vec<&str>> = values.iter().map(|v| vec![*v]).collect();
+        let slices: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
+        table_from_str_rows(schema, &slices).unwrap()
+    }
+
+    #[test]
+    fn matrix_validation() {
+        assert!(PramMatrix::new(vec![], vec![]).is_err());
+        assert!(PramMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![0.5, 0.5]],
+        )
+        .is_err());
+        assert!(PramMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![0.9, 0.2], vec![0.5, 0.5]],
+        )
+        .is_err());
+        assert!(PramMatrix::uniform_retention(vec!["a", "b", "c"], 0.8).is_ok());
+        assert!(PramMatrix::uniform_retention(vec!["a"], 0.8).is_ok());
+        assert!(PramMatrix::uniform_retention(Vec::<&str>::new(), 0.8).is_err());
+        assert!(PramMatrix::uniform_retention(vec!["a"], 1.5).is_err());
+    }
+
+    #[test]
+    fn identity_matrix_changes_nothing() {
+        let t = table(&["Flu", "HIV", "Flu", "Asthma"]);
+        let matrix =
+            PramMatrix::uniform_retention(vec!["Flu", "HIV", "Asthma"], 1.0).unwrap();
+        assert_eq!(pram(&t, 0, &matrix, 3).unwrap(), t);
+    }
+
+    #[test]
+    fn retention_rate_is_respected() {
+        let values: Vec<&str> = (0..3000)
+            .map(|i| if i % 2 == 0 { "Flu" } else { "HIV" })
+            .collect();
+        let t = table(&values);
+        let matrix = PramMatrix::uniform_retention(vec!["Flu", "HIV"], 0.8).unwrap();
+        let released = pram(&t, 0, &matrix, 5).unwrap();
+        let retained = (0..t.n_rows())
+            .filter(|&r| released.value(r, 0) == t.value(r, 0))
+            .count() as f64
+            / t.n_rows() as f64;
+        assert!((0.75..0.85).contains(&retained), "retained {retained}");
+    }
+
+    #[test]
+    fn released_values_stay_in_domain_and_missing_is_kept() {
+        let schema = Schema::new(vec![Attribute::cat_confidential("S")]).unwrap();
+        let t = table_from_str_rows(schema, &[&["a"], &["?"], &["b"]]).unwrap();
+        let matrix = PramMatrix::uniform_retention(vec!["a", "b"], 0.5).unwrap();
+        let released = pram(&t, 0, &matrix, 1).unwrap();
+        assert_eq!(released.value(1, 0), Value::Missing);
+        for row in [0usize, 2] {
+            let v = released.value(row, 0);
+            assert!(
+                v == Value::Text("a".into()) || v == Value::Text("b".into()),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_category_is_an_error() {
+        let t = table(&["Plague"]);
+        let matrix = PramMatrix::uniform_retention(vec!["Flu", "HIV"], 0.8).unwrap();
+        assert!(matches!(
+            pram(&t, 0, &matrix, 1),
+            Err(Error::UnknownCategory(_))
+        ));
+    }
+
+    #[test]
+    fn marginals_approximately_invariant_under_symmetric_pram() {
+        // A symmetric retention matrix keeps a uniform marginal uniform.
+        let values: Vec<&str> = (0..3000)
+            .map(|i| ["a", "b", "c"][i % 3])
+            .collect();
+        let t = table(&values);
+        let matrix = PramMatrix::uniform_retention(vec!["a", "b", "c"], 0.7).unwrap();
+        let released = pram(&t, 0, &matrix, 9).unwrap();
+        let fs = FrequencySet::of(&released, &[0]);
+        for (_, count) in fs.iter() {
+            let share = count as f64 / 3000.0;
+            assert!((0.30..0.37).contains(&share), "share {share}");
+        }
+    }
+}

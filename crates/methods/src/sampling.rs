@@ -1,0 +1,90 @@
+//! Sampling (paper Section 2's masking-method survey, ref [20]).
+//!
+//! Releasing a sample instead of the full microdata reduces the probability
+//! that any given individual is in the release at all, lowering linkage
+//! confidence before any recoding happens.
+
+use psens_microdata::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a simple random sample of `n` rows without replacement, preserving
+/// the original row order. When `n >= table.n_rows()` the whole table is
+/// returned.
+pub fn simple_random_sample(table: &Table, n: usize, seed: u64) -> Table {
+    let total = table.n_rows();
+    if n >= total {
+        return table.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher–Yates over the index vector.
+    let mut indices: Vec<usize> = (0..total).collect();
+    for i in 0..n {
+        let j = rng.gen_range(i..total);
+        indices.swap(i, j);
+    }
+    let mut chosen = indices[..n].to_vec();
+    chosen.sort_unstable();
+    table.take(&chosen)
+}
+
+/// Keeps each row independently with probability `prob` (Bernoulli /
+/// Poisson sampling).
+///
+/// # Panics
+/// Panics unless `0.0 <= prob <= 1.0`.
+pub fn bernoulli_sample(table: &Table, prob: f64, seed: u64) -> Table {
+    assert!((0.0..=1.0).contains(&prob), "prob must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keep: Vec<bool> = (0..table.n_rows()).map(|_| rng.gen::<f64>() < prob).collect();
+    table.filter(|row| keep[row])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_datasets::AdultGenerator;
+
+    #[test]
+    fn sample_size_and_determinism() {
+        let t = AdultGenerator::new(1).generate(500);
+        let a = simple_random_sample(&t, 100, 7);
+        let b = simple_random_sample(&t, 100, 7);
+        assert_eq!(a.n_rows(), 100);
+        assert_eq!(a, b);
+        let c = simple_random_sample(&t, 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_rows_come_from_the_source() {
+        let t = AdultGenerator::new(2).generate(200);
+        let s = simple_random_sample(&t, 50, 1);
+        let ids: std::collections::HashSet<String> = (0..t.n_rows())
+            .map(|r| t.value(r, 0).to_string())
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..s.n_rows() {
+            let id = s.value(r, 0).to_string();
+            assert!(ids.contains(&id));
+            assert!(seen.insert(id), "sampling is without replacement");
+        }
+    }
+
+    #[test]
+    fn oversized_request_returns_everything() {
+        let t = AdultGenerator::new(3).generate(50);
+        assert_eq!(simple_random_sample(&t, 500, 1), t);
+        assert_eq!(simple_random_sample(&t, 50, 1), t);
+    }
+
+    #[test]
+    fn bernoulli_rate_is_plausible() {
+        let t = AdultGenerator::new(4).generate(4000);
+        let s = bernoulli_sample(&t, 0.25, 11);
+        let rate = s.n_rows() as f64 / 4000.0;
+        assert!((0.2..0.3).contains(&rate), "rate {rate}");
+        assert_eq!(bernoulli_sample(&t, 0.0, 1).n_rows(), 0);
+        assert_eq!(bernoulli_sample(&t, 1.0, 1).n_rows(), 4000);
+    }
+}

@@ -1,0 +1,208 @@
+//! Diversity measures related to p-sensitivity.
+//!
+//! p-sensitive k-anonymity counts *distinct* confidential values per group —
+//! exactly what the later literature calls **distinct l-diversity**
+//! (Machanavajjhala et al.). Distinct counting is blind to skew: a 100-tuple
+//! group with 99 × `Flu` and 1 × `HIV` is 2-sensitive yet an intruder is 99%
+//! sure of `Flu`. The stronger **entropy** and **recursive (c,l)** variants
+//! quantify that residual risk; implementing them lets the benches compare
+//! the paper's model against its successors.
+
+use psens_microdata::{GroupBy, Table};
+use serde::Serialize;
+
+/// Per-table diversity profile of one confidential attribute.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DiversityReport {
+    /// Attribute index the report describes.
+    pub attribute: usize,
+    /// Minimum distinct values per group — the attribute's max satisfiable
+    /// `p` (distinct l-diversity).
+    pub distinct_l: u32,
+    /// Minimum effective entropy l over groups: `exp(H(group))`. A group
+    /// satisfies entropy l-diversity iff this is `>= l`.
+    pub entropy_l: f64,
+    /// Maximum, over groups, of the most-frequent-value share — the
+    /// intruder's best-guess confidence anywhere in the table.
+    pub max_confidence: f64,
+}
+
+/// Computes the diversity profile of `attribute` within each QI-group.
+///
+/// Returns `None` for an empty table (no groups to profile).
+pub fn diversity_report(
+    table: &Table,
+    keys: &[usize],
+    attribute: usize,
+) -> Option<DiversityReport> {
+    let groups = GroupBy::compute(table, keys);
+    if groups.n_groups() == 0 {
+        return None;
+    }
+    let (codes, n_distinct) = table.column(attribute).dense_codes();
+    // Per-group histograms over dense codes.
+    let mut histograms: Vec<Vec<u32>> = vec![Vec::new(); groups.n_groups()];
+    for (row, &code) in codes.iter().enumerate() {
+        let g = groups.group_of(row) as usize;
+        if histograms[g].is_empty() {
+            histograms[g] = vec![0; n_distinct as usize];
+        }
+        histograms[g][code as usize] += 1;
+    }
+    let mut distinct_l = u32::MAX;
+    let mut entropy_l = f64::INFINITY;
+    let mut max_confidence: f64 = 0.0;
+    for (g, histogram) in histograms.iter().enumerate() {
+        let size = f64::from(groups.sizes()[g]);
+        let mut distinct = 0u32;
+        let mut entropy = 0.0f64;
+        let mut top = 0u32;
+        for &count in histogram {
+            if count == 0 {
+                continue;
+            }
+            distinct += 1;
+            top = top.max(count);
+            let share = f64::from(count) / size;
+            entropy -= share * share.ln();
+        }
+        distinct_l = distinct_l.min(distinct);
+        entropy_l = entropy_l.min(entropy.exp());
+        max_confidence = max_confidence.max(f64::from(top) / size);
+    }
+    Some(DiversityReport {
+        attribute,
+        distinct_l,
+        entropy_l,
+        max_confidence,
+    })
+}
+
+/// Checks **recursive (c, l)-diversity** of `attribute` in every QI-group:
+/// with per-group frequencies sorted descending `r_1 >= r_2 >= ... >= r_m`,
+/// the group qualifies iff `r_1 < c * (r_l + r_{l+1} + ... + r_m)`.
+pub fn is_recursive_cl_diverse(
+    table: &Table,
+    keys: &[usize],
+    attribute: usize,
+    c: f64,
+    l: usize,
+) -> bool {
+    assert!(l >= 1, "l must be at least 1");
+    let groups = GroupBy::compute(table, keys);
+    let (codes, n_distinct) = table.column(attribute).dense_codes();
+    let mut histograms: Vec<Vec<u32>> = vec![vec![0; n_distinct as usize]; groups.n_groups()];
+    for (row, &code) in codes.iter().enumerate() {
+        histograms[groups.group_of(row) as usize][code as usize] += 1;
+    }
+    for histogram in &histograms {
+        let mut freqs: Vec<u32> = histogram.iter().copied().filter(|&c| c > 0).collect();
+        if freqs.is_empty() {
+            continue;
+        }
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        if freqs.len() < l {
+            return false;
+        }
+        let tail: u32 = freqs[l - 1..].iter().sum();
+        if f64::from(freqs[0]) >= c * f64::from(tail) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::{table_from_str_rows, Attribute, Schema};
+
+    fn table(rows: &[&[&str]]) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::cat_key("Zip"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap();
+        table_from_str_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn balanced_group_has_full_entropy() {
+        let t = table(&[&["A", "x"], &["A", "y"], &["A", "z"]]);
+        let report = diversity_report(&t, &[0], 1).unwrap();
+        assert_eq!(report.distinct_l, 3);
+        assert!((report.entropy_l - 3.0).abs() < 1e-9);
+        assert!((report.max_confidence - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_lowers_entropy_but_not_distinct_count() {
+        // 9x Flu + 1x HIV: distinct l = 2 (2-sensitive!) but the intruder is
+        // 90% confident — entropy l barely above 1.
+        let mut rows: Vec<&[&str]> = vec![&["A", "HIV"]];
+        for _ in 0..9 {
+            rows.push(&["A", "Flu"]);
+        }
+        let t = table(&rows);
+        let report = diversity_report(&t, &[0], 1).unwrap();
+        assert_eq!(report.distinct_l, 2);
+        assert!(report.entropy_l < 1.5, "entropy_l = {}", report.entropy_l);
+        assert!((report.max_confidence - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_minimizes_over_groups() {
+        let t = table(&[
+            &["A", "x"],
+            &["A", "y"],
+            &["B", "x"],
+            &["B", "x"],
+        ]);
+        let report = diversity_report(&t, &[0], 1).unwrap();
+        assert_eq!(report.distinct_l, 1); // group B is homogeneous
+        assert!((report.max_confidence - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_has_no_report() {
+        let t = table(&[&["A", "x"]]).filter(|_| false);
+        assert!(diversity_report(&t, &[0], 1).is_none());
+    }
+
+    #[test]
+    fn recursive_cl_diversity_cases() {
+        // Frequencies 5, 3, 2: r1 = 5.
+        let mut rows: Vec<&[&str]> = Vec::new();
+        for _ in 0..5 {
+            rows.push(&["A", "x"]);
+        }
+        for _ in 0..3 {
+            rows.push(&["A", "y"]);
+        }
+        for _ in 0..2 {
+            rows.push(&["A", "z"]);
+        }
+        let t = table(&rows);
+        // (c=2, l=2): 5 < 2*(3+2) = 10 — diverse.
+        assert!(is_recursive_cl_diverse(&t, &[0], 1, 2.0, 2));
+        // (c=1, l=2): 5 >= 1*(3+2) = 5 — not diverse.
+        assert!(!is_recursive_cl_diverse(&t, &[0], 1, 1.0, 2));
+        // (c=3, l=3): 5 < 3*2 = 6 — diverse.
+        assert!(is_recursive_cl_diverse(&t, &[0], 1, 3.0, 3));
+        // l = 4 exceeds the number of distinct values — not diverse.
+        assert!(!is_recursive_cl_diverse(&t, &[0], 1, 100.0, 4));
+    }
+
+    #[test]
+    fn distinct_l_matches_max_p() {
+        let t = table(&[
+            &["A", "x"],
+            &["A", "y"],
+            &["B", "x"],
+            &["B", "z"],
+        ]);
+        let report = diversity_report(&t, &[0], 1).unwrap();
+        let max_p = psens_core::max_p_of_masked(&t, &[0], &[1]);
+        assert_eq!(report.distinct_l, max_p);
+    }
+}

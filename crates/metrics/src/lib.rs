@@ -1,0 +1,40 @@
+//! # psens-metrics
+//!
+//! Utility and disclosure-risk metrics for masked microdata:
+//!
+//! - [`loss`]: discernibility, normalized average class size, Sweeney's
+//!   precision, suppression ratio, and the normalized certainty penalty for
+//!   local recodings — the axes along which maskings trade privacy for
+//!   usefulness (the paper's "where to draw the line" discussion).
+//! - [`risk`]: identity-disclosure (re-identification) risk from group
+//!   sizes, and attribute-disclosure risk from confidential homogeneity —
+//!   the two disclosure types the paper distinguishes.
+//! - [`diversity`]: distinct / entropy / recursive (c,l) diversity — the
+//!   successor measures p-sensitivity anticipates, for comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use psens_metrics::{discernibility, identity_risk};
+//! use psens_datasets::paper::table1_patients;
+//!
+//! let mm = table1_patients();
+//! let keys = mm.schema().key_indices();
+//! // Three groups of two: DM = 3 * 2^2, worst linkage probability 1/2.
+//! assert_eq!(discernibility(&mm, &keys, 0, mm.n_rows()), 12);
+//! assert!((identity_risk(&mm, &keys).max_risk - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diversity;
+pub mod loss;
+pub mod risk;
+
+pub use diversity::{diversity_report, is_recursive_cl_diverse, DiversityReport};
+pub use loss::{avg_class_size, discernibility, ncp, precision, suppression_ratio, NcpReport};
+pub use risk::{
+    attribute_risk, identity_risk, journalist_risk, AttributeRisk, IdentityRisk,
+    JournalistRisk,
+};

@@ -1,0 +1,274 @@
+//! Information-loss (utility) metrics for masked microdata.
+//!
+//! The paper motivates suppression by noting that pure generalization
+//! "considerably reduces the usefulness of the data"; these metrics quantify
+//! that reduction so maskings can be compared. All are standard in the
+//! anonymization literature: discernibility (Bayardo & Agrawal), average
+//! equivalence-class size (LeFevre), Sweeney's precision, and the normalized
+//! certainty penalty (Xu et al.) for local recodings.
+
+use psens_hierarchy::{Lattice, Node};
+use psens_microdata::hash::FxHashSet;
+use psens_microdata::{Column, GroupBy, Table, Value};
+use serde::Serialize;
+
+/// The **discernibility metric**: `DM = Σ_G |G|² + suppressed · n`.
+///
+/// Each tuple is charged the size of its QI-group (indistinguishable set);
+/// suppressed tuples are charged the whole table size `n` (they are
+/// indistinguishable from everything).
+pub fn discernibility(masked: &Table, keys: &[usize], suppressed: usize, n_initial: usize) -> u64 {
+    let groups = GroupBy::compute(masked, keys);
+    let grouped: u64 = groups
+        .sizes()
+        .iter()
+        .map(|&s| u64::from(s) * u64::from(s))
+        .sum();
+    grouped + (suppressed as u64) * (n_initial as u64)
+}
+
+/// The **normalized average equivalence-class size** `C_avg =
+/// n / (n_groups · k)`: 1.0 means groups are as small as k-anonymity allows;
+/// larger values mean unnecessary coarsening.
+pub fn avg_class_size(masked: &Table, keys: &[usize], k: u32) -> f64 {
+    let groups = GroupBy::compute(masked, keys);
+    if groups.n_groups() == 0 || k == 0 {
+        return 0.0;
+    }
+    masked.n_rows() as f64 / (groups.n_groups() as f64 * f64::from(k))
+}
+
+/// Sweeney's **precision** of a full-domain generalization: one minus the
+/// mean of `level_i / max_level_i` over the key attributes. 1.0 = raw data,
+/// 0.0 = everything fully generalized.
+///
+/// Attributes whose hierarchy has a single domain (no generalization
+/// possible) contribute full precision.
+pub fn precision(node: &Node, lattice: &Lattice) -> f64 {
+    let levels = node.levels();
+    let maxes = lattice.max_levels();
+    assert_eq!(levels.len(), maxes.len(), "node must belong to lattice");
+    if levels.is_empty() {
+        return 1.0;
+    }
+    let lost: f64 = levels
+        .iter()
+        .zip(maxes)
+        .map(|(&l, &m)| {
+            if m == 0 {
+                0.0
+            } else {
+                f64::from(l) / f64::from(m)
+            }
+        })
+        .sum();
+    1.0 - lost / levels.len() as f64
+}
+
+/// Ratio of suppressed tuples to the initial size.
+pub fn suppression_ratio(suppressed: usize, n_initial: usize) -> f64 {
+    if n_initial == 0 {
+        0.0
+    } else {
+        suppressed as f64 / n_initial as f64
+    }
+}
+
+/// Per-attribute and overall **normalized certainty penalty** of a
+/// partitioning of the *initial* microdata (how Mondrian-style local
+/// recodings are scored). 0.0 = no information lost, 1.0 = every partition
+/// spans each attribute's whole domain.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NcpReport {
+    /// `(attribute name, penalty)` per key attribute, averaged over tuples.
+    pub per_attribute: Vec<(String, f64)>,
+    /// Mean of the per-attribute penalties.
+    pub overall: f64,
+}
+
+/// Computes the NCP of `partitions` (disjoint row-index sets) over the key
+/// attributes of `initial`.
+///
+/// Integer attributes score a partition by `range / domain-range`;
+/// categorical attributes by `(d - 1) / (D - 1)` where `d` is the number of
+/// distinct member values and `D` the domain size (0 when `D <= 1`).
+/// Partition scores are weighted by partition size.
+pub fn ncp(initial: &Table, keys: &[usize], partitions: &[Vec<usize>]) -> NcpReport {
+    let n: usize = partitions.iter().map(Vec::len).sum();
+    let mut per_attribute = Vec::with_capacity(keys.len());
+    for &attr in keys {
+        let column = initial.column(attr);
+        let name = initial.schema().attribute(attr).name().to_owned();
+        let penalty = match column {
+            Column::Int(_) => {
+                let (domain_lo, domain_hi) = int_extent(column, 0..initial.n_rows());
+                let width = (domain_hi - domain_lo) as f64;
+                if width == 0.0 || n == 0 {
+                    0.0
+                } else {
+                    partitions
+                        .iter()
+                        .map(|rows| {
+                            let (lo, hi) = int_extent(column, rows.iter().copied());
+                            (hi - lo) as f64 / width * rows.len() as f64
+                        })
+                        .sum::<f64>()
+                        / n as f64
+                }
+            }
+            Column::Cat(_) => {
+                let domain = distinct_count(column, 0..initial.n_rows());
+                if domain <= 1 || n == 0 {
+                    0.0
+                } else {
+                    partitions
+                        .iter()
+                        .map(|rows| {
+                            let d = distinct_count(column, rows.iter().copied());
+                            (d.saturating_sub(1)) as f64 / (domain - 1) as f64
+                                * rows.len() as f64
+                        })
+                        .sum::<f64>()
+                        / n as f64
+                }
+            }
+        };
+        per_attribute.push((name, penalty));
+    }
+    let overall = if per_attribute.is_empty() {
+        0.0
+    } else {
+        per_attribute.iter().map(|(_, p)| p).sum::<f64>() / per_attribute.len() as f64
+    };
+    NcpReport {
+        per_attribute,
+        overall,
+    }
+}
+
+fn int_extent(column: &Column, rows: impl Iterator<Item = usize>) -> (i64, i64) {
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for row in rows {
+        if let Value::Int(v) = column.value(row) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if lo > hi {
+        (0, 0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn distinct_count(column: &Column, rows: impl Iterator<Item = usize>) -> usize {
+    let mut seen: FxHashSet<Value> = FxHashSet::default();
+    for row in rows {
+        seen.insert(column.value(row));
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::{table_from_str_rows, Attribute, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::int_key("Age"),
+            Attribute::cat_key("Sex"),
+        ])
+        .unwrap();
+        table_from_str_rows(
+            schema,
+            &[
+                &["20", "M"],
+                &["30", "M"],
+                &["40", "F"],
+                &["60", "F"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn discernibility_charges_group_squares() {
+        // Two groups of 2 (by Sex): DM = 4 + 4 = 8.
+        let t = table();
+        assert_eq!(discernibility(&t, &[1], 0, 4), 8);
+        // One suppressed tuple adds n = 4.
+        assert_eq!(discernibility(&t, &[1], 1, 4), 12);
+        // Grouping by everything: 4 singletons = 4.
+        assert_eq!(discernibility(&t, &[0, 1], 0, 4), 4);
+    }
+
+    #[test]
+    fn avg_class_size_normalizes_by_k() {
+        let t = table();
+        // By Sex: 4 rows / (2 groups * 2) = 1.0 — optimal for k = 2.
+        assert!((avg_class_size(&t, &[1], 2) - 1.0).abs() < 1e-12);
+        // For k = 1 the same grouping is twice as coarse as needed.
+        assert!((avg_class_size(&t, &[1], 1) - 2.0).abs() < 1e-12);
+        let empty = t.filter(|_| false);
+        assert_eq!(avg_class_size(&empty, &[1], 2), 0.0);
+    }
+
+    #[test]
+    fn precision_bounds() {
+        let lattice = Lattice::new(vec![3, 2, 3, 1]);
+        assert!((precision(&Node(vec![0, 0, 0, 0]), &lattice) - 1.0).abs() < 1e-12);
+        assert!(precision(&Node(vec![3, 2, 3, 1]), &lattice).abs() < 1e-12);
+        let mid = precision(&Node(vec![1, 1, 1, 1]), &lattice);
+        assert!(mid > 0.0 && mid < 1.0);
+        // Monotone: more generalization, less precision.
+        assert!(
+            precision(&Node(vec![1, 0, 0, 0]), &lattice)
+                > precision(&Node(vec![2, 0, 0, 0]), &lattice)
+        );
+    }
+
+    #[test]
+    fn precision_handles_degenerate_dims() {
+        // A dimension with max level 0 cannot lose precision.
+        let lattice = Lattice::new(vec![0, 2]);
+        assert!((precision(&Node(vec![0, 0]), &lattice) - 1.0).abs() < 1e-12);
+        assert!((precision(&Node(vec![0, 2]), &lattice) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suppression_ratio_basics() {
+        assert_eq!(suppression_ratio(0, 100), 0.0);
+        assert_eq!(suppression_ratio(25, 100), 0.25);
+        assert_eq!(suppression_ratio(5, 0), 0.0);
+    }
+
+    #[test]
+    fn ncp_of_singleton_partitions_is_zero() {
+        let t = table();
+        let partitions: Vec<Vec<usize>> = (0..4).map(|i| vec![i]).collect();
+        let report = ncp(&t, &[0, 1], &partitions);
+        assert!(report.overall.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ncp_of_whole_table_is_one() {
+        let t = table();
+        let report = ncp(&t, &[0, 1], &[vec![0, 1, 2, 3]]);
+        assert!((report.overall - 1.0).abs() < 1e-12);
+        assert_eq!(report.per_attribute.len(), 2);
+    }
+
+    #[test]
+    fn ncp_weighs_by_partition_size() {
+        let t = table();
+        // Partition {0,1} spans ages 20-30 (width 10 of 40) and one sex;
+        // partition {2,3} spans 40-60 (width 20 of 40) and one sex.
+        let report = ncp(&t, &[0, 1], &[vec![0, 1], vec![2, 3]]);
+        let age = report.per_attribute[0].1;
+        assert!((age - (10.0 / 40.0 * 0.5 + 20.0 / 40.0 * 0.5)).abs() < 1e-12);
+        let sex = report.per_attribute[1].1;
+        assert!(sex.abs() < 1e-12, "single-sex partitions lose nothing");
+    }
+}

@@ -1,0 +1,274 @@
+//! Disclosure-risk metrics.
+//!
+//! The paper's two disclosure types get one family of metrics each:
+//! re-identification (identity) risk from QI-group sizes, and attribute-
+//! disclosure risk from per-group confidential homogeneity.
+
+use psens_core::disclosure::attribute_disclosures;
+use psens_microdata::{GroupBy, Table};
+use serde::Serialize;
+
+/// Identity-disclosure (prosecutor re-identification) risk profile.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IdentityRisk {
+    /// `1 / min_group_size`: the worst-case linkage probability ("the
+    /// probability to identify correctly an individual is at most 1/k").
+    pub max_risk: f64,
+    /// Mean over tuples of `1 / |G(tuple)|`.
+    pub avg_risk: f64,
+    /// Number of singleton QI-groups (certain re-identification).
+    pub uniques: usize,
+    /// Number of QI-groups.
+    pub n_groups: usize,
+}
+
+/// Computes [`IdentityRisk`] for `table` grouped by `keys`.
+pub fn identity_risk(table: &Table, keys: &[usize]) -> IdentityRisk {
+    let groups = GroupBy::compute(table, keys);
+    let n = table.n_rows();
+    if n == 0 {
+        return IdentityRisk {
+            max_risk: 0.0,
+            avg_risk: 0.0,
+            uniques: 0,
+            n_groups: 0,
+        };
+    }
+    let min = groups.min_group_size().unwrap_or(0).max(1);
+    // Each tuple in a group of size s carries risk 1/s, so each group
+    // contributes exactly 1 to the sum and the mean is n_groups / n.
+    let avg_risk = groups.n_groups() as f64 / n as f64;
+    IdentityRisk {
+        max_risk: 1.0 / f64::from(min),
+        avg_risk,
+        uniques: groups.sizes().iter().filter(|&&s| s == 1).count(),
+        n_groups: groups.n_groups(),
+    }
+}
+
+/// Attribute-disclosure risk profile.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AttributeRisk {
+    /// Number of `(group, attribute)` disclosures — the paper's Table 8
+    /// count.
+    pub disclosures: usize,
+    /// Number of distinct groups with at least one disclosed attribute.
+    pub affected_groups: usize,
+    /// Number of tuples living in a group with at least one disclosed
+    /// attribute.
+    pub affected_tuples: usize,
+    /// Fraction of tuples affected.
+    pub affected_fraction: f64,
+    /// Per-attribute disclosure counts, `(name, count)`.
+    pub per_attribute: Vec<(String, usize)>,
+}
+
+/// Computes [`AttributeRisk`] for `table`.
+pub fn attribute_risk(table: &Table, keys: &[usize], confidential: &[usize]) -> AttributeRisk {
+    let disclosures = attribute_disclosures(table, keys, confidential);
+    let mut per_attribute: Vec<(String, usize)> = confidential
+        .iter()
+        .map(|&attr| (table.schema().attribute(attr).name().to_owned(), 0))
+        .collect();
+    let mut groups_hit: std::collections::BTreeMap<u32, u32> = Default::default();
+    for d in &disclosures {
+        if let Some(entry) = per_attribute.iter_mut().find(|(n, _)| *n == d.attribute_name) {
+            entry.1 += 1;
+        }
+        groups_hit.entry(d.group).or_insert(d.group_size);
+    }
+    let affected_tuples: usize = groups_hit.values().map(|&s| s as usize).sum();
+    AttributeRisk {
+        disclosures: disclosures.len(),
+        affected_groups: groups_hit.len(),
+        affected_tuples,
+        affected_fraction: if table.n_rows() == 0 {
+            0.0
+        } else {
+            affected_tuples as f64 / table.n_rows() as f64
+        },
+        per_attribute,
+    }
+}
+
+/// Journalist-model re-identification risk: the released table is a *sample*
+/// of a larger population the intruder holds, so a released tuple's risk is
+/// `1 / (its key combination's frequency in the population)` — usually far
+/// below the prosecutor risk computed from the sample alone.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JournalistRisk {
+    /// Worst per-tuple risk over the released rows.
+    pub max_risk: f64,
+    /// Mean per-tuple risk over the released rows.
+    pub avg_risk: f64,
+    /// Released tuples whose key combination is unique in the population
+    /// (certain re-identification even under the journalist model).
+    pub population_uniques: usize,
+}
+
+/// Computes [`JournalistRisk`] for a `released` sample against the
+/// `population` it was drawn from. Keys are attribute names present in both
+/// schemas; returns `None` when the released table is empty.
+///
+/// # Errors
+/// Fails when a key attribute is missing from either schema.
+pub fn journalist_risk(
+    released: &Table,
+    population: &Table,
+    keys: &[&str],
+) -> Result<Option<JournalistRisk>, psens_microdata::Error> {
+    use psens_microdata::FrequencySet;
+    if released.is_empty() {
+        // Validate names even for the empty case.
+        released.schema().indices_of(keys)?;
+        population.schema().indices_of(keys)?;
+        return Ok(None);
+    }
+    let released_cols = released.schema().indices_of(keys)?;
+    let population_cols = population.schema().indices_of(keys)?;
+    let frequencies = FrequencySet::of(population, &population_cols);
+    let mut max_risk = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut uniques = 0usize;
+    for row in 0..released.n_rows() {
+        let key: Vec<psens_microdata::Value> = released_cols
+            .iter()
+            .map(|&c| released.value(row, c))
+            .collect();
+        let count = frequencies.count_of(&key);
+        // A released combination absent from the intruder's population file
+        // cannot be linked at all: risk 0.
+        let risk = if count == 0 { 0.0 } else { 1.0 / count as f64 };
+        if count == 1 {
+            uniques += 1;
+        }
+        max_risk = max_risk.max(risk);
+        sum += risk;
+    }
+    Ok(Some(JournalistRisk {
+        max_risk,
+        avg_risk: sum / released.n_rows() as f64,
+        population_uniques: uniques,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::{table_from_str_rows, Attribute, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::cat_key("Zip"),
+            Attribute::cat_confidential("Illness"),
+            Attribute::cat_confidential("Pay"),
+        ])
+        .unwrap();
+        table_from_str_rows(
+            schema,
+            &[
+                &["A", "Flu", "Low"],
+                &["A", "Flu", "High"],
+                &["B", "HIV", "Low"],
+                &["B", "Flu", "Low"],
+                &["C", "HIV", "High"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_risk_profile() {
+        let t = table();
+        let risk = identity_risk(&t, &[0]);
+        // Groups: A(2), B(2), C(1) — min 1 → max risk 1.0, one unique.
+        assert_eq!(risk.max_risk, 1.0);
+        assert_eq!(risk.uniques, 1);
+        assert_eq!(risk.n_groups, 3);
+        assert!((risk.avg_risk - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_risk_improves_with_coarsening() {
+        let t = table();
+        let fine = identity_risk(&t, &[0]);
+        let coarse = identity_risk(&t, &[]); // one group of 5
+        assert!(coarse.max_risk < fine.max_risk);
+        assert_eq!(coarse.uniques, 0);
+        assert!((coarse.max_risk - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribute_risk_profile() {
+        let t = table();
+        let risk = attribute_risk(&t, &[0], &[1, 2]);
+        // Group A: Illness homogeneous (Flu). Group B: Pay homogeneous (Low).
+        // Group C: both homogeneous (singleton).
+        assert_eq!(risk.disclosures, 4);
+        assert_eq!(risk.affected_groups, 3);
+        assert_eq!(risk.affected_tuples, 5);
+        assert!((risk.affected_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(
+            risk.per_attribute,
+            vec![("Illness".to_owned(), 2), ("Pay".to_owned(), 2)]
+        );
+    }
+
+    #[test]
+    fn journalist_risk_uses_population_frequencies() {
+        let population = table();
+        // Release rows 0 and 4: zip A occurs twice in the population, zip C
+        // once.
+        let released = population.take(&[0, 4]);
+        let risk = journalist_risk(&released, &population, &["Zip"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(risk.population_uniques, 1); // the zip-C tuple
+        assert!((risk.max_risk - 1.0).abs() < 1e-12);
+        assert!((risk.avg_risk - (0.5 + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn journalist_risk_is_at_most_prosecutor_risk() {
+        let population = table();
+        let released = population.take(&[0, 2, 4]);
+        let journalist = journalist_risk(&released, &population, &["Zip"])
+            .unwrap()
+            .unwrap();
+        let prosecutor = identity_risk(&released, &[0]);
+        // Population groups are supersets of sample groups.
+        assert!(journalist.max_risk <= prosecutor.max_risk + 1e-12);
+        assert!(journalist.avg_risk <= prosecutor.avg_risk + 1e-12);
+    }
+
+    #[test]
+    fn journalist_risk_edge_cases() {
+        let population = table();
+        let empty = population.filter(|_| false);
+        assert_eq!(
+            journalist_risk(&empty, &population, &["Zip"]).unwrap(),
+            None
+        );
+        assert!(journalist_risk(&population, &population, &["Nope"]).is_err());
+        // A released value absent from the population carries zero risk.
+        let schema = population.schema().clone();
+        let stranger =
+            table_from_str_rows(schema, &[&["Z", "Flu", "Low"]]).unwrap();
+        let risk = journalist_risk(&stranger, &population, &["Zip"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(risk.max_risk, 0.0);
+        assert_eq!(risk.population_uniques, 0);
+    }
+
+    #[test]
+    fn empty_table_risks() {
+        let t = table().filter(|_| false);
+        let risk = identity_risk(&t, &[0]);
+        assert_eq!(risk.max_risk, 0.0);
+        assert_eq!(risk.n_groups, 0);
+        let risk = attribute_risk(&t, &[0], &[1, 2]);
+        assert_eq!(risk.disclosures, 0);
+        assert_eq!(risk.affected_fraction, 0.0);
+    }
+}

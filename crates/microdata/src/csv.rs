@@ -1,0 +1,451 @@
+//! RFC-4180 CSV reading and writing, implemented from scratch.
+//!
+//! The reader handles quoted fields, embedded quotes (`""`), embedded commas
+//! and newlines, and both LF and CRLF line endings. Empty fields and the
+//! Adult dataset's `?` marker parse as [`Value::Missing`].
+
+use crate::builder::TableBuilder;
+use crate::error::{Error, Result};
+use crate::schema::{Kind, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use std::io::{BufRead, Write};
+
+/// Splits raw CSV text into records of fields.
+///
+/// Returns one `Vec<String>` per record. Blank trailing lines are ignored.
+pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    // `started` distinguishes "no record in progress" from "record with one
+    // empty field" so trailing newlines do not emit phantom records.
+    let mut started = false;
+
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                started = true;
+                if !field.is_empty() {
+                    return Err(Error::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                // Quoted field: consume until the closing quote.
+                let mut closed = false;
+                while let Some(qc) = chars.next() {
+                    match qc {
+                        '"' => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                closed = true;
+                                break;
+                            }
+                        }
+                        '\n' => {
+                            line += 1;
+                            field.push('\n');
+                        }
+                        other => field.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(Error::Csv {
+                        line,
+                        message: "unterminated quoted field".into(),
+                    });
+                }
+                // Only a separator or end-of-record may follow a closing quote.
+                match chars.peek() {
+                    None | Some(',') | Some('\n') | Some('\r') => {}
+                    Some(_) => {
+                        return Err(Error::Csv {
+                            line,
+                            message: "data after closing quote".into(),
+                        })
+                    }
+                }
+            }
+            ',' => {
+                started = true;
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Only valid as part of CRLF.
+                if chars.peek() == Some(&'\n') {
+                    continue;
+                }
+                return Err(Error::Csv {
+                    line,
+                    message: "bare carriage return".into(),
+                });
+            }
+            '\n' => {
+                if started || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                started = false;
+                line += 1;
+            }
+            other => {
+                started = true;
+                field.push(other);
+            }
+        }
+    }
+    if started || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Reads a table with a known schema from CSV text.
+///
+/// When `has_header` is true the first record must list the schema's
+/// attribute names in order. Integer columns parse their fields as `i64`;
+/// empty fields and `?` become missing in either kind of column.
+pub fn read_table_str(input: &str, schema: Schema, has_header: bool) -> Result<Table> {
+    let records = parse_records(input)?;
+    let mut iter = records.into_iter().enumerate();
+    if has_header {
+        let (_, header) = iter.next().ok_or(Error::Csv {
+            line: 1,
+            message: "missing header".into(),
+        })?;
+        if header.len() != schema.len() {
+            return Err(Error::ArityMismatch {
+                expected: schema.len(),
+                found: header.len(),
+            });
+        }
+        for (attr, name) in schema.attributes().iter().zip(&header) {
+            if attr.name() != name.trim() {
+                return Err(Error::Csv {
+                    line: 1,
+                    message: format!(
+                        "header field `{}` does not match attribute `{}`",
+                        name,
+                        attr.name()
+                    ),
+                });
+            }
+        }
+    }
+    let mut builder = TableBuilder::new(schema.clone());
+    for (record_idx, record) in iter {
+        let line = record_idx + 1;
+        if record.len() != schema.len() {
+            return Err(Error::ArityMismatch {
+                expected: schema.len(),
+                found: record.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(record.len());
+        for (i, raw) in record.iter().enumerate() {
+            let attr = schema.attribute(i);
+            let trimmed = raw.trim();
+            let value = if trimmed.is_empty() || trimmed == "?" {
+                Value::Missing
+            } else {
+                match attr.kind() {
+                    Kind::Int => Value::Int(trimmed.parse::<i64>().map_err(|_| Error::Parse {
+                        line,
+                        attribute: attr.name().to_owned(),
+                        text: raw.clone(),
+                    })?),
+                    Kind::Cat => Value::Text(trimmed.to_owned()),
+                }
+            };
+            row.push(value);
+        }
+        builder.push_row(row)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a table from any buffered reader; see [`read_table_str`].
+pub fn read_table<R: BufRead>(mut reader: R, schema: Schema, has_header: bool) -> Result<Table> {
+    let mut input = String::new();
+    reader.read_to_string(&mut input)?;
+    read_table_str(&input, schema, has_header)
+}
+
+/// Reads a table with an *inferred* schema from headered CSV text.
+///
+/// Column kinds are inferred from the data: a column whose every present
+/// field parses as `i64` becomes [`Kind::Int`], anything else [`Kind::Cat`].
+/// All attributes get [`Role::Other`] — assign roles afterwards (e.g. via a
+/// spec file) before running privacy checks.
+pub fn read_table_infer(input: &str) -> Result<Table> {
+    use crate::schema::{Attribute, Role};
+
+    let records = parse_records(input)?;
+    let mut iter = records.iter();
+    let header = iter.next().ok_or(Error::Csv {
+        line: 1,
+        message: "missing header".into(),
+    })?;
+    let n_cols = header.len();
+    let mut is_int = vec![true; n_cols];
+    let mut any_present = vec![false; n_cols];
+    for record in records.iter().skip(1) {
+        if record.len() != n_cols {
+            return Err(Error::ArityMismatch {
+                expected: n_cols,
+                found: record.len(),
+            });
+        }
+        for (i, raw) in record.iter().enumerate() {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed == "?" {
+                continue;
+            }
+            any_present[i] = true;
+            if trimmed.parse::<i64>().is_err() {
+                is_int[i] = false;
+            }
+        }
+    }
+    let attributes: Vec<Attribute> = header
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            // Columns with no present value at all default to categorical.
+            let kind = if is_int[i] && any_present[i] {
+                Kind::Int
+            } else {
+                Kind::Cat
+            };
+            Attribute::new(name.trim(), kind, Role::Other)
+        })
+        .collect();
+    read_table_str(input, Schema::new(attributes)?, true)
+}
+
+fn needs_quoting(field: &str) -> bool {
+    field
+        .chars()
+        .any(|c| matches!(c, ',' | '"' | '\n' | '\r'))
+}
+
+fn write_field<W: Write>(out: &mut W, field: &str) -> std::io::Result<()> {
+    if needs_quoting(field) {
+        out.write_all(b"\"")?;
+        for c in field.chars() {
+            if c == '"' {
+                out.write_all(b"\"\"")?;
+            } else {
+                let mut buf = [0u8; 4];
+                out.write_all(c.encode_utf8(&mut buf).as_bytes())?;
+            }
+        }
+        out.write_all(b"\"")
+    } else {
+        out.write_all(field.as_bytes())
+    }
+}
+
+/// Writes a table as CSV; missing cells become empty fields.
+pub fn write_table<W: Write>(out: &mut W, table: &Table, with_header: bool) -> Result<()> {
+    if with_header {
+        for (i, attr) in table.schema().attributes().iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write_field(out, attr.name())?;
+        }
+        out.write_all(b"\n")?;
+    }
+    let single_column = table.schema().len() == 1;
+    for row in 0..table.n_rows() {
+        for col in 0..table.schema().len() {
+            if col > 0 {
+                out.write_all(b",")?;
+            }
+            let value = table.value(row, col);
+            let rendered = value.render();
+            // A single empty field would serialize to a blank line, which
+            // readers (ours included) skip as no record at all; quote it so
+            // the row survives the round trip.
+            if single_column && rendered.is_empty() {
+                out.write_all(b"\"\"")?;
+            } else {
+                write_field(out, &rendered)?;
+            }
+        }
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Renders a table to a CSV string; see [`write_table`].
+pub fn to_csv_string(table: &Table, with_header: bool) -> String {
+    let mut buf = Vec::new();
+    write_table(&mut buf, table, with_header).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::int_key("Age"),
+            Attribute::cat_key("City"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_simple_records() {
+        let records = parse_records("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(records, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let records =
+            parse_records("\"hello, world\",\"say \"\"hi\"\"\",\"multi\nline\"\n").unwrap();
+        assert_eq!(
+            records,
+            vec![vec!["hello, world", "say \"hi\"", "multi\nline"]]
+        );
+    }
+
+    #[test]
+    fn parse_crlf_and_no_trailing_newline() {
+        let records = parse_records("a,b\r\nc,d").unwrap();
+        assert_eq!(records, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn parse_empty_fields() {
+        let records = parse_records(",\na,\n,b\n").unwrap();
+        assert_eq!(
+            records,
+            vec![vec!["", ""], vec!["a", ""], vec!["", "b"]]
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_records("\"unterminated"),
+            Err(Error::Csv { .. })
+        ));
+        assert!(matches!(
+            parse_records("\"x\"y,z"),
+            Err(Error::Csv { .. })
+        ));
+        assert!(matches!(parse_records("a\rb"), Err(Error::Csv { .. })));
+        assert!(matches!(parse_records("ab\"cd"), Err(Error::Csv { .. })));
+    }
+
+    #[test]
+    fn read_with_header() {
+        let input = "Age,City,Illness\n50,Newport,Colon Cancer\n?,Dayton,\n";
+        let t = read_table_str(input, schema(), true).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value(0, 0), Value::Int(50));
+        assert_eq!(t.value(1, 0), Value::Missing);
+        assert_eq!(t.value(1, 2), Value::Missing);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let input = "Age,Town,Illness\n50,Newport,X\n";
+        assert!(matches!(
+            read_table_str(input, schema(), true),
+            Err(Error::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_int_reports_line() {
+        let input = "Age,City,Illness\n50,Newport,X\nold,Dayton,Y\n";
+        match read_table_str(input, schema(), true) {
+            Err(Error::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_quoting_and_missing() {
+        let input = "Age,City,Illness\n50,\"Newport, KY\",\"He said \"\"no\"\"\"\n,Dayton,HIV\n";
+        let t = read_table_str(input, schema(), true).unwrap();
+        let written = to_csv_string(&t, true);
+        let t2 = read_table_str(&written, schema(), true).unwrap();
+        assert_eq!(t, t2);
+        assert!(written.contains("\"Newport, KY\""));
+    }
+
+    #[test]
+    fn single_column_missing_rows_roundtrip() {
+        // Regression: a lone empty field must not serialize to a blank line.
+        let schema = Schema::new(vec![Attribute::cat_key("Only")]).unwrap();
+        let t = read_table_str("Only\n\"\"\nx\n\"\"\n", schema.clone(), true).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.value(0, 0), Value::Missing);
+        let written = to_csv_string(&t, true);
+        let back = read_table_str(&written, schema, true).unwrap();
+        assert_eq!(back, t);
+        assert!(written.contains("\"\"\n"));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let input = "50,Newport\n";
+        assert!(matches!(
+            read_table_str(input, schema(), false),
+            Err(Error::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn infer_schema_kinds() {
+        let input = "Age,City,Note\n50,Newport,ok\n?,Dayton,\n30,Cold Spring,7\n";
+        let t = read_table_infer(input).unwrap();
+        assert_eq!(t.schema().attribute(0).kind(), crate::Kind::Int);
+        assert_eq!(t.schema().attribute(1).kind(), crate::Kind::Cat);
+        // "Note" mixes text and numbers: categorical.
+        assert_eq!(t.schema().attribute(2).kind(), crate::Kind::Cat);
+        assert_eq!(t.value(1, 0), Value::Missing);
+        assert_eq!(t.value(2, 2), Value::Text("7".into()));
+        // All roles default to Other.
+        assert!(t.schema().key_indices().is_empty());
+    }
+
+    #[test]
+    fn infer_all_missing_column_is_categorical() {
+        let input = "A,B\n?,1\n,2\n";
+        let t = read_table_infer(input).unwrap();
+        assert_eq!(t.schema().attribute(0).kind(), crate::Kind::Cat);
+        assert_eq!(t.schema().attribute(1).kind(), crate::Kind::Int);
+    }
+
+    #[test]
+    fn infer_rejects_empty_input() {
+        assert!(matches!(read_table_infer(""), Err(Error::Csv { .. })));
+        assert!(matches!(
+            read_table_infer("A,B\n1\n"),
+            Err(Error::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn read_from_bufread() {
+        let input = b"50,Newport,HIV\n" as &[u8];
+        let t = read_table(input, schema(), false).unwrap();
+        assert_eq!(t.n_rows(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-column summary statistics — the quick profile a data holder inspects
+//! before deciding roles, hierarchies, and thresholds.
+
+use crate::column::Column;
+use crate::table::Table;
+use serde::Serialize;
+
+/// Summary of one column.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ColumnSummary {
+    /// Attribute name.
+    pub name: String,
+    /// Privacy role, rendered (`identifier`/`key`/`confidential`/`other`).
+    pub role: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of missing cells.
+    pub missing: usize,
+    /// Number of distinct values (missing counts once when present).
+    pub distinct: usize,
+    /// Minimum value (integers only).
+    pub min: Option<i64>,
+    /// Maximum value (integers only).
+    pub max: Option<i64>,
+    /// Mean of present values (integers only).
+    pub mean: Option<f64>,
+    /// Most frequent value and its count.
+    pub top: Option<(String, usize)>,
+}
+
+/// Computes a [`ColumnSummary`] for every attribute of `table`.
+pub fn describe(table: &Table) -> Vec<ColumnSummary> {
+    (0..table.schema().len())
+        .map(|idx| describe_column(table, idx))
+        .collect()
+}
+
+/// Computes the summary of one attribute.
+pub fn describe_column(table: &Table, index: usize) -> ColumnSummary {
+    let attr = table.schema().attribute(index);
+    let column = table.column(index);
+    let rows = column.len();
+    let missing = column.missing_count();
+    let distinct = column.n_distinct();
+
+    let (min, max, mean) = match column {
+        Column::Int(ints) => {
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            let mut sum = 0i128;
+            let mut present = 0usize;
+            for value in ints.iter().flatten() {
+                lo = lo.min(value);
+                hi = hi.max(value);
+                sum += i128::from(value);
+                present += 1;
+            }
+            if present == 0 {
+                (None, None, None)
+            } else {
+                (Some(lo), Some(hi), Some(sum as f64 / present as f64))
+            }
+        }
+        Column::Cat(_) => (None, None, None),
+    };
+
+    // Mode over dense codes (missing excluded from the mode).
+    let top = {
+        let (codes, n_distinct) = column.dense_codes();
+        let mut counts = vec![0usize; n_distinct as usize];
+        for (row, &code) in codes.iter().enumerate() {
+            if !column.value(row).is_missing() {
+                counts[code as usize] += 1;
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &count)| count)
+            .filter(|&(_, &count)| count > 0)
+            .map(|(code, &count)| {
+                let row = codes
+                    .iter()
+                    .position(|&c| c as usize == code)
+                    .expect("code occurs");
+                (column.value(row).to_string(), count)
+            })
+    };
+
+    ColumnSummary {
+        name: attr.name().to_owned(),
+        role: attr.role().to_string(),
+        rows,
+        missing,
+        distinct,
+        min,
+        max,
+        mean,
+        top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::table_from_str_rows;
+    use crate::schema::{Attribute, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::int_key("Age"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap();
+        table_from_str_rows(
+            schema,
+            &[
+                &["50", "Flu"],
+                &["30", "Flu"],
+                &["?", "HIV"],
+                &["20", "?"],
+                &["30", "Flu"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn int_summary() {
+        let summary = describe_column(&table(), 0);
+        assert_eq!(summary.name, "Age");
+        assert_eq!(summary.role, "key");
+        assert_eq!(summary.rows, 5);
+        assert_eq!(summary.missing, 1);
+        assert_eq!(summary.distinct, 4); // 50, 30, 20, missing
+        assert_eq!(summary.min, Some(20));
+        assert_eq!(summary.max, Some(50));
+        assert!((summary.mean.unwrap() - 32.5).abs() < 1e-12);
+        assert_eq!(summary.top, Some(("30".into(), 2)));
+    }
+
+    #[test]
+    fn cat_summary() {
+        let summary = describe_column(&table(), 1);
+        assert_eq!(summary.role, "confidential");
+        assert_eq!(summary.missing, 1);
+        assert_eq!(summary.distinct, 3); // Flu, HIV, missing
+        assert_eq!(summary.min, None);
+        assert_eq!(summary.top, Some(("Flu".into(), 3)));
+    }
+
+    #[test]
+    fn describe_covers_all_columns() {
+        let summaries = describe(&table());
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].name, "Age");
+        assert_eq!(summaries[1].name, "Illness");
+    }
+
+    #[test]
+    fn empty_table_summary() {
+        let t = table().filter(|_| false);
+        let summary = describe_column(&t, 0);
+        assert_eq!(summary.rows, 0);
+        assert_eq!(summary.distinct, 0);
+        assert_eq!(summary.min, None);
+        assert_eq!(summary.top, None);
+    }
+
+    #[test]
+    fn all_missing_column() {
+        let schema = Schema::new(vec![Attribute::int_key("A")]).unwrap();
+        let t = table_from_str_rows(schema, &[&["?"], &["?"]]).unwrap();
+        let summary = describe_column(&t, 0);
+        assert_eq!(summary.missing, 2);
+        assert_eq!(summary.distinct, 1);
+        assert_eq!(summary.mean, None);
+        assert_eq!(summary.top, None);
+    }
+}

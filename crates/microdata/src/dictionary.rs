@@ -1,0 +1,129 @@
+//! String interning for categorical columns.
+//!
+//! Categorical columns store `u32` codes into a per-column [`Dictionary`].
+//! This keeps group-by keys fixed-width (see `groupby`) and makes full-domain
+//! generalization a cheap code-to-code remapping (see `psens-hierarchy`).
+
+use crate::hash::FxHashMap;
+
+/// An append-only mapping between strings and dense `u32` codes.
+///
+/// Codes are assigned in first-insertion order starting at zero, so a
+/// dictionary of `n` entries uses exactly the codes `0..n`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    entries: Vec<String>,
+    index: FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary pre-populated with `entries` in order.
+    ///
+    /// Duplicate entries collapse to the first occurrence's code.
+    pub fn from_entries<I, S>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict = Self::new();
+        for entry in entries {
+            dict.intern(entry.as_ref());
+        }
+        dict
+    }
+
+    /// Returns the code for `text`, inserting it if new.
+    pub fn intern(&mut self, text: &str) -> u32 {
+        if let Some(&code) = self.index.get(text) {
+            return code;
+        }
+        let code = u32::try_from(self.entries.len()).expect("dictionary exceeds u32 codes");
+        self.entries.push(text.to_owned());
+        self.index.insert(text.to_owned(), code);
+        code
+    }
+
+    /// Returns the code for `text` if it is already interned.
+    pub fn code(&self, text: &str) -> Option<u32> {
+        self.index.get(text).copied()
+    }
+
+    /// Returns the string for `code`, if valid.
+    pub fn text(&self, code: u32) -> Option<&str> {
+        self.entries.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut dict = Dictionary::new();
+        let a = dict.intern("White");
+        let b = dict.intern("Black");
+        let a2 = dict.intern("White");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn codes_are_dense_and_ordered() {
+        let dict = Dictionary::from_entries(["M", "F", "M", "F"]);
+        assert_eq!(dict.len(), 2);
+        assert_eq!(dict.code("M"), Some(0));
+        assert_eq!(dict.code("F"), Some(1));
+        assert_eq!(dict.text(0), Some("M"));
+        assert_eq!(dict.text(1), Some("F"));
+        assert_eq!(dict.text(2), None);
+        assert_eq!(dict.code("X"), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let dict = Dictionary::from_entries(["c", "a", "b"]);
+        let collected: Vec<(u32, &str)> = dict.iter().collect();
+        assert_eq!(collected, vec![(0, "c"), (1, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let dict = Dictionary::new();
+        assert!(dict.is_empty());
+        assert_eq!(dict.len(), 0);
+        assert_eq!(dict.code(""), None);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_entry() {
+        let mut dict = Dictionary::new();
+        let code = dict.intern("");
+        assert_eq!(dict.text(code), Some(""));
+        assert!(!dict.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! ASCII rendering of tables, for examples, the CLI, and the experiment
+//! harness that regenerates the paper's tables.
+
+use crate::table::Table;
+
+/// Renders a table as an aligned ASCII grid with a header rule.
+///
+/// At most `max_rows` rows are shown; a `... (N more rows)` marker follows
+/// when the table is longer.
+pub fn render(table: &Table, max_rows: usize) -> String {
+    let n_cols = table.schema().len();
+    let shown = table.n_rows().min(max_rows);
+
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown + 1);
+    cells.push(
+        table
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name().to_owned())
+            .collect(),
+    );
+    for row in 0..shown {
+        cells.push(
+            (0..n_cols)
+                .map(|col| table.value(row, col).to_string())
+                .collect(),
+        );
+    }
+
+    let mut widths = vec![0usize; n_cols];
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in cells.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            // Right-pad all but the last column.
+            if i + 1 < n_cols {
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+            for _ in 0..total {
+                out.push('-');
+            }
+            out.push('\n');
+        }
+    }
+    if table.n_rows() > shown {
+        out.push_str(&format!("... ({} more rows)\n", table.n_rows() - shown));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::table_from_str_rows;
+    use crate::schema::{Attribute, Schema};
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::int_key("Age"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap();
+        table_from_str_rows(
+            schema,
+            &[&["50", "Colon Cancer"], &["30", "HIV"], &["20", "Diabetes"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_header_and_rows() {
+        let out = render(&sample(), 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5); // header, rule, 3 rows
+        assert!(lines[0].starts_with("Age"));
+        assert!(lines[0].contains("Illness"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("Colon Cancer"));
+    }
+
+    #[test]
+    fn truncates_long_tables() {
+        let out = render(&sample(), 2);
+        assert!(out.contains("(1 more rows)"));
+        assert!(!out.contains("Diabetes"));
+    }
+
+    #[test]
+    fn columns_align() {
+        let out = render(&sample(), 10);
+        let lines: Vec<&str> = out.lines().collect();
+        // "Illness" column starts at the same byte offset in every data line.
+        let offset = lines[0].find("Illness").unwrap();
+        assert_eq!(lines[2].find("Colon Cancer").unwrap(), offset);
+        assert_eq!(lines[3].find("HIV").unwrap(), offset);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = sample().filter(|_| false);
+        let out = render(&t, 10);
+        assert_eq!(out.lines().count(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Error types for the microdata substrate.
+
+use std::fmt;
+
+/// Errors produced by microdata construction, access, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// An attribute name occurs more than once in a schema.
+    DuplicateAttribute(String),
+    /// A row had a different number of fields than the schema.
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of fields actually provided.
+        found: usize,
+    },
+    /// A value had the wrong type for its column.
+    TypeMismatch {
+        /// Attribute whose column rejected the value.
+        attribute: String,
+        /// Kind the column stores.
+        expected: &'static str,
+        /// Kind that was provided.
+        found: &'static str,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row index.
+        index: usize,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// Columns of differing lengths were combined into one table.
+    LengthMismatch {
+        /// Attribute whose column had the offending length.
+        attribute: String,
+        /// Length of the first column.
+        expected: usize,
+        /// Length of the offending column.
+        found: usize,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line where the problem was detected.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Failure parsing a field into the column's type.
+    Parse {
+        /// 1-based CSV line (0 when not applicable).
+        line: usize,
+        /// Attribute being parsed.
+        attribute: String,
+        /// The raw text that failed to parse.
+        text: String,
+    },
+    /// An I/O error, carried as a string to keep this type `Clone + Eq`.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            Error::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}`"),
+            Error::ArityMismatch { expected, found } => {
+                write!(f, "row has {found} fields, schema declares {expected}")
+            }
+            Error::TypeMismatch {
+                attribute,
+                expected,
+                found,
+            } => write!(
+                f,
+                "attribute `{attribute}` stores {expected} values, got {found}"
+            ),
+            Error::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for table of {len} rows")
+            }
+            Error::LengthMismatch {
+                attribute,
+                expected,
+                found,
+            } => write!(
+                f,
+                "column `{attribute}` has {found} rows, expected {expected}"
+            ),
+            Error::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            Error::Parse {
+                line,
+                attribute,
+                text,
+            } => write!(
+                f,
+                "cannot parse `{text}` for attribute `{attribute}` (line {line})"
+            ),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err.to_string())
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::UnknownAttribute("Zip".into()), "unknown attribute"),
+            (Error::DuplicateAttribute("Age".into()), "duplicate"),
+            (
+                Error::ArityMismatch {
+                    expected: 3,
+                    found: 2,
+                },
+                "2 fields",
+            ),
+            (
+                Error::TypeMismatch {
+                    attribute: "Age".into(),
+                    expected: "integer",
+                    found: "text",
+                },
+                "stores integer",
+            ),
+            (
+                Error::RowOutOfBounds { index: 9, len: 3 },
+                "out of bounds",
+            ),
+            (
+                Error::LengthMismatch {
+                    attribute: "Sex".into(),
+                    expected: 4,
+                    found: 2,
+                },
+                "expected 4",
+            ),
+            (
+                Error::Csv {
+                    line: 7,
+                    message: "unterminated quote".into(),
+                },
+                "line 7",
+            ),
+            (
+                Error::Parse {
+                    line: 2,
+                    attribute: "Age".into(),
+                    text: "abc".into(),
+                },
+                "cannot parse",
+            ),
+            (Error::Io("disk".into()), "I/O"),
+        ];
+        for (err, needle) in cases {
+            let shown = err.to_string();
+            assert!(
+                shown.contains(needle),
+                "`{shown}` should contain `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.csv");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(_)));
+        assert!(err.to_string().contains("missing.csv"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Group-by over attribute subsets: the engine behind every anonymity check.
+//!
+//! The paper tests k-anonymity with
+//! `SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age`
+//! and p-sensitivity with per-group `COUNT(DISTINCT S_j)`. [`GroupBy`]
+//! implements exactly those two operators over columnar data.
+
+use crate::column::Column;
+use crate::hash::FxHashMap;
+use crate::table::Table;
+use crate::value::Value;
+
+/// The result of grouping a table by a set of attributes.
+///
+/// Rows `r, s` belong to the same group iff their cells agree on every
+/// grouping attribute (missing cells compare equal to each other). Group ids
+/// are dense, assigned in order of first appearance.
+#[derive(Debug, Clone)]
+pub struct GroupBy {
+    group_of_row: Vec<u32>,
+    group_sizes: Vec<u32>,
+    representatives: Vec<u32>,
+    by: Vec<usize>,
+}
+
+impl GroupBy {
+    /// Groups `table` by the attributes at `by` (indices into the schema).
+    ///
+    /// Grouping by zero attributes yields a single group holding all rows
+    /// (matching SQL's `GROUP BY ()` semantics); an empty table yields zero
+    /// groups.
+    pub fn compute(table: &Table, by: &[usize]) -> GroupBy {
+        let n = table.n_rows();
+        // Combine one column at a time: `current[r]` is the dense id of row
+        // r's key prefix. Each step refines the partition with the next
+        // column's dense codes. Exact (no hash collisions can merge groups).
+        let mut current = vec![0u32; n];
+        let mut n_groups: u32 = u32::from(n > 0);
+        for &col_idx in by {
+            let (codes, _) = table.column(col_idx).dense_codes();
+            let mut remap: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+            let mut next = 0u32;
+            for (cur, code) in current.iter_mut().zip(codes) {
+                let id = *remap.entry((*cur, code)).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                *cur = id;
+            }
+            n_groups = next;
+        }
+        let mut group_sizes = vec![0u32; n_groups as usize];
+        let mut representatives = vec![u32::MAX; n_groups as usize];
+        for (row, &g) in current.iter().enumerate() {
+            if group_sizes[g as usize] == 0 {
+                representatives[g as usize] = row as u32;
+            }
+            group_sizes[g as usize] += 1;
+        }
+        GroupBy {
+            group_of_row: current,
+            group_sizes,
+            representatives,
+            by: by.to_vec(),
+        }
+    }
+
+    /// Number of groups (the paper's `noGroups`).
+    pub fn n_groups(&self) -> usize {
+        self.group_sizes.len()
+    }
+
+    /// Number of rows that were grouped.
+    pub fn n_rows(&self) -> usize {
+        self.group_of_row.len()
+    }
+
+    /// The attribute indices this grouping was computed over.
+    pub fn by(&self) -> &[usize] {
+        &self.by
+    }
+
+    /// Group id of `row`.
+    pub fn group_of(&self, row: usize) -> u32 {
+        self.group_of_row[row]
+    }
+
+    /// Sizes of all groups, indexed by group id.
+    pub fn sizes(&self) -> &[u32] {
+        &self.group_sizes
+    }
+
+    /// Smallest group size, or `None` for an empty table.
+    pub fn min_group_size(&self) -> Option<u32> {
+        self.group_sizes.iter().copied().min()
+    }
+
+    /// One row index per group (the first row seen in that group).
+    pub fn representatives(&self) -> &[u32] {
+        &self.representatives
+    }
+
+    /// Row indices of each group, indexed by group id.
+    pub fn rows_by_group(&self) -> Vec<Vec<u32>> {
+        let mut rows = vec![Vec::new(); self.n_groups()];
+        for (row, &g) in self.group_of_row.iter().enumerate() {
+            rows[g as usize].push(row as u32);
+        }
+        rows
+    }
+
+    /// Number of rows living in groups of size `< k` — the count of tuples
+    /// that do *not* satisfy k-anonymity, annotated per lattice node in the
+    /// paper's Figure 3 and compared against the suppression threshold TS.
+    pub fn rows_in_small_groups(&self, k: u32) -> usize {
+        self.group_sizes
+            .iter()
+            .filter(|&&size| size < k)
+            .map(|&size| size as usize)
+            .sum()
+    }
+
+    /// Row indices living in groups of size `< k`, in row order — the tuples
+    /// suppression removes.
+    pub fn small_group_rows(&self, k: u32) -> Vec<usize> {
+        self.group_of_row
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| self.group_sizes[g as usize] < k)
+            .map(|(row, _)| row)
+            .collect()
+    }
+
+    /// Per-group `COUNT(DISTINCT column)`: entry `g` is the number of
+    /// distinct values `column` takes among the rows of group `g`.
+    ///
+    /// Missing cells count as one shared distinct value.
+    ///
+    /// # Panics
+    /// Panics when `column` has a different length than the grouped table.
+    pub fn distinct_per_group(&self, column: &Column) -> Vec<u32> {
+        assert_eq!(
+            column.len(),
+            self.group_of_row.len(),
+            "column length must match grouped table"
+        );
+        let (codes, n_distinct) = column.dense_codes();
+        // Visit rows group by group (counting sort by group id) so that
+        // `stamp[code]` — the last group that observed `code` — is reliable:
+        // each group is processed as one contiguous block, so a stamp equal
+        // to the current group can only have been written within the block.
+        let mut offsets = vec![0usize; self.n_groups() + 1];
+        for &g in &self.group_of_row {
+            offsets[g as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut ordered_rows = vec![0u32; self.group_of_row.len()];
+        for (row, &g) in self.group_of_row.iter().enumerate() {
+            ordered_rows[cursor[g as usize]] = row as u32;
+            cursor[g as usize] += 1;
+        }
+        let mut stamp = vec![u32::MAX; n_distinct as usize];
+        let mut counts = vec![0u32; self.n_groups()];
+        for &row in &ordered_rows {
+            let g = self.group_of_row[row as usize];
+            let code = codes[row as usize];
+            if stamp[code as usize] != g {
+                stamp[code as usize] = g;
+                counts[g as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Materializes group `g`'s key as values of the grouping attributes.
+    pub fn key_of_group(&self, table: &Table, g: usize) -> Vec<Value> {
+        let row = self.representatives[g] as usize;
+        self.by.iter().map(|&c| table.value(row, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::table_from_str_rows;
+    use crate::schema::{Attribute, Schema};
+
+    /// The paper's Table 1 (patient masked microdata satisfying 2-anonymity).
+    fn patient_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::int_key("Age"),
+            Attribute::cat_key("ZipCode"),
+            Attribute::cat_key("Sex"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap();
+        table_from_str_rows(
+            schema,
+            &[
+                &["50", "43102", "M", "Colon Cancer"],
+                &["30", "43102", "F", "Breast Cancer"],
+                &["30", "43102", "F", "HIV"],
+                &["20", "43102", "M", "Diabetes"],
+                &["20", "43102", "M", "Diabetes"],
+                &["50", "43102", "M", "Heart Disease"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grouping_matches_table1() {
+        let t = patient_table();
+        let gb = GroupBy::compute(&t, &[0, 1, 2]);
+        assert_eq!(gb.n_groups(), 3);
+        let mut sizes = gb.sizes().to_vec();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2, 2]);
+        assert_eq!(gb.min_group_size(), Some(2));
+        assert_eq!(gb.rows_in_small_groups(2), 0);
+        assert_eq!(gb.rows_in_small_groups(3), 6);
+    }
+
+    #[test]
+    fn same_group_iff_equal_keys() {
+        let t = patient_table();
+        let gb = GroupBy::compute(&t, &[0, 1, 2]);
+        // rows 0 and 5 share (50, 43102, M); rows 3 and 4 share (20, 43102, M)
+        assert_eq!(gb.group_of(0), gb.group_of(5));
+        assert_eq!(gb.group_of(3), gb.group_of(4));
+        assert_ne!(gb.group_of(0), gb.group_of(3));
+        assert_ne!(gb.group_of(1), gb.group_of(0));
+    }
+
+    #[test]
+    fn distinct_per_group_counts_illness() {
+        let t = patient_table();
+        let gb = GroupBy::compute(&t, &[0, 1, 2]);
+        let distinct = gb.distinct_per_group(t.column_by_name("Illness").unwrap());
+        // (50,M): Colon Cancer + Heart Disease = 2 distinct
+        // (30,F): Breast Cancer + HIV = 2 distinct
+        // (20,M): Diabetes, Diabetes = 1 distinct  <-- the homogeneity attack
+        let g_20m = gb.group_of(3) as usize;
+        let g_50m = gb.group_of(0) as usize;
+        let g_30f = gb.group_of(1) as usize;
+        assert_eq!(distinct[g_20m], 1);
+        assert_eq!(distinct[g_50m], 2);
+        assert_eq!(distinct[g_30f], 2);
+    }
+
+    #[test]
+    fn group_by_nothing_is_one_group() {
+        let t = patient_table();
+        let gb = GroupBy::compute(&t, &[]);
+        assert_eq!(gb.n_groups(), 1);
+        assert_eq!(gb.sizes(), &[6]);
+        let distinct = gb.distinct_per_group(t.column_by_name("Illness").unwrap());
+        assert_eq!(distinct, vec![5]);
+    }
+
+    #[test]
+    fn empty_table_yields_zero_groups() {
+        let t = patient_table().filter(|_| false);
+        let gb = GroupBy::compute(&t, &[0]);
+        assert_eq!(gb.n_groups(), 0);
+        assert_eq!(gb.min_group_size(), None);
+        assert_eq!(gb.rows_in_small_groups(2), 0);
+    }
+
+    #[test]
+    fn small_group_rows_lists_suppression_candidates() {
+        let t = patient_table();
+        let gb = GroupBy::compute(&t, &[0, 1, 2]);
+        assert!(gb.small_group_rows(2).is_empty());
+        assert_eq!(gb.small_group_rows(3), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rows_by_group_partitions_all_rows() {
+        let t = patient_table();
+        let gb = GroupBy::compute(&t, &[0, 1, 2]);
+        let rows = gb.rows_by_group();
+        let total: usize = rows.iter().map(Vec::len).sum();
+        assert_eq!(total, t.n_rows());
+        for (g, members) in rows.iter().enumerate() {
+            assert_eq!(members.len() as u32, gb.sizes()[g]);
+            for &r in members {
+                assert_eq!(gb.group_of(r as usize), g as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn key_of_group_returns_grouping_values() {
+        let t = patient_table();
+        let gb = GroupBy::compute(&t, &[2, 0]);
+        let g = gb.group_of(3) as usize;
+        let key = gb.key_of_group(&t, g);
+        assert_eq!(key, vec![Value::Text("M".into()), Value::Int(20)]);
+    }
+
+    #[test]
+    fn distinct_per_group_handles_interleaved_rows() {
+        // Regression: rows of different groups interleave while sharing a
+        // value. A stamp without group-contiguous traversal double-counts
+        // the shared value for the revisited group.
+        let schema = Schema::new(vec![
+            Attribute::cat_key("G"),
+            Attribute::cat_confidential("S"),
+        ])
+        .unwrap();
+        let t = table_from_str_rows(
+            schema,
+            &[
+                &["a", "x"], // group a sees x
+                &["b", "x"], // group b sees x (stamps over a's mark)
+                &["a", "x"], // group a sees x again: still 1 distinct
+                &["b", "y"],
+            ],
+        )
+        .unwrap();
+        let gb = GroupBy::compute(&t, &[0]);
+        let distinct = gb.distinct_per_group(t.column_by_name("S").unwrap());
+        let ga = gb.group_of(0) as usize;
+        let gbid = gb.group_of(1) as usize;
+        assert_eq!(distinct[ga], 1, "group a is homogeneous in S");
+        assert_eq!(distinct[gbid], 2);
+    }
+
+    #[test]
+    fn missing_cells_group_together() {
+        let schema = Schema::new(vec![Attribute::int_key("Age")]).unwrap();
+        let t = table_from_str_rows(schema, &[&["?"], &["?"], &["1"]]).unwrap();
+        let gb = GroupBy::compute(&t, &[0]);
+        assert_eq!(gb.n_groups(), 2);
+        assert_eq!(gb.group_of(0), gb.group_of(1));
+        assert_ne!(gb.group_of(0), gb.group_of(2));
+    }
+}

@@ -1,0 +1,292 @@
+//! Schemas: attribute names, storage kinds, and privacy roles.
+//!
+//! The paper classifies every microdata attribute into one of three privacy
+//! roles (Section 2): *identifier* attributes `I1..Im` (Name, SSN — removed
+//! before release), *key* attributes `K1..Kp` (quasi-identifiers an intruder
+//! may know: ZipCode, Age), and *confidential* attributes `S1..Sq`
+//! (Principal Diagnosis, Annual Income — assumed unknown to intruders). We add
+//! a fourth catch-all role for attributes that play no part in masking.
+
+use crate::error::{Error, Result};
+use crate::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Privacy role of an attribute (paper Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Directly identifies a record (Name, SSN). Present only in the initial
+    /// microdata; stripped from any masked release.
+    Identifier,
+    /// Quasi-identifier / key attribute, possibly known to an intruder
+    /// (ZipCode, Age, Sex). Masked by generalization.
+    Key,
+    /// Confidential attribute whose values must not be disclosed
+    /// (Illness, Income). Released unmasked but protected by p-sensitivity.
+    Confidential,
+    /// Plays no role in the privacy model.
+    Other,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Identifier => "identifier",
+            Role::Key => "key",
+            Role::Confidential => "confidential",
+            Role::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Physical kind of an attribute's column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kind {
+    /// 64-bit integers (ages, incomes, numeric zip codes).
+    Int,
+    /// Dictionary-encoded categorical text.
+    Cat,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kind::Int => "int",
+            Kind::Cat => "cat",
+        })
+    }
+}
+
+/// One attribute: a name, a storage kind, and a privacy role.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    kind: Kind,
+    role: Role,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, kind: Kind, role: Role) -> Self {
+        Attribute {
+            name: name.into(),
+            kind,
+            role,
+        }
+    }
+
+    /// Shorthand for an integer key attribute.
+    pub fn int_key(name: impl Into<String>) -> Self {
+        Attribute::new(name, Kind::Int, Role::Key)
+    }
+
+    /// Shorthand for a categorical key attribute.
+    pub fn cat_key(name: impl Into<String>) -> Self {
+        Attribute::new(name, Kind::Cat, Role::Key)
+    }
+
+    /// Shorthand for an integer confidential attribute.
+    pub fn int_confidential(name: impl Into<String>) -> Self {
+        Attribute::new(name, Kind::Int, Role::Confidential)
+    }
+
+    /// Shorthand for a categorical confidential attribute.
+    pub fn cat_confidential(name: impl Into<String>) -> Self {
+        Attribute::new(name, Kind::Cat, Role::Confidential)
+    }
+
+    /// Shorthand for a categorical identifier attribute.
+    pub fn cat_identifier(name: impl Into<String>) -> Self {
+        Attribute::new(name, Kind::Cat, Role::Identifier)
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Storage kind.
+    pub fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    /// Privacy role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+}
+
+/// An ordered list of attributes with unique names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self> {
+        let mut by_name = FxHashMap::default();
+        for (i, attr) in attributes.iter().enumerate() {
+            if by_name.insert(attr.name.clone(), i).is_some() {
+                return Err(Error::DuplicateAttribute(attr.name.clone()));
+            }
+        }
+        Ok(Schema {
+            attributes,
+            by_name,
+        })
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute at position `index`.
+    pub fn attribute(&self, index: usize) -> &Attribute {
+        &self.attributes[index]
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Positions of several named attributes, in the order given.
+    pub fn indices_of(&self, names: &[&str]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.index_of(n)).collect()
+    }
+
+    /// Positions of all attributes with `role`, in declaration order.
+    pub fn indices_with_role(&self, role: Role) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == role)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Positions of the key (quasi-identifier) attributes.
+    pub fn key_indices(&self) -> Vec<usize> {
+        self.indices_with_role(Role::Key)
+    }
+
+    /// Positions of the confidential attributes.
+    pub fn confidential_indices(&self) -> Vec<usize> {
+        self.indices_with_role(Role::Confidential)
+    }
+
+    /// Positions of the identifier attributes.
+    pub fn identifier_indices(&self) -> Vec<usize> {
+        self.indices_with_role(Role::Identifier)
+    }
+
+    /// Schema with a subset of attributes, preserving their order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let attrs = indices
+            .iter()
+            .map(|&i| {
+                self.attributes
+                    .get(i)
+                    .cloned()
+                    .ok_or(Error::RowOutOfBounds {
+                        index: i,
+                        len: self.attributes.len(),
+                    })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patient_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::cat_identifier("Name"),
+            Attribute::int_key("Age"),
+            Attribute::cat_key("ZipCode"),
+            Attribute::cat_key("Sex"),
+            Attribute::cat_confidential("Illness"),
+            Attribute::int_confidential("Income"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn role_partitioning() {
+        let schema = patient_schema();
+        assert_eq!(schema.len(), 6);
+        assert_eq!(schema.identifier_indices(), vec![0]);
+        assert_eq!(schema.key_indices(), vec![1, 2, 3]);
+        assert_eq!(schema.confidential_indices(), vec![4, 5]);
+        assert!(schema.indices_with_role(Role::Other).is_empty());
+    }
+
+    #[test]
+    fn name_lookup() {
+        let schema = patient_schema();
+        assert_eq!(schema.index_of("Sex").unwrap(), 3);
+        assert_eq!(
+            schema.indices_of(&["Illness", "Age"]).unwrap(),
+            vec![4, 1]
+        );
+        assert!(matches!(
+            schema.index_of("SSN"),
+            Err(Error::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let result = Schema::new(vec![
+            Attribute::int_key("Age"),
+            Attribute::cat_key("Age"),
+        ]);
+        assert!(matches!(result, Err(Error::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn projection() {
+        let schema = patient_schema();
+        let projected = schema.project(&[3, 1]).unwrap();
+        assert_eq!(projected.len(), 2);
+        assert_eq!(projected.attribute(0).name(), "Sex");
+        assert_eq!(projected.attribute(1).name(), "Age");
+        assert!(schema.project(&[99]).is_err());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Role::Key.to_string(), "key");
+        assert_eq!(Role::Confidential.to_string(), "confidential");
+        assert_eq!(Kind::Int.to_string(), "int");
+        assert_eq!(Kind::Cat.to_string(), "cat");
+    }
+
+    #[test]
+    fn attribute_accessors() {
+        let attr = Attribute::new("Pay", Kind::Cat, Role::Confidential);
+        assert_eq!(attr.name(), "Pay");
+        assert_eq!(attr.kind(), Kind::Cat);
+        assert_eq!(attr.role(), Role::Confidential);
+    }
+}

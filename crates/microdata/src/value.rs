@@ -1,0 +1,165 @@
+//! Scalar values held by microdata cells.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+
+/// A single microdata cell.
+///
+/// Microdata attributes are either integral (ages, incomes, zip codes stored
+/// numerically) or categorical text (diagnoses, marital status). Missing
+/// values — Adult's `?` fields, or cells blanked by local suppression — are
+/// first-class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / suppressed cell. Sorts before every present value.
+    Missing,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Categorical text.
+    Text(String),
+}
+
+impl Value {
+    /// Human-readable name of the value's kind, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Missing => "missing",
+            Value::Int(_) => "integer",
+            Value::Text(_) => "text",
+        }
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload, if this is a [`Value::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the cell is [`Value::Missing`].
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Renders the value the way the CSV writer emits it: integers in
+    /// decimal, text verbatim, missing as the empty string.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Missing => Cow::Borrowed(""),
+            Value::Int(v) => Cow::Owned(v.to_string()),
+            Value::Text(s) => Cow::Borrowed(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Missing => f.write_str("·"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Missing, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from("HIV"), Value::Text("HIV".into()));
+        assert_eq!(Value::from(String::from("x")), Value::Text("x".into()));
+        assert_eq!(Value::from(None::<i64>), Value::Missing);
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Text("a".into()).as_int(), None);
+        assert_eq!(Value::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(Value::Int(5).as_text(), None);
+        assert!(Value::Missing.is_missing());
+        assert!(!Value::Int(0).is_missing());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Missing.kind_name(), "missing");
+        assert_eq!(Value::Int(1).kind_name(), "integer");
+        assert_eq!(Value::Text(String::new()).kind_name(), "text");
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(Value::Missing.render(), "");
+        assert_eq!(Value::Int(-3).render(), "-3");
+        assert_eq!(Value::Text("Colon Cancer".into()).render(), "Colon Cancer");
+        assert_eq!(Value::Missing.to_string(), "·");
+    }
+
+    #[test]
+    fn ordering_puts_missing_first() {
+        let mut values = vec![
+            Value::Text("b".into()),
+            Value::Int(2),
+            Value::Missing,
+            Value::Int(1),
+            Value::Text("a".into()),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::Missing,
+                Value::Int(1),
+                Value::Int(2),
+                Value::Text("a".into()),
+                Value::Text("b".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Abstract syntax for the SQL subset.
+
+use psens_microdata::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// Applies the operator to an ordering outcome.
+    pub fn evaluate(self, ordering: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ordering),
+            (CompareOp::Eq, Equal)
+                | (CompareOp::Neq, Less | Greater)
+                | (CompareOp::Lt, Less)
+                | (CompareOp::Le, Less | Equal)
+                | (CompareOp::Gt, Greater)
+                | (CompareOp::Ge, Greater | Equal)
+        )
+    }
+}
+
+/// A row predicate (the `WHERE` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column op literal`
+    Compare {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal to compare against.
+        literal: Value,
+    },
+    /// `column IS NULL`
+    IsNull(String),
+    /// `column IS NOT NULL`
+    IsNotNull(String),
+    /// Logical conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Logical disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Logical negation.
+    Not(Box<Predicate>),
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFn {
+    /// `COUNT(*)` / `COUNT(col)` / `COUNT(DISTINCT col)`
+    Count,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+    /// `SUM(col)` (integer columns only)
+    Sum,
+}
+
+/// One item in the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A bare column reference.
+    Column(String),
+    /// An aggregate call.
+    Aggregate {
+        /// The function.
+        func: AggregateFn,
+        /// Argument column; `None` means `*` (COUNT only).
+        column: Option<String>,
+        /// `DISTINCT` modifier (COUNT only).
+        distinct: bool,
+    },
+}
+
+/// A `HAVING` condition: `aggregate op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Having {
+    /// The aggregate on the left-hand side.
+    pub aggregate: SelectItem,
+    /// The operator.
+    pub op: CompareOp,
+    /// The right-hand literal.
+    pub literal: Value,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A full query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The select list.
+    pub select: Vec<SelectItem>,
+    /// Table name after `FROM` (checked against the supplied table's name).
+    pub from: String,
+    /// Optional row filter.
+    pub where_clause: Option<Predicate>,
+    /// Grouping columns.
+    pub group_by: Vec<String>,
+    /// Optional group filter.
+    pub having: Option<Having>,
+    /// Output ordering: `(select-list index, direction)`.
+    pub order_by: Option<(usize, SortOrder)>,
+    /// Optional row cap.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn compare_op_truth_table() {
+        assert!(CompareOp::Eq.evaluate(Ordering::Equal));
+        assert!(!CompareOp::Eq.evaluate(Ordering::Less));
+        assert!(CompareOp::Neq.evaluate(Ordering::Less));
+        assert!(!CompareOp::Neq.evaluate(Ordering::Equal));
+        assert!(CompareOp::Lt.evaluate(Ordering::Less));
+        assert!(CompareOp::Le.evaluate(Ordering::Equal));
+        assert!(CompareOp::Gt.evaluate(Ordering::Greater));
+        assert!(CompareOp::Ge.evaluate(Ordering::Greater));
+        assert!(!CompareOp::Ge.evaluate(Ordering::Less));
+    }
+}

@@ -1,0 +1,60 @@
+//! Errors for the SQL subset.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing, or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Tokenizer failure.
+    Lex(String),
+    /// Parser failure.
+    Parse(String),
+    /// Binder/executor failure (unknown column, bad aggregate use, ...).
+    Plan(String),
+    /// Error bubbled up from the microdata layer.
+    Microdata(psens_microdata::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex(msg) => write!(f, "lex error: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Plan(msg) => write!(f, "plan error: {msg}"),
+            Error::Microdata(e) => write!(f, "microdata error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Microdata(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<psens_microdata::Error> for Error {
+    fn from(e: psens_microdata::Error) -> Self {
+        Error::Microdata(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::Lex("x".into()).to_string().contains("lex"));
+        assert!(Error::Parse("x".into()).to_string().contains("parse"));
+        assert!(Error::Plan("x".into()).to_string().contains("plan"));
+        let e: Error = psens_microdata::Error::UnknownAttribute("Q".into()).into();
+        assert!(e.to_string().contains("Q"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

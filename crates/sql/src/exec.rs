@@ -1,0 +1,561 @@
+//! Query execution over `psens_microdata::Table`s.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use psens_microdata::{
+    Attribute, GroupBy, Kind, Role, Schema, Table, TableBuilder, Value,
+};
+use std::collections::BTreeMap;
+
+/// A named collection of tables queries can reference in `FROM`.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog<'a> {
+    tables: BTreeMap<String, &'a Table>,
+}
+
+impl<'a> Catalog<'a> {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `table` under `name` (replacing any previous binding).
+    pub fn register(&mut self, name: impl Into<String>, table: &'a Table) -> &mut Self {
+        self.tables.insert(name.into(), table);
+        self
+    }
+
+    /// Looks a table up by name.
+    pub fn get(&self, name: &str) -> Result<&'a Table> {
+        self.tables
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::Plan(format!("unknown table `{name}`")))
+    }
+}
+
+/// Parses and executes `sql` against the catalog, returning a result table.
+pub fn execute(catalog: &Catalog<'_>, sql: &str) -> Result<Table> {
+    let query = crate::parser::parse(sql)?;
+    execute_query(catalog, &query)
+}
+
+/// Executes an already-parsed query.
+pub fn execute_query(catalog: &Catalog<'_>, query: &Query) -> Result<Table> {
+    let table = catalog.get(&query.from)?;
+
+    // WHERE: row filter.
+    let filtered: Table = match &query.where_clause {
+        Some(predicate) => {
+            // Resolve column names once.
+            check_predicate_columns(predicate, table)?;
+            table.filter(|row| evaluate_predicate(predicate, table, row))
+        }
+        None => table.clone(),
+    };
+
+    let has_aggregates = query
+        .select
+        .iter()
+        .any(|item| matches!(item, SelectItem::Aggregate { .. }));
+
+    let mut result = if !query.group_by.is_empty() {
+        execute_grouped(&filtered, query)?
+    } else if has_aggregates {
+        execute_global_aggregates(&filtered, query)?
+    } else {
+        execute_projection(&filtered, query)?
+    };
+
+    // ORDER BY: stable sort on one output column.
+    if let Some((index, order)) = query.order_by {
+        if index >= result.schema().len() {
+            return Err(Error::Plan(format!(
+                "ORDER BY position {} exceeds the select list",
+                index + 1
+            )));
+        }
+        let mut rows: Vec<usize> = (0..result.n_rows()).collect();
+        rows.sort_by(|&a, &b| {
+            let ordering = result.value(a, index).cmp(&result.value(b, index));
+            match order {
+                SortOrder::Asc => ordering,
+                SortOrder::Desc => ordering.reverse(),
+            }
+        });
+        result = result.take(&rows);
+    }
+    if let Some(limit) = query.limit {
+        let rows: Vec<usize> = (0..result.n_rows().min(limit)).collect();
+        result = result.take(&rows);
+    }
+    Ok(result)
+}
+
+fn check_predicate_columns(predicate: &Predicate, table: &Table) -> Result<()> {
+    match predicate {
+        Predicate::Compare { column, .. }
+        | Predicate::IsNull(column)
+        | Predicate::IsNotNull(column) => {
+            table.schema().index_of(column)?;
+            Ok(())
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            check_predicate_columns(a, table)?;
+            check_predicate_columns(b, table)
+        }
+        Predicate::Not(inner) => check_predicate_columns(inner, table),
+    }
+}
+
+fn evaluate_predicate(predicate: &Predicate, table: &Table, row: usize) -> bool {
+    match predicate {
+        Predicate::Compare {
+            column,
+            op,
+            literal,
+        } => {
+            let idx = table
+                .schema()
+                .index_of(column)
+                .expect("columns checked before evaluation");
+            let value = table.value(row, idx);
+            match (&value, literal) {
+                // SQL three-valued logic collapsed: NULL comparisons are false.
+                (Value::Missing, _) => false,
+                (Value::Int(a), Value::Int(b)) => op.evaluate(a.cmp(b)),
+                (Value::Text(a), Value::Text(b)) => op.evaluate(a.as_str().cmp(b.as_str())),
+                // Cross-type comparisons are false rather than errors, as in
+                // dynamically-typed engines.
+                _ => false,
+            }
+        }
+        Predicate::IsNull(column) => {
+            let idx = table.schema().index_of(column).expect("checked");
+            table.value(row, idx).is_missing()
+        }
+        Predicate::IsNotNull(column) => {
+            let idx = table.schema().index_of(column).expect("checked");
+            !table.value(row, idx).is_missing()
+        }
+        Predicate::And(a, b) => {
+            evaluate_predicate(a, table, row) && evaluate_predicate(b, table, row)
+        }
+        Predicate::Or(a, b) => {
+            evaluate_predicate(a, table, row) || evaluate_predicate(b, table, row)
+        }
+        Predicate::Not(inner) => !evaluate_predicate(inner, table, row),
+    }
+}
+
+/// Output column name for a select item.
+fn item_name(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Column(name) => name.clone(),
+        SelectItem::Aggregate {
+            func,
+            column,
+            distinct,
+        } => {
+            let func = match func {
+                AggregateFn::Count => "COUNT",
+                AggregateFn::Min => "MIN",
+                AggregateFn::Max => "MAX",
+                AggregateFn::Sum => "SUM",
+            };
+            match column {
+                None => format!("{func}(*)"),
+                Some(col) if *distinct => format!("{func}(DISTINCT {col})"),
+                Some(col) => format!("{func}({col})"),
+            }
+        }
+    }
+}
+
+/// Output kind of a select item.
+fn item_kind(item: &SelectItem, table: &Table) -> Result<Kind> {
+    match item {
+        SelectItem::Column(name) => {
+            let idx = table.schema().index_of(name)?;
+            Ok(table.schema().attribute(idx).kind())
+        }
+        SelectItem::Aggregate { func, column, .. } => match func {
+            AggregateFn::Count => Ok(Kind::Int),
+            AggregateFn::Sum => {
+                let name = column.as_ref().expect("parser enforces an argument");
+                let idx = table.schema().index_of(name)?;
+                if table.schema().attribute(idx).kind() != Kind::Int {
+                    return Err(Error::Plan(format!("SUM({name}) needs an integer column")));
+                }
+                Ok(Kind::Int)
+            }
+            AggregateFn::Min | AggregateFn::Max => {
+                let name = column.as_ref().expect("parser enforces an argument");
+                let idx = table.schema().index_of(name)?;
+                Ok(table.schema().attribute(idx).kind())
+            }
+        },
+    }
+}
+
+/// Evaluates an aggregate over a set of row indices.
+fn evaluate_aggregate(item: &SelectItem, table: &Table, rows: &[usize]) -> Result<Value> {
+    let SelectItem::Aggregate {
+        func,
+        column,
+        distinct,
+    } = item
+    else {
+        unreachable!("caller dispatches on aggregates");
+    };
+    match func {
+        AggregateFn::Count => match column {
+            None => Ok(Value::Int(rows.len() as i64)),
+            Some(name) => {
+                let idx = table.schema().index_of(name)?;
+                if *distinct {
+                    let mut seen = std::collections::HashSet::new();
+                    for &row in rows {
+                        let value = table.value(row, idx);
+                        if !value.is_missing() {
+                            seen.insert(value);
+                        }
+                    }
+                    Ok(Value::Int(seen.len() as i64))
+                } else {
+                    let present = rows
+                        .iter()
+                        .filter(|&&row| !table.value(row, idx).is_missing())
+                        .count();
+                    Ok(Value::Int(present as i64))
+                }
+            }
+        },
+        AggregateFn::Sum => {
+            let idx = table.schema().index_of(column.as_ref().expect("arg"))?;
+            let mut sum = 0i64;
+            let mut any = false;
+            for &row in rows {
+                if let Value::Int(v) = table.value(row, idx) {
+                    sum = sum.checked_add(v).ok_or_else(|| {
+                        Error::Plan("SUM overflowed 64 bits".into())
+                    })?;
+                    any = true;
+                }
+            }
+            Ok(if any { Value::Int(sum) } else { Value::Missing })
+        }
+        AggregateFn::Min | AggregateFn::Max => {
+            let idx = table.schema().index_of(column.as_ref().expect("arg"))?;
+            let mut best: Option<Value> = None;
+            for &row in rows {
+                let value = table.value(row, idx);
+                if value.is_missing() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => value,
+                    Some(current) => {
+                        let take_new = match func {
+                            AggregateFn::Min => value < current,
+                            AggregateFn::Max => value > current,
+                            _ => unreachable!(),
+                        };
+                        if take_new {
+                            value
+                        } else {
+                            current
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Missing))
+        }
+    }
+}
+
+fn output_schema(items: &[&SelectItem], table: &Table) -> Result<Schema> {
+    let mut names = std::collections::HashMap::new();
+    let mut attrs = Vec::with_capacity(items.len());
+    for item in items {
+        let base = item_name(item);
+        let count = names.entry(base.clone()).or_insert(0usize);
+        *count += 1;
+        let name = if *count == 1 {
+            base
+        } else {
+            format!("{base}_{count}")
+        };
+        attrs.push(Attribute::new(name, item_kind(item, table)?, Role::Other));
+    }
+    Ok(Schema::new(attrs)?)
+}
+
+fn execute_projection(filtered: &Table, query: &Query) -> Result<Table> {
+    let items: Vec<&SelectItem> = query.select.iter().collect();
+    let schema = output_schema(&items, filtered)?;
+    let mut builder = TableBuilder::new(schema);
+    let indices: Vec<usize> = items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Column(name) => filtered.schema().index_of(name).map_err(Error::from),
+            SelectItem::Aggregate { .. } => unreachable!("no aggregates here"),
+        })
+        .collect::<Result<_>>()?;
+    for row in 0..filtered.n_rows() {
+        let values = indices.iter().map(|&i| filtered.value(row, i)).collect();
+        builder.push_row(values)?;
+    }
+    Ok(builder.finish())
+}
+
+fn execute_global_aggregates(filtered: &Table, query: &Query) -> Result<Table> {
+    for item in &query.select {
+        if matches!(item, SelectItem::Column(_)) {
+            return Err(Error::Plan(
+                "bare columns need GROUP BY when aggregates are present".into(),
+            ));
+        }
+    }
+    let items: Vec<&SelectItem> = query.select.iter().collect();
+    let schema = output_schema(&items, filtered)?;
+    let rows: Vec<usize> = (0..filtered.n_rows()).collect();
+    let mut builder = TableBuilder::new(schema);
+    let values = items
+        .iter()
+        .map(|item| evaluate_aggregate(item, filtered, &rows))
+        .collect::<Result<Vec<_>>>()?;
+    builder.push_row(values)?;
+    Ok(builder.finish())
+}
+
+fn execute_grouped(filtered: &Table, query: &Query) -> Result<Table> {
+    let group_cols: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|name| filtered.schema().index_of(name).map_err(Error::from))
+        .collect::<Result<_>>()?;
+    // Bare select columns must be grouping columns.
+    for item in &query.select {
+        if let SelectItem::Column(name) = item {
+            if !query.group_by.iter().any(|g| g == name) {
+                return Err(Error::Plan(format!(
+                    "column `{name}` must appear in GROUP BY"
+                )));
+            }
+        }
+    }
+    let groups = GroupBy::compute(filtered, &group_cols);
+    let rows_by_group = groups.rows_by_group();
+    let items: Vec<&SelectItem> = query.select.iter().collect();
+    let schema = output_schema(&items, filtered)?;
+    let mut builder = TableBuilder::new(schema);
+    for (g, members) in rows_by_group.iter().enumerate() {
+        let member_rows: Vec<usize> = members.iter().map(|&r| r as usize).collect();
+        // HAVING: filter groups by one aggregate comparison.
+        if let Some(having) = &query.having {
+            let value = evaluate_aggregate(&having.aggregate, filtered, &member_rows)?;
+            let keep = match (&value, &having.literal) {
+                (Value::Int(a), Value::Int(b)) => having.op.evaluate(a.cmp(b)),
+                (Value::Text(a), Value::Text(b)) => {
+                    having.op.evaluate(a.as_str().cmp(b.as_str()))
+                }
+                _ => false,
+            };
+            if !keep {
+                continue;
+            }
+        }
+        let representative = members[0] as usize;
+        let values = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Column(name) => {
+                    let idx = filtered.schema().index_of(name)?;
+                    Ok(filtered.value(representative, idx))
+                }
+                SelectItem::Aggregate { .. } => {
+                    evaluate_aggregate(item, filtered, &member_rows)
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        builder.push_row(values)?;
+        let _ = g;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_datasets::paper::{table1_patients, table3_psensitive_example};
+
+    fn catalog_with<'a>(name: &str, table: &'a Table) -> Catalog<'a> {
+        let mut catalog = Catalog::new();
+        catalog.register(name, table);
+        catalog
+    }
+
+    #[test]
+    fn the_papers_k_anonymity_check_runs_verbatim() {
+        // "SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age" — if the
+        // results include groups with count less than k, Patient is not
+        // k-anonymous.
+        let patient = table1_patients();
+        let catalog = catalog_with("Patient", &patient);
+        let result = execute(
+            &catalog,
+            "SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age",
+        )
+        .unwrap();
+        assert_eq!(result.n_rows(), 3);
+        for row in 0..result.n_rows() {
+            assert!(result.value(row, 0).as_int().unwrap() >= 2, "2-anonymous");
+        }
+        // The HAVING form directly lists violating groups: none for k = 2.
+        let violators = execute(
+            &catalog,
+            "SELECT Sex, ZipCode, Age, COUNT(*) FROM Patient \
+             GROUP BY Sex, ZipCode, Age HAVING COUNT(*) < 2",
+        )
+        .unwrap();
+        assert_eq!(violators.n_rows(), 0);
+        // ...and three for k = 3.
+        let violators = execute(
+            &catalog,
+            "SELECT Sex, COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age \
+             HAVING COUNT(*) < 3",
+        )
+        .unwrap();
+        assert_eq!(violators.n_rows(), 3);
+    }
+
+    #[test]
+    fn the_papers_count_distinct_runs_verbatim() {
+        // "SELECT COUNT (distinct Sj) FROM IM" — Condition 1's s_j.
+        let im = table3_psensitive_example();
+        let catalog = catalog_with("IM", &im);
+        let result = execute(&catalog, "SELECT COUNT(DISTINCT Illness) FROM IM").unwrap();
+        assert_eq!(result.value(0, 0), Value::Int(3));
+        let result = execute(&catalog, "SELECT COUNT(DISTINCT Income) FROM IM").unwrap();
+        assert_eq!(result.value(0, 0), Value::Int(3));
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let patient = table1_patients();
+        let catalog = catalog_with("Patient", &patient);
+        let result = execute(
+            &catalog,
+            "SELECT Illness FROM Patient WHERE Sex = 'M' AND Age <> '50'",
+        )
+        .unwrap();
+        assert_eq!(result.n_rows(), 2);
+        assert_eq!(result.value(0, 0), Value::Text("Diabetes".into()));
+    }
+
+    #[test]
+    fn aggregates_min_max_sum() {
+        let t = table3_psensitive_example();
+        let catalog = catalog_with("T", &t);
+        let result = execute(
+            &catalog,
+            "SELECT MIN(Income), MAX(Income), SUM(Income), COUNT(Income) FROM T",
+        )
+        .unwrap();
+        assert_eq!(result.value(0, 0), Value::Int(30000));
+        assert_eq!(result.value(0, 1), Value::Int(50000));
+        assert_eq!(result.value(0, 2), Value::Int(290000));
+        assert_eq!(result.value(0, 3), Value::Int(7));
+    }
+
+    #[test]
+    fn group_by_with_keys_and_order() {
+        let t = table3_psensitive_example();
+        let catalog = catalog_with("T", &t);
+        let result = execute(
+            &catalog,
+            "SELECT Sex, COUNT(*), COUNT(DISTINCT Illness) FROM T GROUP BY Sex \
+             ORDER BY 2 DESC",
+        )
+        .unwrap();
+        assert_eq!(result.n_rows(), 2);
+        assert_eq!(result.value(0, 0), Value::Text("M".into()));
+        assert_eq!(result.value(0, 1), Value::Int(4));
+        assert_eq!(result.value(0, 2), Value::Int(2));
+        assert_eq!(result.value(1, 1), Value::Int(3));
+    }
+
+    #[test]
+    fn limit_and_order_on_projection() {
+        let t = table1_patients();
+        let catalog = catalog_with("T", &t);
+        let result = execute(
+            &catalog,
+            "SELECT Illness FROM T ORDER BY 1 ASC LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(result.n_rows(), 2);
+        assert_eq!(result.value(0, 0), Value::Text("Breast Cancer".into()));
+        assert_eq!(result.value(1, 0), Value::Text("Colon Cancer".into()));
+    }
+
+    #[test]
+    fn null_semantics() {
+        use psens_microdata::table_from_str_rows;
+        let schema = Schema::new(vec![
+            Attribute::new("A", Kind::Int, Role::Other),
+            Attribute::new("B", Kind::Cat, Role::Other),
+        ])
+        .unwrap();
+        let t = table_from_str_rows(schema, &[&["1", "x"], &["?", "y"], &["3", "?"]]).unwrap();
+        let catalog = catalog_with("T", &t);
+        // NULL never satisfies a comparison.
+        let r = execute(&catalog, "SELECT B FROM T WHERE A > 0").unwrap();
+        assert_eq!(r.n_rows(), 2);
+        let r = execute(&catalog, "SELECT B FROM T WHERE A IS NULL").unwrap();
+        assert_eq!(r.n_rows(), 1);
+        assert_eq!(r.value(0, 0), Value::Text("y".into()));
+        // COUNT(col) skips NULLs; COUNT(*) does not.
+        let r = execute(&catalog, "SELECT COUNT(*), COUNT(A), COUNT(B) FROM T").unwrap();
+        assert_eq!(r.value(0, 0), Value::Int(3));
+        assert_eq!(r.value(0, 1), Value::Int(2));
+        assert_eq!(r.value(0, 2), Value::Int(2));
+        // MIN over an empty set is NULL.
+        let r = execute(&catalog, "SELECT MIN(A) FROM T WHERE A > 100").unwrap();
+        assert_eq!(r.value(0, 0), Value::Missing);
+    }
+
+    #[test]
+    fn plan_errors() {
+        let t = table1_patients();
+        let catalog = catalog_with("T", &t);
+        assert!(execute(&catalog, "SELECT X FROM T").is_err());
+        assert!(execute(&catalog, "SELECT Age FROM Nope").is_err());
+        assert!(execute(&catalog, "SELECT Age, COUNT(*) FROM T").is_err());
+        assert!(execute(&catalog, "SELECT Illness FROM T GROUP BY Sex").is_err());
+        assert!(execute(&catalog, "SELECT SUM(Illness) FROM T").is_err());
+        assert!(execute(&catalog, "SELECT Age FROM T WHERE Nope = 1").is_err());
+        assert!(execute(&catalog, "SELECT Age FROM T ORDER BY 5").is_err());
+    }
+
+    #[test]
+    fn duplicate_select_items_get_unique_names() {
+        let t = table1_patients();
+        let catalog = catalog_with("T", &t);
+        let r = execute(&catalog, "SELECT COUNT(*), COUNT(*) FROM T").unwrap();
+        assert_eq!(r.schema().attribute(0).name(), "COUNT(*)");
+        assert_eq!(r.schema().attribute(1).name(), "COUNT(*)_2");
+    }
+
+    #[test]
+    fn empty_group_by_result() {
+        let t = table1_patients().filter(|_| false);
+        let catalog = catalog_with("T", &t);
+        let r = execute(&catalog, "SELECT Sex, COUNT(*) FROM T GROUP BY Sex").unwrap();
+        assert_eq!(r.n_rows(), 0);
+        // Global aggregate over the empty table still yields one row.
+        let r = execute(&catalog, "SELECT COUNT(*) FROM T").unwrap();
+        assert_eq!(r.value(0, 0), Value::Int(0));
+    }
+}

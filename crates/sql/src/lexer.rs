@@ -1,0 +1,188 @@
+//! Tokenizer for the SQL subset.
+
+use crate::error::{Error, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Bare identifier or keyword (keywords are matched case-insensitively
+    /// by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (with `''` escaping).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Splits `input` into tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                chars.next();
+                if chars.next() != Some('=') {
+                    return Err(Error::Lex("expected `=` after `!`".into()));
+                }
+                tokens.push(Token::Neq);
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        tokens.push(Token::Le);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        tokens.push(Token::Neq);
+                    }
+                    _ => tokens.push(Token::Lt),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Ge);
+                } else {
+                    tokens.push(Token::Gt);
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut text = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                text.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(other) => text.push(other),
+                        None => return Err(Error::Lex("unterminated string literal".into())),
+                    }
+                }
+                tokens.push(Token::Str(text));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                chars.next();
+                let mut number = String::new();
+                number.push(c);
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        number.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: i64 = number
+                    .parse()
+                    .map_err(|_| Error::Lex(format!("bad number `{number}`")))?;
+                tokens.push(Token::Int(value));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(ident));
+            }
+            other => return Err(Error::Lex(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_papers_statement() {
+        let tokens =
+            tokenize("SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age").unwrap();
+        assert_eq!(tokens[0], Token::Ident("SELECT".into()));
+        assert_eq!(tokens[1], Token::Ident("COUNT".into()));
+        assert_eq!(tokens[2], Token::LParen);
+        assert_eq!(tokens[3], Token::Star);
+        assert_eq!(tokens[4], Token::RParen);
+        assert!(tokens.contains(&Token::Comma));
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        let tokens = tokenize("a = 1 AND b <> 'x''y' OR c >= -5 AND d != 2 AND e <= 3").unwrap();
+        assert!(tokens.contains(&Token::Eq));
+        assert!(tokens.contains(&Token::Neq));
+        assert!(tokens.contains(&Token::Ge));
+        assert!(tokens.contains(&Token::Le));
+        assert!(tokens.contains(&Token::Str("x'y".into())));
+        assert!(tokens.contains(&Token::Int(-5)));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("   ").unwrap().is_empty());
+    }
+}

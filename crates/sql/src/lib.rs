@@ -1,0 +1,45 @@
+//! # psens-sql
+//!
+//! A small SQL subset over [`psens_microdata::Table`]s — enough to run the
+//! paper's own statements verbatim:
+//!
+//! - `SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age` — the
+//!   k-anonymity test of Definition 1 ("if the results include groups with
+//!   count less than k, the relation Patient does not have k-anonymity");
+//! - `SELECT COUNT(DISTINCT S1) FROM IM` — Condition 1's `s_j`.
+//!
+//! Supported: `SELECT` with bare columns and `COUNT(*)/COUNT/COUNT
+//! DISTINCT/MIN/MAX/SUM`, `WHERE` with `AND/OR/NOT`, comparisons and
+//! `IS [NOT] NULL`, `GROUP BY`, `HAVING <aggregate> <op> <literal>`,
+//! `ORDER BY <select position> [ASC|DESC]`, and `LIMIT`.
+//!
+//! ## Example
+//!
+//! ```
+//! use psens_sql::{execute, Catalog};
+//! use psens_datasets::paper::table1_patients;
+//!
+//! let patient = table1_patients();
+//! let mut catalog = Catalog::new();
+//! catalog.register("Patient", &patient);
+//!
+//! // Groups violating 2-anonymity — none, Table 1 is 2-anonymous.
+//! let violators = execute(
+//!     &catalog,
+//!     "SELECT Sex, COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age HAVING COUNT(*) < 2",
+//! ).unwrap();
+//! assert_eq!(violators.n_rows(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod exec;
+mod lexer;
+mod parser;
+
+pub use error::{Error, Result};
+pub use exec::{execute, execute_query, Catalog};
+pub use parser::parse;

@@ -1,0 +1,346 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT items FROM ident [WHERE pred] [GROUP BY cols]
+//!               [HAVING having] [ORDER BY item [ASC|DESC]] [LIMIT int]
+//! items      := item ("," item)*
+//! item       := agg | ident
+//! agg        := COUNT "(" "*" ")" | COUNT "(" [DISTINCT] ident ")"
+//!             | (MIN|MAX|SUM) "(" ident ")"
+//! pred       := conj (OR conj)*
+//! conj       := unary (AND unary)*
+//! unary      := NOT unary | "(" pred ")" | comparison
+//! comparison := ident (op literal | IS [NOT] NULL)
+//! having     := agg op literal
+//! ```
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::{tokenize, Token};
+use psens_microdata::Value;
+
+/// Parses one query.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.query()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(Error::Parse(format!(
+            "unexpected trailing input at token {}",
+            parser.pos
+        )));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    /// True (and consumes) when the next token is the keyword `kw`.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(word)) = self.peek() {
+            if word.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected `{kw}`")))
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<()> {
+        if self.peek() == Some(&token) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {token:?}, got {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(Error::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let mut select = vec![self.select_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            select.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.ident()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                group_by.push(self.ident()?);
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            let aggregate = self.select_item()?;
+            if matches!(aggregate, SelectItem::Column(_)) {
+                return Err(Error::Parse("HAVING requires an aggregate".into()));
+            }
+            let op = self.compare_op()?;
+            let literal = self.literal()?;
+            Some(Having {
+                aggregate,
+                op,
+                literal,
+            })
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let index = match self.next() {
+                Some(Token::Int(i)) if i >= 1 => (i - 1) as usize,
+                other => {
+                    return Err(Error::Parse(format!(
+                        "ORDER BY takes a 1-based select-list position, got {other:?}"
+                    )))
+                }
+            };
+            let order = if self.eat_keyword("DESC") {
+                SortOrder::Desc
+            } else {
+                let _ = self.eat_keyword("ASC");
+                SortOrder::Asc
+            };
+            Some((index, order))
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(Error::Parse(format!("bad LIMIT {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let name = self.ident()?;
+        let func = if name.eq_ignore_ascii_case("COUNT") {
+            Some(AggregateFn::Count)
+        } else if name.eq_ignore_ascii_case("MIN") {
+            Some(AggregateFn::Min)
+        } else if name.eq_ignore_ascii_case("MAX") {
+            Some(AggregateFn::Max)
+        } else if name.eq_ignore_ascii_case("SUM") {
+            Some(AggregateFn::Sum)
+        } else {
+            None
+        };
+        match func {
+            Some(func) if self.peek() == Some(&Token::LParen) => {
+                self.pos += 1;
+                let (column, distinct) = if self.peek() == Some(&Token::Star) {
+                    if func != AggregateFn::Count {
+                        return Err(Error::Parse("only COUNT accepts `*`".into()));
+                    }
+                    self.pos += 1;
+                    (None, false)
+                } else {
+                    let distinct = self.eat_keyword("DISTINCT");
+                    if distinct && func != AggregateFn::Count {
+                        return Err(Error::Parse("only COUNT accepts DISTINCT".into()));
+                    }
+                    (Some(self.ident()?), distinct)
+                };
+                self.expect(Token::RParen)?;
+                Ok(SelectItem::Aggregate {
+                    func,
+                    column,
+                    distinct,
+                })
+            }
+            _ => Ok(SelectItem::Column(name)),
+        }
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp> {
+        match self.next() {
+            Some(Token::Eq) => Ok(CompareOp::Eq),
+            Some(Token::Neq) => Ok(CompareOp::Neq),
+            Some(Token::Lt) => Ok(CompareOp::Lt),
+            Some(Token::Le) => Ok(CompareOp::Le),
+            Some(Token::Gt) => Ok(CompareOp::Gt),
+            Some(Token::Ge) => Ok(CompareOp::Ge),
+            other => Err(Error::Parse(format!("expected comparison, got {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Value::Int(v)),
+            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            other => Err(Error::Parse(format!("expected literal, got {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut left = self.conjunction()?;
+        while self.eat_keyword("OR") {
+            let right = self.conjunction()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conjunction(&mut self) -> Result<Predicate> {
+        let mut left = self.unary()?;
+        while self.eat_keyword("AND") {
+            let right = self.unary()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Predicate> {
+        if self.eat_keyword("NOT") {
+            return Ok(Predicate::Not(Box::new(self.unary()?)));
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let inner = self.predicate()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        let column = self.ident()?;
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(if negated {
+                Predicate::IsNotNull(column)
+            } else {
+                Predicate::IsNull(column)
+            });
+        }
+        let op = self.compare_op()?;
+        let literal = self.literal()?;
+        Ok(Predicate::Compare {
+            column,
+            op,
+            literal,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_group_by() {
+        let q = parse("SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age").unwrap();
+        assert_eq!(q.from, "Patient");
+        assert_eq!(q.group_by, vec!["Sex", "ZipCode", "Age"]);
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Aggregate {
+                func: AggregateFn::Count,
+                column: None,
+                distinct: false
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_the_papers_count_distinct() {
+        let q = parse("SELECT COUNT(DISTINCT S1) FROM IM").unwrap();
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Aggregate {
+                func: AggregateFn::Count,
+                column: Some("S1".into()),
+                distinct: true
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_where_having_order_limit() {
+        let q = parse(
+            "SELECT Sex, COUNT(*) FROM T WHERE Age >= 30 AND NOT (Sex = 'M' OR Zip IS NULL) \
+             GROUP BY Sex HAVING COUNT(*) < 2 ORDER BY 2 DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(q.where_clause.is_some());
+        let having = q.having.unwrap();
+        assert_eq!(having.op, CompareOp::Lt);
+        assert_eq!(having.literal, Value::Int(2));
+        assert_eq!(q.order_by, Some((1, SortOrder::Desc)));
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("select Age from t where Age is not null group by Age").unwrap();
+        assert_eq!(q.group_by, vec!["Age"]);
+        assert_eq!(
+            q.where_clause,
+            Some(Predicate::IsNotNull("Age".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("FROM t").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT MIN(*) FROM t").is_err());
+        assert!(parse("SELECT SUM(DISTINCT a) FROM t").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t GROUP a").is_err());
+        assert!(parse("SELECT a FROM t HAVING a > 1").is_err());
+        assert!(parse("SELECT a FROM t ORDER BY a").is_err());
+        assert!(parse("SELECT a FROM t extra").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Robustness: the lexer/parser/executor must return errors, never panic,
+//! on arbitrary input.
+
+use proptest::prelude::*;
+use psens_sql::{execute, parse, Catalog};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(input in ".{0,120}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sql_shaped_text(
+        input in "(SELECT|FROM|WHERE|GROUP|BY|HAVING|COUNT|DISTINCT|ORDER|LIMIT|AND|OR|NOT|NULL|IS|\\*|,|\\(|\\)|=|<|>|<=|>=|<>|x|y|s|T|'a'|1|-2| ){0,30}"
+    ) {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn executor_never_panics_on_valid_parses(
+        input in "(SELECT|FROM|WHERE|GROUP|BY|HAVING|COUNT|DISTINCT|\\*|,|\\(|\\)|=|<|>|X|Y|S|T|'a'|1| ){0,24}"
+    ) {
+        // Whatever parses must execute to Ok or Err, never panic.
+        if parse(&input).is_ok() {
+            let table = psens_datasets::paper::figure3_microdata();
+            let mut catalog = Catalog::new();
+            catalog.register("T", &table);
+            let _ = execute(&catalog, &input);
+        }
+    }
+}

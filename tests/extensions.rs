@@ -1,0 +1,204 @@
+//! Integration and property tests for the extension features: extended
+//! p-sensitivity, local suppression, Incognito, the parallel scan, and the
+//! diversity measures.
+
+use proptest::prelude::*;
+use psens::core::extended::{check_extended, ConfidentialSpec};
+use psens::core::locally_suppress_to_k;
+use psens::hierarchy::CatHierarchy;
+use psens::metrics::diversity_report;
+use psens::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::cat_key("X"),
+        Attribute::cat_key("Y"),
+        Attribute::cat_confidential("S"),
+    ])
+    .unwrap()
+}
+
+fn arb_row() -> impl Strategy<Value = (u8, u8, u8)> {
+    (0u8..4, 0u8..3, 0u8..4)
+}
+
+fn build_table(rows: &[(u8, u8, u8)]) -> Table {
+    let mut builder = TableBuilder::new(schema());
+    for &(x, y, s) in rows {
+        builder
+            .push_row(vec![
+                Value::Text(format!("x{x}")),
+                Value::Text(format!("y{y}")),
+                Value::Text(format!("s{s}")),
+            ])
+            .unwrap();
+    }
+    builder.finish()
+}
+
+/// Confidential hierarchy: s0,s1 -> even; s2,s3 -> odd; top *.
+fn s_hierarchy() -> Hierarchy {
+    Hierarchy::Cat(
+        CatHierarchy::identity(["s0", "s1", "s2", "s3"])
+            .unwrap()
+            .push_level([("s0", "even"), ("s1", "even"), ("s2", "odd"), ("s3", "odd")])
+            .unwrap()
+            .push_top("*")
+            .unwrap(),
+    )
+}
+
+fn qi_space() -> QiSpace {
+    let x = CatHierarchy::identity(["x0", "x1", "x2", "x3"])
+        .unwrap()
+        .push_level([("x0", "xa"), ("x1", "xa"), ("x2", "xb"), ("x3", "xb")])
+        .unwrap()
+        .push_top("*")
+        .unwrap();
+    let y = CatHierarchy::identity(["y0", "y1", "y2"])
+        .unwrap()
+        .push_top("*")
+        .unwrap();
+    QiSpace::new(vec![
+        ("X".into(), Hierarchy::Cat(x)),
+        ("Y".into(), Hierarchy::Cat(y)),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn extended_is_at_most_plain_sensitivity(
+        rows in prop::collection::vec(arb_row(), 1..50),
+        p in 1u32..4,
+        k in 1u32..4,
+    ) {
+        // Categories coarsen values, so extended p-sensitivity (level 1)
+        // implies plain p-sensitivity (level 0) — never the reverse.
+        let t = build_table(&rows);
+        let h = s_hierarchy();
+        let keys = [0usize, 1];
+        let level1 = [ConfidentialSpec { attribute: 2, hierarchy: &h, level: 1 }];
+        let extended = check_extended(&t, &keys, &level1, p, k).unwrap().satisfied();
+        let plain = is_p_sensitive_k_anonymous(&t, &keys, &[2], p, k);
+        prop_assert!(!extended || plain, "extended must imply plain");
+        // And level 0 must coincide with plain exactly.
+        let level0 = [ConfidentialSpec { attribute: 2, hierarchy: &h, level: 0 }];
+        let at0 = check_extended(&t, &keys, &level0, p, k).unwrap().satisfied();
+        prop_assert_eq!(at0, plain);
+    }
+
+    #[test]
+    fn local_suppression_reaches_k_or_reports_impossible(
+        rows in prop::collection::vec(arb_row(), 1..50),
+        k in 1u32..5,
+    ) {
+        let t = build_table(&rows);
+        match locally_suppress_to_k(&t, &[0, 1], k) {
+            Some(result) => {
+                prop_assert!(is_k_anonymous(&result.table, &[0, 1], k));
+                prop_assert_eq!(result.table.n_rows(), t.n_rows());
+                // Confidential column untouched.
+                prop_assert_eq!(result.table.column(2), t.column(2));
+            }
+            None => {
+                // The greedy gives up only when a residual pool of violating
+                // tuples is smaller than k after all their key cells are
+                // blank; that requires some violation to begin with.
+                let violating = GroupBy::compute(&t, &[0, 1]).rows_in_small_groups(k);
+                prop_assert!(violating > 0, "None requires an initial violation");
+            }
+        }
+    }
+
+    #[test]
+    fn incognito_levelwise_and_parallel_agree(
+        rows in prop::collection::vec(arb_row(), 1..40),
+        p in 1u32..3,
+        k in 1u32..4,
+        ts in 0usize..5,
+    ) {
+        let t = build_table(&rows);
+        let qi = qi_space();
+        let mut exhaustive = exhaustive_scan(&t, &qi, p, k, ts).unwrap().minimal;
+        let mut levelwise = levelwise_minimal(&t, &qi, p, k, ts).unwrap().minimal;
+        let mut incognito =
+            psens::algorithms::incognito_minimal(&t, &qi, p, k, ts).unwrap().minimal;
+        let parallel =
+            psens::algorithms::parallel_exhaustive_scan(&t, &qi, p, k, ts, 3).unwrap();
+        let mut par_minimal = parallel.minimal;
+        exhaustive.sort();
+        levelwise.sort();
+        incognito.sort();
+        par_minimal.sort();
+        prop_assert_eq!(&exhaustive, &levelwise);
+        prop_assert_eq!(&exhaustive, &incognito);
+        prop_assert_eq!(&exhaustive, &par_minimal);
+    }
+
+    #[test]
+    fn diversity_measures_are_ordered(rows in prop::collection::vec(arb_row(), 1..50)) {
+        let t = build_table(&rows);
+        let report = diversity_report(&t, &[0, 1], 2).unwrap();
+        // Entropy l never exceeds distinct l (uniform maximizes entropy).
+        prop_assert!(
+            report.entropy_l <= f64::from(report.distinct_l) + 1e-9,
+            "entropy {} vs distinct {}",
+            report.entropy_l,
+            report.distinct_l
+        );
+        prop_assert!(report.entropy_l >= 1.0 - 1e-9);
+        // Confidence is at least the uniform floor of the worst group.
+        prop_assert!(report.max_confidence >= 1.0 / f64::from(report.distinct_l) - 1e-9);
+        prop_assert!(report.max_confidence <= 1.0 + 1e-9);
+        // distinct_l is exactly max_p.
+        prop_assert_eq!(report.distinct_l, max_p_of_masked(&t, &[0, 1], &[2]));
+    }
+}
+
+#[test]
+fn local_beats_row_suppression_on_cells_lost() {
+    // On Figure 3's data at k = 2: row suppression deletes 6 tuples
+    // (12 cells + 6 confidential values); local suppression blanks fewer
+    // cells and keeps every tuple.
+    let im = psens::datasets::paper::figure3_microdata();
+    let keys = im.schema().key_indices();
+    let rows = psens::core::suppress_to_k(&im, &keys, 2);
+    let cells = locally_suppress_to_k(&im, &keys, 2).unwrap();
+    assert_eq!(rows.removed, 6);
+    assert!(cells.cells_suppressed < rows.removed * keys.len());
+    assert_eq!(cells.table.n_rows(), im.n_rows());
+}
+
+#[test]
+fn extended_check_composes_with_search() {
+    // Search with plain p-sensitivity, then audit the result with the
+    // extended model: the audit may fail, demonstrating the gap.
+    let schema = Schema::new(vec![
+        Attribute::cat_key("X"),
+        Attribute::cat_confidential("S"),
+    ])
+    .unwrap();
+    let t = table_from_str_rows(
+        schema,
+        &[
+            &["x0", "s0"],
+            &["x0", "s1"], // group {s0, s1}: 2 values, 1 category
+            &["x1", "s0"],
+            &["x1", "s2"], // group {s0, s2}: 2 values, 2 categories
+        ],
+    )
+    .unwrap();
+    assert!(is_p_sensitive_k_anonymous(&t, &[0], &[1], 2, 2));
+    let h = s_hierarchy();
+    let spec = [ConfidentialSpec {
+        attribute: 1,
+        hierarchy: &h,
+        level: 1,
+    }];
+    let report = check_extended(&t, &[0], &spec, 2, 2).unwrap();
+    assert!(!report.satisfied());
+    assert_eq!(report.violations.len(), 1);
+}
