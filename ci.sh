@@ -1,0 +1,19 @@
+#!/bin/sh
+# Local CI: formatting, lints, release build, and the test suite — the same
+# gate a hosted pipeline would run. Operates on the default member set, which
+# excludes crates/bench so everything here works offline.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI OK"

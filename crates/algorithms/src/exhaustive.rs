@@ -6,6 +6,7 @@
 //! against.
 
 use crate::stats::SearchStats;
+use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
 use psens_core::CheckStage;
 use psens_hierarchy::{Node, QiSpace};
@@ -43,13 +44,17 @@ pub fn exhaustive_scan(
         ts,
     };
     let stats_im = ctx.initial_stats();
+    // Code-mapped kernel: hoist per-(attribute, level) code maps out of the
+    // scan, then check each node on u32 vectors — no table materialization.
+    let ectx = EvalContext::build(&ctx)?;
+    let mut eval = ectx.evaluator();
     let lattice = qi.lattice();
     let mut satisfying = Vec::new();
     let mut annotations = Vec::new();
     let mut stats = SearchStats::default();
     for node in lattice.all_nodes() {
         stats.nodes_evaluated += 1;
-        let outcome = ctx.evaluate(&node, &stats_im)?;
+        let outcome = eval.check(&node, &stats_im)?;
         annotations.push((node.clone(), outcome.violating_tuples));
         if outcome.satisfied {
             satisfying.push(node);
@@ -108,10 +113,7 @@ mod tests {
         let qi = figure2_qi_space();
         let expect: &[(&[usize], &[Node])] = &[
             (&[0, 1], &[Node(vec![0, 2])]),
-            (
-                &[2, 3, 4, 5, 6],
-                &[Node(vec![0, 2]), Node(vec![1, 1])],
-            ),
+            (&[2, 3, 4, 5, 6], &[Node(vec![0, 2]), Node(vec![1, 1])]),
             (&[7, 8, 9], &[Node(vec![0, 1]), Node(vec![1, 0])]),
             (&[10], &[Node(vec![0, 0])]),
         ];

@@ -48,7 +48,10 @@ pub enum ClusterError {
 impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ClusterError::ImpossibleP { attribute, distinct } => write!(
+            ClusterError::ImpossibleP {
+                attribute,
+                distinct,
+            } => write!(
                 f,
                 "attribute `{attribute}` has only {distinct} distinct values"
             ),
@@ -164,9 +167,10 @@ impl<'a> SensitivityTracker<'a> {
 
     /// True when `row` contributes a new value to some deficient attribute.
     fn helps(&self, row: usize) -> bool {
-        self.columns.iter().zip(&self.seen).any(|(column, seen)| {
-            seen.len() < self.p && !seen.contains(&column.value(row))
-        })
+        self.columns
+            .iter()
+            .zip(&self.seen)
+            .any(|(column, seen)| seen.len() < self.p && !seen.contains(&column.value(row)))
     }
 
     fn reset(&mut self) {
@@ -316,19 +320,23 @@ mod tests {
     #[test]
     fn output_satisfies_the_property() {
         let im = AdultGenerator::new(61).generate(400);
-        let outcome =
-            greedy_pk_cluster(&im, GreedyClusterConfig { k: 4, p: 2 }).unwrap();
+        let outcome = greedy_pk_cluster(&im, GreedyClusterConfig { k: 4, p: 2 }).unwrap();
         let keys = outcome.masked.schema().key_indices();
         let conf = outcome.masked.schema().confidential_indices();
-        assert!(is_p_sensitive_k_anonymous(&outcome.masked, &keys, &conf, 2, 4));
+        assert!(is_p_sensitive_k_anonymous(
+            &outcome.masked,
+            &keys,
+            &conf,
+            2,
+            4
+        ));
         assert_eq!(outcome.masked.n_rows(), 400, "no suppression");
     }
 
     #[test]
     fn partitions_are_a_disjoint_cover() {
         let im = AdultGenerator::new(62).generate(300);
-        let outcome =
-            greedy_pk_cluster(&im, GreedyClusterConfig { k: 5, p: 2 }).unwrap();
+        let outcome = greedy_pk_cluster(&im, GreedyClusterConfig { k: 5, p: 2 }).unwrap();
         let mut seen = vec![false; 300];
         for cluster in &outcome.partitions {
             assert!(cluster.len() >= 5);
@@ -343,11 +351,16 @@ mod tests {
     #[test]
     fn works_on_the_paper_fixture() {
         let im = figure3_microdata();
-        let outcome =
-            greedy_pk_cluster(&im, GreedyClusterConfig { k: 2, p: 2 }).unwrap();
+        let outcome = greedy_pk_cluster(&im, GreedyClusterConfig { k: 2, p: 2 }).unwrap();
         let keys = outcome.masked.schema().key_indices();
         let conf = outcome.masked.schema().confidential_indices();
-        assert!(is_p_sensitive_k_anonymous(&outcome.masked, &keys, &conf, 2, 2));
+        assert!(is_p_sensitive_k_anonymous(
+            &outcome.masked,
+            &keys,
+            &conf,
+            2,
+            2
+        ));
     }
 
     #[test]

@@ -13,17 +13,18 @@
 //! ancestors pass without evaluation.
 //!
 //! Subset pruning uses plain k-anonymity (with the suppression budget); the
-//! p-sensitivity requirement is checked only on the full QI set, where the
-//! masked microdata is actually materialized. p-sensitivity is itself
+//! p-sensitivity requirement is checked only on the full QI set, through the
+//! code-mapped evaluation kernel. p-sensitivity is itself
 //! subset-monotone, but k-based pruning is what the original algorithm
 //! specifies and is sound for the combined property (a node failing
 //! k-anonymity on a subset cannot satisfy p-sensitive k-anonymity on the
 //! full set).
 
+use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_hierarchy::{Node, QiSpace};
+use psens_hierarchy::{Node, QiCodeMaps, QiSpace};
 use psens_microdata::hash::{FxHashMap, FxHashSet};
-use psens_microdata::{Attribute, GroupBy, Schema, Table};
+use psens_microdata::{CodeCombiner, Table};
 use serde::Serialize;
 
 /// Work counters for the Incognito run.
@@ -75,23 +76,14 @@ pub fn incognito_minimal(
         ..Default::default()
     };
 
-    // Per-attribute recoded columns, cached: recoded[attr][level].
+    // Per-(attribute, level) code maps, cached once: every subset frequency
+    // set is then a pure u32 combine over them — no recoded columns, no
+    // temporary tables.
     let max_levels: Vec<usize> = (0..m).map(|i| qi.hierarchy(i).max_level()).collect();
-    let col_indices: Vec<usize> = qi
-        .names()
-        .iter()
-        .map(|n| initial.schema().index_of(n))
-        .collect::<Result<_, _>>()
-        .map_err(psens_hierarchy::Error::from)?;
-    let mut recoded: Vec<Vec<psens_microdata::Column>> = Vec::with_capacity(m);
-    for i in 0..m {
-        let column = initial.column(col_indices[i]);
-        let mut per_level = Vec::with_capacity(max_levels[i] + 1);
-        for level in 0..=max_levels[i] {
-            per_level.push(qi.hierarchy(i).apply(column, level)?);
-        }
-        recoded.push(per_level);
-    }
+    let maps = qi.code_maps(initial)?;
+    let mut combiner = CodeCombiner::new();
+    let mut current: Vec<u32> = Vec::new();
+    let mut sizes: Vec<u32> = Vec::new();
 
     // passing[mask] = set of subset nodes that are k-anonymous (within ts)
     // w.r.t. the attributes of `mask`.
@@ -120,17 +112,27 @@ pub fn incognito_minimal(
                 }
             }
             // Rollup: a passing child implies this node passes.
-            let rolled_up = lattice.children(&node).iter().any(|child| {
-                passed.contains(child.levels())
-            });
+            let rolled_up = lattice
+                .children(&node)
+                .iter()
+                .any(|child| passed.contains(child.levels()));
             if rolled_up {
                 stats.pruned_rollup += 1;
                 passed.insert(levels);
                 continue;
             }
-            // Evaluate: frequency set over the recoded subset columns.
+            // Evaluate: frequency set over the mapped subset codes.
             stats.evaluated_by_size[size - 1] += 1;
-            if subset_is_anonymous(&members, &levels, &recoded, k, ts) {
+            if subset_is_anonymous(
+                &members,
+                &levels,
+                &maps,
+                k,
+                ts,
+                &mut combiner,
+                &mut current,
+                &mut sizes,
+            ) {
                 passed.insert(levels);
             }
         }
@@ -147,12 +149,14 @@ pub fn incognito_minimal(
         ts,
     };
     let im_stats = ctx.initial_stats();
+    let ectx = EvalContext::build(&ctx)?;
+    let mut eval = ectx.evaluator();
     let mut satisfying: Vec<Node> = Vec::new();
     let mut survivors: Vec<&SubsetNode> = passing[&full_mask].iter().collect();
     survivors.sort();
     for levels in survivors {
         let node = Node(levels.clone());
-        let outcome = ctx.evaluate(&node, &im_stats)?;
+        let outcome = eval.check(&node, &im_stats)?;
         if outcome.satisfied {
             satisfying.push(node);
         } else {
@@ -166,52 +170,38 @@ pub fn incognito_minimal(
 
 /// Is the projection of the masking onto `members` (at `levels`) k-anonymous
 /// after suppressing at most `ts` tuples?
+///
+/// Pure code work: refine the row partition with each member's level map,
+/// then count rows in undersized groups. `combiner`/`current`/`sizes` are
+/// caller-owned scratch, reused across the thousands of subset nodes a run
+/// visits.
+#[allow(clippy::too_many_arguments)]
 fn subset_is_anonymous(
     members: &[usize],
     levels: &[u8],
-    recoded: &[Vec<psens_microdata::Column>],
+    maps: &QiCodeMaps,
     k: u32,
     ts: usize,
+    combiner: &mut CodeCombiner,
+    current: &mut Vec<u32>,
+    sizes: &mut Vec<u32>,
 ) -> bool {
-    // Assemble a temporary table of just the recoded subset columns.
-    let attrs: Vec<Attribute> = members
-        .iter()
-        .map(|&i| Attribute::cat_key(format!("q{i}")))
-        .collect();
-    let columns: Vec<psens_microdata::Column> = members
-        .iter()
-        .zip(levels)
-        .map(|(&i, &level)| {
-            let col = recoded[i][level as usize].clone();
-            match col {
-                psens_microdata::Column::Cat(_) => col,
-                // Level-0 integer columns stay integral; re-wrap as-is.
-                psens_microdata::Column::Int(_) => col,
-            }
-        })
-        .collect();
-    let schema = match Schema::new(
-        attrs
-            .into_iter()
-            .zip(&columns)
-            .map(|(a, c)| match c {
-                psens_microdata::Column::Int(_) => {
-                    Attribute::new(a.name(), psens_microdata::Kind::Int, a.role())
-                }
-                psens_microdata::Column::Cat(_) => a,
-            })
-            .collect(),
-    ) {
-        Ok(schema) => schema,
-        Err(_) => return false,
-    };
-    let table = match Table::new(schema, columns) {
-        Ok(table) => table,
-        Err(_) => return false,
-    };
-    let by: Vec<usize> = (0..members.len()).collect();
-    let groups = GroupBy::compute(&table, &by);
-    groups.rows_in_small_groups(k) <= ts
+    let n = maps.n_rows();
+    current.clear();
+    current.resize(n, 0);
+    let mut n_groups = u32::from(n > 0);
+    for (&attr, &level) in members.iter().zip(levels) {
+        let am = maps.attr(attr);
+        let lm = am.level(level as usize);
+        n_groups = combiner.refine_mapped(current, n_groups, am.base(), lm.map(), lm.n_codes());
+    }
+    sizes.clear();
+    sizes.resize(n_groups as usize, 0);
+    for &g in current.iter() {
+        sizes[g as usize] += 1;
+    }
+    let violating: usize = sizes.iter().filter(|&&s| s < k).map(|&s| s as usize).sum();
+    violating <= ts
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! two necessary conditions prune candidates here as well.
 
 use crate::stats::SearchStats;
+use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
 use psens_core::CheckStage;
 use psens_hierarchy::{Node, QiSpace};
@@ -57,6 +58,8 @@ pub fn levelwise_minimal(
         });
     }
 
+    let ectx = EvalContext::build(&ctx)?;
+    let mut eval = ectx.evaluator();
     let mut satisfying: FxHashSet<Node> = FxHashSet::default();
     let mut minimal = Vec::new();
     for height in 0..=lattice.height() {
@@ -73,7 +76,7 @@ pub fn levelwise_minimal(
                 continue;
             }
             stats.nodes_evaluated += 1;
-            let outcome = ctx.evaluate(&node, &stats_im)?;
+            let outcome = eval.check(&node, &stats_im)?;
             if outcome.satisfied {
                 minimal.push(node.clone());
                 satisfying.insert(node);

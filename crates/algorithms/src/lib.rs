@@ -53,12 +53,12 @@ pub mod samarati;
 pub mod stats;
 
 pub use exhaustive::{exhaustive_scan, ExhaustiveOutcome};
-pub use greedy_cluster::{greedy_pk_cluster, ClusterError, GreedyClusterConfig, GreedyClusterOutcome};
+pub use greedy_cluster::{
+    greedy_pk_cluster, ClusterError, GreedyClusterConfig, GreedyClusterOutcome,
+};
 pub use incognito::{incognito_minimal, IncognitoOutcome, IncognitoStats};
 pub use levelwise::{levelwise_minimal, LevelWiseOutcome};
 pub use mondrian::{mondrian_anonymize, MondrianConfig, MondrianOutcome};
 pub use parallel::parallel_exhaustive_scan;
-pub use samarati::{
-    k_minimal_generalization, pk_minimal_generalization, Pruning, SearchOutcome,
-};
+pub use samarati::{k_minimal_generalization, pk_minimal_generalization, Pruning, SearchOutcome};
 pub use stats::SearchStats;

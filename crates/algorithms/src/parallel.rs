@@ -1,13 +1,15 @@
 //! Parallel exhaustive lattice scan using scoped threads.
 //!
-//! Node evaluations are embarrassingly parallel — each reads the shared
-//! initial microdata and builds its own masked table — so the exhaustive
-//! scan splits the node list across `std::thread::scope` workers. Useful for
-//! ground-truthing larger lattices; the Criterion bench `algorithms_compare`
-//! quantifies the speedup against the serial scan.
+//! Node evaluations are embarrassingly parallel — workers share one
+//! immutable [`EvalContext`] (the code-map cache) and each owns its private
+//! evaluator scratch — so the exhaustive scan splits the node list across
+//! `std::thread::scope` workers. Useful for ground-truthing larger lattices;
+//! the Criterion bench `algorithms_compare` quantifies the speedup against
+//! the serial scan.
 
 use crate::exhaustive::ExhaustiveOutcome;
 use crate::stats::SearchStats;
+use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
 use psens_core::CheckStage;
 use psens_hierarchy::{Node, QiSpace};
@@ -32,28 +34,29 @@ pub fn parallel_exhaustive_scan(
         ts,
     };
     let stats_im = ctx.initial_stats();
+    // One shared, immutable code-map cache; each worker owns its scratch.
+    let ectx = EvalContext::build(&ctx)?;
     let lattice = qi.lattice();
     let nodes = lattice.all_nodes();
     let chunk_size = nodes.len().div_ceil(threads);
 
-    type PartialResult = Result<
-        (Vec<Node>, Vec<(Node, usize)>, SearchStats),
-        psens_hierarchy::Error,
-    >;
+    type PartialResult =
+        Result<(Vec<Node>, Vec<(Node, usize)>, SearchStats), psens_hierarchy::Error>;
 
     let partials: Vec<PartialResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = nodes
             .chunks(chunk_size.max(1))
             .map(|chunk| {
-                let ctx = &ctx;
+                let ectx = &ectx;
                 let stats_im = &stats_im;
                 scope.spawn(move || -> PartialResult {
+                    let mut eval = ectx.evaluator();
                     let mut satisfying = Vec::new();
                     let mut annotations = Vec::new();
                     let mut stats = SearchStats::default();
                     for node in chunk {
                         stats.nodes_evaluated += 1;
-                        let outcome = ctx.evaluate(node, stats_im)?;
+                        let outcome = eval.check(node, stats_im)?;
                         annotations.push((node.clone(), outcome.violating_tuples));
                         if outcome.satisfied {
                             satisfying.push(node.clone());
@@ -115,9 +118,11 @@ mod tests {
         for threads in [1usize, 2, 4, 16] {
             for ts in [0usize, 5, 10] {
                 let serial = exhaustive_scan(&im, &qi, 1, 3, ts).unwrap();
-                let parallel =
-                    parallel_exhaustive_scan(&im, &qi, 1, 3, ts, threads).unwrap();
-                assert_eq!(serial.satisfying, parallel.satisfying, "ts={ts} t={threads}");
+                let parallel = parallel_exhaustive_scan(&im, &qi, 1, 3, ts, threads).unwrap();
+                assert_eq!(
+                    serial.satisfying, parallel.satisfying,
+                    "ts={ts} t={threads}"
+                );
                 assert_eq!(serial.minimal, parallel.minimal);
                 assert_eq!(serial.annotations, parallel.annotations);
             }

@@ -7,11 +7,7 @@ use psens_microdata::{Attribute, CatColumn, Column, Kind, Schema, Table, Value};
 /// Recodes every key attribute of `table` to per-partition labels: integer
 /// attributes become `"lo-hi"` ranges (or the single value), categorical
 /// attributes the sorted set of member values joined with `|`.
-pub(crate) fn recode_partitions(
-    table: &Table,
-    keys: &[usize],
-    partitions: &[Vec<usize>],
-) -> Table {
+pub(crate) fn recode_partitions(table: &Table, keys: &[usize], partitions: &[Vec<usize>]) -> Table {
     let mut attrs: Vec<Attribute> = table.schema().attributes().to_vec();
     let mut columns: Vec<Column> = table.columns().to_vec();
     for &attr in keys {
@@ -75,11 +71,8 @@ mod tests {
 
     #[test]
     fn labels_for_int_and_cat_columns() {
-        let schema = Schema::new(vec![
-            Attribute::int_key("Age"),
-            Attribute::cat_key("Sex"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::int_key("Age"), Attribute::cat_key("Sex")]).unwrap();
         let t = table_from_str_rows(
             schema,
             &[&["20", "M"], &["35", "F"], &["35", "M"], &["?", "F"]],

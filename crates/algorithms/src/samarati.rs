@@ -10,6 +10,7 @@
 
 use crate::stats::SearchStats;
 use psens_core::conditions::ConfidentialStats;
+use psens_core::evaluator::NodeEvaluator;
 use psens_core::masking::MaskingContext;
 use psens_core::CheckStage;
 use psens_hierarchy::{Node, QiSpace};
@@ -111,6 +112,10 @@ fn search(
     }
 
     let lattice = qi.lattice();
+    // Candidate nodes run through the code-mapped kernel; a table is
+    // materialized only for each probe's winning node.
+    let ectx = psens_core::evaluator::EvalContext::build(&ctx)?;
+    let mut eval = ectx.evaluator();
     let mut low = 0usize;
     let mut high = lattice.height();
     let mut best: Option<(Node, Table, usize)> = None;
@@ -120,7 +125,14 @@ fn search(
     while low < high {
         let try_height = (low + high) / 2;
         stats.heights_probed.push(try_height);
-        let found = probe_height(&ctx, &lattice, try_height, &check_stats, &mut stats)?;
+        let found = probe_height(
+            &ctx,
+            &mut eval,
+            &lattice,
+            try_height,
+            &check_stats,
+            &mut stats,
+        )?;
         match found {
             Some(hit) => {
                 best = Some(hit);
@@ -133,7 +145,7 @@ fn search(
     // initial `high`, and for unsatisfiable instances no height works).
     if best.as_ref().map(|(n, _, _)| n.height()) != Some(low) {
         stats.heights_probed.push(low);
-        if let Some(hit) = probe_height(&ctx, &lattice, low, &check_stats, &mut stats)? {
+        if let Some(hit) = probe_height(&ctx, &mut eval, &lattice, low, &check_stats, &mut stats)? {
             best = Some(hit);
         }
     }
@@ -154,9 +166,11 @@ fn search(
     })
 }
 
-/// Evaluates the nodes of one lattice stratum; returns the first satisfier.
+/// Evaluates the nodes of one lattice stratum; returns the first satisfier,
+/// materializing its masked table (candidates that fail cost no tables).
 fn probe_height(
     ctx: &MaskingContext<'_>,
+    eval: &mut NodeEvaluator<'_>,
     lattice: &psens_hierarchy::Lattice,
     height: usize,
     check_stats: &ConfidentialStats,
@@ -164,11 +178,12 @@ fn probe_height(
 ) -> Result<Option<(Node, Table, usize)>, psens_hierarchy::Error> {
     for node in lattice.nodes_at_height(height) {
         stats.nodes_evaluated += 1;
-        let outcome = ctx.evaluate(&node, check_stats)?;
-        if outcome.satisfied {
+        let verdict = eval.check(&node, check_stats)?;
+        if verdict.satisfied {
+            let outcome = ctx.evaluate(&node, check_stats)?;
             return Ok(Some((node, outcome.masked, outcome.suppressed)));
         }
-        match outcome.stage {
+        match verdict.stage {
             CheckStage::Condition2 => stats.rejected_condition2 += 1,
             CheckStage::KAnonymity => stats.rejected_k += 1,
             CheckStage::DetailedScan => stats.rejected_detailed += 1,
@@ -248,17 +263,10 @@ mod tests {
         for p in 1..=3u32 {
             for k in [2u32, 3] {
                 for ts in [0usize, 2, 5] {
-                    let a = pk_minimal_generalization(&im, &qi, p, k, ts, Pruning::None)
-                        .unwrap();
-                    let b = pk_minimal_generalization(
-                        &im,
-                        &qi,
-                        p,
-                        k,
-                        ts,
-                        Pruning::NecessaryConditions,
-                    )
-                    .unwrap();
+                    let a = pk_minimal_generalization(&im, &qi, p, k, ts, Pruning::None).unwrap();
+                    let b =
+                        pk_minimal_generalization(&im, &qi, p, k, ts, Pruning::NecessaryConditions)
+                            .unwrap();
                     assert_eq!(
                         a.node.as_ref().map(Node::height),
                         b.node.as_ref().map(Node::height),
@@ -275,8 +283,7 @@ mod tests {
         let qi = figure2_qi_space();
         // Illness has 3 distinct values; p = 4 is impossible.
         let outcome =
-            pk_minimal_generalization(&im, &qi, 4, 2, 0, Pruning::NecessaryConditions)
-                .unwrap();
+            pk_minimal_generalization(&im, &qi, 4, 2, 0, Pruning::NecessaryConditions).unwrap();
         assert!(outcome.node.is_none());
         assert!(outcome.stats.aborted_condition1);
         assert_eq!(outcome.stats.nodes_evaluated, 0);

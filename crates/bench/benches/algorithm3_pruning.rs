@@ -29,8 +29,7 @@ fn bench_pruning(c: &mut Criterion) {
                 |b, table| {
                     b.iter(|| {
                         black_box(
-                            pk_minimal_generalization(table, &qi, 2, 2, 0, pruning)
-                                .expect("valid"),
+                            pk_minimal_generalization(table, &qi, 2, 2, 0, pruning).expect("valid"),
                         )
                     });
                 },
@@ -48,8 +47,7 @@ fn bench_pruning(c: &mut Criterion) {
                 |b, table| {
                     b.iter(|| {
                         black_box(
-                            pk_minimal_generalization(table, &qi, 3, 3, 0, pruning)
-                                .expect("valid"),
+                            pk_minimal_generalization(table, &qi, 3, 3, 0, pruning).expect("valid"),
                         )
                     });
                 },

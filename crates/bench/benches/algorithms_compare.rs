@@ -38,9 +38,7 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| black_box(exhaustive_scan(&table, &qi, p, k, ts).expect("valid")));
     });
     group.bench_function("exhaustive_scan_parallel_4", |b| {
-        b.iter(|| {
-            black_box(parallel_exhaustive_scan(&table, &qi, p, k, ts, 4).expect("valid"))
-        });
+        b.iter(|| black_box(parallel_exhaustive_scan(&table, &qi, p, k, ts, 4).expect("valid")));
     });
     group.bench_function("mondrian_local_recoding", |b| {
         b.iter(|| black_box(mondrian_anonymize(&table, MondrianConfig { k, p })));

@@ -27,37 +27,29 @@ fn bench_checker(c: &mut Criterion) {
             rejected.stage
         );
 
-        group.bench_with_input(
-            BenchmarkId::new("algorithm1_basic", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    is_p_sensitive_k_anonymous(
-                        black_box(&table),
-                        black_box(&keys),
-                        black_box(&conf),
-                        3,
-                        2,
-                    )
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("algorithm2_improved", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    check_improved(
-                        black_box(&table),
-                        black_box(&keys),
-                        black_box(&conf),
-                        3,
-                        2,
-                        black_box(&stats),
-                    )
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("algorithm1_basic", n), &n, |b, _| {
+            b.iter(|| {
+                is_p_sensitive_k_anonymous(
+                    black_box(&table),
+                    black_box(&keys),
+                    black_box(&conf),
+                    3,
+                    2,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm2_improved", n), &n, |b, _| {
+            b.iter(|| {
+                check_improved(
+                    black_box(&table),
+                    black_box(&keys),
+                    black_box(&conf),
+                    3,
+                    2,
+                    black_box(&stats),
+                )
+            });
+        });
         // Condition 1 rejection: p beyond the attribute's distinct count —
         // Algorithm 2 answers without touching the table.
         group.bench_with_input(

@@ -37,8 +37,7 @@ fn bench_methods(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("add_noise", n), &n, |b, _| {
             b.iter(|| black_box(add_noise(&table, fnlwgt, 0.1, 1).expect("valid")));
         });
-        let matrix =
-            PramMatrix::uniform_retention(vec!["<=50K", ">50K"], 0.85).expect("valid");
+        let matrix = PramMatrix::uniform_retention(vec!["<=50K", ">50K"], 0.85).expect("valid");
         group.bench_with_input(BenchmarkId::new("pram", n), &n, |b, _| {
             b.iter(|| black_box(pram(&table, pay, &matrix, 1).expect("valid")));
         });

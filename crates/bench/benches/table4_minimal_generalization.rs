@@ -38,10 +38,7 @@ fn bench_table4(c: &mut Criterion) {
             &factor,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        k_minimal_generalization(&scaled, &qi, 3, factor)
-                            .expect("valid"),
-                    )
+                    black_box(k_minimal_generalization(&scaled, &qi, 3, factor).expect("valid"))
                 });
             },
         );

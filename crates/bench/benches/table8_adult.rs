@@ -21,9 +21,7 @@ fn bench_table8(c: &mut Criterion) {
                 &k,
                 |b, &k| {
                     b.iter(|| {
-                        black_box(
-                            k_minimal_generalization(table, &qi, k, 0).expect("valid"),
-                        )
+                        black_box(k_minimal_generalization(table, &qi, k, 0).expect("valid"))
                     });
                 },
             );
@@ -36,11 +34,7 @@ fn bench_table8(c: &mut Criterion) {
                 &k,
                 |b, _| {
                     b.iter(|| {
-                        black_box(attribute_disclosure_count(
-                            black_box(&masked),
-                            &keys,
-                            &conf,
-                        ))
+                        black_box(attribute_disclosure_count(black_box(&masked), &keys, &conf))
                     });
                 },
             );

@@ -1,0 +1,95 @@
+//! Records the node-evaluation baseline: lattice nodes per second through
+//! the materializing pipeline and through the code-mapped kernel (serial and
+//! parallel), on the synthetic Adult workload.
+//!
+//! Run with:
+//! `cargo run --release -p psens-bench --bin node_eval_baseline > BENCH_1.json`
+//!
+//! Unlike the Criterion benches this needs no dev-dependencies, so it runs
+//! in the hermetic (offline) build too.
+
+use psens_algorithms::{exhaustive_scan, parallel_exhaustive_scan};
+use psens_bench::workloads;
+use psens_core::evaluator::EvalContext;
+use psens_core::masking::MaskingContext;
+use psens_datasets::hierarchies::adult_qi_space;
+use std::hint::black_box;
+use std::time::Instant;
+
+const N_ROWS: usize = 10_000;
+const K: u32 = 3;
+const P: u32 = 2;
+const TS: usize = 500;
+
+/// Repeats `f` until at least ~0.5 s has elapsed (minimum 3 repetitions) and
+/// returns the rate in units of `per_rep / second`.
+fn rate(per_rep: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    f();
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        f();
+        reps += 1;
+        if reps >= 3 && start.elapsed().as_secs_f64() >= 0.5 {
+            break;
+        }
+    }
+    (per_rep as f64 * f64::from(reps)) / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let qi = adult_qi_space();
+    let table = workloads::adult(N_ROWS);
+    let ctx = MaskingContext {
+        initial: &table,
+        qi: &qi,
+        k: K,
+        p: P,
+        ts: TS,
+    };
+    let stats = ctx.initial_stats();
+    let ectx = EvalContext::build(&ctx).expect("context builds");
+    let mut eval = ectx.evaluator();
+    let nodes = qi.lattice().all_nodes();
+    let n_nodes = nodes.len();
+
+    let materializing = rate(n_nodes, || {
+        for node in &nodes {
+            black_box(ctx.evaluate(node, &stats).expect("evaluate"));
+        }
+    });
+    let code_mapped = rate(n_nodes, || {
+        for node in &nodes {
+            black_box(eval.check(node, &stats).expect("check"));
+        }
+    });
+    let exhaustive_serial = rate(n_nodes, || {
+        black_box(exhaustive_scan(&table, &qi, P, K, TS).expect("scan"));
+    });
+    let threads = std::thread::available_parallelism().map_or(4, usize::from);
+    let exhaustive_parallel = rate(n_nodes, || {
+        black_box(parallel_exhaustive_scan(&table, &qi, P, K, TS, threads).expect("scan"));
+    });
+
+    println!("{{");
+    println!("  \"workload\": {{");
+    println!("    \"dataset\": \"synthetic Adult\",");
+    println!("    \"n_rows\": {N_ROWS},");
+    println!("    \"lattice_nodes\": {n_nodes},");
+    println!("    \"k\": {K},");
+    println!("    \"p\": {P},");
+    println!("    \"ts\": {TS}");
+    println!("  }},");
+    println!("  \"nodes_per_sec\": {{");
+    println!("    \"materializing_serial\": {materializing:.1},");
+    println!("    \"code_mapped_serial\": {code_mapped:.1},");
+    println!("    \"exhaustive_serial\": {exhaustive_serial:.1},");
+    println!("    \"exhaustive_parallel_{threads}_threads\": {exhaustive_parallel:.1}");
+    println!("  }},");
+    println!(
+        "  \"speedup_code_mapped_vs_materializing\": {:.2}",
+        code_mapped / materializing
+    );
+    println!("}}");
+}

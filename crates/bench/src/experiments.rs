@@ -1,15 +1,14 @@
 //! One function per table/figure of the paper. Each regenerates its
 //! artifact from our implementation and renders it as text.
 
-use psens_algorithms::samarati::{k_minimal_generalization, pk_minimal_generalization, Pruning};
 use psens_algorithms::exhaustive::exhaustive_scan;
+use psens_algorithms::samarati::{k_minimal_generalization, pk_minimal_generalization, Pruning};
 use psens_core::attack::linkage_attack;
 use psens_core::conditions::{ConfidentialStats, MaxGroups};
 use psens_core::{attribute_disclosure_count, max_p_of_masked};
 use psens_datasets::hierarchies::{adult_qi_space, figure1_zipcode, figure2_qi_space};
 use psens_datasets::paper::{
-    figure3_microdata, table1_patients, table2_external, table3_fixed,
-    table3_psensitive_example,
+    figure3_microdata, table1_patients, table2_external, table3_fixed, table3_psensitive_example,
 };
 use psens_datasets::paper_samples;
 use psens_hierarchy::{Hierarchy, IntHierarchy, IntLevel, Node, QiSpace};
@@ -177,11 +176,7 @@ pub fn figure3_and_table4() -> String {
     let _ = writeln!(out, "\nTable 4 — 3-minimal generalizations by TS:");
     for ts in 0..=10usize {
         let scan = exhaustive_scan(&im, &qi, 1, 3, ts).expect("hierarchies cover data");
-        let nodes: Vec<String> = scan
-            .minimal
-            .iter()
-            .map(|n| qi.describe_node(n))
-            .collect();
+        let nodes: Vec<String> = scan.minimal.iter().map(|n| qi.describe_node(n)).collect();
         let _ = writeln!(out, "  TS = {ts:2}: {}", nodes.join(" and "));
     }
     out
@@ -410,8 +405,14 @@ mod tests {
         let rows = table8_rows(0);
         assert_eq!(rows.len(), 4);
         // Shape: disclosures decrease as k grows, at both sizes.
-        assert!(rows[0].disclosures >= rows[1].disclosures, "400: k=2 >= k=3");
-        assert!(rows[2].disclosures >= rows[3].disclosures, "4000: k=2 >= k=3");
+        assert!(
+            rows[0].disclosures >= rows[1].disclosures,
+            "400: k=2 >= k=3"
+        );
+        assert!(
+            rows[2].disclosures >= rows[3].disclosures,
+            "4000: k=2 >= k=3"
+        );
         // k-anonymity alone leaves disclosures somewhere (the paper's point).
         assert!(rows.iter().any(|r| r.disclosures > 0));
     }

@@ -77,8 +77,7 @@ fn generate(args: &Args) -> Result<String, String> {
 
 fn write_spec(args: &Args) -> Result<String, String> {
     let out = args.require("out")?;
-    let json = serde_json::to_string_pretty(&Spec::adult())
-        .map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&Spec::adult()).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
     Ok(format!("wrote Adult spec to {out}"))
 }
@@ -99,7 +98,11 @@ fn check(args: &Args) -> Result<String, String> {
     ));
     out.push_str(&format!(
         "k-anonymity (k = {k}): {} (max k = {})\n",
-        if report.k_anonymous { "SATISFIED" } else { "VIOLATED" },
+        if report.k_anonymous {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        },
         max_k(&table, &keys)
     ));
     out.push_str(&format!(
@@ -125,7 +128,11 @@ fn check(args: &Args) -> Result<String, String> {
     }
     out.push_str(&format!(
         "p-sensitive k-anonymity: {}\n",
-        if report.satisfied() { "SATISFIED" } else { "VIOLATED" }
+        if report.satisfied() {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        }
     ));
     Ok(out)
 }
@@ -205,11 +212,10 @@ fn anonymize(args: &Args) -> Result<String, String> {
             let outcome =
                 pk_minimal_generalization(&table, &qi, p, k, ts, Pruning::NecessaryConditions)
                     .map_err(|e| e.to_string())?;
-            let node = outcome.node.ok_or_else(|| {
-                format!("no masking satisfies p = {p}, k = {k} with TS = {ts}")
-            })?;
-            let levels: Vec<String> =
-                node.levels().iter().map(ToString::to_string).collect();
+            let node = outcome
+                .node
+                .ok_or_else(|| format!("no masking satisfies p = {p}, k = {k} with TS = {ts}"))?;
+            let levels: Vec<String> = node.levels().iter().map(ToString::to_string).collect();
             out.push_str(&format!(
                 "p-k-minimal node: {} (height {}), suppressed {} tuple(s)\n\
                  node levels (for `psens attack --node`): {}\n",
@@ -305,21 +311,21 @@ fn attack(args: &Args) -> Result<String, String> {
     }
     let masked_schema = Schema::new(masked_attrs).map_err(|e| e.to_string())?;
     let masked_path = args.require("masked")?;
-    let masked_text = std::fs::read_to_string(masked_path)
-        .map_err(|e| format!("reading {masked_path}: {e}"))?;
-    let masked = csv::read_table_str(&masked_text, masked_schema, true)
-        .map_err(|e| e.to_string())?;
+    let masked_text =
+        std::fs::read_to_string(masked_path).map_err(|e| format!("reading {masked_path}: {e}"))?;
+    let masked =
+        csv::read_table_str(&masked_text, masked_schema, true).map_err(|e| e.to_string())?;
 
     // The intruder's external knowledge uses the raw spec schema.
     let external_path = args.require("external")?;
     let external_text = std::fs::read_to_string(external_path)
         .map_err(|e| format!("reading {external_path}: {e}"))?;
-    let external = csv::read_table_str(&external_text, spec_schema, true)
-        .map_err(|e| e.to_string())?;
+    let external =
+        csv::read_table_str(&external_text, spec_schema, true).map_err(|e| e.to_string())?;
 
     let identifier = args.require("identifier")?;
-    let findings = linkage_attack(&masked, &qi, &node, &external, identifier)
-        .map_err(|e| e.to_string())?;
+    let findings =
+        linkage_attack(&masked, &qi, &node, &external, identifier).map_err(|e| e.to_string())?;
 
     let mut out = String::new();
     let mut reidentified = 0usize;
@@ -389,8 +395,7 @@ mod tests {
         let spec_s = spec.to_str().unwrap();
         let masked_s = masked.to_str().unwrap();
 
-        let msg =
-            run_line(&["generate", "--rows", "300", "--seed", "7", "--out", data_s]).unwrap();
+        let msg = run_line(&["generate", "--rows", "300", "--seed", "7", "--out", data_s]).unwrap();
         assert!(msg.contains("300 rows"));
         run_line(&["spec", "--out", spec_s]).unwrap();
 
@@ -406,8 +411,19 @@ mod tests {
         assert!(analysis.contains("identity risk"));
 
         let result = run_line(&[
-            "anonymize", "--spec", spec_s, "--input", data_s, "--out", masked_s, "--k", "2",
-            "--p", "2", "--ts", "10",
+            "anonymize",
+            "--spec",
+            spec_s,
+            "--input",
+            data_s,
+            "--out",
+            masked_s,
+            "--k",
+            "2",
+            "--p",
+            "2",
+            "--ts",
+            "10",
         ])
         .unwrap();
         assert!(result.contains("p-k-minimal node"));
@@ -427,15 +443,30 @@ mod tests {
         let spec = temp_path("mspec.json");
         let masked = temp_path("mmasked.csv");
         run_line(&[
-            "generate", "--rows", "400", "--seed", "9", "--out",
+            "generate",
+            "--rows",
+            "400",
+            "--seed",
+            "9",
+            "--out",
             data.to_str().unwrap(),
         ])
         .unwrap();
         run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
         let result = run_line(&[
-            "anonymize", "--spec", spec.to_str().unwrap(), "--input",
-            data.to_str().unwrap(), "--out", masked.to_str().unwrap(), "--k", "3", "--p",
-            "2", "--algorithm", "mondrian",
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            masked.to_str().unwrap(),
+            "--k",
+            "3",
+            "--p",
+            "2",
+            "--algorithm",
+            "mondrian",
         ])
         .unwrap();
         assert!(result.contains("partitions"));
@@ -447,16 +478,31 @@ mod tests {
         let spec = temp_path("aspec.json");
         let masked = temp_path("amasked.csv");
         run_line(&[
-            "generate", "--rows", "400", "--seed", "21", "--out",
+            "generate",
+            "--rows",
+            "400",
+            "--seed",
+            "21",
+            "--out",
             data.to_str().unwrap(),
         ])
         .unwrap();
         run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
         // k-anonymity only (p = 1): attribute disclosures expected.
         let result = run_line(&[
-            "anonymize", "--spec", spec.to_str().unwrap(), "--input",
-            data.to_str().unwrap(), "--out", masked.to_str().unwrap(), "--k", "2", "--p",
-            "1", "--ts", "0",
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            masked.to_str().unwrap(),
+            "--k",
+            "2",
+            "--p",
+            "1",
+            "--ts",
+            "0",
         ])
         .unwrap();
         let node_line = result
@@ -466,9 +512,17 @@ mod tests {
         let node = node_line.rsplit(' ').next().unwrap();
 
         let attack = run_line(&[
-            "attack", "--spec", spec.to_str().unwrap(), "--masked",
-            masked.to_str().unwrap(), "--external", data.to_str().unwrap(), "--node",
-            node, "--identifier", "Id",
+            "attack",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--masked",
+            masked.to_str().unwrap(),
+            "--external",
+            data.to_str().unwrap(),
+            "--node",
+            node,
+            "--identifier",
+            "Id",
         ])
         .unwrap();
         assert!(attack.contains("individuals linked"), "{attack}");
@@ -480,9 +534,17 @@ mod tests {
 
         // Bad node strings are rejected.
         assert!(run_line(&[
-            "attack", "--spec", spec.to_str().unwrap(), "--masked",
-            masked.to_str().unwrap(), "--external", data.to_str().unwrap(), "--node",
-            "9,9,9,9", "--identifier", "Id",
+            "attack",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--masked",
+            masked.to_str().unwrap(),
+            "--external",
+            data.to_str().unwrap(),
+            "--node",
+            "9,9,9,9",
+            "--identifier",
+            "Id",
         ])
         .is_err());
     }
@@ -491,13 +553,21 @@ mod tests {
     fn query_subcommand_runs_sql() {
         let data = temp_path("qdata.csv");
         run_line(&[
-            "generate", "--rows", "120", "--seed", "33", "--out",
+            "generate",
+            "--rows",
+            "120",
+            "--seed",
+            "33",
+            "--out",
             data.to_str().unwrap(),
         ])
         .unwrap();
         // Schema inference path.
         let out = run_line(&[
-            "query", "--input", data.to_str().unwrap(), "--sql",
+            "query",
+            "--input",
+            data.to_str().unwrap(),
+            "--sql",
             "SELECT Sex, COUNT(*) FROM data GROUP BY Sex ORDER BY 2 DESC",
         ])
         .unwrap();
@@ -507,22 +577,31 @@ mod tests {
         let spec = temp_path("qspec.json");
         run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
         let out = run_line(&[
-            "query", "--input", data.to_str().unwrap(), "--spec",
-            spec.to_str().unwrap(), "--sql", "SELECT MAX(Age) FROM data",
+            "query",
+            "--input",
+            data.to_str().unwrap(),
+            "--spec",
+            spec.to_str().unwrap(),
+            "--sql",
+            "SELECT MAX(Age) FROM data",
         ])
         .unwrap();
         assert!(out.contains("MAX(Age)"));
         // SQL errors surface.
         assert!(run_line(&[
-            "query", "--input", data.to_str().unwrap(), "--sql", "SELECT FROM",
+            "query",
+            "--input",
+            data.to_str().unwrap(),
+            "--sql",
+            "SELECT FROM",
         ])
         .is_err());
     }
 
     #[test]
     fn missing_files_are_reported() {
-        let err = run_line(&["check", "--spec", "/nonexistent.json", "--input", "x.csv"])
-            .unwrap_err();
+        let err =
+            run_line(&["check", "--spec", "/nonexistent.json", "--input", "x.csv"]).unwrap_err();
         assert!(err.contains("/nonexistent.json"));
     }
 
@@ -531,15 +610,29 @@ mod tests {
         let data = temp_path("udata.csv");
         let spec = temp_path("uspec.json");
         run_line(&[
-            "generate", "--rows", "200", "--seed", "3", "--out",
+            "generate",
+            "--rows",
+            "200",
+            "--seed",
+            "3",
+            "--out",
             data.to_str().unwrap(),
         ])
         .unwrap();
         run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
         // Pay has 2 distinct values: p = 5 is impossible.
         let err = run_line(&[
-            "anonymize", "--spec", spec.to_str().unwrap(), "--input",
-            data.to_str().unwrap(), "--out", "/dev/null", "--k", "2", "--p", "5",
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            "/dev/null",
+            "--k",
+            "2",
+            "--p",
+            "5",
         ])
         .unwrap_err();
         assert!(err.contains("no masking"), "{err}");

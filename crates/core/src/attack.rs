@@ -59,7 +59,10 @@ pub fn linkage_attack(
     // Index masked rows by their (already generalized) key.
     let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for row in 0..masked.n_rows() {
-        let key: Vec<Value> = masked_qi_cols.iter().map(|&c| masked.value(row, c)).collect();
+        let key: Vec<Value> = masked_qi_cols
+            .iter()
+            .map(|&c| masked.value(row, c))
+            .collect();
         by_key.entry(key).or_default().push(row);
     }
 
@@ -78,14 +81,8 @@ pub fn linkage_attack(
         let mut learned = Vec::new();
         for &attr in &confidential {
             let first = masked.value(candidates[0], attr);
-            if candidates
-                .iter()
-                .all(|&r| masked.value(r, attr) == first)
-            {
-                learned.push((
-                    masked.schema().attribute(attr).name().to_owned(),
-                    first,
-                ));
+            if candidates.iter().all(|&r| masked.value(r, attr) == first) {
+                learned.push((masked.schema().attribute(attr).name().to_owned(), first));
             }
         }
         findings.push(LinkageFinding {
@@ -178,14 +175,8 @@ mod tests {
     #[test]
     fn sam_and_eric_learn_nothing_about_identity_but_lose_their_diagnosis() {
         // Age generalized to level 1, ZipCode and Sex released raw (level 0).
-        let findings = linkage_attack(
-            &masked(),
-            &qi(),
-            &Node(vec![1, 0, 0]),
-            &external(),
-            "Name",
-        )
-        .unwrap();
+        let findings =
+            linkage_attack(&masked(), &qi(), &Node(vec![1, 0, 0]), &external(), "Name").unwrap();
         assert_eq!(findings.len(), 6);
         let sam = findings
             .iter()
@@ -208,14 +199,8 @@ mod tests {
 
     #[test]
     fn heterogeneous_groups_leak_nothing() {
-        let findings = linkage_attack(
-            &masked(),
-            &qi(),
-            &Node(vec![1, 0, 0]),
-            &external(),
-            "Name",
-        )
-        .unwrap();
+        let findings =
+            linkage_attack(&masked(), &qi(), &Node(vec![1, 0, 0]), &external(), "Name").unwrap();
         for name in ["Adam", "Don", "Gloria", "Tanisha"] {
             let f = findings
                 .iter()
@@ -229,16 +214,9 @@ mod tests {
     #[test]
     fn unmatched_individuals_are_skipped() {
         let schema = external().schema().clone();
-        let strangers =
-            table_from_str_rows(schema, &[&["Zoe", "75", "F", "43102"]]).unwrap();
-        let findings = linkage_attack(
-            &masked(),
-            &qi(),
-            &Node(vec![1, 0, 0]),
-            &strangers,
-            "Name",
-        )
-        .unwrap();
+        let strangers = table_from_str_rows(schema, &[&["Zoe", "75", "F", "43102"]]).unwrap();
+        let findings =
+            linkage_attack(&masked(), &qi(), &Node(vec![1, 0, 0]), &strangers, "Name").unwrap();
         assert!(findings.is_empty());
     }
 

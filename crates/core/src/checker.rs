@@ -237,10 +237,7 @@ mod tests {
                 for k in 1..=4u32 {
                     let basic = is_p_sensitive_k_anonymous(t, &[0, 1], &conf, p, k);
                     let improved = check_improved(t, &[0, 1], &conf, p, k, &stats);
-                    assert_eq!(
-                        basic, improved.satisfied,
-                        "disagreement at p={p}, k={k}"
-                    );
+                    assert_eq!(basic, improved.satisfied, "disagreement at p={p}, k={k}");
                 }
             }
         }

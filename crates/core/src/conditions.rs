@@ -275,10 +275,7 @@ mod tests {
         for (v, count) in [900usize, 90, 5, 3, 2].iter().enumerate() {
             for _ in 0..*count {
                 builder
-                    .push_row(vec![
-                        Value::Text("k".into()),
-                        Value::Text(format!("v{v}")),
-                    ])
+                    .push_row(vec![Value::Text("k".into()), Value::Text(format!("v{v}"))])
                     .unwrap();
             }
         }

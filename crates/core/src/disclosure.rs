@@ -64,11 +64,7 @@ pub fn attribute_disclosures(
 }
 
 /// Number of attribute disclosures (Table 8's "No of attribute disclosures").
-pub fn attribute_disclosure_count(
-    table: &Table,
-    keys: &[usize],
-    confidential: &[usize],
-) -> usize {
+pub fn attribute_disclosure_count(table: &Table, keys: &[usize], confidential: &[usize]) -> usize {
     attribute_disclosures(table, keys, confidential).len()
 }
 

@@ -178,7 +178,11 @@ mod tests {
         let keys = [0usize];
         // Plain p-sensitivity is satisfied with p = 2...
         assert!(crate::psensitive::is_p_sensitive_k_anonymous(
-            &t, &keys, &[1], 2, 2
+            &t,
+            &keys,
+            &[1],
+            2,
+            2
         ));
         // ...but at category level the first group collapses to Infectious.
         let h = illness_hierarchy();
@@ -250,7 +254,11 @@ mod tests {
                 hierarchy: &h,
                 level,
             }];
-            assert_eq!(extended_max_p(&t, &spec).unwrap(), expected, "level {level}");
+            assert_eq!(
+                extended_max_p(&t, &spec).unwrap(),
+                expected,
+                "level {level}"
+            );
         }
         assert_eq!(extended_max_p(&t, &[]).unwrap(), usize::MAX);
     }

@@ -61,9 +61,7 @@ pub fn is_k_anonymous(table: &Table, keys: &[usize], k: u32) -> bool {
 /// Maximum `k` for which the table is k-anonymous: the minimum QI-group size
 /// (`0` for an empty table, by convention).
 pub fn max_k(table: &Table, keys: &[usize]) -> u32 {
-    GroupBy::compute(table, keys)
-        .min_group_size()
-        .unwrap_or(0)
+    GroupBy::compute(table, keys).min_group_size().unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 //! | [`theorems`] | Theorems 1–2 (reuse of `maxP`/`maxGroups`) |
 //! | [`suppress`] | tuple suppression with threshold TS, plus cell-level local suppression |
 //! | [`masking`] | generalize → suppress → check pipeline |
+//! | [`evaluator`] | code-mapped node-evaluation kernel (no table materialization) |
 //! | [`disclosure`] | identity/attribute disclosure counts (Table 8) |
 //! | [`attack`] | the record-linkage / homogeneity attack (Tables 1–2) |
 //! | [`extended`] | extended p-sensitivity over confidential hierarchies (follow-up model) |
@@ -66,6 +67,7 @@ pub mod attack;
 pub mod checker;
 pub mod conditions;
 pub mod disclosure;
+pub mod evaluator;
 pub mod extended;
 pub mod kanonymity;
 pub mod masking;
@@ -76,12 +78,13 @@ pub mod theorems;
 pub use checker::{check_improved, CheckStage, ImprovedCheckOutcome};
 pub use conditions::{AttributeFrequencyStats, ConfidentialStats, MaxGroups};
 pub use disclosure::{attribute_disclosure_count, attribute_disclosures, AttributeDisclosure};
+pub use evaluator::{EvalContext, NodeCheck, NodeEvaluator};
 pub use extended::{check_extended, extended_max_p, ConfidentialSpec, ExtendedReport};
 pub use kanonymity::{check_k_anonymity, is_k_anonymous, max_k, KAnonymityReport};
 pub use masking::{MaskOutcome, MaskingContext};
 pub use psensitive::{
-    check_p_sensitivity, group_profiles, is_p_sensitive_k_anonymous, max_p_of_masked,
-    GroupProfile, PSensitivityReport, SensitivityViolation,
+    check_p_sensitivity, group_profiles, is_p_sensitive_k_anonymous, max_p_of_masked, GroupProfile,
+    PSensitivityReport, SensitivityViolation,
 };
 pub use suppress::{
     locally_suppress_to_k, suppress_to_k, suppress_within_threshold, LocalSuppressionResult,

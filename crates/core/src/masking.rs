@@ -48,6 +48,9 @@ pub struct MaskOutcome {
     pub satisfied: bool,
     /// Stage of Algorithm 2 that settled the check.
     pub stage: CheckStage,
+    /// QI-group count of the masked table, when Algorithm 2 computed the
+    /// grouping (`None` after a Condition 1 rejection).
+    pub n_groups: Option<usize>,
 }
 
 impl MaskingContext<'_> {
@@ -70,14 +73,13 @@ impl MaskingContext<'_> {
         let generalized = self.qi.apply(self.initial, node)?.drop_identifiers();
         let keys = self.masked_keys(&generalized);
         let report = check_k_anonymity(&generalized, &keys, self.k);
-        let (masked, suppressed) = if report.violating_tuples > 0
-            && report.violating_tuples <= self.ts
-        {
-            let result = suppress_to_k(&generalized, &keys, self.k);
-            (result.table, result.removed)
-        } else {
-            (generalized, 0)
-        };
+        let (masked, suppressed) =
+            if report.violating_tuples > 0 && report.violating_tuples <= self.ts {
+                let result = suppress_to_k(&generalized, &keys, self.k);
+                (result.table, result.removed)
+            } else {
+                (generalized, 0)
+            };
         let conf = self.masked_confidential(&masked);
         let outcome: ImprovedCheckOutcome =
             check_improved(&masked, &keys, &conf, self.p, self.k, stats);
@@ -88,6 +90,7 @@ impl MaskingContext<'_> {
             violating_tuples: report.violating_tuples,
             satisfied: outcome.satisfied,
             stage: outcome.stage,
+            n_groups: outcome.n_groups,
         })
     }
 

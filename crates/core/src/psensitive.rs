@@ -152,11 +152,7 @@ pub struct GroupProfile {
 }
 
 /// Computes [`GroupProfile`]s for every QI-group.
-pub fn group_profiles(
-    table: &Table,
-    keys: &[usize],
-    confidential: &[usize],
-) -> Vec<GroupProfile> {
+pub fn group_profiles(table: &Table, keys: &[usize], confidential: &[usize]) -> Vec<GroupProfile> {
     let groups = GroupBy::compute(table, keys);
     let per_attr: Vec<Vec<u32>> = confidential
         .iter()

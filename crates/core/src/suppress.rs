@@ -252,8 +252,7 @@ mod tests {
             let zip = result.table.value(row, 1);
             assert!(
                 (sex == Value::Text("M".into())
-                    && (zip == Value::Text("41076".into())
-                        || zip == Value::Text("43102".into()))),
+                    && (zip == Value::Text("41076".into()) || zip == Value::Text("43102".into()))),
                 "unexpected survivor {sex} {zip}"
             );
         }

@@ -70,7 +70,11 @@ impl AdultGenerator {
             Attribute::int_confidential("CapitalGain"),
             Attribute::int_confidential("CapitalLoss"),
             Attribute::cat_confidential("TaxPeriod"),
-            Attribute::new("FnlWgt", psens_microdata::Kind::Int, psens_microdata::Role::Other),
+            Attribute::new(
+                "FnlWgt",
+                psens_microdata::Kind::Int,
+                psens_microdata::Role::Other,
+            ),
         ])
         .expect("static schema is valid")
     }
@@ -97,7 +101,11 @@ impl AdultGenerator {
                 let age = sample_age(&mut rng);
                 let marital = sample_marital(&mut rng, age);
                 let race = pick_weighted(&mut rng, &RACE, &RACE_WEIGHTS);
-                let sex = if rng.gen::<f64>() < 0.669 { SEX[0] } else { SEX[1] };
+                let sex = if rng.gen::<f64>() < 0.669 {
+                    SEX[0]
+                } else {
+                    SEX[1]
+                };
                 (age, marital, race, sex)
             };
             let high_pay = sample_high_pay(&mut rng, age, marital, sex);
@@ -277,7 +285,11 @@ mod tests {
         }
         // The full domain has 74 distinct values; a 5,000-sample should see
         // most of them.
-        assert!(age.n_distinct() > 60, "only {} distinct ages", age.n_distinct());
+        assert!(
+            age.n_distinct() > 60,
+            "only {} distinct ages",
+            age.n_distinct()
+        );
     }
 
     #[test]
@@ -304,11 +316,7 @@ mod tests {
         let (mut married_high, mut married_n) = (0usize, 0usize);
         let (mut single_high, mut single_n) = (0usize, 0usize);
         for row in 0..t.n_rows() {
-            let married = t
-                .value(row, 2)
-                .as_text()
-                .unwrap()
-                .starts_with("Married");
+            let married = t.value(row, 2).as_text().unwrap().starts_with("Married");
             let high = t.value(row, 5).as_text().unwrap() == ">50K";
             if married {
                 married_n += 1;

@@ -18,7 +18,9 @@ impl QiSpace {
     /// Builds a QI space; at least one attribute is required.
     pub fn new(entries: Vec<(String, Hierarchy)>) -> Result<Self> {
         if entries.is_empty() {
-            return Err(Error::Invalid("QI space needs at least one attribute".into()));
+            return Err(Error::Invalid(
+                "QI space needs at least one attribute".into(),
+            ));
         }
         let mut seen = std::collections::HashSet::new();
         for (name, _) in &entries {
@@ -74,18 +76,32 @@ impl QiSpace {
         format!("<{}>", parts.join(", "))
     }
 
-    /// Applies full-domain generalization: every QI attribute of `table` is
-    /// recoded to the level `node` assigns it. Non-QI columns pass through
-    /// untouched. Attributes generalized above level 0 become categorical in
-    /// the masked schema.
-    pub fn apply(&self, table: &Table, node: &Node) -> Result<Table> {
-        let lattice = self.lattice();
-        if !lattice.contains(node) {
+    /// Checks that `node` has one level per QI attribute, each within its
+    /// hierarchy's height — without materializing the whole lattice.
+    pub fn validate_node(&self, node: &Node) -> Result<()> {
+        if node.levels().len() != self.len() {
             return Err(Error::Invalid(format!(
                 "node {node} is outside the {}-attribute lattice",
                 self.len()
             )));
         }
+        for ((_, hierarchy), &level) in self.entries.iter().zip(node.levels()) {
+            if level as usize > hierarchy.max_level() {
+                return Err(Error::Invalid(format!(
+                    "node {node} is outside the {}-attribute lattice",
+                    self.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies full-domain generalization: every QI attribute of `table` is
+    /// recoded to the level `node` assigns it. Non-QI columns pass through
+    /// untouched. Attributes generalized above level 0 become categorical in
+    /// the masked schema.
+    pub fn apply(&self, table: &Table, node: &Node) -> Result<Table> {
+        self.validate_node(node)?;
         let mut attrs: Vec<Attribute> = table.schema().attributes().to_vec();
         let mut columns = table.columns().to_vec();
         for ((name, hierarchy), &level) in self.entries.iter().zip(node.levels()) {

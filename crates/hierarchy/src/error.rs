@@ -58,7 +58,10 @@ impl fmt::Display for Error {
                 write!(f, "level {level} is not a coarsening: {detail}")
             }
             Error::KindMismatch { expected, found } => {
-                write!(f, "hierarchy generalizes {expected} but column holds {found}")
+                write!(
+                    f,
+                    "hierarchy generalizes {expected} but column holds {found}"
+                )
             }
             Error::Invalid(msg) => write!(f, "invalid hierarchy: {msg}"),
             Error::Microdata(e) => write!(f, "microdata error: {e}"),

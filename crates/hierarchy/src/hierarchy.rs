@@ -172,14 +172,58 @@ impl CatHierarchy {
     pub fn labels_at(&self, level: usize) -> Result<Vec<String>> {
         match level.checked_sub(1) {
             None => Ok(self.ground.clone()),
+            Some(l) => {
+                self.levels
+                    .get(l)
+                    .map(|lv| lv.labels.clone())
+                    .ok_or(Error::LevelOutOfRange {
+                        level,
+                        n_levels: self.n_levels(),
+                    })
+            }
+        }
+    }
+
+    /// Position of `value` in the ground domain, if present.
+    pub fn ground_index(&self, value: &str) -> Option<usize> {
+        self.ground.iter().position(|g| g == value)
+    }
+
+    /// Number of labels in the domain at `level` (level 0 is the ground
+    /// domain).
+    pub fn n_labels_at(&self, level: usize) -> Result<usize> {
+        match level.checked_sub(1) {
+            None => Ok(self.ground.len()),
             Some(l) => self
                 .levels
                 .get(l)
-                .map(|lv| lv.labels.clone())
+                .map(|lv| lv.labels.len())
                 .ok_or(Error::LevelOutOfRange {
                     level,
                     n_levels: self.n_levels(),
                 }),
+        }
+    }
+
+    /// The ground-code → label-code map of `level`: entry `g` is the code
+    /// (index into [`Self::labels_at`]) that ground value `g` generalizes to.
+    /// Level 0 is the identity map.
+    ///
+    /// This is the DGH as pure code arithmetic — the basis of the
+    /// node-evaluation fast path, which recodes columns by a single indexed
+    /// load per row instead of string-level [`Self::generalize`] calls.
+    pub fn code_map_at(&self, level: usize) -> Result<Vec<u32>> {
+        match level.checked_sub(1) {
+            None => Ok((0..self.ground.len() as u32).collect()),
+            Some(l) => {
+                self.levels
+                    .get(l)
+                    .map(|lv| lv.of_ground.clone())
+                    .ok_or(Error::LevelOutOfRange {
+                        level,
+                        n_levels: self.n_levels(),
+                    })
+            }
         }
     }
 
@@ -320,6 +364,40 @@ impl IntHierarchy {
             .map(IntLevel::n_bins)
     }
 
+    /// Bin index of `v` at `level` (`level >= 1`): the position of its label
+    /// in [`Self::bin_labels_at`]. Pure integer arithmetic — no label
+    /// allocation.
+    pub fn bin_of(&self, v: i64, level: usize) -> Result<usize> {
+        let l = level.checked_sub(1).ok_or(Error::LevelOutOfRange {
+            level,
+            n_levels: self.n_levels(),
+        })?;
+        let lv = self.levels.get(l).ok_or(Error::LevelOutOfRange {
+            level,
+            n_levels: self.n_levels(),
+        })?;
+        Ok(match lv {
+            IntLevel::Ranges { cuts, .. } => cuts.partition_point(|&c| c <= v),
+            IntLevel::Single(_) => 0,
+        })
+    }
+
+    /// Labels of the bins at `level` (`level >= 1`), in bin order.
+    pub fn bin_labels_at(&self, level: usize) -> Result<Vec<&str>> {
+        let l = level.checked_sub(1).ok_or(Error::LevelOutOfRange {
+            level,
+            n_levels: self.n_levels(),
+        })?;
+        let lv = self.levels.get(l).ok_or(Error::LevelOutOfRange {
+            level,
+            n_levels: self.n_levels(),
+        })?;
+        Ok(match lv {
+            IntLevel::Ranges { labels, .. } => labels.iter().map(String::as_str).collect(),
+            IntLevel::Single(label) => vec![label.as_str()],
+        })
+    }
+
     /// Generalizes `v` to its label at `level`.
     pub fn generalize(&self, v: i64, level: usize) -> Result<Value> {
         match level.checked_sub(1) {
@@ -362,9 +440,7 @@ impl Hierarchy {
     pub fn generalize(&self, value: &Value, level: usize) -> Result<Value> {
         match (self, value) {
             (_, Value::Missing) => Ok(Value::Missing),
-            (Hierarchy::Cat(h), Value::Text(s)) => {
-                Ok(Value::Text(h.generalize(s, level)?))
-            }
+            (Hierarchy::Cat(h), Value::Text(s)) => Ok(Value::Text(h.generalize(s, level)?)),
             (Hierarchy::Int(h), Value::Int(v)) => h.generalize(*v, level),
             (Hierarchy::Cat(_), other) => Err(Error::KindMismatch {
                 expected: "text",
@@ -417,10 +493,7 @@ impl Hierarchy {
                                     m
                                 }
                             };
-                            let label = target
-                                .text(mapped)
-                                .expect("interned above")
-                                .to_owned();
+                            let label = target.text(mapped).expect("interned above").to_owned();
                             out.push(&label);
                         }
                         None => out.push_missing(),
@@ -485,10 +558,7 @@ mod tests {
         assert_eq!(h.generalize("41099", 1).unwrap(), "41***");
         assert_eq!(h.generalize("43102", 1).unwrap(), "43***");
         assert_eq!(h.generalize("43102", 2).unwrap(), "*****");
-        assert_eq!(
-            h.labels_at(1).unwrap(),
-            vec!["41***", "43***", "48***"]
-        );
+        assert_eq!(h.labels_at(1).unwrap(), vec!["41***", "43***", "48***"]);
         assert_eq!(h.labels_at(2).unwrap(), vec!["*****"]);
     }
 
@@ -503,10 +573,7 @@ mod tests {
             h.generalize("41076", 3),
             Err(Error::LevelOutOfRange { .. })
         ));
-        assert!(matches!(
-            h.labels_at(9),
-            Err(Error::LevelOutOfRange { .. })
-        ));
+        assert!(matches!(h.labels_at(9), Err(Error::LevelOutOfRange { .. })));
     }
 
     #[test]
@@ -544,8 +611,7 @@ mod tests {
     #[test]
     fn non_coarsening_function_rejected() {
         // Level 1 groups by first char, level 2 tries to split by last char.
-        let fns: Vec<fn(&str) -> String> =
-            vec![|s| s[..1].to_owned(), |s| s[1..].to_owned()];
+        let fns: Vec<fn(&str) -> String> = vec![|s| s[..1].to_owned(), |s| s[1..].to_owned()];
         let result = CatHierarchy::from_functions(vec!["ab", "ac"], &fns);
         assert!(matches!(result, Err(Error::NotACoarsening { .. })));
     }
@@ -661,8 +727,7 @@ mod tests {
     #[test]
     fn apply_to_cat_column() {
         let h = Hierarchy::Cat(zip_hierarchy());
-        let col = Column::Cat(CatColumn::from_values(["41076", "43102", "41099"]))
-;
+        let col = Column::Cat(CatColumn::from_values(["41076", "43102", "41099"]));
         let out = h.apply(&col, 1).unwrap();
         assert_eq!(out.value(0), Value::Text("41***".into()));
         assert_eq!(out.value(1), Value::Text("43***".into()));

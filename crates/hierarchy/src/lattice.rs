@@ -21,8 +21,7 @@ impl Node {
 
     /// True when `self` generalizes `other` (componentwise `>=`; reflexive).
     pub fn dominates(&self, other: &Node) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
     }
 
     /// True when `self` strictly generalizes `other`.
@@ -75,10 +74,7 @@ impl Lattice {
 
     /// Total number of nodes: `prod(l_i + 1)`.
     pub fn node_count(&self) -> usize {
-        self.max_levels
-            .iter()
-            .map(|&l| l as usize + 1)
-            .product()
+        self.max_levels.iter().map(|&l| l as usize + 1).product()
     }
 
     /// Height of the lattice (`height(GL)`): the height of its top node.
@@ -124,10 +120,7 @@ impl Lattice {
             return;
         }
         // Prune: the remaining dimensions can absorb at most their max sum.
-        let rest_capacity: usize = self.max_levels[dim + 1..]
-            .iter()
-            .map(|&l| l as usize)
-            .sum();
+        let rest_capacity: usize = self.max_levels[dim + 1..].iter().map(|&l| l as usize).sum();
         let lo = remaining.saturating_sub(rest_capacity);
         let hi = (self.max_levels[dim] as usize).min(remaining);
         for l in lo..=hi {
@@ -266,10 +259,7 @@ mod tests {
     fn parents_and_children() {
         let gl = figure2();
         let node = Node(vec![0, 1]);
-        assert_eq!(
-            gl.parents(&node),
-            vec![Node(vec![1, 1]), Node(vec![0, 2])]
-        );
+        assert_eq!(gl.parents(&node), vec![Node(vec![1, 1]), Node(vec![0, 2])]);
         assert_eq!(gl.children(&node), vec![Node(vec![0, 0])]);
         assert!(gl.children(&gl.bottom()).is_empty());
         assert!(gl.parents(&gl.top()).is_empty());
@@ -313,9 +303,7 @@ mod tests {
     #[test]
     fn strata_sizes_sum_to_node_count() {
         let gl = Lattice::new(vec![3, 2, 3, 1]);
-        let total: usize = (0..=gl.height())
-            .map(|h| gl.nodes_at_height(h).len())
-            .sum();
+        let total: usize = (0..=gl.height()).map(|h| gl.nodes_at_height(h).len()).sum();
         assert_eq!(total, gl.node_count());
     }
 }

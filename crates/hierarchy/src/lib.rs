@@ -48,11 +48,13 @@
 
 mod apply;
 pub mod builders;
+mod codemap;
 mod error;
 mod hierarchy;
 mod lattice;
 
 pub use apply::QiSpace;
+pub use codemap::{AttrCodeMap, LevelCodeMap, QiCodeMaps};
 pub use error::{Error, Result};
 pub use hierarchy::{CatHierarchy, Hierarchy, IntHierarchy, IntLevel};
 pub use lattice::{Lattice, Node};

@@ -90,11 +90,7 @@ pub fn microaggregate_univariate(
 /// MDAV (Maximum Distance to Average Vector) multivariate microaggregation
 /// over several integer attributes, with Euclidean distance on z-score
 /// normalized coordinates.
-pub fn microaggregate_mdav(
-    table: &Table,
-    attributes: &[usize],
-    k: usize,
-) -> Result<Table, Error> {
+pub fn microaggregate_mdav(table: &Table, attributes: &[usize], k: usize) -> Result<Table, Error> {
     if k == 0 {
         return Err(Error::ZeroK);
     }
@@ -112,20 +108,13 @@ pub fn microaggregate_mdav(
         .iter()
         .map(|vals| {
             let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
-            let var = vals
-                .iter()
-                .map(|&v| (v as f64 - mean).powi(2))
-                .sum::<f64>()
-                / n as f64;
+            let var = vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
             let sd = var.sqrt().max(1e-12);
             vals.iter().map(|&v| (v as f64 - mean) / sd).collect()
         })
         .collect();
     let distance2 = |a: usize, b: usize| -> f64 {
-        normalized
-            .iter()
-            .map(|col| (col[a] - col[b]).powi(2))
-            .sum()
+        normalized.iter().map(|col| (col[a] - col[b]).powi(2)).sum()
     };
     let centroid_dist2 = |rows: &[usize], point: usize| -> f64 {
         normalized
@@ -153,7 +142,9 @@ pub fn microaggregate_mdav(
         let s = *remaining
             .iter()
             .max_by(|&&a, &&b| {
-                distance2(r, a).partial_cmp(&distance2(r, b)).expect("finite")
+                distance2(r, a)
+                    .partial_cmp(&distance2(r, b))
+                    .expect("finite")
             })
             .expect("nonempty");
         for anchor in [r, s] {
@@ -180,7 +171,10 @@ pub fn microaggregate_mdav(
             .expect("nonempty");
         let mut by_distance = remaining.clone();
         by_distance.sort_by(|&a, &b| {
-            distance2(r, a).partial_cmp(&distance2(r, b)).expect("finite").then(a.cmp(&b))
+            distance2(r, a)
+                .partial_cmp(&distance2(r, b))
+                .expect("finite")
+                .then(a.cmp(&b))
         });
         let cluster: Vec<usize> = by_distance.into_iter().take(k).collect();
         remaining.retain(|row| !cluster.contains(row));
@@ -253,9 +247,7 @@ mod tests {
         let t = income_table(&values);
         let result = microaggregate_univariate(&t, 0, 5).unwrap();
         let before: i64 = values.iter().sum();
-        let after: i64 = (0..100)
-            .map(|r| result.value(r, 0).as_int().unwrap())
-            .sum();
+        let after: i64 = (0..100).map(|r| result.value(r, 0).as_int().unwrap()).sum();
         let drift = (before - after).abs() as f64 / before as f64;
         assert!(drift < 0.01, "mean drift {drift}");
     }
@@ -263,10 +255,7 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let t = income_table(&[1, 2, 3]);
-        assert_eq!(
-            microaggregate_univariate(&t, 0, 0),
-            Err(Error::ZeroK)
-        );
+        assert_eq!(microaggregate_univariate(&t, 0, 0), Err(Error::ZeroK));
         let schema = Schema::new(vec![Attribute::cat_key("C")]).unwrap();
         let cat = table_from_str_rows(schema, &[&["a"]]).unwrap();
         assert!(matches!(
@@ -283,9 +272,7 @@ mod tests {
 
     #[test]
     fn mdav_clusters_have_k_to_2k_minus_1_members() {
-        let t = income_table(&[
-            5, 7, 6, 300, 310, 305, 900, 905, 910, 8, 302, 912, 4, 307,
-        ]);
+        let t = income_table(&[5, 7, 6, 300, 310, 305, 900, 905, 910, 8, 302, 912, 4, 307]);
         let result = microaggregate_mdav(&t, &[0], 3).unwrap();
         let fs = FrequencySet::of(&result, &[0]);
         for (_, count) in fs.iter() {
@@ -296,11 +283,7 @@ mod tests {
     #[test]
     fn mdav_respects_multivariate_structure() {
         // Two tight 2-D clusters: MDAV must not mix them.
-        let schema = Schema::new(vec![
-            Attribute::int_key("A"),
-            Attribute::int_key("B"),
-        ])
-        .unwrap();
+        let schema = Schema::new(vec![Attribute::int_key("A"), Attribute::int_key("B")]).unwrap();
         let t = table_from_str_rows(
             schema,
             &[

@@ -100,7 +100,10 @@ mod tests {
             .map(|r| noisy.value(r, 0).as_int().unwrap())
             .sum::<i64>() as f64
             / 2000.0;
-        assert!((before - after).abs() / before < 0.01, "{before} vs {after}");
+        assert!(
+            (before - after).abs() / before < 0.01,
+            "{before} vs {after}"
+        );
     }
 
     #[test]
@@ -110,9 +113,7 @@ mod tests {
         let spread = |eps: f64| -> f64 {
             let noisy = add_noise(&t, 0, eps, 5).unwrap();
             (0..500)
-                .map(|r| {
-                    (noisy.value(r, 0).as_int().unwrap() - values[r]).abs() as f64
-                })
+                .map(|r| (noisy.value(r, 0).as_int().unwrap() - values[r]).abs() as f64)
                 .sum::<f64>()
                 / 500.0
         };
@@ -137,7 +138,10 @@ mod tests {
     #[test]
     fn errors_and_edges() {
         let t = table(&[1, 2, 3]);
-        assert!(matches!(add_noise(&t, 0, 0.0, 1), Err(Error::BadEpsilon(_))));
+        assert!(matches!(
+            add_noise(&t, 0, 0.0, 1),
+            Err(Error::BadEpsilon(_))
+        ));
         assert!(matches!(
             add_noise(&t, 0, f64::NAN, 1),
             Err(Error::BadEpsilon(_))

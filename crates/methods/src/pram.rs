@@ -58,10 +58,15 @@ impl PramMatrix {
         }
         for (i, row) in rows.iter().enumerate() {
             if row.len() != d {
-                return Err(Error::BadMatrix(format!("row {i} has {} entries", row.len())));
+                return Err(Error::BadMatrix(format!(
+                    "row {i} has {} entries",
+                    row.len()
+                )));
             }
             if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
-                return Err(Error::BadMatrix(format!("row {i} has out-of-range entries")));
+                return Err(Error::BadMatrix(format!(
+                    "row {i} has out-of-range entries"
+                )));
             }
             let sum: f64 = row.iter().sum();
             if (sum - 1.0).abs() > 1e-9 {
@@ -73,17 +78,16 @@ impl PramMatrix {
 
     /// The "retain with probability `retain`, otherwise uniform over the
     /// other categories" matrix — the most common PRAM design.
-    pub fn uniform_retention<S: Into<String>>(
-        domain: Vec<S>,
-        retain: f64,
-    ) -> Result<Self, Error> {
+    pub fn uniform_retention<S: Into<String>>(domain: Vec<S>, retain: f64) -> Result<Self, Error> {
         let domain: Vec<String> = domain.into_iter().map(Into::into).collect();
         let d = domain.len();
         if d == 0 {
             return Err(Error::BadMatrix("empty domain".into()));
         }
         if !(0.0..=1.0).contains(&retain) {
-            return Err(Error::BadMatrix(format!("retention {retain} not a probability")));
+            return Err(Error::BadMatrix(format!(
+                "retention {retain} not a probability"
+            )));
         }
         let off = if d > 1 {
             (1.0 - retain) / (d as f64 - 1.0)
@@ -93,7 +97,17 @@ impl PramMatrix {
         let rows = (0..d)
             .map(|i| {
                 (0..d)
-                    .map(|j| if i == j { if d == 1 { 1.0 } else { retain } } else { off })
+                    .map(|j| {
+                        if i == j {
+                            if d == 1 {
+                                1.0
+                            } else {
+                                retain
+                            }
+                        } else {
+                            off
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -179,11 +193,7 @@ mod tests {
     #[test]
     fn matrix_validation() {
         assert!(PramMatrix::new(vec![], vec![]).is_err());
-        assert!(PramMatrix::new(
-            vec!["a".into(), "b".into()],
-            vec![vec![0.5, 0.5]],
-        )
-        .is_err());
+        assert!(PramMatrix::new(vec!["a".into(), "b".into()], vec![vec![0.5, 0.5]],).is_err());
         assert!(PramMatrix::new(
             vec!["a".into(), "b".into()],
             vec![vec![0.9, 0.2], vec![0.5, 0.5]],
@@ -198,8 +208,7 @@ mod tests {
     #[test]
     fn identity_matrix_changes_nothing() {
         let t = table(&["Flu", "HIV", "Flu", "Asthma"]);
-        let matrix =
-            PramMatrix::uniform_retention(vec!["Flu", "HIV", "Asthma"], 1.0).unwrap();
+        let matrix = PramMatrix::uniform_retention(vec!["Flu", "HIV", "Asthma"], 1.0).unwrap();
         assert_eq!(pram(&t, 0, &matrix, 3).unwrap(), t);
     }
 
@@ -247,9 +256,7 @@ mod tests {
     #[test]
     fn marginals_approximately_invariant_under_symmetric_pram() {
         // A symmetric retention matrix keeps a uniform marginal uniform.
-        let values: Vec<&str> = (0..3000)
-            .map(|i| ["a", "b", "c"][i % 3])
-            .collect();
+        let values: Vec<&str> = (0..3000).map(|i| ["a", "b", "c"][i % 3]).collect();
         let t = table(&values);
         let matrix = PramMatrix::uniform_retention(vec!["a", "b", "c"], 0.7).unwrap();
         let released = pram(&t, 0, &matrix, 9).unwrap();

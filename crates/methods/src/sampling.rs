@@ -36,7 +36,9 @@ pub fn simple_random_sample(table: &Table, n: usize, seed: u64) -> Table {
 pub fn bernoulli_sample(table: &Table, prob: f64, seed: u64) -> Table {
     assert!((0.0..=1.0).contains(&prob), "prob must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);
-    let keep: Vec<bool> = (0..table.n_rows()).map(|_| rng.gen::<f64>() < prob).collect();
+    let keep: Vec<bool> = (0..table.n_rows())
+        .map(|_| rng.gen::<f64>() < prob)
+        .collect();
     table.filter(|row| keep[row])
 }
 
@@ -60,9 +62,8 @@ mod tests {
     fn sample_rows_come_from_the_source() {
         let t = AdultGenerator::new(2).generate(200);
         let s = simple_random_sample(&t, 50, 1);
-        let ids: std::collections::HashSet<String> = (0..t.n_rows())
-            .map(|r| t.value(r, 0).to_string())
-            .collect();
+        let ids: std::collections::HashSet<String> =
+            (0..t.n_rows()).map(|r| t.value(r, 0).to_string()).collect();
         let mut seen = std::collections::HashSet::new();
         for r in 0..s.n_rows() {
             let id = s.value(r, 0).to_string();

@@ -152,6 +152,9 @@ mod tests {
         assert_eq!(rank_swap(&t, 0, 101, 1), Err(Error::BadWindow(101)));
         let schema = Schema::new(vec![Attribute::cat_key("C")]).unwrap();
         let cat = table_from_str_rows(schema, &[&["a"], &["b"]]).unwrap();
-        assert!(matches!(rank_swap(&cat, 0, 10, 1), Err(Error::NotNumeric(_))));
+        assert!(matches!(
+            rank_swap(&cat, 0, 10, 1),
+            Err(Error::NotNumeric(_))
+        ));
     }
 }

@@ -152,12 +152,7 @@ mod tests {
 
     #[test]
     fn report_minimizes_over_groups() {
-        let t = table(&[
-            &["A", "x"],
-            &["A", "y"],
-            &["B", "x"],
-            &["B", "x"],
-        ]);
+        let t = table(&[&["A", "x"], &["A", "y"], &["B", "x"], &["B", "x"]]);
         let report = diversity_report(&t, &[0], 1).unwrap();
         assert_eq!(report.distinct_l, 1); // group B is homogeneous
         assert!((report.max_confidence - 1.0).abs() < 1e-9);
@@ -195,12 +190,7 @@ mod tests {
 
     #[test]
     fn distinct_l_matches_max_p() {
-        let t = table(&[
-            &["A", "x"],
-            &["A", "y"],
-            &["B", "x"],
-            &["B", "z"],
-        ]);
+        let t = table(&[&["A", "x"], &["A", "y"], &["B", "x"], &["B", "z"]]);
         let report = diversity_report(&t, &[0], 1).unwrap();
         let max_p = psens_core::max_p_of_masked(&t, &[0], &[1]);
         assert_eq!(report.distinct_l, max_p);

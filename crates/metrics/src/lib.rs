@@ -35,6 +35,5 @@ pub mod risk;
 pub use diversity::{diversity_report, is_recursive_cl_diverse, DiversityReport};
 pub use loss::{avg_class_size, discernibility, ncp, precision, suppression_ratio, NcpReport};
 pub use risk::{
-    attribute_risk, identity_risk, journalist_risk, AttributeRisk, IdentityRisk,
-    JournalistRisk,
+    attribute_risk, identity_risk, journalist_risk, AttributeRisk, IdentityRisk, JournalistRisk,
 };

@@ -125,8 +125,7 @@ pub fn ncp(initial: &Table, keys: &[usize], partitions: &[Vec<usize>]) -> NcpRep
                         .iter()
                         .map(|rows| {
                             let d = distinct_count(column, rows.iter().copied());
-                            (d.saturating_sub(1)) as f64 / (domain - 1) as f64
-                                * rows.len() as f64
+                            (d.saturating_sub(1)) as f64 / (domain - 1) as f64 * rows.len() as f64
                         })
                         .sum::<f64>()
                         / n as f64
@@ -176,19 +175,11 @@ mod tests {
     use psens_microdata::{table_from_str_rows, Attribute, Schema};
 
     fn table() -> Table {
-        let schema = Schema::new(vec![
-            Attribute::int_key("Age"),
-            Attribute::cat_key("Sex"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::int_key("Age"), Attribute::cat_key("Sex")]).unwrap();
         table_from_str_rows(
             schema,
-            &[
-                &["20", "M"],
-                &["30", "M"],
-                &["40", "F"],
-                &["60", "F"],
-            ],
+            &[&["20", "M"], &["30", "M"], &["40", "F"], &["60", "F"]],
         )
         .unwrap()
     }

@@ -72,7 +72,10 @@ pub fn attribute_risk(table: &Table, keys: &[usize], confidential: &[usize]) -> 
         .collect();
     let mut groups_hit: std::collections::BTreeMap<u32, u32> = Default::default();
     for d in &disclosures {
-        if let Some(entry) = per_attribute.iter_mut().find(|(n, _)| *n == d.attribute_name) {
+        if let Some(entry) = per_attribute
+            .iter_mut()
+            .find(|(n, _)| *n == d.attribute_name)
+        {
             entry.1 += 1;
         }
         groups_hit.entry(d.group).or_insert(d.group_size);
@@ -252,8 +255,7 @@ mod tests {
         assert!(journalist_risk(&population, &population, &["Nope"]).is_err());
         // A released value absent from the population carries zero risk.
         let schema = population.schema().clone();
-        let stranger =
-            table_from_str_rows(schema, &[&["Z", "Flu", "Low"]]).unwrap();
+        let stranger = table_from_str_rows(schema, &[&["Z", "Flu", "Low"]]).unwrap();
         let risk = journalist_risk(&stranger, &population, &["Zip"])
             .unwrap()
             .unwrap();

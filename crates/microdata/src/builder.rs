@@ -158,11 +158,7 @@ mod tests {
     use crate::schema::Attribute;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Attribute::int_key("Age"),
-            Attribute::cat_key("Sex"),
-        ])
-        .unwrap()
+        Schema::new(vec![Attribute::int_key("Age"), Attribute::cat_key("Sex")]).unwrap()
     }
 
     #[test]
@@ -189,9 +185,7 @@ mod tests {
     fn kind_checked_without_partial_mutation() {
         let mut b = TableBuilder::new(schema());
         // First cell valid, second invalid: nothing may be pushed.
-        let err = b
-            .push_row(vec![Value::Int(20), Value::Int(1)])
-            .unwrap_err();
+        let err = b.push_row(vec![Value::Int(20), Value::Int(1)]).unwrap_err();
         assert!(matches!(err, Error::TypeMismatch { .. }));
         assert_eq!(b.n_rows(), 0);
         // Builder still usable.

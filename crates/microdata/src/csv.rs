@@ -230,9 +230,7 @@ pub fn read_table_infer(input: &str) -> Result<Table> {
 }
 
 fn needs_quoting(field: &str) -> bool {
-    field
-        .chars()
-        .any(|c| matches!(c, ',' | '"' | '\n' | '\r'))
+    field.chars().any(|c| matches!(c, ',' | '"' | '\n' | '\r'))
 }
 
 fn write_field<W: Write>(out: &mut W, field: &str) -> std::io::Result<()> {
@@ -331,10 +329,7 @@ mod tests {
     #[test]
     fn parse_empty_fields() {
         let records = parse_records(",\na,\n,b\n").unwrap();
-        assert_eq!(
-            records,
-            vec![vec!["", ""], vec!["a", ""], vec!["", "b"]]
-        );
+        assert_eq!(records, vec![vec!["", ""], vec!["a", ""], vec!["", "b"]]);
     }
 
     #[test]
@@ -343,10 +338,7 @@ mod tests {
             parse_records("\"unterminated"),
             Err(Error::Csv { .. })
         ));
-        assert!(matches!(
-            parse_records("\"x\"y,z"),
-            Err(Error::Csv { .. })
-        ));
+        assert!(matches!(parse_records("\"x\"y,z"), Err(Error::Csv { .. })));
         assert!(matches!(parse_records("a\rb"), Err(Error::Csv { .. })));
         assert!(matches!(parse_records("ab\"cd"), Err(Error::Csv { .. })));
     }

@@ -137,10 +137,7 @@ mod tests {
                 },
                 "stores integer",
             ),
-            (
-                Error::RowOutOfBounds { index: 9, len: 3 },
-                "out of bounds",
-            ),
+            (Error::RowOutOfBounds { index: 9, len: 3 }, "out of bounds"),
             (
                 Error::LengthMismatch {
                     attribute: "Sex".into(),

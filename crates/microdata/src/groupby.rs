@@ -23,6 +23,112 @@ pub struct GroupBy {
     by: Vec<usize>,
 }
 
+/// Reusable scratch for the column-at-a-time partition refinement.
+///
+/// Each step maps the pair `(current group id, next column's code)` to a new
+/// dense group id. When `n_groups * n_codes` fits [`CodeCombiner::RADIX_CAP`]
+/// the pair is resolved through a dense remap table (`cur * n_codes + code`,
+/// `u32::MAX` marking unassigned slots) — one indexed load per row instead of
+/// a hash probe. Larger products fall back to an `FxHashMap`. Either way the
+/// result is exact: no collision can merge distinct keys.
+///
+/// Keeping the combiner alive across refinements (a lattice search checks
+/// hundreds of nodes over the same table) reuses the remap allocation; stale
+/// slots are reset per call by walking the touched list, not the whole table.
+#[derive(Debug, Default)]
+pub struct CodeCombiner {
+    radix: Vec<u32>,
+    touched: Vec<u32>,
+    hash: FxHashMap<(u32, u32), u32>,
+}
+
+impl CodeCombiner {
+    /// Largest `n_groups * n_codes` product routed to the dense remap table
+    /// (1M slots, 4 MiB — comfortably cache-friendly to reset via the
+    /// touched list and small enough to allocate once per search).
+    pub const RADIX_CAP: usize = 1 << 20;
+
+    /// A combiner with no scratch allocated yet.
+    pub fn new() -> CodeCombiner {
+        CodeCombiner::default()
+    }
+
+    /// Refines the partition `current` (with `n_groups` dense ids) by `codes`
+    /// (values `< n_codes`); returns the refined number of groups. New ids
+    /// are dense, in order of first appearance.
+    pub fn refine(
+        &mut self,
+        current: &mut [u32],
+        n_groups: u32,
+        codes: &[u32],
+        n_codes: u32,
+    ) -> u32 {
+        self.refine_with(current, n_groups, n_codes, |row| codes[row])
+    }
+
+    /// Like [`CodeCombiner::refine`], but reads row `r`'s code as
+    /// `map[base[r]]` — fusing a generalization code map into the combine so
+    /// the mapped column is never materialized.
+    pub fn refine_mapped(
+        &mut self,
+        current: &mut [u32],
+        n_groups: u32,
+        base: &[u32],
+        map: &[u32],
+        n_codes: u32,
+    ) -> u32 {
+        self.refine_with(current, n_groups, n_codes, |row| map[base[row] as usize])
+    }
+
+    fn refine_with(
+        &mut self,
+        current: &mut [u32],
+        n_groups: u32,
+        n_codes: u32,
+        code_of_row: impl Fn(usize) -> u32,
+    ) -> u32 {
+        let product = n_groups as u64 * n_codes as u64;
+        let mut next = 0u32;
+        if product <= Self::RADIX_CAP as u64 {
+            if self.radix.len() < product as usize {
+                self.radix.resize(product as usize, u32::MAX);
+            }
+            for &slot in &self.touched {
+                self.radix[slot as usize] = u32::MAX;
+            }
+            self.touched.clear();
+            for (row, cur) in current.iter_mut().enumerate() {
+                let key = *cur as usize * n_codes as usize + code_of_row(row) as usize;
+                let id = self.radix[key];
+                let id = if id == u32::MAX {
+                    let id = next;
+                    self.radix[key] = id;
+                    self.touched.push(key as u32);
+                    next += 1;
+                    id
+                } else {
+                    id
+                };
+                *cur = id;
+            }
+        } else {
+            self.hash.clear();
+            for (row, cur) in current.iter_mut().enumerate() {
+                let id = *self
+                    .hash
+                    .entry((*cur, code_of_row(row)))
+                    .or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    });
+                *cur = id;
+            }
+        }
+        next
+    }
+}
+
 impl GroupBy {
     /// Groups `table` by the attributes at `by` (indices into the schema).
     ///
@@ -36,20 +142,20 @@ impl GroupBy {
         // column's dense codes. Exact (no hash collisions can merge groups).
         let mut current = vec![0u32; n];
         let mut n_groups: u32 = u32::from(n > 0);
+        let mut combiner = CodeCombiner::new();
         for &col_idx in by {
-            let (codes, _) = table.column(col_idx).dense_codes();
-            let mut remap: FxHashMap<(u32, u32), u32> = FxHashMap::default();
-            let mut next = 0u32;
-            for (cur, code) in current.iter_mut().zip(codes) {
-                let id = *remap.entry((*cur, code)).or_insert_with(|| {
-                    let id = next;
-                    next += 1;
-                    id
-                });
-                *cur = id;
-            }
-            n_groups = next;
+            let (codes, n_codes) = table.column(col_idx).dense_codes();
+            n_groups = combiner.refine(&mut current, n_groups, &codes, n_codes);
         }
+        GroupBy::from_assignment(current, n_groups, by.to_vec())
+    }
+
+    /// Builds a grouping directly from pre-combined dense group ids — the
+    /// code-mapped fast path. `current[r]` is row `r`'s group id, dense in
+    /// `0..n_groups` and assigned in order of first appearance (exactly what
+    /// [`CodeCombiner`] produces). `by` records which attributes the ids were
+    /// derived from, for [`GroupBy::key_of_group`]-style introspection.
+    pub fn from_assignment(current: Vec<u32>, n_groups: u32, by: Vec<usize>) -> GroupBy {
         let mut group_sizes = vec![0u32; n_groups as usize];
         let mut representatives = vec![u32::MAX; n_groups as usize];
         for (row, &g) in current.iter().enumerate() {
@@ -62,8 +168,31 @@ impl GroupBy {
             group_of_row: current,
             group_sizes,
             representatives,
-            by: by.to_vec(),
+            by,
         }
+    }
+
+    /// Groups `n_rows` rows by a sequence of `(codes, n_codes)` slices —
+    /// each one attribute's dense codes — without consulting a `Table`.
+    ///
+    /// Semantically identical to [`GroupBy::compute`] over columns whose
+    /// `dense_codes` yield those slices.
+    ///
+    /// # Panics
+    /// Panics when some slice's length differs from `n_rows`.
+    pub fn from_code_slices<'a>(
+        n_rows: usize,
+        slices: impl IntoIterator<Item = (&'a [u32], u32)>,
+        by: Vec<usize>,
+    ) -> GroupBy {
+        let mut current = vec![0u32; n_rows];
+        let mut n_groups: u32 = u32::from(n_rows > 0);
+        let mut combiner = CodeCombiner::new();
+        for (codes, n_codes) in slices {
+            assert_eq!(codes.len(), n_rows, "code slice length must match n_rows");
+            n_groups = combiner.refine(&mut current, n_groups, codes, n_codes);
+        }
+        GroupBy::from_assignment(current, n_groups, by)
     }
 
     /// Number of groups (the paper's `noGroups`).
@@ -146,6 +275,21 @@ impl GroupBy {
             "column length must match grouped table"
         );
         let (codes, n_distinct) = column.dense_codes();
+        self.distinct_codes_per_group(&codes, n_distinct)
+    }
+
+    /// [`GroupBy::distinct_per_group`] over pre-densified codes (values
+    /// `< n_codes`) — lets callers that check many partitions of the same
+    /// table densify each confidential column once.
+    ///
+    /// # Panics
+    /// Panics when `codes` has a different length than the grouped table.
+    pub fn distinct_codes_per_group(&self, codes: &[u32], n_codes: u32) -> Vec<u32> {
+        assert_eq!(
+            codes.len(),
+            self.group_of_row.len(),
+            "codes length must match grouped table"
+        );
         // Visit rows group by group (counting sort by group id) so that
         // `stamp[code]` — the last group that observed `code` — is reliable:
         // each group is processed as one contiguous block, so a stamp equal
@@ -163,7 +307,7 @@ impl GroupBy {
             ordered_rows[cursor[g as usize]] = row as u32;
             cursor[g as usize] += 1;
         }
-        let mut stamp = vec![u32::MAX; n_distinct as usize];
+        let mut stamp = vec![u32::MAX; n_codes as usize];
         let mut counts = vec![0u32; self.n_groups()];
         for &row in &ordered_rows {
             let g = self.group_of_row[row as usize];
@@ -329,6 +473,78 @@ mod tests {
         let gbid = gb.group_of(1) as usize;
         assert_eq!(distinct[ga], 1, "group a is homogeneous in S");
         assert_eq!(distinct[gbid], 2);
+    }
+
+    #[test]
+    fn from_code_slices_matches_compute() {
+        let t = patient_table();
+        let by = vec![0usize, 1, 2];
+        let slices: Vec<(Vec<u32>, u32)> = by.iter().map(|&c| t.column(c).dense_codes()).collect();
+        let fast = GroupBy::from_code_slices(
+            t.n_rows(),
+            slices.iter().map(|(codes, n)| (codes.as_slice(), *n)),
+            by.clone(),
+        );
+        let slow = GroupBy::compute(&t, &by);
+        assert_eq!(fast.group_of_row, slow.group_of_row);
+        assert_eq!(fast.sizes(), slow.sizes());
+        assert_eq!(fast.representatives(), slow.representatives());
+        assert_eq!(fast.by(), slow.by());
+    }
+
+    #[test]
+    fn combiner_hash_fallback_matches_radix() {
+        // Same codes, two declared alphabet sizes: one routes through the
+        // dense remap, the other (product above the cap) through the hash
+        // fallback. The partition must be identical — it depends only on the
+        // code values.
+        let codes: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let mut dense = vec![0u32; codes.len()];
+        let mut hashed = vec![0u32; codes.len()];
+        let mut combiner = CodeCombiner::new();
+        let n_dense = combiner.refine(&mut dense, 1, &codes, 10);
+        let n_hashed = combiner.refine(&mut hashed, 1, &codes, 1 + CodeCombiner::RADIX_CAP as u32);
+        assert_eq!(n_dense, n_hashed);
+        assert_eq!(dense, hashed);
+    }
+
+    #[test]
+    fn combiner_reuse_resets_stale_slots() {
+        let mut combiner = CodeCombiner::new();
+        let mut current = vec![0u32; 4];
+        let n = combiner.refine(&mut current, 1, &[0, 1, 0, 1], 2);
+        assert_eq!(n, 2);
+        // A second, unrelated refinement must not see the first one's ids.
+        let mut current = vec![0u32; 3];
+        let n = combiner.refine(&mut current, 1, &[1, 1, 1], 2);
+        assert_eq!(n, 1);
+        assert_eq!(current, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn refine_mapped_equals_materialized_refine() {
+        let base = vec![0u32, 1, 2, 3, 2, 1];
+        let map = vec![0u32, 1, 0, 1]; // generalize 4 codes down to 2
+        let mapped: Vec<u32> = base.iter().map(|&b| map[b as usize]).collect();
+        let mut fused = vec![0u32; base.len()];
+        let mut plain = vec![0u32; base.len()];
+        let mut combiner = CodeCombiner::new();
+        let n_fused = combiner.refine_mapped(&mut fused, 1, &base, &map, 2);
+        let n_plain = combiner.refine(&mut plain, 1, &mapped, 2);
+        assert_eq!(n_fused, n_plain);
+        assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn distinct_codes_per_group_matches_column_variant() {
+        let t = patient_table();
+        let gb = GroupBy::compute(&t, &[0, 1, 2]);
+        let col = t.column_by_name("Illness").unwrap();
+        let (codes, n_codes) = col.dense_codes();
+        assert_eq!(
+            gb.distinct_codes_per_group(&codes, n_codes),
+            gb.distinct_per_group(col)
+        );
     }
 
     #[test]

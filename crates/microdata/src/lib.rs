@@ -56,9 +56,9 @@ mod describe;
 mod dictionary;
 mod display;
 mod error;
-pub mod hash;
 mod freq;
 mod groupby;
+pub mod hash;
 mod schema;
 mod table;
 mod value;
@@ -71,7 +71,7 @@ pub use dictionary::Dictionary;
 pub use display::render;
 pub use error::{Error, Result};
 pub use freq::FrequencySet;
-pub use groupby::GroupBy;
+pub use groupby::{CodeCombiner, GroupBy};
 pub use schema::{Attribute, Kind, Role, Schema};
 pub use table::Table;
 pub use value::Value;

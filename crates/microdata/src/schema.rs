@@ -245,10 +245,7 @@ mod tests {
     fn name_lookup() {
         let schema = patient_schema();
         assert_eq!(schema.index_of("Sex").unwrap(), 3);
-        assert_eq!(
-            schema.indices_of(&["Illness", "Age"]).unwrap(),
-            vec![4, 1]
-        );
+        assert_eq!(schema.indices_of(&["Illness", "Age"]).unwrap(), vec![4, 1]);
         assert!(matches!(
             schema.index_of("SSN"),
             Err(Error::UnknownAttribute(_))
@@ -257,10 +254,7 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let result = Schema::new(vec![
-            Attribute::int_key("Age"),
-            Attribute::cat_key("Age"),
-        ]);
+        let result = Schema::new(vec![Attribute::int_key("Age"), Attribute::cat_key("Age")]);
         assert!(matches!(result, Err(Error::DuplicateAttribute(_))));
     }
 

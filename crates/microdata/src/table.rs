@@ -298,11 +298,7 @@ mod tests {
 
     #[test]
     fn length_validation() {
-        let schema = Schema::new(vec![
-            Attribute::int_key("A"),
-            Attribute::int_key("B"),
-        ])
-        .unwrap();
+        let schema = Schema::new(vec![Attribute::int_key("A"), Attribute::int_key("B")]).unwrap();
         let result = Table::new(
             schema,
             vec![

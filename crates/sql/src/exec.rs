@@ -2,9 +2,7 @@
 
 use crate::ast::*;
 use crate::error::{Error, Result};
-use psens_microdata::{
-    Attribute, GroupBy, Kind, Role, Schema, Table, TableBuilder, Value,
-};
+use psens_microdata::{Attribute, GroupBy, Kind, Role, Schema, Table, TableBuilder, Value};
 use std::collections::BTreeMap;
 
 /// A named collection of tables queries can reference in `FROM`.
@@ -237,9 +235,9 @@ fn evaluate_aggregate(item: &SelectItem, table: &Table, rows: &[usize]) -> Resul
             let mut any = false;
             for &row in rows {
                 if let Value::Int(v) = table.value(row, idx) {
-                    sum = sum.checked_add(v).ok_or_else(|| {
-                        Error::Plan("SUM overflowed 64 bits".into())
-                    })?;
+                    sum = sum
+                        .checked_add(v)
+                        .ok_or_else(|| Error::Plan("SUM overflowed 64 bits".into()))?;
                     any = true;
                 }
             }
@@ -357,9 +355,7 @@ fn execute_grouped(filtered: &Table, query: &Query) -> Result<Table> {
             let value = evaluate_aggregate(&having.aggregate, filtered, &member_rows)?;
             let keep = match (&value, &having.literal) {
                 (Value::Int(a), Value::Int(b)) => having.op.evaluate(a.cmp(b)),
-                (Value::Text(a), Value::Text(b)) => {
-                    having.op.evaluate(a.as_str().cmp(b.as_str()))
-                }
+                (Value::Text(a), Value::Text(b)) => having.op.evaluate(a.as_str().cmp(b.as_str())),
                 _ => false,
             };
             if !keep {
@@ -374,9 +370,7 @@ fn execute_grouped(filtered: &Table, query: &Query) -> Result<Table> {
                     let idx = filtered.schema().index_of(name)?;
                     Ok(filtered.value(representative, idx))
                 }
-                SelectItem::Aggregate { .. } => {
-                    evaluate_aggregate(item, filtered, &member_rows)
-                }
+                SelectItem::Aggregate { .. } => evaluate_aggregate(item, filtered, &member_rows),
             })
             .collect::<Result<Vec<_>>>()?;
         builder.push_row(values)?;
@@ -490,11 +484,7 @@ mod tests {
     fn limit_and_order_on_projection() {
         let t = table1_patients();
         let catalog = catalog_with("T", &t);
-        let result = execute(
-            &catalog,
-            "SELECT Illness FROM T ORDER BY 1 ASC LIMIT 2",
-        )
-        .unwrap();
+        let result = execute(&catalog, "SELECT Illness FROM T ORDER BY 1 ASC LIMIT 2").unwrap();
         assert_eq!(result.n_rows(), 2);
         assert_eq!(result.value(0, 0), Value::Text("Breast Cancer".into()));
         assert_eq!(result.value(1, 0), Value::Text("Colon Cancer".into()));

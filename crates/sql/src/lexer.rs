@@ -153,8 +153,7 @@ mod tests {
 
     #[test]
     fn tokenizes_the_papers_statement() {
-        let tokens =
-            tokenize("SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age").unwrap();
+        let tokens = tokenize("SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age").unwrap();
         assert_eq!(tokens[0], Token::Ident("SELECT".into()));
         assert_eq!(tokens[1], Token::Ident("COUNT".into()));
         assert_eq!(tokens[2], Token::LParen);

@@ -77,7 +77,10 @@ impl Parser {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {token:?}, got {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {token:?}, got {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -324,10 +327,7 @@ mod tests {
     fn keywords_are_case_insensitive() {
         let q = parse("select Age from t where Age is not null group by Age").unwrap();
         assert_eq!(q.group_by, vec!["Age"]);
-        assert_eq!(
-            q.where_clause,
-            Some(Predicate::IsNotNull("Age".into()))
-        );
+        assert_eq!(q.where_clause, Some(Predicate::IsNotNull("Age".into())));
     }
 
     #[test]

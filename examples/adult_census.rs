@@ -20,7 +20,10 @@ fn main() {
     );
 
     println!("Reproducing Table 8 (k-anonymity leaves attribute disclosures):\n");
-    println!("{:<22}{:<22}{:>12}", "Size and k-anonymity", "Lattice Node", "Disclosures");
+    println!(
+        "{:<22}{:<22}{:>12}",
+        "Size and k-anonymity", "Lattice Node", "Disclosures"
+    );
     for (label, table) in [("400", &sample400), ("4000", &sample4000)] {
         for k in [2u32, 3] {
             // TS = 0 matches the paper's reported nodes best: with no
@@ -74,8 +77,7 @@ fn main() {
     println!("\nUtility comparison (400-tuple sample, k = 2):");
     let k_only = k_minimal_generalization(&sample400, &qi, 2, ts).unwrap();
     let p_sens =
-        pk_minimal_generalization(&sample400, &qi, 2, 2, ts, Pruning::NecessaryConditions)
-            .unwrap();
+        pk_minimal_generalization(&sample400, &qi, 2, 2, ts, Pruning::NecessaryConditions).unwrap();
     for (label, outcome) in [("k-anonymity only", &k_only), ("2-sensitive", &p_sens)] {
         if let (Some(node), Some(masked)) = (&outcome.node, &outcome.masked) {
             let keys = masked.schema().key_indices();

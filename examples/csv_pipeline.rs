@@ -19,7 +19,11 @@ fn main() {
     let initial_path = dir.join("initial.csv");
     let mut file = std::fs::File::create(&initial_path).expect("create CSV");
     csv::write_table(&mut file, &initial, true).expect("write CSV");
-    println!("wrote {} ({} rows)", initial_path.display(), initial.n_rows());
+    println!(
+        "wrote {} ({} rows)",
+        initial_path.display(),
+        initial.n_rows()
+    );
 
     // 2. We read it back against the known schema.
     let text = std::fs::read_to_string(&initial_path).expect("read CSV");
@@ -53,8 +57,16 @@ fn main() {
 
     let m_keys = mondrian.masked.schema().key_indices();
     let dropped = table.drop_identifiers();
-    let partitions_ncp = ncp(&dropped, &dropped.schema().key_indices(), &mondrian.partitions);
-    println!("\nmondrian ({} partitions, {} splits):", mondrian.partitions.len(), mondrian.splits);
+    let partitions_ncp = ncp(
+        &dropped,
+        &dropped.schema().key_indices(),
+        &mondrian.partitions,
+    );
+    println!(
+        "\nmondrian ({} partitions, {} splits):",
+        mondrian.partitions.len(),
+        mondrian.splits
+    );
     println!(
         "  groups (QI combinations): {}",
         GroupBy::compute(&mondrian.masked, &m_keys).n_groups()

@@ -50,7 +50,10 @@ fn main() {
             "ZipCode".into(),
             builders::flat_hierarchy(vec!["43102"]).unwrap(),
         ),
-        ("Sex".into(), builders::flat_hierarchy(vec!["M", "F"]).unwrap()),
+        (
+            "Sex".into(),
+            builders::flat_hierarchy(vec!["M", "F"]).unwrap(),
+        ),
     ])
     .expect("valid QI space");
     let node = Node(vec![1, 0, 0]); // Age to decades, ZipCode & Sex raw
@@ -102,7 +105,10 @@ fn main() {
             "ZipCode".into(),
             builders::flat_hierarchy(vec!["43102"]).unwrap(),
         ),
-        ("Sex".into(), builders::flat_hierarchy(vec!["M", "F"]).unwrap()),
+        (
+            "Sex".into(),
+            builders::flat_hierarchy(vec!["M", "F"]).unwrap(),
+        ),
     ])
     .expect("valid QI space");
     let repaired =

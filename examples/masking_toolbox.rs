@@ -46,15 +46,24 @@ fn main() {
     let age = initial.schema().index_of("Age").unwrap();
     let microagg = microaggregate_univariate(&initial, age, 5).unwrap();
     risk_line("microaggregate Age (k=5)", &microagg);
-    println!("    mean Age after microaggregation = {:.2}", mean_of(&microagg, "Age"));
+    println!(
+        "    mean Age after microaggregation = {:.2}",
+        mean_of(&microagg, "Age")
+    );
 
     let swapped = rank_swap(&initial, age, 5, 2).unwrap();
     risk_line("rank-swap Age (5% window)", &swapped);
-    println!("    mean Age after swapping         = {:.2}", mean_of(&swapped, "Age"));
+    println!(
+        "    mean Age after swapping         = {:.2}",
+        mean_of(&swapped, "Age")
+    );
 
     let noisy = add_noise(&initial, age, 0.2, 3).unwrap();
     risk_line("Age + 20% noise", &noisy);
-    println!("    mean Age after noise            = {:.2}", mean_of(&noisy, "Age"));
+    println!(
+        "    mean Age after noise            = {:.2}",
+        mean_of(&noisy, "Age")
+    );
 
     let pay = initial.schema().index_of("Pay").unwrap();
     let matrix = PramMatrix::uniform_retention(vec!["<=50K", ">50K"], 0.85).unwrap();
@@ -64,8 +73,7 @@ fn main() {
     println!("\nnon-perturbative masking (the paper's choice):");
     let qi = psens::datasets::hierarchies::adult_qi_space();
     let outcome =
-        pk_minimal_generalization(&initial, &qi, 2, 3, 20, Pruning::NecessaryConditions)
-            .unwrap();
+        pk_minimal_generalization(&initial, &qi, 2, 3, 20, Pruning::NecessaryConditions).unwrap();
     let masked = outcome.masked.expect("achievable");
     risk_line("2-sensitive 3-anonymous", &masked);
     println!(

@@ -94,10 +94,7 @@ fn main() {
         extended_max_p(&table, &spec).unwrap()
     );
     let report = check_extended(&table, &keys, &spec, 2, 3).unwrap();
-    println!(
-        "extended 2-sensitive 3-anonymous? {}",
-        report.satisfied()
-    );
+    println!("extended 2-sensitive 3-anonymous? {}", report.satisfied());
     for v in &report.violations {
         println!(
             "  -> group {} (size {}) spans only {} category(ies): everyone in it \

@@ -38,8 +38,8 @@ pub use psens_algorithms as algorithms;
 pub use psens_core as core;
 pub use psens_datasets as datasets;
 pub use psens_hierarchy as hierarchy;
-pub use psens_metrics as metrics;
 pub use psens_methods as methods;
+pub use psens_metrics as metrics;
 pub use psens_microdata as microdata;
 pub use psens_sql as sql;
 
@@ -57,7 +57,7 @@ pub mod prelude {
     pub use psens_hierarchy::{builders, Hierarchy, Lattice, Node, QiSpace};
     pub use psens_metrics::{avg_class_size, discernibility, identity_risk, precision};
     pub use psens_microdata::{
-        table_from_str_rows, Attribute, Column, FrequencySet, GroupBy, Kind, Role, Schema,
-        Table, TableBuilder, Value,
+        table_from_str_rows, Attribute, Column, FrequencySet, GroupBy, Kind, Role, Schema, Table,
+        TableBuilder, Value,
     };
 }

@@ -14,15 +14,9 @@ fn samarati_height_matches_exhaustive_minimal_height() {
         for k in [2u32, 3] {
             for ts in [0usize, 2, 5, 10] {
                 let exhaustive = exhaustive_scan(&im, &qi, p, k, ts).unwrap();
-                let samarati = pk_minimal_generalization(
-                    &im,
-                    &qi,
-                    p,
-                    k,
-                    ts,
-                    Pruning::NecessaryConditions,
-                )
-                .unwrap();
+                let samarati =
+                    pk_minimal_generalization(&im, &qi, p, k, ts, Pruning::NecessaryConditions)
+                        .unwrap();
                 match (exhaustive.minimal.first(), &samarati.node) {
                     (Some(truth), Some(found)) => {
                         assert_eq!(
@@ -36,9 +30,9 @@ fn samarati_height_matches_exhaustive_minimal_height() {
                         );
                     }
                     (None, None) => {}
-                    (truth, found) =>
-
-                        panic!("p={p} k={k} ts={ts}: exhaustive={truth:?} samarati={found:?}"),
+                    (truth, found) => {
+                        panic!("p={p} k={k} ts={ts}: exhaustive={truth:?} samarati={found:?}")
+                    }
                 }
             }
         }
@@ -73,7 +67,13 @@ fn every_algorithm_output_passes_independent_check() {
     let mondrian = mondrian_anonymize(&im, MondrianConfig { k, p });
     let keys = mondrian.masked.schema().key_indices();
     let conf = mondrian.masked.schema().confidential_indices();
-    assert!(is_p_sensitive_k_anonymous(&mondrian.masked, &keys, &conf, p, k));
+    assert!(is_p_sensitive_k_anonymous(
+        &mondrian.masked,
+        &keys,
+        &conf,
+        p,
+        k
+    ));
 }
 
 #[test]
@@ -105,9 +105,8 @@ fn pruning_never_changes_search_answers() {
         for k in [2u32, 4] {
             for ts in [0usize, 15] {
                 let a = pk_minimal_generalization(&im, &qi, p, k, ts, Pruning::None).unwrap();
-                let b =
-                    pk_minimal_generalization(&im, &qi, p, k, ts, Pruning::NecessaryConditions)
-                        .unwrap();
+                let b = pk_minimal_generalization(&im, &qi, p, k, ts, Pruning::NecessaryConditions)
+                    .unwrap();
                 assert_eq!(
                     a.node.as_ref().map(Node::height),
                     b.node.as_ref().map(Node::height),

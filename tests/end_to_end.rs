@@ -12,8 +12,8 @@ use psens::prelude::*;
 fn masked_release_resists_the_linkage_attack_when_p_is_2() {
     let im = AdultGenerator::new(99).generate(500);
     let qi = adult_qi_space();
-    let outcome = pk_minimal_generalization(&im, &qi, 2, 2, 0, Pruning::NecessaryConditions)
-        .unwrap();
+    let outcome =
+        pk_minimal_generalization(&im, &qi, 2, 2, 0, Pruning::NecessaryConditions).unwrap();
     let node = outcome.node.expect("achievable");
     let masked = outcome.masked.unwrap();
 
@@ -28,7 +28,12 @@ fn masked_release_resists_the_linkage_attack_when_p_is_2() {
     // values of every confidential attribute.
     for f in &findings {
         assert!(!f.identity_disclosed, "{:?}", f.individual);
-        assert!(f.learned.is_empty(), "{:?} leaks {:?}", f.individual, f.learned);
+        assert!(
+            f.learned.is_empty(),
+            "{:?} leaks {:?}",
+            f.individual,
+            f.learned
+        );
     }
 }
 
@@ -46,8 +51,8 @@ fn k_only_release_is_attackable_p_release_is_not() {
     let k_findings = linkage_attack(&k_masked, &qi, &k_node, &external, "Id").unwrap();
     let k_leaks: usize = k_findings.iter().map(|f| f.learned.len()).sum();
 
-    let p_sens = pk_minimal_generalization(&im, &qi, 2, 2, 0, Pruning::NecessaryConditions)
-        .unwrap();
+    let p_sens =
+        pk_minimal_generalization(&im, &qi, 2, 2, 0, Pruning::NecessaryConditions).unwrap();
     let p_node = p_sens.node.unwrap();
     let p_masked = p_sens.masked.unwrap();
     let p_findings = linkage_attack(&p_masked, &qi, &p_node, &external, "Id").unwrap();
@@ -83,8 +88,8 @@ fn privacy_utility_tradeoff_is_monotone_in_k() {
 fn csv_export_of_masked_release_reimports_identically() {
     let im = AdultGenerator::new(11).generate(300);
     let qi = adult_qi_space();
-    let outcome = pk_minimal_generalization(&im, &qi, 2, 3, 10, Pruning::NecessaryConditions)
-        .unwrap();
+    let outcome =
+        pk_minimal_generalization(&im, &qi, 2, 3, 10, Pruning::NecessaryConditions).unwrap();
     let masked = outcome.masked.expect("achievable");
     let text = csv::to_csv_string(&masked, true);
     let back = csv::read_table_str(&text, masked.schema().clone(), true).unwrap();

@@ -1,0 +1,199 @@
+//! Equivalence of the code-mapped evaluation kernel and the materializing
+//! pipeline, on randomized inputs.
+//!
+//! For random tables (with missing cells), hierarchies (categorical and
+//! integer, plus a key attribute outside the QI space), nodes, and
+//! (k, p, TS) settings, `EvalContext`/`NodeEvaluator::check` must agree with
+//! `MaskingContext::evaluate` on every reported field: satisfied, stage,
+//! n_groups, violating_tuples, and suppressed.
+
+use proptest::prelude::*;
+use psens::core::evaluator::EvalContext;
+use psens::core::masking::MaskingContext;
+use psens::hierarchy::{builders, CatHierarchy, Hierarchy, IntHierarchy, IntLevel};
+use psens::prelude::*;
+
+/// Keys: categorical X (in QI space), integer A (in QI space), categorical
+/// Y (key *outside* the QI space — grouped at ground level by both paths).
+/// Confidential: categorical S and integer T. Plus one identifier column.
+fn test_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::cat_identifier("Id"),
+        Attribute::cat_key("X"),
+        Attribute::int_key("A"),
+        Attribute::cat_key("Y"),
+        Attribute::cat_confidential("S"),
+        Attribute::int_confidential("T"),
+    ])
+    .unwrap()
+}
+
+/// One random row: domain indices, with independent missing flags for the
+/// maskable cells (X, A, S — missing must group with missing at every level
+/// in both paths).
+type Row = (u8, bool, u8, bool, u8, u8, bool, i64);
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        0u8..4,        // X index
+        any::<bool>(), // X missing?
+        0u8..6,        // A value
+        any::<bool>(), // A missing?
+        0u8..3,        // Y index
+        0u8..4,        // S index
+        any::<bool>(), // S missing?
+        0i64..3,       // T value
+    )
+}
+
+fn build_table(rows: &[Row]) -> Table {
+    let mut builder = TableBuilder::new(test_schema());
+    for (i, &(x, x_miss, a, a_miss, y, s, s_miss, t)) in rows.iter().enumerate() {
+        let x = if x_miss && x % 3 == 0 {
+            Value::Missing
+        } else {
+            Value::Text(format!("x{x}"))
+        };
+        let a = if a_miss && a % 3 == 0 {
+            Value::Missing
+        } else {
+            Value::Int(a as i64)
+        };
+        let s = if s_miss && s % 3 == 0 {
+            Value::Missing
+        } else {
+            Value::Text(format!("s{s}"))
+        };
+        builder
+            .push_row(vec![
+                Value::Text(format!("id{i}")),
+                x,
+                a,
+                Value::Text(format!("y{y}")),
+                s,
+                Value::Int(t),
+            ])
+            .unwrap();
+    }
+    builder.finish()
+}
+
+/// QI space over X (3 levels) and A (3 levels); Y is deliberately left out.
+fn test_qi_space() -> QiSpace {
+    let x = CatHierarchy::identity(["x0", "x1", "x2", "x3"])
+        .unwrap()
+        .push_level([("x0", "xa"), ("x1", "xa"), ("x2", "xb"), ("x3", "xb")])
+        .unwrap()
+        .push_top("*")
+        .unwrap();
+    let a = IntHierarchy::new(vec![
+        IntLevel::Ranges {
+            cuts: vec![2, 4],
+            labels: vec!["0-1".into(), "2-3".into(), "4-5".into()],
+        },
+        IntLevel::Single("*".into()),
+    ])
+    .unwrap();
+    QiSpace::new(vec![
+        ("X".into(), Hierarchy::Cat(x)),
+        ("A".into(), Hierarchy::Int(a)),
+    ])
+    .unwrap()
+}
+
+/// A flat one-attribute QI space used by the single-attribute variant.
+fn flat_qi_space() -> QiSpace {
+    QiSpace::new(vec![(
+        "Y".into(),
+        builders::flat_hierarchy(vec!["y0", "y1", "y2"]).unwrap(),
+    )])
+    .unwrap()
+}
+
+/// Asserts the two paths agree on every reported field for every node of
+/// the whole lattice.
+fn assert_paths_agree(
+    table: &Table,
+    qi: &QiSpace,
+    k: u32,
+    p: u32,
+    ts: usize,
+) -> Result<(), TestCaseError> {
+    let ctx = MaskingContext {
+        initial: table,
+        qi,
+        k,
+        p,
+        ts,
+    };
+    let stats = ctx.initial_stats();
+    let ectx = EvalContext::build(&ctx).expect("context builds for valid bindings");
+    let mut eval = ectx.evaluator();
+    for node in qi.lattice().all_nodes() {
+        let slow = ctx.evaluate(&node, &stats).expect("materializing path");
+        let fast = eval.check(&node, &stats).expect("kernel path");
+        let setting = format!("k={k} p={p} ts={ts} node={node}");
+        prop_assert_eq!(fast.satisfied, slow.satisfied, "satisfied: {}", &setting);
+        prop_assert_eq!(fast.stage, slow.stage, "stage: {}", &setting);
+        prop_assert_eq!(fast.n_groups, slow.n_groups, "n_groups: {}", &setting);
+        prop_assert_eq!(
+            fast.violating_tuples,
+            slow.violating_tuples,
+            "violating_tuples: {}",
+            &setting
+        );
+        prop_assert_eq!(fast.suppressed, slow.suppressed, "suppressed: {}", &setting);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full configuration: cat + int QI hierarchies, a static key outside
+    /// the QI space, missing cells, identifiers dropped.
+    #[test]
+    fn kernel_matches_materializing_path(
+        rows in prop::collection::vec(arb_row(), 1..50),
+        k in 1u32..6,
+        p in 1u32..4,
+        ts in 0usize..8,
+    ) {
+        let t = build_table(&rows);
+        assert_paths_agree(&t, &test_qi_space(), k, p, ts)?;
+    }
+
+    /// Single flat QI attribute; X and A become static key columns.
+    #[test]
+    fn kernel_matches_on_flat_space(
+        rows in prop::collection::vec(arb_row(), 1..40),
+        k in 1u32..5,
+        p in 1u32..4,
+        ts in 0usize..6,
+    ) {
+        let t = build_table(&rows);
+        assert_paths_agree(&t, &flat_qi_space(), k, p, ts)?;
+    }
+
+    /// Degenerate thresholds: TS large enough to suppress everything, and
+    /// k larger than the table.
+    #[test]
+    fn kernel_matches_under_total_suppression(
+        rows in prop::collection::vec(arb_row(), 1..20),
+        p in 1u32..4,
+    ) {
+        let t = build_table(&rows);
+        let k = t.n_rows() as u32 + 1;
+        let ts = t.n_rows();
+        assert_paths_agree(&t, &test_qi_space(), k, p, ts)?;
+    }
+}
+
+/// The empty table: both paths must agree node for node (vacuous pass or a
+/// Condition 1 rejection, depending on stats).
+#[test]
+fn kernel_matches_on_empty_table() {
+    let t = build_table(&[]);
+    assert_paths_agree(&t, &test_qi_space(), 2, 1, 0).unwrap();
+    assert_paths_agree(&t, &test_qi_space(), 2, 2, 3).unwrap();
+}

@@ -16,7 +16,10 @@ fn table1_is_2_anonymous_with_one_attribute_disclosure() {
     assert_eq!(attribute_disclosure_count(&mm, &keys, &conf), 1);
     // Identity disclosure is impossible (no singleton groups) — "there is no
     // identity disclosure in this microdata".
-    assert_eq!(psens::core::disclosure::identity_disclosure_count(&mm, &keys), 0);
+    assert_eq!(
+        psens::core::disclosure::identity_disclosure_count(&mm, &keys),
+        0
+    );
 }
 
 #[test]
@@ -32,8 +35,14 @@ fn table2_attack_discloses_sam_and_eric() {
             "Age".into(),
             Hierarchy::Int(IntHierarchy::new(vec![IntLevel::Ranges { cuts, labels }]).unwrap()),
         ),
-        ("ZipCode".into(), builders::flat_hierarchy(vec!["43102"]).unwrap()),
-        ("Sex".into(), builders::flat_hierarchy(vec!["M", "F"]).unwrap()),
+        (
+            "ZipCode".into(),
+            builders::flat_hierarchy(vec!["43102"]).unwrap(),
+        ),
+        (
+            "Sex".into(),
+            builders::flat_hierarchy(vec!["M", "F"]).unwrap(),
+        ),
     ])
     .unwrap();
     let findings = linkage_attack(
@@ -172,7 +181,10 @@ fn table8_shape_holds() {
         by_k.push(row);
     }
     for row in &by_k {
-        assert!(row[0] >= row[1], "disclosures must not grow with k: {by_k:?}");
+        assert!(
+            row[0] >= row[1],
+            "disclosures must not grow with k: {by_k:?}"
+        );
     }
     assert!(
         by_k.iter().flatten().any(|&d| d > 0),

@@ -38,17 +38,14 @@ fn three_local_recoders_ranked_by_group_count() {
     let qi = psens::datasets::hierarchies::adult_qi_space();
     let (k, p) = (4u32, 2u32);
 
-    let full = pk_minimal_generalization(&im, &qi, p, k, 25, Pruning::NecessaryConditions)
-        .unwrap();
+    let full = pk_minimal_generalization(&im, &qi, p, k, 25, Pruning::NecessaryConditions).unwrap();
     let fd = full.masked.unwrap();
     let fd_groups = GroupBy::compute(&fd, &fd.schema().key_indices()).n_groups();
 
     let mondrian = mondrian_anonymize(&im, MondrianConfig { k, p });
-    let greedy = psens::algorithms::greedy_pk_cluster(
-        &im,
-        psens::algorithms::GreedyClusterConfig { k, p },
-    )
-    .unwrap();
+    let greedy =
+        psens::algorithms::greedy_pk_cluster(&im, psens::algorithms::GreedyClusterConfig { k, p })
+            .unwrap();
 
     assert!(mondrian.partitions.len() >= fd_groups);
     assert!(greedy.partitions.len() >= fd_groups);
@@ -128,8 +125,5 @@ fn describe_profile_matches_condition_inputs() {
         .find(|a| a.name == "Pay")
         .unwrap();
     assert_eq!(pay_summary.distinct, pay_stats.s);
-    assert_eq!(
-        pay_summary.top.as_ref().unwrap().1,
-        pay_stats.descending[0]
-    );
+    assert_eq!(pay_summary.top.as_ref().unwrap().1, pay_stats.descending[0]);
 }
