@@ -1,19 +1,21 @@
 #!/bin/sh
 # Local CI: formatting, lints, release build, and the test suite — the same
 # gate a hosted pipeline would run. Operates on the default member set, which
-# excludes crates/bench so everything here works offline.
+# excludes crates/bench so everything here works offline. Builds are
+# `--locked`: the committed Cargo.lock plus the in-tree `vendor/` directory
+# make the pipeline reproducible with no network access.
 set -eu
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (deny warnings)"
-cargo clippy --all-targets -- -D warnings
+cargo clippy --all-targets --locked -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --locked
 
 echo "==> cargo test"
-cargo test -q
+cargo test -q --locked
 
 echo "CI OK"

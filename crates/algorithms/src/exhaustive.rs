@@ -8,7 +8,7 @@
 use crate::stats::SearchStats;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::CheckStage;
+use psens_core::{NoopObserver, SearchObserver};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
 
@@ -36,6 +36,19 @@ pub fn exhaustive_scan(
     k: u32,
     ts: usize,
 ) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
+    exhaustive_scan_observed(initial, qi, p, k, ts, &NoopObserver)
+}
+
+/// [`exhaustive_scan`], reporting per-node events to `observer`. With a
+/// [`NoopObserver`] this monomorphizes to the unobserved scan.
+pub fn exhaustive_scan_observed<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    observer: &O,
+) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
         initial,
         qi,
@@ -46,26 +59,22 @@ pub fn exhaustive_scan(
     let stats_im = ctx.initial_stats();
     // Code-mapped kernel: hoist per-(attribute, level) code maps out of the
     // scan, then check each node on u32 vectors — no table materialization.
-    let ectx = EvalContext::build(&ctx)?;
+    let ectx = EvalContext::build_observed(&ctx, observer)?;
     let mut eval = ectx.evaluator();
     let lattice = qi.lattice();
     let mut satisfying = Vec::new();
     let mut annotations = Vec::new();
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats {
+        lattice_nodes: lattice.node_count(),
+        ..Default::default()
+    };
     for node in lattice.all_nodes() {
         stats.nodes_evaluated += 1;
-        let outcome = eval.check(&node, &stats_im)?;
+        let outcome = eval.check_observed(&node, &stats_im, observer)?;
         annotations.push((node.clone(), outcome.violating_tuples));
+        stats.record(outcome.stage);
         if outcome.satisfied {
             satisfying.push(node);
-        } else {
-            match outcome.stage {
-                CheckStage::Condition2 => stats.rejected_condition2 += 1,
-                CheckStage::KAnonymity => stats.rejected_k += 1,
-                CheckStage::DetailedScan => stats.rejected_detailed += 1,
-                CheckStage::Condition1 => stats.aborted_condition1 = true,
-                CheckStage::Passed => {}
-            }
         }
     }
     let minimal = lattice.minimal_elements(&satisfying);

@@ -11,6 +11,8 @@
 //! finished cluster is locally recoded to its extent, like Mondrian.
 
 use crate::recode::recode_partitions;
+use psens_core::observe::{elapsed_since, start_timer};
+use psens_core::{NoopObserver, SearchObserver};
 use psens_microdata::hash::FxHashSet;
 use psens_microdata::{Column, Table, Value};
 use serde::Serialize;
@@ -81,9 +83,11 @@ pub struct GreedyClusterOutcome {
 
 /// Per-row QI coordinates used for similarity: numeric attributes normalized
 /// to `[0, 1]` by range, categorical attributes kept as dense codes with 0/1
-/// mismatch distance.
+/// mismatch distance. Missing numeric values stay `None` — they must not
+/// enter the min/max normalization, and a present/missing pair counts as a
+/// maximal (1.0) mismatch rather than pretending the missing value is 0.
 struct QiSpaceView {
-    numeric: Vec<Vec<f64>>,
+    numeric: Vec<Vec<Option<f64>>>,
     categorical: Vec<Vec<u32>>,
 }
 
@@ -95,13 +99,19 @@ impl QiSpaceView {
             let column = table.column(attr);
             match column {
                 Column::Int(_) => {
-                    let values: Vec<f64> = (0..table.n_rows())
-                        .map(|r| column.value(r).as_int().unwrap_or(0) as f64)
+                    let values: Vec<Option<f64>> = (0..table.n_rows())
+                        .map(|r| column.value(r).as_int().map(|v| v as f64))
                         .collect();
-                    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
-                    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let present = values.iter().flatten();
+                    let lo = present.clone().fold(f64::INFINITY, |m, &v| m.min(v));
+                    let hi = present.fold(f64::NEG_INFINITY, |m, &v| m.max(v));
                     let range = (hi - lo).max(1e-12);
-                    numeric.push(values.into_iter().map(|v| (v - lo) / range).collect());
+                    numeric.push(
+                        values
+                            .into_iter()
+                            .map(|v| v.map(|v| (v - lo) / range))
+                            .collect(),
+                    );
                 }
                 Column::Cat(_) => {
                     let (codes, _) = column.dense_codes();
@@ -116,11 +126,16 @@ impl QiSpaceView {
     }
 
     /// Distance between two rows: L1 over normalized numerics plus 0/1 per
-    /// categorical mismatch.
+    /// categorical mismatch. Two missing values agree (0); a present/missing
+    /// pair is a maximal mismatch (1, the width of the normalized range).
     fn distance(&self, a: usize, b: usize) -> f64 {
         let mut d = 0.0;
         for col in &self.numeric {
-            d += (col[a] - col[b]).abs();
+            d += match (col[a], col[b]) {
+                (Some(x), Some(y)) => (x - y).abs(),
+                (None, None) => 0.0,
+                _ => 1.0,
+            };
         }
         for col in &self.categorical {
             d += f64::from(col[a] != col[b]);
@@ -185,6 +200,17 @@ pub fn greedy_pk_cluster(
     initial: &Table,
     config: GreedyClusterConfig,
 ) -> Result<GreedyClusterOutcome, ClusterError> {
+    greedy_pk_cluster_observed(initial, config, &NoopObserver)
+}
+
+/// [`greedy_pk_cluster`], reporting each finished cluster (row count and
+/// build time) to `observer`. With a [`NoopObserver`] this monomorphizes to
+/// the unobserved run.
+pub fn greedy_pk_cluster_observed<O: SearchObserver>(
+    initial: &Table,
+    config: GreedyClusterConfig,
+    observer: &O,
+) -> Result<GreedyClusterOutcome, ClusterError> {
     let table = initial.drop_identifiers();
     let keys = table.schema().key_indices();
     let confidential = table.schema().confidential_indices();
@@ -211,6 +237,7 @@ pub fn greedy_pk_cluster(
     let mut tracker = SensitivityTracker::new(&table, &confidential, config.p);
 
     while unassigned.len() >= k {
+        let timer = start_timer::<O>();
         // Seed: the unassigned record farthest from the previous cluster
         // (spreads clusters out); the first cluster seeds from the front.
         let seed_pos = match clusters.last() {
@@ -219,8 +246,7 @@ pub fn greedy_pk_cluster(
                 .enumerate()
                 .max_by(|(_, &a), (_, &b)| {
                     view.distance_to_cluster(a, last)
-                        .partial_cmp(&view.distance_to_cluster(b, last))
-                        .expect("finite")
+                        .total_cmp(&view.distance_to_cluster(b, last))
                 })
                 .map(|(pos, _)| pos)
                 .expect("nonempty"),
@@ -244,8 +270,7 @@ pub fn greedy_pk_cluster(
                     .filter(|(_, &row)| tracker.helps(row))
                     .min_by(|(_, &a), (_, &b)| {
                         view.distance_to_cluster(a, &cluster)
-                            .partial_cmp(&view.distance_to_cluster(b, &cluster))
-                            .expect("finite")
+                            .total_cmp(&view.distance_to_cluster(b, &cluster))
                     })
                     .map(|(pos, _)| pos);
                 // `None` here means no record can raise diversity: the
@@ -257,8 +282,7 @@ pub fn greedy_pk_cluster(
                     .enumerate()
                     .min_by(|(_, &a), (_, &b)| {
                         view.distance_to_cluster(a, &cluster)
-                            .partial_cmp(&view.distance_to_cluster(b, &cluster))
-                            .expect("finite")
+                            .total_cmp(&view.distance_to_cluster(b, &cluster))
                     })
                     .map(|(pos, _)| pos)
             };
@@ -271,6 +295,9 @@ pub fn greedy_pk_cluster(
         }
 
         if cluster.len() >= k && tracker.satisfied() {
+            if O::ENABLED {
+                observer.partition_finalized(cluster.len(), elapsed_since(timer));
+            }
             clusters.push(cluster);
         } else {
             // Incomplete: return its rows to the leftover pool and stop —
@@ -291,8 +318,7 @@ pub fn greedy_pk_cluster(
         let best = (0..clusters.len())
             .min_by(|&a, &b| {
                 view.distance_to_cluster(row, &clusters[a])
-                    .partial_cmp(&view.distance_to_cluster(row, &clusters[b]))
-                    .expect("finite")
+                    .total_cmp(&view.distance_to_cluster(row, &clusters[b]))
             })
             .expect("clusters nonempty");
         clusters[best].push(row);

@@ -22,6 +22,7 @@
 
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
+use psens_core::{NoopObserver, SearchObserver};
 use psens_hierarchy::{Node, QiCodeMaps, QiSpace};
 use psens_microdata::hash::{FxHashMap, FxHashSet};
 use psens_microdata::{CodeCombiner, Table};
@@ -68,6 +69,21 @@ pub fn incognito_minimal(
     p: u32,
     k: u32,
     ts: usize,
+) -> Result<IncognitoOutcome, psens_hierarchy::Error> {
+    incognito_minimal_observed(initial, qi, p, k, ts, &NoopObserver)
+}
+
+/// [`incognito_minimal`], reporting the full-QI confirmation stage's events
+/// to `observer` (the subset-pruning phase does per-subset frequency-set
+/// work, not node checks, and is tallied by [`IncognitoStats`] instead).
+/// With a [`NoopObserver`] this monomorphizes to the unobserved search.
+pub fn incognito_minimal_observed<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    observer: &O,
 ) -> Result<IncognitoOutcome, psens_hierarchy::Error> {
     let m = qi.len();
     assert!(m <= 16, "QI sets wider than 16 attributes are unsupported");
@@ -149,14 +165,14 @@ pub fn incognito_minimal(
         ts,
     };
     let im_stats = ctx.initial_stats();
-    let ectx = EvalContext::build(&ctx)?;
+    let ectx = EvalContext::build_observed(&ctx, observer)?;
     let mut eval = ectx.evaluator();
     let mut satisfying: Vec<Node> = Vec::new();
     let mut survivors: Vec<&SubsetNode> = passing[&full_mask].iter().collect();
     survivors.sort();
     for levels in survivors {
         let node = Node(levels.clone());
-        let outcome = eval.check(&node, &im_stats)?;
+        let outcome = eval.check_observed(&node, &im_stats, observer)?;
         if outcome.satisfied {
             satisfying.push(node);
         } else {

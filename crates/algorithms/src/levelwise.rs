@@ -12,7 +12,7 @@
 use crate::stats::SearchStats;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::CheckStage;
+use psens_core::{NoopObserver, SearchObserver};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::hash::FxHashSet;
 use psens_microdata::Table;
@@ -38,6 +38,19 @@ pub fn levelwise_minimal(
     k: u32,
     ts: usize,
 ) -> Result<LevelWiseOutcome, psens_hierarchy::Error> {
+    levelwise_minimal_observed(initial, qi, p, k, ts, &NoopObserver)
+}
+
+/// [`levelwise_minimal`], reporting search events to `observer`. With a
+/// [`NoopObserver`] this monomorphizes to the unobserved search.
+pub fn levelwise_minimal_observed<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    observer: &O,
+) -> Result<LevelWiseOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
         initial,
         qi,
@@ -47,7 +60,10 @@ pub fn levelwise_minimal(
     };
     let stats_im = ctx.initial_stats();
     let lattice = qi.lattice();
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats {
+        lattice_nodes: lattice.node_count(),
+        ..Default::default()
+    };
 
     // Condition 1 settles unsatisfiable p before any lattice work.
     if !stats_im.condition1(p) {
@@ -58,12 +74,13 @@ pub fn levelwise_minimal(
         });
     }
 
-    let ectx = EvalContext::build(&ctx)?;
+    let ectx = EvalContext::build_observed(&ctx, observer)?;
     let mut eval = ectx.evaluator();
     let mut satisfying: FxHashSet<Node> = FxHashSet::default();
     let mut minimal = Vec::new();
     for height in 0..=lattice.height() {
         stats.heights_probed.push(height);
+        observer.height_entered(height);
         for node in lattice.nodes_at_height(height) {
             // Rollup: a satisfied child implies this node satisfies; it is
             // then satisfying-but-not-minimal and needs no evaluation.
@@ -76,17 +93,11 @@ pub fn levelwise_minimal(
                 continue;
             }
             stats.nodes_evaluated += 1;
-            let outcome = eval.check(&node, &stats_im)?;
+            let outcome = eval.check_observed(&node, &stats_im, observer)?;
+            stats.record(outcome.stage);
             if outcome.satisfied {
                 minimal.push(node.clone());
                 satisfying.insert(node);
-            } else {
-                match outcome.stage {
-                    CheckStage::Condition2 => stats.rejected_condition2 += 1,
-                    CheckStage::KAnonymity => stats.rejected_k += 1,
-                    CheckStage::DetailedScan => stats.rejected_detailed += 1,
-                    CheckStage::Condition1 | CheckStage::Passed => {}
-                }
             }
         }
     }

@@ -49,16 +49,26 @@ pub mod levelwise;
 pub mod mondrian;
 pub mod parallel;
 mod recode;
+pub mod report;
 pub mod samarati;
 pub mod stats;
 
-pub use exhaustive::{exhaustive_scan, ExhaustiveOutcome};
+pub use exhaustive::{exhaustive_scan, exhaustive_scan_observed, ExhaustiveOutcome};
 pub use greedy_cluster::{
-    greedy_pk_cluster, ClusterError, GreedyClusterConfig, GreedyClusterOutcome,
+    greedy_pk_cluster, greedy_pk_cluster_observed, ClusterError, GreedyClusterConfig,
+    GreedyClusterOutcome,
 };
-pub use incognito::{incognito_minimal, IncognitoOutcome, IncognitoStats};
-pub use levelwise::{levelwise_minimal, LevelWiseOutcome};
-pub use mondrian::{mondrian_anonymize, MondrianConfig, MondrianOutcome};
-pub use parallel::parallel_exhaustive_scan;
-pub use samarati::{k_minimal_generalization, pk_minimal_generalization, Pruning, SearchOutcome};
+pub use incognito::{
+    incognito_minimal, incognito_minimal_observed, IncognitoOutcome, IncognitoStats,
+};
+pub use levelwise::{levelwise_minimal, levelwise_minimal_observed, LevelWiseOutcome};
+pub use mondrian::{
+    mondrian_anonymize, mondrian_anonymize_observed, MondrianConfig, MondrianOutcome,
+};
+pub use parallel::{parallel_exhaustive_scan, parallel_exhaustive_scan_observed};
+pub use report::RunReport;
+pub use samarati::{
+    k_minimal_generalization, pk_minimal_generalization, pk_minimal_generalization_observed,
+    Pruning, SearchOutcome,
+};
 pub use stats::SearchStats;

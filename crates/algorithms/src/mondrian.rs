@@ -12,6 +12,8 @@
 //! less information loss, at the cost of non-uniform recoding.
 
 use crate::recode::recode_partitions;
+use psens_core::observe::{elapsed_since, start_timer};
+use psens_core::{NoopObserver, SearchObserver};
 use psens_microdata::hash::FxHashSet;
 use psens_microdata::{Table, Value};
 use serde::Serialize;
@@ -47,6 +49,17 @@ pub struct MondrianOutcome {
 /// yields a single unsplittable partition (which then fails the constraint —
 /// callers should check the output with `psens_core`).
 pub fn mondrian_anonymize(initial: &Table, config: MondrianConfig) -> MondrianOutcome {
+    mondrian_anonymize_observed(initial, config, &NoopObserver)
+}
+
+/// [`mondrian_anonymize`], reporting each finalized partition (row count and
+/// the time spent deciding it cannot split further) to `observer`. With a
+/// [`NoopObserver`] this monomorphizes to the unobserved run.
+pub fn mondrian_anonymize_observed<O: SearchObserver>(
+    initial: &Table,
+    config: MondrianConfig,
+    observer: &O,
+) -> MondrianOutcome {
     let table = initial.drop_identifiers();
     let keys = table.schema().key_indices();
     let confidential = table.schema().confidential_indices();
@@ -55,13 +68,19 @@ pub fn mondrian_anonymize(initial: &Table, config: MondrianConfig) -> MondrianOu
     let mut splits = 0usize;
     let mut work: Vec<Vec<usize>> = vec![(0..table.n_rows()).collect()];
     while let Some(rows) = work.pop() {
+        let timer = start_timer::<O>();
         match try_split(&table, &keys, &confidential, &rows, config) {
             Some((lhs, rhs)) => {
                 splits += 1;
                 work.push(lhs);
                 work.push(rhs);
             }
-            None => final_partitions.push(rows),
+            None => {
+                if O::ENABLED {
+                    observer.partition_finalized(rows.len(), elapsed_since(timer));
+                }
+                final_partitions.push(rows);
+            }
         }
     }
     final_partitions.sort_by_key(|rows| rows.first().copied().unwrap_or(usize::MAX));

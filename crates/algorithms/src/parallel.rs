@@ -11,7 +11,7 @@ use crate::exhaustive::ExhaustiveOutcome;
 use crate::stats::SearchStats;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::CheckStage;
+use psens_core::{NoopObserver, SearchObserver};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
 
@@ -25,6 +25,22 @@ pub fn parallel_exhaustive_scan(
     ts: usize,
     threads: usize,
 ) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
+    parallel_exhaustive_scan_observed(initial, qi, p, k, ts, threads, &NoopObserver)
+}
+
+/// [`parallel_exhaustive_scan`], reporting per-node events to `observer`.
+/// One observer instance is shared by every worker (`SearchObserver: Sync`);
+/// with a [`NoopObserver`] this monomorphizes to the unobserved scan.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_exhaustive_scan_observed<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    threads: usize,
+    observer: &O,
+) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
     let threads = threads.max(1);
     let ctx = MaskingContext {
         initial,
@@ -35,7 +51,7 @@ pub fn parallel_exhaustive_scan(
     };
     let stats_im = ctx.initial_stats();
     // One shared, immutable code-map cache; each worker owns its scratch.
-    let ectx = EvalContext::build(&ctx)?;
+    let ectx = EvalContext::build_observed(&ctx, observer)?;
     let lattice = qi.lattice();
     let nodes = lattice.all_nodes();
     let chunk_size = nodes.len().div_ceil(threads);
@@ -56,18 +72,11 @@ pub fn parallel_exhaustive_scan(
                     let mut stats = SearchStats::default();
                     for node in chunk {
                         stats.nodes_evaluated += 1;
-                        let outcome = eval.check(node, stats_im)?;
+                        let outcome = eval.check_observed(node, stats_im, observer)?;
                         annotations.push((node.clone(), outcome.violating_tuples));
+                        stats.record(outcome.stage);
                         if outcome.satisfied {
                             satisfying.push(node.clone());
-                        } else {
-                            match outcome.stage {
-                                CheckStage::Condition2 => stats.rejected_condition2 += 1,
-                                CheckStage::KAnonymity => stats.rejected_k += 1,
-                                CheckStage::DetailedScan => stats.rejected_detailed += 1,
-                                CheckStage::Condition1 => stats.aborted_condition1 = true,
-                                CheckStage::Passed => {}
-                            }
                         }
                     }
                     Ok((satisfying, annotations, stats))
@@ -82,16 +91,15 @@ pub fn parallel_exhaustive_scan(
 
     let mut satisfying = Vec::new();
     let mut annotations = Vec::new();
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats {
+        lattice_nodes: nodes.len(),
+        ..Default::default()
+    };
     for partial in partials {
         let (s, a, st) = partial?;
         satisfying.extend(s);
         annotations.extend(a);
-        stats.nodes_evaluated += st.nodes_evaluated;
-        stats.rejected_condition2 += st.rejected_condition2;
-        stats.rejected_k += st.rejected_k;
-        stats.rejected_detailed += st.rejected_detailed;
-        stats.aborted_condition1 |= st.aborted_condition1;
+        stats.merge(&st);
     }
     // Chunks are produced in node order, so results are already ordered.
     let minimal = lattice.minimal_elements(&satisfying);

@@ -1,0 +1,193 @@
+//! Machine-readable run reports: the JSON artifact the CLI's `--report`
+//! flag emits.
+//!
+//! A [`RunReport`] bundles the request parameters, the verdict, the search's
+//! [`SearchStats`] counters, and the [`Telemetry`] collected by a
+//! [`psens_core::RecordingObserver`] — everything needed to reproduce the
+//! paper's Table 7/8 pruning-efficiency numbers from a single file (see
+//! EXPERIMENTS.md) and to scrape timings in a service deployment. The schema
+//! is documented in DESIGN.md.
+
+use crate::stats::SearchStats;
+use psens_core::Telemetry;
+use psens_microdata::JsonValue;
+
+/// One CLI run's machine-readable summary.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The command that produced the report (`check`, `analyze`,
+    /// `anonymize`).
+    pub command: String,
+    /// Rows in the input microdata.
+    pub rows: usize,
+    /// Requested group size k.
+    pub k: u32,
+    /// Requested sensitivity p.
+    pub p: u32,
+    /// Suppression threshold TS, when the command takes one.
+    pub ts: Option<usize>,
+    /// The verdict, when the command produces one (`check`: property holds;
+    /// `anonymize`: a masking was found).
+    pub satisfied: Option<bool>,
+    /// The winning lattice node, when a search produced one.
+    pub node: Option<String>,
+    /// Search work counters, when a lattice search ran.
+    pub search: Option<SearchStats>,
+    /// Observer telemetry (per-stage/per-height timings).
+    pub telemetry: Option<Telemetry>,
+    /// End-to-end wall-clock time of the command, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl RunReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut out = JsonValue::object();
+        out.set("command", JsonValue::Str(self.command.clone()));
+        out.set("rows", JsonValue::Int(self.rows as i64));
+        out.set("k", JsonValue::Int(i64::from(self.k)));
+        out.set("p", JsonValue::Int(i64::from(self.p)));
+        out.set(
+            "ts",
+            match self.ts {
+                Some(ts) => JsonValue::Int(ts as i64),
+                None => JsonValue::Null,
+            },
+        );
+        out.set(
+            "satisfied",
+            match self.satisfied {
+                Some(s) => JsonValue::Bool(s),
+                None => JsonValue::Null,
+            },
+        );
+        out.set(
+            "node",
+            match &self.node {
+                Some(n) => JsonValue::Str(n.clone()),
+                None => JsonValue::Null,
+            },
+        );
+        out.set(
+            "search",
+            match &self.search {
+                Some(stats) => stats.to_json(),
+                None => JsonValue::Null,
+            },
+        );
+        out.set(
+            "telemetry",
+            match &self.telemetry {
+                Some(t) => t.to_json(),
+                None => JsonValue::Null,
+            },
+        );
+        out.set("wall_ns", JsonValue::Int(self.wall_ns as i64));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_core::{RecordingObserver, SearchObserver};
+
+    #[test]
+    fn report_json_roundtrips_and_sums() {
+        let obs = RecordingObserver::new();
+        obs.node_checked(
+            1,
+            psens_core::CheckStage::Passed,
+            2,
+            std::time::Duration::from_nanos(7),
+        );
+        obs.node_checked(
+            0,
+            psens_core::CheckStage::KAnonymity,
+            0,
+            std::time::Duration::from_nanos(3),
+        );
+        let report = RunReport {
+            command: "check".into(),
+            rows: 10,
+            k: 3,
+            p: 2,
+            ts: Some(2),
+            satisfied: Some(true),
+            node: Some("<1, 1>".into()),
+            search: Some(SearchStats {
+                lattice_nodes: 6,
+                nodes_evaluated: 2,
+                nodes_passed: 1,
+                rejected_k: 1,
+                ..Default::default()
+            }),
+            telemetry: Some(obs.telemetry()),
+            wall_ns: 1234,
+        };
+        let parsed = JsonValue::parse(&report.to_json().to_json_pretty()).unwrap();
+        assert_eq!(
+            parsed.require("command").unwrap().as_str().unwrap(),
+            "check"
+        );
+        let search = parsed.require("search").unwrap();
+        let stage_total = search
+            .require("rejected_condition1")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            + search
+                .require("rejected_condition2")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+            + search.require("rejected_k").unwrap().as_u64().unwrap()
+            + search
+                .require("rejected_detailed")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+            + search.require("nodes_passed").unwrap().as_u64().unwrap();
+        assert_eq!(
+            stage_total,
+            search.require("nodes_evaluated").unwrap().as_u64().unwrap()
+        );
+        // Telemetry stage counts sum to its nodes_checked total.
+        let telemetry = parsed.require("telemetry").unwrap();
+        let stage_nodes: u64 = telemetry
+            .require("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.require("nodes").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            stage_nodes,
+            telemetry
+                .require("nodes_checked")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn absent_fields_render_as_null() {
+        let report = RunReport {
+            command: "analyze".into(),
+            rows: 0,
+            k: 1,
+            p: 1,
+            ts: None,
+            satisfied: None,
+            node: None,
+            search: None,
+            telemetry: None,
+            wall_ns: 0,
+        };
+        let parsed = JsonValue::parse(&report.to_json().to_json()).unwrap();
+        assert!(matches!(parsed.require("ts").unwrap(), JsonValue::Null));
+        assert!(matches!(parsed.require("search").unwrap(), JsonValue::Null));
+    }
+}

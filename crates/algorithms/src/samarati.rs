@@ -12,7 +12,7 @@ use crate::stats::SearchStats;
 use psens_core::conditions::ConfidentialStats;
 use psens_core::evaluator::NodeEvaluator;
 use psens_core::masking::MaskingContext;
-use psens_core::CheckStage;
+use psens_core::{NoopObserver, SearchObserver};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
 
@@ -60,7 +60,7 @@ pub fn k_minimal_generalization(
     ts: usize,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
     // k-anonymity alone is p-sensitive k-anonymity with p = 1.
-    search(initial, qi, 1, k, ts, Pruning::None)
+    search(initial, qi, 1, k, ts, Pruning::None, &NoopObserver)
 }
 
 /// The paper's **Algorithm 3**: finds a **p-k-minimal generalization**
@@ -74,16 +74,33 @@ pub fn pk_minimal_generalization(
     ts: usize,
     pruning: Pruning,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
-    search(initial, qi, p, k, ts, pruning)
+    search(initial, qi, p, k, ts, pruning, &NoopObserver)
 }
 
-fn search(
+/// [`pk_minimal_generalization`], reporting search events (height probes,
+/// node checks, winner materializations) to `observer`. With a
+/// [`NoopObserver`] this monomorphizes to the unobserved search.
+pub fn pk_minimal_generalization_observed<O: SearchObserver>(
     initial: &Table,
     qi: &QiSpace,
     p: u32,
     k: u32,
     ts: usize,
     pruning: Pruning,
+    observer: &O,
+) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    search(initial, qi, p, k, ts, pruning, observer)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    pruning: Pruning,
+    observer: &O,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
         initial,
@@ -112,9 +129,10 @@ fn search(
     }
 
     let lattice = qi.lattice();
+    stats.lattice_nodes = lattice.node_count();
     // Candidate nodes run through the code-mapped kernel; a table is
     // materialized only for each probe's winning node.
-    let ectx = psens_core::evaluator::EvalContext::build(&ctx)?;
+    let ectx = psens_core::evaluator::EvalContext::build_observed(&ctx, observer)?;
     let mut eval = ectx.evaluator();
     let mut low = 0usize;
     let mut high = lattice.height();
@@ -125,6 +143,7 @@ fn search(
     while low < high {
         let try_height = (low + high) / 2;
         stats.heights_probed.push(try_height);
+        observer.height_entered(try_height);
         let found = probe_height(
             &ctx,
             &mut eval,
@@ -132,6 +151,7 @@ fn search(
             try_height,
             &check_stats,
             &mut stats,
+            observer,
         )?;
         match found {
             Some(hit) => {
@@ -145,7 +165,16 @@ fn search(
     // initial `high`, and for unsatisfiable instances no height works).
     if best.as_ref().map(|(n, _, _)| n.height()) != Some(low) {
         stats.heights_probed.push(low);
-        if let Some(hit) = probe_height(&ctx, &mut eval, &lattice, low, &check_stats, &mut stats)? {
+        observer.height_entered(low);
+        if let Some(hit) = probe_height(
+            &ctx,
+            &mut eval,
+            &lattice,
+            low,
+            &check_stats,
+            &mut stats,
+            observer,
+        )? {
             best = Some(hit);
         }
     }
@@ -168,26 +197,22 @@ fn search(
 
 /// Evaluates the nodes of one lattice stratum; returns the first satisfier,
 /// materializing its masked table (candidates that fail cost no tables).
-fn probe_height(
+fn probe_height<O: SearchObserver>(
     ctx: &MaskingContext<'_>,
     eval: &mut NodeEvaluator<'_>,
     lattice: &psens_hierarchy::Lattice,
     height: usize,
     check_stats: &ConfidentialStats,
     stats: &mut SearchStats,
+    observer: &O,
 ) -> Result<Option<(Node, Table, usize)>, psens_hierarchy::Error> {
     for node in lattice.nodes_at_height(height) {
         stats.nodes_evaluated += 1;
-        let verdict = eval.check(&node, check_stats)?;
+        let verdict = eval.check_observed(&node, check_stats, observer)?;
+        stats.record(verdict.stage);
         if verdict.satisfied {
-            let outcome = ctx.evaluate(&node, check_stats)?;
+            let outcome = ctx.evaluate_observed(&node, check_stats, observer)?;
             return Ok(Some((node, outcome.masked, outcome.suppressed)));
-        }
-        match verdict.stage {
-            CheckStage::Condition2 => stats.rejected_condition2 += 1,
-            CheckStage::KAnonymity => stats.rejected_k += 1,
-            CheckStage::DetailedScan => stats.rejected_detailed += 1,
-            CheckStage::Condition1 | CheckStage::Passed => {}
         }
     }
     Ok(None)

@@ -1,7 +1,10 @@
 //! A small hand-rolled argument parser: `--flag value` pairs plus a leading
-//! subcommand.
+//! subcommand. A fixed set of boolean flags ([`FLAGS`]) take no value.
 
 use std::collections::BTreeMap;
+
+/// Option names that are boolean flags: present or absent, no value consumed.
+pub const FLAGS: &[&str] = &["verbose"];
 
 /// Parsed command line: a subcommand and its `--key value` options.
 #[derive(Debug, Clone, Default)]
@@ -21,9 +24,12 @@ impl Args {
             let key = arg
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --option, got `{arg}`"))?;
-            let value = iter
-                .next()
-                .ok_or_else(|| format!("option --{key} needs a value"))?;
+            let value = if FLAGS.contains(&key) {
+                "true".to_owned()
+            } else {
+                iter.next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?
+            };
             if options.insert(key.to_owned(), value).is_some() {
                 return Err(format!("option --{key} given twice"));
             }
@@ -42,6 +48,12 @@ impl Args {
     /// An optional string option.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean flag (see [`FLAGS`]) was given.
+    pub fn get_flag(&self, key: &str) -> bool {
+        debug_assert!(FLAGS.contains(&key), "--{key} is not a declared flag");
+        self.options.contains_key(key)
     }
 
     /// An optional integer option with a default.
@@ -113,5 +125,16 @@ mod tests {
     fn empty_command_line() {
         let args = parse(&[]).unwrap();
         assert!(args.command.is_empty());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let args = parse(&["check", "--verbose", "--k", "3"]).unwrap();
+        assert!(args.get_flag("verbose"));
+        assert_eq!(args.get_u32("k", 2).unwrap(), 3);
+        let args = parse(&["check"]).unwrap();
+        assert!(!args.get_flag("verbose"));
+        // A flag given twice is still rejected.
+        assert!(parse(&["check", "--verbose", "--verbose"]).is_err());
     }
 }

@@ -1,14 +1,45 @@
 //! Implementation of the CLI subcommands.
 
 use crate::args::Args;
+use crate::progress::CliObserver;
 use crate::spec::Spec;
-use psens_algorithms::mondrian::{mondrian_anonymize, MondrianConfig};
-use psens_algorithms::samarati::{pk_minimal_generalization, Pruning};
+use psens_algorithms::mondrian::{mondrian_anonymize_observed, MondrianConfig};
+use psens_algorithms::samarati::{pk_minimal_generalization_observed, Pruning};
+use psens_algorithms::{RunReport, SearchStats};
 use psens_core::conditions::{ConfidentialStats, MaxGroups};
-use psens_core::{check_p_sensitivity, max_k, max_p_of_masked};
+use psens_core::{check_p_sensitivity, max_k, max_p_of_masked, CheckStage, SearchObserver};
 use psens_datasets::AdultGenerator;
 use psens_metrics::{attribute_risk, identity_risk};
 use psens_microdata::{csv, Table};
+use std::time::Instant;
+
+/// Exit code for a run whose *verdict* is negative (property violated,
+/// requested `p` unsatisfiable) — distinct from `1`, which signals an
+/// operational error (bad arguments, unreadable files).
+pub const EXIT_VIOLATION: u8 = 2;
+
+/// What a subcommand produced: the text for stdout plus the process exit
+/// code. `Ok` verdicts use code 0; negative verdicts [`EXIT_VIOLATION`].
+#[derive(Debug, Clone)]
+pub struct CmdOutput {
+    /// Text to print on stdout.
+    pub text: String,
+    /// Process exit code.
+    pub code: u8,
+}
+
+impl CmdOutput {
+    fn ok(text: String) -> CmdOutput {
+        CmdOutput { text, code: 0 }
+    }
+
+    fn verdict(text: String, satisfied: bool) -> CmdOutput {
+        CmdOutput {
+            text,
+            code: if satisfied { 0 } else { EXIT_VIOLATION },
+        }
+    }
+}
 
 /// Usage text printed by `psens help` and on argument errors.
 pub const USAGE: &str = "\
@@ -24,11 +55,16 @@ COMMANDS:
              --out SPEC.json
   check      Check p-sensitive k-anonymity of a CSV
              --spec SPEC.json --input FILE.csv [--k K] [--p P]
+             [--report FILE.json] [--verbose]
+             exits 2 when the property is violated
   analyze    Print frequency statistics, condition bounds, and risks
-             --spec SPEC.json --input FILE.csv
+             --spec SPEC.json --input FILE.csv [--p P]
+             [--report FILE.json] [--verbose]
+             exits 2 when Condition 1 makes the requested p unsatisfiable
   anonymize  Produce a masked release
              --spec SPEC.json --input FILE.csv --out FILE.csv
              [--k K] [--p P] [--ts N] [--algorithm samarati|mondrian]
+             [--report FILE.json] [--verbose]
   attack     Run the record-linkage attack against a masked release
              --spec SPEC.json --masked FILE.csv --external FILE.csv
              --node L1,L2,... --identifier NAME
@@ -37,19 +73,27 @@ COMMANDS:
   help       Show this message
 ";
 
-/// Runs a parsed command line; returns the text to print or an error.
-pub fn run(args: &Args) -> Result<String, String> {
+/// Runs a parsed command line; returns the text to print plus the exit code,
+/// or an error (exit code 1).
+pub fn run(args: &Args) -> Result<CmdOutput, String> {
     match args.command.as_str() {
-        "generate" => generate(args),
-        "spec" => write_spec(args),
+        "generate" => generate(args).map(CmdOutput::ok),
+        "spec" => write_spec(args).map(CmdOutput::ok),
         "check" => check(args),
         "analyze" => analyze(args),
         "anonymize" => anonymize(args),
-        "attack" => attack(args),
-        "query" => query(args),
-        "help" | "" => Ok(USAGE.to_owned()),
+        "attack" => attack(args).map(CmdOutput::ok),
+        "query" => query(args).map(CmdOutput::ok),
+        "help" | "" => Ok(CmdOutput::ok(USAGE.to_owned())),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
+}
+
+/// Writes a [`RunReport`] as pretty-printed JSON to `path`.
+fn write_report(path: &str, report: &RunReport) -> Result<(), String> {
+    let mut json = report.to_json().to_json_pretty();
+    json.push('\n');
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
 }
 
 fn load_table(args: &Args, spec: &Spec) -> Result<Table, String> {
@@ -62,7 +106,7 @@ fn load_table(args: &Args, spec: &Spec) -> Result<Table, String> {
 fn load_spec(args: &Args) -> Result<Spec, String> {
     let path = args.require("spec")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+    Spec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
 fn generate(args: &Args) -> Result<String, String> {
@@ -77,19 +121,47 @@ fn generate(args: &Args) -> Result<String, String> {
 
 fn write_spec(args: &Args) -> Result<String, String> {
     let out = args.require("out")?;
-    let json = serde_json::to_string_pretty(&Spec::adult()).map_err(|e| e.to_string())?;
+    let json = Spec::adult().to_json().to_json_pretty();
     std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
     Ok(format!("wrote Adult spec to {out}"))
 }
 
-fn check(args: &Args) -> Result<String, String> {
+fn check(args: &Args) -> Result<CmdOutput, String> {
+    let wall = Instant::now();
     let spec = load_spec(args)?;
     let table = load_table(args, &spec)?;
     let k = args.get_u32("k", 2)?;
     let p = args.get_u32("p", 2)?;
+    let verbose = args.get_flag("verbose");
     let keys = table.schema().key_indices();
     let conf = table.schema().confidential_indices();
+    if verbose {
+        eprintln!(
+            "[psens] checking {} row(s) against p = {p}, k = {k}",
+            table.n_rows()
+        );
+    }
+    let check_timer = Instant::now();
     let report = check_p_sensitivity(&table, &keys, &conf, p, k);
+    let check_elapsed = check_timer.elapsed();
+    // `check` evaluates exactly one "node": the table as released. Classify
+    // the verdict by the first Algorithm 2 stage that fails so report
+    // consumers see the same stage partition a lattice search produces.
+    let stage = if !report.k_anonymous {
+        CheckStage::KAnonymity
+    } else if !report.violations.is_empty() {
+        CheckStage::DetailedScan
+    } else {
+        CheckStage::Passed
+    };
+    let mut stats = SearchStats {
+        lattice_nodes: 1,
+        nodes_evaluated: 1,
+        ..Default::default()
+    };
+    stats.record(stage);
+    let observer = CliObserver::new(verbose);
+    observer.node_checked(0, stage, 0, check_elapsed);
     let mut out = String::new();
     out.push_str(&format!(
         "rows: {} | QI-groups: {}\n",
@@ -134,12 +206,33 @@ fn check(args: &Args) -> Result<String, String> {
             "VIOLATED"
         }
     ));
-    Ok(out)
+    if let Some(path) = args.get("report") {
+        let run_report = RunReport {
+            command: "check".into(),
+            rows: table.n_rows(),
+            k,
+            p,
+            ts: None,
+            satisfied: Some(report.satisfied()),
+            node: None,
+            search: Some(stats),
+            telemetry: Some(observer.telemetry()),
+            wall_ns: wall.elapsed().as_nanos() as u64,
+        };
+        write_report(path, &run_report)?;
+        out.push_str(&format!("wrote report to {path}\n"));
+    }
+    Ok(CmdOutput::verdict(out, report.satisfied()))
 }
 
-fn analyze(args: &Args) -> Result<String, String> {
+fn analyze(args: &Args) -> Result<CmdOutput, String> {
+    let wall = Instant::now();
     let spec = load_spec(args)?;
     let table = load_table(args, &spec)?;
+    let requested_p = match args.get("p") {
+        Some(_) => Some(args.get_u32("p", 2)?),
+        None => None,
+    };
     let keys = table.schema().key_indices();
     let conf = table.schema().confidential_indices();
     let stats = ConfidentialStats::compute(&table, &conf);
@@ -194,10 +287,37 @@ fn analyze(args: &Args) -> Result<String, String> {
         attr_risk.affected_groups,
         attr_risk.affected_fraction * 100.0
     ));
-    Ok(out)
+    // With `--p P`, apply Condition 1 up front: no masking of this microdata
+    // can be p-sensitive for p > maxP, however far it generalizes.
+    let satisfiable = requested_p.map(|p| (p as usize) <= stats.max_p());
+    if let (Some(p), Some(ok)) = (requested_p, satisfiable) {
+        out.push_str(&format!(
+            "\nrequested p = {p}: {} (Condition 1: maxP = {})\n",
+            if ok { "SATISFIABLE" } else { "UNSATISFIABLE" },
+            stats.max_p()
+        ));
+    }
+    if let Some(path) = args.get("report") {
+        let run_report = RunReport {
+            command: "analyze".into(),
+            rows: table.n_rows(),
+            k: 0,
+            p: requested_p.unwrap_or(0),
+            ts: None,
+            satisfied: satisfiable,
+            node: None,
+            search: None,
+            telemetry: None,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+        };
+        write_report(path, &run_report)?;
+        out.push_str(&format!("wrote report to {path}\n"));
+    }
+    Ok(CmdOutput::verdict(out, satisfiable.unwrap_or(true)))
 }
 
-fn anonymize(args: &Args) -> Result<String, String> {
+fn anonymize(args: &Args) -> Result<CmdOutput, String> {
+    let wall = Instant::now();
     let spec = load_spec(args)?;
     let table = load_table(args, &spec)?;
     let out_path = args.require("out")?;
@@ -205,17 +325,29 @@ fn anonymize(args: &Args) -> Result<String, String> {
     let p = args.get_u32("p", 1)?;
     let ts = args.get_usize("ts", 0)?;
     let algorithm = args.get("algorithm").unwrap_or("samarati");
+    let observer = CliObserver::new(args.get_flag("verbose"));
     let mut out = String::new();
+    let mut winner: Option<String> = None;
+    let mut search_stats: Option<SearchStats> = None;
     let masked = match algorithm {
         "samarati" => {
             let qi = spec.qi_space()?;
-            let outcome =
-                pk_minimal_generalization(&table, &qi, p, k, ts, Pruning::NecessaryConditions)
-                    .map_err(|e| e.to_string())?;
+            let outcome = pk_minimal_generalization_observed(
+                &table,
+                &qi,
+                p,
+                k,
+                ts,
+                Pruning::NecessaryConditions,
+                &observer,
+            )
+            .map_err(|e| e.to_string())?;
+            search_stats = Some(outcome.stats.clone());
             let node = outcome
                 .node
                 .ok_or_else(|| format!("no masking satisfies p = {p}, k = {k} with TS = {ts}"))?;
             let levels: Vec<String> = node.levels().iter().map(ToString::to_string).collect();
+            winner = Some(qi.describe_node(&node));
             out.push_str(&format!(
                 "p-k-minimal node: {} (height {}), suppressed {} tuple(s)\n\
                  node levels (for `psens attack --node`): {}\n",
@@ -227,7 +359,7 @@ fn anonymize(args: &Args) -> Result<String, String> {
             outcome.masked.expect("masked accompanies node")
         }
         "mondrian" => {
-            let outcome = mondrian_anonymize(&table, MondrianConfig { k, p });
+            let outcome = mondrian_anonymize_observed(&table, MondrianConfig { k, p }, &observer);
             let keys = outcome.masked.schema().key_indices();
             let conf = outcome.masked.schema().confidential_indices();
             if !psens_core::is_p_sensitive_k_anonymous(&outcome.masked, &keys, &conf, p, k) {
@@ -248,7 +380,23 @@ fn anonymize(args: &Args) -> Result<String, String> {
         std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
     csv::write_table(&mut file, &masked, true).map_err(|e| e.to_string())?;
     out.push_str(&format!("wrote {} rows to {out_path}\n", masked.n_rows()));
-    Ok(out)
+    if let Some(path) = args.get("report") {
+        let run_report = RunReport {
+            command: "anonymize".into(),
+            rows: table.n_rows(),
+            k,
+            p,
+            ts: Some(ts),
+            satisfied: Some(true),
+            node: winner,
+            search: search_stats,
+            telemetry: Some(observer.telemetry()),
+            wall_ns: wall.elapsed().as_nanos() as u64,
+        };
+        write_report(path, &run_report)?;
+        out.push_str(&format!("wrote report to {path}\n"));
+    }
+    Ok(CmdOutput::ok(out))
 }
 
 fn query(args: &Args) -> Result<String, String> {
@@ -368,15 +516,36 @@ fn attack(args: &Args) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn run_line(line: &[&str]) -> Result<String, String> {
+    fn run_full(line: &[&str]) -> Result<CmdOutput, String> {
         let args = Args::parse(line.iter().map(|s| s.to_string()))?;
         run(&args)
+    }
+
+    fn run_line(line: &[&str]) -> Result<String, String> {
+        run_full(line).map(|output| output.text)
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("psens_cli_tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// A two-column spec (Sex key, Disease confidential) and a four-row CSV
+    /// that is 2-sensitive 2-anonymous but not 3-anonymous.
+    fn tiny_dataset() -> (std::path::PathBuf, std::path::PathBuf) {
+        let spec = temp_path("tiny_spec.json");
+        let data = temp_path("tiny_data.csv");
+        std::fs::write(
+            &spec,
+            r#"{"attributes": [
+                {"name": "Sex", "kind": "cat", "role": "key"},
+                {"name": "Disease", "kind": "cat", "role": "confidential"}
+            ]}"#,
+        )
+        .unwrap();
+        std::fs::write(&data, "Sex,Disease\nM,Flu\nM,Cold\nF,Flu\nF,Cold\n").unwrap();
+        (spec, data)
     }
 
     #[test]
@@ -596,6 +765,174 @@ mod tests {
             "SELECT FROM",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn check_exit_codes_follow_the_verdict() {
+        let (spec, data) = tiny_dataset();
+        let spec_s = spec.to_str().unwrap();
+        let data_s = data.to_str().unwrap();
+        // Each (Sex) group has 2 rows and 2 distinct diseases: satisfied.
+        let ok = run_full(&[
+            "check", "--spec", spec_s, "--input", data_s, "--k", "2", "--p", "2",
+        ])
+        .unwrap();
+        assert_eq!(ok.code, 0, "{}", ok.text);
+        assert!(ok.text.contains("SATISFIED"));
+        // k = 3 fails: VIOLATED must exit with the verdict code, not 0.
+        let bad = run_full(&[
+            "check", "--spec", spec_s, "--input", data_s, "--k", "3", "--p", "2",
+        ])
+        .unwrap();
+        assert_eq!(bad.code, EXIT_VIOLATION, "{}", bad.text);
+        assert!(bad.text.contains("VIOLATED"));
+    }
+
+    #[test]
+    fn check_report_stage_counts_sum_to_search_totals() {
+        use psens_microdata::JsonValue;
+        let (spec, data) = tiny_dataset();
+        let report = temp_path("tiny_report.json");
+        let out = run_full(&[
+            "check",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--k",
+            "2",
+            "--p",
+            "2",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.text.contains("wrote report to"));
+        let parsed = JsonValue::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(
+            parsed.require("command").unwrap().as_str().unwrap(),
+            "check"
+        );
+        assert_eq!(parsed.require("rows").unwrap().as_u64().unwrap(), 4);
+        assert!(parsed.require("satisfied").unwrap().as_bool().unwrap());
+        // The per-stage node counts partition the evaluated-node total, and
+        // the telemetry sees the same number of checks.
+        let search = parsed.require("search").unwrap();
+        let stage_sum: u64 = [
+            "rejected_condition1",
+            "rejected_condition2",
+            "rejected_k",
+            "rejected_detailed",
+            "nodes_passed",
+        ]
+        .iter()
+        .map(|key| search.require(key).unwrap().as_u64().unwrap())
+        .sum();
+        let evaluated = search.require("nodes_evaluated").unwrap().as_u64().unwrap();
+        assert_eq!(stage_sum, evaluated);
+        let telemetry = parsed.require("telemetry").unwrap();
+        assert_eq!(
+            telemetry
+                .require("nodes_checked")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            evaluated
+        );
+        let stage_ns: u64 = telemetry
+            .require("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.require("ns").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            stage_ns,
+            telemetry.require("check_ns").unwrap().as_u64().unwrap()
+        );
+    }
+
+    #[test]
+    fn analyze_exits_with_verdict_code_on_unsatisfiable_p() {
+        let (spec, data) = tiny_dataset();
+        let spec_s = spec.to_str().unwrap();
+        let data_s = data.to_str().unwrap();
+        // Disease has 2 distinct values, so maxP = 2: p = 5 is hopeless.
+        let bad = run_full(&["analyze", "--spec", spec_s, "--input", data_s, "--p", "5"]).unwrap();
+        assert_eq!(bad.code, EXIT_VIOLATION, "{}", bad.text);
+        assert!(bad.text.contains("UNSATISFIABLE"));
+        let ok = run_full(&["analyze", "--spec", spec_s, "--input", data_s, "--p", "2"]).unwrap();
+        assert_eq!(ok.code, 0, "{}", ok.text);
+        assert!(ok.text.contains("SATISFIABLE"));
+        // Without --p there is no verdict and the exit code stays 0.
+        let neutral = run_full(&["analyze", "--spec", spec_s, "--input", data_s]).unwrap();
+        assert_eq!(neutral.code, 0);
+    }
+
+    #[test]
+    fn anonymize_report_carries_search_stats() {
+        use psens_microdata::JsonValue;
+        let data = temp_path("rdata.csv");
+        let spec = temp_path("rspec.json");
+        let masked = temp_path("rmasked.csv");
+        let report = temp_path("rreport.json");
+        run_line(&[
+            "generate",
+            "--rows",
+            "300",
+            "--seed",
+            "11",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
+        let out = run_full(&[
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            masked.to_str().unwrap(),
+            "--k",
+            "2",
+            "--p",
+            "2",
+            "--ts",
+            "10",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(out.code, 0);
+        let parsed = JsonValue::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(
+            parsed.require("command").unwrap().as_str().unwrap(),
+            "anonymize"
+        );
+        assert!(parsed.require("satisfied").unwrap().as_bool().unwrap());
+        assert!(parsed.require("node").unwrap().as_str().is_ok());
+        let search = parsed.require("search").unwrap();
+        assert!(search.require("nodes_evaluated").unwrap().as_u64().unwrap() > 0);
+        let telemetry = parsed.require("telemetry").unwrap();
+        // The samarati search checks nodes through the observed evaluator,
+        // so telemetry and SearchStats agree on the total.
+        assert_eq!(
+            telemetry
+                .require("nodes_checked")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            search.require("nodes_evaluated").unwrap().as_u64().unwrap()
+        );
+        assert!(!telemetry
+            .require("heights_entered")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

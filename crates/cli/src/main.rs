@@ -4,10 +4,14 @@
 
 mod args;
 mod commands;
+mod progress;
 mod spec;
 
 use std::process::ExitCode;
 
+/// Exit codes: 0 success, 1 operational error (bad arguments, unreadable
+/// files, no achievable masking), 2 negative verdict (property violated,
+/// requested p unsatisfiable — see [`commands::EXIT_VIOLATION`]).
 fn main() -> ExitCode {
     let parsed = match args::Args::parse(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
@@ -18,8 +22,8 @@ fn main() -> ExitCode {
     };
     match commands::run(&parsed) {
         Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+            print!("{}", output.text);
+            ExitCode::from(output.code)
         }
         Err(err) => {
             eprintln!("error: {err}");

@@ -1,0 +1,88 @@
+//! The CLI's search observer: records telemetry for `--report` and, with
+//! `--verbose`, narrates search progress on stderr.
+
+use psens_core::{CheckStage, RecordingObserver, SearchObserver, Telemetry};
+use std::time::Duration;
+
+/// Records everything a [`RecordingObserver`] records and, when `verbose`,
+/// prints coarse progress lines (heights entered, cache builds, finalized
+/// partitions — not individual node checks, which would flood stderr) to
+/// stderr as the search runs.
+#[derive(Debug, Default)]
+pub struct CliObserver {
+    recorder: RecordingObserver,
+    verbose: bool,
+}
+
+impl CliObserver {
+    /// A fresh observer; `verbose` enables stderr progress lines.
+    pub fn new(verbose: bool) -> CliObserver {
+        CliObserver {
+            recorder: RecordingObserver::new(),
+            verbose,
+        }
+    }
+
+    /// Snapshots the recorded telemetry.
+    pub fn telemetry(&self) -> Telemetry {
+        self.recorder.telemetry()
+    }
+}
+
+impl SearchObserver for CliObserver {
+    fn cache_built(&self, elapsed: Duration) {
+        self.recorder.cache_built(elapsed);
+        if self.verbose {
+            eprintln!("[psens] evaluation cache built in {elapsed:.2?}");
+        }
+    }
+
+    fn height_entered(&self, height: usize) {
+        self.recorder.height_entered(height);
+        if self.verbose {
+            eprintln!("[psens] probing lattice height {height}");
+        }
+    }
+
+    fn node_checked(&self, height: usize, stage: CheckStage, suppressed: usize, elapsed: Duration) {
+        self.recorder
+            .node_checked(height, stage, suppressed, elapsed);
+    }
+
+    fn table_materialized(&self, elapsed: Duration) {
+        self.recorder.table_materialized(elapsed);
+        if self.verbose {
+            eprintln!("[psens] masked table materialized in {elapsed:.2?}");
+        }
+    }
+
+    fn partition_finalized(&self, rows: usize, elapsed: Duration) {
+        self.recorder.partition_finalized(rows, elapsed);
+        if self.verbose {
+            eprintln!("[psens] partition finalized: {rows} row(s) in {elapsed:.2?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegates_to_the_recorder() {
+        let obs = CliObserver::new(false);
+        obs.height_entered(3);
+        obs.node_checked(3, CheckStage::Passed, 2, Duration::from_nanos(9));
+        obs.partition_finalized(5, Duration::from_nanos(4));
+        let t = obs.telemetry();
+        assert_eq!(t.heights_entered, vec![3]);
+        assert_eq!(t.nodes_checked(), 1);
+        assert_eq!(t.suppressed_total, 2);
+        assert_eq!(t.partitions_finalized, 1);
+        assert_eq!(t.partition_rows, 5);
+    }
+
+    // CliObserver must keep the default ENABLED = true so the searches it
+    // observes actually emit events; checked at compile time.
+    const _: () = assert!(CliObserver::ENABLED);
+}

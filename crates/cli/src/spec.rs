@@ -4,7 +4,7 @@
 use psens_datasets::hierarchies as adult_hierarchies;
 use psens_datasets::AdultGenerator;
 use psens_hierarchy::{Hierarchy, QiSpace};
-use psens_microdata::{Attribute, Schema};
+use psens_microdata::{Attribute, JsonError, JsonValue, Kind, Role, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -44,6 +44,59 @@ impl Spec {
         QiSpace::new(entries).map_err(|e| e.to_string())
     }
 
+    /// Serializes the spec to its JSON file format:
+    /// `{"attributes": [{"name", "kind", "role"}, ...], "hierarchies":
+    /// {<name>: <hierarchy>, ...}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut out = JsonValue::object();
+        out.set(
+            "attributes",
+            JsonValue::Array(
+                self.attributes
+                    .iter()
+                    .map(|attr| {
+                        let mut a = JsonValue::object();
+                        a.set("name", JsonValue::Str(attr.name().to_owned()));
+                        a.set("kind", JsonValue::Str(attr.kind().to_string()));
+                        a.set("role", JsonValue::Str(attr.role().to_string()));
+                        a
+                    })
+                    .collect(),
+            ),
+        );
+        let mut hierarchies = JsonValue::object();
+        for (name, hierarchy) in &self.hierarchies {
+            hierarchies.set(name, hierarchy.to_json());
+        }
+        out.set("hierarchies", hierarchies);
+        out
+    }
+
+    /// Parses a spec from its JSON file format. `hierarchies` may be omitted.
+    pub fn from_json(text: &str) -> Result<Spec, String> {
+        let value = JsonValue::parse(text).map_err(|e| format!("spec: {e}"))?;
+        let attributes = value
+            .require("attributes")
+            .and_then(JsonValue::as_array)
+            .map_err(|e| format!("spec: {e}"))?
+            .iter()
+            .map(parse_attribute)
+            .collect::<Result<Vec<_>, JsonError>>()
+            .map_err(|e| format!("spec: {e}"))?;
+        let mut hierarchies = BTreeMap::new();
+        if let Some(entries) = value.get("hierarchies") {
+            for (name, entry) in entries.as_object().map_err(|e| format!("spec: {e}"))? {
+                let hierarchy = Hierarchy::from_json(entry)
+                    .map_err(|e| format!("spec: hierarchy `{name}`: {e}"))?;
+                hierarchies.insert(name.clone(), hierarchy);
+            }
+        }
+        Ok(Spec {
+            attributes,
+            hierarchies,
+        })
+    }
+
     /// The built-in spec for the synthetic Adult dataset (paper Section 4).
     pub fn adult() -> Spec {
         let schema = AdultGenerator::schema();
@@ -62,6 +115,23 @@ impl Spec {
     }
 }
 
+fn parse_attribute(value: &JsonValue) -> Result<Attribute, JsonError> {
+    let name = value.require("name")?.as_str()?;
+    let kind = match value.require("kind")?.as_str()? {
+        "int" => Kind::Int,
+        "cat" => Kind::Cat,
+        other => return Err(JsonError::shape(format!("unknown kind `{other}`"))),
+    };
+    let role = match value.require("role")?.as_str()? {
+        "identifier" => Role::Identifier,
+        "key" => Role::Key,
+        "confidential" => Role::Confidential,
+        "other" => Role::Other,
+        other => return Err(JsonError::shape(format!("unknown role `{other}`"))),
+    };
+    Ok(Attribute::new(name, kind, role))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,8 +139,8 @@ mod tests {
     #[test]
     fn adult_spec_roundtrips_through_json() {
         let spec = Spec::adult();
-        let json = serde_json::to_string_pretty(&spec).unwrap();
-        let back: Spec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json().to_json_pretty();
+        let back = Spec::from_json(&json).unwrap();
         assert_eq!(back.attributes.len(), spec.attributes.len());
         assert_eq!(back.hierarchies.len(), 4);
         let qi = back.qi_space().unwrap();

@@ -29,6 +29,7 @@
 use crate::checker::CheckStage;
 use crate::conditions::ConfidentialStats;
 use crate::masking::{MaskingContext, Result};
+use crate::observe::{elapsed_since, start_timer, SearchObserver};
 use psens_hierarchy::{Error, Node, QiCodeMaps};
 use psens_microdata::{CodeCombiner, Role};
 
@@ -126,6 +127,21 @@ impl EvalContext {
             static_keys,
             conf,
         })
+    }
+
+    /// [`Self::build`], reporting the cache-build cost to `observer`. With a
+    /// [`crate::observe::NoopObserver`] this monomorphizes to exactly
+    /// [`Self::build`] — no timing code survives.
+    pub fn build_observed<O: SearchObserver>(
+        ctx: &MaskingContext<'_>,
+        observer: &O,
+    ) -> Result<EvalContext> {
+        let timer = start_timer::<O>();
+        let built = Self::build(ctx)?;
+        if O::ENABLED {
+            observer.cache_built(elapsed_since(timer));
+        }
+        Ok(built)
     }
 
     /// A fresh per-thread evaluator borrowing this context.
@@ -239,6 +255,30 @@ impl NodeEvaluator<'_> {
             return Ok(check(false, CheckStage::DetailedScan, Some(n_groups_eff)));
         }
         Ok(check(true, CheckStage::Passed, Some(n_groups_eff)))
+    }
+
+    /// [`Self::check`], reporting the settled stage, suppression count, and
+    /// wall-clock time to `observer` (keyed by the node's lattice height).
+    /// With a [`crate::observe::NoopObserver`] this monomorphizes to exactly
+    /// [`Self::check`].
+    pub fn check_observed<O: SearchObserver>(
+        &mut self,
+        node: &Node,
+        stats: &ConfidentialStats,
+        observer: &O,
+    ) -> Result<NodeCheck> {
+        let timer = start_timer::<O>();
+        let verdict = self.check(node, stats)?;
+        if O::ENABLED {
+            let height = node.levels().iter().map(|&l| l as usize).sum();
+            observer.node_checked(
+                height,
+                verdict.stage,
+                verdict.suppressed,
+                elapsed_since(timer),
+            );
+        }
+        Ok(verdict)
     }
 
     /// Refines the QI partition for `node`; returns the group count.

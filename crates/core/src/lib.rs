@@ -24,6 +24,7 @@
 //! | [`suppress`] | tuple suppression with threshold TS, plus cell-level local suppression |
 //! | [`masking`] | generalize → suppress → check pipeline |
 //! | [`evaluator`] | code-mapped node-evaluation kernel (no table materialization) |
+//! | [`observe`] | zero-cost search telemetry (per-stage timings, Tables 7–8 inputs) |
 //! | [`disclosure`] | identity/attribute disclosure counts (Table 8) |
 //! | [`attack`] | the record-linkage / homogeneity attack (Tables 1–2) |
 //! | [`extended`] | extended p-sensitivity over confidential hierarchies (follow-up model) |
@@ -71,6 +72,7 @@ pub mod evaluator;
 pub mod extended;
 pub mod kanonymity;
 pub mod masking;
+pub mod observe;
 pub mod psensitive;
 pub mod suppress;
 pub mod theorems;
@@ -82,6 +84,9 @@ pub use evaluator::{EvalContext, NodeCheck, NodeEvaluator};
 pub use extended::{check_extended, extended_max_p, ConfidentialSpec, ExtendedReport};
 pub use kanonymity::{check_k_anonymity, is_k_anonymous, max_k, KAnonymityReport};
 pub use masking::{MaskOutcome, MaskingContext};
+pub use observe::{
+    HeightTelemetry, NoopObserver, RecordingObserver, SearchObserver, StageTelemetry, Telemetry,
+};
 pub use psensitive::{
     check_p_sensitivity, group_profiles, is_p_sensitive_k_anonymous, max_p_of_masked, GroupProfile,
     PSensitivityReport, SensitivityViolation,

@@ -5,6 +5,7 @@
 use crate::checker::{check_improved, CheckStage, ImprovedCheckOutcome};
 use crate::conditions::ConfidentialStats;
 use crate::kanonymity::check_k_anonymity;
+use crate::observe::{elapsed_since, start_timer, SearchObserver};
 use crate::suppress::suppress_to_k;
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
@@ -92,6 +93,23 @@ impl MaskingContext<'_> {
             stage: outcome.stage,
             n_groups: outcome.n_groups,
         })
+    }
+
+    /// [`Self::evaluate`], reporting the table-materialization cost to
+    /// `observer`. With a [`crate::observe::NoopObserver`] this
+    /// monomorphizes to exactly [`Self::evaluate`].
+    pub fn evaluate_observed<O: SearchObserver>(
+        &self,
+        node: &Node,
+        stats: &ConfidentialStats,
+        observer: &O,
+    ) -> Result<MaskOutcome> {
+        let timer = start_timer::<O>();
+        let outcome = self.evaluate(node, stats)?;
+        if O::ENABLED {
+            observer.table_materialized(elapsed_since(timer));
+        }
+        Ok(outcome)
     }
 
     /// Precomputes the confidential statistics of the initial microdata —

@@ -22,6 +22,30 @@ pub struct SuppressionResult {
 /// undersized groups leaves the remaining groups untouched.
 pub fn suppress_to_k(table: &Table, keys: &[usize], k: u32) -> SuppressionResult {
     let groups = GroupBy::compute(table, keys);
+    remove_small_groups(table, &groups, k)
+}
+
+/// Like [`suppress_to_k`] but refuses to remove more than `ts` tuples:
+/// returns `None` when the number of violating tuples exceeds the threshold
+/// (the masking at this lattice node is not acceptable). The grouping is
+/// computed once and shared by the threshold test and the removal.
+pub fn suppress_within_threshold(
+    table: &Table,
+    keys: &[usize],
+    k: u32,
+    ts: usize,
+) -> Option<SuppressionResult> {
+    let groups = GroupBy::compute(table, keys);
+    let violating = groups.rows_in_small_groups(k);
+    if violating > ts {
+        return None;
+    }
+    Some(remove_small_groups(table, &groups, k))
+}
+
+/// Removes the rows of every group of size `< k`, given an already-computed
+/// grouping over the key attributes.
+fn remove_small_groups(table: &Table, groups: &GroupBy, k: u32) -> SuppressionResult {
     let doomed = groups.small_group_rows(k);
     if doomed.is_empty() {
         return SuppressionResult {
@@ -35,23 +59,6 @@ pub fn suppress_to_k(table: &Table, keys: &[usize], k: u32) -> SuppressionResult
         removed: doomed.len(),
         table: kept,
     }
-}
-
-/// Like [`suppress_to_k`] but refuses to remove more than `ts` tuples:
-/// returns `None` when the number of violating tuples exceeds the threshold
-/// (the masking at this lattice node is not acceptable).
-pub fn suppress_within_threshold(
-    table: &Table,
-    keys: &[usize],
-    k: u32,
-    ts: usize,
-) -> Option<SuppressionResult> {
-    let groups = GroupBy::compute(table, keys);
-    let violating = groups.rows_in_small_groups(k);
-    if violating > ts {
-        return None;
-    }
-    Some(suppress_to_k(table, keys, k))
 }
 
 /// Result of cell-level (local) suppression.

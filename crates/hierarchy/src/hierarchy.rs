@@ -8,7 +8,7 @@
 //! each higher level maps every value to its ancestor label.
 
 use crate::error::{Error, Result};
-use psens_microdata::{CatColumn, Column, Dictionary, Value};
+use psens_microdata::{CatColumn, Column, Dictionary, JsonValue, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -413,6 +413,249 @@ impl IntHierarchy {
     }
 }
 
+impl CatHierarchy {
+    /// Serializes to the spec-file JSON shape:
+    /// `{"type": "cat", "ground": [...], "levels": [{"labels": [...],
+    /// "of_ground": [...]}, ...]}`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut out = JsonValue::object();
+        out.set("type", JsonValue::Str("cat".into()));
+        out.set(
+            "ground",
+            JsonValue::Array(
+                self.ground
+                    .iter()
+                    .map(|g| JsonValue::Str(g.clone()))
+                    .collect(),
+            ),
+        );
+        out.set(
+            "levels",
+            JsonValue::Array(
+                self.levels
+                    .iter()
+                    .map(|level| {
+                        let mut l = JsonValue::object();
+                        l.set(
+                            "labels",
+                            JsonValue::Array(
+                                level
+                                    .labels
+                                    .iter()
+                                    .map(|s| JsonValue::Str(s.clone()))
+                                    .collect(),
+                            ),
+                        );
+                        l.set(
+                            "of_ground",
+                            JsonValue::Array(
+                                level
+                                    .of_ground
+                                    .iter()
+                                    .map(|&c| JsonValue::Int(c as i64))
+                                    .collect(),
+                            ),
+                        );
+                        l
+                    })
+                    .collect(),
+            ),
+        );
+        out
+    }
+
+    /// Parses the [`Self::to_json`] shape, re-validating every invariant
+    /// (unique non-empty ground, in-range codes, coarsening between levels).
+    pub fn from_json(value: &JsonValue) -> Result<CatHierarchy> {
+        let invalid = |e: psens_microdata::JsonError| Error::Invalid(e.to_string());
+        let ground: Vec<String> = value
+            .require("ground")
+            .map_err(invalid)?
+            .as_array()
+            .map_err(invalid)?
+            .iter()
+            .map(|v| v.as_str().map(str::to_owned))
+            .collect::<std::result::Result<_, _>>()
+            .map_err(invalid)?;
+        let mut levels = Vec::new();
+        for entry in value
+            .require("levels")
+            .map_err(invalid)?
+            .as_array()
+            .map_err(invalid)?
+        {
+            let labels: Vec<String> = entry
+                .require("labels")
+                .map_err(invalid)?
+                .as_array()
+                .map_err(invalid)?
+                .iter()
+                .map(|v| v.as_str().map(str::to_owned))
+                .collect::<std::result::Result<_, _>>()
+                .map_err(invalid)?;
+            let of_ground: Vec<u32> = entry
+                .require("of_ground")
+                .map_err(invalid)?
+                .as_array()
+                .map_err(invalid)?
+                .iter()
+                .map(|v| {
+                    v.as_u64().and_then(|n| {
+                        u32::try_from(n)
+                            .map_err(|_| psens_microdata::JsonError::shape("code out of range"))
+                    })
+                })
+                .collect::<std::result::Result<_, _>>()
+                .map_err(invalid)?;
+            levels.push(CatLevel { labels, of_ground });
+        }
+        Self::from_parts(ground, levels)
+    }
+
+    /// Rebuilds a hierarchy from raw parts, enforcing the construction-time
+    /// invariants that [`Self::identity`]/[`Self::push_level`] guarantee.
+    fn from_parts(ground: Vec<String>, levels: Vec<CatLevel>) -> Result<CatHierarchy> {
+        if ground.is_empty() {
+            return Err(Error::Invalid("empty ground domain".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for g in &ground {
+            if !seen.insert(g.clone()) {
+                return Err(Error::Invalid(format!("duplicate ground value `{g}`")));
+            }
+        }
+        // Level 0 = the identity map; each level must refine-coarsen the one
+        // below: grounds sharing a code at level l share one at level l + 1.
+        let identity: Vec<u32> = (0..ground.len() as u32).collect();
+        let mut prev = &identity;
+        for (l, level) in levels.iter().enumerate() {
+            if level.of_ground.len() != ground.len() {
+                return Err(Error::Invalid(format!(
+                    "level {}: of_ground has {} entries for {} ground values",
+                    l + 1,
+                    level.of_ground.len(),
+                    ground.len()
+                )));
+            }
+            if level.labels.is_empty() {
+                return Err(Error::Invalid(format!("level {}: no labels", l + 1)));
+            }
+            if let Some(&code) = level
+                .of_ground
+                .iter()
+                .find(|&&c| c as usize >= level.labels.len())
+            {
+                return Err(Error::Invalid(format!(
+                    "level {}: code {code} exceeds {} labels",
+                    l + 1,
+                    level.labels.len()
+                )));
+            }
+            let mut coarser_of: Vec<Option<u32>> =
+                vec![None; prev.iter().map(|&c| c as usize).max().unwrap_or(0) + 1];
+            for (g, (&fine, &coarse)) in prev.iter().zip(&level.of_ground).enumerate() {
+                match coarser_of[fine as usize] {
+                    Some(existing) if existing != coarse => {
+                        return Err(Error::NotACoarsening {
+                            level: l + 1,
+                            detail: format!(
+                                "ground value `{}` splits a level-{l} class",
+                                ground[g]
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                    None => coarser_of[fine as usize] = Some(coarse),
+                }
+            }
+            prev = &level.of_ground;
+        }
+        Ok(CatHierarchy { ground, levels })
+    }
+}
+
+impl IntHierarchy {
+    /// Serializes to the spec-file JSON shape: `{"type": "int", "levels":
+    /// [{"cuts": [...], "labels": [...]} | {"single": "*"}]}` (level 0, the
+    /// identity over all integers, is implicit).
+    pub fn to_json(&self) -> JsonValue {
+        let mut out = JsonValue::object();
+        out.set("type", JsonValue::Str("int".into()));
+        out.set(
+            "levels",
+            JsonValue::Array(
+                self.levels
+                    .iter()
+                    .map(|level| {
+                        let mut l = JsonValue::object();
+                        match level {
+                            IntLevel::Ranges { cuts, labels } => {
+                                l.set(
+                                    "cuts",
+                                    JsonValue::Array(
+                                        cuts.iter().map(|&c| JsonValue::Int(c)).collect(),
+                                    ),
+                                );
+                                l.set(
+                                    "labels",
+                                    JsonValue::Array(
+                                        labels.iter().map(|s| JsonValue::Str(s.clone())).collect(),
+                                    ),
+                                );
+                            }
+                            IntLevel::Single(label) => {
+                                l.set("single", JsonValue::Str(label.clone()));
+                            }
+                        }
+                        l
+                    })
+                    .collect(),
+            ),
+        );
+        out
+    }
+
+    /// Parses the [`Self::to_json`] shape; validation (cut nesting, label
+    /// arity) is re-run by [`Self::new`].
+    pub fn from_json(value: &JsonValue) -> Result<IntHierarchy> {
+        let invalid = |e: psens_microdata::JsonError| Error::Invalid(e.to_string());
+        let mut levels = Vec::new();
+        for entry in value
+            .require("levels")
+            .map_err(invalid)?
+            .as_array()
+            .map_err(invalid)?
+        {
+            if let Some(single) = entry.get("single") {
+                levels.push(IntLevel::Single(
+                    single.as_str().map_err(invalid)?.to_owned(),
+                ));
+                continue;
+            }
+            let cuts: Vec<i64> = entry
+                .require("cuts")
+                .map_err(invalid)?
+                .as_array()
+                .map_err(invalid)?
+                .iter()
+                .map(JsonValue::as_i64)
+                .collect::<std::result::Result<_, _>>()
+                .map_err(invalid)?;
+            let labels: Vec<String> = entry
+                .require("labels")
+                .map_err(invalid)?
+                .as_array()
+                .map_err(invalid)?
+                .iter()
+                .map(|v| v.as_str().map(str::to_owned))
+                .collect::<std::result::Result<_, _>>()
+                .map_err(invalid)?;
+            levels.push(IntLevel::Ranges { cuts, labels });
+        }
+        IntHierarchy::new(levels)
+    }
+}
+
 /// A generalization hierarchy for either attribute kind.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Hierarchy {
@@ -531,6 +774,31 @@ impl Hierarchy {
                 expected: "integers",
                 found: "text",
             }),
+        }
+    }
+
+    /// Serializes to the spec-file JSON shape; the `"type"` field (`"cat"` or
+    /// `"int"`) discriminates the variant.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Hierarchy::Cat(h) => h.to_json(),
+            Hierarchy::Int(h) => h.to_json(),
+        }
+    }
+
+    /// Parses the [`Self::to_json`] shape, re-validating all structural
+    /// invariants of the underlying hierarchy.
+    pub fn from_json(value: &JsonValue) -> Result<Hierarchy> {
+        let invalid = |e: psens_microdata::JsonError| Error::Invalid(e.to_string());
+        match value
+            .require("type")
+            .map_err(invalid)?
+            .as_str()
+            .map_err(invalid)?
+        {
+            "cat" => Ok(Hierarchy::Cat(CatHierarchy::from_json(value)?)),
+            "int" => Ok(Hierarchy::Int(IntHierarchy::from_json(value)?)),
+            other => Err(Error::Invalid(format!("unknown hierarchy type `{other}`"))),
         }
     }
 }
@@ -746,14 +1014,41 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let h = Hierarchy::Int(age_hierarchy());
-        let json = serde_json::to_string(&h).unwrap();
-        let back: Hierarchy = serde_json::from_str(&json).unwrap();
+        let json = h.to_json().to_json();
+        let back = Hierarchy::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(h, back);
         let h = Hierarchy::Cat(zip_hierarchy());
-        let json = serde_json::to_string(&h).unwrap();
-        let back: Hierarchy = serde_json::from_str(&json).unwrap();
+        let json = h.to_json().to_json_pretty();
+        let back = Hierarchy::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(h, back);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_hierarchies() {
+        // A ground value that splits a coarser class: "a" and "b" share a
+        // level-1 label but diverge at level 2.
+        let bad = r#"{"type": "cat", "ground": ["a", "b"],
+            "levels": [{"labels": ["ab"], "of_ground": [0, 0]},
+                       {"labels": ["x", "y"], "of_ground": [0, 1]}]}"#;
+        let err = Hierarchy::from_json(&JsonValue::parse(bad).unwrap()).unwrap_err();
+        assert!(
+            matches!(err, Error::NotACoarsening { level: 2, .. }),
+            "{err}"
+        );
+
+        let out_of_range = r#"{"type": "cat", "ground": ["a"],
+            "levels": [{"labels": ["x"], "of_ground": [3]}]}"#;
+        let err = Hierarchy::from_json(&JsonValue::parse(out_of_range).unwrap()).unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)), "{err}");
+
+        let dup = r#"{"type": "cat", "ground": ["a", "a"], "levels": []}"#;
+        let err = Hierarchy::from_json(&JsonValue::parse(dup).unwrap()).unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)), "{err}");
+
+        let unknown = r#"{"type": "tree", "levels": []}"#;
+        let err = Hierarchy::from_json(&JsonValue::parse(unknown).unwrap()).unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)), "{err}");
     }
 }

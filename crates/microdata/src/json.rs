@@ -1,0 +1,618 @@
+//! A small, dependency-free JSON reader/writer.
+//!
+//! The toolkit's file formats (dataset specs, run reports) are JSON; like
+//! [`crate::csv`], the implementation is hand-rolled so the whole pipeline
+//! builds and runs hermetically. The parser is a strict recursive-descent
+//! reader over UTF-8 text (no trailing garbage, no comments, no NaN/Inf);
+//! the writer escapes control characters and emits objects in insertion
+//! order.
+
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part or exponent, within `i64` range.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep insertion order (duplicates are rejected by the
+    /// parser, last-write-wins when built programmatically via [`Self::set`]).
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// A JSON syntax or shape error, with a byte offset for parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input (parse errors only).
+    pub offset: Option<usize>,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    /// A shape error (no position): a value exists but has the wrong type or
+    /// a required key is missing.
+    pub fn shape(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+/// Result alias for JSON operations.
+pub type JsonResult<T> = std::result::Result<T, JsonError>;
+
+impl JsonValue {
+    /// Parses a complete JSON document (rejecting trailing content).
+    pub fn parse(text: &str) -> JsonResult<JsonValue> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing content after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// The value under `key`, when this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value under `key`, or a shape error naming the key.
+    pub fn require(&self, key: &str) -> JsonResult<&JsonValue> {
+        self.get(key)
+            .ok_or_else(|| JsonError::shape(format!("missing key `{key}`")))
+    }
+
+    /// Inserts or replaces `key` (builder-style; objects only).
+    ///
+    /// # Panics
+    /// Panics when called on a non-object.
+    pub fn set(&mut self, key: impl Into<String>, value: JsonValue) -> &mut JsonValue {
+        let JsonValue::Object(entries) = self else {
+            panic!("JsonValue::set on a non-object");
+        };
+        let key = key.into();
+        match entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => entries.push((key, value)),
+        }
+        self
+    }
+
+    /// An empty object, for builder-style construction.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> JsonResult<&str> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => Err(JsonError::shape(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The integer content, when this is an integral number.
+    pub fn as_i64(&self) -> JsonResult<i64> {
+        match self {
+            JsonValue::Int(v) => Ok(*v),
+            other => Err(JsonError::shape(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// The integer content as `u64` (rejecting negatives).
+    pub fn as_u64(&self) -> JsonResult<u64> {
+        let v = self.as_i64()?;
+        u64::try_from(v).map_err(|_| JsonError::shape(format!("expected non-negative, got {v}")))
+    }
+
+    /// The integer content as `usize` (rejecting negatives).
+    pub fn as_usize(&self) -> JsonResult<usize> {
+        let v = self.as_i64()?;
+        usize::try_from(v).map_err(|_| JsonError::shape(format!("expected non-negative, got {v}")))
+    }
+
+    /// The boolean content, when this is a boolean.
+    pub fn as_bool(&self) -> JsonResult<bool> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(JsonError::shape(format!("expected boolean, got {other:?}"))),
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> JsonResult<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(JsonError::shape(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// The entries, when this is an object.
+    pub fn as_object(&self) -> JsonResult<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(entries) => Ok(entries),
+            other => Err(JsonError::shape(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    // `{:?}` keeps a trailing `.0` so the value re-parses as
+                    // a float, not an integer.
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: Some(self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> JsonResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> JsonResult<JsonValue> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> JsonResult<JsonValue> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> JsonResult<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> JsonResult<JsonValue> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, JsonValue)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> JsonResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a maximal run of plain bytes in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> JsonResult<u32> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(chunk).map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> JsonResult<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        self.digits()?;
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
+
+    fn digits(&mut self) -> JsonResult<usize> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digits"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(JsonValue::parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(JsonValue::parse("2.5").unwrap(), JsonValue::Float(2.5));
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::Float(1000.0));
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::Str("hi".into())
+        );
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = JsonValue::parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.require("c").unwrap().as_str().unwrap(), "x");
+        let a = v.require("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].as_i64().unwrap(), 1);
+        assert_eq!(a[2].get("b"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\ back \u{1} unicode \u{1F600}";
+        let mut v = JsonValue::object();
+        v.set("s", JsonValue::Str(original.into()));
+        let text = v.to_json_pretty();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back.require("s").unwrap().as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = JsonValue::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err());
+        assert!(JsonValue::parse(r#""\ud83dA""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "01x",
+            "\"abc",
+            "[1] trailing",
+            "{\"a\":1,\"a\":2}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let mut report = JsonValue::object();
+        report.set("name", JsonValue::Str("search".into()));
+        report.set(
+            "counts",
+            JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+        );
+        report.set("nested", {
+            let mut o = JsonValue::object();
+            o.set("pi", JsonValue::Float(3.5));
+            o.set("none", JsonValue::Null);
+            o
+        });
+        let text = report.to_json_pretty();
+        assert_eq!(JsonValue::parse(&text).unwrap(), report);
+        // Compact form too.
+        assert_eq!(JsonValue::parse(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn set_replaces_existing_keys() {
+        let mut v = JsonValue::object();
+        v.set("k", JsonValue::Int(1));
+        v.set("k", JsonValue::Int(2));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+        assert_eq!(v.require("k").unwrap().as_i64().unwrap(), 2);
+    }
+
+    #[test]
+    fn integer_boundaries() {
+        assert_eq!(
+            JsonValue::parse("9223372036854775807").unwrap(),
+            JsonValue::Int(i64::MAX)
+        );
+        // Beyond i64: falls back to float rather than erroring.
+        assert!(matches!(
+            JsonValue::parse("9223372036854775808").unwrap(),
+            JsonValue::Float(_)
+        ));
+        assert!(JsonValue::parse("18")
+            .unwrap()
+            .as_usize()
+            .is_ok_and(|v| v == 18));
+        assert!(JsonValue::parse("-1").unwrap().as_usize().is_err());
+    }
+}

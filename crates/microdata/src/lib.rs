@@ -59,6 +59,7 @@ mod error;
 mod freq;
 mod groupby;
 pub mod hash;
+pub mod json;
 mod schema;
 mod table;
 mod value;
@@ -72,6 +73,7 @@ pub use display::render;
 pub use error::{Error, Result};
 pub use freq::FrequencySet;
 pub use groupby::{CodeCombiner, GroupBy};
+pub use json::{JsonError, JsonResult, JsonValue};
 pub use schema::{Attribute, Kind, Role, Schema};
 pub use table::Table;
 pub use value::Value;

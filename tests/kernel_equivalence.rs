@@ -10,6 +10,7 @@
 use proptest::prelude::*;
 use psens::core::evaluator::EvalContext;
 use psens::core::masking::MaskingContext;
+use psens::core::NoopObserver;
 use psens::hierarchy::{builders, CatHierarchy, Hierarchy, IntHierarchy, IntLevel};
 use psens::prelude::*;
 
@@ -143,6 +144,18 @@ fn assert_paths_agree(
             &setting
         );
         prop_assert_eq!(fast.suppressed, slow.suppressed, "suppressed: {}", &setting);
+        // The observed entry point with a no-op observer is the same check.
+        let noop = eval
+            .check_observed(&node, &stats, &NoopObserver)
+            .expect("kernel path, observed");
+        prop_assert_eq!(noop.satisfied, fast.satisfied, "observed: {}", &setting);
+        prop_assert_eq!(noop.stage, fast.stage, "observed stage: {}", &setting);
+        prop_assert_eq!(
+            noop.suppressed,
+            fast.suppressed,
+            "observed suppressed: {}",
+            &setting
+        );
     }
     Ok(())
 }

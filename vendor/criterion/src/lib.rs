@@ -1,0 +1,2 @@
+//! Offline placeholder so dependency resolution succeeds; benches are not
+//! compiled in the hermetic build (crates/bench is not a default member).

@@ -1,0 +1,586 @@
+//! Offline stand-in for proptest: deterministic random sampling, no
+//! shrinking. Supports the subset of the API this workspace uses.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// splitmix64-backed test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0xA076_1D64_78BD_642F,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+    }
+
+    /// Why a test case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(reason) => write!(f, "{reason}"),
+            }
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Unlike real proptest there is no shrinking: a
+    /// strategy is just a sampling function.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    let span = (end as i128 - start as i128) as u64 + 1;
+                    (start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// String strategies from a small regex subset: literals, `\x` escapes,
+    /// `.`, `[a-z0-9]` classes, top-level `(a|b|c)` groups, and the
+    /// quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let nodes = parse_seq(&self.chars().collect::<Vec<_>>());
+            let mut out = String::new();
+            gen_seq(&nodes, rng, &mut out);
+            out
+        }
+    }
+
+    enum Re {
+        Lit(char),
+        Dot,
+        Class(Vec<char>),
+        Alt(Vec<Vec<Quantified>>),
+    }
+
+    struct Quantified {
+        node: Re,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_seq(chars: &[char]) -> Vec<Quantified> {
+        let mut nodes = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let node = match chars[i] {
+                '(' => {
+                    let close = matching_paren(chars, i);
+                    let mut alts = Vec::new();
+                    let mut start = i + 1;
+                    let mut depth = 0usize;
+                    for (j, &c) in chars.iter().enumerate().take(close).skip(i + 1) {
+                        match c {
+                            '(' => depth += 1,
+                            ')' => depth -= 1,
+                            '|' if depth == 0 => {
+                                alts.push(parse_seq(&chars[start..j]));
+                                start = j + 1;
+                            }
+                            '\\' => {} // escape consumed by inner parse
+                            _ => {}
+                        }
+                    }
+                    alts.push(parse_seq(&chars[start..close]));
+                    i = close + 1;
+                    Re::Alt(alts)
+                }
+                '[' => {
+                    let close = chars[i..].iter().position(|&c| c == ']').expect("]") + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if chars[j] == '\\' {
+                            set.push(chars[j + 1]);
+                            j += 2;
+                        } else if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Re::Class(set)
+                }
+                '.' => {
+                    i += 1;
+                    Re::Dot
+                }
+                '\\' => {
+                    i += 2;
+                    Re::Lit(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Re::Lit(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars, &mut i);
+            nodes.push(Quantified { node, min, max });
+        }
+        nodes
+    }
+
+    fn matching_paren(chars: &[char], open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 1,
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        panic!("unbalanced parens in pattern");
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> (u32, u32) {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..].iter().position(|&c| c == '}').expect("}") + *i;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (m.parse().expect("int"), n.parse().expect("int")),
+                    None => {
+                        let n: u32 = body.parse().expect("int");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn gen_seq(nodes: &[Quantified], rng: &mut TestRng, out: &mut String) {
+        for q in nodes {
+            let span = u64::from(q.max - q.min) + 1;
+            let reps = q.min + rng.below(span) as u32;
+            for _ in 0..reps {
+                match &q.node {
+                    Re::Lit(c) => out.push(*c),
+                    Re::Dot => {
+                        out.push(char::from(0x20 + rng.below(0x5F) as u8));
+                    }
+                    Re::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Re::Alt(alts) => {
+                        let pick = rng.below(alts.len() as u64) as usize;
+                        gen_seq(&alts[pick], rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Types with a canonical strategy, for [`crate::arbitrary::any`].
+    pub trait Arbitrary: Sized {
+        fn generate(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn generate(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn generate(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn generate(rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index(rng.next_u64())
+        }
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub fn new() -> Any<T> {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    /// The canonical strategy for `T`.
+    pub fn any<T: crate::strategy::Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any::new()
+    }
+}
+
+pub mod sample {
+    /// A deferred index: resolved against a concrete length at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Collection sizes: a fixed length or a range of lengths.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+        fn lower(&self) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+        fn lower(&self) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+        fn lower(&self) -> usize {
+            self.start
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+        fn lower(&self) -> usize {
+            *self.start()
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    pub fn hash_set<S, L>(elem: S, len: L) -> HashSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+        L: SizeRange,
+    {
+        HashSetStrategy { elem, len }
+    }
+
+    impl<S, L> Strategy for HashSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+        L: SizeRange,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.len.pick(rng);
+            let floor = self.len.lower();
+            let mut set = std::collections::HashSet::new();
+            // Inserting may collide; keep drawing until the minimum size is
+            // met (bounded so degenerate element domains cannot hang).
+            for _ in 0..target.max(floor) * 20 + 20 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.elem.sample(rng));
+            }
+            assert!(
+                set.len() >= floor,
+                "hash_set strategy could not reach minimum size {floor}"
+            );
+            set
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+/// Namespace mirror of the real crate's `prop` module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(
+                        case.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (line!() as u64) << 32,
+                    );
+                    $(let $parm =
+                        $crate::strategy::Strategy::sample(&$strategy, &mut rng);)+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(err) = outcome {
+                        panic!("proptest case {case} failed: {err}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($parm in $strategy),+) $body)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} == {:?}: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for rand 0.8: a splitmix64-backed StdRng with the small
+//! API surface the workspace uses (seed_from_u64, gen, gen_range).
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    /// splitmix64; statistically fine for synthetic workloads.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng {
+                state: state ^ 0xA076_1D64_78BD_642F,
+            }
+        }
+    }
+}
+
+mod sealed {
+    pub trait Standard {
+        fn from_rng<R: crate::RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn from_rng<R: crate::RngCore>(rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl Standard for u64 {
+        fn from_rng<R: crate::RngCore>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for bool {
+        fn from_rng<R: crate::RngCore>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub trait UniformRange {
+        type Output;
+        fn pick<R: crate::RngCore>(self, rng: &mut R) -> Self::Output;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl UniformRange for std::ops::Range<$t> {
+                type Output = $t;
+                fn pick<R: crate::RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl UniformRange for std::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn pick<R: crate::RngCore>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl UniformRange for std::ops::Range<f64> {
+        type Output = f64;
+        fn pick<R: crate::RngCore>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: sealed::Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    fn gen_range<T: sealed::UniformRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.pick(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}

@@ -1,0 +1,40 @@
+//! Offline stand-in for serde: traits only, no real (de)serialization.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl Serialize for String {}
+impl Serialize for str {}
+impl Serialize for bool {}
+impl Serialize for u8 {}
+impl Serialize for u16 {}
+impl Serialize for u32 {}
+impl Serialize for u64 {}
+impl Serialize for usize {}
+impl Serialize for i8 {}
+impl Serialize for i16 {}
+impl Serialize for i32 {}
+impl Serialize for i64 {}
+impl Serialize for isize {}
+impl Serialize for f32 {}
+impl Serialize for f64 {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<'de> Deserialize<'de> for String {}
+impl<'de> Deserialize<'de> for bool {}
+impl<'de> Deserialize<'de> for u8 {}
+impl<'de> Deserialize<'de> for u32 {}
+impl<'de> Deserialize<'de> for u64 {}
+impl<'de> Deserialize<'de> for usize {}
+impl<'de> Deserialize<'de> for i64 {}
+impl<'de> Deserialize<'de> for f64 {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

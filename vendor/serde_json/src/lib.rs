@@ -1,0 +1,30 @@
+//! Offline stand-in for serde_json: serialization returns placeholders,
+//! deserialization always errors. Tests that round-trip through JSON fail
+//! under this stub by design.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Ok("null".to_owned())
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Ok("null".to_owned())
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error("deserialization unavailable offline".to_owned()))
+}
