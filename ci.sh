@@ -18,4 +18,34 @@ cargo build --release --locked
 echo "==> cargo test"
 cargo test -q --locked
 
+echo "==> smoke: budget-interrupted anonymize (exit 3, termination report)"
+PSENS=target/release/psens
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$PSENS" generate --rows 50000 --seed 7 --out "$SMOKE_DIR/data.csv" > /dev/null
+"$PSENS" spec --out "$SMOKE_DIR/spec.json" > /dev/null
+# An already-expired deadline (--timeout 0) interrupts deterministically at
+# the first budget poll: exit 3, no release written, report names the cause.
+code=0
+"$PSENS" anonymize --spec "$SMOKE_DIR/spec.json" --input "$SMOKE_DIR/data.csv" \
+  --out "$SMOKE_DIR/masked.csv" --k 3 --p 2 --ts 500 --timeout 0 \
+  --report "$SMOKE_DIR/report.json" > /dev/null || code=$?
+[ "$code" -eq 3 ] || { echo "expected exit 3 on expired deadline, got $code"; exit 1; }
+[ ! -e "$SMOKE_DIR/masked.csv" ] || { echo "interrupted run must not write a release"; exit 1; }
+grep -q '"reason": "deadline_exceeded"' "$SMOKE_DIR/report.json"
+grep -q '"command": "anonymize"' "$SMOKE_DIR/report.json"
+# A node budget interrupts at the same point every run: the termination and
+# search counters of two identical runs must match line for line.
+for run in 1 2; do
+  code=0
+  "$PSENS" anonymize --spec "$SMOKE_DIR/spec.json" --input "$SMOKE_DIR/data.csv" \
+    --out "$SMOKE_DIR/masked_$run.csv" --k 3 --p 2 --ts 500 --max-nodes 5 \
+    --report "$SMOKE_DIR/report_$run.json" > /dev/null || code=$?
+  [ "$code" -eq 3 ] || { echo "expected exit 3 on node budget, got $code"; exit 1; }
+  grep -E '"(reason|max_nodes|nodes_evaluated|satisfied|node|proven_min_height)"' \
+    "$SMOKE_DIR/report_$run.json" > "$SMOKE_DIR/stable_$run"
+done
+cmp -s "$SMOKE_DIR/stable_1" "$SMOKE_DIR/stable_2" \
+  || { echo "interrupted runs are not deterministic"; diff "$SMOKE_DIR/stable_1" "$SMOKE_DIR/stable_2"; exit 1; }
+
 echo "CI OK"

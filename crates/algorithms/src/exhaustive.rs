@@ -8,23 +8,29 @@
 use crate::stats::SearchStats;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchObserver};
+use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
+use std::ops::ControlFlow;
 
 /// Result of an exhaustive scan.
 #[derive(Debug, Clone)]
 pub struct ExhaustiveOutcome {
-    /// Every satisfying node, in ascending height order.
+    /// Every satisfying node found, in ascending height order. Complete
+    /// exactly when `termination` is [`Termination::Completed`]; otherwise
+    /// best-so-far over the nodes evaluated before the budget tripped.
     pub satisfying: Vec<Node>,
     /// The minimal elements of `satisfying` — all (p-)k-minimal
-    /// generalizations (paper Definition 3).
+    /// generalizations (paper Definition 3) on a completed run.
     pub minimal: Vec<Node>,
-    /// Per-node annotations: `(node, violating_tuples)` for every lattice
-    /// node, the numbers the paper's Figure 3 writes next to each node.
+    /// Per-node annotations: `(node, violating_tuples)` for every evaluated
+    /// lattice node, the numbers the paper's Figure 3 writes next to each
+    /// node.
     pub annotations: Vec<(Node, usize)>,
     /// Work counters.
     pub stats: SearchStats,
+    /// How the scan ended.
+    pub termination: Termination,
 }
 
 /// Scans the whole lattice for maskings satisfying p-sensitive k-anonymity
@@ -49,6 +55,22 @@ pub fn exhaustive_scan_observed<O: SearchObserver>(
     ts: usize,
     observer: &O,
 ) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
+    exhaustive_scan_budgeted(initial, qi, p, k, ts, &SearchBudget::unlimited(), observer)
+}
+
+/// [`exhaustive_scan_observed`] under a [`SearchBudget`]: the scan stops at
+/// the first refused node admission and returns everything evaluated up to
+/// that point, labelled by the outcome's `termination`.
+#[allow(clippy::too_many_arguments)]
+pub fn exhaustive_scan_budgeted<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    observer: &O,
+) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
         initial,
         qi,
@@ -62,6 +84,7 @@ pub fn exhaustive_scan_observed<O: SearchObserver>(
     let ectx = EvalContext::build_observed(&ctx, observer)?;
     let mut eval = ectx.evaluator();
     let lattice = qi.lattice();
+    let state = budget.start();
     let mut satisfying = Vec::new();
     let mut annotations = Vec::new();
     let mut stats = SearchStats {
@@ -69,12 +92,16 @@ pub fn exhaustive_scan_observed<O: SearchObserver>(
         ..Default::default()
     };
     for node in lattice.all_nodes() {
-        stats.nodes_evaluated += 1;
-        let outcome = eval.check_observed(&node, &stats_im, observer)?;
-        annotations.push((node.clone(), outcome.violating_tuples));
-        stats.record(outcome.stage);
-        if outcome.satisfied {
-            satisfying.push(node);
+        match eval.check_budgeted(&node, &stats_im, &state, observer)? {
+            ControlFlow::Break(_) => break,
+            ControlFlow::Continue(outcome) => {
+                stats.nodes_evaluated += 1;
+                annotations.push((node.clone(), outcome.violating_tuples));
+                stats.record(outcome.stage);
+                if outcome.satisfied {
+                    satisfying.push(node);
+                }
+            }
         }
     }
     let minimal = lattice.minimal_elements(&satisfying);
@@ -83,6 +110,7 @@ pub fn exhaustive_scan_observed<O: SearchObserver>(
         minimal,
         annotations,
         stats,
+        termination: state.termination(),
     })
 }
 

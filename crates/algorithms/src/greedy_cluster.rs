@@ -12,7 +12,7 @@
 
 use crate::recode::recode_partitions;
 use psens_core::observe::{elapsed_since, start_timer};
-use psens_core::{NoopObserver, SearchObserver};
+use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_microdata::hash::FxHashSet;
 use psens_microdata::{Column, Table, Value};
 use serde::Serialize;
@@ -45,6 +45,11 @@ pub enum ClusterError {
     /// No complete cluster could be formed (the distribution is too skewed
     /// for these `p`/`k` even though Condition 1 holds).
     NoClusterFormed,
+    /// The search budget tripped before the first complete cluster existed —
+    /// there is no partial result to return.
+    Interrupted(Termination),
+    /// Rebuilding the masked table failed (malformed input table).
+    Recode(psens_microdata::Error),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -63,11 +68,21 @@ impl std::fmt::Display for ClusterError {
             ClusterError::NoClusterFormed => {
                 write!(f, "no cluster satisfying the constraints could be formed")
             }
+            ClusterError::Interrupted(cause) => {
+                write!(f, "interrupted ({cause}) before any cluster was complete")
+            }
+            ClusterError::Recode(err) => write!(f, "recoding the clusters failed: {err}"),
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
+
+impl From<psens_microdata::Error> for ClusterError {
+    fn from(err: psens_microdata::Error) -> Self {
+        ClusterError::Recode(err)
+    }
+}
 
 /// Result of the greedy clustering.
 #[derive(Debug, Clone)]
@@ -79,6 +94,11 @@ pub struct GreedyClusterOutcome {
     /// Rows that could not seed or complete a cluster and were merged into
     /// their nearest finished cluster.
     pub leftovers_merged: usize,
+    /// How the run ended. An interrupted run stops forming new clusters and
+    /// merges every remaining row into its nearest finished cluster, so the
+    /// output still covers all rows and still satisfies the property —
+    /// clusters are just fewer and larger than a completed run's.
+    pub termination: Termination,
 }
 
 /// Per-row QI coordinates used for similarity: numeric attributes normalized
@@ -211,6 +231,21 @@ pub fn greedy_pk_cluster_observed<O: SearchObserver>(
     config: GreedyClusterConfig,
     observer: &O,
 ) -> Result<GreedyClusterOutcome, ClusterError> {
+    greedy_pk_cluster_budgeted(initial, config, &SearchBudget::unlimited(), observer)
+}
+
+/// [`greedy_pk_cluster_observed`] under a [`SearchBudget`]. Each record
+/// assignment (seed or growth step) draws one coarse budget unit — every
+/// assignment scans the unassigned pool, so the deadline and cancel token
+/// are polled on each. A trip after the first complete cluster yields the
+/// anytime result described on [`GreedyClusterOutcome::termination`]; a trip
+/// before it is [`ClusterError::Interrupted`].
+pub fn greedy_pk_cluster_budgeted<O: SearchObserver>(
+    initial: &Table,
+    config: GreedyClusterConfig,
+    budget: &SearchBudget,
+    observer: &O,
+) -> Result<GreedyClusterOutcome, ClusterError> {
     let table = initial.drop_identifiers();
     let keys = table.schema().key_indices();
     let confidential = table.schema().confidential_indices();
@@ -232,11 +267,15 @@ pub fn greedy_pk_cluster_observed<O: SearchObserver>(
     }
 
     let view = QiSpaceView::build(&table, &keys);
+    let state = budget.start();
     let mut unassigned: Vec<usize> = (0..n).collect();
     let mut clusters: Vec<Vec<usize>> = Vec::new();
     let mut tracker = SensitivityTracker::new(&table, &confidential, config.p);
 
-    while unassigned.len() >= k {
+    'clusters: while unassigned.len() >= k {
+        if state.admit_coarse().is_err() {
+            break 'clusters;
+        }
         let timer = start_timer::<O>();
         // Seed: the unassigned record farthest from the previous cluster
         // (spreads clusters out); the first cluster seeds from the front.
@@ -260,6 +299,11 @@ pub fn greedy_pk_cluster_observed<O: SearchObserver>(
         while cluster.len() < k || !tracker.satisfied() {
             if unassigned.is_empty() {
                 break;
+            }
+            if state.admit_coarse().is_err() {
+                // Return the partial cluster's rows and stop clustering.
+                unassigned.extend(cluster);
+                break 'clusters;
             }
             // While sensitivity is deficient, prefer the nearest record that
             // adds a new value of a deficient attribute.
@@ -308,8 +352,13 @@ pub fn greedy_pk_cluster_observed<O: SearchObserver>(
         }
     }
 
+    let termination = state.termination();
     if clusters.is_empty() {
-        return Err(ClusterError::NoClusterFormed);
+        return Err(if termination.is_complete() {
+            ClusterError::NoClusterFormed
+        } else {
+            ClusterError::Interrupted(termination)
+        });
     }
 
     // Leftovers join their nearest cluster; size and diversity only grow.
@@ -328,11 +377,12 @@ pub fn greedy_pk_cluster_observed<O: SearchObserver>(
     }
     clusters.sort_by_key(|c| c[0]);
 
-    let masked = recode_partitions(&table, &keys, &clusters);
+    let masked = recode_partitions(&table, &keys, &clusters)?;
     Ok(GreedyClusterOutcome {
         masked,
         partitions: clusters,
         leftovers_merged,
+        termination,
     })
 }
 
@@ -403,6 +453,47 @@ mod tests {
         let im = AdultGenerator::new(64).generate(3);
         let err = greedy_pk_cluster(&im, GreedyClusterConfig { k: 10, p: 1 }).unwrap_err();
         assert!(matches!(err, ClusterError::TooFewRows { rows: 3 }));
+    }
+
+    #[test]
+    fn interrupted_run_still_satisfies_the_property() {
+        let im = AdultGenerator::new(66).generate(400);
+        let config = GreedyClusterConfig { k: 4, p: 2 };
+        let full = greedy_pk_cluster(&im, config).unwrap();
+        assert_eq!(full.termination, Termination::Completed);
+        // Enough budget for a few clusters, nowhere near all of them.
+        let budget = SearchBudget::unlimited().with_max_nodes(30);
+        let outcome = greedy_pk_cluster_budgeted(&im, config, &budget, &NoopObserver).unwrap();
+        assert_eq!(outcome.termination, Termination::NodeBudgetExhausted);
+        assert!(outcome.partitions.len() < full.partitions.len());
+        // All rows covered, property intact (merging only grows clusters).
+        let keys = outcome.masked.schema().key_indices();
+        let conf = outcome.masked.schema().confidential_indices();
+        assert!(is_p_sensitive_k_anonymous(
+            &outcome.masked,
+            &keys,
+            &conf,
+            2,
+            4
+        ));
+        assert_eq!(outcome.masked.n_rows(), 400);
+    }
+
+    #[test]
+    fn budget_too_small_for_one_cluster_is_interrupted() {
+        let im = AdultGenerator::new(67).generate(100);
+        let budget = SearchBudget::unlimited().with_max_nodes(2);
+        let err = greedy_pk_cluster_budgeted(
+            &im,
+            GreedyClusterConfig { k: 10, p: 2 },
+            &budget,
+            &NoopObserver,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::Interrupted(Termination::NodeBudgetExhausted)
+        ));
     }
 
     #[test]

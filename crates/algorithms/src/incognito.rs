@@ -22,11 +22,12 @@
 
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchObserver};
+use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_hierarchy::{Node, QiCodeMaps, QiSpace};
 use psens_microdata::hash::{FxHashMap, FxHashSet};
 use psens_microdata::{CodeCombiner, Table};
 use serde::Serialize;
+use std::ops::ControlFlow;
 
 /// Work counters for the Incognito run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
@@ -47,10 +48,16 @@ pub struct IncognitoStats {
 /// Result of an Incognito run.
 #[derive(Debug, Clone)]
 pub struct IncognitoOutcome {
-    /// All p-k-minimal generalizations over the full QI set.
+    /// All p-k-minimal generalizations over the full QI set. Complete
+    /// exactly when `termination` is [`Termination::Completed`]. When the
+    /// budget trips during the final confirmation stage, each listed node is
+    /// a genuine p-sensitive k-anonymous generalization (not necessarily
+    /// minimal); when it trips during subset pruning, the list is empty.
     pub minimal: Vec<Node>,
     /// Work counters.
     pub stats: IncognitoStats,
+    /// How the search ended.
+    pub termination: Termination,
 }
 
 /// Key for one subset node: the levels of the attributes in the subset, in
@@ -85,6 +92,22 @@ pub fn incognito_minimal_observed<O: SearchObserver>(
     ts: usize,
     observer: &O,
 ) -> Result<IncognitoOutcome, psens_hierarchy::Error> {
+    incognito_minimal_budgeted(initial, qi, p, k, ts, &SearchBudget::unlimited(), observer)
+}
+
+/// [`incognito_minimal_observed`] under a [`SearchBudget`]. Each subset
+/// frequency-set evaluation and each full-QI confirmation check draws one
+/// node from the budget.
+#[allow(clippy::too_many_arguments)]
+pub fn incognito_minimal_budgeted<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    observer: &O,
+) -> Result<IncognitoOutcome, psens_hierarchy::Error> {
     let m = qi.len();
     assert!(m <= 16, "QI sets wider than 16 attributes are unsupported");
     let mut stats = IncognitoStats {
@@ -104,8 +127,9 @@ pub fn incognito_minimal_observed<O: SearchObserver>(
     // passing[mask] = set of subset nodes that are k-anonymous (within ts)
     // w.r.t. the attributes of `mask`.
     let mut passing: FxHashMap<u16, FxHashSet<SubsetNode>> = FxHashMap::default();
+    let state = budget.start();
 
-    for mask in 1u16..(1 << m) {
+    'subsets: for mask in 1u16..(1 << m) {
         let members: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
         let size = members.len();
         let mut passed: FxHashSet<SubsetNode> = FxHashSet::default();
@@ -137,7 +161,12 @@ pub fn incognito_minimal_observed<O: SearchObserver>(
                 passed.insert(levels);
                 continue;
             }
-            // Evaluate: frequency set over the mapped subset codes.
+            // Evaluate: frequency set over the mapped subset codes. Each
+            // one draws a node from the budget — it is the same order of
+            // work as a kernel node check.
+            if state.admit().is_err() {
+                break 'subsets;
+            }
             stats.evaluated_by_size[size - 1] += 1;
             if subset_is_anonymous(
                 &members,
@@ -168,20 +197,33 @@ pub fn incognito_minimal_observed<O: SearchObserver>(
     let ectx = EvalContext::build_observed(&ctx, observer)?;
     let mut eval = ectx.evaluator();
     let mut satisfying: Vec<Node> = Vec::new();
-    let mut survivors: Vec<&SubsetNode> = passing[&full_mask].iter().collect();
+    // `full_mask` is the last subset processed; it is absent exactly when
+    // the budget tripped during subset pruning — nothing to confirm then.
+    let mut survivors: Vec<&SubsetNode> = passing
+        .get(&full_mask)
+        .map(|set| set.iter().collect())
+        .unwrap_or_default();
     survivors.sort();
     for levels in survivors {
         let node = Node(levels.clone());
-        let outcome = eval.check_observed(&node, &im_stats, observer)?;
-        if outcome.satisfied {
-            satisfying.push(node);
-        } else {
-            stats.failed_sensitivity += 1;
+        match eval.check_budgeted(&node, &im_stats, &state, observer)? {
+            ControlFlow::Break(_) => break,
+            ControlFlow::Continue(outcome) => {
+                if outcome.satisfied {
+                    satisfying.push(node);
+                } else {
+                    stats.failed_sensitivity += 1;
+                }
+            }
         }
     }
     let lattice = qi.lattice();
     let minimal = lattice.minimal_elements(&satisfying);
-    Ok(IncognitoOutcome { minimal, stats })
+    Ok(IncognitoOutcome {
+        minimal,
+        stats,
+        termination: state.termination(),
+    })
 }
 
 /// Is the projection of the masking onto `members` (at `levels`) k-anonymous
@@ -284,5 +326,41 @@ mod tests {
         let qi = figure2_qi_space();
         let outcome = incognito_minimal(&im, &qi, 1, 11, 0).unwrap();
         assert!(outcome.minimal.is_empty());
+        assert_eq!(outcome.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn node_budget_interrupts_soundly() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        let keys = im.schema().key_indices();
+        let conf = im.schema().confidential_indices();
+        let full = incognito_minimal(&im, &qi, 2, 2, 2).unwrap();
+        assert_eq!(full.termination, Termination::Completed);
+        let evaluated: u64 = full.stats.evaluated_by_size.iter().sum::<usize>() as u64
+            + full.minimal.len() as u64
+            + full.stats.failed_sensitivity as u64;
+        for max_nodes in 0..evaluated {
+            let budget = SearchBudget::unlimited().with_max_nodes(max_nodes);
+            let outcome =
+                incognito_minimal_budgeted(&im, &qi, 2, 2, 2, &budget, &NoopObserver).unwrap();
+            assert_eq!(outcome.termination, Termination::NodeBudgetExhausted);
+            // Anytime guarantee: anything reported satisfies the property.
+            let ctx = MaskingContext {
+                initial: &im,
+                qi: &qi,
+                k: 2,
+                p: 2,
+                ts: 2,
+            };
+            let im_stats = ctx.initial_stats();
+            for node in &outcome.minimal {
+                let masked = ctx.evaluate(node, &im_stats).unwrap().masked;
+                assert!(
+                    psens_core::is_p_sensitive_k_anonymous(&masked, &keys, &conf, 2, 2),
+                    "budget {max_nodes}: {node}"
+                );
+            }
+        }
     }
 }

@@ -12,18 +12,29 @@
 use crate::stats::SearchStats;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchObserver};
+use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::hash::FxHashSet;
 use psens_microdata::Table;
+use std::ops::ControlFlow;
 
 /// Result of the level-wise search.
 #[derive(Debug, Clone)]
 pub struct LevelWiseOutcome {
     /// All (p-)k-minimal generalizations, in ascending height order.
+    /// Every listed node is genuinely minimal even on an interrupted run
+    /// (its children were all evaluated before it); the list is *complete*
+    /// only for heights up to [`LevelWiseOutcome::completed_height`].
     pub minimal: Vec<Node>,
+    /// Highest lattice height whose stratum was fully evaluated; `minimal`
+    /// provably contains every minimal node at or below it. `None` when the
+    /// budget tripped inside height 0; `Some(lattice.height())` on a
+    /// completed run.
+    pub completed_height: Option<usize>,
     /// Work counters.
     pub stats: SearchStats,
+    /// How the search ended.
+    pub termination: Termination,
 }
 
 /// Bottom-up search for all minimal satisfying nodes.
@@ -51,6 +62,22 @@ pub fn levelwise_minimal_observed<O: SearchObserver>(
     ts: usize,
     observer: &O,
 ) -> Result<LevelWiseOutcome, psens_hierarchy::Error> {
+    levelwise_minimal_budgeted(initial, qi, p, k, ts, &SearchBudget::unlimited(), observer)
+}
+
+/// [`levelwise_minimal_observed`] under a [`SearchBudget`]. Heights are
+/// processed bottom-up, so an interrupted search is *anytime*: every node in
+/// `minimal` is correct, and the set is complete through `completed_height`.
+#[allow(clippy::too_many_arguments)]
+pub fn levelwise_minimal_budgeted<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    observer: &O,
+) -> Result<LevelWiseOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
         initial,
         qi,
@@ -70,15 +97,20 @@ pub fn levelwise_minimal_observed<O: SearchObserver>(
         stats.aborted_condition1 = true;
         return Ok(LevelWiseOutcome {
             minimal: Vec::new(),
+            // The empty answer is exact, no stratum needed evaluation.
+            completed_height: Some(lattice.height()),
             stats,
+            termination: Termination::Completed,
         });
     }
 
     let ectx = EvalContext::build_observed(&ctx, observer)?;
     let mut eval = ectx.evaluator();
+    let state = budget.start();
     let mut satisfying: FxHashSet<Node> = FxHashSet::default();
     let mut minimal = Vec::new();
-    for height in 0..=lattice.height() {
+    let mut completed_height = None;
+    'levels: for height in 0..=lattice.height() {
         stats.heights_probed.push(height);
         observer.height_entered(height);
         for node in lattice.nodes_at_height(height) {
@@ -92,16 +124,26 @@ pub fn levelwise_minimal_observed<O: SearchObserver>(
                 satisfying.insert(node);
                 continue;
             }
-            stats.nodes_evaluated += 1;
-            let outcome = eval.check_observed(&node, &stats_im, observer)?;
-            stats.record(outcome.stage);
-            if outcome.satisfied {
-                minimal.push(node.clone());
-                satisfying.insert(node);
+            match eval.check_budgeted(&node, &stats_im, &state, observer)? {
+                ControlFlow::Break(_) => break 'levels,
+                ControlFlow::Continue(outcome) => {
+                    stats.nodes_evaluated += 1;
+                    stats.record(outcome.stage);
+                    if outcome.satisfied {
+                        minimal.push(node.clone());
+                        satisfying.insert(node);
+                    }
+                }
             }
         }
+        completed_height = Some(height);
     }
-    Ok(LevelWiseOutcome { minimal, stats })
+    Ok(LevelWiseOutcome {
+        minimal,
+        completed_height,
+        stats,
+        termination: state.termination(),
+    })
 }
 
 #[cfg(test)]
@@ -168,5 +210,33 @@ mod tests {
         assert!(outcome.minimal.is_empty());
         assert!(outcome.stats.aborted_condition1);
         assert_eq!(outcome.stats.nodes_evaluated, 0);
+        assert_eq!(outcome.termination, Termination::Completed);
+        assert_eq!(outcome.completed_height, Some(qi.lattice().height()));
+    }
+
+    #[test]
+    fn interrupted_minimal_set_is_a_sound_prefix() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        let full = levelwise_minimal(&im, &qi, 1, 3, 4).unwrap();
+        assert_eq!(full.termination, Termination::Completed);
+        assert_eq!(full.completed_height, Some(qi.lattice().height()));
+        for max_nodes in 0..full.stats.nodes_evaluated as u64 {
+            let budget = SearchBudget::unlimited().with_max_nodes(max_nodes);
+            let outcome =
+                levelwise_minimal_budgeted(&im, &qi, 1, 3, 4, &budget, &NoopObserver).unwrap();
+            assert_eq!(outcome.termination, Termination::NodeBudgetExhausted);
+            assert!(outcome.stats.nodes_evaluated as u64 <= max_nodes);
+            // Anytime guarantee: everything reported minimal really is.
+            for node in &outcome.minimal {
+                assert!(full.minimal.contains(node), "budget {max_nodes}: {node}");
+            }
+            // And complete through the completed height.
+            if let Some(h) = outcome.completed_height {
+                for node in full.minimal.iter().filter(|n| n.height() <= h) {
+                    assert!(outcome.minimal.contains(node), "budget {max_nodes}: {node}");
+                }
+            }
+        }
     }
 }

@@ -53,22 +53,30 @@ pub mod report;
 pub mod samarati;
 pub mod stats;
 
-pub use exhaustive::{exhaustive_scan, exhaustive_scan_observed, ExhaustiveOutcome};
+pub use exhaustive::{
+    exhaustive_scan, exhaustive_scan_budgeted, exhaustive_scan_observed, ExhaustiveOutcome,
+};
 pub use greedy_cluster::{
-    greedy_pk_cluster, greedy_pk_cluster_observed, ClusterError, GreedyClusterConfig,
-    GreedyClusterOutcome,
+    greedy_pk_cluster, greedy_pk_cluster_budgeted, greedy_pk_cluster_observed, ClusterError,
+    GreedyClusterConfig, GreedyClusterOutcome,
 };
 pub use incognito::{
-    incognito_minimal, incognito_minimal_observed, IncognitoOutcome, IncognitoStats,
+    incognito_minimal, incognito_minimal_budgeted, incognito_minimal_observed, IncognitoOutcome,
+    IncognitoStats,
 };
-pub use levelwise::{levelwise_minimal, levelwise_minimal_observed, LevelWiseOutcome};
+pub use levelwise::{
+    levelwise_minimal, levelwise_minimal_budgeted, levelwise_minimal_observed, LevelWiseOutcome,
+};
 pub use mondrian::{
-    mondrian_anonymize, mondrian_anonymize_observed, MondrianConfig, MondrianOutcome,
+    mondrian_anonymize, mondrian_anonymize_budgeted, mondrian_anonymize_observed, MondrianConfig,
+    MondrianOutcome,
 };
-pub use parallel::{parallel_exhaustive_scan, parallel_exhaustive_scan_observed};
-pub use report::RunReport;
+pub use parallel::{
+    parallel_exhaustive_scan, parallel_exhaustive_scan_budgeted, parallel_exhaustive_scan_observed,
+};
+pub use report::{RunReport, TerminationReport};
 pub use samarati::{
-    k_minimal_generalization, pk_minimal_generalization, pk_minimal_generalization_observed,
-    Pruning, SearchOutcome,
+    k_minimal_generalization, pk_minimal_generalization, pk_minimal_generalization_budgeted,
+    pk_minimal_generalization_observed, Pruning, SearchOutcome,
 };
 pub use stats::SearchStats;

@@ -6,14 +6,24 @@
 //! `std::thread::scope` workers. Useful for ground-truthing larger lattices;
 //! the Criterion bench `algorithms_compare` quantifies the speedup against
 //! the serial scan.
+//!
+//! Workers are fault-isolated: each runs under [`std::panic::catch_unwind`],
+//! so a panicking worker loses only its own chunk's results — the surviving
+//! workers complete, the failure is tallied in
+//! [`SearchStats::worker_failures`], and the scan degrades coverage instead
+//! of aborting the process. All workers share one
+//! [`BudgetState`](psens_core::BudgetState), making the node budget global
+//! and a trip in one worker stop the others at their next admission.
 
 use crate::exhaustive::ExhaustiveOutcome;
 use crate::stats::SearchStats;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchObserver};
+use psens_core::{NoopObserver, SearchBudget, SearchObserver};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Parallel variant of [`crate::exhaustive::exhaustive_scan`]: identical
 /// results, work split across `threads` workers (clamped to at least 1).
@@ -41,6 +51,33 @@ pub fn parallel_exhaustive_scan_observed<O: SearchObserver>(
     threads: usize,
     observer: &O,
 ) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
+    parallel_exhaustive_scan_budgeted(
+        initial,
+        qi,
+        p,
+        k,
+        ts,
+        threads,
+        &SearchBudget::unlimited(),
+        observer,
+    )
+}
+
+/// [`parallel_exhaustive_scan_observed`] under a [`SearchBudget`] shared by
+/// all workers: the node budget is global across threads, and once any limit
+/// trips every worker stops at its next admission. Results cover the nodes
+/// admitted before the trip, labelled by the outcome's `termination`.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_exhaustive_scan_budgeted<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    threads: usize,
+    budget: &SearchBudget,
+    observer: &O,
+) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
     let threads = threads.max(1);
     let ctx = MaskingContext {
         initial,
@@ -55,9 +92,11 @@ pub fn parallel_exhaustive_scan_observed<O: SearchObserver>(
     let lattice = qi.lattice();
     let nodes = lattice.all_nodes();
     let chunk_size = nodes.len().div_ceil(threads);
+    let state = budget.start();
 
-    type PartialResult =
-        Result<(Vec<Node>, Vec<(Node, usize)>, SearchStats), psens_hierarchy::Error>;
+    type ChunkResult = Result<(Vec<Node>, Vec<(Node, usize)>, SearchStats), psens_hierarchy::Error>;
+    /// `None` marks a worker that panicked; its chunk's results are lost.
+    type PartialResult = Option<ChunkResult>;
 
     let partials: Vec<PartialResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = nodes
@@ -65,27 +104,41 @@ pub fn parallel_exhaustive_scan_observed<O: SearchObserver>(
             .map(|chunk| {
                 let ectx = &ectx;
                 let stats_im = &stats_im;
+                let state = &state;
                 scope.spawn(move || -> PartialResult {
-                    let mut eval = ectx.evaluator();
-                    let mut satisfying = Vec::new();
-                    let mut annotations = Vec::new();
-                    let mut stats = SearchStats::default();
-                    for node in chunk {
-                        stats.nodes_evaluated += 1;
-                        let outcome = eval.check_observed(node, stats_im, observer)?;
-                        annotations.push((node.clone(), outcome.violating_tuples));
-                        stats.record(outcome.stage);
-                        if outcome.satisfied {
-                            satisfying.push(node.clone());
+                    // Fault isolation: a panic (from a poisoned chunk, a
+                    // broken observer, ...) is caught at the worker
+                    // boundary, so the sibling workers and the caller keep
+                    // going. `AssertUnwindSafe` is sound here because a
+                    // panicking worker's entire result is discarded — no
+                    // partially-updated state crosses the boundary.
+                    catch_unwind(AssertUnwindSafe(|| -> ChunkResult {
+                        let mut eval = ectx.evaluator();
+                        let mut satisfying = Vec::new();
+                        let mut annotations = Vec::new();
+                        let mut stats = SearchStats::default();
+                        for node in chunk {
+                            match eval.check_budgeted(node, stats_im, state, observer)? {
+                                ControlFlow::Break(_) => break,
+                                ControlFlow::Continue(outcome) => {
+                                    stats.nodes_evaluated += 1;
+                                    annotations.push((node.clone(), outcome.violating_tuples));
+                                    stats.record(outcome.stage);
+                                    if outcome.satisfied {
+                                        satisfying.push(node.clone());
+                                    }
+                                }
+                            }
                         }
-                    }
-                    Ok((satisfying, annotations, stats))
+                        Ok((satisfying, annotations, stats))
+                    }))
+                    .ok()
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker does not panic"))
+            .map(|h| h.join().expect("worker panics are caught inside"))
             .collect()
     });
 
@@ -96,10 +149,15 @@ pub fn parallel_exhaustive_scan_observed<O: SearchObserver>(
         ..Default::default()
     };
     for partial in partials {
-        let (s, a, st) = partial?;
-        satisfying.extend(s);
-        annotations.extend(a);
-        stats.merge(&st);
+        match partial {
+            Some(chunk) => {
+                let (s, a, st) = chunk?;
+                satisfying.extend(s);
+                annotations.extend(a);
+                stats.merge(&st);
+            }
+            None => stats.worker_failures += 1,
+        }
     }
     // Chunks are produced in node order, so results are already ordered.
     let minimal = lattice.minimal_elements(&satisfying);
@@ -108,6 +166,7 @@ pub fn parallel_exhaustive_scan_observed<O: SearchObserver>(
         minimal,
         annotations,
         stats,
+        termination: state.termination(),
     })
 }
 

@@ -7,7 +7,16 @@ use psens_microdata::{Attribute, CatColumn, Column, Kind, Schema, Table, Value};
 /// Recodes every key attribute of `table` to per-partition labels: integer
 /// attributes become `"lo-hi"` ranges (or the single value), categorical
 /// attributes the sorted set of member values joined with `|`.
-pub(crate) fn recode_partitions(table: &Table, keys: &[usize], partitions: &[Vec<usize>]) -> Table {
+///
+/// Rebuilding the schema and table cannot fail for well-formed inputs
+/// (names and row counts are unchanged), but the error is propagated rather
+/// than unwrapped so a malformed table surfaces as an `Err` instead of a
+/// panic inside the partition algorithms.
+pub(crate) fn recode_partitions(
+    table: &Table,
+    keys: &[usize],
+    partitions: &[Vec<usize>],
+) -> Result<Table, psens_microdata::Error> {
     let mut attrs: Vec<Attribute> = table.schema().attributes().to_vec();
     let mut columns: Vec<Column> = table.columns().to_vec();
     for &attr in keys {
@@ -24,8 +33,8 @@ pub(crate) fn recode_partitions(table: &Table, keys: &[usize], partitions: &[Vec
         attrs[attr] = Attribute::new(old.name(), Kind::Cat, old.role());
         columns[attr] = Column::Cat(recoded);
     }
-    let schema = Schema::new(attrs).expect("names unchanged");
-    Table::new(schema, columns).expect("lengths unchanged")
+    let schema = Schema::new(attrs)?;
+    Table::new(schema, columns)
 }
 
 /// The label describing one partition's extent along one column.
@@ -96,7 +105,7 @@ mod tests {
         ])
         .unwrap();
         let t = table_from_str_rows(schema, &[&["20", "Flu"], &["30", "HIV"]]).unwrap();
-        let recoded = recode_partitions(&t, &[0], &[vec![0, 1]]);
+        let recoded = recode_partitions(&t, &[0], &[vec![0, 1]]).unwrap();
         assert_eq!(recoded.value(0, 0), Value::Text("20-30".into()));
         assert_eq!(recoded.value(1, 0), Value::Text("20-30".into()));
         assert_eq!(recoded.value(0, 1), Value::Text("Flu".into()));

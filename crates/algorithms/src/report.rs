@@ -12,6 +12,56 @@ use crate::stats::SearchStats;
 use psens_core::Telemetry;
 use psens_microdata::JsonValue;
 
+/// The `termination` section of a [`RunReport`]: how a budget-bounded run
+/// ended and which limits were in force. Present whenever the command ran
+/// under a [`psens_core::SearchBudget`] — including completed runs, so
+/// consumers can distinguish "no budget support" from "budgeted, finished".
+#[derive(Debug, Clone)]
+pub struct TerminationReport {
+    /// Machine-readable cause: `completed`, `deadline_exceeded`,
+    /// `node_budget_exhausted`, or `cancelled`
+    /// ([`psens_core::Termination::as_str`]).
+    pub reason: String,
+    /// The `--timeout` limit in seconds, when one was set.
+    pub timeout_secs: Option<u64>,
+    /// The `--max-nodes` limit, when one was set.
+    pub max_nodes: Option<u64>,
+    /// Height-bounded searches only: every lattice height below this is
+    /// proven to hold no satisfying node. Exact on completed runs; a lower
+    /// bound on interrupted ones.
+    pub proven_min_height: Option<usize>,
+}
+
+impl TerminationReport {
+    /// Renders the section as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut out = JsonValue::object();
+        out.set("reason", JsonValue::Str(self.reason.clone()));
+        out.set(
+            "timeout_secs",
+            match self.timeout_secs {
+                Some(s) => JsonValue::Int(s as i64),
+                None => JsonValue::Null,
+            },
+        );
+        out.set(
+            "max_nodes",
+            match self.max_nodes {
+                Some(n) => JsonValue::Int(n as i64),
+                None => JsonValue::Null,
+            },
+        );
+        out.set(
+            "proven_min_height",
+            match self.proven_min_height {
+                Some(h) => JsonValue::Int(h as i64),
+                None => JsonValue::Null,
+            },
+        );
+        out
+    }
+}
+
 /// One CLI run's machine-readable summary.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -35,6 +85,9 @@ pub struct RunReport {
     pub search: Option<SearchStats>,
     /// Observer telemetry (per-stage/per-height timings).
     pub telemetry: Option<Telemetry>,
+    /// How a budget-bounded run ended (`None` for commands that do not run
+    /// under a budget).
+    pub termination: Option<TerminationReport>,
     /// End-to-end wall-clock time of the command, nanoseconds.
     pub wall_ns: u64,
 }
@@ -82,6 +135,13 @@ impl RunReport {
                 None => JsonValue::Null,
             },
         );
+        out.set(
+            "termination",
+            match &self.termination {
+                Some(t) => t.to_json(),
+                None => JsonValue::Null,
+            },
+        );
         out.set("wall_ns", JsonValue::Int(self.wall_ns as i64));
         out
     }
@@ -123,6 +183,12 @@ mod tests {
                 ..Default::default()
             }),
             telemetry: Some(obs.telemetry()),
+            termination: Some(TerminationReport {
+                reason: "completed".into(),
+                timeout_secs: None,
+                max_nodes: Some(100),
+                proven_min_height: Some(1),
+            }),
             wall_ns: 1234,
         };
         let parsed = JsonValue::parse(&report.to_json().to_json_pretty()).unwrap();
@@ -184,10 +250,43 @@ mod tests {
             node: None,
             search: None,
             telemetry: None,
+            termination: None,
             wall_ns: 0,
         };
         let parsed = JsonValue::parse(&report.to_json().to_json()).unwrap();
         assert!(matches!(parsed.require("ts").unwrap(), JsonValue::Null));
         assert!(matches!(parsed.require("search").unwrap(), JsonValue::Null));
+        assert!(matches!(
+            parsed.require("termination").unwrap(),
+            JsonValue::Null
+        ));
+    }
+
+    #[test]
+    fn termination_section_renders_reason_and_limits() {
+        let section = TerminationReport {
+            reason: "deadline_exceeded".into(),
+            timeout_secs: Some(5),
+            max_nodes: None,
+            proven_min_height: Some(3),
+        };
+        let parsed = JsonValue::parse(&section.to_json().to_json()).unwrap();
+        assert_eq!(
+            parsed.require("reason").unwrap().as_str().unwrap(),
+            "deadline_exceeded"
+        );
+        assert_eq!(parsed.require("timeout_secs").unwrap().as_u64().unwrap(), 5);
+        assert!(matches!(
+            parsed.require("max_nodes").unwrap(),
+            JsonValue::Null
+        ));
+        assert_eq!(
+            parsed
+                .require("proven_min_height")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            3
+        );
     }
 }

@@ -9,12 +9,14 @@
 //! that avoids the detailed scan for nodes with too many QI-groups.
 
 use crate::stats::SearchStats;
+use psens_core::budget::BudgetState;
 use psens_core::conditions::ConfidentialStats;
 use psens_core::evaluator::NodeEvaluator;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchObserver};
+use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
+use std::ops::ControlFlow;
 
 /// Whether Algorithm 3's necessary-condition pruning is active — the ablation
 /// knob for the paper's future-work comparison.
@@ -30,14 +32,27 @@ pub enum Pruning {
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
     /// A minimal satisfying node, or `None` when the property is
-    /// unachievable (even the lattice top fails).
+    /// unachievable (even the lattice top fails). On an interrupted run
+    /// this is the best feasible node proven so far (anytime behaviour) —
+    /// satisfying, but not necessarily minimal.
     pub node: Option<Node>,
     /// The masked microdata at `node` (generalized + suppressed).
     pub masked: Option<Table>,
     /// Number of tuples suppressed at `node`.
     pub suppressed: usize,
+    /// Tightest proven lower bound on the minimal satisfiable height: every
+    /// height below this is proven to hold no satisfying node (a failed
+    /// probe at height `h` rules out all heights `<= h` by monotonicity).
+    /// On a completed run this equals the found node's height, or
+    /// `lattice.height() + 1` when the instance is unsatisfiable; on an
+    /// interrupted run it is the bound established before the budget
+    /// tripped.
+    pub proven_min_height: usize,
     /// Work counters.
     pub stats: SearchStats,
+    /// How the search ended. `node`/`proven_min_height` are exact iff this
+    /// is [`Termination::Completed`].
+    pub termination: Termination,
 }
 
 /// Confidential statistics that disable both necessary conditions — used to
@@ -60,7 +75,16 @@ pub fn k_minimal_generalization(
     ts: usize,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
     // k-anonymity alone is p-sensitive k-anonymity with p = 1.
-    search(initial, qi, 1, k, ts, Pruning::None, &NoopObserver)
+    search(
+        initial,
+        qi,
+        1,
+        k,
+        ts,
+        Pruning::None,
+        &SearchBudget::unlimited(),
+        &NoopObserver,
+    )
 }
 
 /// The paper's **Algorithm 3**: finds a **p-k-minimal generalization**
@@ -74,7 +98,16 @@ pub fn pk_minimal_generalization(
     ts: usize,
     pruning: Pruning,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
-    search(initial, qi, p, k, ts, pruning, &NoopObserver)
+    search(
+        initial,
+        qi,
+        p,
+        k,
+        ts,
+        pruning,
+        &SearchBudget::unlimited(),
+        &NoopObserver,
+    )
 }
 
 /// [`pk_minimal_generalization`], reporting search events (height probes,
@@ -89,7 +122,34 @@ pub fn pk_minimal_generalization_observed<O: SearchObserver>(
     pruning: Pruning,
     observer: &O,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
-    search(initial, qi, p, k, ts, pruning, observer)
+    search(
+        initial,
+        qi,
+        p,
+        k,
+        ts,
+        pruning,
+        &SearchBudget::unlimited(),
+        observer,
+    )
+}
+
+/// [`pk_minimal_generalization_observed`] under a [`SearchBudget`]. An
+/// interrupted search is *anytime*: it returns the best satisfying node
+/// proven so far (if any probe succeeded) together with the tightest height
+/// bound proven by the failed probes, labelled by `termination`.
+#[allow(clippy::too_many_arguments)]
+pub fn pk_minimal_generalization_budgeted<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    pruning: Pruning,
+    budget: &SearchBudget,
+    observer: &O,
+) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    search(initial, qi, p, k, ts, pruning, budget, observer)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -100,6 +160,7 @@ fn search<O: SearchObserver>(
     k: u32,
     ts: usize,
     pruning: Pruning,
+    budget: &SearchBudget,
     observer: &O,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
@@ -116,6 +177,8 @@ fn search<O: SearchObserver>(
         Pruning::None => unbounded_stats(initial.n_rows()),
     };
 
+    let lattice = qi.lattice();
+
     // Algorithm 3: "first necessary condition can be checked from the
     // beginning" — one comparison settles unsatisfiable instances.
     if pruning == Pruning::NecessaryConditions && !real_stats.condition1(p) {
@@ -124,58 +187,73 @@ fn search<O: SearchObserver>(
             node: None,
             masked: None,
             suppressed: 0,
+            // Condition 1 is height-independent: no height can satisfy.
+            proven_min_height: lattice.height() + 1,
             stats,
+            termination: Termination::Completed,
         });
     }
 
-    let lattice = qi.lattice();
     stats.lattice_nodes = lattice.node_count();
     // Candidate nodes run through the code-mapped kernel; a table is
     // materialized only for each probe's winning node.
     let ectx = psens_core::evaluator::EvalContext::build_observed(&ctx, observer)?;
     let mut eval = ectx.evaluator();
+    let state = budget.start();
     let mut low = 0usize;
     let mut high = lattice.height();
     let mut best: Option<(Node, Table, usize)> = None;
 
     // Monotonicity makes "some node at height h satisfies" monotone in h, so
-    // binary search converges on the minimal satisfiable height.
-    while low < high {
-        let try_height = (low + high) / 2;
-        stats.heights_probed.push(try_height);
-        observer.height_entered(try_height);
-        let found = probe_height(
-            &ctx,
-            &mut eval,
-            &lattice,
-            try_height,
-            &check_stats,
-            &mut stats,
-            observer,
-        )?;
-        match found {
-            Some(hit) => {
-                best = Some(hit);
-                high = try_height;
+    // binary search converges on the minimal satisfiable height. Invariant:
+    // every height `< low` has been proven infeasible by a failed probe, and
+    // `best` (when set) is a satisfying node at height `high`.
+    'search: {
+        while low < high {
+            let try_height = (low + high) / 2;
+            stats.heights_probed.push(try_height);
+            observer.height_entered(try_height);
+            let found = probe_height(
+                &ctx,
+                &mut eval,
+                &lattice,
+                try_height,
+                &check_stats,
+                &state,
+                &mut stats,
+                observer,
+            )?;
+            match found {
+                ControlFlow::Break(_) => break 'search,
+                ControlFlow::Continue(Some(hit)) => {
+                    best = Some(hit);
+                    high = try_height;
+                }
+                ControlFlow::Continue(None) => low = try_height + 1,
             }
-            None => low = try_height + 1,
         }
-    }
-    // `low == high`: verify the final height (binary search never probes the
-    // initial `high`, and for unsatisfiable instances no height works).
-    if best.as_ref().map(|(n, _, _)| n.height()) != Some(low) {
-        stats.heights_probed.push(low);
-        observer.height_entered(low);
-        if let Some(hit) = probe_height(
-            &ctx,
-            &mut eval,
-            &lattice,
-            low,
-            &check_stats,
-            &mut stats,
-            observer,
-        )? {
-            best = Some(hit);
+        // `low == high`: verify the final height (binary search never probes
+        // the initial `high`, and for unsatisfiable instances no height
+        // works).
+        if best.as_ref().map(|(n, _, _)| n.height()) != Some(low) {
+            stats.heights_probed.push(low);
+            observer.height_entered(low);
+            match probe_height(
+                &ctx,
+                &mut eval,
+                &lattice,
+                low,
+                &check_stats,
+                &state,
+                &mut stats,
+                observer,
+            )? {
+                ControlFlow::Break(_) => break 'search,
+                ControlFlow::Continue(Some(hit)) => best = Some(hit),
+                // A complete failed probe at `low` rules that height out too
+                // (here `low == lattice.height()`: proven unsatisfiable).
+                ControlFlow::Continue(None) => low += 1,
+            }
         }
     }
 
@@ -184,38 +262,57 @@ fn search<O: SearchObserver>(
             node: Some(node),
             masked: Some(masked),
             suppressed,
+            proven_min_height: low,
             stats,
+            termination: state.termination(),
         },
         None => SearchOutcome {
             node: None,
             masked: None,
             suppressed: 0,
+            proven_min_height: low,
             stats,
+            termination: state.termination(),
         },
     })
 }
 
+/// A probe's hit: the satisfying node, its masked table, and the suppressed
+/// tuple count.
+type ProbeHit = (Node, Table, usize);
+
 /// Evaluates the nodes of one lattice stratum; returns the first satisfier,
 /// materializing its masked table (candidates that fail cost no tables).
+/// Breaks as soon as the budget refuses a node admission — an interrupted
+/// probe proves nothing about its height.
+#[allow(clippy::too_many_arguments)]
 fn probe_height<O: SearchObserver>(
     ctx: &MaskingContext<'_>,
     eval: &mut NodeEvaluator<'_>,
     lattice: &psens_hierarchy::Lattice,
     height: usize,
     check_stats: &ConfidentialStats,
+    state: &BudgetState,
     stats: &mut SearchStats,
     observer: &O,
-) -> Result<Option<(Node, Table, usize)>, psens_hierarchy::Error> {
+) -> Result<ControlFlow<Termination, Option<ProbeHit>>, psens_hierarchy::Error> {
     for node in lattice.nodes_at_height(height) {
+        let verdict = match eval.check_budgeted(&node, check_stats, state, observer)? {
+            ControlFlow::Break(cause) => return Ok(ControlFlow::Break(cause)),
+            ControlFlow::Continue(verdict) => verdict,
+        };
         stats.nodes_evaluated += 1;
-        let verdict = eval.check_observed(&node, check_stats, observer)?;
         stats.record(verdict.stage);
         if verdict.satisfied {
             let outcome = ctx.evaluate_observed(&node, check_stats, observer)?;
-            return Ok(Some((node, outcome.masked, outcome.suppressed)));
+            return Ok(ControlFlow::Continue(Some((
+                node,
+                outcome.masked,
+                outcome.suppressed,
+            ))));
         }
     }
-    Ok(None)
+    Ok(ControlFlow::Continue(None))
 }
 
 #[cfg(test)]
@@ -334,5 +431,80 @@ mod tests {
         let outcome = k_minimal_generalization(&im, &qi, 3, 0).unwrap();
         assert!(!outcome.stats.heights_probed.is_empty());
         assert!(outcome.stats.nodes_evaluated >= 1);
+    }
+
+    #[test]
+    fn completed_runs_prove_the_minimal_height() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        for ts in 0..=10usize {
+            let outcome = k_minimal_generalization(&im, &qi, 3, ts).unwrap();
+            assert_eq!(outcome.termination, Termination::Completed);
+            assert_eq!(
+                Some(outcome.proven_min_height),
+                outcome.node.as_ref().map(Node::height),
+                "TS={ts}"
+            );
+        }
+        // Unsatisfiable: the bound walks past the lattice top.
+        let outcome = k_minimal_generalization(&im, &qi, 11, 0).unwrap();
+        assert_eq!(outcome.termination, Termination::Completed);
+        assert_eq!(outcome.proven_min_height, qi.lattice().height() + 1);
+    }
+
+    #[test]
+    fn node_budget_interrupts_with_a_sound_bound() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        let full = k_minimal_generalization(&im, &qi, 3, 0).unwrap();
+        let minimal_height = full.node.unwrap().height();
+        for max_nodes in 0..full.stats.nodes_evaluated as u64 {
+            let budget = SearchBudget::unlimited().with_max_nodes(max_nodes);
+            let outcome = pk_minimal_generalization_budgeted(
+                &im,
+                &qi,
+                1,
+                3,
+                0,
+                Pruning::None,
+                &budget,
+                &NoopObserver,
+            )
+            .unwrap();
+            assert_eq!(outcome.termination, Termination::NodeBudgetExhausted);
+            assert!(outcome.stats.nodes_evaluated as u64 <= max_nodes);
+            // The bound never overshoots the true answer, and any
+            // best-so-far node genuinely satisfies.
+            assert!(outcome.proven_min_height <= minimal_height);
+            if let Some(masked) = &outcome.masked {
+                let keys = masked.schema().key_indices();
+                assert!(psens_core::is_k_anonymous(masked, &keys, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_before_start_returns_cancelled() {
+        let im = figure3_microdata();
+        let qi = figure2_qi_space();
+        let token = psens_core::CancelToken::new();
+        token.cancel();
+        let budget = SearchBudget::unlimited()
+            .with_cancel(token)
+            .with_check_interval(1);
+        let outcome = pk_minimal_generalization_budgeted(
+            &im,
+            &qi,
+            1,
+            3,
+            0,
+            Pruning::None,
+            &budget,
+            &NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(outcome.termination, Termination::Cancelled);
+        assert!(outcome.node.is_none());
+        assert_eq!(outcome.proven_min_height, 0);
     }
 }

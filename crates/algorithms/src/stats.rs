@@ -34,6 +34,10 @@ pub struct SearchStats {
     pub nodes_passed: usize,
     /// True when Condition 1 proved the whole search unsatisfiable up front.
     pub aborted_condition1: bool,
+    /// Parallel-scan workers that panicked and were isolated (their chunk's
+    /// results are lost; the scan completed on the survivors). Always 0 for
+    /// serial searches.
+    pub worker_failures: usize,
 }
 
 impl SearchStats {
@@ -62,6 +66,7 @@ impl SearchStats {
         self.rejected_detailed += other.rejected_detailed;
         self.nodes_passed += other.nodes_passed;
         self.aborted_condition1 |= other.aborted_condition1;
+        self.worker_failures += other.worker_failures;
     }
 
     /// Total rejections across all stages.
@@ -108,6 +113,10 @@ impl SearchStats {
             "aborted_condition1",
             JsonValue::Bool(self.aborted_condition1),
         );
+        out.set(
+            "worker_failures",
+            JsonValue::Int(self.worker_failures as i64),
+        );
         out
     }
 }
@@ -128,6 +137,7 @@ mod tests {
             rejected_detailed: 2,
             nodes_passed: 1,
             aborted_condition1: false,
+            worker_failures: 0,
         };
         assert_eq!(stats.total_rejections(), 9);
         assert_eq!(

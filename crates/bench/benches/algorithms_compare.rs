@@ -41,7 +41,7 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| black_box(parallel_exhaustive_scan(&table, &qi, p, k, ts, 4).expect("valid")));
     });
     group.bench_function("mondrian_local_recoding", |b| {
-        b.iter(|| black_box(mondrian_anonymize(&table, MondrianConfig { k, p })));
+        b.iter(|| black_box(mondrian_anonymize(&table, MondrianConfig { k, p }).unwrap()));
     });
     group.bench_function("greedy_pk_clustering", |b| {
         b.iter(|| {

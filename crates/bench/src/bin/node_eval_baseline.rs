@@ -3,7 +3,9 @@
 //! parallel), on the synthetic Adult workload.
 //!
 //! Run with:
-//! `cargo run --release -p psens-bench --bin node_eval_baseline > BENCH_1.json`
+//! `cargo run --release -p psens-bench --bin node_eval_baseline > BENCH_3.json`
+//! (BENCH_1/BENCH_2 are earlier recordings of the same workload; BENCH_3
+//! adds the budgeted-kernel overhead pair.)
 //!
 //! Unlike the Criterion benches this needs no dev-dependencies, so it runs
 //! in the hermetic (offline) build too.
@@ -12,7 +14,7 @@ use psens_algorithms::{exhaustive_scan, parallel_exhaustive_scan};
 use psens_bench::workloads;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, RecordingObserver};
+use psens_core::{NoopObserver, RecordingObserver, SearchBudget};
 use psens_datasets::hierarchies::adult_qi_space;
 use std::hint::black_box;
 use std::time::Instant;
@@ -86,6 +88,30 @@ fn main() {
             }
         }));
     }
+    // The budgeted entry point with an unlimited budget is the robustness
+    // layer's overhead claim: one atomic increment plus a periodic poll per
+    // node must stay within 2% of the bare kernel. Same alternating
+    // best-of-rounds discipline as above.
+    let unlimited = SearchBudget::unlimited();
+    let mut code_mapped_bare = 0.0f64;
+    let mut code_mapped_budgeted = 0.0f64;
+    for _ in 0..5 {
+        code_mapped_bare = code_mapped_bare.max(rate_for(n_nodes, 0.4, || {
+            for node in &nodes {
+                black_box(eval.check(node, &stats).expect("check"));
+            }
+        }));
+        code_mapped_budgeted = code_mapped_budgeted.max(rate_for(n_nodes, 0.4, || {
+            let state = unlimited.start();
+            for node in &nodes {
+                // `ControlFlow` is must_use; the measurement discards it.
+                let _ = black_box(
+                    eval.check_budgeted(node, &stats, &state, &NoopObserver)
+                        .expect("check"),
+                );
+            }
+        }));
+    }
     let recorder = RecordingObserver::new();
     let code_mapped_recording = rate(n_nodes, || {
         for node in &nodes {
@@ -113,6 +139,7 @@ fn main() {
     println!("    \"materializing_serial\": {materializing:.1},");
     println!("    \"code_mapped_serial\": {code_mapped:.1},");
     println!("    \"code_mapped_serial_noop_observed\": {code_mapped_noop:.1},");
+    println!("    \"code_mapped_serial_unlimited_budget\": {code_mapped_budgeted:.1},");
     println!("    \"code_mapped_serial_recording_observed\": {code_mapped_recording:.1},");
     println!("    \"exhaustive_serial\": {exhaustive_serial:.1},");
     println!("    \"exhaustive_parallel_{threads}_threads\": {exhaustive_parallel:.1}");
@@ -122,8 +149,12 @@ fn main() {
         code_mapped / materializing
     );
     println!(
-        "  \"noop_observer_overhead_pct\": {:.2}",
+        "  \"noop_observer_overhead_pct\": {:.2},",
         (code_mapped / code_mapped_noop - 1.0) * 100.0
+    );
+    println!(
+        "  \"unlimited_budget_overhead_pct\": {:.2}",
+        (code_mapped_bare / code_mapped_budgeted - 1.0) * 100.0
     );
     println!("}}");
 }

@@ -3,20 +3,29 @@
 use crate::args::Args;
 use crate::progress::CliObserver;
 use crate::spec::Spec;
-use psens_algorithms::mondrian::{mondrian_anonymize_observed, MondrianConfig};
-use psens_algorithms::samarati::{pk_minimal_generalization_observed, Pruning};
-use psens_algorithms::{RunReport, SearchStats};
+use psens_algorithms::mondrian::{mondrian_anonymize_budgeted, MondrianConfig};
+use psens_algorithms::samarati::{pk_minimal_generalization_budgeted, Pruning};
+use psens_algorithms::{RunReport, SearchStats, TerminationReport};
 use psens_core::conditions::{ConfidentialStats, MaxGroups};
-use psens_core::{check_p_sensitivity, max_k, max_p_of_masked, CheckStage, SearchObserver};
+use psens_core::{
+    check_p_sensitivity, max_k, max_p_of_masked, CheckStage, SearchBudget, SearchObserver,
+    Termination,
+};
 use psens_datasets::AdultGenerator;
 use psens_metrics::{attribute_risk, identity_risk};
 use psens_microdata::{csv, Table};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Exit code for a run whose *verdict* is negative (property violated,
-/// requested `p` unsatisfiable) — distinct from `1`, which signals an
-/// operational error (bad arguments, unreadable files).
+/// requested `p` unsatisfiable, no feasible masking) — distinct from `1`,
+/// which signals an operational error (bad arguments, unreadable files).
 pub const EXIT_VIOLATION: u8 = 2;
+
+/// Exit code for a run the budget interrupted (deadline, `--max-nodes`, or
+/// Ctrl-C) before the search could prove its answer. Partial results, when
+/// any exist, are still written. Takes precedence over [`EXIT_VIOLATION`]:
+/// an interrupted run's negative verdict is provisional.
+pub const EXIT_INTERRUPTED: u8 = 3;
 
 /// What a subcommand produced: the text for stdout plus the process exit
 /// code. `Ok` verdicts use code 0; negative verdicts [`EXIT_VIOLATION`].
@@ -64,7 +73,11 @@ COMMANDS:
   anonymize  Produce a masked release
              --spec SPEC.json --input FILE.csv --out FILE.csv
              [--k K] [--p P] [--ts N] [--algorithm samarati|mondrian]
+             [--timeout SECS] [--max-nodes N]
              [--report FILE.json] [--verbose]
+             exits 2 when no masking satisfies the request; exits 3 when
+             the search is interrupted (timeout, node budget, or Ctrl-C)
+             after writing any best-so-far result
   attack     Run the record-linkage attack against a masked release
              --spec SPEC.json --masked FILE.csv --external FILE.csv
              --node L1,L2,... --identifier NAME
@@ -94,6 +107,56 @@ fn write_report(path: &str, report: &RunReport) -> Result<(), String> {
     let mut json = report.to_json().to_json_pretty();
     json.push('\n');
     std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// The search limits parsed from `--timeout`/`--max-nodes`, kept next to the
+/// raw values so the report's `termination` section can echo them back.
+struct BudgetSpec {
+    budget: SearchBudget,
+    timeout_secs: Option<u64>,
+    max_nodes: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// Parses the budget flags and arms the SIGINT handler. Called *before*
+    /// the input is loaded: the deadline is absolute, so `--timeout` bounds
+    /// the whole command, not just the lattice search.
+    fn from_args(args: &Args) -> Result<BudgetSpec, String> {
+        let timeout_secs = match args.get("timeout") {
+            Some(_) => Some(args.get_u64("timeout", 0)?),
+            None => None,
+        };
+        let max_nodes = match args.get("max-nodes") {
+            Some(_) => Some(args.get_u64("max-nodes", 0)?),
+            None => None,
+        };
+        let mut budget = SearchBudget::unlimited().with_cancel(crate::signal::sigint_token());
+        if let Some(secs) = timeout_secs {
+            budget = budget.with_timeout(Duration::from_secs(secs));
+        }
+        if let Some(n) = max_nodes {
+            budget = budget.with_max_nodes(n);
+        }
+        Ok(BudgetSpec {
+            budget,
+            timeout_secs,
+            max_nodes,
+        })
+    }
+
+    /// The report section for a run that ended with `termination`.
+    fn report(
+        &self,
+        termination: Termination,
+        proven_min_height: Option<usize>,
+    ) -> TerminationReport {
+        TerminationReport {
+            reason: termination.as_str().to_owned(),
+            timeout_secs: self.timeout_secs,
+            max_nodes: self.max_nodes,
+            proven_min_height,
+        }
+    }
 }
 
 fn load_table(args: &Args, spec: &Spec) -> Result<Table, String> {
@@ -217,6 +280,7 @@ fn check(args: &Args) -> Result<CmdOutput, String> {
             node: None,
             search: Some(stats),
             telemetry: Some(observer.telemetry()),
+            termination: None,
             wall_ns: wall.elapsed().as_nanos() as u64,
         };
         write_report(path, &run_report)?;
@@ -308,6 +372,7 @@ fn analyze(args: &Args) -> Result<CmdOutput, String> {
             node: None,
             search: None,
             telemetry: None,
+            termination: None,
             wall_ns: wall.elapsed().as_nanos() as u64,
         };
         write_report(path, &run_report)?;
@@ -318,6 +383,8 @@ fn analyze(args: &Args) -> Result<CmdOutput, String> {
 
 fn anonymize(args: &Args) -> Result<CmdOutput, String> {
     let wall = Instant::now();
+    // Budget first: the deadline clock starts before the input is read.
+    let limits = BudgetSpec::from_args(args)?;
     let spec = load_spec(args)?;
     let table = load_table(args, &spec)?;
     let out_path = args.require("out")?;
@@ -329,57 +396,110 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
     let mut out = String::new();
     let mut winner: Option<String> = None;
     let mut search_stats: Option<SearchStats> = None;
-    let masked = match algorithm {
+    let mut proven_min_height: Option<usize> = None;
+    let termination: Termination;
+    let satisfied: bool;
+    // `None` when the run produced nothing worth releasing: no feasible node
+    // (samarati) or a cover that fails the property (mondrian).
+    let masked: Option<Table> = match algorithm {
         "samarati" => {
             let qi = spec.qi_space()?;
-            let outcome = pk_minimal_generalization_observed(
+            let outcome = pk_minimal_generalization_budgeted(
                 &table,
                 &qi,
                 p,
                 k,
                 ts,
                 Pruning::NecessaryConditions,
+                &limits.budget,
                 &observer,
             )
             .map_err(|e| e.to_string())?;
             search_stats = Some(outcome.stats.clone());
-            let node = outcome
-                .node
-                .ok_or_else(|| format!("no masking satisfies p = {p}, k = {k} with TS = {ts}"))?;
-            let levels: Vec<String> = node.levels().iter().map(ToString::to_string).collect();
-            winner = Some(qi.describe_node(&node));
-            out.push_str(&format!(
-                "p-k-minimal node: {} (height {}), suppressed {} tuple(s)\n\
-                 node levels (for `psens attack --node`): {}\n",
-                qi.describe_node(&node),
-                node.height(),
-                outcome.suppressed,
-                levels.join(",")
-            ));
-            outcome.masked.expect("masked accompanies node")
+            proven_min_height = Some(outcome.proven_min_height);
+            termination = outcome.termination;
+            match outcome.node {
+                Some(node) => {
+                    let levels: Vec<String> =
+                        node.levels().iter().map(ToString::to_string).collect();
+                    winner = Some(qi.describe_node(&node));
+                    let label = if termination.is_complete() {
+                        "p-k-minimal node"
+                    } else {
+                        "best feasible node so far (search interrupted)"
+                    };
+                    out.push_str(&format!(
+                        "{label}: {} (height {}), suppressed {} tuple(s)\n\
+                         node levels (for `psens attack --node`): {}\n",
+                        qi.describe_node(&node),
+                        node.height(),
+                        outcome.suppressed,
+                        levels.join(",")
+                    ));
+                    satisfied = true;
+                    Some(outcome.masked.expect("masked accompanies node"))
+                }
+                None => {
+                    satisfied = false;
+                    if termination.is_complete() {
+                        out.push_str(&format!(
+                            "no masking satisfies p = {p}, k = {k} with TS = {ts}\n"
+                        ));
+                    } else {
+                        out.push_str(&format!(
+                            "search interrupted ({termination}) before any feasible node was \
+                             found; heights below {} are proven infeasible\n",
+                            outcome.proven_min_height
+                        ));
+                    }
+                    None
+                }
+            }
         }
         "mondrian" => {
-            let outcome = mondrian_anonymize_observed(&table, MondrianConfig { k, p }, &observer);
+            let outcome = mondrian_anonymize_budgeted(
+                &table,
+                MondrianConfig { k, p },
+                &limits.budget,
+                &observer,
+            )
+            .map_err(|e| e.to_string())?;
+            termination = outcome.termination;
             let keys = outcome.masked.schema().key_indices();
             let conf = outcome.masked.schema().confidential_indices();
-            if !psens_core::is_p_sensitive_k_anonymous(&outcome.masked, &keys, &conf, p, k) {
-                return Err(format!(
-                    "mondrian could not satisfy p = {p}, k = {k} (input too small or too uniform)"
-                ));
-            }
+            satisfied = psens_core::is_p_sensitive_k_anonymous(&outcome.masked, &keys, &conf, p, k);
             out.push_str(&format!(
-                "mondrian: {} partitions after {} splits\n",
+                "mondrian: {} partitions after {} splits{}\n",
                 outcome.partitions.len(),
-                outcome.splits
+                outcome.splits,
+                if termination.is_complete() {
+                    ""
+                } else {
+                    " (interrupted: coarser than a full run)"
+                }
             ));
-            outcome.masked
+            if satisfied {
+                Some(outcome.masked)
+            } else {
+                out.push_str(&format!(
+                    "mondrian could not satisfy p = {p}, k = {k} (input too small or too uniform)\n"
+                ));
+                None
+            }
         }
         other => return Err(format!("unknown algorithm `{other}`")),
     };
-    let mut file =
-        std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
-    csv::write_table(&mut file, &masked, true).map_err(|e| e.to_string())?;
-    out.push_str(&format!("wrote {} rows to {out_path}\n", masked.n_rows()));
+    if let Some(masked) = &masked {
+        let mut file =
+            std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+        csv::write_table(&mut file, masked, true).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote {} rows to {out_path}\n", masked.n_rows()));
+    }
+    if !termination.is_complete() {
+        out.push_str(&format!(
+            "search interrupted: {termination} (results above are best-so-far, not proven minimal)\n"
+        ));
+    }
     if let Some(path) = args.get("report") {
         let run_report = RunReport {
             command: "anonymize".into(),
@@ -387,16 +507,24 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
             k,
             p,
             ts: Some(ts),
-            satisfied: Some(true),
+            satisfied: Some(satisfied),
             node: winner,
             search: search_stats,
             telemetry: Some(observer.telemetry()),
+            termination: Some(limits.report(termination, proven_min_height)),
             wall_ns: wall.elapsed().as_nanos() as u64,
         };
         write_report(path, &run_report)?;
         out.push_str(&format!("wrote report to {path}\n"));
     }
-    Ok(CmdOutput::ok(out))
+    let code = if !termination.is_complete() {
+        EXIT_INTERRUPTED
+    } else if !satisfied {
+        EXIT_VIOLATION
+    } else {
+        0
+    };
+    Ok(CmdOutput { text: out, code })
 }
 
 fn query(args: &Args) -> Result<String, String> {
@@ -943,7 +1071,7 @@ mod tests {
     }
 
     #[test]
-    fn unsatisfiable_anonymize_is_an_error() {
+    fn unsatisfiable_anonymize_exits_with_verdict_code() {
         let data = temp_path("udata.csv");
         let spec = temp_path("uspec.json");
         run_line(&[
@@ -957,8 +1085,9 @@ mod tests {
         ])
         .unwrap();
         run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
-        // Pay has 2 distinct values: p = 5 is impossible.
-        let err = run_line(&[
+        // Pay has 2 distinct values: p = 5 is impossible. That is a negative
+        // *verdict* (exit 2), not an operational error (exit 1).
+        let out = run_full(&[
             "anonymize",
             "--spec",
             spec.to_str().unwrap(),
@@ -971,7 +1100,178 @@ mod tests {
             "--p",
             "5",
         ])
-        .unwrap_err();
-        assert!(err.contains("no masking"), "{err}");
+        .unwrap();
+        assert_eq!(out.code, EXIT_VIOLATION, "{}", out.text);
+        assert!(out.text.contains("no masking"), "{}", out.text);
+    }
+
+    #[test]
+    fn exhausted_node_budget_exits_interrupted_with_report() {
+        use psens_microdata::JsonValue;
+        let data = temp_path("bdata.csv");
+        let spec = temp_path("bspec.json");
+        let masked = temp_path("bmasked.csv");
+        let report = temp_path("breport.json");
+        run_line(&[
+            "generate",
+            "--rows",
+            "300",
+            "--seed",
+            "5",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
+        // A zero-node budget interrupts before the first probe evaluates
+        // anything: no feasible node yet, exit 3, report explains why.
+        let _ = std::fs::remove_file(&masked);
+        let out = run_full(&[
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            masked.to_str().unwrap(),
+            "--k",
+            "2",
+            "--p",
+            "2",
+            "--ts",
+            "10",
+            "--max-nodes",
+            "0",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(out.code, EXIT_INTERRUPTED, "{}", out.text);
+        assert!(out.text.contains("interrupted"), "{}", out.text);
+        assert!(!masked.exists(), "no feasible node means no release file");
+        let parsed = JsonValue::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let termination = parsed.require("termination").unwrap();
+        assert_eq!(
+            termination.require("reason").unwrap().as_str().unwrap(),
+            "node_budget_exhausted"
+        );
+        assert_eq!(
+            termination.require("max_nodes").unwrap().as_u64().unwrap(),
+            0
+        );
+        assert!(matches!(
+            termination.require("timeout_secs").unwrap(),
+            JsonValue::Null
+        ));
+        assert!(!parsed.require("satisfied").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn completed_run_reports_termination_completed() {
+        use psens_microdata::JsonValue;
+        let data = temp_path("cdata.csv");
+        let spec = temp_path("cspec.json");
+        let masked = temp_path("cmasked.csv");
+        let report = temp_path("creport.json");
+        run_line(&[
+            "generate",
+            "--rows",
+            "300",
+            "--seed",
+            "13",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
+        // A generous timeout completes normally; the termination section is
+        // still present so consumers can tell "budgeted, finished" from
+        // "never budgeted".
+        let out = run_full(&[
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            masked.to_str().unwrap(),
+            "--k",
+            "2",
+            "--p",
+            "2",
+            "--ts",
+            "10",
+            "--timeout",
+            "3600",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        let parsed = JsonValue::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let termination = parsed.require("termination").unwrap();
+        assert_eq!(
+            termination.require("reason").unwrap().as_str().unwrap(),
+            "completed"
+        );
+        assert_eq!(
+            termination
+                .require("timeout_secs")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            3600
+        );
+        assert!(
+            termination
+                .require("proven_min_height")
+                .unwrap()
+                .as_u64()
+                .is_ok(),
+            "samarati proves its height bound"
+        );
+    }
+
+    #[test]
+    fn interrupted_mondrian_still_writes_a_valid_partial_release() {
+        let data = temp_path("imdata.csv");
+        let spec = temp_path("imspec.json");
+        let masked = temp_path("immasked.csv");
+        run_line(&[
+            "generate",
+            "--rows",
+            "400",
+            "--seed",
+            "17",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_line(&["spec", "--out", spec.to_str().unwrap()]).unwrap();
+        // One split attempt only: the root partition is finalized unsplit.
+        // That single partition trivially satisfies k = 2, p = 1, so the
+        // partial (maximally coarse) release is written and exit is 3.
+        let out = run_full(&[
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            masked.to_str().unwrap(),
+            "--k",
+            "2",
+            "--p",
+            "1",
+            "--algorithm",
+            "mondrian",
+            "--max-nodes",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(out.code, EXIT_INTERRUPTED, "{}", out.text);
+        assert!(out.text.contains("coarser"), "{}", out.text);
+        let released = std::fs::read_to_string(&masked).unwrap();
+        assert!(released.lines().count() > 400, "all rows released");
     }
 }

@@ -5,13 +5,16 @@
 mod args;
 mod commands;
 mod progress;
+mod signal;
 mod spec;
 
 use std::process::ExitCode;
 
 /// Exit codes: 0 success, 1 operational error (bad arguments, unreadable
-/// files, no achievable masking), 2 negative verdict (property violated,
-/// requested p unsatisfiable — see [`commands::EXIT_VIOLATION`]).
+/// files), 2 negative verdict (property violated, requested p
+/// unsatisfiable, no achievable masking — see [`commands::EXIT_VIOLATION`]),
+/// 3 interrupted by a budget limit or Ctrl-C before the verdict was proven
+/// (see [`commands::EXIT_INTERRUPTED`]).
 fn main() -> ExitCode {
     let parsed = match args::Args::parse(std::env::args().skip(1)) {
         Ok(parsed) => parsed,

@@ -26,12 +26,14 @@
 //! hands `&EvalContext` to every worker, each of which owns its own
 //! (cheap, reusable) `NodeEvaluator` scratch.
 
+use crate::budget::{BudgetState, Termination};
 use crate::checker::CheckStage;
 use crate::conditions::ConfidentialStats;
 use crate::masking::{MaskingContext, Result};
 use crate::observe::{elapsed_since, start_timer, SearchObserver};
 use psens_hierarchy::{Error, Node, QiCodeMaps};
 use psens_microdata::{CodeCombiner, Role};
+use std::ops::ControlFlow;
 
 /// Where a confidential attribute's per-row codes come from.
 #[derive(Debug, Clone)]
@@ -279,6 +281,29 @@ impl NodeEvaluator<'_> {
             );
         }
         Ok(verdict)
+    }
+
+    /// [`Self::check_observed`] under a [`BudgetState`]: asks the budget to
+    /// admit the node first, and returns `Break(cause)` — *without checking
+    /// the node* — once the budget has tripped. This is the searches' single
+    /// budget checkpoint: the admission is one relaxed atomic op, with the
+    /// clock and cancel flag polled every
+    /// [`crate::budget::SearchBudget::check_interval`] nodes, so an
+    /// unlimited budget stays within the kernel's 2% overhead gate
+    /// (BENCH_3.json).
+    pub fn check_budgeted<O: SearchObserver>(
+        &mut self,
+        node: &Node,
+        stats: &ConfidentialStats,
+        budget: &BudgetState,
+        observer: &O,
+    ) -> Result<ControlFlow<Termination, NodeCheck>> {
+        match budget.admit() {
+            Err(cause) => Ok(ControlFlow::Break(cause)),
+            Ok(()) => self
+                .check_observed(node, stats, observer)
+                .map(ControlFlow::Continue),
+        }
     }
 
     /// Refines the QI partition for `node`; returns the group count.

@@ -25,6 +25,7 @@
 //! | [`masking`] | generalize → suppress → check pipeline |
 //! | [`evaluator`] | code-mapped node-evaluation kernel (no table materialization) |
 //! | [`observe`] | zero-cost search telemetry (per-stage timings, Tables 7–8 inputs) |
+//! | [`budget`] | search budgets, cancellation, anytime [`Termination`] verdicts |
 //! | [`disclosure`] | identity/attribute disclosure counts (Table 8) |
 //! | [`attack`] | the record-linkage / homogeneity attack (Tables 1–2) |
 //! | [`extended`] | extended p-sensitivity over confidential hierarchies (follow-up model) |
@@ -65,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod budget;
 pub mod checker;
 pub mod conditions;
 pub mod disclosure;
@@ -77,6 +79,7 @@ pub mod psensitive;
 pub mod suppress;
 pub mod theorems;
 
+pub use budget::{BudgetState, CancelToken, SearchBudget, Termination};
 pub use checker::{check_improved, CheckStage, ImprovedCheckOutcome};
 pub use conditions::{AttributeFrequencyStats, ConfidentialStats, MaxGroups};
 pub use disclosure::{attribute_disclosure_count, attribute_disclosures, AttributeDisclosure};

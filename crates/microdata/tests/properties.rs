@@ -151,6 +151,50 @@ proptest! {
         let parsed = csv::read_table_str(&text, schema, true).unwrap();
         prop_assert_eq!(parsed, table);
     }
+
+    /// The CSV record splitter is total: any string — malformed quoting,
+    /// bare carriage returns, control characters, invalid-UTF-8 replacement
+    /// characters — is either parsed or rejected with `Error::Csv`, never a
+    /// panic. Arbitrary bytes are lossy-decoded so every byte pattern is
+    /// exercised.
+    #[test]
+    fn parse_records_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = csv::parse_records(&input);
+    }
+
+    /// Same totality for the schema-directed readers: arbitrary input
+    /// against a fixed schema (and the inferring reader) returns a clean
+    /// `Result`, it does not panic on arity, kind, or header mismatches.
+    #[test]
+    fn table_readers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let schema = Schema::new(vec![
+            Attribute::cat_key("C"),
+            Attribute::int_confidential("N"),
+        ])
+        .unwrap();
+        let _ = csv::read_table_str(&input, schema.clone(), true);
+        let _ = csv::read_table_str(&input, schema, false);
+        let _ = csv::read_table_infer(&input);
+    }
+
+    /// Write→parse round-trip survives the fields that force quoting:
+    /// embedded commas, double quotes, and newlines.
+    #[test]
+    fn quoted_fields_roundtrip(
+        cells in prop::collection::vec("[a-z][a-z,\"\n]{0,8}[a-z]", 1..20),
+    ) {
+        let schema = Schema::new(vec![Attribute::cat_key("C")]).unwrap();
+        let mut builder = TableBuilder::new(schema.clone());
+        for cell in &cells {
+            builder.push_row(vec![Value::Text(cell.clone())]).unwrap();
+        }
+        let table = builder.finish();
+        let text = csv::to_csv_string(&table, true);
+        let parsed = csv::read_table_str(&text, schema, true).unwrap();
+        prop_assert_eq!(parsed, table);
+    }
 }
 
 #[test]

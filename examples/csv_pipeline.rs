@@ -40,7 +40,7 @@ fn main() {
     let fd_node = full_domain.node.expect("satisfiable");
 
     // 3b. Mondrian local recoding with the same constraints.
-    let mondrian = mondrian_anonymize(&table, MondrianConfig { k, p });
+    let mondrian = mondrian_anonymize(&table, MondrianConfig { k, p }).unwrap();
 
     // 4. Compare.
     let keys = fd_masked.schema().key_indices();

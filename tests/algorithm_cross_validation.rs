@@ -64,7 +64,7 @@ fn every_algorithm_output_passes_independent_check() {
     let conf = masked.schema().confidential_indices();
     assert!(is_p_sensitive_k_anonymous(&masked, &keys, &conf, p, k));
 
-    let mondrian = mondrian_anonymize(&im, MondrianConfig { k, p });
+    let mondrian = mondrian_anonymize(&im, MondrianConfig { k, p }).unwrap();
     let keys = mondrian.masked.schema().key_indices();
     let conf = mondrian.masked.schema().confidential_indices();
     assert!(is_p_sensitive_k_anonymous(
@@ -88,7 +88,7 @@ fn mondrian_dominates_full_domain_on_group_count() {
     let masked = full.masked.expect("achievable");
     let fd_groups = GroupBy::compute(&masked, &masked.schema().key_indices()).n_groups();
 
-    let mondrian = mondrian_anonymize(&im, MondrianConfig { k, p });
+    let mondrian = mondrian_anonymize(&im, MondrianConfig { k, p }).unwrap();
     assert_eq!(mondrian.masked.n_rows(), im.n_rows(), "no suppression");
     assert!(
         mondrian.partitions.len() >= fd_groups,

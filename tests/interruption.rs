@@ -1,0 +1,248 @@
+//! End-to-end interruption behaviour across the search algorithms.
+//!
+//! Three guarantees are pinned down here:
+//!
+//! 1. **Determinism** — a node budget of `N` stops a serial search at exactly
+//!    the same place every run, so interrupted results are reproducible.
+//! 2. **Cancellation ≡ budget** — tripping the [`CancelToken`] after `N`
+//!    node checks (with a check interval of 1) yields the same partial
+//!    results as `--max-nodes N`; only the recorded cause differs.
+//! 3. **Worker fault isolation** — a panicking worker in the parallel scan
+//!    loses only its own chunk: survivors complete, the failure is tallied
+//!    in `worker_failures`, and the process does not abort.
+
+use psens::algorithms::{
+    exhaustive_scan, exhaustive_scan_budgeted, greedy_pk_cluster_budgeted,
+    incognito_minimal_budgeted, levelwise_minimal_budgeted, mondrian_anonymize_budgeted,
+    parallel_exhaustive_scan, parallel_exhaustive_scan_budgeted,
+    pk_minimal_generalization_budgeted, ClusterError, GreedyClusterConfig, MondrianConfig, Pruning,
+};
+use psens::core::{
+    CancelToken, CheckStage, NoopObserver, SearchBudget, SearchObserver, Termination,
+};
+use psens::datasets::hierarchies::{adult_qi_space, figure2_qi_space};
+use psens::datasets::paper::figure3_microdata;
+use psens::datasets::AdultGenerator;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+#[test]
+fn node_budgets_stop_every_algorithm_with_the_right_verdict() {
+    let im = AdultGenerator::new(90).generate(300);
+    let qi = adult_qi_space();
+    let budget = SearchBudget::unlimited().with_max_nodes(3);
+
+    let full = exhaustive_scan(&im, &qi, 2, 2, 15).unwrap();
+    assert!(full.stats.nodes_evaluated > 3, "budget must actually bind");
+
+    // Exhaustive: the node budget is exact — three admissions, three nodes.
+    let ex = exhaustive_scan_budgeted(&im, &qi, 2, 2, 15, &budget, &NoopObserver).unwrap();
+    assert_eq!(ex.termination, Termination::NodeBudgetExhausted);
+    assert_eq!(ex.stats.nodes_evaluated, 3);
+
+    // The shared budget is global across workers, so the parallel scan
+    // admits the same total.
+    let par =
+        parallel_exhaustive_scan_budgeted(&im, &qi, 2, 2, 15, 4, &budget, &NoopObserver).unwrap();
+    assert_eq!(par.termination, Termination::NodeBudgetExhausted);
+    assert_eq!(par.stats.nodes_evaluated, 3);
+
+    let sam = pk_minimal_generalization_budgeted(
+        &im,
+        &qi,
+        2,
+        2,
+        15,
+        Pruning::NecessaryConditions,
+        &budget,
+        &NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(sam.termination, Termination::NodeBudgetExhausted);
+    assert!(sam.stats.nodes_evaluated <= 3);
+
+    let lw = levelwise_minimal_budgeted(&im, &qi, 2, 2, 15, &budget, &NoopObserver).unwrap();
+    assert_eq!(lw.termination, Termination::NodeBudgetExhausted);
+    assert!(lw.stats.nodes_evaluated <= 3);
+
+    let inc = incognito_minimal_budgeted(&im, &qi, 2, 2, 15, &budget, &NoopObserver).unwrap();
+    assert_eq!(inc.termination, Termination::NodeBudgetExhausted);
+
+    // Mondrian finalizes pending partitions and stays a valid cover.
+    let mon =
+        mondrian_anonymize_budgeted(&im, MondrianConfig { k: 5, p: 1 }, &budget, &NoopObserver)
+            .unwrap();
+    assert_eq!(mon.termination, Termination::NodeBudgetExhausted);
+    let covered: usize = mon.partitions.iter().map(Vec::len).sum();
+    assert_eq!(covered, im.n_rows());
+
+    // Greedy clustering: three coarse units cannot finish one k = 4 cluster,
+    // so the run reports interruption rather than an empty success.
+    let err = greedy_pk_cluster_budgeted(
+        &im,
+        GreedyClusterConfig { k: 4, p: 2 },
+        &budget,
+        &NoopObserver,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        ClusterError::Interrupted(Termination::NodeBudgetExhausted)
+    ));
+}
+
+#[test]
+fn interrupted_runs_are_deterministic() {
+    let im = AdultGenerator::new(91).generate(250);
+    let qi = adult_qi_space();
+    for n in [0u64, 1, 5, 17] {
+        let budget = SearchBudget::unlimited().with_max_nodes(n);
+        let a = exhaustive_scan_budgeted(&im, &qi, 2, 2, 10, &budget, &NoopObserver).unwrap();
+        let b = exhaustive_scan_budgeted(&im, &qi, 2, 2, 10, &budget, &NoopObserver).unwrap();
+        assert_eq!(a.satisfying, b.satisfying, "n={n}");
+        assert_eq!(a.annotations, b.annotations, "n={n}");
+        assert_eq!(a.stats, b.stats, "n={n}");
+        assert_eq!(a.termination, b.termination, "n={n}");
+
+        let sa = pk_minimal_generalization_budgeted(
+            &im,
+            &qi,
+            2,
+            2,
+            10,
+            Pruning::NecessaryConditions,
+            &budget,
+            &NoopObserver,
+        )
+        .unwrap();
+        let sb = pk_minimal_generalization_budgeted(
+            &im,
+            &qi,
+            2,
+            2,
+            10,
+            Pruning::NecessaryConditions,
+            &budget,
+            &NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(sa.node, sb.node, "n={n}");
+        assert_eq!(sa.proven_min_height, sb.proven_min_height, "n={n}");
+        assert_eq!(sa.stats, sb.stats, "n={n}");
+    }
+}
+
+/// Trips `token` once `node_checked` has fired `remaining` times.
+struct CancelAfter {
+    token: CancelToken,
+    remaining: AtomicU64,
+}
+
+impl SearchObserver for CancelAfter {
+    fn node_checked(&self, _h: usize, _s: CheckStage, _sup: usize, _e: Duration) {
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.token.cancel();
+        }
+    }
+}
+
+#[test]
+fn cancellation_equals_an_equivalent_node_budget() {
+    let im = AdultGenerator::new(92).generate(200);
+    let qi = adult_qi_space();
+    for n in [1u64, 4, 9] {
+        let budgeted = exhaustive_scan_budgeted(
+            &im,
+            &qi,
+            2,
+            2,
+            10,
+            &SearchBudget::unlimited().with_max_nodes(n),
+            &NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(budgeted.termination, Termination::NodeBudgetExhausted);
+
+        // Cancel after exactly n checks; a check interval of 1 makes the
+        // trip visible at the very next admission.
+        let token = CancelToken::new();
+        let observer = CancelAfter {
+            token: token.clone(),
+            remaining: AtomicU64::new(n),
+        };
+        let cancelled = exhaustive_scan_budgeted(
+            &im,
+            &qi,
+            2,
+            2,
+            10,
+            &SearchBudget::unlimited()
+                .with_cancel(token)
+                .with_check_interval(1),
+            &observer,
+        )
+        .unwrap();
+        assert_eq!(cancelled.termination, Termination::Cancelled, "n={n}");
+        assert_eq!(
+            budgeted.stats.nodes_evaluated,
+            cancelled.stats.nodes_evaluated
+        );
+        assert_eq!(budgeted.satisfying, cancelled.satisfying, "n={n}");
+        assert_eq!(budgeted.annotations, cancelled.annotations, "n={n}");
+    }
+}
+
+#[test]
+fn an_already_expired_deadline_trips_before_any_work() {
+    let im = figure3_microdata();
+    let qi = figure2_qi_space();
+    let budget = SearchBudget::unlimited().with_timeout(Duration::ZERO);
+    let outcome = exhaustive_scan_budgeted(&im, &qi, 1, 2, 0, &budget, &NoopObserver).unwrap();
+    assert_eq!(outcome.termination, Termination::DeadlineExceeded);
+    assert_eq!(outcome.stats.nodes_evaluated, 0);
+}
+
+/// Panics on the first `node_checked` call only — whichever worker draws it.
+struct PanicOnce(AtomicBool);
+
+impl SearchObserver for PanicOnce {
+    fn node_checked(&self, _h: usize, _s: CheckStage, _sup: usize, _e: Duration) {
+        if !self.0.swap(true, Ordering::SeqCst) {
+            panic!("injected observer failure");
+        }
+    }
+}
+
+#[test]
+fn a_panicking_worker_loses_only_its_own_chunk() {
+    let im = figure3_microdata();
+    let qi = figure2_qi_space();
+    // 6 lattice nodes across 4 requested workers -> 3 chunks of 2 nodes.
+    let full = parallel_exhaustive_scan(&im, &qi, 1, 2, 0, 4).unwrap();
+    assert_eq!(full.stats.nodes_evaluated, 6);
+    assert_eq!(full.stats.worker_failures, 0);
+
+    let observer = PanicOnce(AtomicBool::new(false));
+    let outcome = parallel_exhaustive_scan_budgeted(
+        &im,
+        &qi,
+        1,
+        2,
+        0,
+        4,
+        &SearchBudget::unlimited(),
+        &observer,
+    )
+    .unwrap();
+    // Exactly one worker panicked (on its first node), losing its 2-node
+    // chunk; the other two chunks complete normally.
+    assert_eq!(outcome.stats.worker_failures, 1);
+    assert_eq!(outcome.stats.nodes_evaluated, 4);
+    assert_eq!(outcome.termination, Termination::Completed);
+    for node in &outcome.satisfying {
+        assert!(full.satisfying.contains(node), "phantom result {node}");
+    }
+    for annotation in &outcome.annotations {
+        assert!(full.annotations.contains(annotation));
+    }
+}

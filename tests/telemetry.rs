@@ -102,7 +102,7 @@ fn parallel_scan_shares_one_observer_across_workers() {
 fn mondrian_partitions_are_all_reported() {
     let im = AdultGenerator::new(4).generate(300);
     let obs = RecordingObserver::new();
-    let outcome = mondrian_anonymize_observed(&im, MondrianConfig { k: 5, p: 2 }, &obs);
+    let outcome = mondrian_anonymize_observed(&im, MondrianConfig { k: 5, p: 2 }, &obs).unwrap();
     let t = obs.telemetry();
     assert_eq!(t.partitions_finalized as usize, outcome.partitions.len());
     assert_eq!(t.partition_rows as usize, im.n_rows());
@@ -143,12 +143,13 @@ fn observers_change_no_search_outcome() {
     assert_eq!(plain.minimal, observed.minimal);
     assert_eq!(plain.stats, observed.stats);
 
-    let plain = mondrian_anonymize(&im, MondrianConfig { k: 2, p: 1 });
+    let plain = mondrian_anonymize(&im, MondrianConfig { k: 2, p: 1 }).unwrap();
     let observed = mondrian_anonymize_observed(
         &im,
         MondrianConfig { k: 2, p: 1 },
         &RecordingObserver::new(),
-    );
+    )
+    .unwrap();
     assert_eq!(plain.partitions, observed.partitions);
     assert_eq!(plain.splits, observed.splits);
     assert_eq!(plain.masked, observed.masked);

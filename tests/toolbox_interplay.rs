@@ -42,7 +42,7 @@ fn three_local_recoders_ranked_by_group_count() {
     let fd = full.masked.unwrap();
     let fd_groups = GroupBy::compute(&fd, &fd.schema().key_indices()).n_groups();
 
-    let mondrian = mondrian_anonymize(&im, MondrianConfig { k, p });
+    let mondrian = mondrian_anonymize(&im, MondrianConfig { k, p }).unwrap();
     let greedy =
         psens::algorithms::greedy_pk_cluster(&im, psens::algorithms::GreedyClusterConfig { k, p })
             .unwrap();
