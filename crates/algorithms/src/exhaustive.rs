@@ -6,6 +6,7 @@
 //! against.
 
 use crate::stats::SearchStats;
+use crate::tuning::Tuning;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
 use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
@@ -71,6 +72,28 @@ pub fn exhaustive_scan_budgeted<O: SearchObserver>(
     budget: &SearchBudget,
     observer: &O,
 ) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
+    exhaustive_scan_tuned(initial, qi, p, k, ts, budget, Tuning::default(), observer)
+}
+
+/// [`exhaustive_scan_budgeted`] consulting (and warming) the optional
+/// [`psens_core::verdict::VerdictStore`] in `tuning.cache`.
+///
+/// The scan replays only **exact** cached verdicts (`allow_inferred` off):
+/// its per-node annotations need the exact `violating_tuples` count, which
+/// monotonicity inference cannot supply. An inferred-only entry therefore
+/// misses and is upgraded to an exact record by the fresh check. The thread
+/// count in `tuning` is ignored — [`crate::parallel`] is the parallel scan.
+#[allow(clippy::too_many_arguments)]
+pub fn exhaustive_scan_tuned<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
         initial,
         qi,
@@ -92,13 +115,16 @@ pub fn exhaustive_scan_budgeted<O: SearchObserver>(
         ..Default::default()
     };
     for node in lattice.all_nodes() {
-        match eval.check_budgeted(&node, &stats_im, &state, observer)? {
+        match eval.check_cached(&node, &stats_im, &state, tuning.cache, false, observer)? {
             ControlFlow::Break(_) => break,
-            ControlFlow::Continue(outcome) => {
-                stats.nodes_evaluated += 1;
-                annotations.push((node.clone(), outcome.violating_tuples));
-                stats.record(outcome.stage);
-                if outcome.satisfied {
+            ControlFlow::Continue(cc) => {
+                stats.record_cached(&cc);
+                let check = cc
+                    .check
+                    .as_ref()
+                    .expect("exact-only lookups always carry a NodeCheck");
+                annotations.push((node.clone(), check.violating_tuples));
+                if cc.satisfied {
                     satisfying.push(node);
                 }
             }

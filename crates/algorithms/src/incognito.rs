@@ -20,6 +20,7 @@
 //! k-anonymity on a subset cannot satisfy p-sensitive k-anonymity on the
 //! full set).
 
+use crate::tuning::Tuning;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
 use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
@@ -106,6 +107,27 @@ pub fn incognito_minimal_budgeted<O: SearchObserver>(
     k: u32,
     ts: usize,
     budget: &SearchBudget,
+    observer: &O,
+) -> Result<IncognitoOutcome, psens_hierarchy::Error> {
+    incognito_minimal_tuned(initial, qi, p, k, ts, budget, Tuning::default(), observer)
+}
+
+/// [`incognito_minimal_budgeted`] consulting (and warming) the optional
+/// shared [`psens_core::verdict::VerdictStore`] in `tuning.cache` during the
+/// full-QI confirmation stage. Inferred verdicts are accepted — only the
+/// satisfaction boolean matters here. The subset-pruning phase works on
+/// projected frequency sets, which the full-lattice store cannot describe,
+/// so it never consults the cache; `tuning.threads` is likewise ignored (the
+/// subset walk is inherently sequential through `passing`).
+#[allow(clippy::too_many_arguments)]
+pub fn incognito_minimal_tuned<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<IncognitoOutcome, psens_hierarchy::Error> {
     let m = qi.len();
@@ -206,12 +228,15 @@ pub fn incognito_minimal_budgeted<O: SearchObserver>(
     survivors.sort();
     for levels in survivors {
         let node = Node(levels.clone());
-        match eval.check_budgeted(&node, &im_stats, &state, observer)? {
+        match eval.check_cached(&node, &im_stats, &state, tuning.cache, true, observer)? {
             ControlFlow::Break(_) => break,
-            ControlFlow::Continue(outcome) => {
-                if outcome.satisfied {
+            ControlFlow::Continue(cc) => {
+                if cc.satisfied {
                     satisfying.push(node);
                 } else {
+                    // Survivors already pass subset k-anonymity, so an
+                    // unsatisfied verdict here — fresh or replayed — means
+                    // the p-sensitivity stage rejected the masking.
                     stats.failed_sensitivity += 1;
                 }
             }

@@ -10,6 +10,9 @@
 //! two necessary conditions prune candidates here as well.
 
 use crate::stats::SearchStats;
+use crate::tuning::Tuning;
+use psens_core::budget::BudgetState;
+use psens_core::conditions::ConfidentialStats;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
 use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
@@ -17,6 +20,7 @@ use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::hash::FxHashSet;
 use psens_microdata::Table;
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Result of the level-wise search.
 #[derive(Debug, Clone)]
@@ -78,6 +82,31 @@ pub fn levelwise_minimal_budgeted<O: SearchObserver>(
     budget: &SearchBudget,
     observer: &O,
 ) -> Result<LevelWiseOutcome, psens_hierarchy::Error> {
+    levelwise_minimal_tuned(initial, qi, p, k, ts, budget, Tuning::default(), observer)
+}
+
+/// [`levelwise_minimal_budgeted`] with execution [`Tuning`]: a worker-thread
+/// count for per-stratum evaluation and an optional shared
+/// [`psens_core::verdict::VerdictStore`].
+///
+/// Rollup is precomputed on the calling thread before each stratum fans out
+/// (children live one height below, so intra-stratum insertions can never
+/// change it), workers evaluate the remainder in chunks, and results merge
+/// back in node order — the `minimal` set and its order are identical to the
+/// serial search for any thread count. A panicked worker's chunk is re-run
+/// on the calling thread (tallied in `worker_failures`): dropping it would
+/// break the completeness guarantee behind `completed_height`.
+#[allow(clippy::too_many_arguments)]
+pub fn levelwise_minimal_tuned<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<LevelWiseOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
         initial,
         qi,
@@ -113,27 +142,46 @@ pub fn levelwise_minimal_budgeted<O: SearchObserver>(
     'levels: for height in 0..=lattice.height() {
         stats.heights_probed.push(height);
         observer.height_entered(height);
+        // Rollup first: a satisfied child implies a node satisfies, making
+        // it satisfying-but-not-minimal with no evaluation needed. Children
+        // live one height below, so the rolled-up set is fixed before any
+        // evaluation at this height — which is what lets the remainder fan
+        // out to workers without changing the result.
+        let mut to_eval = Vec::new();
         for node in lattice.nodes_at_height(height) {
-            // Rollup: a satisfied child implies this node satisfies; it is
-            // then satisfying-but-not-minimal and needs no evaluation.
             let rolled_up = lattice
                 .children(&node)
                 .iter()
                 .any(|child| satisfying.contains(child));
             if rolled_up {
                 satisfying.insert(node);
-                continue;
+            } else {
+                to_eval.push(node);
             }
-            match eval.check_budgeted(&node, &stats_im, &state, observer)? {
-                ControlFlow::Break(_) => break 'levels,
-                ControlFlow::Continue(outcome) => {
-                    stats.nodes_evaluated += 1;
-                    stats.record(outcome.stage);
-                    if outcome.satisfied {
-                        minimal.push(node.clone());
-                        satisfying.insert(node);
+        }
+        if tuning.effective_threads() == 1 {
+            for node in to_eval {
+                match eval.check_cached(&node, &stats_im, &state, tuning.cache, true, observer)? {
+                    ControlFlow::Break(_) => break 'levels,
+                    ControlFlow::Continue(cc) => {
+                        stats.record_cached(&cc);
+                        if cc.satisfied {
+                            minimal.push(node.clone());
+                            satisfying.insert(node);
+                        }
                     }
                 }
+            }
+        } else {
+            let (sat, tripped) = evaluate_stratum_parallel(
+                &ectx, &to_eval, &stats_im, &state, tuning, &mut stats, observer,
+            )?;
+            for node in sat {
+                minimal.push(node.clone());
+                satisfying.insert(node);
+            }
+            if tripped {
+                break 'levels;
             }
         }
         completed_height = Some(height);
@@ -144,6 +192,98 @@ pub fn levelwise_minimal_budgeted<O: SearchObserver>(
         stats,
         termination: state.termination(),
     })
+}
+
+/// Chunk-level result of a parallel stratum worker: indices (into the
+/// stratum's evaluation list) of satisfying nodes, whether the budget
+/// tripped mid-chunk, and the worker's private stats.
+type LevelChunk = Result<(Vec<usize>, bool, SearchStats), psens_hierarchy::Error>;
+
+/// Evaluates one stratum's non-rolled-up nodes across `tuning.threads`
+/// scoped workers sharing the budget, observer, and (when present) the
+/// verdict store. Satisfying nodes come back in stratum node order, so the
+/// caller appends them to `minimal` exactly as the serial loop would. A
+/// panicked chunk is re-run serially on the calling thread (counted in
+/// `worker_failures`); dropping it would silently break the completeness
+/// guarantee behind `completed_height`.
+fn evaluate_stratum_parallel<O: SearchObserver>(
+    ectx: &EvalContext,
+    nodes: &[Node],
+    check_stats: &ConfidentialStats,
+    state: &BudgetState,
+    tuning: Tuning<'_>,
+    stats: &mut SearchStats,
+    observer: &O,
+) -> Result<(Vec<Node>, bool), psens_hierarchy::Error> {
+    if nodes.is_empty() {
+        return Ok((Vec::new(), false));
+    }
+    let chunk_size = nodes.len().div_ceil(tuning.effective_threads()).max(1);
+    let cache = tuning.cache;
+    let run_chunk = |start: usize, chunk: &[Node]| -> LevelChunk {
+        let mut eval = ectx.evaluator();
+        let mut part = SearchStats::default();
+        let mut satisfied = Vec::new();
+        let mut tripped = false;
+        for (i, node) in chunk.iter().enumerate() {
+            match eval.check_cached(node, check_stats, state, cache, true, observer)? {
+                ControlFlow::Break(_) => {
+                    tripped = true;
+                    break;
+                }
+                ControlFlow::Continue(cc) => {
+                    part.record_cached(&cc);
+                    if cc.satisfied {
+                        satisfied.push(start + i);
+                    }
+                }
+            }
+        }
+        Ok((satisfied, tripped, part))
+    };
+
+    let partials: Vec<(usize, &[Node], Option<LevelChunk>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                let run_chunk = &run_chunk;
+                let start = ci * chunk_size;
+                let handle = scope
+                    .spawn(move || catch_unwind(AssertUnwindSafe(|| run_chunk(start, chunk))).ok());
+                (start, chunk, handle)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(start, chunk, handle)| {
+                let joined = handle.join().expect("worker panics are caught inside");
+                (start, chunk, joined)
+            })
+            .collect()
+    });
+
+    let mut satisfied = Vec::new();
+    let mut any_tripped = false;
+    for (start, chunk, partial) in partials {
+        let outcome = match partial {
+            Some(outcome) => outcome,
+            None => {
+                // Sound recovery: replay the lost chunk here, letting a
+                // deterministic panic propagate the second time.
+                stats.worker_failures += 1;
+                run_chunk(start, chunk)
+            }
+        };
+        let (sat, tripped, part) = outcome?;
+        stats.merge(&part);
+        any_tripped |= tripped;
+        satisfied.extend(sat);
+    }
+    // Chunks are contiguous and each chunk reports ascending indices, so
+    // the concatenation is already in stratum node order.
+    let picked = satisfied.into_iter().map(|ix| nodes[ix].clone()).collect();
+    Ok((picked, any_tripped))
 }
 
 #[cfg(test)]

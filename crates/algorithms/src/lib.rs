@@ -52,20 +52,23 @@ mod recode;
 pub mod report;
 pub mod samarati;
 pub mod stats;
+pub mod tuning;
 
 pub use exhaustive::{
-    exhaustive_scan, exhaustive_scan_budgeted, exhaustive_scan_observed, ExhaustiveOutcome,
+    exhaustive_scan, exhaustive_scan_budgeted, exhaustive_scan_observed, exhaustive_scan_tuned,
+    ExhaustiveOutcome,
 };
 pub use greedy_cluster::{
     greedy_pk_cluster, greedy_pk_cluster_budgeted, greedy_pk_cluster_observed, ClusterError,
     GreedyClusterConfig, GreedyClusterOutcome,
 };
 pub use incognito::{
-    incognito_minimal, incognito_minimal_budgeted, incognito_minimal_observed, IncognitoOutcome,
-    IncognitoStats,
+    incognito_minimal, incognito_minimal_budgeted, incognito_minimal_observed,
+    incognito_minimal_tuned, IncognitoOutcome, IncognitoStats,
 };
 pub use levelwise::{
-    levelwise_minimal, levelwise_minimal_budgeted, levelwise_minimal_observed, LevelWiseOutcome,
+    levelwise_minimal, levelwise_minimal_budgeted, levelwise_minimal_observed,
+    levelwise_minimal_tuned, LevelWiseOutcome,
 };
 pub use mondrian::{
     mondrian_anonymize, mondrian_anonymize_budgeted, mondrian_anonymize_observed, MondrianConfig,
@@ -73,10 +76,12 @@ pub use mondrian::{
 };
 pub use parallel::{
     parallel_exhaustive_scan, parallel_exhaustive_scan_budgeted, parallel_exhaustive_scan_observed,
+    parallel_exhaustive_scan_tuned,
 };
 pub use report::{RunReport, TerminationReport};
 pub use samarati::{
     k_minimal_generalization, pk_minimal_generalization, pk_minimal_generalization_budgeted,
-    pk_minimal_generalization_observed, Pruning, SearchOutcome,
+    pk_minimal_generalization_observed, pk_minimal_generalization_tuned, Pruning, SearchOutcome,
 };
 pub use stats::SearchStats;
+pub use tuning::Tuning;

@@ -17,6 +17,7 @@
 
 use crate::exhaustive::ExhaustiveOutcome;
 use crate::stats::SearchStats;
+use crate::tuning::Tuning;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
 use psens_core::{NoopObserver, SearchBudget, SearchObserver};
@@ -78,7 +79,31 @@ pub fn parallel_exhaustive_scan_budgeted<O: SearchObserver>(
     budget: &SearchBudget,
     observer: &O,
 ) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
-    let threads = threads.max(1);
+    let tuning = Tuning {
+        threads,
+        cache: None,
+    };
+    parallel_exhaustive_scan_tuned(initial, qi, p, k, ts, budget, tuning, observer)
+}
+
+/// [`parallel_exhaustive_scan_budgeted`] with execution [`Tuning`]; all
+/// workers consult (and warm) the shared
+/// [`psens_core::verdict::VerdictStore`] in `tuning.cache`. As in the serial
+/// scan, only **exact** cached verdicts replay — the per-node annotations
+/// need exact `violating_tuples` counts that inference cannot supply.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_exhaustive_scan_tuned<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
+    let threads = tuning.effective_threads();
+    let cache = tuning.cache;
     let ctx = MaskingContext {
         initial,
         qi,
@@ -118,13 +143,18 @@ pub fn parallel_exhaustive_scan_budgeted<O: SearchObserver>(
                         let mut annotations = Vec::new();
                         let mut stats = SearchStats::default();
                         for node in chunk {
-                            match eval.check_budgeted(node, stats_im, state, observer)? {
+                            match eval
+                                .check_cached(node, stats_im, state, cache, false, observer)?
+                            {
                                 ControlFlow::Break(_) => break,
-                                ControlFlow::Continue(outcome) => {
-                                    stats.nodes_evaluated += 1;
-                                    annotations.push((node.clone(), outcome.violating_tuples));
-                                    stats.record(outcome.stage);
-                                    if outcome.satisfied {
+                                ControlFlow::Continue(cc) => {
+                                    stats.record_cached(&cc);
+                                    let check = cc
+                                        .check
+                                        .as_ref()
+                                        .expect("exact-only lookups always carry a NodeCheck");
+                                    annotations.push((node.clone(), check.violating_tuples));
+                                    if cc.satisfied {
                                         satisfying.push(node.clone());
                                     }
                                 }

@@ -9,14 +9,16 @@
 //! that avoids the detailed scan for nodes with too many QI-groups.
 
 use crate::stats::SearchStats;
+use crate::tuning::Tuning;
 use psens_core::budget::BudgetState;
 use psens_core::conditions::ConfidentialStats;
-use psens_core::evaluator::NodeEvaluator;
+use psens_core::evaluator::{EvalContext, NodeEvaluator};
 use psens_core::masking::MaskingContext;
 use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
-use psens_hierarchy::{Node, QiSpace};
+use psens_hierarchy::{Lattice, Node, QiSpace};
 use psens_microdata::Table;
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Whether Algorithm 3's necessary-condition pruning is active — the ablation
 /// knob for the paper's future-work comparison.
@@ -83,6 +85,7 @@ pub fn k_minimal_generalization(
         ts,
         Pruning::None,
         &SearchBudget::unlimited(),
+        Tuning::default(),
         &NoopObserver,
     )
 }
@@ -106,6 +109,7 @@ pub fn pk_minimal_generalization(
         ts,
         pruning,
         &SearchBudget::unlimited(),
+        Tuning::default(),
         &NoopObserver,
     )
 }
@@ -130,6 +134,7 @@ pub fn pk_minimal_generalization_observed<O: SearchObserver>(
         ts,
         pruning,
         &SearchBudget::unlimited(),
+        Tuning::default(),
         observer,
     )
 }
@@ -149,7 +154,43 @@ pub fn pk_minimal_generalization_budgeted<O: SearchObserver>(
     budget: &SearchBudget,
     observer: &O,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
-    search(initial, qi, p, k, ts, pruning, budget, observer)
+    search(
+        initial,
+        qi,
+        p,
+        k,
+        ts,
+        pruning,
+        budget,
+        Tuning::default(),
+        observer,
+    )
+}
+
+/// [`pk_minimal_generalization_budgeted`] with execution [`Tuning`]: a
+/// worker-thread count for the per-height probes and an optional shared
+/// [`psens_core::verdict::VerdictStore`].
+///
+/// With multiple threads each probed stratum is chunked across scoped
+/// workers; every worker stops at its chunk's first satisfier, and the
+/// lowest-index hit wins, so the returned node (and `proven_min_height`)
+/// is identical to the serial search for any thread count. A panicked
+/// worker's chunk is re-run on the calling thread (tallied in
+/// `worker_failures`) — dropping it could hide a satisfier and falsify the
+/// height bound.
+#[allow(clippy::too_many_arguments)]
+pub fn pk_minimal_generalization_tuned<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+    pruning: Pruning,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    search(initial, qi, p, k, ts, pruning, budget, tuning, observer)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -161,6 +202,7 @@ fn search<O: SearchObserver>(
     ts: usize,
     pruning: Pruning,
     budget: &SearchBudget,
+    tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
@@ -215,11 +257,13 @@ fn search<O: SearchObserver>(
             observer.height_entered(try_height);
             let found = probe_height(
                 &ctx,
+                &ectx,
                 &mut eval,
                 &lattice,
                 try_height,
                 &check_stats,
                 &state,
+                tuning,
                 &mut stats,
                 observer,
             )?;
@@ -240,11 +284,13 @@ fn search<O: SearchObserver>(
             observer.height_entered(low);
             match probe_height(
                 &ctx,
+                &ectx,
                 &mut eval,
                 &lattice,
                 low,
                 &check_stats,
                 &state,
+                tuning,
                 &mut stats,
                 observer,
             )? {
@@ -285,34 +331,161 @@ type ProbeHit = (Node, Table, usize);
 /// materializing its masked table (candidates that fail cost no tables).
 /// Breaks as soon as the budget refuses a node admission — an interrupted
 /// probe proves nothing about its height.
+///
+/// With `tuning.threads > 1` the stratum is chunked across scoped workers;
+/// serial and parallel probes return the same node (the lowest-index
+/// satisfier), the serial path keeping its historical stats bit-for-bit.
 #[allow(clippy::too_many_arguments)]
 fn probe_height<O: SearchObserver>(
     ctx: &MaskingContext<'_>,
+    ectx: &EvalContext,
     eval: &mut NodeEvaluator<'_>,
-    lattice: &psens_hierarchy::Lattice,
+    lattice: &Lattice,
     height: usize,
     check_stats: &ConfidentialStats,
     state: &BudgetState,
+    tuning: Tuning<'_>,
     stats: &mut SearchStats,
     observer: &O,
 ) -> Result<ControlFlow<Termination, Option<ProbeHit>>, psens_hierarchy::Error> {
-    for node in lattice.nodes_at_height(height) {
-        let verdict = match eval.check_budgeted(&node, check_stats, state, observer)? {
+    let nodes = lattice.nodes_at_height(height);
+    if tuning.effective_threads() == 1 {
+        for node in nodes {
+            let cc =
+                match eval.check_cached(&node, check_stats, state, tuning.cache, true, observer)? {
+                    ControlFlow::Break(cause) => return Ok(ControlFlow::Break(cause)),
+                    ControlFlow::Continue(cc) => cc,
+                };
+            stats.record_cached(&cc);
+            if cc.satisfied {
+                let outcome = ctx.evaluate_observed(&node, check_stats, observer)?;
+                return Ok(ControlFlow::Continue(Some((
+                    node,
+                    outcome.masked,
+                    outcome.suppressed,
+                ))));
+            }
+        }
+        return Ok(ControlFlow::Continue(None));
+    }
+
+    let winner =
+        match probe_stratum_parallel(ectx, &nodes, check_stats, state, tuning, stats, observer)? {
             ControlFlow::Break(cause) => return Ok(ControlFlow::Break(cause)),
-            ControlFlow::Continue(verdict) => verdict,
+            ControlFlow::Continue(winner) => winner,
         };
-        stats.nodes_evaluated += 1;
-        stats.record(verdict.stage);
-        if verdict.satisfied {
+    match winner {
+        Some(ix) => {
+            let node = nodes[ix].clone();
             let outcome = ctx.evaluate_observed(&node, check_stats, observer)?;
-            return Ok(ControlFlow::Continue(Some((
+            Ok(ControlFlow::Continue(Some((
                 node,
                 outcome.masked,
                 outcome.suppressed,
-            ))));
+            ))))
+        }
+        None => Ok(ControlFlow::Continue(None)),
+    }
+}
+
+/// Chunk-level result of a parallel probe worker: the chunk's first
+/// satisfier (as a stratum-wide node index), whether the budget tripped
+/// mid-chunk, and the worker's private stats.
+type ProbeChunk = Result<(Option<usize>, bool, SearchStats), psens_hierarchy::Error>;
+
+/// Evaluates one stratum across `tuning.threads` scoped workers sharing the
+/// budget, the observer, and (when present) the verdict store. Returns the
+/// stratum index of the lexicographically first satisfier.
+///
+/// Fault isolation differs from the exhaustive scan's: a panicked chunk is
+/// **re-run serially** on the calling thread instead of dropped, because a
+/// lost chunk could hide the only satisfier at this height and unsoundly
+/// extend the proven lower bound. The panic is still counted in
+/// `worker_failures`; a deterministic panic simply resurfaces on the re-run.
+fn probe_stratum_parallel<O: SearchObserver>(
+    ectx: &EvalContext,
+    nodes: &[Node],
+    check_stats: &ConfidentialStats,
+    state: &BudgetState,
+    tuning: Tuning<'_>,
+    stats: &mut SearchStats,
+    observer: &O,
+) -> Result<ControlFlow<Termination, Option<usize>>, psens_hierarchy::Error> {
+    let chunk_size = nodes.len().div_ceil(tuning.effective_threads()).max(1);
+    let cache = tuning.cache;
+    // Each worker walks its chunk in node order and may stop at its first
+    // in-chunk satisfier: the global minimum over chunk-first hits is the
+    // stratum's lexicographically first satisfier, which is what the serial
+    // probe returns.
+    let run_chunk = |start: usize, chunk: &[Node]| -> ProbeChunk {
+        let mut eval = ectx.evaluator();
+        let mut part = SearchStats::default();
+        let mut hit = None;
+        let mut tripped = false;
+        for (i, node) in chunk.iter().enumerate() {
+            match eval.check_cached(node, check_stats, state, cache, true, observer)? {
+                ControlFlow::Break(_) => {
+                    tripped = true;
+                    break;
+                }
+                ControlFlow::Continue(cc) => {
+                    part.record_cached(&cc);
+                    if cc.satisfied {
+                        hit = Some(start + i);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok((hit, tripped, part))
+    };
+
+    let partials: Vec<(usize, &[Node], Option<ProbeChunk>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                let run_chunk = &run_chunk;
+                let start = ci * chunk_size;
+                let handle = scope
+                    .spawn(move || catch_unwind(AssertUnwindSafe(|| run_chunk(start, chunk))).ok());
+                (start, chunk, handle)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(start, chunk, handle)| {
+                let joined = handle.join().expect("worker panics are caught inside");
+                (start, chunk, joined)
+            })
+            .collect()
+    });
+
+    let mut winner: Option<usize> = None;
+    let mut any_tripped = false;
+    for (start, chunk, partial) in partials {
+        let outcome = match partial {
+            Some(outcome) => outcome,
+            None => {
+                // Sound recovery: replay the lost chunk here, letting a
+                // deterministic panic propagate the second time.
+                stats.worker_failures += 1;
+                run_chunk(start, chunk)
+            }
+        };
+        let (hit, tripped, part) = outcome?;
+        stats.merge(&part);
+        any_tripped |= tripped;
+        if let Some(ix) = hit {
+            winner = Some(winner.map_or(ix, |w| w.min(ix)));
         }
     }
-    Ok(ControlFlow::Continue(None))
+    if any_tripped {
+        // An interrupted probe proves nothing about this height; the latched
+        // cause is reported like a serial admission refusal.
+        return Ok(ControlFlow::Break(state.termination()));
+    }
+    Ok(ControlFlow::Continue(winner))
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Instrumentation shared by the lattice-search algorithms.
 
+use psens_core::evaluator::{CacheCheck, VerdictSource};
 use psens_core::CheckStage;
 use psens_microdata::JsonValue;
 use serde::Serialize;
@@ -38,6 +39,11 @@ pub struct SearchStats {
     /// results are lost; the scan completed on the survivors). Always 0 for
     /// serial searches.
     pub worker_failures: usize,
+    /// Node verdicts replayed exactly from a shared verdict store. Outside
+    /// the stage partition: no kernel check ran and no budget was consumed.
+    pub cache_hits: usize,
+    /// Node verdicts served by monotonicity inference from the store.
+    pub cache_inferred: usize,
 }
 
 impl SearchStats {
@@ -55,6 +61,26 @@ impl SearchStats {
         }
     }
 
+    /// Tallies one cache-aware check: a fresh check lands in the stage
+    /// partition (and in `nodes_evaluated`); replayed and inferred verdicts
+    /// land in their own counters, keeping the partition invariant
+    /// `total_rejections() + nodes_passed == nodes_evaluated` intact.
+    pub fn record_cached(&mut self, cc: &CacheCheck) {
+        match cc.source {
+            VerdictSource::Fresh => {
+                self.nodes_evaluated += 1;
+                self.record(
+                    cc.check
+                        .as_ref()
+                        .expect("fresh checks carry a NodeCheck")
+                        .stage,
+                );
+            }
+            VerdictSource::Cached => self.cache_hits += 1,
+            VerdictSource::Inferred => self.cache_inferred += 1,
+        }
+    }
+
     /// Folds another worker's counters into this one (parallel scans).
     pub fn merge(&mut self, other: &SearchStats) {
         self.lattice_nodes = self.lattice_nodes.max(other.lattice_nodes);
@@ -67,6 +93,8 @@ impl SearchStats {
         self.nodes_passed += other.nodes_passed;
         self.aborted_condition1 |= other.aborted_condition1;
         self.worker_failures += other.worker_failures;
+        self.cache_hits += other.cache_hits;
+        self.cache_inferred += other.cache_inferred;
     }
 
     /// Total rejections across all stages.
@@ -117,6 +145,8 @@ impl SearchStats {
             "worker_failures",
             JsonValue::Int(self.worker_failures as i64),
         );
+        out.set("cache_hits", JsonValue::Int(self.cache_hits as i64));
+        out.set("cache_inferred", JsonValue::Int(self.cache_inferred as i64));
         out
     }
 }
@@ -138,6 +168,8 @@ mod tests {
             nodes_passed: 1,
             aborted_condition1: false,
             worker_failures: 0,
+            cache_hits: 5,
+            cache_inferred: 2,
         };
         assert_eq!(stats.total_rejections(), 9);
         assert_eq!(

@@ -1,0 +1,39 @@
+//! Execution tuning shared by the lattice searches: worker-thread count and
+//! an optional shared [`VerdictStore`].
+//!
+//! The defaults reproduce the pre-tuning behaviour exactly — one thread, no
+//! cache — so the `*_budgeted` entry points keep their historical semantics
+//! (including bit-identical [`crate::stats::SearchStats`]) by delegating
+//! with [`Tuning::default`].
+
+use psens_core::verdict::VerdictStore;
+
+/// Knobs for the `*_tuned` search entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuning<'a> {
+    /// Worker threads for per-stratum evaluation. `0` and `1` both mean
+    /// serial (the historical code path, bit-identical stats); with more
+    /// threads each lattice stratum is chunked across scoped workers.
+    pub threads: usize,
+    /// Shared verdict store consulted before every kernel check and updated
+    /// with every fresh verdict. The store must have been built for the
+    /// same `(table, QI space, p, k, ts)` configuration; sharing one store
+    /// across runs (or across strategies) is what makes verdicts reusable.
+    pub cache: Option<&'a VerdictStore>,
+}
+
+impl Default for Tuning<'_> {
+    fn default() -> Self {
+        Tuning {
+            threads: 1,
+            cache: None,
+        }
+    }
+}
+
+impl<'a> Tuning<'a> {
+    /// Effective worker count: at least one.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}

@@ -1,21 +1,28 @@
 //! Records the node-evaluation baseline: lattice nodes per second through
 //! the materializing pipeline and through the code-mapped kernel (serial and
-//! parallel), on the synthetic Adult workload.
+//! parallel), on the synthetic Adult workload, plus the verdict-cache and
+//! parallel-search figures on the wide 8-QI lattice.
 //!
 //! Run with:
-//! `cargo run --release -p psens-bench --bin node_eval_baseline > BENCH_3.json`
+//! `cargo run --release -p psens-bench --bin node_eval_baseline > BENCH_4.json`
 //! (BENCH_1/BENCH_2 are earlier recordings of the same workload; BENCH_3
-//! adds the budgeted-kernel overhead pair.)
+//! added the budgeted-kernel overhead pair; BENCH_4 adds the verdict-cache
+//! overhead/speedup pairs and the thread-scaling pair, with the recording
+//! host's `available_parallelism` stated so scaling numbers from 1-core CI
+//! boxes are not mistaken for regressions.)
 //!
 //! Unlike the Criterion benches this needs no dev-dependencies, so it runs
 //! in the hermetic (offline) build too.
 
-use psens_algorithms::{exhaustive_scan, parallel_exhaustive_scan};
+use psens_algorithms::{
+    exhaustive_scan, exhaustive_scan_tuned, parallel_exhaustive_scan,
+    pk_minimal_generalization_tuned, Pruning, Tuning,
+};
 use psens_bench::workloads;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, RecordingObserver, SearchBudget};
-use psens_datasets::hierarchies::adult_qi_space;
+use psens_core::{NoopObserver, RecordingObserver, SearchBudget, VerdictStore};
+use psens_datasets::hierarchies::{adult_qi_space, adult_wide_qi_space};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -23,6 +30,7 @@ const N_ROWS: usize = 10_000;
 const K: u32 = 3;
 const P: u32 = 2;
 const TS: usize = 500;
+const WIDE_ROWS: usize = 10_000;
 
 /// Repeats `f` until at least `secs` seconds have elapsed (minimum 3
 /// repetitions) and returns the rate in units of `per_rep / second`.
@@ -112,6 +120,42 @@ fn main() {
             }
         }));
     }
+    // Verdict-cache overhead: the full serial scan with no store versus a
+    // fresh (all-miss) store per repetition. Misses pay a shard lookup, a
+    // record, and the monotonicity closure — the ≤2% claim from DESIGN.md
+    // §11. Alternating best-of-rounds, as above.
+    let lattice = qi.lattice();
+    let mut scan_uncached = 0.0f64;
+    let mut scan_cached_cold = 0.0f64;
+    for _ in 0..5 {
+        scan_uncached = scan_uncached.max(rate_for(n_nodes, 0.4, || {
+            black_box(
+                exhaustive_scan_tuned(
+                    &table,
+                    &qi,
+                    P,
+                    K,
+                    TS,
+                    &unlimited,
+                    Tuning::default(),
+                    &NoopObserver,
+                )
+                .expect("scan"),
+            );
+        }));
+        scan_cached_cold = scan_cached_cold.max(rate_for(n_nodes, 0.4, || {
+            let store = VerdictStore::new(&lattice, TS);
+            let tuning = Tuning {
+                threads: 1,
+                cache: Some(&store),
+            };
+            black_box(
+                exhaustive_scan_tuned(&table, &qi, P, K, TS, &unlimited, tuning, &NoopObserver)
+                    .expect("scan"),
+            );
+        }));
+    }
+
     let recorder = RecordingObserver::new();
     let code_mapped_recording = rate(n_nodes, || {
         for node in &nodes {
@@ -125,6 +169,63 @@ fn main() {
     let exhaustive_parallel = rate(n_nodes, || {
         black_box(parallel_exhaustive_scan(&table, &qi, P, K, TS, threads).expect("scan"));
     });
+
+    // The wide 8-QI lattice (7,776 nodes): Samarati wall-clock uncached,
+    // with a cold store, with a pre-warmed store, and with 8-way parallel
+    // probing. `host_parallelism` is recorded because the thread-scaling
+    // pair is only meaningful relative to the cores actually available.
+    let wide_qi = adult_wide_qi_space();
+    let wide = workloads::adult_wide(WIDE_ROWS);
+    let wide_lattice = wide_qi.lattice();
+    let wide_nodes = wide_lattice.node_count();
+    let samarati = |tuning: Tuning<'_>| {
+        black_box(
+            pk_minimal_generalization_tuned(
+                &wide,
+                &wide_qi,
+                P,
+                K,
+                TS,
+                Pruning::NecessaryConditions,
+                &unlimited,
+                tuning,
+                &NoopObserver,
+            )
+            .expect("search"),
+        );
+    };
+    let secs_of = |rate: f64| 1.0 / rate;
+    let wide_uncached = secs_of(rate(1, || samarati(Tuning::default())));
+    let wide_cached_cold = secs_of(rate(1, || {
+        let store = VerdictStore::new(&wide_lattice, TS);
+        samarati(Tuning {
+            threads: 1,
+            cache: Some(&store),
+        });
+    }));
+    let warm_store = VerdictStore::new(&wide_lattice, TS);
+    samarati(Tuning {
+        threads: 1,
+        cache: Some(&warm_store),
+    });
+    let wide_cached_warm = secs_of(rate(1, || {
+        samarati(Tuning {
+            threads: 1,
+            cache: Some(&warm_store),
+        });
+    }));
+    let wide_threads_1 = secs_of(rate(1, || {
+        samarati(Tuning {
+            threads: 1,
+            cache: None,
+        });
+    }));
+    let wide_threads_8 = secs_of(rate(1, || {
+        samarati(Tuning {
+            threads: 8,
+            cache: None,
+        });
+    }));
 
     println!("{{");
     println!("  \"workload\": {{");
@@ -153,8 +254,41 @@ fn main() {
         (code_mapped / code_mapped_noop - 1.0) * 100.0
     );
     println!(
-        "  \"unlimited_budget_overhead_pct\": {:.2}",
+        "  \"unlimited_budget_overhead_pct\": {:.2},",
         (code_mapped_bare / code_mapped_budgeted - 1.0) * 100.0
     );
+    println!("  \"verdict_cache\": {{");
+    println!("    \"exhaustive_nodes_per_sec_uncached\": {scan_uncached:.1},");
+    println!("    \"exhaustive_nodes_per_sec_cached_cold\": {scan_cached_cold:.1},");
+    println!(
+        "    \"cold_cache_overhead_pct\": {:.2}",
+        (scan_uncached / scan_cached_cold - 1.0) * 100.0
+    );
+    println!("  }},");
+    println!("  \"wide_lattice\": {{");
+    println!("    \"dataset\": \"synthetic Adult, 8 QI attributes\",");
+    println!("    \"n_rows\": {WIDE_ROWS},");
+    println!("    \"lattice_nodes\": {wide_nodes},");
+    println!("    \"k\": {K},");
+    println!("    \"p\": {P},");
+    println!("    \"ts\": {TS},");
+    println!("    \"samarati_secs_uncached\": {wide_uncached:.4},");
+    println!("    \"samarati_secs_cached_cold\": {wide_cached_cold:.4},");
+    println!("    \"samarati_secs_cached_warm\": {wide_cached_warm:.4},");
+    println!(
+        "    \"speedup_warm_cache_vs_uncached\": {:.2},",
+        wide_uncached / wide_cached_warm
+    );
+    println!("    \"samarati_secs_threads_1\": {wide_threads_1:.4},");
+    println!("    \"samarati_secs_threads_8\": {wide_threads_8:.4},");
+    println!(
+        "    \"parallel_speedup_8_vs_1\": {:.2},",
+        wide_threads_1 / wide_threads_8
+    );
+    println!(
+        "    \"host_parallelism\": {}",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    println!("  }}");
     println!("}}");
 }

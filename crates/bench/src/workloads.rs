@@ -10,6 +10,13 @@ pub fn adult(n: usize) -> Table {
     AdultGenerator::new(0xBE7C_0000 ^ n as u64).generate(n)
 }
 
+/// The wide 8-QI synthetic Adult table (pairs with
+/// `psens_datasets::hierarchies::adult_wide_qi_space`), seed derived from
+/// `n` like [`adult`].
+pub fn adult_wide(n: usize) -> Table {
+    AdultGenerator::new(0xBE7C_0000 ^ n as u64).generate_wide(n)
+}
+
 /// A skewed single-confidential-attribute table: value `v0` occurs with the
 /// given per-mille share, the rest spread uniformly over `n_values - 1`
 /// other values. Used to stress Condition 2.
@@ -57,6 +64,7 @@ mod tests {
     #[test]
     fn adult_workload_sizes() {
         assert_eq!(adult(123).n_rows(), 123);
+        assert_eq!(adult_wide(45).n_rows(), 45);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 /// Option names that are boolean flags: present or absent, no value consumed.
-pub const FLAGS: &[&str] = &["verbose"];
+pub const FLAGS: &[&str] = &["no-cache", "verbose"];
 
 /// Parsed command line: a subcommand and its `--key value` options.
 #[derive(Debug, Clone, Default)]
@@ -136,5 +136,13 @@ mod tests {
         assert!(!args.get_flag("verbose"));
         // A flag given twice is still rejected.
         assert!(parse(&["check", "--verbose", "--verbose"]).is_err());
+    }
+
+    #[test]
+    fn no_cache_flag_composes_with_options() {
+        let args = parse(&["anonymize", "--no-cache", "--threads", "8"]).unwrap();
+        assert!(args.get_flag("no-cache"));
+        assert_eq!(args.get_usize("threads", 1).unwrap(), 8);
+        assert!(!parse(&["anonymize"]).unwrap().get_flag("no-cache"));
     }
 }

@@ -4,9 +4,10 @@ use crate::args::Args;
 use crate::progress::CliObserver;
 use crate::spec::Spec;
 use psens_algorithms::mondrian::{mondrian_anonymize_budgeted, MondrianConfig};
-use psens_algorithms::samarati::{pk_minimal_generalization_budgeted, Pruning};
-use psens_algorithms::{RunReport, SearchStats, TerminationReport};
+use psens_algorithms::samarati::{pk_minimal_generalization_tuned, Pruning};
+use psens_algorithms::{RunReport, SearchStats, TerminationReport, Tuning};
 use psens_core::conditions::{ConfidentialStats, MaxGroups};
+use psens_core::VerdictStore;
 use psens_core::{
     check_p_sensitivity, max_k, max_p_of_masked, CheckStage, SearchBudget, SearchObserver,
     Termination,
@@ -74,6 +75,7 @@ COMMANDS:
              --spec SPEC.json --input FILE.csv --out FILE.csv
              [--k K] [--p P] [--ts N] [--algorithm samarati|mondrian]
              [--timeout SECS] [--max-nodes N]
+             [--threads N] [--no-cache]
              [--report FILE.json] [--verbose]
              exits 2 when no masking satisfies the request; exits 3 when
              the search is interrupted (timeout, node budget, or Ctrl-C)
@@ -392,6 +394,11 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
     let p = args.get_u32("p", 1)?;
     let ts = args.get_usize("ts", 0)?;
     let algorithm = args.get("algorithm").unwrap_or("samarati");
+    // Default to the machine's parallelism; `--threads 1` forces the serial
+    // (bit-identical-stats) code path.
+    let default_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = args.get_usize("threads", default_threads)?;
+    let use_cache = !args.get_flag("no-cache");
     let observer = CliObserver::new(args.get_flag("verbose"));
     let mut out = String::new();
     let mut winner: Option<String> = None;
@@ -404,7 +411,16 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
     let masked: Option<Table> = match algorithm {
         "samarati" => {
             let qi = spec.qi_space()?;
-            let outcome = pk_minimal_generalization_budgeted(
+            let lattice = qi.lattice();
+            // One run cannot revisit nodes, but the store still earns its
+            // keep within it: monotonicity closure answers probes above a
+            // pass / below a k-failure without running the kernel.
+            let store = use_cache.then(|| VerdictStore::new(&lattice, ts));
+            let tuning = Tuning {
+                threads,
+                cache: store.as_ref(),
+            };
+            let outcome = pk_minimal_generalization_tuned(
                 &table,
                 &qi,
                 p,
@@ -412,6 +428,7 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
                 ts,
                 Pruning::NecessaryConditions,
                 &limits.budget,
+                tuning,
                 &observer,
             )
             .map_err(|e| e.to_string())?;

@@ -49,6 +49,10 @@ impl SearchObserver for CliObserver {
             .node_checked(height, stage, suppressed, elapsed);
     }
 
+    fn verdict_reused(&self, height: usize, inferred: bool) {
+        self.recorder.verdict_reused(height, inferred);
+    }
+
     fn table_materialized(&self, elapsed: Duration) {
         self.recorder.table_materialized(elapsed);
         if self.verbose {
@@ -74,12 +78,16 @@ mod tests {
         obs.height_entered(3);
         obs.node_checked(3, CheckStage::Passed, 2, Duration::from_nanos(9));
         obs.partition_finalized(5, Duration::from_nanos(4));
+        obs.verdict_reused(4, false);
+        obs.verdict_reused(5, true);
         let t = obs.telemetry();
         assert_eq!(t.heights_entered, vec![3]);
         assert_eq!(t.nodes_checked(), 1);
         assert_eq!(t.suppressed_total, 2);
         assert_eq!(t.partitions_finalized, 1);
         assert_eq!(t.partition_rows, 5);
+        assert_eq!(t.cache_hits, 1);
+        assert_eq!(t.cache_inferred, 1);
     }
 
     // CliObserver must keep the default ENABLED = true so the searches it

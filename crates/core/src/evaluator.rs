@@ -31,6 +31,7 @@ use crate::checker::CheckStage;
 use crate::conditions::ConfidentialStats;
 use crate::masking::{MaskingContext, Result};
 use crate::observe::{elapsed_since, start_timer, SearchObserver};
+use crate::verdict::{Verdict, VerdictStore};
 use psens_hierarchy::{Error, Node, QiCodeMaps};
 use psens_microdata::{CodeCombiner, Role};
 use std::ops::ControlFlow;
@@ -83,6 +84,32 @@ pub struct NodeCheck {
     /// QI-group count after suppression, when grouping was reached (`None`
     /// after a Condition 1 rejection).
     pub n_groups: Option<usize>,
+}
+
+/// How [`NodeEvaluator::check_cached`] settled a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictSource {
+    /// A fresh kernel check ran (and was recorded if a store was supplied).
+    Fresh,
+    /// An exact verdict was replayed from the shared [`VerdictStore`].
+    Cached,
+    /// The verdict was derived by monotonicity closure in the store; only
+    /// the satisfaction boolean is known.
+    Inferred,
+}
+
+/// Outcome of a cache-aware node check: the satisfaction verdict, the full
+/// [`NodeCheck`] when one exists (always for [`VerdictSource::Fresh`] and
+/// [`VerdictSource::Cached`], never for [`VerdictSource::Inferred`]), and
+/// where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheCheck {
+    /// Whether the node satisfies the requested property.
+    pub satisfied: bool,
+    /// The full check, absent only for inferred verdicts.
+    pub check: Option<NodeCheck>,
+    /// Provenance of the verdict; only `Fresh` consumed node budget.
+    pub source: VerdictSource,
 }
 
 impl EvalContext {
@@ -303,6 +330,70 @@ impl NodeEvaluator<'_> {
             Ok(()) => self
                 .check_observed(node, stats, observer)
                 .map(ControlFlow::Continue),
+        }
+    }
+
+    /// [`Self::check_budgeted`] backed by an optional shared
+    /// [`VerdictStore`]. The cache is consulted *before* budget admission,
+    /// so replayed and inferred verdicts never consume node budget — a
+    /// fully warm store lets a search complete under a zero node budget.
+    ///
+    /// * An exact hit replays the stored [`NodeCheck`] and fires
+    ///   [`SearchObserver::verdict_reused`] (`inferred = false`).
+    /// * An inferred hit (only when `allow_inferred`; the exhaustive scans
+    ///   decline because their annotations need `violating_tuples`) yields
+    ///   just the satisfaction boolean and fires `verdict_reused`
+    ///   (`inferred = true`).
+    /// * A miss admits against the budget, runs the kernel, and records the
+    ///   fresh check back into the store (upgrading an inferred entry).
+    ///
+    /// With `cache = None` this is exactly [`Self::check_budgeted`].
+    pub fn check_cached<O: SearchObserver>(
+        &mut self,
+        node: &Node,
+        stats: &ConfidentialStats,
+        budget: &BudgetState,
+        cache: Option<&VerdictStore>,
+        allow_inferred: bool,
+        observer: &O,
+    ) -> Result<ControlFlow<Termination, CacheCheck>> {
+        if let Some(store) = cache {
+            match store.lookup(node, allow_inferred) {
+                Some(Verdict::Exact(check)) => {
+                    if O::ENABLED {
+                        observer.verdict_reused(node.height(), false);
+                    }
+                    return Ok(ControlFlow::Continue(CacheCheck {
+                        satisfied: check.satisfied,
+                        check: Some(check),
+                        source: VerdictSource::Cached,
+                    }));
+                }
+                Some(inferred) => {
+                    if O::ENABLED {
+                        observer.verdict_reused(node.height(), true);
+                    }
+                    return Ok(ControlFlow::Continue(CacheCheck {
+                        satisfied: inferred.satisfied(),
+                        check: None,
+                        source: VerdictSource::Inferred,
+                    }));
+                }
+                None => {}
+            }
+        }
+        match self.check_budgeted(node, stats, budget, observer)? {
+            ControlFlow::Break(cause) => Ok(ControlFlow::Break(cause)),
+            ControlFlow::Continue(check) => {
+                if let Some(store) = cache {
+                    store.record(&check);
+                }
+                Ok(ControlFlow::Continue(CacheCheck {
+                    satisfied: check.satisfied,
+                    check: Some(check),
+                    source: VerdictSource::Fresh,
+                }))
+            }
         }
     }
 
@@ -546,6 +637,69 @@ mod tests {
     fn context_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<EvalContext>();
+    }
+
+    #[test]
+    fn cached_checks_replay_exactly_and_skip_the_budget() {
+        use crate::budget::SearchBudget;
+        use crate::observe::NoopObserver;
+        use crate::verdict::VerdictStore;
+
+        let t = table();
+        let qi = qi();
+        let ctx = MaskingContext {
+            initial: &t,
+            qi: &qi,
+            k: 2,
+            p: 1,
+            ts: 2,
+        };
+        let stats = ctx.initial_stats();
+        let ectx = EvalContext::build(&ctx).unwrap();
+        let mut eval = ectx.evaluator();
+        let store = VerdictStore::new(&qi.lattice(), 2);
+
+        // Warm the store with fresh checks under an unlimited budget.
+        // `allow_inferred = false` so closure-inferred entries (a pass at a
+        // lower node marks its ancestors) are upgraded to exact records.
+        let unlimited = SearchBudget::unlimited().start();
+        for node in qi.lattice().all_nodes() {
+            let got = eval
+                .check_cached(
+                    &node,
+                    &stats,
+                    &unlimited,
+                    Some(&store),
+                    false,
+                    &NoopObserver,
+                )
+                .unwrap();
+            let ControlFlow::Continue(cc) = got else {
+                panic!("unlimited budget never breaks")
+            };
+            assert_eq!(cc.source, VerdictSource::Fresh, "{node}");
+            assert_eq!(cc.check.unwrap(), eval.check(&node, &stats).unwrap());
+        }
+
+        // A zero node budget trips immediately without the cache ...
+        let zero_cold = SearchBudget::unlimited().with_max_nodes(0).start();
+        let cold = eval
+            .check_budgeted(&qi.lattice().bottom(), &stats, &zero_cold, &NoopObserver)
+            .unwrap();
+        assert!(matches!(cold, ControlFlow::Break(_)));
+
+        // ... but the warm store answers every node without admission.
+        let zero_warm = SearchBudget::unlimited().with_max_nodes(0).start();
+        for node in qi.lattice().all_nodes() {
+            let got = eval
+                .check_cached(&node, &stats, &zero_warm, Some(&store), true, &NoopObserver)
+                .unwrap();
+            let ControlFlow::Continue(cc) = got else {
+                panic!("warm store must bypass the tripped budget at {node}")
+            };
+            assert_eq!(cc.source, VerdictSource::Cached, "{node}");
+            assert_eq!(cc.check.unwrap(), eval.check(&node, &stats).unwrap());
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | [`disclosure`] | identity/attribute disclosure counts (Table 8) |
 //! | [`attack`] | the record-linkage / homogeneity attack (Tables 1–2) |
 //! | [`extended`] | extended p-sensitivity over confidential hierarchies (follow-up model) |
+//! | [`verdict`] | shared verdict store with monotonicity closure (Samarati's Algorithm 3 invariant) |
 //!
 //! ## Example
 //!
@@ -78,12 +79,13 @@ pub mod observe;
 pub mod psensitive;
 pub mod suppress;
 pub mod theorems;
+pub mod verdict;
 
 pub use budget::{BudgetState, CancelToken, SearchBudget, Termination};
 pub use checker::{check_improved, CheckStage, ImprovedCheckOutcome};
 pub use conditions::{AttributeFrequencyStats, ConfidentialStats, MaxGroups};
 pub use disclosure::{attribute_disclosure_count, attribute_disclosures, AttributeDisclosure};
-pub use evaluator::{EvalContext, NodeCheck, NodeEvaluator};
+pub use evaluator::{CacheCheck, EvalContext, NodeCheck, NodeEvaluator, VerdictSource};
 pub use extended::{check_extended, extended_max_p, ConfidentialSpec, ExtendedReport};
 pub use kanonymity::{check_k_anonymity, is_k_anonymous, max_k, KAnonymityReport};
 pub use masking::{MaskOutcome, MaskingContext};
@@ -98,3 +100,4 @@ pub use suppress::{
     locally_suppress_to_k, suppress_to_k, suppress_within_threshold, LocalSuppressionResult,
     SuppressionResult,
 };
+pub use verdict::{StoreCounters, Verdict, VerdictStore};

@@ -83,6 +83,15 @@ pub trait SearchObserver: Sync {
         let _ = (height, stage, suppressed, elapsed);
     }
 
+    /// A node's verdict was served from the shared
+    /// [`crate::verdict::VerdictStore`] instead of a fresh kernel check: an
+    /// exact replay (`inferred == false`) or a verdict derived by
+    /// monotonicity closure (`inferred == true`). Reused verdicts never fire
+    /// [`Self::node_checked`] and never consume node budget.
+    fn verdict_reused(&self, height: usize, inferred: bool) {
+        let _ = (height, inferred);
+    }
+
     /// A full generalized table was materialized
     /// ([`crate::MaskingContext::evaluate`] — the expensive path the kernel
     /// exists to avoid).
@@ -137,6 +146,8 @@ pub struct RecordingObserver {
     /// a mutex beats sizing an array for an unknown lattice.
     heights: Mutex<std::collections::BTreeMap<usize, (u64, u64)>>,
     heights_entered: Mutex<Vec<usize>>,
+    cache_hits: AtomicU64,
+    cache_inferred: AtomicU64,
     tables_materialized: AtomicU64,
     materialize_ns: AtomicU64,
     suppressed_total: AtomicU64,
@@ -176,6 +187,8 @@ impl RecordingObserver {
             stages,
             heights,
             heights_entered: self.heights_entered.lock().expect("observer mutex").clone(),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_inferred: self.cache_inferred.load(Ordering::Relaxed),
             tables_materialized: self.tables_materialized.load(Ordering::Relaxed),
             materialize_ns: self.materialize_ns.load(Ordering::Relaxed),
             suppressed_total: self.suppressed_total.load(Ordering::Relaxed),
@@ -210,6 +223,14 @@ impl SearchObserver for RecordingObserver {
         let entry = heights.entry(height).or_insert((0, 0));
         entry.0 += 1;
         entry.1 += ns;
+    }
+
+    fn verdict_reused(&self, _height: usize, inferred: bool) {
+        if inferred {
+            self.cache_inferred.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn table_materialized(&self, elapsed: Duration) {
@@ -262,6 +283,11 @@ pub struct Telemetry {
     pub heights: Vec<HeightTelemetry>,
     /// Lattice heights in the order the search visited them.
     pub heights_entered: Vec<usize>,
+    /// Node verdicts replayed exactly from the shared verdict store (these
+    /// are *not* in [`Self::nodes_checked`] — no kernel check ran).
+    pub cache_hits: u64,
+    /// Node verdicts served by monotonicity inference from the store.
+    pub cache_inferred: u64,
     /// Full generalized tables materialized.
     pub tables_materialized: u64,
     /// Total table materialization time, nanoseconds.
@@ -333,6 +359,8 @@ impl Telemetry {
         );
         out.set("nodes_checked", JsonValue::Int(self.nodes_checked() as i64));
         out.set("check_ns", JsonValue::Int(self.check_ns() as i64));
+        out.set("cache_hits", JsonValue::Int(self.cache_hits as i64));
+        out.set("cache_inferred", JsonValue::Int(self.cache_inferred as i64));
         out.set(
             "tables_materialized",
             JsonValue::Int(self.tables_materialized as i64),
@@ -377,6 +405,9 @@ mod tests {
         obs.node_checked(1, CheckStage::Condition1, 0, Duration::from_nanos(2));
         obs.table_materialized(Duration::from_nanos(100));
         obs.partition_finalized(4, Duration::from_nanos(20));
+        obs.verdict_reused(2, false);
+        obs.verdict_reused(3, true);
+        obs.verdict_reused(3, true);
         let t = obs.telemetry();
         assert_eq!(t.cache_build_ns, 10);
         assert_eq!(t.nodes_checked(), 3);
@@ -407,6 +438,11 @@ mod tests {
         assert_eq!(t.partitions_finalized, 1);
         assert_eq!(t.partition_rows, 4);
         assert_eq!(t.partition_ns, 20);
+        // Reused verdicts land in their own counters, never in the stage
+        // partition (nodes_checked stays the fresh-check count).
+        assert_eq!(t.cache_hits, 1);
+        assert_eq!(t.cache_inferred, 2);
+        assert_eq!(t.nodes_checked(), 3);
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! A shared, concurrent verdict store with monotonicity closure.
+//!
+//! Samarati's binary search (paper Algorithm 3) is justified by the
+//! monotonicity of p-sensitive k-anonymity along generalization paths: a
+//! node that satisfies the property implies every ancestor does, and a node
+//! whose `violating_tuples` exceeds the suppression threshold condemns every
+//! descendant (Theorems 1–2 plus the anti-monotonicity of the k-anonymity
+//! violation count). Yet each search strategy re-derives every verdict from
+//! scratch, and nothing is shared across heights, across strategies, or
+//! across worker threads.
+//!
+//! [`VerdictStore`] closes that gap: a sharded map from lattice [`Node`] to
+//! [`Verdict`] that any number of threads may read and write concurrently.
+//! Recording an exact check also records what monotonicity proves for free:
+//!
+//! * a **pass** marks every strict ancestor [`Verdict::InferredPass`];
+//! * a **k-anonymity failure** (`violating_tuples > ts`) marks every strict
+//!   descendant [`Verdict::InferredFailK`].
+//!
+//! Failures of Condition 2 or the detailed sensitivity scan get *no*
+//! closure: `maxGroups` bounds and per-group distinct counts are not
+//! monotone certificates for neighbours, only the pass side is (see
+//! DESIGN.md §11 for the proof sketch).
+//!
+//! A store is only meaningful for one `(table, QI space, p, k, ts)`
+//! configuration; callers must not share a store across configurations.
+//! Inferred verdicts are served without consuming node budget — budget
+//! admission happens strictly after a cache miss (see
+//! `NodeEvaluator::check_cached`).
+
+use crate::evaluator::NodeCheck;
+use psens_hierarchy::{Lattice, Node};
+use psens_microdata::hash::FxHashMap;
+use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards. Sixteen keeps lock contention
+/// negligible for the worker counts the searches spawn while staying cheap
+/// to allocate per run.
+const N_SHARDS: usize = 16;
+
+/// A cached answer for one lattice node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The node was checked by the kernel; the full [`NodeCheck`] is kept so
+    /// a hit can replay everything a fresh evaluation would have returned.
+    Exact(NodeCheck),
+    /// Satisfaction inferred upward from a recorded pass at a strict
+    /// descendant. No [`NodeCheck`] exists — only the boolean is known.
+    InferredPass,
+    /// Failure inferred downward from a strict ancestor whose
+    /// `violating_tuples` exceeded the suppression threshold.
+    InferredFailK,
+}
+
+impl Verdict {
+    /// Whether this verdict says the node satisfies the property.
+    pub fn satisfied(&self) -> bool {
+        match self {
+            Verdict::Exact(check) => check.satisfied,
+            Verdict::InferredPass => true,
+            Verdict::InferredFailK => false,
+        }
+    }
+
+    /// True for the inference-derived variants.
+    pub fn is_inferred(&self) -> bool {
+        !matches!(self, Verdict::Exact(_))
+    }
+}
+
+/// Monotonic counters describing a store's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreCounters {
+    /// Lookups answered by an exact cached check.
+    pub hits: u64,
+    /// Lookups answered by a closure-inferred verdict.
+    pub inferred_hits: u64,
+    /// Lookups that found nothing usable (including inferred entries the
+    /// caller declined with `allow_inferred = false`).
+    pub misses: u64,
+    /// Exact verdicts recorded (first insert or inferred→exact upgrade).
+    pub recorded_exact: u64,
+    /// Inferred verdicts recorded by monotonicity closure.
+    pub recorded_inferred: u64,
+}
+
+impl StoreCounters {
+    /// Total lookups served; every lookup increments exactly one of
+    /// `hits`, `inferred_hits`, or `misses`.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.inferred_hits + self.misses
+    }
+}
+
+/// Sharded concurrent map from lattice node to verdict, with monotonicity
+/// closure on every recorded exact check. See the module docs for the
+/// soundness argument and the single-configuration caveat.
+#[derive(Debug)]
+pub struct VerdictStore {
+    max_levels: Vec<u8>,
+    ts: usize,
+    shards: Vec<Mutex<FxHashMap<Node, Verdict>>>,
+    hits: AtomicU64,
+    inferred_hits: AtomicU64,
+    misses: AtomicU64,
+    recorded_exact: AtomicU64,
+    recorded_inferred: AtomicU64,
+}
+
+impl VerdictStore {
+    /// Creates an empty store for `lattice` under suppression threshold
+    /// `ts`. The threshold is captured here so [`record`](Self::record) can
+    /// decide descendant condemnation without the caller restating it.
+    pub fn new(lattice: &Lattice, ts: usize) -> Self {
+        VerdictStore {
+            max_levels: lattice.max_levels().to_vec(),
+            ts,
+            shards: (0..N_SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            inferred_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recorded_exact: AtomicU64::new(0),
+            recorded_inferred: AtomicU64::new(0),
+        }
+    }
+
+    /// The suppression threshold this store was built for.
+    pub fn ts(&self) -> usize {
+        self.ts
+    }
+
+    fn shard_of(&self, node: &Node) -> &Mutex<FxHashMap<Node, Verdict>> {
+        let ix = node.levels().iter().fold(0usize, |acc, &l| {
+            acc.wrapping_mul(31).wrapping_add(l as usize)
+        });
+        &self.shards[ix % N_SHARDS]
+    }
+
+    /// Looks up `node`, counting the outcome. With `allow_inferred = false`
+    /// an inferred entry is treated as (and counted as) a miss — callers
+    /// that need `violating_tuples` (e.g. the exhaustive scan's annotations)
+    /// can only use exact entries.
+    pub fn lookup(&self, node: &Node, allow_inferred: bool) -> Option<Verdict> {
+        let found = self
+            .shard_of(node)
+            .lock()
+            .expect("verdict shard lock poisoned")
+            .get(node)
+            .cloned();
+        match found {
+            Some(Verdict::Exact(check)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Verdict::Exact(check))
+            }
+            Some(verdict) if allow_inferred => {
+                self.inferred_hits.fetch_add(1, Ordering::Relaxed);
+                Some(verdict)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up `node` without touching the traffic counters. Intended for
+    /// tests and diagnostics.
+    pub fn peek(&self, node: &Node) -> Option<Verdict> {
+        self.shard_of(node)
+            .lock()
+            .expect("verdict shard lock poisoned")
+            .get(node)
+            .cloned()
+    }
+
+    /// Records an exact check and closes it under monotonicity:
+    ///
+    /// * the node itself gets [`Verdict::Exact`] (an inferred entry is
+    ///   upgraded; an existing exact entry is left alone — checks are
+    ///   deterministic, so both writers hold the same value);
+    /// * a pass marks every strict ancestor [`Verdict::InferredPass`];
+    /// * `violating_tuples > ts` marks every strict descendant
+    ///   [`Verdict::InferredFailK`], regardless of the stage that settled
+    ///   the check (the count alone is the certificate).
+    ///
+    /// Inferred closure entries never overwrite anything already present.
+    pub fn record(&self, check: &NodeCheck) {
+        debug_assert!(
+            check.node.levels().len() == self.max_levels.len()
+                && check
+                    .node
+                    .levels()
+                    .iter()
+                    .zip(&self.max_levels)
+                    .all(|(l, max)| l <= max),
+            "node {} outside the store's lattice",
+            check.node
+        );
+        let inserted = {
+            let mut shard = self
+                .shard_of(&check.node)
+                .lock()
+                .expect("verdict shard lock poisoned");
+            match shard.entry(check.node.clone()) {
+                Entry::Vacant(slot) => {
+                    slot.insert(Verdict::Exact(check.clone()));
+                    true
+                }
+                Entry::Occupied(mut slot) => {
+                    if slot.get().is_inferred() {
+                        slot.insert(Verdict::Exact(check.clone()));
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        };
+        if inserted {
+            self.recorded_exact.fetch_add(1, Ordering::Relaxed);
+        }
+        if check.satisfied {
+            self.close_over_box(check.node.levels(), Closure::AncestorsPass);
+        }
+        if check.violating_tuples > self.ts {
+            self.close_over_box(check.node.levels(), Closure::DescendantsFailK);
+        }
+    }
+
+    /// Inserts `verdict` for `node` only if nothing is recorded yet.
+    fn insert_inferred(&self, node: Node, verdict: Verdict) {
+        let mut shard = self
+            .shard_of(&node)
+            .lock()
+            .expect("verdict shard lock poisoned");
+        if let Entry::Vacant(slot) = shard.entry(node) {
+            slot.insert(verdict);
+            drop(shard);
+            self.recorded_inferred.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Walks the axis-aligned box of strict ancestors (levels in
+    /// `pivot[i]..=max[i]`) or strict descendants (levels in
+    /// `0..=pivot[i]`) of `pivot` with an odometer, skipping the pivot
+    /// itself, and inserts the inferred verdict at each corner.
+    fn close_over_box(&self, pivot: &[u8], closure: Closure) {
+        let (lo, hi, verdict): (Vec<u8>, Vec<u8>, Verdict) = match closure {
+            Closure::AncestorsPass => (
+                pivot.to_vec(),
+                self.max_levels.clone(),
+                Verdict::InferredPass,
+            ),
+            Closure::DescendantsFailK => {
+                (vec![0; pivot.len()], pivot.to_vec(), Verdict::InferredFailK)
+            }
+        };
+        let mut cur = lo.clone();
+        loop {
+            if cur.as_slice() != pivot {
+                self.insert_inferred(Node(cur.clone()), verdict.clone());
+            }
+            // Odometer increment over the box, least-significant axis first.
+            let mut axis = 0;
+            loop {
+                if axis == cur.len() {
+                    return;
+                }
+                if cur[axis] < hi[axis] {
+                    cur[axis] += 1;
+                    cur[..axis].copy_from_slice(&lo[..axis]);
+                    break;
+                }
+                axis += 1;
+            }
+        }
+    }
+
+    /// Snapshot of the traffic and recording counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            inferred_hits: self.inferred_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recorded_exact: self.recorded_exact.load(Ordering::Relaxed),
+            recorded_inferred: self.recorded_inferred.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of nodes with a recorded verdict (exact or inferred).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("verdict shard lock poisoned").len())
+            .sum()
+    }
+
+    /// True when no verdict has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which side of the monotonicity closure to materialize.
+#[derive(Debug, Clone, Copy)]
+enum Closure {
+    AncestorsPass,
+    DescendantsFailK,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::CheckStage;
+
+    /// The paper's Figure 2 lattice: Sex (max 1) x ZipCode (max 2).
+    fn figure2() -> Lattice {
+        Lattice::new(vec![1, 2])
+    }
+
+    fn check(levels: &[u8], satisfied: bool, violating: usize) -> NodeCheck {
+        NodeCheck {
+            node: Node(levels.to_vec()),
+            violating_tuples: violating,
+            suppressed: 0,
+            satisfied,
+            stage: if satisfied {
+                CheckStage::Passed
+            } else {
+                CheckStage::KAnonymity
+            },
+            n_groups: Some(4),
+        }
+    }
+
+    #[test]
+    fn a_pass_closes_upward_only() {
+        let store = VerdictStore::new(&figure2(), 0);
+        store.record(&check(&[1, 1], true, 0));
+        assert_eq!(
+            store.peek(&Node(vec![1, 1])),
+            Some(Verdict::Exact(check(&[1, 1], true, 0)))
+        );
+        assert_eq!(store.peek(&Node(vec![1, 2])), Some(Verdict::InferredPass));
+        // Descendants and incomparable nodes stay unknown.
+        for levels in [[0u8, 0], [1, 0], [0, 1], [0, 2]] {
+            assert_eq!(store.peek(&Node(levels.to_vec())), None, "{levels:?}");
+        }
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn a_k_failure_closes_downward_only() {
+        let store = VerdictStore::new(&figure2(), 3);
+        store.record(&check(&[1, 1], false, 4)); // violating 4 > ts 3
+        assert_eq!(store.peek(&Node(vec![0, 0])), Some(Verdict::InferredFailK));
+        assert_eq!(store.peek(&Node(vec![1, 0])), Some(Verdict::InferredFailK));
+        assert_eq!(store.peek(&Node(vec![0, 1])), Some(Verdict::InferredFailK));
+        assert_eq!(store.peek(&Node(vec![1, 2])), None);
+        assert_eq!(store.peek(&Node(vec![0, 2])), None);
+    }
+
+    #[test]
+    fn a_suppressible_k_failure_condemns_nothing() {
+        // violating_tuples within ts: suppression may still rescue
+        // descendants' ancestors... the node itself failed (say detailed
+        // scan), but the count alone is no certificate against descendants.
+        let store = VerdictStore::new(&figure2(), 5);
+        store.record(&NodeCheck {
+            stage: CheckStage::DetailedScan,
+            ..check(&[1, 1], false, 2)
+        });
+        assert_eq!(store.len(), 1, "no closure for a non-k failure");
+    }
+
+    #[test]
+    fn exact_upgrades_inferred_but_never_the_reverse() {
+        let store = VerdictStore::new(&figure2(), 0);
+        store.record(&check(&[1, 1], true, 0)); // infers <1,2> pass
+        assert_eq!(store.peek(&Node(vec![1, 2])), Some(Verdict::InferredPass));
+        // A fresh exact check of <1,2> replaces the inferred entry.
+        store.record(&check(&[1, 2], true, 0));
+        assert_eq!(
+            store.peek(&Node(vec![1, 2])),
+            Some(Verdict::Exact(check(&[1, 2], true, 0)))
+        );
+        // Re-recording the pass at <1,1> must not demote it back.
+        store.record(&check(&[1, 1], true, 0));
+        assert_eq!(
+            store.peek(&Node(vec![1, 2])),
+            Some(Verdict::Exact(check(&[1, 2], true, 0)))
+        );
+    }
+
+    #[test]
+    fn every_lookup_increments_exactly_one_counter() {
+        let store = VerdictStore::new(&figure2(), 0);
+        store.record(&check(&[1, 1], true, 0));
+        assert!(store.lookup(&Node(vec![1, 1]), false).is_some()); // exact hit
+        assert!(store.lookup(&Node(vec![1, 2]), true).is_some()); // inferred hit
+        assert!(store.lookup(&Node(vec![1, 2]), false).is_none()); // declined -> miss
+        assert!(store.lookup(&Node(vec![0, 0]), true).is_none()); // miss
+        let c = store.counters();
+        assert_eq!((c.hits, c.inferred_hits, c.misses), (1, 1, 2));
+        assert_eq!(c.lookups(), 4);
+        assert_eq!(c.recorded_exact, 1);
+        assert_eq!(c.recorded_inferred, 1);
+        // peek is counter-neutral.
+        store.peek(&Node(vec![1, 1]));
+        assert_eq!(store.counters(), c);
+    }
+
+    #[test]
+    fn store_is_sync_and_send() {
+        fn assert_bounds<T: Sync + Send>() {}
+        assert_bounds::<VerdictStore>();
+    }
+
+    /// The concurrency stress test the issue asks for: 16 threads hammer one
+    /// store with passes and k-failures recorded in conflicting orders.
+    /// Ground truth is the monotone predicate `height >= 3` on a 3-D
+    /// lattice, so closure can never produce a pass/fail contradiction —
+    /// the test asserts the store preserves that, and that the traffic
+    /// counters account for every lookup exactly.
+    #[test]
+    fn sixteen_threads_recording_in_conflicting_orders_stay_consistent() {
+        let lattice = Lattice::new(vec![2, 2, 2]);
+        let ts = 1;
+        let truth = |node: &Node| node.height() >= 3;
+        let checks: Vec<NodeCheck> = lattice
+            .all_nodes()
+            .into_iter()
+            .map(|node| {
+                let satisfied = truth(&node);
+                NodeCheck {
+                    violating_tuples: if satisfied { 0 } else { ts + 1 },
+                    ..check(node.levels(), satisfied, 0)
+                }
+            })
+            .collect();
+        let store = VerdictStore::new(&lattice, ts);
+        let n_threads = 16;
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let checks = &checks;
+                let store = &store;
+                scope.spawn(move || {
+                    // Each thread records every verdict in a different
+                    // rotation (even threads forward, odd reversed), so
+                    // passes and failures interleave in conflicting orders.
+                    let n = checks.len();
+                    for i in 0..n {
+                        let ix = if t % 2 == 0 {
+                            (i + t) % n
+                        } else {
+                            n - 1 - ((i + t) % n)
+                        };
+                        store.record(&checks[ix]);
+                        let probe = &checks[(ix * 7 + t) % n].node;
+                        if let Some(verdict) = store.lookup(probe, true) {
+                            assert_eq!(verdict.satisfied(), truth(probe), "{probe}");
+                        }
+                    }
+                });
+            }
+        });
+        // Closure invariant: no node holds a verdict contradicting the
+        // monotone ground truth (in particular, none is both pass and fail).
+        for node in lattice.all_nodes() {
+            let verdict = store.peek(&node).expect("every node recorded");
+            assert_eq!(verdict.satisfied(), truth(&node), "{node}");
+            assert!(
+                !verdict.is_inferred(),
+                "exact records upgrade inferred entries: {node}"
+            );
+        }
+        // Counters sum exactly: every lookup is a hit, an inferred hit, or
+        // a miss; every record either inserted or found an exact entry.
+        let c = store.counters();
+        assert_eq!(c.lookups(), (n_threads * checks.len()) as u64);
+        assert_eq!(store.len(), lattice.node_count());
+        assert!(c.recorded_exact >= checks.len() as u64);
+        assert!(c.hits + c.inferred_hits + c.misses == c.lookups());
+    }
+}

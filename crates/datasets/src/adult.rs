@@ -18,7 +18,7 @@ use psens_microdata::{Attribute, Schema, Table, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::hierarchies::{MARITAL_STATUS, RACE, SEX};
+use crate::hierarchies::{COUNTRY, EDUCATION, MARITAL_STATUS, OCCUPATION, RACE, SEX, WORK_CLASS};
 
 /// Tax filing periods for the synthetic `TaxPeriod` confidential attribute.
 ///
@@ -77,6 +77,98 @@ impl AdultGenerator {
             ),
         ])
         .expect("static schema is valid")
+    }
+
+    /// The wide benchmark schema: [`AdultGenerator::schema`] plus four more
+    /// key attributes (Education, WorkClass, Occupation, Country), matching
+    /// [`crate::hierarchies::adult_wide_qi_space`]'s 8-QI lattice.
+    pub fn wide_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::cat_identifier("Id"),
+            Attribute::int_key("Age"),
+            Attribute::cat_key("MaritalStatus"),
+            Attribute::cat_key("Race"),
+            Attribute::cat_key("Sex"),
+            Attribute::cat_key("Education"),
+            Attribute::cat_key("WorkClass"),
+            Attribute::cat_key("Occupation"),
+            Attribute::cat_key("Country"),
+            Attribute::cat_confidential("Pay"),
+            Attribute::int_confidential("CapitalGain"),
+            Attribute::int_confidential("CapitalLoss"),
+            Attribute::cat_confidential("TaxPeriod"),
+        ])
+        .expect("static schema is valid")
+    }
+
+    /// Generates `n` tuples against [`AdultGenerator::wide_schema`]. The
+    /// extension attributes correlate with pay the way Adult's do (degrees
+    /// and white-collar work skew high-pay), so wide QI-groups still show
+    /// the homogeneity the paper's disclosure counts rely on.
+    pub fn generate_wide(&self, n: usize) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x81DE);
+        let mut builder = TableBuilder::new(Self::wide_schema());
+        for i in 0..n {
+            let age = sample_age(&mut rng);
+            let marital = sample_marital(&mut rng, age);
+            let race = pick_weighted(&mut rng, &RACE, &RACE_WEIGHTS);
+            let sex = if rng.gen::<f64>() < 0.669 {
+                SEX[0]
+            } else {
+                SEX[1]
+            };
+            let high_pay = sample_high_pay(&mut rng, age, marital, sex);
+            let education = pick_weighted(
+                &mut rng,
+                &EDUCATION,
+                if high_pay {
+                    &[20, 20, 35, 25]
+                } else {
+                    &[45, 30, 18, 7]
+                },
+            );
+            let work_class = pick_weighted(
+                &mut rng,
+                &WORK_CLASS,
+                if high_pay {
+                    &[60, 20, 18, 2]
+                } else {
+                    &[65, 10, 25, 10]
+                },
+            );
+            let occupation = pick_weighted(
+                &mut rng,
+                &OCCUPATION,
+                if high_pay {
+                    &[60, 20, 10, 10]
+                } else {
+                    &[25, 40, 25, 10]
+                },
+            );
+            let country = pick_weighted(&mut rng, &COUNTRY, &[895, 40, 20, 45]);
+            let pay = if high_pay { PAY[1] } else { PAY[0] };
+            let capital_gain = sample_capital_gain(&mut rng, high_pay);
+            let capital_loss = sample_capital_loss(&mut rng, high_pay);
+            let tax_period = sample_tax_period(&mut rng, high_pay);
+            builder
+                .push_row(vec![
+                    Value::Text(format!("P{i:06}")),
+                    Value::Int(age),
+                    Value::Text(marital.to_owned()),
+                    Value::Text(race.to_owned()),
+                    Value::Text(sex.to_owned()),
+                    Value::Text(education.to_owned()),
+                    Value::Text(work_class.to_owned()),
+                    Value::Text(occupation.to_owned()),
+                    Value::Text(country.to_owned()),
+                    Value::Text(pay.to_owned()),
+                    Value::Int(capital_gain),
+                    Value::Int(capital_loss),
+                    Value::Text(tax_period.to_owned()),
+                ])
+                .expect("generated row matches schema");
+        }
+        builder.finish()
     }
 
     /// Generates `n` tuples.
@@ -351,5 +443,35 @@ mod tests {
         let t = AdultGenerator::new(4).generate(1000);
         let id = t.column_by_name("Id").unwrap();
         assert_eq!(id.n_distinct(), 1000);
+    }
+
+    #[test]
+    fn wide_sample_is_deterministic_and_lattice_compatible() {
+        let a = AdultGenerator::new(6).generate_wide(300);
+        let b = AdultGenerator::new(6).generate_wide(300);
+        assert_eq!(a, b);
+        let schema = AdultGenerator::wide_schema();
+        let names: Vec<&str> = schema
+            .key_indices()
+            .iter()
+            .map(|&i| schema.attribute(i).name())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "Age",
+                "MaritalStatus",
+                "Race",
+                "Sex",
+                "Education",
+                "WorkClass",
+                "Occupation",
+                "Country"
+            ]
+        );
+        // Every row must generalize under the wide hierarchies.
+        let qi = crate::hierarchies::adult_wide_qi_space();
+        let node = psens_hierarchy::Node(vec![1, 1, 1, 1, 1, 1, 1, 1]);
+        assert!(qi.apply(&a, &node).is_ok());
     }
 }

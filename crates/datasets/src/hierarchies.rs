@@ -26,6 +26,19 @@ pub const RACE: [&str; 5] = [
 /// The Adult sex domain.
 pub const SEX: [&str; 2] = ["Male", "Female"];
 
+/// Coarsened Adult education domain for the wide (8-QI) benchmark space.
+pub const EDUCATION: [&str; 4] = ["HS-grad", "Some-college", "Bachelors", "Advanced"];
+
+/// Coarsened Adult workclass domain for the wide (8-QI) benchmark space.
+pub const WORK_CLASS: [&str; 4] = ["Private", "Self-emp", "Government", "Unemployed"];
+
+/// Coarsened Adult occupation domain for the wide (8-QI) benchmark space.
+pub const OCCUPATION: [&str; 4] = ["White-collar", "Blue-collar", "Service", "Other-occ"];
+
+/// Coarsened Adult native-country domain for the wide (8-QI) benchmark
+/// space.
+pub const COUNTRY: [&str; 4] = ["United-States", "Mexico", "Canada", "Other-country"];
+
 /// Figure 1's ZipCode hierarchy: 5-digit codes → 2-digit prefixes → `*****`.
 pub fn figure1_zipcode() -> CatHierarchy {
     prefix_hierarchy(
@@ -134,6 +147,89 @@ pub fn adult_qi_space() -> QiSpace {
     .expect("static QI space is valid")
 }
 
+/// A 4-value domain generalized into two 2-value groups, then `*`: the
+/// 3-level shape shared by all four wide-QI extension attributes.
+fn two_group_hierarchy(
+    values: [&'static str; 4],
+    groups: [(&'static str, &'static str); 4],
+) -> Hierarchy {
+    Hierarchy::Cat(
+        grouping_hierarchy(values.to_vec(), &[&groups])
+            .and_then(|h| h.push_top("*"))
+            .expect("static hierarchy is valid"),
+    )
+}
+
+/// Education for the wide space: 4 values → `{NoDegree, Degree}` → `*`.
+pub fn adult_education() -> Hierarchy {
+    two_group_hierarchy(
+        EDUCATION,
+        [
+            ("HS-grad", "NoDegree"),
+            ("Some-college", "NoDegree"),
+            ("Bachelors", "Degree"),
+            ("Advanced", "Degree"),
+        ],
+    )
+}
+
+/// Workclass for the wide space: 4 values → `{Employed, NotEmployed}` → `*`.
+pub fn adult_work_class() -> Hierarchy {
+    two_group_hierarchy(
+        WORK_CLASS,
+        [
+            ("Private", "Employed"),
+            ("Self-emp", "Employed"),
+            ("Government", "Employed"),
+            ("Unemployed", "NotEmployed"),
+        ],
+    )
+}
+
+/// Occupation for the wide space: 4 values → `{Office, Manual}` → `*`.
+pub fn adult_occupation() -> Hierarchy {
+    two_group_hierarchy(
+        OCCUPATION,
+        [
+            ("White-collar", "Office"),
+            ("Blue-collar", "Manual"),
+            ("Service", "Manual"),
+            ("Other-occ", "Office"),
+        ],
+    )
+}
+
+/// Native country for the wide space: 4 values → `{US, Non-US}` → `*`.
+pub fn adult_country() -> Hierarchy {
+    two_group_hierarchy(
+        COUNTRY,
+        [
+            ("United-States", "US"),
+            ("Mexico", "Non-US"),
+            ("Canada", "Non-US"),
+            ("Other-country", "Non-US"),
+        ],
+    )
+}
+
+/// The wide 8-QI Adult space used by the parallel-search benchmark: the
+/// Section 4 attributes plus Education, WorkClass, Occupation, and Country,
+/// giving a 4 × 3 × 4 × 2 × 3⁴ = 7,776-node lattice of height 17 — big
+/// enough that per-stratum fan-out and verdict reuse are measurable.
+pub fn adult_wide_qi_space() -> QiSpace {
+    QiSpace::new(vec![
+        ("Age".into(), adult_age()),
+        ("MaritalStatus".into(), adult_marital_status()),
+        ("Race".into(), adult_race()),
+        ("Sex".into(), adult_sex()),
+        ("Education".into(), adult_education()),
+        ("WorkClass".into(), adult_work_class()),
+        ("Occupation".into(), adult_occupation()),
+        ("Country".into(), adult_country()),
+    ])
+    .expect("static QI space is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +250,35 @@ mod tests {
         assert_eq!(gl.node_count(), 96);
         assert_eq!(gl.height(), 9);
         assert_eq!(gl.max_levels(), &[3, 2, 3, 1]);
+    }
+
+    #[test]
+    fn adult_wide_lattice_dimensions() {
+        let qi = adult_wide_qi_space();
+        let gl = qi.lattice();
+        assert_eq!(gl.node_count(), 7776);
+        assert_eq!(gl.height(), 17);
+        assert_eq!(gl.max_levels(), &[3, 2, 3, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn wide_extension_hierarchies_generalize() {
+        for (h, value, grouped) in [
+            (adult_education(), "Some-college", "NoDegree"),
+            (adult_work_class(), "Government", "Employed"),
+            (adult_occupation(), "Service", "Manual"),
+            (adult_country(), "Canada", "Non-US"),
+        ] {
+            assert_eq!(h.n_levels(), 3);
+            assert_eq!(
+                h.generalize(&Value::Text(value.into()), 1).unwrap(),
+                Value::Text(grouped.into())
+            );
+            assert_eq!(
+                h.generalize(&Value::Text(value.into()), 2).unwrap(),
+                Value::Text("*".into())
+            );
+        }
     }
 
     #[test]

@@ -12,13 +12,14 @@
 //!    in `worker_failures`, and the process does not abort.
 
 use psens::algorithms::{
-    exhaustive_scan, exhaustive_scan_budgeted, greedy_pk_cluster_budgeted,
-    incognito_minimal_budgeted, levelwise_minimal_budgeted, mondrian_anonymize_budgeted,
-    parallel_exhaustive_scan, parallel_exhaustive_scan_budgeted,
-    pk_minimal_generalization_budgeted, ClusterError, GreedyClusterConfig, MondrianConfig, Pruning,
+    exhaustive_scan, exhaustive_scan_budgeted, exhaustive_scan_tuned, greedy_pk_cluster_budgeted,
+    incognito_minimal_budgeted, levelwise_minimal_budgeted, levelwise_minimal_tuned,
+    mondrian_anonymize_budgeted, parallel_exhaustive_scan, parallel_exhaustive_scan_budgeted,
+    pk_minimal_generalization_budgeted, pk_minimal_generalization_tuned, ClusterError,
+    GreedyClusterConfig, MondrianConfig, Pruning, Tuning,
 };
 use psens::core::{
-    CancelToken, CheckStage, NoopObserver, SearchBudget, SearchObserver, Termination,
+    CancelToken, CheckStage, NoopObserver, SearchBudget, SearchObserver, Termination, VerdictStore,
 };
 use psens::datasets::hierarchies::{adult_qi_space, figure2_qi_space};
 use psens::datasets::paper::figure3_microdata;
@@ -245,4 +246,110 @@ fn a_panicking_worker_loses_only_its_own_chunk() {
     for annotation in &outcome.annotations {
         assert!(full.annotations.contains(annotation));
     }
+}
+
+#[test]
+fn replayed_verdicts_do_not_consume_the_node_budget() {
+    let im = AdultGenerator::new(93).generate(200);
+    let qi = adult_qi_space();
+    let (p, k, ts) = (2u32, 2u32, 10usize);
+    let lattice = qi.lattice();
+    let budget = SearchBudget::unlimited().with_max_nodes(10);
+
+    // Cold, the ten-node budget binds and every admission is a fresh check.
+    let cold = exhaustive_scan_budgeted(&im, &qi, p, k, ts, &budget, &NoopObserver).unwrap();
+    assert_eq!(cold.termination, Termination::NodeBudgetExhausted);
+    assert_eq!(cold.stats.nodes_evaluated, 10);
+
+    // Partial warm: the same budget with a store admits the same ten nodes.
+    let store = VerdictStore::new(&lattice, ts);
+    let tuning = Tuning {
+        threads: 1,
+        cache: Some(&store),
+    };
+    let first = exhaustive_scan_tuned(&im, &qi, p, k, ts, &budget, tuning, &NoopObserver).unwrap();
+    assert_eq!(first.stats.nodes_evaluated, 10);
+    assert_eq!(first.annotations, cold.annotations);
+
+    // Rerunning under the *same* budget, the warm prefix replays without
+    // consuming admissions, so ten new nodes are admitted and the scan gets
+    // strictly further: producing the cold run's ten annotations cost zero
+    // fresh evaluations this time.
+    let second = exhaustive_scan_tuned(&im, &qi, p, k, ts, &budget, tuning, &NoopObserver).unwrap();
+    assert_eq!(second.stats.cache_hits, 10);
+    assert_eq!(second.stats.nodes_evaluated, 10);
+    assert_eq!(second.annotations.len(), 20);
+    assert_eq!(second.annotations[..10], cold.annotations[..]);
+
+    // A fully warm store completes under the tripping budget with zero
+    // fresh evaluations — strictly fewer than the cold run's ten.
+    let unlimited = SearchBudget::unlimited();
+    let full =
+        exhaustive_scan_tuned(&im, &qi, p, k, ts, &unlimited, tuning, &NoopObserver).unwrap();
+    let warm = exhaustive_scan_tuned(&im, &qi, p, k, ts, &budget, tuning, &NoopObserver).unwrap();
+    assert_eq!(warm.termination, Termination::Completed);
+    assert_eq!(warm.stats.nodes_evaluated, 0);
+    assert!(warm.stats.nodes_evaluated < cold.stats.nodes_evaluated);
+    assert_eq!(warm.stats.cache_hits, full.annotations.len());
+    assert_eq!(warm.annotations, full.annotations);
+    assert_eq!(warm.satisfying, full.satisfying);
+}
+
+#[test]
+fn inferred_verdicts_never_count_against_the_budget() {
+    // This (seed, p, k, TS) combination is chosen so the binary search's
+    // probe path provably crosses a rolled-up stratum: with any other
+    // verdict source the `cache_inferred > 0` assertion below would not
+    // distinguish inferred replays from exact ones.
+    let im = AdultGenerator::new(93).generate(200);
+    let qi = adult_qi_space();
+    let (p, k, ts) = (2u32, 5u32, 15usize);
+    let lattice = qi.lattice();
+    let store = VerdictStore::new(&lattice, ts);
+    let tuning = Tuning {
+        threads: 1,
+        cache: Some(&store),
+    };
+    let unlimited = SearchBudget::unlimited();
+
+    // A completed level-wise pass settles the whole lattice: evaluated nodes
+    // hold exact verdicts, rolled-up nodes only inferred ones.
+    levelwise_minimal_tuned(&im, &qi, p, k, ts, &unlimited, tuning, &NoopObserver).unwrap();
+
+    // Under a zero-node budget any admission trips immediately, so the only
+    // way the binary search can finish is if every probe — including those
+    // answered purely by inference — bypasses budget accounting.
+    let zero = SearchBudget::unlimited().with_max_nodes(0);
+    let warm = pk_minimal_generalization_tuned(
+        &im,
+        &qi,
+        p,
+        k,
+        ts,
+        Pruning::NecessaryConditions,
+        &zero,
+        tuning,
+        &NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(warm.termination, Termination::Completed);
+    assert_eq!(warm.stats.nodes_evaluated, 0);
+    assert!(
+        warm.stats.cache_inferred > 0,
+        "the probe must have consulted at least one rolled-up (inferred) verdict"
+    );
+
+    // Cold, the same zero budget trips before any work.
+    let cold = pk_minimal_generalization_budgeted(
+        &im,
+        &qi,
+        p,
+        k,
+        ts,
+        Pruning::NecessaryConditions,
+        &zero,
+        &NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(cold.termination, Termination::NodeBudgetExhausted);
 }

@@ -1,0 +1,322 @@
+//! Differential-oracle equivalence of the tuned searches against their
+//! serial, uncached counterparts.
+//!
+//! For proptest-generated tables and (p, k, TS) configurations, every
+//! combination of `threads ∈ {1, 2, 8}` and cache on/off must reproduce the
+//! historical results node-for-node:
+//!
+//! - Samarati's binary search returns the same winning node and the same
+//!   proven height bound;
+//! - the level-wise search returns the same minimal set in the same order,
+//!   with the same completed height;
+//! - the exhaustive scans (serial and parallel) return identical per-node
+//!   annotations — the strongest form of "cached verdicts equal uncached
+//!   verdicts", since every `(node, violating_tuples)` pair is compared;
+//! - Incognito returns the same minimal set.
+//!
+//! One [`VerdictStore`] is shared across all strategies and thread counts
+//! within a configuration: replayed and inferred verdicts must never change
+//! any result, only skip work.
+
+use proptest::prelude::*;
+use psens::algorithms::{
+    exhaustive_scan_budgeted, exhaustive_scan_tuned, incognito_minimal_budgeted,
+    incognito_minimal_tuned, levelwise_minimal_budgeted, levelwise_minimal_tuned,
+    parallel_exhaustive_scan_tuned, pk_minimal_generalization_budgeted,
+    pk_minimal_generalization_tuned, Pruning, SearchStats, Tuning,
+};
+use psens::core::{NoopObserver, SearchBudget, VerdictStore};
+use psens::hierarchy::{builders, CatHierarchy, Hierarchy, IntHierarchy, IntLevel, QiSpace};
+use psens::prelude::*;
+
+/// Keys: categorical X and integer A (both in the QI space) plus flat
+/// categorical Y. Confidential: categorical S and integer T.
+fn test_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::cat_identifier("Id"),
+        Attribute::cat_key("X"),
+        Attribute::int_key("A"),
+        Attribute::cat_key("Y"),
+        Attribute::cat_confidential("S"),
+        Attribute::int_confidential("T"),
+    ])
+    .unwrap()
+}
+
+/// One random row: domain indices with independent missing flags for the
+/// maskable cells.
+type Row = (u8, bool, u8, bool, u8, u8, bool, i64);
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        0u8..4,        // X index
+        any::<bool>(), // X missing?
+        0u8..6,        // A value
+        any::<bool>(), // A missing?
+        0u8..2,        // Y index
+        0u8..4,        // S index
+        any::<bool>(), // S missing?
+        0i64..3,       // T value
+    )
+}
+
+fn build_table(rows: &[Row]) -> Table {
+    let mut builder = TableBuilder::new(test_schema());
+    for (i, &(x, x_miss, a, a_miss, y, s, s_miss, t)) in rows.iter().enumerate() {
+        let x = if x_miss && x % 3 == 0 {
+            Value::Missing
+        } else {
+            Value::Text(format!("x{x}"))
+        };
+        let a = if a_miss && a % 3 == 0 {
+            Value::Missing
+        } else {
+            Value::Int(a as i64)
+        };
+        let s = if s_miss && s % 3 == 0 {
+            Value::Missing
+        } else {
+            Value::Text(format!("s{s}"))
+        };
+        builder
+            .push_row(vec![
+                Value::Text(format!("id{i}")),
+                x,
+                a,
+                Value::Text(format!("y{y}")),
+                s,
+                Value::Int(t),
+            ])
+            .unwrap();
+    }
+    builder.finish()
+}
+
+/// QI space over X (3 levels), A (2 levels), and flat Y (2 levels): a
+/// 12-node lattice of height 4 — small enough for exhaustive oracles, big
+/// enough that 8-thread chunking splits real strata.
+fn test_qi_space() -> QiSpace {
+    let x = CatHierarchy::identity(["x0", "x1", "x2", "x3"])
+        .unwrap()
+        .push_level([("x0", "xa"), ("x1", "xa"), ("x2", "xb"), ("x3", "xb")])
+        .unwrap()
+        .push_top("*")
+        .unwrap();
+    let a = IntHierarchy::new(vec![
+        IntLevel::Ranges {
+            cuts: vec![2, 4],
+            labels: vec!["0-1".into(), "2-3".into(), "4-5".into()],
+        },
+        IntLevel::Single("*".into()),
+    ])
+    .unwrap();
+    QiSpace::new(vec![
+        ("X".into(), Hierarchy::Cat(x)),
+        ("A".into(), Hierarchy::Int(a)),
+        (
+            "Y".into(),
+            builders::flat_hierarchy(vec!["y0", "y1"]).unwrap(),
+        ),
+    ])
+    .unwrap()
+}
+
+/// The stage partition must survive every tuning: cache hits and inferred
+/// verdicts stay outside it.
+fn assert_partition_holds(stats: &SearchStats, setting: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        stats.total_rejections() + stats.nodes_passed,
+        stats.nodes_evaluated,
+        "stage partition: {}",
+        setting
+    );
+    Ok(())
+}
+
+/// Runs every tuned search under every `(threads, cache)` combination and
+/// compares each against its serial, uncached oracle.
+fn assert_tuned_searches_match_serial(
+    table: &Table,
+    qi: &QiSpace,
+    p: u32,
+    k: u32,
+    ts: usize,
+) -> Result<(), TestCaseError> {
+    let unlimited = SearchBudget::unlimited();
+    let noop = NoopObserver;
+    let pruning = Pruning::NecessaryConditions;
+
+    let sam0 = pk_minimal_generalization_budgeted(table, qi, p, k, ts, pruning, &unlimited, &noop)
+        .unwrap();
+    let lw0 = levelwise_minimal_budgeted(table, qi, p, k, ts, &unlimited, &noop).unwrap();
+    let ex0 = exhaustive_scan_budgeted(table, qi, p, k, ts, &unlimited, &noop).unwrap();
+    let mut inc0 = incognito_minimal_budgeted(table, qi, p, k, ts, &unlimited, &noop)
+        .unwrap()
+        .minimal;
+    inc0.sort();
+
+    let lattice = qi.lattice();
+    let store = VerdictStore::new(&lattice, ts);
+    for cache in [None, Some(&store)] {
+        for threads in [1usize, 2, 8] {
+            let tuning = Tuning { threads, cache };
+            let setting = format!(
+                "p={p} k={k} ts={ts} threads={threads} cache={}",
+                cache.is_some()
+            );
+
+            let sam = pk_minimal_generalization_tuned(
+                table, qi, p, k, ts, pruning, &unlimited, tuning, &noop,
+            )
+            .unwrap();
+            prop_assert_eq!(&sam.node, &sam0.node, "samarati node: {}", &setting);
+            prop_assert_eq!(
+                sam.proven_min_height,
+                sam0.proven_min_height,
+                "samarati height bound: {}",
+                &setting
+            );
+            prop_assert_eq!(sam.suppressed, sam0.suppressed, "suppressed: {}", &setting);
+            assert_partition_holds(&sam.stats, &setting)?;
+
+            let lw =
+                levelwise_minimal_tuned(table, qi, p, k, ts, &unlimited, tuning, &noop).unwrap();
+            prop_assert_eq!(&lw.minimal, &lw0.minimal, "levelwise minimal: {}", &setting);
+            prop_assert_eq!(
+                lw.completed_height,
+                lw0.completed_height,
+                "levelwise completed height: {}",
+                &setting
+            );
+            assert_partition_holds(&lw.stats, &setting)?;
+
+            let ex = exhaustive_scan_tuned(table, qi, p, k, ts, &unlimited, tuning, &noop).unwrap();
+            prop_assert_eq!(
+                &ex.annotations,
+                &ex0.annotations,
+                "exhaustive annotations: {}",
+                &setting
+            );
+            prop_assert_eq!(
+                &ex.minimal,
+                &ex0.minimal,
+                "exhaustive minimal: {}",
+                &setting
+            );
+            assert_partition_holds(&ex.stats, &setting)?;
+
+            let par =
+                parallel_exhaustive_scan_tuned(table, qi, p, k, ts, &unlimited, tuning, &noop)
+                    .unwrap();
+            prop_assert_eq!(
+                &par.annotations,
+                &ex0.annotations,
+                "parallel annotations: {}",
+                &setting
+            );
+            prop_assert_eq!(
+                &par.satisfying,
+                &ex0.satisfying,
+                "parallel satisfying: {}",
+                &setting
+            );
+            assert_partition_holds(&par.stats, &setting)?;
+
+            let mut inc = incognito_minimal_tuned(table, qi, p, k, ts, &unlimited, tuning, &noop)
+                .unwrap()
+                .minimal;
+            inc.sort();
+            prop_assert_eq!(&inc, &inc0, "incognito minimal: {}", &setting);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The main oracle: random tables, random thresholds, all strategies,
+    /// all tunings, one shared store.
+    #[test]
+    fn tuned_searches_equal_serial_uncached_oracles(
+        rows in prop::collection::vec(arb_row(), 1..40),
+        k in 1u32..5,
+        p in 1u32..4,
+        ts in 0usize..6,
+    ) {
+        let t = build_table(&rows);
+        assert_tuned_searches_match_serial(&t, &test_qi_space(), p, k, ts)?;
+    }
+
+    /// Degenerate thresholds: k beyond the table size (everything fails
+    /// k-anonymity, exercising downward closure on every node) and TS large
+    /// enough to suppress whole tables.
+    #[test]
+    fn tuned_searches_agree_under_extreme_thresholds(
+        rows in prop::collection::vec(arb_row(), 1..16),
+        p in 1u32..4,
+    ) {
+        let t = build_table(&rows);
+        let k = t.n_rows() as u32 + 1;
+        let ts = t.n_rows();
+        assert_tuned_searches_match_serial(&t, &test_qi_space(), p, k, ts)?;
+        assert_tuned_searches_match_serial(&t, &test_qi_space(), p, k, 0)?;
+    }
+}
+
+/// A store fully warmed by one strategy answers a different strategy's whole
+/// search: cross-strategy reuse is the cache's raison d'être on a
+/// single-visit lattice search.
+#[test]
+fn a_levelwise_warmed_store_answers_the_whole_binary_search() {
+    let im = psens::datasets::AdultGenerator::new(77).generate(250);
+    let qi = psens::datasets::hierarchies::adult_qi_space();
+    let (p, k, ts) = (2u32, 2u32, 15usize);
+    let lattice = qi.lattice();
+    let store = VerdictStore::new(&lattice, ts);
+    let tuning = Tuning {
+        threads: 1,
+        cache: Some(&store),
+    };
+    let unlimited = SearchBudget::unlimited();
+
+    // A completed level-wise run settles every lattice node: evaluated
+    // nodes exactly, rolled-up nodes by upward closure from their children.
+    let lw =
+        levelwise_minimal_tuned(&im, &qi, p, k, ts, &unlimited, tuning, &NoopObserver).unwrap();
+    assert!(lw.stats.nodes_evaluated > 0);
+
+    // Samarati then completes without a single fresh kernel check, even
+    // under a zero-node budget.
+    let zero = SearchBudget::unlimited().with_max_nodes(0);
+    let warm = pk_minimal_generalization_tuned(
+        &im,
+        &qi,
+        p,
+        k,
+        ts,
+        Pruning::NecessaryConditions,
+        &zero,
+        tuning,
+        &NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(warm.termination, psens::core::Termination::Completed);
+    assert_eq!(warm.stats.nodes_evaluated, 0);
+    assert!(warm.stats.cache_hits + warm.stats.cache_inferred > 0);
+
+    // And its answer matches the cold serial oracle.
+    let cold = pk_minimal_generalization_budgeted(
+        &im,
+        &qi,
+        p,
+        k,
+        ts,
+        Pruning::NecessaryConditions,
+        &unlimited,
+        &NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(warm.node, cold.node);
+    assert_eq!(warm.proven_min_height, cold.proven_min_height);
+}

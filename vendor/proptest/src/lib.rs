@@ -1,5 +1,8 @@
 //! Offline stand-in for proptest: deterministic random sampling, no
-//! shrinking. Supports the subset of the API this workspace uses.
+//! shrinking. Supports the subset of the API this workspace uses, including
+//! failure persistence: seeds of failing cases are appended to a sibling
+//! `<test-file>.proptest-regressions` file and replayed before any novel
+//! cases on later runs.
 
 pub mod test_runner {
     use std::fmt;
@@ -472,6 +475,76 @@ pub mod option {
     }
 }
 
+pub mod persistence {
+    //! Failure-seed persistence, mirroring the real crate's
+    //! `FileFailurePersistence::SourceParallel`: failing seeds live in a
+    //! `.proptest-regressions` file next to the test source and are replayed
+    //! before any novel cases.
+
+    use std::path::{Path, PathBuf};
+
+    /// Locates `source` — a `file!()` path, which is relative to the
+    /// workspace root while tests may run from a member package's directory —
+    /// and returns the path of its sibling `.proptest-regressions` file.
+    /// `None` when the source file cannot be found from the current working
+    /// directory; persistence is then silently disabled.
+    pub fn resolve(source: &str, manifest_dir: &str) -> Option<PathBuf> {
+        let manifest = Path::new(manifest_dir);
+        let candidates = [
+            PathBuf::from(source),
+            manifest.join(source),
+            manifest.join("..").join("..").join(source),
+        ];
+        candidates
+            .into_iter()
+            .find(|c| c.is_file())
+            .map(|c| c.with_extension("proptest-regressions"))
+    }
+
+    /// Seeds recorded by earlier failing runs: `cc <16-hex-digit-seed>`
+    /// lines. Entries that do not parse as exactly 16 hex digits (e.g.
+    /// 256-bit hashes written by the real proptest crate) are skipped.
+    pub fn load(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let token = line.strip_prefix("cc ")?.split_whitespace().next()?;
+                if token.len() != 16 {
+                    return None;
+                }
+                u64::from_str_radix(token, 16).ok()
+            })
+            .collect()
+    }
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+    /// Records `seed` for `test`, creating the file (with the standard
+    /// header) on first use and deduplicating repeats. I/O failures are
+    /// swallowed: a read-only checkout must not turn a test failure into a
+    /// persistence panic.
+    pub fn save(path: &Path, seed: u64, test: &str) {
+        if load(path).contains(&seed) {
+            return;
+        }
+        let mut text = std::fs::read_to_string(path).unwrap_or_default();
+        if text.is_empty() {
+            text.push_str(HEADER);
+        }
+        text.push_str(&format!("cc {seed:016x} # {test}\n"));
+        let _ = std::fs::write(path, text);
+    }
+}
+
 /// Namespace mirror of the real crate's `prop` module.
 pub mod prop {
     pub use crate::collection;
@@ -496,10 +569,18 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::Config = $config;
-                for case in 0..u64::from(config.cases) {
-                    let mut rng = $crate::test_runner::TestRng::from_seed(
-                        case.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (line!() as u64) << 32,
-                    );
+                let regressions =
+                    $crate::persistence::resolve(file!(), env!("CARGO_MANIFEST_DIR"));
+                let saved: ::std::vec::Vec<u64> = regressions
+                    .as_deref()
+                    .map($crate::persistence::load)
+                    .unwrap_or_default();
+                let fresh = (0..u64::from(config.cases)).map(|case| {
+                    case.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (line!() as u64) << 32
+                });
+                let replays = saved.into_iter().map(|seed| (true, seed));
+                for (replayed, seed) in replays.chain(fresh.map(|seed| (false, seed))) {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(seed);
                     $(let $parm =
                         $crate::strategy::Strategy::sample(&$strategy, &mut rng);)+
                     let outcome: ::std::result::Result<
@@ -510,7 +591,13 @@ macro_rules! proptest {
                         Ok(())
                     })();
                     if let Err(err) = outcome {
-                        panic!("proptest case {case} failed: {err}");
+                        if !replayed {
+                            if let Some(path) = regressions.as_deref() {
+                                $crate::persistence::save(path, seed, stringify!($name));
+                            }
+                        }
+                        let kind = if replayed { "persisted" } else { "novel" };
+                        panic!("proptest case failed ({kind} seed {seed:#018x}): {err}");
                     }
                 }
             }
