@@ -104,7 +104,7 @@ pub fn exhaustive_scan_tuned<O: SearchObserver>(
     let stats_im = ctx.initial_stats();
     // Code-mapped kernel: hoist per-(attribute, level) code maps out of the
     // scan, then check each node on u32 vectors — no table materialization.
-    let ectx = EvalContext::build_observed(&ctx, observer)?;
+    let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
     let mut eval = ectx.evaluator();
     let lattice = qi.lattice();
     let state = budget.start();

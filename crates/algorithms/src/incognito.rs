@@ -216,7 +216,7 @@ pub fn incognito_minimal_tuned<O: SearchObserver>(
         ts,
     };
     let im_stats = ctx.initial_stats();
-    let ectx = EvalContext::build_observed(&ctx, observer)?;
+    let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
     let mut eval = ectx.evaluator();
     let mut satisfying: Vec<Node> = Vec::new();
     // `full_mask` is the last subset processed; it is absent exactly when

@@ -133,7 +133,7 @@ pub fn levelwise_minimal_tuned<O: SearchObserver>(
         });
     }
 
-    let ectx = EvalContext::build_observed(&ctx, observer)?;
+    let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
     let mut eval = ectx.evaluator();
     let state = budget.start();
     let mut satisfying: FxHashSet<Node> = FxHashSet::default();

@@ -82,6 +82,7 @@ pub fn parallel_exhaustive_scan_budgeted<O: SearchObserver>(
     let tuning = Tuning {
         threads,
         cache: None,
+        chunk_rows: 0,
     };
     parallel_exhaustive_scan_tuned(initial, qi, p, k, ts, budget, tuning, observer)
 }
@@ -113,7 +114,7 @@ pub fn parallel_exhaustive_scan_tuned<O: SearchObserver>(
     };
     let stats_im = ctx.initial_stats();
     // One shared, immutable code-map cache; each worker owns its scratch.
-    let ectx = EvalContext::build_observed(&ctx, observer)?;
+    let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
     let lattice = qi.lattice();
     let nodes = lattice.all_nodes();
     let chunk_size = nodes.len().div_ceil(threads);

@@ -239,7 +239,9 @@ fn search<O: SearchObserver>(
     stats.lattice_nodes = lattice.node_count();
     // Candidate nodes run through the code-mapped kernel; a table is
     // materialized only for each probe's winning node.
-    let ectx = psens_core::evaluator::EvalContext::build_observed(&ctx, observer)?;
+    let ectx = tuning.configure(psens_core::evaluator::EvalContext::build_observed(
+        &ctx, observer,
+    )?);
     let mut eval = ectx.evaluator();
     let state = budget.start();
     let mut low = 0usize;

@@ -6,6 +6,7 @@
 //! (including bit-identical [`crate::stats::SearchStats`]) by delegating
 //! with [`Tuning::default`].
 
+use psens_core::evaluator::EvalContext;
 use psens_core::verdict::VerdictStore;
 
 /// Knobs for the `*_tuned` search entry points.
@@ -20,6 +21,12 @@ pub struct Tuning<'a> {
     /// same `(table, QI space, p, k, ts)` configuration; sharing one store
     /// across runs (or across strategies) is what makes verdicts reusable.
     pub cache: Option<&'a VerdictStore>,
+    /// Rows per chunk for the evaluator's chunk-parallel partition kernel.
+    /// `0` (the default) keeps the serial kernel; any other value makes
+    /// every node check partition in chunks of this many rows across the
+    /// same `threads` workers. Verdicts are identical either way — the
+    /// chunked merge reproduces the serial group ids exactly.
+    pub chunk_rows: usize,
 }
 
 impl Default for Tuning<'_> {
@@ -27,6 +34,7 @@ impl Default for Tuning<'_> {
         Tuning {
             threads: 1,
             cache: None,
+            chunk_rows: 0,
         }
     }
 }
@@ -35,5 +43,16 @@ impl<'a> Tuning<'a> {
     /// Effective worker count: at least one.
     pub fn effective_threads(&self) -> usize {
         self.threads.max(1)
+    }
+
+    /// Applies the chunked-partition setting to a freshly built evaluator
+    /// context. With `chunk_rows == 0` the context is returned untouched,
+    /// preserving the historical serial kernel.
+    pub fn configure(&self, ectx: EvalContext) -> EvalContext {
+        if self.chunk_rows > 0 {
+            ectx.with_chunked_partition(self.chunk_rows, self.effective_threads())
+        } else {
+            ectx
+        }
     }
 }

@@ -1,0 +1,43 @@
+//! Chunked columnar group-by: serial `GroupBy::compute` on a materialized
+//! table versus the two-pass parallel radix `GroupBy::compute_chunked` on the
+//! scale workload, across thread counts. Pairs with the offline
+//! `chunked_scaling` bin, which records the 10M-row curve in `BENCH_5.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psens_bench::workloads;
+use psens_microdata::GroupBy;
+use std::hint::black_box;
+
+const CHUNK_ROWS: usize = 4096;
+
+fn bench_chunked_groupby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunked_groupby");
+    for &n in &[10_000usize, 100_000] {
+        let chunked = workloads::scale_chunked(n, CHUNK_ROWS);
+        let table = chunked.to_table();
+        let keys = table.schema().key_indices();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| GroupBy::compute(black_box(&table), black_box(&keys)));
+        });
+        for threads in [1usize, 2, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("chunked_threads_{threads}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        GroupBy::compute_chunked(black_box(&chunked), black_box(&keys), threads)
+                    });
+                },
+            );
+        }
+        let conf = table.schema().index_of("Pay").expect("Pay exists");
+        group.bench_with_input(BenchmarkId::new("dense_codes", n), &n, |b, _| {
+            b.iter(|| black_box(&chunked).dense_codes(conf, 8));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunked_groupby);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Records the chunked group-by scaling curve on the scale workload
+//! (Adult-shaped, no identifier column, bounded dictionaries): serial
+//! `GroupBy::compute` versus the two-pass parallel radix
+//! `GroupBy::compute_chunked` at 100k/1M/10M rows and 1/2/4/8 threads.
+//!
+//! Run with:
+//! `cargo run --release -p psens-bench --bin chunked_scaling > BENCH_5.json`
+//!
+//! Two numbers back the design claims:
+//!
+//! - `single_thread_overhead_pct` (largest size): `compute_chunked` at one
+//!   thread versus the serial path on the materialized table, measured in
+//!   alternating best-of rounds so clock drift on shared machines does not
+//!   bias either side. The chunked merge must cost ≤2% — it is the price of
+//!   admission for bounded-memory ingest.
+//! - the per-size thread curve, with `host_parallelism` recorded so scaling
+//!   figures from 1-core CI boxes are not mistaken for regressions.
+//!
+//! Unlike the Criterion benches this needs no dev-dependencies, so it runs
+//! in the hermetic (offline) build too.
+
+use psens_bench::workloads;
+use psens_microdata::GroupBy;
+use std::hint::black_box;
+use std::time::Instant;
+
+const CHUNK_ROWS: usize = 65_536;
+const SIZES: [usize; 3] = [100_000, 1_000_000, 10_000_000];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Best wall-clock of `rounds` timed repetitions (after one warm-up call).
+fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut size_reports = Vec::new();
+    let mut overhead_pct = 0.0f64;
+    for (i, &n) in SIZES.iter().enumerate() {
+        let rounds = if n >= 10_000_000 { 3 } else { 5 };
+        let chunked = workloads::scale_chunked(n, CHUNK_ROWS);
+        let table = chunked.to_table();
+        let keys = table.schema().key_indices();
+
+        // Sanity: the chunked merge must reproduce the serial group ids
+        // exactly before its timings mean anything.
+        let serial_gb = GroupBy::compute(&table, &keys);
+        let chunked_gb = GroupBy::compute_chunked(&chunked, &keys, host_parallelism);
+        assert_eq!(serial_gb.n_groups(), chunked_gb.n_groups());
+        assert_eq!(serial_gb.assignments(), chunked_gb.assignments());
+
+        // Alternating best-of rounds for the serial/one-thread pair.
+        let mut serial = f64::INFINITY;
+        let mut chunked_1 = f64::INFINITY;
+        for _ in 0..rounds {
+            serial = serial.min(best_secs(1, || {
+                black_box(GroupBy::compute(black_box(&table), &keys));
+            }));
+            chunked_1 = chunked_1.min(best_secs(1, || {
+                black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 1));
+            }));
+        }
+        let mut by_threads = vec![(1usize, chunked_1)];
+        for &threads in &THREADS[1..] {
+            by_threads.push((
+                threads,
+                best_secs(rounds, || {
+                    black_box(GroupBy::compute_chunked(
+                        black_box(&chunked),
+                        &keys,
+                        threads,
+                    ));
+                }),
+            ));
+        }
+        if i == SIZES.len() - 1 {
+            overhead_pct = (chunked_1 / serial - 1.0) * 100.0;
+        }
+        size_reports.push((n, chunked.n_chunks(), serial, by_threads));
+    }
+
+    println!("{{");
+    println!("  \"workload\": {{");
+    println!("    \"dataset\": \"scale (Adult-shaped, no identifier)\",");
+    println!("    \"generator\": \"psens_datasets::ScaleGenerator\",");
+    println!("    \"group_by\": \"key attributes (Age, MaritalStatus, Race, Sex)\",");
+    println!("    \"chunk_rows\": {CHUNK_ROWS}");
+    println!("  }},");
+    println!("  \"groupby_scaling\": [");
+    for (i, (n, n_chunks, serial, by_threads)) in size_reports.iter().enumerate() {
+        println!("    {{");
+        println!("      \"n_rows\": {n},");
+        println!("      \"n_chunks\": {n_chunks},");
+        println!("      \"serial_secs\": {serial:.4},");
+        for (threads, secs) in by_threads {
+            println!("      \"chunked_secs_threads_{threads}\": {secs:.4},");
+        }
+        let (_, chunked_1) = by_threads[0];
+        let best_parallel = by_threads
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "      \"rows_per_sec_best\": {:.0},",
+            *n as f64 / best_parallel
+        );
+        println!(
+            "      \"chunked_speedup_best_vs_1\": {:.2}",
+            chunked_1 / best_parallel
+        );
+        print!("    }}");
+        println!("{}", if i + 1 < size_reports.len() { "," } else { "" });
+    }
+    println!("  ],");
+    println!("  \"single_thread_overhead_pct\": {overhead_pct:.2},");
+    println!("  \"host_parallelism\": {host_parallelism}");
+    println!("}}");
+}

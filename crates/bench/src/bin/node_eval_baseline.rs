@@ -148,6 +148,7 @@ fn main() {
             let tuning = Tuning {
                 threads: 1,
                 cache: Some(&store),
+                chunk_rows: 0,
             };
             black_box(
                 exhaustive_scan_tuned(&table, &qi, P, K, TS, &unlimited, tuning, &NoopObserver)
@@ -201,29 +202,34 @@ fn main() {
         samarati(Tuning {
             threads: 1,
             cache: Some(&store),
+            chunk_rows: 0,
         });
     }));
     let warm_store = VerdictStore::new(&wide_lattice, TS);
     samarati(Tuning {
         threads: 1,
         cache: Some(&warm_store),
+        chunk_rows: 0,
     });
     let wide_cached_warm = secs_of(rate(1, || {
         samarati(Tuning {
             threads: 1,
             cache: Some(&warm_store),
+            chunk_rows: 0,
         });
     }));
     let wide_threads_1 = secs_of(rate(1, || {
         samarati(Tuning {
             threads: 1,
             cache: None,
+            chunk_rows: 0,
         });
     }));
     let wide_threads_8 = secs_of(rate(1, || {
         samarati(Tuning {
             threads: 8,
             cache: None,
+            chunk_rows: 0,
         });
     }));
 

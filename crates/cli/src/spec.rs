@@ -2,7 +2,7 @@
 //! optional generalization hierarchies per key attribute.
 
 use psens_datasets::hierarchies as adult_hierarchies;
-use psens_datasets::AdultGenerator;
+use psens_datasets::{AdultGenerator, ScaleGenerator};
 use psens_hierarchy::{Hierarchy, QiSpace};
 use psens_microdata::{Attribute, JsonError, JsonValue, Kind, Role, Schema};
 use serde::{Deserialize, Serialize};
@@ -99,20 +99,35 @@ impl Spec {
 
     /// The built-in spec for the synthetic Adult dataset (paper Section 4).
     pub fn adult() -> Spec {
-        let schema = AdultGenerator::schema();
-        let mut hierarchies = BTreeMap::new();
-        hierarchies.insert("Age".to_owned(), adult_hierarchies::adult_age());
-        hierarchies.insert(
-            "MaritalStatus".to_owned(),
-            adult_hierarchies::adult_marital_status(),
-        );
-        hierarchies.insert("Race".to_owned(), adult_hierarchies::adult_race());
-        hierarchies.insert("Sex".to_owned(), adult_hierarchies::adult_sex());
         Spec {
-            attributes: schema.attributes().to_vec(),
-            hierarchies,
+            attributes: AdultGenerator::schema().attributes().to_vec(),
+            hierarchies: adult_key_hierarchies(),
         }
     }
+
+    /// The built-in spec for the scale dataset (`generate --profile scale`):
+    /// the Adult key attributes and hierarchies without the identifier and
+    /// weight columns.
+    pub fn scale() -> Spec {
+        Spec {
+            attributes: ScaleGenerator::schema().attributes().to_vec(),
+            hierarchies: adult_key_hierarchies(),
+        }
+    }
+}
+
+/// The Table 7 hierarchies for the four Adult key attributes, shared by the
+/// `adult` and `scale` specs.
+fn adult_key_hierarchies() -> BTreeMap<String, Hierarchy> {
+    let mut hierarchies = BTreeMap::new();
+    hierarchies.insert("Age".to_owned(), adult_hierarchies::adult_age());
+    hierarchies.insert(
+        "MaritalStatus".to_owned(),
+        adult_hierarchies::adult_marital_status(),
+    );
+    hierarchies.insert("Race".to_owned(), adult_hierarchies::adult_race());
+    hierarchies.insert("Sex".to_owned(), adult_hierarchies::adult_sex());
+    hierarchies
 }
 
 fn parse_attribute(value: &JsonValue) -> Result<Attribute, JsonError> {
@@ -153,6 +168,18 @@ mod tests {
         spec.hierarchies.remove("Race");
         let err = spec.qi_space().unwrap_err();
         assert!(err.contains("Race"), "{err}");
+    }
+
+    #[test]
+    fn scale_spec_covers_its_key_attributes() {
+        let spec = Spec::scale();
+        let schema = spec.schema().unwrap();
+        assert!(schema.attributes().iter().all(|a| a.name() != "Id"));
+        let qi = spec.qi_space().unwrap();
+        assert_eq!(qi.lattice().node_count(), 96);
+        // Round-trips through the JSON file format like the Adult spec.
+        let back = Spec::from_json(&spec.to_json().to_json_pretty()).unwrap();
+        assert_eq!(back.attributes.len(), spec.attributes.len());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! the initial microdata and reused across every candidate masking (Theorems
 //! 1 and 2 extend the reuse to suppression).
 
-use psens_microdata::{FrequencySet, Table};
+use psens_microdata::{ChunkedTable, FrequencySet, Table};
 use serde::Serialize;
 
 /// Frequency statistics of one confidential attribute `S_j`:
@@ -88,6 +88,46 @@ impl ConfidentialStats {
             .collect();
         ConfidentialStats {
             n: table.n_rows(),
+            per_attribute,
+            cf,
+        }
+    }
+
+    /// [`ConfidentialStats::compute`] over a [`ChunkedTable`], with the
+    /// per-attribute frequency sets computed chunk-parallel on `threads`
+    /// workers. Equal (`==`) to the serial statistics of the materialized
+    /// table: the chunked grouping is byte-identical, and `s`/`descending`/
+    /// `cumulative` depend only on the multiset of counts.
+    pub fn compute_chunked(
+        chunked: &ChunkedTable,
+        confidential: &[usize],
+        threads: usize,
+    ) -> ConfidentialStats {
+        let per_attribute: Vec<AttributeFrequencyStats> = confidential
+            .iter()
+            .map(|&attr| {
+                let fs = FrequencySet::of_chunked(chunked, &[attr], threads);
+                AttributeFrequencyStats {
+                    attribute: attr,
+                    name: chunked.schema().attribute(attr).name().to_owned(),
+                    s: fs.n_combinations(),
+                    descending: fs.descending_counts(),
+                    cumulative: fs.cumulative_descending(),
+                }
+            })
+            .collect();
+        let max_p = per_attribute.iter().map(|a| a.s).min().unwrap_or(0);
+        let cf = (0..max_p)
+            .map(|i| {
+                per_attribute
+                    .iter()
+                    .map(|a| a.cumulative[i])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        ConfidentialStats {
+            n: chunked.n_rows(),
             per_attribute,
             cf,
         }
@@ -288,6 +328,22 @@ mod tests {
         assert!(bound <= 10, "bound {bound} must forbid 11+ groups");
         // Exact value: min((1000-990)/1, (1000-900)/2) = min(10, 50) = 10.
         assert_eq!(bound, 10);
+    }
+
+    #[test]
+    fn compute_chunked_equals_serial() {
+        let t = example1();
+        let serial = ConfidentialStats::compute(&t, &[1, 2, 3]);
+        for chunk_rows in [1usize, 7, 128, 4096] {
+            let chunked = ChunkedTable::from_table(&t, chunk_rows);
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    ConfidentialStats::compute_chunked(&chunked, &[1, 2, 3], threads),
+                    serial,
+                    "chunk_rows={chunk_rows} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,9 @@ use crate::masking::{MaskingContext, Result};
 use crate::observe::{elapsed_since, start_timer, SearchObserver};
 use crate::verdict::{Verdict, VerdictStore};
 use psens_hierarchy::{Error, Node, QiCodeMaps};
-use psens_microdata::{CodeCombiner, Role};
+use psens_microdata::{
+    assign_global_ids, chunk_parallel_map, scatter_global, CodeCombiner, LocalCodes, Role,
+};
 use std::ops::ControlFlow;
 
 /// Where a confidential attribute's per-row codes come from.
@@ -64,6 +66,12 @@ pub struct EvalContext {
     static_keys: Vec<(Vec<u32>, u32)>,
     /// Confidential attributes, in masked-schema order.
     conf: Vec<ConfSource>,
+    /// Row-range chunk size for chunk-parallel partitioning; 0 disables the
+    /// chunked path (the default — behavior is then exactly the serial
+    /// kernel).
+    chunk_rows: usize,
+    /// Worker threads for the chunked partition pass.
+    threads: usize,
 }
 
 /// The kernel's verdict on one lattice node: the same fields as
@@ -155,7 +163,20 @@ impl EvalContext {
             qi_is_key,
             static_keys,
             conf,
+            chunk_rows: 0,
+            threads: 1,
         })
+    }
+
+    /// Enables chunk-parallel QI partitioning: per-node refinement runs over
+    /// row-range chunks of `chunk_rows` rows on `threads` scoped workers,
+    /// merged deterministically (see `GroupBy::compute_chunked` — group ids
+    /// stay byte-identical to the serial kernel, so every verdict, stage,
+    /// and count is unchanged). `chunk_rows = 0` keeps the serial path.
+    pub fn with_chunked_partition(mut self, chunk_rows: usize, threads: usize) -> EvalContext {
+        self.chunk_rows = chunk_rows;
+        self.threads = threads.max(1);
+        self
     }
 
     /// [`Self::build`], reporting the cache-build cost to `observer`. With a
@@ -400,6 +421,9 @@ impl NodeEvaluator<'_> {
     /// Refines the QI partition for `node`; returns the group count.
     fn partition(&mut self, node: &Node) -> u32 {
         let ctx = self.ctx;
+        if ctx.chunk_rows > 0 && ctx.n_rows > ctx.chunk_rows {
+            return self.partition_chunked(node);
+        }
         let n = ctx.n_rows;
         self.current.clear();
         self.current.resize(n, 0);
@@ -424,6 +448,80 @@ impl NodeEvaluator<'_> {
                 .refine(&mut self.current, n_groups, codes, *n_codes);
         }
         n_groups
+    }
+
+    /// Chunk-parallel [`Self::partition`]: each worker refines a row-range
+    /// chunk with its own combiner over the same mapped columns (slices of
+    /// `base` and the static-key codes line up with the chunk's rows), then
+    /// local groups are merged by their representative rows' mapped code
+    /// vectors — assigning global ids in whole-table first-appearance order,
+    /// byte-identical to the serial refinement chain.
+    fn partition_chunked(&mut self, node: &Node) -> u32 {
+        let ctx = self.ctx;
+        let n = ctx.n_rows;
+        let chunk_rows = ctx.chunk_rows;
+        let n_chunks = n.div_ceil(chunk_rows);
+        let parts = chunk_parallel_map(n_chunks, ctx.threads, |c| {
+            let lo = c * chunk_rows;
+            let hi = (lo + chunk_rows).min(n);
+            let mut local = vec![0u32; hi - lo];
+            let mut n_local = 1u32; // every chunk is non-empty
+            let mut combiner = CodeCombiner::new();
+            for (i, &level) in node.levels().iter().enumerate() {
+                if !ctx.qi_is_key[i] {
+                    continue;
+                }
+                let attr = ctx.maps.attr(i);
+                let lm = attr.level(level as usize);
+                n_local = combiner.refine_mapped(
+                    &mut local,
+                    n_local,
+                    &attr.base()[lo..hi],
+                    lm.map(),
+                    lm.n_codes(),
+                );
+            }
+            for (codes, n_codes) in &ctx.static_keys {
+                n_local = combiner.refine(&mut local, n_local, &codes[lo..hi], *n_codes);
+            }
+            // Representatives as *global* row indices, for the merge keys.
+            let mut reps = vec![u32::MAX; n_local as usize];
+            for (r, &g) in local.iter().enumerate() {
+                if reps[g as usize] == u32::MAX {
+                    reps[g as usize] = (lo + r) as u32;
+                }
+            }
+            LocalCodes {
+                local,
+                n_local,
+                reps,
+            }
+        });
+        let n_locals: Vec<u32> = parts.iter().map(|p| p.n_local).collect();
+        let (remaps, n_global) = assign_global_ids(&n_locals, |c, lg| {
+            Self::mapped_key_of_row(ctx, node, parts[c].reps[lg as usize] as usize)
+        });
+        self.current = scatter_global(n, parts, &remaps);
+        n_global
+    }
+
+    /// The mapped codes of `row` across the refined columns, in refinement
+    /// order (grouped QI attributes at the node's levels, then static keys):
+    /// two rows land in the same QI-group iff their vectors are equal.
+    fn mapped_key_of_row(ctx: &EvalContext, node: &Node, row: usize) -> Vec<u32> {
+        let mut key = Vec::with_capacity(ctx.qi_is_key.len() + ctx.static_keys.len());
+        for (i, &level) in node.levels().iter().enumerate() {
+            if !ctx.qi_is_key[i] {
+                continue;
+            }
+            let attr = ctx.maps.attr(i);
+            let lm = attr.level(level as usize);
+            key.push(lm.map()[attr.base()[row] as usize]);
+        }
+        for (codes, _) in &ctx.static_keys {
+            key.push(codes[row]);
+        }
+        key
     }
 
     /// Stage 4: per-group `COUNT(DISTINCT S_j) >= p` for every confidential
@@ -608,6 +706,39 @@ mod tests {
                         assert_eq!(fast.suppressed, slow.suppressed, "{setting}");
                         assert_eq!(fast.violating_tuples, slow.violating_tuples, "{setting}");
                         assert_eq!(fast.n_groups, slow.n_groups, "{setting}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_partition_agrees_with_serial_kernel() {
+        let t = table();
+        let qi = qi();
+        for (k, p, ts) in [(2u32, 1u32, 0usize), (3, 2, 2), (2, 2, 7)] {
+            let ctx = MaskingContext {
+                initial: &t,
+                qi: &qi,
+                k,
+                p,
+                ts,
+            };
+            let stats = ctx.initial_stats();
+            let serial_ctx = EvalContext::build(&ctx).unwrap();
+            let mut serial = serial_ctx.evaluator();
+            for chunk_rows in [1usize, 3, 7] {
+                for threads in [1usize, 2, 8] {
+                    let chunked_ctx = EvalContext::build(&ctx)
+                        .unwrap()
+                        .with_chunked_partition(chunk_rows, threads);
+                    let mut chunked = chunked_ctx.evaluator();
+                    for node in qi.lattice().all_nodes() {
+                        assert_eq!(
+                            chunked.check(&node, &stats).unwrap(),
+                            serial.check(&node, &stats).unwrap(),
+                            "k={k} p={p} ts={ts} chunk_rows={chunk_rows} threads={threads} node={node}"
+                        );
                     }
                 }
             }

@@ -36,7 +36,7 @@ pub struct AdultGenerator {
 }
 
 /// Decade buckets with approximate Adult census proportions (per mille).
-const AGE_BUCKETS: [(i64, i64, u32); 8] = [
+pub(crate) const AGE_BUCKETS: [(i64, i64, u32); 8] = [
     (17, 19, 45),
     (20, 29, 245),
     (30, 39, 262),
@@ -48,7 +48,7 @@ const AGE_BUCKETS: [(i64, i64, u32); 8] = [
 ];
 
 /// Race proportions (per mille), Adult census.
-const RACE_WEIGHTS: [u32; 5] = [854, 96, 31, 10, 9];
+pub(crate) const RACE_WEIGHTS: [u32; 5] = [854, 96, 31, 10, 9];
 
 impl AdultGenerator {
     /// Creates a generator with the given seed.
@@ -225,7 +225,11 @@ impl AdultGenerator {
     }
 }
 
-fn pick_weighted<'a, T: ?Sized>(rng: &mut StdRng, items: &[&'a T], weights: &[u32]) -> &'a T {
+pub(crate) fn pick_weighted<'a, T: ?Sized>(
+    rng: &mut StdRng,
+    items: &[&'a T],
+    weights: &[u32],
+) -> &'a T {
     debug_assert_eq!(items.len(), weights.len());
     let total: u32 = weights.iter().sum();
     let mut roll = rng.gen_range(0..total);
@@ -238,7 +242,7 @@ fn pick_weighted<'a, T: ?Sized>(rng: &mut StdRng, items: &[&'a T], weights: &[u3
     items[items.len() - 1]
 }
 
-fn sample_age(rng: &mut StdRng) -> i64 {
+pub(crate) fn sample_age(rng: &mut StdRng) -> i64 {
     let total: u32 = AGE_BUCKETS.iter().map(|&(_, _, w)| w).sum();
     let mut roll = rng.gen_range(0..total);
     for &(lo, hi, w) in &AGE_BUCKETS {
@@ -250,7 +254,7 @@ fn sample_age(rng: &mut StdRng) -> i64 {
     90
 }
 
-fn sample_marital(rng: &mut StdRng, age: i64) -> &'static str {
+pub(crate) fn sample_marital(rng: &mut StdRng, age: i64) -> &'static str {
     // Base Adult proportions, shifted by age bracket: the young are mostly
     // never-married, widowhood concentrates in old age.
     let weights: [u32; 7] = if age < 25 {
@@ -268,7 +272,7 @@ fn sample_marital(rng: &mut StdRng, age: i64) -> &'static str {
     pick_weighted(rng, &marital, &weights)
 }
 
-fn sample_high_pay(rng: &mut StdRng, age: i64, marital: &str, sex: &str) -> bool {
+pub(crate) fn sample_high_pay(rng: &mut StdRng, age: i64, marital: &str, sex: &str) -> bool {
     // Logistic-flavoured: married, male, and mid-career raise P(>50K);
     // calibrated so the population rate lands near Adult's 24%.
     let mut p = 0.08;
@@ -288,7 +292,7 @@ fn sample_high_pay(rng: &mut StdRng, age: i64, marital: &str, sex: &str) -> bool
     rng.gen::<f64>() < p
 }
 
-fn sample_capital_gain(rng: &mut StdRng, high_pay: bool) -> i64 {
+pub(crate) fn sample_capital_gain(rng: &mut StdRng, high_pay: bool) -> i64 {
     // Adult: ~91.7% zeros; nonzero values cluster on a few spikes.
     let zero_prob = if high_pay { 0.78 } else { 0.96 };
     if rng.gen::<f64>() < zero_prob {
@@ -303,7 +307,7 @@ fn sample_capital_gain(rng: &mut StdRng, high_pay: bool) -> i64 {
     *pick_weighted(rng, &spikes.iter().collect::<Vec<_>>(), &weights)
 }
 
-fn sample_capital_loss(rng: &mut StdRng, high_pay: bool) -> i64 {
+pub(crate) fn sample_capital_loss(rng: &mut StdRng, high_pay: bool) -> i64 {
     // Adult: ~95.3% zeros.
     let zero_prob = if high_pay { 0.88 } else { 0.97 };
     if rng.gen::<f64>() < zero_prob {
@@ -314,7 +318,7 @@ fn sample_capital_loss(rng: &mut StdRng, high_pay: bool) -> i64 {
     *pick_weighted(rng, &spikes.iter().collect::<Vec<_>>(), &weights)
 }
 
-fn sample_tax_period(rng: &mut StdRng, high_pay: bool) -> &'static str {
+pub(crate) fn sample_tax_period(rng: &mut StdRng, high_pay: bool) -> &'static str {
     let weights: [u32; 4] = if high_pay {
         [70, 20, 8, 2]
     } else {

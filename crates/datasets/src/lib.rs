@@ -9,6 +9,9 @@
 //! - [`adult`]: a deterministic synthetic UCI-Adult generator matching the
 //!   published census marginals — the offline substitute for the dataset the
 //!   paper downloaded from the UCI repository (DESIGN.md §4).
+//! - [`scale`]: a size-parameterized Adult-shaped generator (no identifier
+//!   column, bounded dictionaries) for multi-million-row scaling runs, with
+//!   a chunk-streaming mode whose output concatenates to the one-shot table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,5 +19,7 @@
 pub mod adult;
 pub mod hierarchies;
 pub mod paper;
+pub mod scale;
 
 pub use adult::{paper_samples, AdultGenerator};
+pub use scale::{ScaleChunks, ScaleGenerator};

@@ -1,0 +1,675 @@
+//! Chunked columnar tables: the substrate for bounded-memory ingest and
+//! chunk-parallel group-by.
+//!
+//! A [`ChunkedTable`] is a schema plus a sequence of fixed-capacity row
+//! chunks, each an ordinary [`Table`] whose categorical columns own
+//! *per-chunk* dictionaries. Chunks are therefore self-contained — a worker
+//! thread can scan one without touching shared interning state — and a
+//! [`DictionaryMerger`] unifies the per-chunk dictionaries whenever a global
+//! view is needed ([`ChunkedTable::to_table`],
+//! [`ChunkedTable::dense_codes`], `GroupBy::compute_chunked`).
+//!
+//! Determinism is the design invariant: merging chunks **in chunk order**,
+//! and each chunk's local codes **in local-code order**, reproduces exactly
+//! the global first-appearance order a serial row-by-row pass would produce.
+//! Every chunked operation in this crate is therefore byte-identical to its
+//! serial counterpart — see the `chunked_equivalence` differential suite.
+
+use crate::bitmap::Bitmap;
+use crate::column::{CatColumn, Column, IntColumn};
+use crate::dictionary::Dictionary;
+use crate::hash::FxHashMap;
+use crate::schema::{Kind, Schema};
+use crate::table::Table;
+use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Unifies per-chunk [`Dictionary`]s into one global dictionary.
+///
+/// Merging a dictionary returns the local-code → global-code remap. Because
+/// [`Dictionary::intern`] assigns dense codes in first-insertion order,
+/// merging chunk dictionaries in chunk order reproduces exactly the
+/// dictionary a serial row-by-row interning pass would have built — the fact
+/// that makes [`ChunkedTable::to_table`] equal (under `Table: PartialEq`,
+/// which compares dictionaries) to the buffered reader's table.
+#[derive(Debug, Clone, Default)]
+pub struct DictionaryMerger {
+    global: Dictionary,
+}
+
+impl DictionaryMerger {
+    /// A merger with an empty global dictionary.
+    pub fn new() -> DictionaryMerger {
+        DictionaryMerger::default()
+    }
+
+    /// Merges `dict` into the global dictionary; entry `i` of the returned
+    /// vec is the global code of local code `i`.
+    pub fn merge(&mut self, dict: &Dictionary) -> Vec<u32> {
+        dict.iter()
+            .map(|(_, text)| self.global.intern(text))
+            .collect()
+    }
+
+    /// The unified dictionary built so far.
+    pub fn global(&self) -> &Dictionary {
+        &self.global
+    }
+
+    /// Consumes the merger, returning the unified dictionary.
+    pub fn into_global(self) -> Dictionary {
+        self.global
+    }
+}
+
+/// A table stored as fixed-capacity row chunks sharing one schema.
+///
+/// Each chunk is a plain [`Table`]; categorical columns carry per-chunk
+/// dictionaries (see [`DictionaryMerger`]). All chunks except the last hold
+/// at most `chunk_rows` rows. The chunked form bounds the working set of
+/// streaming ingest ([`crate::csv::read_chunked`]) and gives parallel
+/// operators natural work units.
+#[derive(Debug, Clone)]
+pub struct ChunkedTable {
+    schema: Schema,
+    chunks: Vec<Table>,
+    chunk_rows: usize,
+    n_rows: usize,
+    /// `offsets[i]` is the global row index where chunk `i` starts.
+    offsets: Vec<usize>,
+}
+
+impl ChunkedTable {
+    /// An empty chunked table with the given schema and chunk capacity
+    /// (clamped to at least 1).
+    pub fn new(schema: Schema, chunk_rows: usize) -> ChunkedTable {
+        ChunkedTable {
+            schema,
+            chunks: Vec::new(),
+            chunk_rows: chunk_rows.max(1),
+            n_rows: 0,
+            offsets: Vec::new(),
+        }
+    }
+
+    /// Slices `table` into chunks of `chunk_rows` rows (the last chunk may be
+    /// shorter). Categorical chunk columns share `table`'s dictionaries, so
+    /// this is cheap relative to re-interning.
+    pub fn from_table(table: &Table, chunk_rows: usize) -> ChunkedTable {
+        let mut out = ChunkedTable::new(table.schema().clone(), chunk_rows);
+        let n = table.n_rows();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + out.chunk_rows).min(n);
+            let indices: Vec<usize> = (start..end).collect();
+            out.push_chunk(table.take(&indices));
+            start = end;
+        }
+        out
+    }
+
+    /// Appends a chunk.
+    ///
+    /// # Panics
+    /// Panics when the chunk's schema differs from the table's, or when the
+    /// chunk exceeds the chunk capacity.
+    pub fn push_chunk(&mut self, chunk: Table) {
+        assert!(
+            chunk.schema() == &self.schema,
+            "chunk schema must match the chunked table's schema"
+        );
+        assert!(
+            chunk.n_rows() <= self.chunk_rows,
+            "chunk of {} rows exceeds capacity {}",
+            chunk.n_rows(),
+            self.chunk_rows
+        );
+        self.offsets.push(self.n_rows);
+        self.n_rows += chunk.n_rows();
+        self.chunks.push(chunk);
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of rows across all chunks.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The chunk capacity rows are packed into.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Chunk `i`.
+    pub fn chunk(&self, i: usize) -> &Table {
+        &self.chunks[i]
+    }
+
+    /// All chunks, in row order.
+    pub fn chunks(&self) -> &[Table] {
+        &self.chunks
+    }
+
+    /// The cell at global row `row`, column `col` — located by binary search
+    /// over the chunk offsets.
+    ///
+    /// # Panics
+    /// Panics when `row` is out of bounds.
+    pub fn value(&self, row: usize, col: usize) -> crate::value::Value {
+        assert!(row < self.n_rows, "row {row} out of {} rows", self.n_rows);
+        let c = self.offsets.partition_point(|&start| start <= row) - 1;
+        self.chunks[c].value(row - self.offsets[c], col)
+    }
+
+    /// Concatenates the chunks into one contiguous [`Table`].
+    ///
+    /// Categorical columns are unified through a [`DictionaryMerger`] in
+    /// chunk order, so for tables whose missing cells hold the canonical
+    /// placeholder (everything built through [`crate::TableBuilder`] or the
+    /// CSV readers) the result is equal — dictionaries included — to the
+    /// table a serial row-by-row build would produce.
+    pub fn to_table(&self) -> Table {
+        let columns = (0..self.schema.len())
+            .map(|i| match self.schema.attribute(i).kind() {
+                Kind::Int => {
+                    let mut values = Vec::with_capacity(self.n_rows);
+                    let mut validity = Bitmap::new();
+                    for chunk in &self.chunks {
+                        let Column::Int(c) = chunk.column(i) else {
+                            unreachable!("chunk columns match the schema kind")
+                        };
+                        values.extend_from_slice(c.raw_values());
+                        for row in 0..c.len() {
+                            validity.push(c.validity().get(row));
+                        }
+                    }
+                    Column::Int(IntColumn::from_parts(values, validity))
+                }
+                Kind::Cat => {
+                    let mut merger = DictionaryMerger::new();
+                    let mut codes = Vec::with_capacity(self.n_rows);
+                    let mut validity = Bitmap::new();
+                    for chunk in &self.chunks {
+                        let Column::Cat(c) = chunk.column(i) else {
+                            unreachable!("chunk columns match the schema kind")
+                        };
+                        let remap = merger.merge(c.dictionary());
+                        for row in 0..c.len() {
+                            match c.code_at(row) {
+                                Some(raw) => {
+                                    codes.push(remap[raw as usize]);
+                                    validity.push(true);
+                                }
+                                None => {
+                                    codes.push(0);
+                                    validity.push(false);
+                                }
+                            }
+                        }
+                    }
+                    Column::Cat(CatColumn::from_parts(merger.into_global(), codes, validity))
+                }
+            })
+            .collect();
+        Table::new(self.schema.clone(), columns).expect("chunks share the schema")
+    }
+
+    /// Dense group codes of column `col` across all chunks, computed
+    /// chunk-parallel on `threads` workers — byte-identical to
+    /// `self.to_table().column(col).dense_codes()`.
+    ///
+    /// Per chunk (in parallel) the column is densified locally; the serial
+    /// merge then walks chunks in order and local codes in local-code order,
+    /// which is exactly global first-appearance order. With `threads <= 1`
+    /// (or a single chunk) one persistent value→code map streams through the
+    /// chunks in row order instead — the serial densify pass reading chunked
+    /// storage, with no local densify, merge, or scatter.
+    pub fn dense_codes(&self, col: usize, threads: usize) -> (Vec<u32>, u32) {
+        if threads <= 1 || self.chunks.len() <= 1 {
+            return self.dense_codes_streaming(col);
+        }
+        let parts = chunk_parallel_map(self.chunks.len(), threads, |c| {
+            local_codes(self.chunks[c].column(col))
+        });
+        // Unify per-chunk dictionaries (categorical columns only) so local
+        // representatives can be keyed on global codes instead of strings.
+        let remaps = self.merge_column_dictionaries(col);
+        let n_locals: Vec<u32> = parts.iter().map(|p| p.n_local).collect();
+        let (id_remaps, n_global) = assign_global_ids(&n_locals, |c, lc| {
+            let rep = parts[c].reps[lc as usize] as usize;
+            merge_key(
+                self.chunks[c].column(col),
+                rep,
+                remaps.as_ref().map(|r| &r[c]),
+            )
+        });
+        (scatter_global(self.n_rows, parts, &id_remaps), n_global)
+    }
+
+    /// Single-threaded streaming variant of [`ChunkedTable::dense_codes`]:
+    /// densifies in one walk over the chunks in row order, so codes come out
+    /// in global first-appearance order exactly as the serial pass assigns
+    /// them. Categorical cells are keyed on their global dictionary code
+    /// (per-chunk dictionaries unified upfront), integer cells on their
+    /// value; missing cells share one code.
+    fn dense_codes_streaming(&self, col: usize) -> (Vec<u32>, u32) {
+        let mut codes = Vec::with_capacity(self.n_rows);
+        let mut next = 0u32;
+        let mut missing_code: Option<u32> = None;
+        match self.merge_column_dictionaries(col) {
+            Some(remaps) => {
+                let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+                for (c, chunk) in self.chunks.iter().enumerate() {
+                    let Column::Cat(cat) = chunk.column(col) else {
+                        unreachable!("chunk columns match the schema kind")
+                    };
+                    let remap = &remaps[c];
+                    for row in 0..cat.len() {
+                        let code = match cat.code_at(row) {
+                            Some(raw) => *map.entry(remap[raw as usize]).or_insert_with(|| {
+                                let code = next;
+                                next += 1;
+                                code
+                            }),
+                            None => *missing_code.get_or_insert_with(|| {
+                                let code = next;
+                                next += 1;
+                                code
+                            }),
+                        };
+                        codes.push(code);
+                    }
+                }
+            }
+            None => {
+                let mut map: FxHashMap<i64, u32> = FxHashMap::default();
+                for chunk in &self.chunks {
+                    let Column::Int(ints) = chunk.column(col) else {
+                        unreachable!("chunk columns match the schema kind")
+                    };
+                    for row in 0..ints.len() {
+                        let code = match ints.get(row) {
+                            Some(v) => *map.entry(v).or_insert_with(|| {
+                                let code = next;
+                                next += 1;
+                                code
+                            }),
+                            None => *missing_code.get_or_insert_with(|| {
+                                let code = next;
+                                next += 1;
+                                code
+                            }),
+                        };
+                        codes.push(code);
+                    }
+                }
+            }
+        }
+        (codes, next)
+    }
+
+    /// Per-chunk local→global dictionary remaps for a categorical column
+    /// (`None` for integer columns).
+    pub(crate) fn merge_column_dictionaries(&self, col: usize) -> Option<Vec<Vec<u32>>> {
+        match self.schema.attribute(col).kind() {
+            Kind::Int => None,
+            Kind::Cat => {
+                let mut merger = DictionaryMerger::new();
+                Some(
+                    self.chunks
+                        .iter()
+                        .map(|chunk| {
+                            let Column::Cat(c) = chunk.column(col) else {
+                                unreachable!("chunk columns match the schema kind")
+                            };
+                            merger.merge(c.dictionary())
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// One chunk's locally-densified codes: `local[r]` is row `r`'s dense local
+/// code, `reps[c]` the first row holding local code `c`. The building block
+/// chunk-parallel operators hand from their per-chunk pass to the serial
+/// merge ([`assign_global_ids`] + [`scatter_global`]).
+#[derive(Debug)]
+pub struct LocalCodes {
+    /// Dense local code per row, in within-chunk first-appearance order.
+    pub local: Vec<u32>,
+    /// Number of distinct local codes.
+    pub n_local: u32,
+    /// First row (chunk-relative unless the producer chose otherwise)
+    /// holding each local code.
+    pub reps: Vec<u32>,
+}
+
+/// Densifies one chunk column and records first-appearance representatives.
+pub(crate) fn local_codes(column: &Column) -> LocalCodes {
+    let (local, n_local) = column.dense_codes();
+    LocalCodes {
+        reps: first_appearances(&local, n_local),
+        local,
+        n_local,
+    }
+}
+
+/// `out[c]` is the first index of `codes` holding code `c`; codes are dense
+/// and assigned in first-appearance order, so every entry is filled.
+pub fn first_appearances(codes: &[u32], n_codes: u32) -> Vec<u32> {
+    let mut reps = vec![u32::MAX; n_codes as usize];
+    for (row, &code) in codes.iter().enumerate() {
+        if reps[code as usize] == u32::MAX {
+            reps[code as usize] = row as u32;
+        }
+    }
+    reps
+}
+
+/// A chunk-merge key for one cell: integer value, *global* dictionary code,
+/// or the shared missing marker. Two rows of different chunks agree on a
+/// grouping cell iff their `MergeKey`s are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum MergeKey {
+    /// A missing cell (missing compares equal to missing).
+    Missing,
+    /// A present integer value.
+    Int(i64),
+    /// A present categorical value as its global dictionary code.
+    Code(u32),
+}
+
+/// The merge key of `column[row]`; `remap` is the chunk's local→global
+/// dictionary remap (required for categorical columns).
+pub(crate) fn merge_key(column: &Column, row: usize, remap: Option<&Vec<u32>>) -> MergeKey {
+    match column {
+        Column::Int(c) => c.get(row).map_or(MergeKey::Missing, MergeKey::Int),
+        Column::Cat(c) => c.code_at(row).map_or(MergeKey::Missing, |raw| {
+            MergeKey::Code(remap.expect("categorical columns carry a remap")[raw as usize])
+        }),
+    }
+}
+
+/// Assigns global ids to per-chunk local ids, walking chunks in order and
+/// local ids in local-id order; `key_of(c, lc)` identifies local group `lc`
+/// of chunk `c`. Returns per-chunk `local id → global id` remaps and the
+/// global id count.
+///
+/// Local ids are dense in first-appearance order within their chunk, so this
+/// traversal assigns global ids in whole-table first-appearance order — the
+/// exact order a serial pass produces. Chunk 0's remap is always the
+/// identity.
+pub fn assign_global_ids<K: Hash + Eq>(
+    n_locals: &[u32],
+    mut key_of: impl FnMut(usize, u32) -> K,
+) -> (Vec<Vec<u32>>, u32) {
+    let mut global: FxHashMap<K, u32> = FxHashMap::default();
+    let mut next = 0u32;
+    let remaps = n_locals
+        .iter()
+        .enumerate()
+        .map(|(c, &n_local)| {
+            (0..n_local)
+                .map(|lc| {
+                    *global.entry(key_of(c, lc)).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    (remaps, next)
+}
+
+/// Rewrites per-chunk local codes into one global vector using the
+/// [`assign_global_ids`] remaps. A single chunk's codes are moved through
+/// unchanged (its remap is the identity), so the one-chunk path adds no
+/// extra pass over the serial computation.
+pub fn scatter_global(n_rows: usize, parts: Vec<LocalCodes>, remaps: &[Vec<u32>]) -> Vec<u32> {
+    if parts.len() == 1 {
+        return parts.into_iter().next().expect("one part").local;
+    }
+    let mut out = vec![0u32; n_rows];
+    let mut offset = 0usize;
+    for (c, part) in parts.iter().enumerate() {
+        let slice = &mut out[offset..offset + part.local.len()];
+        if c == 0 {
+            slice.copy_from_slice(&part.local);
+        } else {
+            let remap = &remaps[c];
+            for (cell, &lc) in slice.iter_mut().zip(&part.local) {
+                *cell = remap[lc as usize];
+            }
+        }
+        offset += part.local.len();
+    }
+    out
+}
+
+/// Runs `job(0..n_chunks)` across `threads` scoped workers and returns the
+/// results in chunk order.
+///
+/// Workers are fault-isolated: each chunk's job runs under
+/// [`std::panic::catch_unwind`], and a chunk whose job panicked is re-run
+/// serially after the parallel phase (a second panic propagates to the
+/// caller). `AssertUnwindSafe` is sound because a panicked job's entire
+/// result is discarded and recomputed from scratch. With `threads <= 1` (or
+/// a single chunk) the jobs run inline on the caller's thread with no
+/// spawning and no unwind guard — the zero-overhead serial path.
+pub fn chunk_parallel_map<T, F>(n_chunks: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n_chunks.max(1));
+    if threads <= 1 {
+        return (0..n_chunks).map(&job).collect();
+    }
+    let slots: Vec<Option<T>> = std::thread::scope(|scope| {
+        let job = &job;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    // Round-robin chunk assignment: worker w owns chunks
+                    // w, w + threads, w + 2·threads, ...
+                    (w..n_chunks)
+                        .step_by(threads)
+                        .map(|c| (c, catch_unwind(AssertUnwindSafe(|| job(c))).ok()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n_chunks).collect();
+        for handle in handles {
+            for (c, result) in handle.join().expect("worker panics are caught inside") {
+                slots[c] = result;
+            }
+        }
+        slots
+    });
+    // Serial re-run for chunks whose job panicked keeps the result total; a
+    // deterministic panic reproduces here, on the caller's thread.
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(c, slot)| slot.unwrap_or_else(|| job(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::table_from_str_rows;
+    use crate::schema::Attribute;
+    use crate::value::Value;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::int_key("Age"),
+            Attribute::cat_key("City"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap();
+        table_from_str_rows(
+            schema,
+            &[
+                &["50", "Newport", "Flu"],
+                &["?", "Dayton", "HIV"],
+                &["30", "?", "Flu"],
+                &["50", "Newport", "Asthma"],
+                &["20", "Cold Spring", "?"],
+                &["30", "Dayton", "Flu"],
+                &["50", "Dayton", "HIV"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn merger_reproduces_row_order_interning() {
+        let mut d1 = Dictionary::new();
+        for s in ["b", "a"] {
+            d1.intern(s);
+        }
+        let mut d2 = Dictionary::new();
+        for s in ["c", "a", "d"] {
+            d2.intern(s);
+        }
+        let mut merger = DictionaryMerger::new();
+        let r1 = merger.merge(&d1);
+        let r2 = merger.merge(&d2);
+        assert_eq!(r1, vec![0, 1]);
+        assert_eq!(r2, vec![2, 1, 3]);
+        let global = merger.into_global();
+        let entries: Vec<&str> = global.iter().map(|(_, s)| s).collect();
+        assert_eq!(entries, vec!["b", "a", "c", "d"]);
+    }
+
+    #[test]
+    fn from_table_round_trips_for_every_chunk_size() {
+        let t = sample_table();
+        for chunk_rows in [1usize, 2, 3, 7, 100] {
+            let chunked = ChunkedTable::from_table(&t, chunk_rows);
+            assert_eq!(chunked.n_rows(), t.n_rows());
+            assert_eq!(chunked.to_table(), t, "chunk_rows={chunk_rows}");
+            let expected_chunks = t.n_rows().div_ceil(chunk_rows.max(1));
+            assert_eq!(chunked.n_chunks(), expected_chunks);
+        }
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = sample_table().filter(|_| false);
+        let chunked = ChunkedTable::from_table(&t, 4);
+        assert!(chunked.is_empty());
+        assert_eq!(chunked.n_chunks(), 0);
+        // `filter` keeps the source dictionaries alive, so the round trip
+        // produces the *canonical* empty table (empty dictionaries) instead.
+        assert_eq!(chunked.to_table(), Table::empty(t.schema().clone()));
+    }
+
+    #[test]
+    fn chunk_capacity_clamps_to_one() {
+        let t = sample_table();
+        let chunked = ChunkedTable::from_table(&t, 0);
+        assert_eq!(chunked.chunk_rows(), 1);
+        assert_eq!(chunked.n_chunks(), t.n_rows());
+        assert_eq!(chunked.to_table(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema must match")]
+    fn push_chunk_rejects_schema_mismatch() {
+        let t = sample_table();
+        let other = Schema::new(vec![Attribute::int_key("Other")]).unwrap();
+        let mut chunked = ChunkedTable::new(other, 4);
+        chunked.push_chunk(t.take(&[0]));
+    }
+
+    #[test]
+    fn dense_codes_match_materialized_column() {
+        let t = sample_table();
+        for chunk_rows in [1usize, 2, 3, 100] {
+            let chunked = ChunkedTable::from_table(&t, chunk_rows);
+            for col in 0..t.schema().len() {
+                for threads in [1usize, 2, 8] {
+                    assert_eq!(
+                        chunked.dense_codes(col, threads),
+                        t.column(col).dense_codes(),
+                        "col={col} chunk_rows={chunk_rows} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_codes_unify_distinct_chunk_dictionaries() {
+        // Chunks built independently (fresh dictionaries per chunk) must
+        // still agree with the serial pass over the concatenation.
+        let schema = Schema::new(vec![Attribute::cat_key("C")]).unwrap();
+        let c1 = table_from_str_rows(schema.clone(), &[&["x"], &["y"]]).unwrap();
+        let c2 = table_from_str_rows(schema.clone(), &[&["y"], &["z"], &["x"]]).unwrap();
+        let mut chunked = ChunkedTable::new(schema, 3);
+        chunked.push_chunk(c1);
+        chunked.push_chunk(c2);
+        let (codes, n) = chunked.dense_codes(0, 2);
+        assert_eq!(codes, vec![0, 1, 1, 2, 0]);
+        assert_eq!(n, 3);
+        assert_eq!(chunked.to_table().value(4, 0), Value::Text("x".into()));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let results = chunk_parallel_map(17, 4, |c| c * c);
+        assert_eq!(results, (0..17).map(|c| c * c).collect::<Vec<_>>());
+        // Degenerate thread counts clamp.
+        assert_eq!(chunk_parallel_map(3, 0, |c| c), vec![0, 1, 2]);
+        assert!(chunk_parallel_map(0, 8, |c| c).is_empty());
+    }
+
+    #[test]
+    fn panicked_chunk_is_rerun_serially() {
+        // The first attempt at chunk 2 panics; the serial re-run succeeds,
+        // so the caller still sees a complete, ordered result.
+        let attempts = AtomicUsize::new(0);
+        let results = chunk_parallel_map(5, 2, |c| {
+            if c == 2 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected chunk failure");
+            }
+            c + 10
+        });
+        assert_eq!(results, vec![10, 11, 12, 13, 14]);
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "chunk 2 ran twice");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected chunk failure")]
+    fn deterministic_panic_propagates_from_serial_rerun() {
+        chunk_parallel_map(3, 2, |c| {
+            if c == 1 {
+                panic!("injected chunk failure");
+            }
+            c
+        });
+    }
+}

@@ -5,6 +5,7 @@
 //! Adult dataset's `?` marker parse as [`Value::Missing`].
 
 use crate::builder::TableBuilder;
+use crate::chunked::ChunkedTable;
 use crate::error::{Error, Result};
 use crate::schema::{Kind, Schema};
 use crate::table::Table;
@@ -119,55 +120,66 @@ pub fn read_table_str(input: &str, schema: Schema, has_header: bool) -> Result<T
             line: 1,
             message: "missing header".into(),
         })?;
-        if header.len() != schema.len() {
-            return Err(Error::ArityMismatch {
-                expected: schema.len(),
-                found: header.len(),
-            });
-        }
-        for (attr, name) in schema.attributes().iter().zip(&header) {
-            if attr.name() != name.trim() {
-                return Err(Error::Csv {
-                    line: 1,
-                    message: format!(
-                        "header field `{}` does not match attribute `{}`",
-                        name,
-                        attr.name()
-                    ),
-                });
-            }
-        }
+        validate_header(&header, &schema)?;
     }
     let mut builder = TableBuilder::new(schema.clone());
     for (record_idx, record) in iter {
-        let line = record_idx + 1;
-        if record.len() != schema.len() {
-            return Err(Error::ArityMismatch {
-                expected: schema.len(),
-                found: record.len(),
-            });
-        }
-        let mut row = Vec::with_capacity(record.len());
-        for (i, raw) in record.iter().enumerate() {
-            let attr = schema.attribute(i);
-            let trimmed = raw.trim();
-            let value = if trimmed.is_empty() || trimmed == "?" {
-                Value::Missing
-            } else {
-                match attr.kind() {
-                    Kind::Int => Value::Int(trimmed.parse::<i64>().map_err(|_| Error::Parse {
-                        line,
-                        attribute: attr.name().to_owned(),
-                        text: raw.clone(),
-                    })?),
-                    Kind::Cat => Value::Text(trimmed.to_owned()),
-                }
-            };
-            row.push(value);
-        }
-        builder.push_row(row)?;
+        builder.push_row(parse_record_values(&record, &schema, record_idx + 1)?)?;
     }
     Ok(builder.finish())
+}
+
+/// Checks a header record against the schema's attribute names in order.
+fn validate_header(header: &[String], schema: &Schema) -> Result<()> {
+    if header.len() != schema.len() {
+        return Err(Error::ArityMismatch {
+            expected: schema.len(),
+            found: header.len(),
+        });
+    }
+    for (attr, name) in schema.attributes().iter().zip(header) {
+        if attr.name() != name.trim() {
+            return Err(Error::Csv {
+                line: 1,
+                message: format!(
+                    "header field `{}` does not match attribute `{}`",
+                    name,
+                    attr.name()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Converts one data record's raw fields into typed row values; `line` is the
+/// 1-based record number reported on parse failures.
+fn parse_record_values(record: &[String], schema: &Schema, line: usize) -> Result<Vec<Value>> {
+    if record.len() != schema.len() {
+        return Err(Error::ArityMismatch {
+            expected: schema.len(),
+            found: record.len(),
+        });
+    }
+    let mut row = Vec::with_capacity(record.len());
+    for (i, raw) in record.iter().enumerate() {
+        let attr = schema.attribute(i);
+        let trimmed = raw.trim();
+        let value = if trimmed.is_empty() || trimmed == "?" {
+            Value::Missing
+        } else {
+            match attr.kind() {
+                Kind::Int => Value::Int(trimmed.parse::<i64>().map_err(|_| Error::Parse {
+                    line,
+                    attribute: attr.name().to_owned(),
+                    text: raw.clone(),
+                })?),
+                Kind::Cat => Value::Text(trimmed.to_owned()),
+            }
+        };
+        row.push(value);
+    }
+    Ok(row)
 }
 
 /// Reads a table from any buffered reader; see [`read_table_str`].
@@ -175,6 +187,279 @@ pub fn read_table<R: BufRead>(mut reader: R, schema: Schema, has_header: bool) -
     let mut input = String::new();
     reader.read_to_string(&mut input)?;
     read_table_str(&input, schema, has_header)
+}
+
+/// Streaming CSV ingest: reads a [`ChunkedTable`] in bounded memory.
+///
+/// Semantically identical to `read_table` followed by
+/// [`ChunkedTable::from_table`] — same records, same values, same per-chunk
+/// dictionaries as a chunk-at-a-time build, and an error exactly when the
+/// buffered reader errors (the *variant* may differ when a file holds several
+/// errors: the stream reports the first one in document order, while the
+/// buffered path surfaces all CSV syntax errors before any value error).
+///
+/// Unlike `read_table` it never buffers the whole input: the working set is
+/// one 64 KiB read buffer, the record under construction, and the current
+/// chunk of at most `chunk_rows` rows (clamped to at least 1). That bounds
+/// ingest memory by the chunk size regardless of file size — the property the
+/// CI `ulimit` smoke pins down.
+pub fn read_chunked<R: BufRead>(
+    mut reader: R,
+    schema: Schema,
+    has_header: bool,
+    chunk_rows: usize,
+) -> Result<ChunkedTable> {
+    let mut out = ChunkedTable::new(schema.clone(), chunk_rows);
+    let mut splitter = StreamSplitter::new();
+    let mut sink = RecordSink::new(schema, has_header, out.chunk_rows());
+    let mut buf = [0u8; 64 * 1024];
+    // Up to 3 trailing bytes of a UTF-8 sequence split across reads.
+    let mut carry: Vec<u8> = Vec::new();
+    loop {
+        let n = reader.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        if carry.is_empty() {
+            feed_bytes(&buf[..n], &mut carry, &mut splitter, &mut sink, &mut out)?;
+        } else {
+            let mut joined = std::mem::take(&mut carry);
+            joined.extend_from_slice(&buf[..n]);
+            feed_bytes(&joined, &mut carry, &mut splitter, &mut sink, &mut out)?;
+        }
+    }
+    if !carry.is_empty() {
+        return Err(invalid_utf8());
+    }
+    if let Some(record) = splitter.finish()? {
+        sink.consume(record, &mut out)?;
+    }
+    sink.finish(&mut out)?;
+    Ok(out)
+}
+
+/// The error `BufRead::read_to_string` reports on malformed UTF-8, so the
+/// streaming and buffered readers fail identically.
+fn invalid_utf8() -> Error {
+    Error::from(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        "stream did not contain valid UTF-8",
+    ))
+}
+
+/// Decodes `bytes` as UTF-8 and feeds the characters through the splitter
+/// into the sink. A trailing incomplete sequence is stashed in `carry`; an
+/// invalid sequence is an error.
+fn feed_bytes(
+    bytes: &[u8],
+    carry: &mut Vec<u8>,
+    splitter: &mut StreamSplitter,
+    sink: &mut RecordSink,
+    out: &mut ChunkedTable,
+) -> Result<()> {
+    let text = match std::str::from_utf8(bytes) {
+        Ok(text) => text,
+        Err(e) => {
+            if e.error_len().is_some() {
+                return Err(invalid_utf8());
+            }
+            let (valid, rest) = bytes.split_at(e.valid_up_to());
+            *carry = rest.to_vec();
+            std::str::from_utf8(valid).expect("valid_up_to prefix is UTF-8")
+        }
+    };
+    for c in text.chars() {
+        if let Some(record) = splitter.feed(c)? {
+            sink.consume(record, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Where the incremental splitter is within the CSV grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SplitState {
+    /// In an unquoted field (possibly empty, possibly at record start).
+    Unquoted,
+    /// Inside a quoted field.
+    InQuotes,
+    /// Inside a quoted field, one `"` seen: either the start of an escaped
+    /// `""` or the field's closing quote.
+    QuoteSeen,
+    /// A `\r` seen outside quotes: only `\n` may follow.
+    CrSeen,
+}
+
+/// Incremental record splitter — the streaming twin of [`parse_records`].
+///
+/// Feeding a document character by character yields exactly the records (and
+/// exactly the errors, with the same line numbers) `parse_records` produces
+/// on the whole text; the `csv_streaming` proptest suite pins this.
+struct StreamSplitter {
+    state: SplitState,
+    field: String,
+    record: Vec<String>,
+    line: usize,
+    /// Distinguishes "no record in progress" from "record with one empty
+    /// field" so trailing newlines do not emit phantom records.
+    started: bool,
+}
+
+impl StreamSplitter {
+    fn new() -> StreamSplitter {
+        StreamSplitter {
+            state: SplitState::Unquoted,
+            field: String::new(),
+            record: Vec::new(),
+            line: 1,
+            started: false,
+        }
+    }
+
+    fn err(&self, message: &str) -> Error {
+        Error::Csv {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    /// Ends the current record (on a newline or at end of input).
+    fn end_record(&mut self) -> Option<Vec<String>> {
+        if self.started || !self.field.is_empty() {
+            self.record.push(std::mem::take(&mut self.field));
+            self.started = false;
+            Some(std::mem::take(&mut self.record))
+        } else {
+            None
+        }
+    }
+
+    /// Consumes one character; returns a record when one just completed.
+    fn feed(&mut self, c: char) -> Result<Option<Vec<String>>> {
+        match self.state {
+            SplitState::Unquoted => match c {
+                '"' => {
+                    self.started = true;
+                    if !self.field.is_empty() {
+                        return Err(self.err("quote inside unquoted field"));
+                    }
+                    self.state = SplitState::InQuotes;
+                }
+                ',' => {
+                    self.started = true;
+                    self.record.push(std::mem::take(&mut self.field));
+                }
+                '\r' => self.state = SplitState::CrSeen,
+                '\n' => {
+                    let record = self.end_record();
+                    self.line += 1;
+                    return Ok(record);
+                }
+                other => {
+                    self.started = true;
+                    self.field.push(other);
+                }
+            },
+            SplitState::InQuotes => match c {
+                '"' => self.state = SplitState::QuoteSeen,
+                '\n' => {
+                    self.line += 1;
+                    self.field.push('\n');
+                }
+                other => self.field.push(other),
+            },
+            // The quote seen was either the first half of an escaped `""` or
+            // the closing quote; only a separator may follow a closing quote.
+            SplitState::QuoteSeen => match c {
+                '"' => {
+                    self.field.push('"');
+                    self.state = SplitState::InQuotes;
+                }
+                ',' => {
+                    self.record.push(std::mem::take(&mut self.field));
+                    self.state = SplitState::Unquoted;
+                }
+                '\n' => {
+                    self.state = SplitState::Unquoted;
+                    let record = self.end_record();
+                    self.line += 1;
+                    return Ok(record);
+                }
+                '\r' => self.state = SplitState::CrSeen,
+                _ => return Err(self.err("data after closing quote")),
+            },
+            SplitState::CrSeen => match c {
+                '\n' => {
+                    self.state = SplitState::Unquoted;
+                    let record = self.end_record();
+                    self.line += 1;
+                    return Ok(record);
+                }
+                _ => return Err(self.err("bare carriage return")),
+            },
+        }
+        Ok(None)
+    }
+
+    /// Signals end of input; returns the final unterminated record, if any.
+    fn finish(&mut self) -> Result<Option<Vec<String>>> {
+        match self.state {
+            SplitState::InQuotes => Err(self.err("unterminated quoted field")),
+            SplitState::CrSeen => Err(self.err("bare carriage return")),
+            // A quote followed by end of input closed its field cleanly.
+            SplitState::Unquoted | SplitState::QuoteSeen => Ok(self.end_record()),
+        }
+    }
+}
+
+/// Turns a stream of records into chunks: validates the header, parses rows
+/// into a [`TableBuilder`], and flushes a chunk every `chunk_rows` rows.
+struct RecordSink {
+    schema: Schema,
+    has_header: bool,
+    chunk_rows: usize,
+    builder: TableBuilder,
+    record_idx: usize,
+}
+
+impl RecordSink {
+    fn new(schema: Schema, has_header: bool, chunk_rows: usize) -> RecordSink {
+        RecordSink {
+            builder: TableBuilder::new(schema.clone()),
+            schema,
+            has_header,
+            chunk_rows,
+            record_idx: 0,
+        }
+    }
+
+    fn consume(&mut self, record: Vec<String>, out: &mut ChunkedTable) -> Result<()> {
+        let record_idx = self.record_idx;
+        self.record_idx += 1;
+        if record_idx == 0 && self.has_header {
+            return validate_header(&record, &self.schema);
+        }
+        self.builder
+            .push_row(parse_record_values(&record, &self.schema, record_idx + 1)?)?;
+        if self.builder.n_rows() == self.chunk_rows {
+            let full = std::mem::replace(&mut self.builder, TableBuilder::new(self.schema.clone()));
+            out.push_chunk(full.finish());
+        }
+        Ok(())
+    }
+
+    fn finish(self, out: &mut ChunkedTable) -> Result<()> {
+        if self.has_header && self.record_idx == 0 {
+            return Err(Error::Csv {
+                line: 1,
+                message: "missing header".into(),
+            });
+        }
+        if self.builder.n_rows() > 0 {
+            out.push_chunk(self.builder.finish());
+        }
+        Ok(())
+    }
 }
 
 /// Reads a table with an *inferred* schema from headered CSV text.
@@ -439,5 +724,102 @@ mod tests {
         let input = b"50,Newport,HIV\n" as &[u8];
         let t = read_table(input, schema(), false).unwrap();
         assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn read_chunked_matches_buffered_reader() {
+        let input = "Age,City,Illness\n50,\"Newport, KY\",\"multi\nline\"\n?,Dayton,\n30,\"say \"\"hi\"\"\",Flu\n";
+        let buffered = read_table_str(input, schema(), true).unwrap();
+        for chunk_rows in [1usize, 2, 3, 100] {
+            let chunked = read_chunked(input.as_bytes(), schema(), true, chunk_rows).unwrap();
+            assert_eq!(chunked.to_table(), buffered, "chunk_rows={chunk_rows}");
+            assert_eq!(
+                chunked.n_chunks(),
+                buffered.n_rows().div_ceil(chunk_rows),
+                "chunk_rows={chunk_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_chunked_without_header() {
+        let chunked =
+            read_chunked(&b"50,Newport,HIV\n20,Dayton,Flu\n"[..], schema(), false, 1).unwrap();
+        assert_eq!(chunked.n_rows(), 2);
+        assert_eq!(chunked.n_chunks(), 2);
+    }
+
+    #[test]
+    fn read_chunked_errors_match_buffered_reader() {
+        let bad_inputs = [
+            "Age,City,Illness\n\"unterminated",
+            "Age,City,Illness\n\"x\"y,a,b\n",
+            "Age,City,Illness\na\rb,c,d\n",
+            "Age,City,Illness\nab\"cd,e,f\n",
+            "Age,Town,Illness\n50,Newport,X\n",
+            "Age,City,Illness\nold,Dayton,Y\n",
+            "Age,City\n50,Newport\n",
+            "Age,City,Illness\n50,Newport\n",
+            "",
+        ];
+        for input in bad_inputs {
+            let buffered = read_table_str(input, schema(), true);
+            let streamed = read_chunked(input.as_bytes(), schema(), true, 4);
+            assert!(buffered.is_err(), "buffered accepted {input:?}");
+            assert!(streamed.is_err(), "streamed accepted {input:?}");
+        }
+    }
+
+    #[test]
+    fn read_chunked_reports_bad_int_record_number() {
+        let input = "Age,City,Illness\n50,Newport,X\nold,Dayton,Y\n";
+        match read_chunked(input.as_bytes(), schema(), true, 4) {
+            Err(Error::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_chunked_rejects_invalid_utf8() {
+        let bytes: &[u8] = b"Age,City,Illness\n50,New\xffport,X\n";
+        assert!(matches!(
+            read_chunked(bytes, schema(), true, 4),
+            Err(Error::Io(_))
+        ));
+        // A sequence truncated by end of input is also invalid.
+        let truncated: &[u8] = b"Age,City,Illness\n50,Newport,X\n\xe2\x82";
+        assert!(matches!(
+            read_chunked(truncated, schema(), true, 4),
+            Err(Error::Io(_))
+        ));
+    }
+
+    #[test]
+    fn read_chunked_handles_multibyte_split_across_reads() {
+        // A 1-byte BufRead forces every multi-byte sequence to straddle a
+        // read boundary, exercising the UTF-8 carry.
+        struct OneByte<'a>(&'a [u8]);
+        impl std::io::Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.0.len().min(1).min(buf.len());
+                buf[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        impl std::io::BufRead for OneByte<'_> {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Ok(self.0)
+            }
+            fn consume(&mut self, amt: usize) {
+                self.0 = &self.0[amt..];
+            }
+        }
+        let input = "Age,City,Illness\n50,Zürich,Grippe\n";
+        let chunked = read_chunked(OneByte(input.as_bytes()), schema(), true, 4).unwrap();
+        assert_eq!(
+            chunked.to_table(),
+            read_table_str(input, schema(), true).unwrap()
+        );
     }
 }

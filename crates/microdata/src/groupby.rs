@@ -5,6 +5,10 @@
 //! and p-sensitivity with per-group `COUNT(DISTINCT S_j)`. [`GroupBy`]
 //! implements exactly those two operators over columnar data.
 
+use crate::chunked::{
+    assign_global_ids, chunk_parallel_map, first_appearances, merge_key, scatter_global,
+    ChunkedTable, LocalCodes,
+};
 use crate::column::Column;
 use crate::hash::FxHashMap;
 use crate::table::Table;
@@ -80,16 +84,15 @@ impl CodeCombiner {
         self.refine_with(current, n_groups, n_codes, |row| map[base[row] as usize])
     }
 
-    fn refine_with(
-        &mut self,
-        current: &mut [u32],
-        n_groups: u32,
-        n_codes: u32,
-        code_of_row: impl Fn(usize) -> u32,
-    ) -> u32 {
+    /// Begins a refinement pass mapping `(current group, code)` pairs, with
+    /// `n_groups` dense ids and codes `< n_codes`. Rows are then fed in
+    /// row-order segments through [`RefinePass::segment`] — the streaming
+    /// entry point letting chunked callers refine one global partition slice
+    /// by slice without materializing a whole-table code vector.
+    pub fn begin(&mut self, n_groups: u32, n_codes: u32) -> RefinePass<'_> {
         let product = n_groups as u64 * n_codes as u64;
-        let mut next = 0u32;
-        if product <= Self::RADIX_CAP as u64 {
+        let dense = product <= Self::RADIX_CAP as u64;
+        if dense {
             if self.radix.len() < product as usize {
                 self.radix.resize(product as usize, u32::MAX);
             }
@@ -97,14 +100,55 @@ impl CodeCombiner {
                 self.radix[slot as usize] = u32::MAX;
             }
             self.touched.clear();
+        } else {
+            self.hash.clear();
+        }
+        RefinePass {
+            combiner: self,
+            n_codes,
+            next: 0,
+            dense,
+        }
+    }
+
+    fn refine_with(
+        &mut self,
+        current: &mut [u32],
+        n_groups: u32,
+        n_codes: u32,
+        code_of_row: impl Fn(usize) -> u32,
+    ) -> u32 {
+        let mut pass = self.begin(n_groups, n_codes);
+        pass.segment(current, code_of_row);
+        pass.n_groups()
+    }
+}
+
+/// An in-progress [`CodeCombiner`] refinement fed row segments in order —
+/// see [`CodeCombiner::begin`].
+#[derive(Debug)]
+pub struct RefinePass<'a> {
+    combiner: &'a mut CodeCombiner,
+    n_codes: u32,
+    next: u32,
+    dense: bool,
+}
+
+impl RefinePass<'_> {
+    /// Refines the next segment of rows in place: `current[i]` is row `i`'s
+    /// group id before the call and `code_of(i)` its code (`< n_codes`).
+    /// Refined ids are dense across all segments of the pass, assigned in
+    /// first-appearance order.
+    pub fn segment(&mut self, current: &mut [u32], code_of: impl Fn(usize) -> u32) {
+        if self.dense {
             for (row, cur) in current.iter_mut().enumerate() {
-                let key = *cur as usize * n_codes as usize + code_of_row(row) as usize;
-                let id = self.radix[key];
+                let key = *cur as usize * self.n_codes as usize + code_of(row) as usize;
+                let id = self.combiner.radix[key];
                 let id = if id == u32::MAX {
-                    let id = next;
-                    self.radix[key] = id;
-                    self.touched.push(key as u32);
-                    next += 1;
+                    let id = self.next;
+                    self.combiner.radix[key] = id;
+                    self.combiner.touched.push(key as u32);
+                    self.next += 1;
                     id
                 } else {
                     id
@@ -112,20 +156,25 @@ impl CodeCombiner {
                 *cur = id;
             }
         } else {
-            self.hash.clear();
+            let next = &mut self.next;
             for (row, cur) in current.iter_mut().enumerate() {
                 let id = *self
+                    .combiner
                     .hash
-                    .entry((*cur, code_of_row(row)))
+                    .entry((*cur, code_of(row)))
                     .or_insert_with(|| {
-                        let id = next;
-                        next += 1;
+                        let id = *next;
+                        *next += 1;
                         id
                     });
                 *cur = id;
             }
         }
-        next
+    }
+
+    /// Number of refined groups assigned so far.
+    pub fn n_groups(&self) -> u32 {
+        self.next
     }
 }
 
@@ -148,6 +197,62 @@ impl GroupBy {
             n_groups = combiner.refine(&mut current, n_groups, &codes, n_codes);
         }
         GroupBy::from_assignment(current, n_groups, by.to_vec())
+    }
+
+    /// Groups a [`ChunkedTable`] by the attributes at `by`, chunk-parallel on
+    /// `threads` workers — byte-identical to running [`GroupBy::compute`] on
+    /// `chunked.to_table()`.
+    ///
+    /// With `threads <= 1` (or a single chunk) the work runs on the
+    /// column-at-a-time streaming path instead: one global partition refined
+    /// chunk slice by chunk slice (see [`CodeCombiner::begin`]), with
+    /// per-chunk dictionaries unified upfront. That path runs the same row
+    /// passes as the serial kernel — no local partitions, no merge keys, no
+    /// scatter — so opting into chunked storage costs nothing when there is
+    /// no parallelism to buy.
+    ///
+    /// Otherwise: a two-pass radix merge. Pass 1 partitions each chunk
+    /// independently on
+    /// scoped worker threads (panicking chunks are re-run serially, see
+    /// [`chunk_parallel_map`]): the same column-at-a-time [`CodeCombiner`]
+    /// refinement as the serial path, over per-chunk dense codes. Pass 2
+    /// merges serially: per-chunk dictionaries of categorical `by` columns
+    /// are unified in chunk order, each local group is keyed by its
+    /// representative row's cell values (integer value / global dictionary
+    /// code / missing marker), and global ids are assigned walking chunks in
+    /// order and local groups in local-id order. Local ids are dense in
+    /// within-chunk first-appearance order, so that traversal assigns global
+    /// ids in whole-table first-appearance order — exactly the serial
+    /// assignment. A final linear pass rewrites local ids to global ids
+    /// (chunk 0's remap is always the identity; a single chunk is moved
+    /// through with no rewrite at all).
+    pub fn compute_chunked(chunked: &ChunkedTable, by: &[usize], threads: usize) -> GroupBy {
+        if threads <= 1 || chunked.n_chunks() <= 1 {
+            return compute_chunked_streaming(chunked, by);
+        }
+        let parts = chunk_parallel_map(chunked.n_chunks(), threads, |c| {
+            partition_chunk(chunked.chunk(c), by)
+        });
+        let dict_remaps: Vec<_> = by
+            .iter()
+            .map(|&col| chunked.merge_column_dictionaries(col))
+            .collect();
+        let n_locals: Vec<u32> = parts.iter().map(|p| p.n_local).collect();
+        let (id_remaps, n_global) = assign_global_ids(&n_locals, |c, lg| {
+            let rep = parts[c].reps[lg as usize] as usize;
+            by.iter()
+                .zip(&dict_remaps)
+                .map(|(&col, remap)| {
+                    merge_key(
+                        chunked.chunk(c).column(col),
+                        rep,
+                        remap.as_ref().map(|r| &r[c]),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        let current = scatter_global(chunked.n_rows(), parts, &id_remaps);
+        GroupBy::from_assignment(current, n_global, by.to_vec())
     }
 
     /// Builds a grouping directly from pre-combined dense group ids — the
@@ -213,6 +318,13 @@ impl GroupBy {
     /// Group id of `row`.
     pub fn group_of(&self, row: usize) -> u32 {
         self.group_of_row[row]
+    }
+
+    /// Group id of every row, indexed by row — ids are dense and numbered in
+    /// first-appearance order, so two groupings agree iff these slices are
+    /// equal.
+    pub fn assignments(&self) -> &[u32] {
+        &self.group_of_row
     }
 
     /// Sizes of all groups, indexed by group id.
@@ -324,6 +436,111 @@ impl GroupBy {
     pub fn key_of_group(&self, table: &Table, g: usize) -> Vec<Value> {
         let row = self.representatives[g] as usize;
         self.by.iter().map(|&c| table.value(row, c)).collect()
+    }
+}
+
+/// Pass 1 of [`GroupBy::compute_chunked`]: partitions one chunk with the
+/// serial refinement chain, yielding local ids dense in within-chunk
+/// first-appearance order plus one representative row per local group.
+fn partition_chunk(chunk: &Table, by: &[usize]) -> LocalCodes {
+    let n = chunk.n_rows();
+    let mut current = vec![0u32; n];
+    let mut n_local: u32 = u32::from(n > 0);
+    let mut combiner = CodeCombiner::new();
+    for &col_idx in by {
+        let (codes, n_codes) = chunk.column(col_idx).dense_codes();
+        n_local = combiner.refine(&mut current, n_local, &codes, n_codes);
+    }
+    LocalCodes {
+        reps: first_appearances(&current, n_local),
+        local: current,
+        n_local,
+    }
+}
+
+/// Streaming path of [`GroupBy::compute_chunked`] for `threads <= 1`:
+/// column-at-a-time refinement of one global partition, fed chunk slice by
+/// chunk slice through a single [`RefinePass`] per column.
+fn compute_chunked_streaming(chunked: &ChunkedTable, by: &[usize]) -> GroupBy {
+    let mut current = vec![0u32; chunked.n_rows()];
+    let mut n_groups: u32 = u32::from(chunked.n_rows() > 0);
+    let mut combiner = CodeCombiner::new();
+    for &col in by {
+        n_groups = refine_chunks_by_column(chunked, col, &mut current, n_groups, &mut combiner);
+    }
+    GroupBy::from_assignment(current, n_groups, by.to_vec())
+}
+
+/// Refines the global partition `current` by one column of a chunked table.
+///
+/// Refined ids depend only on which rows share a cell value, never on how
+/// the codes are numbered, so any injective, cross-chunk-consistent code
+/// works. Categorical columns use global dictionary codes (per-chunk
+/// dictionaries unified upfront — a pass over dictionary entries, not rows)
+/// plus one reserved code for missing cells, fused into a single row pass.
+/// Integer columns run the serial densify pass, read chunk by chunk with
+/// one persistent value→code map, then one refine.
+fn refine_chunks_by_column(
+    chunked: &ChunkedTable,
+    col: usize,
+    current: &mut [u32],
+    n_groups: u32,
+    combiner: &mut CodeCombiner,
+) -> u32 {
+    match chunked.merge_column_dictionaries(col) {
+        Some(remaps) => {
+            // Every global code appears in some chunk's remap, so the global
+            // dictionary size is the largest remap entry + 1; missing cells
+            // take the next code up.
+            let missing_code = remaps
+                .iter()
+                .flatten()
+                .copied()
+                .max()
+                .map_or(0, |max| max + 1);
+            let mut pass = combiner.begin(n_groups, missing_code + 1);
+            let mut offset = 0usize;
+            for (c, chunk) in chunked.chunks().iter().enumerate() {
+                let Column::Cat(cat) = chunk.column(col) else {
+                    unreachable!("chunk columns match the schema kind")
+                };
+                let remap = &remaps[c];
+                let end = offset + chunk.n_rows();
+                pass.segment(&mut current[offset..end], |row| {
+                    cat.code_at(row)
+                        .map_or(missing_code, |raw| remap[raw as usize])
+                });
+                offset = end;
+            }
+            pass.n_groups()
+        }
+        None => {
+            let mut map: FxHashMap<i64, u32> = FxHashMap::default();
+            let mut missing_code: Option<u32> = None;
+            let mut next = 0u32;
+            let mut codes = Vec::with_capacity(chunked.n_rows());
+            for chunk in chunked.chunks() {
+                let Column::Int(ints) = chunk.column(col) else {
+                    unreachable!("chunk columns match the schema kind")
+                };
+                for row in 0..ints.len() {
+                    let code = match ints.get(row) {
+                        Some(v) => *map.entry(v).or_insert_with(|| {
+                            let code = next;
+                            next += 1;
+                            code
+                        }),
+                        None => *missing_code.get_or_insert_with(|| {
+                            let code = next;
+                            next += 1;
+                            code
+                        }),
+                    };
+                    codes.push(code);
+                }
+            }
+            combiner.refine(current, n_groups, &codes, next)
+        }
     }
 }
 
@@ -545,6 +762,68 @@ mod tests {
             gb.distinct_codes_per_group(&codes, n_codes),
             gb.distinct_per_group(col)
         );
+    }
+
+    #[test]
+    fn compute_chunked_matches_serial_for_all_shapes() {
+        let t = patient_table();
+        let by_sets: &[&[usize]] = &[&[0, 1, 2], &[2, 0], &[3], &[]];
+        for &by in by_sets {
+            let serial = GroupBy::compute(&t, by);
+            for chunk_rows in [1usize, 2, 3, 7, 100] {
+                let chunked = ChunkedTable::from_table(&t, chunk_rows);
+                for threads in [1usize, 2, 8] {
+                    let par = GroupBy::compute_chunked(&chunked, by, threads);
+                    assert_eq!(
+                        par.group_of_row, serial.group_of_row,
+                        "by={by:?} chunk_rows={chunk_rows} threads={threads}"
+                    );
+                    assert_eq!(par.sizes(), serial.sizes());
+                    assert_eq!(par.representatives(), serial.representatives());
+                    assert_eq!(par.by(), serial.by());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_chunked_pins_empty_table_and_empty_by() {
+        // Group-by semantics on the degenerate shapes are well-defined and
+        // identical across the serial and chunked paths: an empty table
+        // yields zero groups, an empty `by` yields SQL's `GROUP BY ()`
+        // single all-rows group.
+        let t = patient_table();
+        let empty = t.filter(|_| false);
+        let gb = GroupBy::compute_chunked(&ChunkedTable::from_table(&empty, 4), &[0], 2);
+        assert_eq!(gb.n_groups(), 0);
+        assert_eq!(gb.n_rows(), 0);
+        assert_eq!(gb.min_group_size(), None);
+
+        let gb = GroupBy::compute_chunked(&ChunkedTable::from_table(&t, 2), &[], 2);
+        assert_eq!(gb.n_groups(), 1);
+        assert_eq!(gb.sizes(), &[6]);
+    }
+
+    #[test]
+    fn compute_chunked_unifies_independent_chunk_dictionaries() {
+        // Chunks interned independently (as streaming ingest produces them)
+        // must group identically to the serial pass over the concatenation.
+        let schema = Schema::new(vec![
+            Attribute::cat_key("City"),
+            Attribute::cat_confidential("S"),
+        ])
+        .unwrap();
+        let c1 = table_from_str_rows(schema.clone(), &[&["b", "x"], &["a", "y"]]).unwrap();
+        let c2 =
+            table_from_str_rows(schema.clone(), &[&["a", "x"], &["c", "y"], &["b", "x"]]).unwrap();
+        let mut chunked = crate::chunked::ChunkedTable::new(schema, 3);
+        chunked.push_chunk(c1);
+        chunked.push_chunk(c2);
+        let serial = GroupBy::compute(&chunked.to_table(), &[0]);
+        let par = GroupBy::compute_chunked(&chunked, &[0], 2);
+        assert_eq!(par.group_of_row, serial.group_of_row);
+        assert_eq!(par.sizes(), serial.sizes());
+        assert_eq!(par.representatives(), serial.representatives());
     }
 
     #[test]

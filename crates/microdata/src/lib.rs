@@ -50,6 +50,7 @@
 
 mod bitmap;
 mod builder;
+mod chunked;
 mod column;
 pub mod csv;
 mod describe;
@@ -66,13 +67,17 @@ mod value;
 
 pub use bitmap::Bitmap;
 pub use builder::{table_from_str_rows, TableBuilder};
+pub use chunked::{
+    assign_global_ids, chunk_parallel_map, first_appearances, scatter_global, ChunkedTable,
+    DictionaryMerger, LocalCodes,
+};
 pub use column::{CatColumn, Column, IntColumn};
 pub use describe::{describe, describe_column, ColumnSummary};
 pub use dictionary::Dictionary;
 pub use display::render;
 pub use error::{Error, Result};
 pub use freq::FrequencySet;
-pub use groupby::{CodeCombiner, GroupBy};
+pub use groupby::{CodeCombiner, GroupBy, RefinePass};
 pub use json::{JsonError, JsonResult, JsonValue};
 pub use schema::{Attribute, Kind, Role, Schema};
 pub use table::Table;

@@ -266,6 +266,7 @@ fn replayed_verdicts_do_not_consume_the_node_budget() {
     let tuning = Tuning {
         threads: 1,
         cache: Some(&store),
+        chunk_rows: 0,
     };
     let first = exhaustive_scan_tuned(&im, &qi, p, k, ts, &budget, tuning, &NoopObserver).unwrap();
     assert_eq!(first.stats.nodes_evaluated, 10);
@@ -309,6 +310,7 @@ fn inferred_verdicts_never_count_against_the_budget() {
     let tuning = Tuning {
         threads: 1,
         cache: Some(&store),
+        chunk_rows: 0,
     };
     let unlimited = SearchBudget::unlimited();
 

@@ -159,7 +159,11 @@ fn assert_tuned_searches_match_serial(
     let store = VerdictStore::new(&lattice, ts);
     for cache in [None, Some(&store)] {
         for threads in [1usize, 2, 8] {
-            let tuning = Tuning { threads, cache };
+            let tuning = Tuning {
+                threads,
+                cache,
+                chunk_rows: 0,
+            };
             let setting = format!(
                 "p={p} k={k} ts={ts} threads={threads} cache={}",
                 cache.is_some()
@@ -277,6 +281,7 @@ fn a_levelwise_warmed_store_answers_the_whole_binary_search() {
     let tuning = Tuning {
         threads: 1,
         cache: Some(&store),
+        chunk_rows: 0,
     };
     let unlimited = SearchBudget::unlimited();
 
