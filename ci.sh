@@ -108,4 +108,14 @@ code=0
     --k 1 --p 1 --threads 1 > /dev/null 2>&1 ) || code=$?
 [ "$code" -ne 0 ] || { echo "ceiling not binding: buffered check fit in 2 GB"; exit 1; }
 
+echo "==> gate: chunked group-by thread scaling (threads=8 vs 1 at 10M rows)"
+# The morsel executor must actually buy wall-clock on real parallelism:
+# on hosts with >= 4 cores, 8 threads must beat 1 thread or the gate fails.
+# On smaller hosts the binary prints a loud SKIPPED banner and exits 0 —
+# a 1-core box cannot demonstrate scaling, and pretending it passed would
+# hide real regressions. The bench crate is outside the default member set
+# but this bin has no external dependencies, so the build stays offline.
+cargo build --release --locked -p psens-bench --bin chunked_scaling
+target/release/chunked_scaling --gate
+
 echo "CI OK"

@@ -8,13 +8,17 @@
 
 use psens_core::evaluator::EvalContext;
 use psens_core::verdict::VerdictStore;
+use psens_microdata::resolve_threads;
 
 /// Knobs for the `*_tuned` search entry points.
 #[derive(Debug, Clone, Copy)]
 pub struct Tuning<'a> {
-    /// Worker threads for per-stratum evaluation. `0` and `1` both mean
-    /// serial (the historical code path, bit-identical stats); with more
-    /// threads each lattice stratum is chunked across scoped workers.
+    /// Worker threads for per-stratum evaluation and the chunked partition
+    /// kernel. `1` means serial (the historical code path, bit-identical
+    /// stats); `0` means one worker per available core
+    /// ([`std::thread::available_parallelism`], the same convention as the
+    /// CLI's `--threads 0`); with more threads each lattice stratum is
+    /// chunked across scoped workers.
     pub threads: usize,
     /// Shared verdict store consulted before every kernel check and updated
     /// with every fresh verdict. The store must have been built for the
@@ -40,9 +44,10 @@ impl Default for Tuning<'_> {
 }
 
 impl<'a> Tuning<'a> {
-    /// Effective worker count: at least one.
+    /// Effective worker count: at least one; `0` resolves to the available
+    /// parallelism (see [`resolve_threads`]).
     pub fn effective_threads(&self) -> usize {
-        self.threads.max(1)
+        resolve_threads(self.threads).max(1)
     }
 
     /// Applies the chunked-partition setting to a freshly built evaluator

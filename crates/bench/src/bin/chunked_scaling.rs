@@ -1,20 +1,33 @@
 //! Records the chunked group-by scaling curve on the scale workload
 //! (Adult-shaped, no identifier column, bounded dictionaries): serial
-//! `GroupBy::compute` versus the two-pass parallel radix
-//! `GroupBy::compute_chunked` at 100k/1M/10M rows and 1/2/4/8 threads.
+//! `GroupBy::compute` versus the morsel-driven hash-partitioned
+//! `GroupBy::compute_chunked` at 100k/1M/10M rows and 1/2/4/8 threads,
+//! with the executor's per-phase breakdown (partition / build / reorder).
 //!
 //! Run with:
-//! `cargo run --release -p psens-bench --bin chunked_scaling > BENCH_5.json`
+//! `cargo run --release -p psens-bench --bin chunked_scaling > BENCH_6.json`
 //!
-//! Two numbers back the design claims:
+//! Or as the CI thread-scaling gate:
+//! `cargo run --release -p psens-bench --bin chunked_scaling -- --gate`
+//! which checks that threads=8 beats threads=1 wall-clock at 10M rows on
+//! hosts with at least [`GATE_MIN_CORES`] cores (exit 1 on regression) and
+//! SKIPs loudly on smaller hosts (exit 0 — a 1-core box cannot demonstrate
+//! scaling, and silently "passing" there would hide real regressions).
 //!
-//! - `single_thread_overhead_pct` (largest size): `compute_chunked` at one
-//!   thread versus the serial path on the materialized table, measured in
-//!   alternating best-of rounds so clock drift on shared machines does not
-//!   bias either side. The chunked merge must cost ≤2% — it is the price of
-//!   admission for bounded-memory ingest.
-//! - the per-size thread curve, with `host_parallelism` recorded so scaling
-//!   figures from 1-core CI boxes are not mistaken for regressions.
+//! Honesty rules learned from BENCH_5, whose `chunked_speedup_best_vs_1`
+//! could only ever print ≥ 1.00 (the "best" included threads=1 itself, so a
+//! 0.86x regression rounded to a reassuring 1.00):
+//!
+//! - per-thread-count speedups `speedup_T_vs_1 = t1_secs / tT_secs` to two
+//!   decimals, so a slowdown prints as e.g. 0.86, never 1.00;
+//! - `host_parallelism` recorded per entry, so scaling figures from 1-core
+//!   CI boxes are not mistaken for (or used to excuse) regressions.
+//!
+//! `single_thread_overhead_pct` (largest size) still tracks the streaming
+//! one-thread path against the serial kernel in alternating best-of rounds:
+//! the threads=1 specialization must stay within a few percent of
+//! `GroupBy::compute` — it is the price of admission for bounded-memory
+//! ingest.
 //!
 //! Unlike the Criterion benches this needs no dev-dependencies, so it runs
 //! in the hermetic (offline) build too.
@@ -27,6 +40,10 @@ use std::time::Instant;
 const CHUNK_ROWS: usize = 65_536;
 const SIZES: [usize; 3] = [100_000, 1_000_000, 10_000_000];
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Minimum host cores for the `--gate` check to be meaningful.
+const GATE_MIN_CORES: usize = 4;
+/// Row count the gate measures at (the largest benched size).
+const GATE_ROWS: usize = 10_000_000;
 
 /// Best wall-clock of `rounds` timed repetitions (after one warm-up call).
 fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
@@ -40,87 +57,173 @@ fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn main() {
-    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
-    let mut size_reports = Vec::new();
-    let mut overhead_pct = 0.0f64;
-    for (i, &n) in SIZES.iter().enumerate() {
-        let rounds = if n >= 10_000_000 { 3 } else { 5 };
-        let chunked = workloads::scale_chunked(n, CHUNK_ROWS);
-        let table = chunked.to_table();
-        let keys = table.schema().key_indices();
+/// One benched size: timings per thread count plus the 8-thread phase
+/// breakdown.
+struct SizeReport {
+    n_rows: usize,
+    n_chunks: usize,
+    serial_secs: f64,
+    by_threads: Vec<(usize, f64)>,
+    /// (partition, build, reorder) seconds of one profiled multi-thread run
+    /// at the highest thread count (zeros when that run streamed serially).
+    phases_threads_max: (f64, f64, f64),
+}
 
-        // Sanity: the chunked merge must reproduce the serial group ids
-        // exactly before its timings mean anything.
-        let serial_gb = GroupBy::compute(&table, &keys);
-        let chunked_gb = GroupBy::compute_chunked(&chunked, &keys, host_parallelism);
-        assert_eq!(serial_gb.n_groups(), chunked_gb.n_groups());
-        assert_eq!(serial_gb.assignments(), chunked_gb.assignments());
+fn bench_size(n: usize, host_parallelism: usize) -> (SizeReport, f64) {
+    let rounds = if n >= 10_000_000 { 3 } else { 5 };
+    let chunked = workloads::scale_chunked(n, CHUNK_ROWS);
+    let table = chunked.to_table();
+    let keys = table.schema().key_indices();
 
-        // Alternating best-of rounds for the serial/one-thread pair.
-        let mut serial = f64::INFINITY;
-        let mut chunked_1 = f64::INFINITY;
-        for _ in 0..rounds {
-            serial = serial.min(best_secs(1, || {
-                black_box(GroupBy::compute(black_box(&table), &keys));
-            }));
-            chunked_1 = chunked_1.min(best_secs(1, || {
-                black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 1));
-            }));
-        }
-        let mut by_threads = vec![(1usize, chunked_1)];
-        for &threads in &THREADS[1..] {
-            by_threads.push((
-                threads,
-                best_secs(rounds, || {
-                    black_box(GroupBy::compute_chunked(
-                        black_box(&chunked),
-                        &keys,
-                        threads,
-                    ));
-                }),
-            ));
-        }
-        if i == SIZES.len() - 1 {
-            overhead_pct = (chunked_1 / serial - 1.0) * 100.0;
-        }
-        size_reports.push((n, chunked.n_chunks(), serial, by_threads));
+    // Sanity: the executor must reproduce the serial group ids exactly
+    // before its timings mean anything.
+    let serial_gb = GroupBy::compute(&table, &keys);
+    let chunked_gb = GroupBy::compute_chunked(&chunked, &keys, host_parallelism.max(2));
+    assert_eq!(serial_gb.n_groups(), chunked_gb.n_groups());
+    assert_eq!(serial_gb.assignments(), chunked_gb.assignments());
+
+    // Alternating best-of rounds for the serial/one-thread pair, so clock
+    // drift on shared machines does not bias either side.
+    let mut serial = f64::INFINITY;
+    let mut chunked_1 = f64::INFINITY;
+    for _ in 0..rounds {
+        serial = serial.min(best_secs(1, || {
+            black_box(GroupBy::compute(black_box(&table), &keys));
+        }));
+        chunked_1 = chunked_1.min(best_secs(1, || {
+            black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 1));
+        }));
     }
+    let mut by_threads = vec![(1usize, chunked_1)];
+    for &threads in &THREADS[1..] {
+        by_threads.push((
+            threads,
+            best_secs(rounds, || {
+                black_box(GroupBy::compute_chunked(
+                    black_box(&chunked),
+                    &keys,
+                    threads,
+                ));
+            }),
+        ));
+    }
+    let max_threads = *THREADS.last().expect("non-empty thread list");
+    let (_, timings) = GroupBy::compute_chunked_profiled(&chunked, &keys, max_threads, 0);
+    let overhead_pct = (chunked_1 / serial - 1.0) * 100.0;
+    (
+        SizeReport {
+            n_rows: n,
+            n_chunks: chunked.n_chunks(),
+            serial_secs: serial,
+            by_threads,
+            phases_threads_max: (
+                timings.partition.as_secs_f64(),
+                timings.build.as_secs_f64(),
+                timings.reorder.as_secs_f64(),
+            ),
+        },
+        overhead_pct,
+    )
+}
 
+fn print_json(reports: &[SizeReport], overhead_pct: f64, host_parallelism: usize) {
     println!("{{");
     println!("  \"workload\": {{");
     println!("    \"dataset\": \"scale (Adult-shaped, no identifier)\",");
     println!("    \"generator\": \"psens_datasets::ScaleGenerator\",");
     println!("    \"group_by\": \"key attributes (Age, MaritalStatus, Race, Sex)\",");
+    println!("    \"executor\": \"morsel-driven hash-partitioned (PR 6)\",");
     println!("    \"chunk_rows\": {CHUNK_ROWS}");
     println!("  }},");
     println!("  \"groupby_scaling\": [");
-    for (i, (n, n_chunks, serial, by_threads)) in size_reports.iter().enumerate() {
+    for (i, report) in reports.iter().enumerate() {
         println!("    {{");
-        println!("      \"n_rows\": {n},");
-        println!("      \"n_chunks\": {n_chunks},");
-        println!("      \"serial_secs\": {serial:.4},");
-        for (threads, secs) in by_threads {
+        println!("      \"n_rows\": {},", report.n_rows);
+        println!("      \"n_chunks\": {},", report.n_chunks);
+        println!("      \"host_parallelism\": {host_parallelism},");
+        println!("      \"serial_secs\": {:.4},", report.serial_secs);
+        for (threads, secs) in &report.by_threads {
             println!("      \"chunked_secs_threads_{threads}\": {secs:.4},");
         }
-        let (_, chunked_1) = by_threads[0];
-        let best_parallel = by_threads
+        let (_, chunked_1) = report.by_threads[0];
+        // Per-thread-count speedup vs one thread; values below 1.00 are
+        // regressions and must print as such.
+        for (threads, secs) in &report.by_threads[1..] {
+            println!("      \"speedup_{threads}_vs_1\": {:.2},", chunked_1 / secs);
+        }
+        let best = report
+            .by_threads
             .iter()
             .map(|&(_, s)| s)
             .fold(f64::INFINITY, f64::min);
+        let (partition, build, reorder) = report.phases_threads_max;
+        let max_threads = THREADS.last().expect("non-empty thread list");
+        println!("      \"phases_threads_{max_threads}\": {{");
+        println!("        \"partition_secs\": {partition:.4},");
+        println!("        \"build_secs\": {build:.4},");
+        println!("        \"reorder_secs\": {reorder:.4}");
+        println!("      }},");
         println!(
-            "      \"rows_per_sec_best\": {:.0},",
-            *n as f64 / best_parallel
-        );
-        println!(
-            "      \"chunked_speedup_best_vs_1\": {:.2}",
-            chunked_1 / best_parallel
+            "      \"rows_per_sec_best\": {:.0}",
+            report.n_rows as f64 / best
         );
         print!("    }}");
-        println!("{}", if i + 1 < size_reports.len() { "," } else { "" });
+        println!("{}", if i + 1 < reports.len() { "," } else { "" });
     }
     println!("  ],");
     println!("  \"single_thread_overhead_pct\": {overhead_pct:.2},");
     println!("  \"host_parallelism\": {host_parallelism}");
     println!("}}");
+}
+
+/// The CI thread-scaling gate (see module docs). Returns the process exit
+/// code.
+fn gate(host_parallelism: usize) -> i32 {
+    eprintln!("thread-scaling gate: chunked group-by at {GATE_ROWS} rows, threads=8 vs threads=1");
+    if host_parallelism < GATE_MIN_CORES {
+        eprintln!("!!------------------------------------------------------------------!!");
+        eprintln!(
+            "!! SKIPPED: host has {host_parallelism} core(s), gate needs >= {GATE_MIN_CORES}."
+        );
+        eprintln!("!! Thread scaling was NOT verified on this machine — run the gate on");
+        eprintln!("!! a multi-core host before trusting parallel group-by performance.");
+        eprintln!("!!------------------------------------------------------------------!!");
+        return 0;
+    }
+    let chunked = workloads::scale_chunked(GATE_ROWS, CHUNK_ROWS);
+    let keys = chunked.schema().key_indices();
+    let rounds = 3;
+    let t1 = best_secs(rounds, || {
+        black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 1));
+    });
+    let t8 = best_secs(rounds, || {
+        black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 8));
+    });
+    let speedup = t1 / t8;
+    eprintln!(
+        "threads=1: {t1:.4}s  threads=8: {t8:.4}s  speedup: {speedup:.2}x  \
+         (host_parallelism: {host_parallelism})"
+    );
+    if t8 < t1 {
+        eprintln!("gate PASSED: threads=8 beats threads=1");
+        0
+    } else {
+        eprintln!("gate FAILED: threads=8 did not beat threads=1 wall-clock");
+        1
+    }
+}
+
+fn main() {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    if std::env::args().any(|a| a == "--gate") {
+        std::process::exit(gate(host_parallelism));
+    }
+    let mut reports = Vec::new();
+    let mut overhead_pct = 0.0f64;
+    for &n in &SIZES {
+        let (report, overhead) = bench_size(n, host_parallelism);
+        overhead_pct = overhead; // keep the largest size's figure
+        reports.push(report);
+    }
+    print_json(&reports, overhead_pct, host_parallelism);
 }

@@ -94,9 +94,10 @@ COMMANDS:
   help       Show this message
 
   --chunk-rows N streams the input CSV in N-row column chunks instead of
-  buffering the whole file, and runs group-by and node checks chunk-parallel
+  buffering the whole file, and runs group-by and node checks morsel-parallel
   across --threads workers. Results are identical to the buffered path;
   0 (the default) keeps the historical single-table code.
+  --threads 0 (the default) means one worker per available core.
 ";
 
 /// Runs a parsed command line; returns the text to print plus the exit code,
@@ -195,10 +196,14 @@ fn chunk_rows_arg(args: &Args) -> Result<usize, String> {
     args.get_usize("chunk-rows", 0)
 }
 
-/// The `--threads` option, defaulting to the machine's parallelism.
+/// The `--threads` option: `0` (also the default when the flag is absent)
+/// means one worker per available core, resolved through the library-wide
+/// [`psens_microdata::resolve_threads`] so an explicit `--threads 0` and an
+/// omitted flag behave identically.
 fn threads_arg(args: &Args) -> Result<usize, String> {
-    let default = std::thread::available_parallelism().map_or(1, usize::from);
-    args.get_usize("threads", default)
+    Ok(psens_microdata::resolve_threads(
+        args.get_usize("threads", 0)?,
+    ))
 }
 
 fn load_spec(args: &Args) -> Result<Spec, String> {

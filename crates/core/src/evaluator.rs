@@ -33,9 +33,8 @@ use crate::masking::{MaskingContext, Result};
 use crate::observe::{elapsed_since, start_timer, SearchObserver};
 use crate::verdict::{Verdict, VerdictStore};
 use psens_hierarchy::{Error, Node, QiCodeMaps};
-use psens_microdata::{
-    assign_global_ids, chunk_parallel_map, scatter_global, CodeCombiner, LocalCodes, Role,
-};
+use psens_microdata::hash::{fmix64, mix64, KEY_HASH_SEED};
+use psens_microdata::{group_codes, resolve_threads, CodeCombiner, KeyKernel, Role, DENSE_CAP};
 use std::ops::ControlFlow;
 
 /// Where a confidential attribute's per-row codes come from.
@@ -46,6 +45,128 @@ enum ConfSource {
     /// Inside the QI space (index into the code maps): the column is
     /// generalized with the node, so its codes go through the level map.
     Mapped(usize),
+}
+
+/// One refinement column as the morsel executor sees it: row `r`'s key
+/// component is a dense code below `n_codes`.
+enum MappedCol<'a> {
+    /// A grouped QI attribute at the node's level: component `map[base[r]]`
+    /// — the generalization map fused into the key read, never
+    /// materialized.
+    Mapped {
+        /// Ground-level dense codes of the attribute.
+        base: &'a [u32],
+        /// Ground code → level code map of the node's level.
+        map: &'a [u32],
+        /// Exclusive bound on level codes.
+        n_codes: u32,
+    },
+    /// A static key column (outside the QI space): component `codes[r]`.
+    Plain {
+        /// Whole-table dense codes.
+        codes: &'a [u32],
+        /// Exclusive bound on the codes.
+        n_codes: u32,
+    },
+}
+
+impl MappedCol<'_> {
+    #[inline]
+    fn component(&self, row: usize) -> u32 {
+        match self {
+            MappedCol::Mapped { base, map, .. } => map[base[row] as usize],
+            MappedCol::Plain { codes, .. } => codes[row],
+        }
+    }
+
+    fn n_codes(&self) -> u32 {
+        match self {
+            MappedCol::Mapped { n_codes, .. } | MappedCol::Plain { n_codes, .. } => *n_codes,
+        }
+    }
+}
+
+/// [`KeyKernel`] over one node's refinement columns, feeding the morsel
+/// executor from whole-table contiguous slices. Every component is already
+/// a dense code, so the dense fused-key path covers any column-domain
+/// product under [`DENSE_CAP`]; wider keys fall back to the seeded hash
+/// with exact per-component verification.
+struct MappedKeyKernel<'a> {
+    n_rows: usize,
+    cols: Vec<MappedCol<'a>>,
+    product: Option<u32>,
+}
+
+impl<'a> MappedKeyKernel<'a> {
+    fn new(ctx: &'a EvalContext, node: &Node) -> MappedKeyKernel<'a> {
+        let mut cols = Vec::with_capacity(ctx.qi_is_key.len() + ctx.static_keys.len());
+        for (i, &level) in node.levels().iter().enumerate() {
+            if !ctx.qi_is_key[i] {
+                continue;
+            }
+            let attr = ctx.maps.attr(i);
+            let lm = attr.level(level as usize);
+            cols.push(MappedCol::Mapped {
+                base: attr.base(),
+                map: lm.map(),
+                n_codes: lm.n_codes(),
+            });
+        }
+        for (codes, n_codes) in &ctx.static_keys {
+            cols.push(MappedCol::Plain {
+                codes,
+                n_codes: *n_codes,
+            });
+        }
+        let mut running: u64 = 1;
+        for col in &cols {
+            running = running.saturating_mul(u64::from(col.n_codes()).max(1));
+        }
+        let product = (running <= DENSE_CAP).then_some(running.max(1) as u32);
+        MappedKeyKernel {
+            n_rows: ctx.n_rows,
+            cols,
+            product,
+        }
+    }
+}
+
+impl KeyKernel for MappedKeyKernel<'_> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn dense_product(&self) -> Option<u32> {
+        self.product
+    }
+
+    fn fill_dense(&self, start: usize, out: &mut [u32]) {
+        out.fill(0);
+        for col in &self.cols {
+            let d = col.n_codes().max(1);
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = *slot * d + col.component(start + i);
+            }
+        }
+    }
+
+    fn fill_hashed(&self, start: usize, out: &mut [u64]) {
+        out.fill(KEY_HASH_SEED);
+        for col in &self.cols {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = mix64(*slot, u64::from(col.component(start + i)));
+            }
+        }
+        for slot in out.iter_mut() {
+            *slot = fmix64(*slot);
+        }
+    }
+
+    fn rows_equal(&self, a: usize, b: usize) -> bool {
+        self.cols
+            .iter()
+            .all(|col| col.component(a) == col.component(b))
+    }
 }
 
 /// Everything node-invariant about one (table, QI space, k, p, TS) search —
@@ -168,14 +289,16 @@ impl EvalContext {
         })
     }
 
-    /// Enables chunk-parallel QI partitioning: per-node refinement runs over
-    /// row-range chunks of `chunk_rows` rows on `threads` scoped workers,
-    /// merged deterministically (see `GroupBy::compute_chunked` — group ids
-    /// stay byte-identical to the serial kernel, so every verdict, stage,
-    /// and count is unchanged). `chunk_rows = 0` keeps the serial path.
+    /// Enables morsel-parallel QI partitioning: per-node refinement runs on
+    /// the morsel-driven, hash-partitioned executor (`chunk_rows` rows per
+    /// morsel, `threads` scoped workers — `0` meaning one per available
+    /// core). Group ids stay byte-identical to the serial kernel (see
+    /// `psens_microdata::morsel`), so every verdict, stage, and count is
+    /// unchanged. `chunk_rows = 0` or one resolved thread keeps the serial
+    /// path.
     pub fn with_chunked_partition(mut self, chunk_rows: usize, threads: usize) -> EvalContext {
         self.chunk_rows = chunk_rows;
-        self.threads = threads.max(1);
+        self.threads = resolve_threads(threads);
         self
     }
 
@@ -421,7 +544,7 @@ impl NodeEvaluator<'_> {
     /// Refines the QI partition for `node`; returns the group count.
     fn partition(&mut self, node: &Node) -> u32 {
         let ctx = self.ctx;
-        if ctx.chunk_rows > 0 && ctx.n_rows > ctx.chunk_rows {
+        if ctx.chunk_rows > 0 && ctx.n_rows > ctx.chunk_rows && ctx.threads > 1 {
             return self.partition_chunked(node);
         }
         let n = ctx.n_rows;
@@ -450,78 +573,18 @@ impl NodeEvaluator<'_> {
         n_groups
     }
 
-    /// Chunk-parallel [`Self::partition`]: each worker refines a row-range
-    /// chunk with its own combiner over the same mapped columns (slices of
-    /// `base` and the static-key codes line up with the chunk's rows), then
-    /// local groups are merged by their representative rows' mapped code
-    /// vectors — assigning global ids in whole-table first-appearance order,
-    /// byte-identical to the serial refinement chain.
+    /// Morsel-parallel [`Self::partition`]: the node's refinement columns
+    /// (mapped QI codes at the node's levels, then static keys) feed the
+    /// shared morsel executor as a [`MappedKeyKernel`], with `chunk_rows`
+    /// rows per morsel — assigning global ids in whole-table
+    /// first-appearance order, byte-identical to the serial refinement
+    /// chain.
     fn partition_chunked(&mut self, node: &Node) -> u32 {
         let ctx = self.ctx;
-        let n = ctx.n_rows;
-        let chunk_rows = ctx.chunk_rows;
-        let n_chunks = n.div_ceil(chunk_rows);
-        let parts = chunk_parallel_map(n_chunks, ctx.threads, |c| {
-            let lo = c * chunk_rows;
-            let hi = (lo + chunk_rows).min(n);
-            let mut local = vec![0u32; hi - lo];
-            let mut n_local = 1u32; // every chunk is non-empty
-            let mut combiner = CodeCombiner::new();
-            for (i, &level) in node.levels().iter().enumerate() {
-                if !ctx.qi_is_key[i] {
-                    continue;
-                }
-                let attr = ctx.maps.attr(i);
-                let lm = attr.level(level as usize);
-                n_local = combiner.refine_mapped(
-                    &mut local,
-                    n_local,
-                    &attr.base()[lo..hi],
-                    lm.map(),
-                    lm.n_codes(),
-                );
-            }
-            for (codes, n_codes) in &ctx.static_keys {
-                n_local = combiner.refine(&mut local, n_local, &codes[lo..hi], *n_codes);
-            }
-            // Representatives as *global* row indices, for the merge keys.
-            let mut reps = vec![u32::MAX; n_local as usize];
-            for (r, &g) in local.iter().enumerate() {
-                if reps[g as usize] == u32::MAX {
-                    reps[g as usize] = (lo + r) as u32;
-                }
-            }
-            LocalCodes {
-                local,
-                n_local,
-                reps,
-            }
-        });
-        let n_locals: Vec<u32> = parts.iter().map(|p| p.n_local).collect();
-        let (remaps, n_global) = assign_global_ids(&n_locals, |c, lg| {
-            Self::mapped_key_of_row(ctx, node, parts[c].reps[lg as usize] as usize)
-        });
-        self.current = scatter_global(n, parts, &remaps);
-        n_global
-    }
-
-    /// The mapped codes of `row` across the refined columns, in refinement
-    /// order (grouped QI attributes at the node's levels, then static keys):
-    /// two rows land in the same QI-group iff their vectors are equal.
-    fn mapped_key_of_row(ctx: &EvalContext, node: &Node, row: usize) -> Vec<u32> {
-        let mut key = Vec::with_capacity(ctx.qi_is_key.len() + ctx.static_keys.len());
-        for (i, &level) in node.levels().iter().enumerate() {
-            if !ctx.qi_is_key[i] {
-                continue;
-            }
-            let attr = ctx.maps.attr(i);
-            let lm = attr.level(level as usize);
-            key.push(lm.map()[attr.base()[row] as usize]);
-        }
-        for (codes, _) in &ctx.static_keys {
-            key.push(codes[row]);
-        }
-        key
+        let kernel = MappedKeyKernel::new(ctx, node);
+        let (current, n_groups) = group_codes(&kernel, ctx.threads, ctx.chunk_rows);
+        self.current = current;
+        n_groups
     }
 
     /// Stage 4: per-group `COUNT(DISTINCT S_j) >= p` for every confidential

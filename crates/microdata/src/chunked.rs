@@ -237,8 +237,11 @@ impl ChunkedTable {
     /// which is exactly global first-appearance order. With `threads <= 1`
     /// (or a single chunk) one persistent value→code map streams through the
     /// chunks in row order instead — the serial densify pass reading chunked
-    /// storage, with no local densify, merge, or scatter.
+    /// storage, with no local densify, merge, or scatter. `threads == 0`
+    /// means one worker per available core
+    /// (see [`crate::morsel::resolve_threads`]).
     pub fn dense_codes(&self, col: usize, threads: usize) -> (Vec<u32>, u32) {
+        let threads = crate::morsel::resolve_threads(threads);
         if threads <= 1 || self.chunks.len() <= 1 {
             return self.dense_codes_streaming(col);
         }

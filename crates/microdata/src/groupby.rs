@@ -5,12 +5,12 @@
 //! and p-sensitivity with per-group `COUNT(DISTINCT S_j)`. [`GroupBy`]
 //! implements exactly those two operators over columnar data.
 
-use crate::chunked::{
-    assign_global_ids, chunk_parallel_map, first_appearances, merge_key, scatter_global,
-    ChunkedTable, LocalCodes,
-};
+use crate::chunked::ChunkedTable;
 use crate::column::Column;
 use crate::hash::FxHashMap;
+use crate::morsel::{
+    group_codes_timed, resolve_threads, ChunkedKeyKernel, PhaseTimings, DEFAULT_MORSEL_ROWS,
+};
 use crate::table::Table;
 use crate::value::Value;
 
@@ -199,60 +199,65 @@ impl GroupBy {
         GroupBy::from_assignment(current, n_groups, by.to_vec())
     }
 
-    /// Groups a [`ChunkedTable`] by the attributes at `by`, chunk-parallel on
-    /// `threads` workers — byte-identical to running [`GroupBy::compute`] on
-    /// `chunked.to_table()`.
+    /// Groups a [`ChunkedTable`] by the attributes at `by` on `threads`
+    /// workers — byte-identical to running [`GroupBy::compute`] on
+    /// `chunked.to_table()`. `threads == 0` means one worker per available
+    /// core (see [`resolve_threads`]).
     ///
-    /// With `threads <= 1` (or a single chunk) the work runs on the
-    /// column-at-a-time streaming path instead: one global partition refined
-    /// chunk slice by chunk slice (see [`CodeCombiner::begin`]), with
-    /// per-chunk dictionaries unified upfront. That path runs the same row
-    /// passes as the serial kernel — no local partitions, no merge keys, no
-    /// scatter — so opting into chunked storage costs nothing when there is
-    /// no parallelism to buy.
+    /// With one (resolved) thread the work runs on the column-at-a-time
+    /// streaming path: one global partition refined chunk slice by chunk
+    /// slice (see [`CodeCombiner::begin`]), with per-chunk dictionaries
+    /// unified upfront. That path runs the same row passes as the serial
+    /// kernel — no local partitions, no merge keys, no scatter — so opting
+    /// into chunked storage costs nothing when there is no parallelism to
+    /// buy.
     ///
-    /// Otherwise: a two-pass radix merge. Pass 1 partitions each chunk
-    /// independently on
-    /// scoped worker threads (panicking chunks are re-run serially, see
-    /// [`chunk_parallel_map`]): the same column-at-a-time [`CodeCombiner`]
-    /// refinement as the serial path, over per-chunk dense codes. Pass 2
-    /// merges serially: per-chunk dictionaries of categorical `by` columns
-    /// are unified in chunk order, each local group is keyed by its
-    /// representative row's cell values (integer value / global dictionary
-    /// code / missing marker), and global ids are assigned walking chunks in
-    /// order and local groups in local-id order. Local ids are dense in
-    /// within-chunk first-appearance order, so that traversal assigns global
-    /// ids in whole-table first-appearance order — exactly the serial
-    /// assignment. A final linear pass rewrites local ids to global ids
-    /// (chunk 0's remap is always the identity; a single chunk is moved
-    /// through with no rewrite at all).
+    /// Otherwise the morsel-driven, hash-partitioned executor runs (see
+    /// [`crate::morsel`]): workers pull [`DEFAULT_MORSEL_ROWS`]-sized row
+    /// ranges from a shared cursor, radix-partition rows by a multi-column
+    /// key kernel, build each partition's group table locally, and a final
+    /// canonical pass restores first-appearance group ids. Unlike the old
+    /// chunk-per-thread design, parallelism no longer depends on the chunk
+    /// layout: a single 10M-row chunk still fans out across all workers.
     pub fn compute_chunked(chunked: &ChunkedTable, by: &[usize], threads: usize) -> GroupBy {
-        if threads <= 1 || chunked.n_chunks() <= 1 {
-            return compute_chunked_streaming(chunked, by);
+        GroupBy::compute_chunked_morsels(chunked, by, threads, DEFAULT_MORSEL_ROWS)
+    }
+
+    /// [`GroupBy::compute_chunked`] with an explicit morsel size (rows per
+    /// cursor pull; `0` means [`DEFAULT_MORSEL_ROWS`]). The result is
+    /// independent of `morsel_rows` — the differential oracle pins this —
+    /// so the knob only exists for benchmarks and tests.
+    pub fn compute_chunked_morsels(
+        chunked: &ChunkedTable,
+        by: &[usize],
+        threads: usize,
+        morsel_rows: usize,
+    ) -> GroupBy {
+        GroupBy::compute_chunked_profiled(chunked, by, threads, morsel_rows).0
+    }
+
+    /// [`GroupBy::compute_chunked_morsels`], also returning the executor's
+    /// per-phase wall-clock breakdown (all-zero on the streaming path,
+    /// which has no phases).
+    pub fn compute_chunked_profiled(
+        chunked: &ChunkedTable,
+        by: &[usize],
+        threads: usize,
+        morsel_rows: usize,
+    ) -> (GroupBy, PhaseTimings) {
+        let threads = resolve_threads(threads);
+        if threads <= 1 {
+            return (
+                compute_chunked_streaming(chunked, by),
+                PhaseTimings::default(),
+            );
         }
-        let parts = chunk_parallel_map(chunked.n_chunks(), threads, |c| {
-            partition_chunk(chunked.chunk(c), by)
-        });
-        let dict_remaps: Vec<_> = by
-            .iter()
-            .map(|&col| chunked.merge_column_dictionaries(col))
-            .collect();
-        let n_locals: Vec<u32> = parts.iter().map(|p| p.n_local).collect();
-        let (id_remaps, n_global) = assign_global_ids(&n_locals, |c, lg| {
-            let rep = parts[c].reps[lg as usize] as usize;
-            by.iter()
-                .zip(&dict_remaps)
-                .map(|(&col, remap)| {
-                    merge_key(
-                        chunked.chunk(c).column(col),
-                        rep,
-                        remap.as_ref().map(|r| &r[c]),
-                    )
-                })
-                .collect::<Vec<_>>()
-        });
-        let current = scatter_global(chunked.n_rows(), parts, &id_remaps);
-        GroupBy::from_assignment(current, n_global, by.to_vec())
+        let kernel = ChunkedKeyKernel::new(chunked, by, threads);
+        let ((current, n_groups), timings) = group_codes_timed(&kernel, threads, morsel_rows);
+        (
+            GroupBy::from_assignment(current, n_groups, by.to_vec()),
+            timings,
+        )
     }
 
     /// Builds a grouping directly from pre-combined dense group ids — the
@@ -436,25 +441,6 @@ impl GroupBy {
     pub fn key_of_group(&self, table: &Table, g: usize) -> Vec<Value> {
         let row = self.representatives[g] as usize;
         self.by.iter().map(|&c| table.value(row, c)).collect()
-    }
-}
-
-/// Pass 1 of [`GroupBy::compute_chunked`]: partitions one chunk with the
-/// serial refinement chain, yielding local ids dense in within-chunk
-/// first-appearance order plus one representative row per local group.
-fn partition_chunk(chunk: &Table, by: &[usize]) -> LocalCodes {
-    let n = chunk.n_rows();
-    let mut current = vec![0u32; n];
-    let mut n_local: u32 = u32::from(n > 0);
-    let mut combiner = CodeCombiner::new();
-    for &col_idx in by {
-        let (codes, n_codes) = chunk.column(col_idx).dense_codes();
-        n_local = combiner.refine(&mut current, n_local, &codes, n_codes);
-    }
-    LocalCodes {
-        reps: first_appearances(&current, n_local),
-        local: current,
-        n_local,
     }
 }
 

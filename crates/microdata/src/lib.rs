@@ -61,6 +61,7 @@ mod freq;
 mod groupby;
 pub mod hash;
 pub mod json;
+pub mod morsel;
 mod schema;
 mod table;
 mod value;
@@ -79,6 +80,10 @@ pub use error::{Error, Result};
 pub use freq::FrequencySet;
 pub use groupby::{CodeCombiner, GroupBy, RefinePass};
 pub use json::{JsonError, JsonResult, JsonValue};
+pub use morsel::{
+    group_codes, group_codes_timed, resolve_threads, ChunkedKeyKernel, KeyKernel, PhaseTimings,
+    DEFAULT_MORSEL_ROWS, DENSE_CAP,
+};
 pub use schema::{Attribute, Kind, Role, Schema};
 pub use table::Table;
 pub use value::Value;

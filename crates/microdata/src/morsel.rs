@@ -1,0 +1,886 @@
+//! Morsel-driven, hash-partitioned parallel group-by executor.
+//!
+//! The PR 5 chunked group-by assigned one table chunk per scoped thread and
+//! merged the per-chunk group tables on the calling thread. BENCH_5 showed
+//! the merge dominating: every thread's output is re-keyed and re-scattered
+//! serially, so adding threads made 1M–10M row group-bys *slower*. This
+//! module replaces that design with the two-phase scheme used by
+//! morsel-driven engines:
+//!
+//! 1. **Partition.** Workers pull fixed-size row-range *morsels* from a
+//!    shared atomic cursor — no static chunk-per-thread assignment, so a
+//!    slow worker never strands work. Each row's key is reduced to either a
+//!    dense fused code (when the product of per-column domains fits
+//!    [`DENSE_CAP`]) or a seeded multiply-shift hash, and the row is written
+//!    into a per-worker, per-partition buffer. With `P =
+//!    next_pow2(threads)` partitions chosen by high hash bits, no two
+//!    workers ever touch the same buffer: zero cross-thread contention.
+//! 2. **Build.** Each partition now holds *all* rows of every group that
+//!    hashes into it, scattered across the per-worker buffers. Workers each
+//!    claim a disjoint set of partitions and build that partition's group
+//!    table locally (a dense radix table or a hash map with exact-key
+//!    verification). The "merge" is a trivial concatenation of per-partition
+//!    group counts.
+//!
+//! A final serial pass restores the *canonical* ids: every group records the
+//! minimum global row index among its members, and groups are ranked by that
+//! first appearance. Because group membership depends only on exact key
+//! equality and a minimum is order-independent, the output is byte-identical
+//! to the serial single-pass group-by for **any** thread count and morsel
+//! size — the differential oracle in `tests/chunked_equivalence.rs` pins
+//! this.
+//!
+//! Fault isolation keeps the PR 4 contract: each morsel runs under
+//! `catch_unwind`; a panicking morsel's partial buffer writes are rolled
+//! back and the morsel re-runs serially after the parallel phase (a second
+//! panic propagates). Phases 2 and 3 inherit the same contract from
+//! [`chunk_parallel_map`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::bitmap::Bitmap;
+use crate::chunked::{chunk_parallel_map, ChunkedTable};
+use crate::column::Column;
+use crate::hash::{fmix64, mix64, FxHashMap, KEY_HASH_SEED};
+
+/// Upper bound on the product of per-column key domains for the dense radix
+/// path. Below this, every distinct key fuses injectively into one `u32` and
+/// the per-partition group table is a flat array; above it, keys are hashed
+/// and verified by exact comparison. 2^20 entries × 4 bytes = 4 MiB per
+/// in-flight partition table.
+pub const DENSE_CAP: u64 = 1 << 20;
+
+/// Default number of rows per morsel. Small enough that 8 workers get
+/// hundreds of steal opportunities on a 10M-row table, large enough that the
+/// atomic cursor `fetch_add` is noise (one per 16Ki rows).
+pub const DEFAULT_MORSEL_ROWS: usize = 16_384;
+
+/// Resolves a requested thread count: `0` means "one worker per available
+/// core" via [`std::thread::available_parallelism`] (1 if the parallelism
+/// cannot be queried); any other value is taken literally. Every `threads`
+/// parameter in the workspace — CLI `--threads`, `Tuning::threads`, the
+/// chunked operators — is resolved through this function so `0` behaves
+/// identically everywhere.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    }
+}
+
+/// Wall-clock time spent in each phase of one executor run, for the
+/// BENCH_6 per-phase breakdown.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTimings {
+    /// Phase 1: morsel pull, key materialization, radix partition write.
+    pub partition: Duration,
+    /// Phase 2: per-partition local group-table build.
+    pub build: Duration,
+    /// Canonical re-ordering plus the final id scatter.
+    pub reorder: Duration,
+}
+
+/// A source of per-row grouping keys for the morsel executor.
+///
+/// The executor is generic over *where* keys come from — chunked tables
+/// ([`ChunkedKeyKernel`]), the evaluator's mapped per-node code columns, or
+/// test harnesses that inject faults. Implementations must be deterministic:
+/// the same row must always produce the same key, and `rows_equal` must be
+/// the exact key-equality relation (hash collisions across unequal rows are
+/// handled by the executor; disagreement between `fill_*` on equal rows is
+/// not).
+pub trait KeyKernel: Sync {
+    /// Total number of rows.
+    fn n_rows(&self) -> usize;
+
+    /// When every distinct key fuses injectively into a `u32` below
+    /// [`DENSE_CAP`], the (exclusive) bound on fused codes; `None` selects
+    /// the hashed path.
+    fn dense_product(&self) -> Option<u32>;
+
+    /// Writes the fused dense code of rows `start..start + out.len()` into
+    /// `out`. Only called when [`Self::dense_product`] is `Some`.
+    fn fill_dense(&self, start: usize, out: &mut [u32]);
+
+    /// Writes a well-mixed 64-bit key hash of rows `start..start +
+    /// out.len()` into `out`. Equal rows must hash equal; unequal rows may
+    /// collide (the executor verifies with [`Self::rows_equal`]).
+    fn fill_hashed(&self, start: usize, out: &mut [u64]);
+
+    /// Exact key equality between two rows. Only called on the hashed path.
+    fn rows_equal(&self, a: usize, b: usize) -> bool;
+}
+
+/// One partitioned row: its global index and its key (dense code or hash).
+type Entry<K> = (u32, K);
+
+/// One worker's output: a buffer of entries per partition.
+type Bufs<K> = Vec<Vec<Entry<K>>>;
+
+/// Computes the canonical group assignment of every row under `kernel`'s
+/// key relation: `(assignment, n_groups)` where ids are dense and ordered
+/// by first appearance, exactly as the serial group-by numbers them.
+///
+/// `threads` is resolved through [`resolve_threads`]; `morsel_rows == 0`
+/// selects [`DEFAULT_MORSEL_ROWS`].
+pub fn group_codes<K: KeyKernel + ?Sized>(
+    kernel: &K,
+    threads: usize,
+    morsel_rows: usize,
+) -> (Vec<u32>, u32) {
+    group_codes_timed(kernel, threads, morsel_rows).0
+}
+
+/// [`group_codes`], also returning the per-phase wall-clock breakdown.
+pub fn group_codes_timed<K: KeyKernel + ?Sized>(
+    kernel: &K,
+    threads: usize,
+    morsel_rows: usize,
+) -> ((Vec<u32>, u32), PhaseTimings) {
+    let n = kernel.n_rows();
+    let mut timings = PhaseTimings::default();
+    if n == 0 {
+        return ((Vec::new(), 0), timings);
+    }
+    let threads = resolve_threads(threads).max(1);
+    let morsel_rows = if morsel_rows == 0 {
+        DEFAULT_MORSEL_ROWS
+    } else {
+        morsel_rows
+    };
+    let p_count = threads.next_power_of_two();
+    let result = match kernel.dense_product() {
+        Some(product) => execute(
+            n,
+            threads,
+            p_count,
+            morsel_rows,
+            &mut timings,
+            |start, out: &mut [u32]| kernel.fill_dense(start, out),
+            |key| ((fmix64(u64::from(key)) >> 32) as usize) & (p_count - 1),
+            |entries| build_dense(product, entries),
+        ),
+        None => execute(
+            n,
+            threads,
+            p_count,
+            morsel_rows,
+            &mut timings,
+            |start, out: &mut [u64]| kernel.fill_hashed(start, out),
+            |hash| ((hash >> 32) as usize) & (p_count - 1),
+            |entries| build_hashed(kernel, entries),
+        ),
+    };
+    (result, timings)
+}
+
+/// One partition's local group table: per-entry group ids (aligned with the
+/// concatenation of the partition's buffers) and each group's minimum global
+/// row index.
+struct LocalGroups {
+    gids: Vec<u32>,
+    first_rows: Vec<u32>,
+}
+
+/// The three-phase executor, generic over key type and build strategy.
+#[allow(clippy::too_many_arguments)]
+fn execute<K, F, P, B>(
+    n: usize,
+    threads: usize,
+    p_count: usize,
+    morsel_rows: usize,
+    timings: &mut PhaseTimings,
+    fill: F,
+    part_of: P,
+    build: B,
+) -> (Vec<u32>, u32)
+where
+    K: Copy + Default + Send + Sync,
+    F: Fn(usize, &mut [K]) + Sync,
+    P: Fn(K) -> usize + Sync,
+    B: Fn(&[Vec<Entry<K>>]) -> LocalGroups + Sync,
+{
+    // Phase 1: morsel-driven radix partition.
+    let clock = Instant::now();
+    let worker_sets = partition_phase(n, threads, p_count, morsel_rows, &fill, &part_of);
+    // Transpose worker-major buffers to partition-major without copying.
+    let mut parts: Vec<Vec<Vec<Entry<K>>>> = (0..p_count).map(|_| Vec::new()).collect();
+    for set in worker_sets {
+        for (p, buf) in set.into_iter().enumerate() {
+            if !buf.is_empty() {
+                parts[p].push(buf);
+            }
+        }
+    }
+    timings.partition = clock.elapsed();
+
+    // Phase 2: per-partition local group tables, partitions spread across
+    // workers with the same fault-isolation contract as the chunk layer.
+    let clock = Instant::now();
+    let locals = chunk_parallel_map(p_count, threads, |p| build(&parts[p]));
+    timings.build = clock.elapsed();
+
+    // Canonical re-ordering: concatenate per-partition groups, rank them by
+    // first appearance, then scatter the canonical ids. Ranking is serial
+    // (O(G log G) in the number of groups, not rows); the scatter is
+    // parallel over partitions — each row belongs to exactly one partition,
+    // so the writes are disjoint.
+    let clock = Instant::now();
+    let mut offsets = Vec::with_capacity(p_count + 1);
+    offsets.push(0usize);
+    for local in &locals {
+        offsets.push(offsets.last().expect("seeded") + local.first_rows.len());
+    }
+    let n_groups = *offsets.last().expect("seeded");
+    let mut first_all: Vec<u32> = Vec::with_capacity(n_groups);
+    for local in &locals {
+        first_all.extend_from_slice(&local.first_rows);
+    }
+    let mut order: Vec<u32> = (0..n_groups as u32).collect();
+    // Two distinct groups can never share a first row, so the unstable sort
+    // is deterministic.
+    order.sort_unstable_by_key(|&g| first_all[g as usize]);
+    let mut canon = vec![0u32; n_groups];
+    for (rank, &g) in order.iter().enumerate() {
+        canon[g as usize] = rank as u32;
+    }
+    let out: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    chunk_parallel_map(p_count, threads, |p| {
+        let base = offsets[p];
+        let mut i = 0usize;
+        for buf in &parts[p] {
+            for &(row, _) in buf {
+                let gid = locals[p].gids[i] as usize;
+                // Disjoint rows; Relaxed stores compile to plain stores.
+                out[row as usize].store(canon[base + gid], Ordering::Relaxed);
+                i += 1;
+            }
+        }
+    });
+    let assignment: Vec<u32> = out.into_iter().map(AtomicU32::into_inner).collect();
+    timings.reorder = clock.elapsed();
+    (assignment, n_groups as u32)
+}
+
+/// Phase 1: workers pull morsels from a shared cursor and scatter each row
+/// into the per-worker buffer of its key's partition. Returns one buffer
+/// set per worker (plus one extra set if any morsel panicked and was
+/// re-run serially).
+fn partition_phase<K, F, P>(
+    n: usize,
+    threads: usize,
+    p_count: usize,
+    morsel_rows: usize,
+    fill: &F,
+    part_of: &P,
+) -> Vec<Bufs<K>>
+where
+    K: Copy + Default + Send,
+    F: Fn(usize, &mut [K]) + Sync,
+    P: Fn(K) -> usize + Sync,
+{
+    let n_morsels = n.div_ceil(morsel_rows);
+    let workers = threads.min(n_morsels).max(1);
+    let cursor = AtomicUsize::new(0);
+    let poisoned: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+    let run_worker = |bufs: &mut Bufs<K>, keys: &mut Vec<K>, saved: &mut Vec<usize>| loop {
+        let m = cursor.fetch_add(1, Ordering::Relaxed);
+        if m >= n_morsels {
+            break;
+        }
+        let start = m * morsel_rows;
+        let len = morsel_rows.min(n - start);
+        saved.clear();
+        saved.extend(bufs.iter().map(Vec::len));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            keys.resize(len, K::default());
+            fill(start, &mut keys[..len]);
+            for (i, &key) in keys[..len].iter().enumerate() {
+                bufs[part_of(key)].push(((start + i) as u32, key));
+            }
+        }));
+        if outcome.is_err() {
+            roll_back(bufs, saved);
+            poisoned
+                .lock()
+                .expect("partition workers never panic while holding the poison list")
+                .push(m);
+        }
+    };
+
+    let mut sets: Vec<Bufs<K>> = if workers <= 1 {
+        let mut bufs: Bufs<K> = (0..p_count).map(|_| Vec::new()).collect();
+        run_worker(&mut bufs, &mut Vec::new(), &mut Vec::new());
+        vec![bufs]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut bufs: Bufs<K> = (0..p_count).map(|_| Vec::new()).collect();
+                        run_worker(&mut bufs, &mut Vec::new(), &mut Vec::new());
+                        bufs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panics are caught per morsel"))
+                .collect()
+        })
+    };
+
+    let mut poisoned = poisoned
+        .into_inner()
+        .expect("all workers joined before draining the poison list");
+    if !poisoned.is_empty() {
+        sets.push(rerun_poisoned(
+            n,
+            p_count,
+            morsel_rows,
+            &mut poisoned,
+            fill,
+            part_of,
+        ));
+    }
+    sets
+}
+
+/// Discards a panicked morsel's partial buffer writes by truncating each
+/// partition buffer back to its length before the morsel started.
+#[cold]
+fn roll_back<K>(bufs: &mut Bufs<K>, saved: &[usize]) {
+    for (buf, &len) in bufs.iter_mut().zip(saved) {
+        buf.truncate(len);
+    }
+}
+
+/// Serial second attempt at every poisoned morsel, in ascending order, into
+/// a fresh buffer set. A panic here propagates: the fault-isolation
+/// contract retries once, it does not mask deterministic failures.
+#[cold]
+fn rerun_poisoned<K, F, P>(
+    n: usize,
+    p_count: usize,
+    morsel_rows: usize,
+    poisoned: &mut [usize],
+    fill: &F,
+    part_of: &P,
+) -> Bufs<K>
+where
+    K: Copy + Default,
+    F: Fn(usize, &mut [K]),
+    P: Fn(K) -> usize,
+{
+    poisoned.sort_unstable();
+    let mut bufs: Bufs<K> = (0..p_count).map(|_| Vec::new()).collect();
+    let mut keys: Vec<K> = Vec::new();
+    for &m in poisoned.iter() {
+        let start = m * morsel_rows;
+        let len = morsel_rows.min(n - start);
+        keys.resize(len, K::default());
+        fill(start, &mut keys[..len]);
+        for (i, &key) in keys[..len].iter().enumerate() {
+            bufs[part_of(key)].push(((start + i) as u32, key));
+        }
+    }
+    bufs
+}
+
+/// Dense build: the partition's group table is a flat `product`-sized radix
+/// array mapping fused code → local group id.
+fn build_dense(product: u32, entries: &[Vec<Entry<u32>>]) -> LocalGroups {
+    let mut table = vec![u32::MAX; product as usize];
+    let mut first_rows: Vec<u32> = Vec::new();
+    let total: usize = entries.iter().map(Vec::len).sum();
+    let mut gids = Vec::with_capacity(total);
+    for buf in entries {
+        for &(row, key) in buf {
+            let slot = &mut table[key as usize];
+            let gid = if *slot == u32::MAX {
+                let g = first_rows.len() as u32;
+                *slot = g;
+                first_rows.push(row);
+                g
+            } else {
+                let g = *slot;
+                let first = &mut first_rows[g as usize];
+                if row < *first {
+                    *first = row;
+                }
+                g
+            };
+            gids.push(gid);
+        }
+    }
+    LocalGroups { gids, first_rows }
+}
+
+/// Hashed build: candidate group ids per 64-bit hash, exactness restored by
+/// comparing against each candidate group's recorded member row. Collisions
+/// between unequal keys cost an extra `rows_equal`, never correctness.
+fn build_hashed<K: KeyKernel + ?Sized>(kernel: &K, entries: &[Vec<Entry<u64>>]) -> LocalGroups {
+    let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    let mut first_rows: Vec<u32> = Vec::new();
+    let total: usize = entries.iter().map(Vec::len).sum();
+    let mut gids = Vec::with_capacity(total);
+    for buf in entries {
+        for &(row, hash) in buf {
+            let candidates = map.entry(hash).or_default();
+            let known = candidates
+                .iter()
+                .copied()
+                .find(|&g| kernel.rows_equal(first_rows[g as usize] as usize, row as usize));
+            let gid = match known {
+                Some(g) => {
+                    let first = &mut first_rows[g as usize];
+                    if row < *first {
+                        *first = row;
+                    }
+                    g
+                }
+                None => {
+                    let g = first_rows.len() as u32;
+                    first_rows.push(row);
+                    candidates.push(g);
+                    g
+                }
+            };
+            gids.push(gid);
+        }
+    }
+    LocalGroups { gids, first_rows }
+}
+
+/// Hash component for a missing integer cell: any fixed word distinct from
+/// the "present" encoding in expectation; collisions are resolved exactly.
+const INT_MISSING_SENTINEL: u64 = 0xc0ff_ee00_d15a_b1ed;
+
+/// Per-chunk view of one categorical key column with its chunk-local →
+/// global dictionary remap.
+struct CatChunk<'a> {
+    codes: &'a [u32],
+    validity: &'a Bitmap,
+    remap: Vec<u32>,
+}
+
+/// Per-chunk view of one integer key column.
+struct IntChunk<'a> {
+    values: &'a [i64],
+    validity: &'a Bitmap,
+}
+
+/// One key column of a [`ChunkedKeyKernel`]. `domain` is the exclusive
+/// bound on the column's dense component (`u64::MAX` marks an integer
+/// column whose span was not measured because the product was already
+/// hopeless).
+enum KernelCol<'a> {
+    Cat {
+        chunks: Vec<CatChunk<'a>>,
+        domain: u64,
+    },
+    Int {
+        chunks: Vec<IntChunk<'a>>,
+        min: i64,
+        domain: u64,
+    },
+}
+
+/// [`KeyKernel`] over the key columns of a [`ChunkedTable`]: categorical
+/// codes are remapped through the merged global dictionaries, integer
+/// columns are keyed by value, and missing compares equal to missing.
+pub struct ChunkedKeyKernel<'a> {
+    n_rows: usize,
+    /// Global start row of each chunk (ascending; empty chunks repeat).
+    starts: Vec<usize>,
+    lens: Vec<usize>,
+    cols: Vec<KernelCol<'a>>,
+    product: Option<u32>,
+}
+
+impl<'a> ChunkedKeyKernel<'a> {
+    /// Builds the kernel for `chunked` grouped by the columns in `by`.
+    /// Dictionary merging is serial (it already is in the chunk layer);
+    /// the integer min/max domain scan parallelizes over chunks with
+    /// `threads` workers.
+    pub fn new(chunked: &'a ChunkedTable, by: &[usize], threads: usize) -> ChunkedKeyKernel<'a> {
+        let mut starts = Vec::with_capacity(chunked.n_chunks());
+        let mut lens = Vec::with_capacity(chunked.n_chunks());
+        let mut offset = 0usize;
+        for chunk in chunked.chunks() {
+            starts.push(offset);
+            lens.push(chunk.n_rows());
+            offset += chunk.n_rows();
+        }
+        let mut running: u64 = 1;
+        let mut cols = Vec::with_capacity(by.len());
+        for &col in by {
+            match chunked.merge_column_dictionaries(col) {
+                Some(remaps) => {
+                    let global_len = remaps
+                        .iter()
+                        .flat_map(|remap| remap.iter().copied())
+                        .max()
+                        .map_or(0, |m| u64::from(m) + 1);
+                    // Component 0 is reserved for missing cells.
+                    let domain = global_len + 1;
+                    let chunks = chunked
+                        .chunks()
+                        .iter()
+                        .zip(remaps)
+                        .map(|(chunk, remap)| {
+                            let Column::Cat(c) = chunk.column(col) else {
+                                unreachable!("dictionary merge only succeeds on cat columns");
+                            };
+                            CatChunk {
+                                codes: c.raw_codes(),
+                                validity: c.validity(),
+                                remap,
+                            }
+                        })
+                        .collect();
+                    running = running.saturating_mul(domain);
+                    cols.push(KernelCol::Cat { chunks, domain });
+                }
+                None => {
+                    let chunks: Vec<IntChunk<'a>> = chunked
+                        .chunks()
+                        .iter()
+                        .map(|chunk| {
+                            let Column::Int(c) = chunk.column(col) else {
+                                unreachable!("non-cat key columns are integers");
+                            };
+                            IntChunk {
+                                values: c.raw_values(),
+                                validity: c.validity(),
+                            }
+                        })
+                        .collect();
+                    let (min, domain) = if running <= DENSE_CAP {
+                        int_domain(&chunks, threads)
+                    } else {
+                        (0, u64::MAX)
+                    };
+                    running = running.saturating_mul(domain);
+                    cols.push(KernelCol::Int {
+                        chunks,
+                        min,
+                        domain,
+                    });
+                }
+            }
+        }
+        let product = (running <= DENSE_CAP).then_some(running.max(1) as u32);
+        ChunkedKeyKernel {
+            n_rows: chunked.n_rows(),
+            starts,
+            lens,
+            cols,
+            product,
+        }
+    }
+
+    /// Invokes `segment(chunk, local_lo, local_hi, out_offset)` for each
+    /// chunk-aligned segment of the global row range `start..start + len`.
+    fn for_segments(
+        &self,
+        start: usize,
+        len: usize,
+        mut segment: impl FnMut(usize, usize, usize, usize),
+    ) {
+        let end = start + len;
+        let mut row = start;
+        let mut out_offset = 0usize;
+        // Last chunk whose start is <= `row`; empty chunks are skipped by
+        // the length check in the loop.
+        let mut c = self.starts.partition_point(|&s| s <= row).saturating_sub(1);
+        while row < end {
+            let lo = row - self.starts[c];
+            if lo >= self.lens[c] {
+                c += 1;
+                continue;
+            }
+            let hi = self.lens[c].min(end - self.starts[c]);
+            segment(c, lo, hi, out_offset);
+            out_offset += hi - lo;
+            row = self.starts[c] + hi;
+            c += 1;
+        }
+    }
+
+    /// Chunk index and chunk-local row of a global row index.
+    fn locate(&self, row: usize) -> (usize, usize) {
+        let c = self.starts.partition_point(|&s| s <= row) - 1;
+        (c, row - self.starts[c])
+    }
+}
+
+/// Parallel min/max scan of the present values of one integer column,
+/// returning `(min, domain)` where `domain = span + 2` reserves component 0
+/// for missing cells. An all-missing column gets domain 1.
+fn int_domain(chunks: &[IntChunk<'_>], threads: usize) -> (i64, u64) {
+    let ranges = chunk_parallel_map(chunks.len(), threads, |c| {
+        let chunk = &chunks[c];
+        let mut bounds: Option<(i64, i64)> = None;
+        for (i, &v) in chunk.values.iter().enumerate() {
+            if chunk.validity.get(i) {
+                bounds = Some(match bounds {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        bounds
+    });
+    match ranges
+        .into_iter()
+        .flatten()
+        .reduce(|a, b| (a.0.min(b.0), a.1.max(b.1)))
+    {
+        None => (0, 1),
+        Some((lo, hi)) => {
+            // hi - lo fits u64 even across the full i64 range.
+            let span = hi.wrapping_sub(lo) as u64;
+            (lo, span.saturating_add(2))
+        }
+    }
+}
+
+impl KeyKernel for ChunkedKeyKernel<'_> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn dense_product(&self) -> Option<u32> {
+        self.product
+    }
+
+    fn fill_dense(&self, start: usize, out: &mut [u32]) {
+        out.fill(0);
+        let len = out.len();
+        for col in &self.cols {
+            match col {
+                KernelCol::Cat { chunks, domain } => {
+                    let d = *domain as u32;
+                    self.for_segments(start, len, |c, lo, hi, off| {
+                        let chunk = &chunks[c];
+                        for (slot, r) in out[off..off + (hi - lo)].iter_mut().zip(lo..hi) {
+                            let comp = if chunk.validity.get(r) {
+                                chunk.remap[chunk.codes[r] as usize] + 1
+                            } else {
+                                0
+                            };
+                            *slot = *slot * d + comp;
+                        }
+                    });
+                }
+                KernelCol::Int {
+                    chunks,
+                    min,
+                    domain,
+                } => {
+                    let d = *domain as u32;
+                    self.for_segments(start, len, |c, lo, hi, off| {
+                        let chunk = &chunks[c];
+                        for (slot, r) in out[off..off + (hi - lo)].iter_mut().zip(lo..hi) {
+                            let comp = if chunk.validity.get(r) {
+                                chunk.values[r].wrapping_sub(*min) as u32 + 1
+                            } else {
+                                0
+                            };
+                            *slot = *slot * d + comp;
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    fn fill_hashed(&self, start: usize, out: &mut [u64]) {
+        out.fill(KEY_HASH_SEED);
+        let len = out.len();
+        for col in &self.cols {
+            match col {
+                KernelCol::Cat { chunks, .. } => {
+                    self.for_segments(start, len, |c, lo, hi, off| {
+                        let chunk = &chunks[c];
+                        for (slot, r) in out[off..off + (hi - lo)].iter_mut().zip(lo..hi) {
+                            let comp = if chunk.validity.get(r) {
+                                u64::from(chunk.remap[chunk.codes[r] as usize]) + 1
+                            } else {
+                                0
+                            };
+                            *slot = mix64(*slot, comp);
+                        }
+                    });
+                }
+                KernelCol::Int { chunks, .. } => {
+                    self.for_segments(start, len, |c, lo, hi, off| {
+                        let chunk = &chunks[c];
+                        for (slot, r) in out[off..off + (hi - lo)].iter_mut().zip(lo..hi) {
+                            let comp = if chunk.validity.get(r) {
+                                chunk.values[r] as u64
+                            } else {
+                                INT_MISSING_SENTINEL
+                            };
+                            *slot = mix64(*slot, comp);
+                        }
+                    });
+                }
+            }
+        }
+        for slot in out.iter_mut() {
+            *slot = fmix64(*slot);
+        }
+    }
+
+    fn rows_equal(&self, a: usize, b: usize) -> bool {
+        let (ca, ra) = self.locate(a);
+        let (cb, rb) = self.locate(b);
+        self.cols.iter().all(|col| match col {
+            KernelCol::Cat { chunks, .. } => {
+                let (x, y) = (&chunks[ca], &chunks[cb]);
+                match (x.validity.get(ra), y.validity.get(rb)) {
+                    (true, true) => x.remap[x.codes[ra] as usize] == y.remap[y.codes[rb] as usize],
+                    (false, false) => true,
+                    _ => false,
+                }
+            }
+            KernelCol::Int { chunks, .. } => {
+                let (x, y) = (&chunks[ca], &chunks[cb]);
+                match (x.validity.get(ra), y.validity.get(rb)) {
+                    (true, true) => x.values[ra] == y.values[rb],
+                    (false, false) => true,
+                    _ => false,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::table_from_str_rows;
+    use crate::groupby::GroupBy;
+    use crate::schema::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::cat_key("X"),
+            Attribute::int_key("A"),
+            Attribute::cat_confidential("S"),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> crate::table::Table {
+        table_from_str_rows(
+            schema(),
+            &[
+                &["x0", "5", "s0"],
+                &["x1", "", "s1"],
+                &["x0", "5", "s0"],
+                &["x2", "7", ""],
+                &["x1", "5", "s2"],
+                &["x0", "", "s1"],
+                &["x2", "7", "s0"],
+                &["x0", "5", "s1"],
+                &["x3", "9", "s0"],
+                &["x1", "5", "s2"],
+                &["x2", "8", "s1"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chunked_kernel_matches_serial_for_all_morsels_and_threads() {
+        let t = sample();
+        let serial = GroupBy::compute(&t, &[0, 1]);
+        for chunk_rows in [1, 3, 4096] {
+            let chunked = ChunkedTable::from_table(&t, chunk_rows);
+            let kernel = ChunkedKeyKernel::new(&chunked, &[0, 1], 2);
+            for threads in [1, 2, 8] {
+                for morsel_rows in [1, 2, 7, 4096] {
+                    let (assignment, n_groups) = group_codes(&kernel, threads, morsel_rows);
+                    assert_eq!(assignment.as_slice(), serial.assignments());
+                    assert_eq!(n_groups as usize, serial.n_groups());
+                }
+            }
+        }
+    }
+
+    /// Forcing the hashed path (via a kernel whose dense product is hidden)
+    /// must produce the same canonical assignment as the dense path.
+    struct HashOnly<'a>(ChunkedKeyKernel<'a>);
+
+    impl KeyKernel for HashOnly<'_> {
+        fn n_rows(&self) -> usize {
+            self.0.n_rows()
+        }
+        fn dense_product(&self) -> Option<u32> {
+            None
+        }
+        fn fill_dense(&self, start: usize, out: &mut [u32]) {
+            self.0.fill_dense(start, out);
+        }
+        fn fill_hashed(&self, start: usize, out: &mut [u64]) {
+            self.0.fill_hashed(start, out);
+        }
+        fn rows_equal(&self, a: usize, b: usize) -> bool {
+            self.0.rows_equal(a, b)
+        }
+    }
+
+    #[test]
+    fn hashed_path_matches_dense_path() {
+        let t = sample();
+        let serial = GroupBy::compute(&t, &[0, 1]);
+        let chunked = ChunkedTable::from_table(&t, 3);
+        let kernel = HashOnly(ChunkedKeyKernel::new(&chunked, &[0, 1], 2));
+        for threads in [1, 2, 8] {
+            for morsel_rows in [1, 3, 4096] {
+                let (assignment, n_groups) = group_codes(&kernel, threads, morsel_rows);
+                assert_eq!(assignment.as_slice(), serial.assignments());
+                assert_eq!(n_groups as usize, serial.n_groups());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_by_produces_one_group() {
+        let t = sample();
+        let chunked = ChunkedTable::from_table(&t, 4);
+        let kernel = ChunkedKeyKernel::new(&chunked, &[], 2);
+        let (assignment, n_groups) = group_codes(&kernel, 4, 3);
+        assert_eq!(n_groups, 1);
+        assert!(assignment.iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn empty_table_produces_no_groups() {
+        let t = table_from_str_rows(schema(), &[]).unwrap();
+        let chunked = ChunkedTable::from_table(&t, 4);
+        let kernel = ChunkedKeyKernel::new(&chunked, &[0, 1], 2);
+        let (assignment, n_groups) = group_codes(&kernel, 4, 3);
+        assert!(assignment.is_empty());
+        assert_eq!(n_groups, 0);
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_available_parallelism() {
+        let resolved = resolve_threads(0);
+        assert!(resolved >= 1);
+        assert_eq!(
+            resolved,
+            std::thread::available_parallelism().map_or(1, usize::from)
+        );
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -224,6 +224,171 @@ proptest! {
     }
 }
 
+/// The morsel sizes the acceptance gate names: one-row morsels (maximum
+/// cursor contention), a ragged prime, and a size larger than any generated
+/// table (a single morsel, so one worker does everything).
+const MORSEL_ROWS: [usize; 3] = [1, 7, 4096];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Morsel-executor differential oracle: for every morsel size × thread
+    /// count × chunk provenance, the executor's group ids, sizes, and
+    /// representatives must be byte-identical to the serial group-by —
+    /// the canonical re-ordering pass makes first-appearance ids
+    /// independent of how rows were partitioned.
+    #[test]
+    fn morsel_executor_equals_serial(
+        rows in prop::collection::vec(arb_row(), 1..80),
+    ) {
+        let t = build_table(&rows);
+        let by_sets: &[&[usize]] = &[&[0, 1], &[1], &[]];
+        for &by in by_sets {
+            let serial = GroupBy::compute(&t, by);
+            for chunk_rows in CHUNK_SIZES {
+                for chunked in chunked_variants(&t, &rows, chunk_rows) {
+                    for threads in THREADS {
+                        for morsel_rows in MORSEL_ROWS {
+                            let gb = GroupBy::compute_chunked_morsels(
+                                &chunked, by, threads, morsel_rows,
+                            );
+                            let setting = format!(
+                                "by={by:?} chunk_rows={chunk_rows} \
+                                 threads={threads} morsel_rows={morsel_rows}"
+                            );
+                            prop_assert_eq!(
+                                gb.assignments(), serial.assignments(),
+                                "assignments: {}", &setting
+                            );
+                            prop_assert_eq!(gb.sizes(), serial.sizes(), "sizes: {}", &setting);
+                            prop_assert_eq!(
+                                gb.representatives(), serial.representatives(),
+                                "representatives: {}", &setting
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+mod injected_panic {
+    //! Fault isolation: a worker whose morsel panics must not corrupt the
+    //! result — the poisoned morsel's partial writes are rolled back and it
+    //! re-runs serially, still yielding the byte-identical serial answer.
+
+    use super::*;
+    use psens::microdata::{group_codes, ChunkedKeyKernel, ChunkedTable, KeyKernel};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Wraps a real kernel; the first `fill_*` call panics (simulating a
+    /// worker fault mid-morsel), every later call delegates.
+    struct PanicOnce<'a> {
+        inner: ChunkedKeyKernel<'a>,
+        fired: AtomicBool,
+    }
+
+    impl<'a> PanicOnce<'a> {
+        fn new(inner: ChunkedKeyKernel<'a>) -> PanicOnce<'a> {
+            PanicOnce {
+                inner,
+                fired: AtomicBool::new(false),
+            }
+        }
+
+        fn trip(&self) {
+            if !self.fired.swap(true, Ordering::SeqCst) {
+                panic!("injected morsel failure");
+            }
+        }
+    }
+
+    impl KeyKernel for PanicOnce<'_> {
+        fn n_rows(&self) -> usize {
+            self.inner.n_rows()
+        }
+        fn dense_product(&self) -> Option<u32> {
+            self.inner.dense_product()
+        }
+        fn fill_dense(&self, start: usize, out: &mut [u32]) {
+            self.trip();
+            self.inner.fill_dense(start, out);
+        }
+        fn fill_hashed(&self, start: usize, out: &mut [u64]) {
+            self.trip();
+            self.inner.fill_hashed(start, out);
+        }
+        fn rows_equal(&self, a: usize, b: usize) -> bool {
+            self.inner.rows_equal(a, b)
+        }
+    }
+
+    #[test]
+    fn panicked_morsel_is_rerun_and_result_is_byte_identical() {
+        let rows: Vec<Row> = (0..200)
+            .map(|i| {
+                (
+                    i as u8 % 4,
+                    i64::from(i % 5),
+                    i % 7 == 0,
+                    i as u8 % 3,
+                    i % 11 == 0,
+                )
+            })
+            .collect();
+        let t = build_table(&rows);
+        let serial = GroupBy::compute(&t, &[0, 1]);
+        for threads in [2, 8] {
+            for morsel_rows in MORSEL_ROWS {
+                let chunked = ChunkedTable::from_table(&t, 64);
+                let kernel = PanicOnce::new(ChunkedKeyKernel::new(&chunked, &[0, 1], threads));
+                let (assignment, n_groups) = group_codes(&kernel, threads, morsel_rows);
+                assert!(
+                    kernel.fired.load(Ordering::SeqCst),
+                    "the injected panic must actually fire"
+                );
+                assert_eq!(
+                    assignment.as_slice(),
+                    serial.assignments(),
+                    "threads={threads} morsel_rows={morsel_rows}"
+                );
+                assert_eq!(n_groups as usize, serial.n_groups());
+            }
+        }
+    }
+
+    /// A morsel that panics on the serial retry too is a deterministic
+    /// failure; the contract propagates it instead of masking it.
+    struct AlwaysPanic {
+        rows: usize,
+    }
+
+    impl KeyKernel for AlwaysPanic {
+        fn n_rows(&self) -> usize {
+            self.rows
+        }
+        fn dense_product(&self) -> Option<u32> {
+            Some(4)
+        }
+        fn fill_dense(&self, _start: usize, _out: &mut [u32]) {
+            panic!("deterministic kernel failure");
+        }
+        fn fill_hashed(&self, _start: usize, _out: &mut [u64]) {
+            panic!("deterministic kernel failure");
+        }
+        fn rows_equal(&self, _a: usize, _b: usize) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic kernel failure")]
+    fn persistent_panic_propagates() {
+        group_codes(&AlwaysPanic { rows: 100 }, 4, 7);
+    }
+}
+
 /// QI space over X (3 levels) and A (2 levels): a 6-node lattice the
 /// search-verdict oracle can walk quickly.
 fn qi_space() -> QiSpace {
