@@ -21,7 +21,10 @@ cargo test -q --locked
 echo "==> smoke: budget-interrupted anonymize (exit 3, termination report)"
 PSENS=target/release/psens
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+server_pid=""
+# NB: guard the kill — an unconditional `kill "${server_pid:-0}"` would
+# signal pid 0, i.e. this script's own process group.
+trap 'if [ -n "$server_pid" ]; then kill "$server_pid" 2>/dev/null || true; fi; rm -rf "$SMOKE_DIR"' EXIT
 "$PSENS" generate --rows 50000 --seed 7 --out "$SMOKE_DIR/data.csv" > /dev/null
 "$PSENS" spec --out "$SMOKE_DIR/spec.json" > /dev/null
 # An already-expired deadline (--timeout 0) interrupts deterministically at
@@ -108,6 +111,56 @@ code=0
     --k 1 --p 1 --threads 1 > /dev/null 2>&1 ) || code=$?
 [ "$code" -ne 0 ] || { echo "ceiling not binding: buffered check fit in 2 GB"; exit 1; }
 
+echo "==> smoke: psens-server boot, mixed load, warm==cold verdicts, SIGINT shutdown"
+# Boot the daemon on an ephemeral port; --addr-file hands the bound address
+# to clients with no race on stdout parsing. psens-load then drives three
+# concurrent clients through a cold (store-disabled) and a warm pass of
+# mixed check/anonymize/analyze/query traffic — it exits nonzero itself if
+# any two anonymize verdicts diverge or the BENCH JSON fails write-back
+# validation.
+target/release/psens-server --listen 127.0.0.1:0 --max-concurrent 2 \
+  --addr-file "$SMOKE_DIR/server.addr" > "$SMOKE_DIR/server.log" 2>&1 &
+server_pid=$!
+tries=0
+while [ ! -s "$SMOKE_DIR/server.addr" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+[ -s "$SMOKE_DIR/server.addr" ] \
+  || { echo "server never wrote its addr file"; cat "$SMOKE_DIR/server.log"; exit 1; }
+target/release/psens-load --addr-file "$SMOKE_DIR/server.addr" \
+  --clients 3 --requests 12 --rows 150 --out "$SMOKE_DIR/BENCH_7.json" > /dev/null
+grep -q '"warm_vs_cold"' "$SMOKE_DIR/BENCH_7.json"
+# Warm-vs-cold equivalence through the CLI client: the same anonymize with
+# the verdict store disabled, cold, and warm must print byte-identical
+# verdict objects — only the execution-side `warm` flag may differ.
+"$PSENS" client --addr-file "$SMOKE_DIR/server.addr" --op register --name ci-adult \
+  --input "$SMOKE_DIR/data.csv" --spec "$SMOKE_DIR/spec.json" > /dev/null
+"$PSENS" client --addr-file "$SMOKE_DIR/server.addr" --op anonymize --dataset ci-adult \
+  --p 2 --k 3 --ts 500 --no-cache > "$SMOKE_DIR/anon_nocache.json"
+"$PSENS" client --addr-file "$SMOKE_DIR/server.addr" --op anonymize --dataset ci-adult \
+  --p 2 --k 3 --ts 500 > "$SMOKE_DIR/anon_cold.json"
+"$PSENS" client --addr-file "$SMOKE_DIR/server.addr" --op anonymize --dataset ci-adult \
+  --p 2 --k 3 --ts 500 > "$SMOKE_DIR/anon_warm.json"
+grep -q '"warm": true' "$SMOKE_DIR/anon_warm.json" \
+  || { echo "third anonymize should have hit the warm store"; exit 1; }
+for f in anon_nocache anon_cold anon_warm; do
+  sed -n '/"verdict"/,/^  }/p' "$SMOKE_DIR/$f.json" > "$SMOKE_DIR/$f.verdict"
+done
+cmp "$SMOKE_DIR/anon_nocache.verdict" "$SMOKE_DIR/anon_cold.verdict" \
+  || { echo "no-cache vs cold-store verdicts diverged"; exit 1; }
+cmp "$SMOKE_DIR/anon_cold.verdict" "$SMOKE_DIR/anon_warm.verdict" \
+  || { echo "cold vs warm-store verdicts diverged"; exit 1; }
+# Clean shutdown: SIGINT must fan out to in-flight work, drain, and exit 0
+# with the shutdown banner — a hung or killed-by-signal server fails here.
+kill -INT "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=""
+[ "$server_rc" -eq 0 ] \
+  || { echo "server exited $server_rc on SIGINT"; cat "$SMOKE_DIR/server.log"; exit 1; }
+grep -q 'shutdown complete' "$SMOKE_DIR/server.log" \
+  || { echo "server log missing shutdown banner"; cat "$SMOKE_DIR/server.log"; exit 1; }
+
 echo "==> gate: chunked group-by thread scaling (threads=8 vs 1 at 10M rows)"
 # The morsel executor must actually buy wall-clock on real parallelism:
 # on hosts with >= 4 cores, 8 threads must beat 1 thread or the gate fails.
@@ -115,7 +168,12 @@ echo "==> gate: chunked group-by thread scaling (threads=8 vs 1 at 10M rows)"
 # a 1-core box cannot demonstrate scaling, and pretending it passed would
 # hide real regressions. The bench crate is outside the default member set
 # but this bin has no external dependencies, so the build stays offline.
+# `--out` routes the measurements through the validated emission path
+# (write, re-read, byte-compare, re-parse): an emission failure turns the
+# gate red even when the perf check passed, so a truncated BENCH file can
+# never masquerade as a green run.
 cargo build --release --locked -p psens-bench --bin chunked_scaling
-target/release/chunked_scaling --gate
+target/release/chunked_scaling --gate --out "$SMOKE_DIR/gate.json"
+[ -s "$SMOKE_DIR/gate.json" ] || { echo "gate did not emit its BENCH JSON"; exit 1; }
 
 echo "CI OK"

@@ -112,6 +112,8 @@ pub fn exhaustive_scan_tuned<O: SearchObserver>(
     let mut annotations = Vec::new();
     let mut stats = SearchStats {
         lattice_nodes: lattice.node_count(),
+        requested_threads: tuning.threads,
+        effective_threads: tuning.effective_threads(),
         ..Default::default()
     };
     for node in lattice.all_nodes() {

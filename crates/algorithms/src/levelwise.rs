@@ -118,6 +118,8 @@ pub fn levelwise_minimal_tuned<O: SearchObserver>(
     let lattice = qi.lattice();
     let mut stats = SearchStats {
         lattice_nodes: lattice.node_count(),
+        requested_threads: tuning.threads,
+        effective_threads: tuning.effective_threads(),
         ..Default::default()
     };
 

@@ -25,6 +25,7 @@ use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Parallel variant of [`crate::exhaustive::exhaustive_scan`]: identical
 /// results, work split across `threads` workers (clamped to at least 1).
@@ -117,66 +118,96 @@ pub fn parallel_exhaustive_scan_tuned<O: SearchObserver>(
     let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
     let lattice = qi.lattice();
     let nodes = lattice.all_nodes();
-    let chunk_size = nodes.len().div_ceil(threads);
+    // Work is partitioned by the *requested* worker count (0 = all cores),
+    // so chunk boundaries — and therefore exactly what one panicking worker
+    // can lose — do not depend on which host the search happens to run on.
+    // The oversubscription clamp applies to OS threads only: at most
+    // `threads` executors drain those chunks from a shared cursor.
+    let partitions = if tuning.threads == 0 {
+        threads
+    } else {
+        tuning.threads.max(1)
+    };
+    let chunk_size = nodes.len().div_ceil(partitions);
+    let chunks: Vec<&[Node]> = nodes.chunks(chunk_size.max(1)).collect();
     let state = budget.start();
 
     type ChunkResult = Result<(Vec<Node>, Vec<(Node, usize)>, SearchStats), psens_hierarchy::Error>;
-    /// `None` marks a worker that panicked; its chunk's results are lost.
+    /// `None` marks a chunk whose worker panicked; its results are lost.
     type PartialResult = Option<ChunkResult>;
 
+    let cursor = AtomicUsize::new(0);
     let partials: Vec<PartialResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = nodes
-            .chunks(chunk_size.max(1))
-            .map(|chunk| {
+        let handles: Vec<_> = (0..threads.min(chunks.len()))
+            .map(|_| {
+                let chunks = &chunks;
+                let cursor = &cursor;
                 let ectx = &ectx;
                 let stats_im = &stats_im;
                 let state = &state;
-                scope.spawn(move || -> PartialResult {
-                    // Fault isolation: a panic (from a poisoned chunk, a
-                    // broken observer, ...) is caught at the worker
-                    // boundary, so the sibling workers and the caller keep
-                    // going. `AssertUnwindSafe` is sound here because a
-                    // panicking worker's entire result is discarded — no
-                    // partially-updated state crosses the boundary.
-                    catch_unwind(AssertUnwindSafe(|| -> ChunkResult {
-                        let mut eval = ectx.evaluator();
-                        let mut satisfying = Vec::new();
-                        let mut annotations = Vec::new();
-                        let mut stats = SearchStats::default();
-                        for node in chunk {
-                            match eval
-                                .check_cached(node, stats_im, state, cache, false, observer)?
-                            {
-                                ControlFlow::Break(_) => break,
-                                ControlFlow::Continue(cc) => {
-                                    stats.record_cached(&cc);
-                                    let check = cc
-                                        .check
-                                        .as_ref()
-                                        .expect("exact-only lookups always carry a NodeCheck");
-                                    annotations.push((node.clone(), check.violating_tuples));
-                                    if cc.satisfied {
-                                        satisfying.push(node.clone());
+                scope.spawn(move || -> Vec<(usize, PartialResult)> {
+                    let mut claimed = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(index) else {
+                            break;
+                        };
+                        // Fault isolation: a panic (from a poisoned chunk, a
+                        // broken observer, ...) is caught at the chunk
+                        // boundary, so sibling chunks and the caller keep
+                        // going. `AssertUnwindSafe` is sound here because a
+                        // panicking chunk's entire result is discarded — no
+                        // partially-updated state crosses the boundary.
+                        let partial = catch_unwind(AssertUnwindSafe(|| -> ChunkResult {
+                            let mut eval = ectx.evaluator();
+                            let mut satisfying = Vec::new();
+                            let mut annotations = Vec::new();
+                            let mut stats = SearchStats::default();
+                            for node in *chunk {
+                                match eval
+                                    .check_cached(node, stats_im, state, cache, false, observer)?
+                                {
+                                    ControlFlow::Break(_) => break,
+                                    ControlFlow::Continue(cc) => {
+                                        stats.record_cached(&cc);
+                                        let check = cc
+                                            .check
+                                            .as_ref()
+                                            .expect("exact-only lookups always carry a NodeCheck");
+                                        annotations.push((node.clone(), check.violating_tuples));
+                                        if cc.satisfied {
+                                            satisfying.push(node.clone());
+                                        }
                                     }
                                 }
                             }
-                        }
-                        Ok((satisfying, annotations, stats))
-                    }))
-                    .ok()
+                            Ok((satisfying, annotations, stats))
+                        }))
+                        .ok();
+                        claimed.push((index, partial));
+                    }
+                    claimed
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panics are caught inside"))
-            .collect()
+        // Every chunk is claimed by exactly one executor; re-assemble the
+        // per-chunk results in node order so downstream merging stays
+        // deterministic regardless of which executor ran which chunk.
+        let mut slots: Vec<PartialResult> = (0..chunks.len()).map(|_| None).collect();
+        for handle in handles {
+            for (index, partial) in handle.join().expect("worker panics are caught inside") {
+                slots[index] = partial;
+            }
+        }
+        slots
     });
 
     let mut satisfying = Vec::new();
     let mut annotations = Vec::new();
     let mut stats = SearchStats {
         lattice_nodes: nodes.len(),
+        requested_threads: tuning.threads,
+        effective_threads: threads,
         ..Default::default()
     };
     for partial in partials {
@@ -235,6 +266,25 @@ mod tests {
         let parallel = parallel_exhaustive_scan(&im, &qi, 2, 2, 15, 4).unwrap();
         assert_eq!(serial.minimal, parallel.minimal);
         assert_eq!(serial.stats.nodes_evaluated, parallel.stats.nodes_evaluated);
+    }
+
+    #[test]
+    fn oversubscribed_request_clamps_and_matches_single_thread() {
+        // BENCH_6 regression: `--threads 8` on a 1-core host ran at
+        // 0.60-0.74x of threads=1. Requesting more workers than cores must
+        // now degrade to the available parallelism, produce identical
+        // results, and report both counts honestly.
+        let im = AdultGenerator::new(7).generate(200);
+        let qi = adult_qi_space();
+        let available = std::thread::available_parallelism().map_or(1, usize::from);
+        let baseline = parallel_exhaustive_scan(&im, &qi, 2, 3, 10, 1).unwrap();
+        let oversub = parallel_exhaustive_scan(&im, &qi, 2, 3, 10, 1024).unwrap();
+        assert_eq!(baseline.minimal, oversub.minimal);
+        assert_eq!(baseline.annotations, oversub.annotations);
+        assert_eq!(oversub.stats.requested_threads, 1024);
+        assert_eq!(oversub.stats.effective_threads, available);
+        assert_eq!(baseline.stats.requested_threads, 1);
+        assert_eq!(baseline.stats.effective_threads, 1);
     }
 
     #[test]

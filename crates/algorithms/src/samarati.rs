@@ -212,7 +212,11 @@ fn search<O: SearchObserver>(
         p,
         ts,
     };
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats {
+        requested_threads: tuning.threads,
+        effective_threads: tuning.effective_threads(),
+        ..Default::default()
+    };
     let real_stats = ctx.initial_stats();
     let check_stats = match pruning {
         Pruning::NecessaryConditions => real_stats.clone(),

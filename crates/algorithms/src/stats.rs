@@ -44,6 +44,15 @@ pub struct SearchStats {
     pub cache_hits: usize,
     /// Node verdicts served by monotonicity inference from the store.
     pub cache_inferred: usize,
+    /// Worker threads the caller requested (`Tuning::threads`, CLI
+    /// `--threads`); `0` means "auto" (one per available core).
+    pub requested_threads: usize,
+    /// Worker threads actually used after resolving `0` and clamping
+    /// oversubscribed requests to the available parallelism
+    /// ([`psens_microdata::resolve_threads`]). A report showing
+    /// `requested_threads: 8, effective_threads: 1` documents that the
+    /// clamp fired rather than hiding it.
+    pub effective_threads: usize,
 }
 
 impl SearchStats {
@@ -95,6 +104,10 @@ impl SearchStats {
         self.worker_failures += other.worker_failures;
         self.cache_hits += other.cache_hits;
         self.cache_inferred += other.cache_inferred;
+        // Run-level settings, set once at the entry point: worker partials
+        // carry zeros, so `max` keeps the run's values through a merge.
+        self.requested_threads = self.requested_threads.max(other.requested_threads);
+        self.effective_threads = self.effective_threads.max(other.effective_threads);
     }
 
     /// Total rejections across all stages.
@@ -147,6 +160,14 @@ impl SearchStats {
         );
         out.set("cache_hits", JsonValue::Int(self.cache_hits as i64));
         out.set("cache_inferred", JsonValue::Int(self.cache_inferred as i64));
+        out.set(
+            "requested_threads",
+            JsonValue::Int(self.requested_threads as i64),
+        );
+        out.set(
+            "effective_threads",
+            JsonValue::Int(self.effective_threads as i64),
+        );
         out
     }
 }
@@ -170,6 +191,8 @@ mod tests {
             worker_failures: 0,
             cache_hits: 5,
             cache_inferred: 2,
+            requested_threads: 8,
+            effective_threads: 1,
         };
         assert_eq!(stats.total_rejections(), 9);
         assert_eq!(
@@ -232,6 +255,20 @@ mod tests {
         assert_eq!(a.nodes_evaluated, 5);
         assert_eq!(a.total_rejections() + a.nodes_passed, a.nodes_evaluated);
         assert!(a.aborted_condition1);
+    }
+
+    #[test]
+    fn merge_keeps_run_level_thread_counts() {
+        let mut run = SearchStats {
+            requested_threads: 8,
+            effective_threads: 2,
+            ..Default::default()
+        };
+        // Worker partials are zeroed; merging them must not erase the run's
+        // settings.
+        run.merge(&SearchStats::default());
+        assert_eq!(run.requested_threads, 8);
+        assert_eq!(run.effective_threads, 2);
     }
 
     #[test]

@@ -126,30 +126,48 @@ fn bench_size(n: usize, host_parallelism: usize) -> (SizeReport, f64) {
     )
 }
 
-fn print_json(reports: &[SizeReport], overhead_pct: f64, host_parallelism: usize) {
-    println!("{{");
-    println!("  \"workload\": {{");
-    println!("    \"dataset\": \"scale (Adult-shaped, no identifier)\",");
-    println!("    \"generator\": \"psens_datasets::ScaleGenerator\",");
-    println!("    \"group_by\": \"key attributes (Age, MaritalStatus, Race, Sex)\",");
-    println!("    \"executor\": \"morsel-driven hash-partitioned (PR 6)\",");
-    println!("    \"chunk_rows\": {CHUNK_ROWS}");
-    println!("  }},");
-    println!("  \"groupby_scaling\": [");
+fn render_json(reports: &[SizeReport], overhead_pct: f64, host_parallelism: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    // Infallible writes into a String; the fallible part — getting the text
+    // onto disk intact — is `emit`'s job.
+    let w = &mut out;
+    let _ = writeln!(w, "{{");
+    let _ = writeln!(w, "  \"workload\": {{");
+    let _ = writeln!(
+        w,
+        "    \"dataset\": \"scale (Adult-shaped, no identifier)\","
+    );
+    let _ = writeln!(w, "    \"generator\": \"psens_datasets::ScaleGenerator\",");
+    let _ = writeln!(
+        w,
+        "    \"group_by\": \"key attributes (Age, MaritalStatus, Race, Sex)\","
+    );
+    let _ = writeln!(
+        w,
+        "    \"executor\": \"morsel-driven hash-partitioned (PR 6)\","
+    );
+    let _ = writeln!(w, "    \"chunk_rows\": {CHUNK_ROWS}");
+    let _ = writeln!(w, "  }},");
+    let _ = writeln!(w, "  \"groupby_scaling\": [");
     for (i, report) in reports.iter().enumerate() {
-        println!("    {{");
-        println!("      \"n_rows\": {},", report.n_rows);
-        println!("      \"n_chunks\": {},", report.n_chunks);
-        println!("      \"host_parallelism\": {host_parallelism},");
-        println!("      \"serial_secs\": {:.4},", report.serial_secs);
+        let _ = writeln!(w, "    {{");
+        let _ = writeln!(w, "      \"n_rows\": {},", report.n_rows);
+        let _ = writeln!(w, "      \"n_chunks\": {},", report.n_chunks);
+        let _ = writeln!(w, "      \"host_parallelism\": {host_parallelism},");
+        let _ = writeln!(w, "      \"serial_secs\": {:.4},", report.serial_secs);
         for (threads, secs) in &report.by_threads {
-            println!("      \"chunked_secs_threads_{threads}\": {secs:.4},");
+            let _ = writeln!(w, "      \"chunked_secs_threads_{threads}\": {secs:.4},");
         }
         let (_, chunked_1) = report.by_threads[0];
         // Per-thread-count speedup vs one thread; values below 1.00 are
         // regressions and must print as such.
         for (threads, secs) in &report.by_threads[1..] {
-            println!("      \"speedup_{threads}_vs_1\": {:.2},", chunked_1 / secs);
+            let _ = writeln!(
+                w,
+                "      \"speedup_{threads}_vs_1\": {:.2},",
+                chunked_1 / secs
+            );
         }
         let best = report
             .by_threads
@@ -158,29 +176,68 @@ fn print_json(reports: &[SizeReport], overhead_pct: f64, host_parallelism: usize
             .fold(f64::INFINITY, f64::min);
         let (partition, build, reorder) = report.phases_threads_max;
         let max_threads = THREADS.last().expect("non-empty thread list");
-        println!("      \"phases_threads_{max_threads}\": {{");
-        println!("        \"partition_secs\": {partition:.4},");
-        println!("        \"build_secs\": {build:.4},");
-        println!("        \"reorder_secs\": {reorder:.4}");
-        println!("      }},");
-        println!(
+        let _ = writeln!(w, "      \"phases_threads_{max_threads}\": {{");
+        let _ = writeln!(w, "        \"partition_secs\": {partition:.4},");
+        let _ = writeln!(w, "        \"build_secs\": {build:.4},");
+        let _ = writeln!(w, "        \"reorder_secs\": {reorder:.4}");
+        let _ = writeln!(w, "      }},");
+        let _ = writeln!(
+            w,
             "      \"rows_per_sec_best\": {:.0}",
             report.n_rows as f64 / best
         );
-        print!("    }}");
-        println!("{}", if i + 1 < reports.len() { "," } else { "" });
+        let _ = write!(w, "    }}");
+        let _ = writeln!(w, "{}", if i + 1 < reports.len() { "," } else { "" });
     }
-    println!("  ],");
-    println!("  \"single_thread_overhead_pct\": {overhead_pct:.2},");
-    println!("  \"host_parallelism\": {host_parallelism}");
-    println!("}}");
+    let _ = writeln!(w, "  ],");
+    let _ = writeln!(w, "  \"single_thread_overhead_pct\": {overhead_pct:.2},");
+    let _ = writeln!(w, "  \"host_parallelism\": {host_parallelism}");
+    let _ = writeln!(w, "}}");
+    out
+}
+
+/// Gets BENCH JSON onto disk (or stdout) *verifiably*. With `--out FILE`,
+/// the text is written, re-read, byte-compared, and re-parsed; any mismatch
+/// or I/O error is reported and turns the whole run red. A `> BENCH.json`
+/// shell redirect can silently truncate on a full disk and still exit 0 —
+/// that failure mode produced a half-written BENCH file that read as a
+/// green run, which is exactly what this path exists to prevent.
+fn emit(text: &str, out_path: Option<&str>) -> Result<(), String> {
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            let back =
+                std::fs::read_to_string(path).map_err(|e| format!("re-reading {path}: {e}"))?;
+            if back != text {
+                return Err(format!(
+                    "{path}: content mismatch after write ({} bytes on disk, {} rendered)",
+                    back.len(),
+                    text.len()
+                ));
+            }
+            psens_microdata::JsonValue::parse(&back)
+                .map_err(|e| format!("{path}: emitted JSON does not parse: {e}"))?;
+            eprintln!("wrote {path} ({} bytes, validated)", back.len());
+            Ok(())
+        }
+        None => {
+            use std::io::Write;
+            let mut stdout = std::io::stdout().lock();
+            stdout
+                .write_all(text.as_bytes())
+                .and_then(|()| stdout.flush())
+                .map_err(|e| format!("writing BENCH JSON to stdout: {e}"))
+        }
+    }
 }
 
 /// The CI thread-scaling gate (see module docs). Returns the process exit
-/// code.
-fn gate(host_parallelism: usize) -> i32 {
+/// code. With `out_path`, the measurements are emitted as validated JSON and
+/// an emission failure turns the gate red even when the perf check passed —
+/// a truncated BENCH file must never ride out on a green exit code.
+fn gate(host_parallelism: usize, out_path: Option<&str>) -> i32 {
     eprintln!("thread-scaling gate: chunked group-by at {GATE_ROWS} rows, threads=8 vs threads=1");
-    if host_parallelism < GATE_MIN_CORES {
+    let (perf_code, record) = if host_parallelism < GATE_MIN_CORES {
         eprintln!("!!------------------------------------------------------------------!!");
         eprintln!(
             "!! SKIPPED: host has {host_parallelism} core(s), gate needs >= {GATE_MIN_CORES}."
@@ -188,35 +245,78 @@ fn gate(host_parallelism: usize) -> i32 {
         eprintln!("!! Thread scaling was NOT verified on this machine — run the gate on");
         eprintln!("!! a multi-core host before trusting parallel group-by performance.");
         eprintln!("!!------------------------------------------------------------------!!");
-        return 0;
-    }
-    let chunked = workloads::scale_chunked(GATE_ROWS, CHUNK_ROWS);
-    let keys = chunked.schema().key_indices();
-    let rounds = 3;
-    let t1 = best_secs(rounds, || {
-        black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 1));
-    });
-    let t8 = best_secs(rounds, || {
-        black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 8));
-    });
-    let speedup = t1 / t8;
-    eprintln!(
-        "threads=1: {t1:.4}s  threads=8: {t8:.4}s  speedup: {speedup:.2}x  \
-         (host_parallelism: {host_parallelism})"
-    );
-    if t8 < t1 {
-        eprintln!("gate PASSED: threads=8 beats threads=1");
-        0
+        let record = format!(
+            "{{\n  \"gate\": \"chunked_scaling\",\n  \"skipped\": true,\n  \
+             \"host_parallelism\": {host_parallelism},\n  \
+             \"gate_min_cores\": {GATE_MIN_CORES}\n}}\n"
+        );
+        (0, record)
     } else {
-        eprintln!("gate FAILED: threads=8 did not beat threads=1 wall-clock");
-        1
+        let chunked = workloads::scale_chunked(GATE_ROWS, CHUNK_ROWS);
+        let keys = chunked.schema().key_indices();
+        let rounds = 3;
+        let t1 = best_secs(rounds, || {
+            black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 1));
+        });
+        let t8 = best_secs(rounds, || {
+            black_box(GroupBy::compute_chunked(black_box(&chunked), &keys, 8));
+        });
+        let speedup = t1 / t8;
+        eprintln!(
+            "threads=1: {t1:.4}s  threads=8: {t8:.4}s  speedup: {speedup:.2}x  \
+             (host_parallelism: {host_parallelism})"
+        );
+        let passed = t8 < t1;
+        if passed {
+            eprintln!("gate PASSED: threads=8 beats threads=1");
+        } else {
+            eprintln!("gate FAILED: threads=8 did not beat threads=1 wall-clock");
+        }
+        let record = format!(
+            "{{\n  \"gate\": \"chunked_scaling\",\n  \"skipped\": false,\n  \
+             \"passed\": {passed},\n  \"n_rows\": {GATE_ROWS},\n  \
+             \"threads_1_secs\": {t1:.4},\n  \"threads_8_secs\": {t8:.4},\n  \
+             \"speedup_8_vs_1\": {speedup:.2},\n  \
+             \"host_parallelism\": {host_parallelism}\n}}\n"
+        );
+        (i32::from(!passed), record)
+    };
+    if out_path.is_some() {
+        if let Err(e) = emit(&record, out_path) {
+            eprintln!("gate FAILED: BENCH JSON emission error: {e}");
+            return 1;
+        }
     }
+    perf_code
+}
+
+/// Value of `--out FILE` if present (either `--out FILE` or `--out=FILE`).
+fn out_arg(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            return Some(
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --out requires a file path");
+                        std::process::exit(1);
+                    })
+                    .clone(),
+            );
+        }
+        if let Some(path) = a.strip_prefix("--out=") {
+            return Some(path.to_string());
+        }
+    }
+    None
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = out_arg(&args);
     let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
-    if std::env::args().any(|a| a == "--gate") {
-        std::process::exit(gate(host_parallelism));
+    if args.iter().any(|a| a == "--gate") {
+        std::process::exit(gate(host_parallelism, out_path.as_deref()));
     }
     let mut reports = Vec::new();
     let mut overhead_pct = 0.0f64;
@@ -225,5 +325,9 @@ fn main() {
         overhead_pct = overhead; // keep the largest size's figure
         reports.push(report);
     }
-    print_json(&reports, overhead_pct, host_parallelism);
+    let text = render_json(&reports, overhead_pct, host_parallelism);
+    if let Err(e) = emit(&text, out_path.as_deref()) {
+        eprintln!("error: BENCH JSON emission failed: {e}");
+        std::process::exit(1);
+    }
 }

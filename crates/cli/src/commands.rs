@@ -2,7 +2,6 @@
 
 use crate::args::Args;
 use crate::progress::CliObserver;
-use crate::spec::Spec;
 use psens_algorithms::mondrian::{mondrian_anonymize_budgeted, MondrianConfig};
 use psens_algorithms::samarati::{pk_minimal_generalization_tuned, Pruning};
 use psens_algorithms::{RunReport, SearchStats, TerminationReport, Tuning};
@@ -12,9 +11,10 @@ use psens_core::{
     check_p_sensitivity, check_p_sensitivity_chunked, max_k, max_k_chunked, max_p_of_masked,
     max_p_of_masked_chunked, CheckStage, SearchBudget, SearchObserver, Termination,
 };
+use psens_datasets::Spec;
 use psens_datasets::{AdultGenerator, ScaleGenerator};
 use psens_metrics::{attribute_risk, identity_risk};
-use psens_microdata::{csv, ChunkedTable, Table};
+use psens_microdata::{csv, ChunkedTable, JsonValue, Table};
 use std::time::{Duration, Instant};
 
 /// Exit code for a run whose *verdict* is negative (property violated,
@@ -91,6 +91,18 @@ COMMANDS:
   query      Run a SQL statement against a CSV file (table name: data)
              --input FILE.csv --sql STATEMENT [--spec SPEC.json]
              [--chunk-rows N] (chunked ingest needs --spec)
+  client     Send one request to a running psens-server
+             --addr HOST:PORT | --addr-file PATH
+             --op register|check|analyze|anonymize|query|stats|shutdown
+             register: --name NAME --input FILE.csv --spec SPEC.json
+             check:     --dataset NAME [--p P] [--k K]
+             analyze:   --dataset NAME [--p P]
+             anonymize: --dataset NAME [--p P] [--k K] [--ts N]
+                        [--timeout-ms N] [--max-nodes N] [--threads N]
+                        [--no-cache]
+             query:     --dataset NAME --sql STATEMENT
+             prints the result as JSON; exit codes mirror the offline
+             commands (2 verdict violation, 3 interrupted search)
   help       Show this message
 
   --chunk-rows N streams the input CSV in N-row column chunks instead of
@@ -111,6 +123,7 @@ pub fn run(args: &Args) -> Result<CmdOutput, String> {
         "anonymize" => anonymize(args),
         "attack" => attack(args).map(CmdOutput::ok),
         "query" => query(args).map(CmdOutput::ok),
+        "client" => client(args),
         "help" | "" => Ok(CmdOutput::ok(USAGE.to_owned())),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -197,13 +210,11 @@ fn chunk_rows_arg(args: &Args) -> Result<usize, String> {
 }
 
 /// The `--threads` option: `0` (also the default when the flag is absent)
-/// means one worker per available core, resolved through the library-wide
-/// [`psens_microdata::resolve_threads`] so an explicit `--threads 0` and an
-/// omitted flag behave identically.
+/// means one worker per available core. The raw request is passed through —
+/// [`psens_algorithms::Tuning`] resolves and clamps it internally — so
+/// `RunReport.search` can report both the requested and the effective count.
 fn threads_arg(args: &Args) -> Result<usize, String> {
-    Ok(psens_microdata::resolve_threads(
-        args.get_usize("threads", 0)?,
-    ))
+    args.get_usize("threads", 0)
 }
 
 fn load_spec(args: &Args) -> Result<Spec, String> {
@@ -682,6 +693,77 @@ fn query(args: &Args) -> Result<String, String> {
     catalog.register("data", &table);
     let result = psens_sql::execute(&catalog, sql).map_err(|e| e.to_string())?;
     Ok(psens_microdata::render(&result, 100))
+}
+
+/// `psens client`: one request against a running psens-server, result
+/// printed as JSON. Exit codes mirror the offline commands so scripts can
+/// treat local and remote verdicts identically: 2 for a negative verdict,
+/// 3 for an interrupted search.
+fn client(args: &Args) -> Result<CmdOutput, String> {
+    let addr_text = match (args.get("addr"), args.get("addr-file")) {
+        (Some(addr), _) => addr.to_owned(),
+        (None, Some(path)) => std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))?
+            .trim()
+            .to_owned(),
+        (None, None) => return Err("one of --addr or --addr-file is required".to_owned()),
+    };
+    let addr = std::net::ToSocketAddrs::to_socket_addrs(&addr_text)
+        .map_err(|e| format!("resolving {addr_text}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr_text}"))?;
+    let op = args.require("op")?;
+    let mut params = JsonValue::object();
+    match op {
+        "register" => {
+            params.set("name", JsonValue::Str(args.require("name")?.to_owned()));
+            let input = args.require("input")?;
+            let text =
+                std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+            params.set("csv", JsonValue::Str(text));
+            params.set("spec", load_spec(args)?.to_json());
+        }
+        "check" | "analyze" | "anonymize" | "query" => {
+            params.set(
+                "dataset",
+                JsonValue::Str(args.require("dataset")?.to_owned()),
+            );
+            for key in ["p", "k", "ts", "threads", "timeout-ms", "max-nodes"] {
+                if args.get(key).is_some() {
+                    let value = args.get_u64(key, 0)?;
+                    params.set(key.replace('-', "_"), JsonValue::Int(value as i64));
+                }
+            }
+            if args.get_flag("no-cache") {
+                params.set("no_cache", JsonValue::Bool(true));
+            }
+            if let Some(sql) = args.get("sql") {
+                params.set("sql", JsonValue::Str(sql.to_owned()));
+            }
+        }
+        "stats" | "shutdown" | "sleep" => {}
+        other => return Err(format!("unknown op `{other}`")),
+    }
+    let mut client = psens_server::Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let result = client.call_ok(op, params)?;
+    // Map the remote verdict onto the offline exit-code contract.
+    let satisfied = result
+        .get("satisfied")
+        .or_else(|| result.get("verdict").and_then(|v| v.get("satisfied")))
+        .and_then(|v| v.as_bool().ok());
+    let termination = result
+        .get("verdict")
+        .and_then(|v| v.get("termination"))
+        .and_then(|v| v.as_str().ok());
+    let code = match (termination, satisfied) {
+        (Some(t), _) if t != "completed" => EXIT_INTERRUPTED,
+        (_, Some(false)) => EXIT_VIOLATION,
+        _ => 0,
+    };
+    Ok(CmdOutput {
+        text: format!("{}\n", result.to_json_pretty()),
+        code,
+    })
 }
 
 fn attack(args: &Args) -> Result<String, String> {

@@ -1,0 +1,10 @@
+//! `psens` command implementations as a library.
+//!
+//! The binary in `main.rs` is a thin wrapper over [`commands::run`]; the
+//! integration tests (notably the concurrent-server differential oracle)
+//! call the same entry points in-process instead of spawning the binary.
+
+pub mod args;
+pub mod commands;
+pub mod progress;
+pub mod signal;

@@ -1,13 +1,9 @@
 //! `psens` — the command-line p-sensitive k-anonymity toolkit.
 //!
-//! See [`commands::USAGE`] or run `psens help` for the command reference.
+//! See [`psens_cli::commands::USAGE`] or run `psens help` for the command
+//! reference.
 
-mod args;
-mod commands;
-mod progress;
-mod signal;
-mod spec;
-
+use psens_cli::{args, commands};
 use std::process::ExitCode;
 
 /// Exit codes: 0 success, 1 operational error (bad arguments, unreadable

@@ -1,0 +1,293 @@
+//! Differential oracle for the anonymization server: verdicts must be a
+//! pure function of (dataset, parameters), byte-for-byte, no matter how the
+//! search is driven.
+//!
+//! Three independent executions of each parameter set are compared:
+//!
+//! 1. a **serial** client, one request at a time (the reference);
+//! 2. **N concurrent** clients issuing a mixed op stream (anonymize with and
+//!    without the warm verdict store, plus interleaved `check`s), squeezed
+//!    through a `max_concurrent = 2` admission gate so requests genuinely
+//!    queue and overlap;
+//! 3. the **CLI** `anonymize` command run in-process against the same CSV,
+//!    compared through its `--report` JSON (`satisfied` / `node` /
+//!    `termination.reason`).
+//!
+//! A fourth dimension injects *deterministic* interruption (`max_nodes: 0`,
+//! `timeout_ms: 0`): interrupted verdicts must also agree across serial,
+//! concurrent, and CLI executions. True mid-flight cancellation is raced by
+//! nature and is covered by the server's own e2e tests; the oracle only
+//! compares runs whose outcome is a deterministic function of the inputs.
+
+use psens_cli::args::Args;
+use psens_cli::commands;
+use psens_datasets::fixtures::{adult_fixture, DatasetFixture};
+use psens_microdata::JsonValue;
+use psens_server::{start, Client, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::Mutex;
+
+const SEED: u64 = 11;
+const ROWS: usize = 140;
+const DATASET: &str = "oracle-adult";
+const CLIENTS: usize = 4;
+
+/// (p, k, ts) parameter sets covering satisfiable and unsatisfiable runs.
+const PARAMS: [(u32, u32, usize); 3] = [(1, 2, 0), (2, 3, 10), (4, 6, 4)];
+
+fn boot(fixture: &DatasetFixture) -> (psens_server::ServerHandle, SocketAddr) {
+    let handle = start(ServerConfig::default()).expect("server boots");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .call_ok(
+            "register",
+            psens_server::client::register_params(DATASET, &fixture.csv, &fixture.spec),
+        )
+        .expect("register");
+    (handle, addr)
+}
+
+fn anon_params(p: u32, k: u32, ts: usize) -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("dataset", JsonValue::Str(DATASET.into()));
+    params.set("p", JsonValue::Int(i64::from(p)));
+    params.set("k", JsonValue::Int(i64::from(k)));
+    params.set("ts", JsonValue::Int(ts as i64));
+    params
+}
+
+/// The deterministic verdict sub-object as a canonical JSON string
+/// (`JsonValue` objects keep insertion order, so equal verdicts render to
+/// equal bytes).
+fn verdict_string(result: &JsonValue) -> String {
+    result
+        .get("verdict")
+        .expect("anonymize result carries a verdict")
+        .to_json()
+}
+
+fn anonymize_verdict(client: &mut Client, params: JsonValue) -> String {
+    let result = client.call_ok("anonymize", params).expect("anonymize");
+    verdict_string(&result)
+}
+
+fn check_string(client: &mut Client, p: u32, k: u32) -> String {
+    let mut params = JsonValue::object();
+    params.set("dataset", JsonValue::Str(DATASET.into()));
+    params.set("p", JsonValue::Int(i64::from(p)));
+    params.set("k", JsonValue::Int(i64::from(k)));
+    client.call_ok("check", params).expect("check").to_json()
+}
+
+#[test]
+fn concurrent_mixed_traffic_matches_serial_and_cli_verdicts() {
+    let fixture = adult_fixture(SEED, ROWS);
+    let (_handle, addr) = boot(&fixture);
+
+    // Reference pass: one client, strictly serial, cold stores.
+    let mut serial = Client::connect(addr).expect("connect");
+    let reference: Vec<String> = PARAMS
+        .iter()
+        .map(|&(p, k, ts)| anonymize_verdict(&mut serial, anon_params(p, k, ts)))
+        .collect();
+    let check_reference: Vec<String> = PARAMS
+        .iter()
+        .map(|&(p, k, _)| check_string(&mut serial, p, k))
+        .collect();
+
+    // Concurrent pass: every client runs every parameter set (rotated so the
+    // interleaving differs per client), alternating warm-store and no-cache
+    // runs, with `check`s mixed in. All through a max_concurrent=2 gate.
+    let divergences: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let divergences = &divergences;
+            let reference = &reference;
+            let check_reference = &check_reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..PARAMS.len() {
+                    let slot = (i + c) % PARAMS.len();
+                    let (p, k, ts) = PARAMS[slot];
+                    let mut params = anon_params(p, k, ts);
+                    if c % 2 == 1 {
+                        params.set("no_cache", JsonValue::Bool(true));
+                    }
+                    let got = anonymize_verdict(&mut client, params);
+                    if got != reference[slot] {
+                        divergences.lock().unwrap().push(format!(
+                            "client {c} anonymize p={p} k={k} ts={ts}:\n  got {got}\n  want {}",
+                            reference[slot]
+                        ));
+                    }
+                    let got = check_string(&mut client, p, k);
+                    if got != check_reference[slot] {
+                        divergences
+                            .lock()
+                            .unwrap()
+                            .push(format!("client {c} check p={p} k={k} diverged"));
+                    }
+                }
+            });
+        }
+    });
+    let divergences = divergences.into_inner().unwrap();
+    assert!(
+        divergences.is_empty(),
+        "concurrent verdicts diverged from serial:\n{}",
+        divergences.join("\n")
+    );
+
+    // CLI pass: the same dataset through `psens anonymize --report`, compared
+    // on the fields both sides define (winning node, satisfied, termination).
+    let dir = std::env::temp_dir().join("psens_server_oracle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("oracle.csv");
+    let spec_path = dir.join("oracle_spec.json");
+    std::fs::write(&csv_path, &fixture.csv).unwrap();
+    std::fs::write(&spec_path, fixture.spec.to_json().to_json()).unwrap();
+    for (slot, &(p, k, ts)) in PARAMS.iter().enumerate() {
+        let report = cli_anonymize_report(&dir, &csv_path, &spec_path, p, k, ts, &[]);
+        let server = JsonValue::parse(&reference[slot]).expect("verdict parses");
+        assert_eq!(
+            report.get("satisfied").unwrap().as_bool().unwrap(),
+            server.get("satisfied").unwrap().as_bool().unwrap(),
+            "satisfied diverged for p={p} k={k} ts={ts}"
+        );
+        let cli_node = report.get("node").unwrap().as_str().ok();
+        let server_node = server.get("node").unwrap().as_str().ok();
+        assert_eq!(
+            cli_node, server_node,
+            "node diverged for p={p} k={k} ts={ts}"
+        );
+        assert_eq!(
+            report
+                .get("termination")
+                .unwrap()
+                .get("reason")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            server.get("termination").unwrap().as_str().unwrap(),
+            "termination diverged for p={p} k={k} ts={ts}"
+        );
+    }
+}
+
+#[test]
+fn injected_interruption_verdicts_agree_across_clients_and_cli() {
+    let fixture = adult_fixture(SEED, ROWS);
+    let (_handle, addr) = boot(&fixture);
+    let (p, k, ts) = (2u32, 3u32, 10usize);
+
+    // max_nodes=0 and timeout_ms=0 trip the budget before the first node is
+    // evaluated, so even an "interrupted" verdict is deterministic.
+    let budgets: [(&str, &str); 2] = [
+        ("max_nodes", "node_budget_exhausted"),
+        ("timeout_ms", "deadline_exceeded"),
+    ];
+    for (field, want_termination) in budgets {
+        let mut serial = Client::connect(addr).expect("connect");
+        let mut params = anon_params(p, k, ts);
+        params.set(field, JsonValue::Int(0));
+        let reference = anonymize_verdict(&mut serial, params);
+        let got_termination = JsonValue::parse(&reference)
+            .unwrap()
+            .get("termination")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        assert_eq!(got_termination, want_termination, "budget field {field}");
+
+        let divergences: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let divergences = &divergences;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut params = anon_params(p, k, ts);
+                    params.set(field, JsonValue::Int(0));
+                    if c % 2 == 1 {
+                        params.set("no_cache", JsonValue::Bool(true));
+                    }
+                    let got = anonymize_verdict(&mut client, params);
+                    if got != *reference {
+                        divergences
+                            .lock()
+                            .unwrap()
+                            .push(format!("client {c} {field}=0 verdict diverged"));
+                    }
+                });
+            }
+        });
+        let divergences = divergences.into_inner().unwrap();
+        assert!(divergences.is_empty(), "{}", divergences.join("\n"));
+    }
+
+    // CLI under the same injected budget: interrupted exit code, and the
+    // report's termination reason matches the server verdict's.
+    let dir = std::env::temp_dir().join("psens_server_oracle_interrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("oracle.csv");
+    let spec_path = dir.join("oracle_spec.json");
+    std::fs::write(&csv_path, &fixture.csv).unwrap();
+    std::fs::write(&spec_path, fixture.spec.to_json().to_json()).unwrap();
+    let report = cli_anonymize_report(&dir, &csv_path, &spec_path, p, k, ts, &["--max-nodes", "0"]);
+    assert_eq!(
+        report
+            .get("termination")
+            .unwrap()
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "node_budget_exhausted"
+    );
+    assert!(!report.get("satisfied").unwrap().as_bool().unwrap());
+}
+
+/// Runs `psens anonymize` in-process and returns the parsed `--report` JSON.
+fn cli_anonymize_report(
+    dir: &std::path::Path,
+    csv_path: &std::path::Path,
+    spec_path: &std::path::Path,
+    p: u32,
+    k: u32,
+    ts: usize,
+    extra: &[&str],
+) -> JsonValue {
+    let out_path = dir.join(format!("out_{p}_{k}_{ts}.csv"));
+    let report_path = dir.join(format!("report_{p}_{k}_{ts}.json"));
+    let mut line: Vec<String> = [
+        "anonymize",
+        "--input",
+        csv_path.to_str().unwrap(),
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+        "--report",
+        report_path.to_str().unwrap(),
+        "--threads",
+        "1",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    line.push("--p".into());
+    line.push(p.to_string());
+    line.push("--k".into());
+    line.push(k.to_string());
+    line.push("--ts".into());
+    line.push(ts.to_string());
+    line.extend(extra.iter().map(ToString::to_string));
+    let args = Args::parse(line).expect("args parse");
+    // Interrupted/violation runs return nonzero codes by design; only a
+    // hard error is fatal here.
+    let _ = commands::run(&args).expect("cli anonymize runs");
+    let text = std::fs::read_to_string(&report_path).expect("report written");
+    JsonValue::parse(&text).expect("report parses")
+}

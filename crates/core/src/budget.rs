@@ -24,26 +24,54 @@ use std::time::{Duration, Instant};
 /// A shared cancellation flag. Clones share the underlying flag, so one
 /// token can be handed to a signal handler (or another thread) while its
 /// clone rides inside a [`SearchBudget`]; `cancel()` trips every clone.
+///
+/// Tokens form a tree: [`CancelToken::child`] derives a token with its own
+/// flag that *also* observes every ancestor. A daemon hands each request a
+/// child of its shutdown token — cancelling one request (client disconnect,
+/// per-request deadline) trips only that child, while cancelling the parent
+/// (SIGINT) trips every outstanding request at once. The one-shot CLI keeps
+/// using a single root token, whose behaviour is unchanged.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     cancelled: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
-    /// A fresh, untripped token.
+    /// A fresh, untripped root token.
     pub fn new() -> CancelToken {
         CancelToken::default()
     }
 
     /// Trips the token. Idempotent, safe from any thread, and — being a
-    /// single atomic store — safe to call from a signal handler.
+    /// single atomic store — safe to call from a signal handler. Ancestors
+    /// are left untouched; descendants observe the trip through their
+    /// parent chain.
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether the token has been tripped.
+    /// Whether the token — or any ancestor it was derived from — has been
+    /// tripped.
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Acquire)
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match &self.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+
+    /// Derives a child token: cancelling the child does not affect this
+    /// token (or any sibling child), but cancelling this token — or any of
+    /// its ancestors — is observed by the child. Clones of the child share
+    /// the child's flag, as usual.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
     }
 }
 
@@ -392,6 +420,42 @@ mod tests {
         assert!(!b.is_cancelled());
         a.cancel();
         assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancellation_is_isolated_from_parent_and_siblings() {
+        // The daemon regression: one request's cancellation (a child) must
+        // not trip the server token (parent) or any other request (sibling).
+        let server = CancelToken::new();
+        let request_a = server.child();
+        let request_b = server.child();
+        request_a.cancel();
+        assert!(request_a.is_cancelled());
+        assert!(!server.is_cancelled(), "child trip leaked to parent");
+        assert!(!request_b.is_cancelled(), "child trip leaked to sibling");
+    }
+
+    #[test]
+    fn parent_cancellation_fans_out_to_all_children() {
+        let server = CancelToken::new();
+        let request_a = server.child();
+        let request_b = server.child();
+        let grandchild = request_a.child();
+        server.cancel();
+        assert!(request_a.is_cancelled());
+        assert!(request_b.is_cancelled());
+        assert!(grandchild.is_cancelled(), "trip crosses generations");
+    }
+
+    #[test]
+    fn child_token_trips_a_budget_like_a_root_token() {
+        let server = CancelToken::new();
+        let request = server.child();
+        let state = SearchBudget::unlimited().with_cancel(request).start();
+        assert!(state.admit_coarse().is_ok());
+        server.cancel();
+        assert_eq!(state.admit_coarse(), Err(Termination::Cancelled));
+        assert_eq!(state.termination(), Termination::Cancelled);
     }
 
     #[test]

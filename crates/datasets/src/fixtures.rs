@@ -1,0 +1,72 @@
+//! Ready-to-register dataset bundles: CSV text plus the matching [`Spec`],
+//! exactly what the server's `register` op consumes. Shared by the server
+//! tests, the concurrent differential oracle, and the `psens-load` driver so
+//! they all exercise one well-known dataset instead of each inventing its
+//! own.
+
+use crate::{AdultGenerator, ScaleGenerator, Spec};
+use psens_microdata::csv::to_csv_string;
+
+/// A dataset ready to be registered with the server: headered CSV text and
+/// the spec describing its schema and hierarchies.
+#[derive(Debug, Clone)]
+pub struct DatasetFixture {
+    /// Suggested registry name (callers may override).
+    pub name: String,
+    /// Headered RFC-4180 CSV, parseable against `spec.schema()`.
+    pub csv: String,
+    /// Attribute roles + key-attribute hierarchies (96-node Adult lattice).
+    pub spec: Spec,
+}
+
+/// `rows` synthetic Adult tuples (identifier + 4 keys + 4 confidential)
+/// under the Table 7 hierarchies. Deterministic in `(seed, rows)`.
+pub fn adult_fixture(seed: u64, rows: usize) -> DatasetFixture {
+    let table = AdultGenerator::new(seed).generate(rows);
+    DatasetFixture {
+        name: format!("adult-{rows}"),
+        csv: to_csv_string(&table, true),
+        spec: Spec::adult(),
+    }
+}
+
+/// `rows` Adult-shaped scale tuples (no identifier column, bounded
+/// dictionaries) under the same hierarchies. Deterministic in
+/// `(seed, rows)`.
+pub fn scale_fixture(seed: u64, rows: usize) -> DatasetFixture {
+    let table = ScaleGenerator::new(seed).generate(rows);
+    DatasetFixture {
+        name: format!("scale-{rows}"),
+        csv: to_csv_string(&table, true),
+        spec: Spec::scale(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_microdata::csv::read_table_str;
+
+    #[test]
+    fn adult_fixture_roundtrips_through_its_own_spec() {
+        let fixture = adult_fixture(11, 40);
+        let schema = fixture.spec.schema().unwrap();
+        let table = read_table_str(&fixture.csv, schema, true).unwrap();
+        assert_eq!(table.n_rows(), 40);
+        assert_eq!(fixture.spec.qi_space().unwrap().lattice().node_count(), 96);
+    }
+
+    #[test]
+    fn scale_fixture_roundtrips_through_its_own_spec() {
+        let fixture = scale_fixture(3, 25);
+        let schema = fixture.spec.schema().unwrap();
+        let table = read_table_str(&fixture.csv, schema, true).unwrap();
+        assert_eq!(table.n_rows(), 25);
+    }
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(adult_fixture(7, 30).csv, adult_fixture(7, 30).csv);
+        assert_eq!(scale_fixture(7, 30).csv, scale_fixture(7, 30).csv);
+    }
+}

@@ -12,14 +12,21 @@
 //! - [`scale`]: a size-parameterized Adult-shaped generator (no identifier
 //!   column, bounded dictionaries) for multi-million-row scaling runs, with
 //!   a chunk-streaming mode whose output concatenates to the one-shot table.
+//! - [`spec`]: the JSON dataset specification (attribute roles + hierarchies)
+//!   shared by the CLI file format and the server's `register` op.
+//! - [`fixtures`]: ready-to-register CSV + spec bundles for server tests and
+//!   the `psens-load` driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adult;
+pub mod fixtures;
 pub mod hierarchies;
 pub mod paper;
 pub mod scale;
+pub mod spec;
 
 pub use adult::{paper_samples, AdultGenerator};
 pub use scale::{ScaleChunks, ScaleGenerator};
+pub use spec::Spec;

@@ -1,8 +1,9 @@
-//! The JSON dataset specification consumed by the CLI: attribute roles plus
-//! optional generalization hierarchies per key attribute.
+//! The JSON dataset specification consumed by the CLI and the server:
+//! attribute roles plus optional generalization hierarchies per key
+//! attribute.
 
-use psens_datasets::hierarchies as adult_hierarchies;
-use psens_datasets::{AdultGenerator, ScaleGenerator};
+use crate::hierarchies as adult_hierarchies;
+use crate::{AdultGenerator, ScaleGenerator};
 use psens_hierarchy::{Hierarchy, QiSpace};
 use psens_microdata::{Attribute, JsonError, JsonValue, Kind, Role, Schema};
 use serde::{Deserialize, Serialize};

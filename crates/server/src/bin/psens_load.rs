@@ -1,0 +1,374 @@
+//! `psens-load` — sustained concurrent mixed traffic against a psens-server.
+//!
+//! ```text
+//! psens-load --addr HOST:PORT [--clients N] [--requests N] [--rows N]
+//!            [--seed S] [--out BENCH_7.json]
+//! psens-load --addr-file PATH ...
+//! ```
+//!
+//! Registers a deterministic Adult fixture, then drives two phases of
+//! concurrent client traffic — `cold` (every anonymize runs `no_cache`) and
+//! `warm` (anonymize requests share the server's pooled verdict store) —
+//! each a mixed cycle of `check` / `analyze` / `anonymize` / `query` ops.
+//! Emits `BENCH_7.json` with per-op throughput and p50/p99 latency, the
+//! warm-hit fraction, and the warm-vs-cold anonymize comparison.
+//!
+//! The BENCH file is written with the fail-loudly discipline: the JSON is
+//! re-read and re-parsed after writing, and any emission problem exits
+//! nonzero even though the traffic itself succeeded — a truncated BENCH_7
+//! must never look like a green run.
+
+use psens_datasets::fixtures::adult_fixture;
+use psens_microdata::JsonValue;
+use psens_server::client::{register_params, Client};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct LoadConfig {
+    addr: SocketAddr,
+    clients: usize,
+    requests: usize,
+    rows: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<LoadConfig, String> {
+    let mut addr = None;
+    let mut addr_file = None;
+    let mut clients = 4usize;
+    let mut requests = 24usize;
+    let mut rows = 250usize;
+    let mut seed = 17u64;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => addr = Some(take("--addr")?),
+            "--addr-file" => addr_file = Some(take("--addr-file")?),
+            "--clients" => {
+                clients = take("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--requests" => {
+                requests = take("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--rows" => {
+                rows = take("--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => out = Some(take("--out")?),
+            "--help" | "-h" => {
+                return Err("usage: psens-load --addr HOST:PORT | --addr-file PATH \
+                            [--clients N] [--requests N] [--rows N] [--seed S] [--out FILE]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let addr_text = match (addr, addr_file) {
+        (Some(addr), _) => addr,
+        (None, Some(path)) => std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {path}: {e}"))?
+            .trim()
+            .to_owned(),
+        (None, None) => return Err("one of --addr or --addr-file is required".to_owned()),
+    };
+    let addr = addr_text
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr_text}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr_text}"))?;
+    Ok(LoadConfig {
+        addr,
+        clients,
+        requests,
+        rows,
+        seed,
+        out,
+    })
+}
+
+/// One request's record: which op, how long, and (anonymize only) whether
+/// the store was warm plus the verdict payload for the equivalence check.
+struct Sample {
+    op: &'static str,
+    micros: u64,
+    warm: Option<bool>,
+    verdict: Option<String>,
+}
+
+/// The mixed op cycle every client walks, round-robin.
+const MIX: [&str; 4] = ["check", "anonymize", "analyze", "query"];
+
+fn anonymize_params(no_cache: bool) -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("dataset", JsonValue::Str("load-adult".into()));
+    params.set("p", JsonValue::Int(2));
+    params.set("k", JsonValue::Int(3));
+    params.set("ts", JsonValue::Int(10));
+    if no_cache {
+        params.set("no_cache", JsonValue::Bool(true));
+    }
+    params
+}
+
+fn run_request(client: &mut Client, op: &'static str, no_cache: bool) -> Result<Sample, String> {
+    let start = Instant::now();
+    let (result, warm, verdict) = match op {
+        "check" => {
+            let mut params = JsonValue::object();
+            params.set("dataset", JsonValue::Str("load-adult".into()));
+            params.set("p", JsonValue::Int(2));
+            params.set("k", JsonValue::Int(3));
+            (client.call_ok("check", params)?, None, None)
+        }
+        "analyze" => {
+            let mut params = JsonValue::object();
+            params.set("dataset", JsonValue::Str("load-adult".into()));
+            params.set("p", JsonValue::Int(2));
+            (client.call_ok("analyze", params)?, None, None)
+        }
+        "anonymize" => {
+            let result = client.call_ok("anonymize", anonymize_params(no_cache))?;
+            let warm = result
+                .get("warm")
+                .and_then(|v| v.as_bool().ok())
+                .unwrap_or(false);
+            let verdict = result
+                .require("verdict")
+                .map_err(|e| e.to_string())?
+                .to_json();
+            (result, Some(warm), Some(verdict))
+        }
+        "query" => {
+            let mut params = JsonValue::object();
+            params.set("dataset", JsonValue::Str("load-adult".into()));
+            params.set("sql", JsonValue::Str("SELECT COUNT(*) FROM data".into()));
+            (client.call_ok("query", params)?, None, None)
+        }
+        other => return Err(format!("unknown op in mix: {other}")),
+    };
+    let _ = result;
+    Ok(Sample {
+        op,
+        micros: start.elapsed().as_micros() as u64,
+        warm,
+        verdict,
+    })
+}
+
+/// Runs one phase: `clients` threads, each its own connection, each issuing
+/// `requests` ops round-robin through [`MIX`].
+fn run_phase(config: &LoadConfig, no_cache: bool) -> Result<(Vec<Sample>, f64), String> {
+    let wall = Instant::now();
+    let samples = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<Vec<Sample>, String> {
+                    let mut client = Client::connect(config.addr)
+                        .map_err(|e| format!("client {c}: connect: {e}"))?;
+                    let mut samples = Vec::with_capacity(config.requests);
+                    for r in 0..config.requests {
+                        // Offset by client id so ops overlap across clients.
+                        let op = MIX[(c + r) % MIX.len()];
+                        samples.push(
+                            run_request(&mut client, op, no_cache)
+                                .map_err(|e| format!("client {c} request {r}: {e}"))?,
+                        );
+                    }
+                    Ok(samples)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for handle in handles {
+            all.extend(handle.join().expect("client thread panicked")?);
+        }
+        Ok::<Vec<Sample>, String>(all)
+    })?;
+    let secs = wall.elapsed().as_secs_f64();
+    let req_per_s = samples.len() as f64 / secs.max(1e-9);
+    Ok((samples, req_per_s))
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Per-op latency summary for one phase.
+fn phase_json(samples: &[Sample], req_per_s: f64) -> JsonValue {
+    let mut out = JsonValue::object();
+    out.set("requests", JsonValue::Int(samples.len() as i64));
+    out.set("req_per_s", JsonValue::Float(req_per_s));
+    let mut ops = JsonValue::object();
+    for op in MIX {
+        let mut lat: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.op == op)
+            .map(|s| s.micros)
+            .collect();
+        lat.sort_unstable();
+        let mut entry = JsonValue::object();
+        entry.set("count", JsonValue::Int(lat.len() as i64));
+        entry.set("p50_us", JsonValue::Int(percentile(&lat, 50.0) as i64));
+        entry.set("p99_us", JsonValue::Int(percentile(&lat, 99.0) as i64));
+        ops.set(op, entry);
+    }
+    out.set("ops", ops);
+    let anonymize: Vec<&Sample> = samples.iter().filter(|s| s.op == "anonymize").collect();
+    let warm_hits = anonymize.iter().filter(|s| s.warm == Some(true)).count();
+    out.set(
+        "anonymize_warm_fraction",
+        JsonValue::Float(match anonymize.is_empty() {
+            true => 0.0,
+            false => warm_hits as f64 / anonymize.len() as f64,
+        }),
+    );
+    out
+}
+
+/// (p50, p99) anonymize latency of one phase, microseconds.
+fn anonymize_percentiles(samples: &[Sample]) -> (u64, u64) {
+    let mut lat: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.op == "anonymize")
+        .map(|s| s.micros)
+        .collect();
+    lat.sort_unstable();
+    (percentile(&lat, 50.0), percentile(&lat, 99.0))
+}
+
+/// Writes and then *re-reads* the BENCH JSON; any failure is fatal so a
+/// truncated file cannot pass for a finished benchmark.
+fn emit_validated(path: &str, report: &JsonValue) -> Result<(), String> {
+    let mut text = report.to_json_pretty();
+    text.push('\n');
+    std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    let back = std::fs::read_to_string(path).map_err(|e| format!("re-reading {path}: {e}"))?;
+    if back != text {
+        return Err(format!("{path}: content mismatch after write"));
+    }
+    let parsed = JsonValue::parse(&back).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    for key in ["bench", "config", "phases", "warm_vs_cold"] {
+        parsed
+            .require(key)
+            .map_err(|e| format!("{path}: missing section: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run() -> Result<String, String> {
+    let config = parse_args()?;
+    // Register the fixture (idempotent across runs would need a fresh name;
+    // the driver assumes a fresh server, as ci.sh provides).
+    let fixture = adult_fixture(config.seed, config.rows);
+    let mut setup = Client::connect(config.addr).map_err(|e| format!("connect: {e}"))?;
+    setup.call_ok(
+        "register",
+        register_params("load-adult", &fixture.csv, &fixture.spec),
+    )?;
+
+    // Cold first so its anonymize latencies cannot benefit from a store the
+    // warm phase already filled.
+    let (cold_samples, cold_rps) = run_phase(&config, true)?;
+    let (warm_samples, warm_rps) = run_phase(&config, false)?;
+
+    // Every completed anonymize — cold or warm, any client, any order —
+    // must carry the same verdict.
+    let mut verdicts: Vec<&String> = cold_samples
+        .iter()
+        .chain(&warm_samples)
+        .filter_map(|s| s.verdict.as_ref())
+        .collect();
+    verdicts.sort();
+    verdicts.dedup();
+    if verdicts.len() > 1 {
+        return Err(format!(
+            "anonymize verdicts diverged across requests: {} distinct payloads",
+            verdicts.len()
+        ));
+    }
+
+    let stats = setup.call_ok("stats", JsonValue::object())?;
+
+    let mut report = JsonValue::object();
+    report.set("bench", JsonValue::Str("BENCH_7".into()));
+    let mut cfg = JsonValue::object();
+    cfg.set("clients", JsonValue::Int(config.clients as i64));
+    cfg.set(
+        "requests_per_client",
+        JsonValue::Int(config.requests as i64),
+    );
+    cfg.set("rows", JsonValue::Int(config.rows as i64));
+    cfg.set("seed", JsonValue::Int(config.seed as i64));
+    report.set("config", cfg);
+    let mut phases = JsonValue::object();
+    phases.set("cold", phase_json(&cold_samples, cold_rps));
+    phases.set("warm", phase_json(&warm_samples, warm_rps));
+    report.set("phases", phases);
+    report.set("server_stats", stats);
+    let (cold_p50, cold_p99) = anonymize_percentiles(&cold_samples);
+    let (warm_p50, warm_p99) = anonymize_percentiles(&warm_samples);
+    let mut cmp = JsonValue::object();
+    cmp.set("anonymize_p50_us_cold", JsonValue::Int(cold_p50 as i64));
+    cmp.set("anonymize_p50_us_warm", JsonValue::Int(warm_p50 as i64));
+    cmp.set("anonymize_p99_us_cold", JsonValue::Int(cold_p99 as i64));
+    cmp.set("anonymize_p99_us_warm", JsonValue::Int(warm_p99 as i64));
+    cmp.set(
+        "warm_speedup_p50",
+        JsonValue::Float(cold_p50 as f64 / (warm_p50.max(1)) as f64),
+    );
+    cmp.set(
+        "warm_speedup",
+        JsonValue::Float(cold_p99 as f64 / (warm_p99.max(1)) as f64),
+    );
+    report.set("warm_vs_cold", cmp);
+
+    if let Some(path) = &config.out {
+        emit_validated(path, &report)?;
+    }
+    Ok(format!(
+        "psens-load: {} requests ({} cold @ {:.0} req/s, {} warm @ {:.0} req/s); \
+         anonymize p99 {}us cold -> {}us warm{}",
+        cold_samples.len() + warm_samples.len(),
+        cold_samples.len(),
+        cold_rps,
+        warm_samples.len(),
+        warm_rps,
+        cold_p99,
+        warm_p99,
+        match &config.out {
+            Some(path) => format!("; wrote {path}"),
+            None => String::new(),
+        }
+    ))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("psens-load: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! `psens-server` — the long-running anonymization daemon.
+//!
+//! ```text
+//! psens-server [--listen ADDR] [--max-concurrent N] [--addr-file PATH]
+//! ```
+//!
+//! `--listen 127.0.0.1:0` binds a free port; `--addr-file` publishes the
+//! resolved address (one line) so scripts and tests can find it. SIGINT
+//! trips the server's shutdown token: in-flight requests observe the
+//! cancellation through their child tokens and finish as interrupted, the
+//! acceptor drains, and the process exits 0 after printing
+//! `shutdown complete`.
+
+use psens_core::CancelToken;
+use psens_server::{start, ServerConfig};
+use std::process::ExitCode;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The token the SIGINT handler trips — a clone of the server's shutdown
+/// token, so Ctrl-C and the `shutdown` op travel the same path.
+static SIGINT_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+#[cfg(unix)]
+mod sig {
+    /// POSIX SIGINT number (asm-generic; holds on every Linux arch and BSD).
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        /// C `signal(2)`; the handler travels as a plain function address.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Atomic store only: async-signal-safe.
+        if let Some(token) = super::SIGINT_TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    pub(super) fn install() {
+        let handler: extern "C" fn(i32) = on_sigint;
+        unsafe {
+            signal(SIGINT, handler as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub(super) fn install() {}
+}
+
+fn parse_args() -> Result<(ServerConfig, Option<String>), String> {
+    let mut config = ServerConfig::default();
+    let mut addr_file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--listen" => config.listen = take("--listen")?,
+            "--max-concurrent" => {
+                config.max_concurrent = take("--max-concurrent")?
+                    .parse()
+                    .map_err(|e| format!("--max-concurrent: {e}"))?
+            }
+            "--addr-file" => addr_file = Some(take("--addr-file")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: psens-server [--listen ADDR] [--max-concurrent N] [--addr-file PATH]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((config, addr_file))
+}
+
+fn main() -> ExitCode {
+    let (config, addr_file) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_concurrent = config.max_concurrent;
+    let mut handle = match start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("psens-server: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let token = handle.shutdown_token();
+    SIGINT_TOKEN.set(token.clone()).ok();
+    sig::install();
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", handle.addr())) {
+            eprintln!("psens-server: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "psens-server: listening on {} (max-concurrent {max_concurrent})",
+        handle.addr()
+    );
+    // Park until SIGINT or a `shutdown` op trips the token.
+    while !token.is_cancelled() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+    println!(
+        "psens-server: shutdown complete ({} request(s) served)",
+        handle.requests_served()
+    );
+    ExitCode::SUCCESS
+}

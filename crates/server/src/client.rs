@@ -1,0 +1,96 @@
+//! A minimal synchronous client for the psens-server protocol, shared by
+//! the `psens-load` driver, the CLI `client` subcommand, and the tests.
+
+use crate::protocol::{read_frame, request, write_frame};
+use psens_microdata::JsonValue;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One connection to a psens-server. Requests are answered in order, so a
+/// `call` is a `send` followed by a `recv`; `send`/`recv` can be split to
+/// pipeline.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: i64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends a request without waiting for its response; returns its id.
+    pub fn send(&mut self, op: &str, params: JsonValue) -> io::Result<i64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &request(id, op, params))?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame.
+    pub fn recv(&mut self) -> io::Result<JsonValue> {
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Sends `op` and waits for its response.
+    pub fn call(&mut self, op: &str, params: JsonValue) -> io::Result<JsonValue> {
+        self.send(op, params)?;
+        self.recv()
+    }
+
+    /// [`Client::call`], unwrapping a success response's `result` and
+    /// turning a failure response into a readable error string.
+    pub fn call_ok(&mut self, op: &str, params: JsonValue) -> Result<JsonValue, String> {
+        let response = self
+            .call(op, params)
+            .map_err(|e| format!("{op}: transport: {e}"))?;
+        response_result(&response).map_err(|e| format!("{op}: {e}"))
+    }
+}
+
+/// Extracts `result` from a success response, or `error.code: error.message`
+/// from a failure.
+pub fn response_result(response: &JsonValue) -> Result<JsonValue, String> {
+    let ok = response
+        .require("ok")
+        .and_then(JsonValue::as_bool)
+        .map_err(|e| e.to_string())?;
+    if ok {
+        return response
+            .require("result")
+            .cloned()
+            .map_err(|e| e.to_string());
+    }
+    let error = response.require("error").map_err(|e| e.to_string())?;
+    let code = error
+        .get("code")
+        .and_then(|v| v.as_str().ok())
+        .unwrap_or("unknown");
+    let message = error
+        .get("message")
+        .and_then(|v| v.as_str().ok())
+        .unwrap_or("");
+    Err(format!("{code}: {message}"))
+}
+
+/// Builds the params object for `register` from a fixture-style bundle.
+pub fn register_params(name: &str, csv: &str, spec: &psens_datasets::Spec) -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("name", JsonValue::Str(name.to_owned()));
+    params.set("csv", JsonValue::Str(csv.to_owned()));
+    params.set("spec", spec.to_json());
+    params
+}

@@ -1,0 +1,33 @@
+//! # psens-server
+//!
+//! A long-running anonymization daemon over the workspace's search stack.
+//! The CLI parses, interns, and evaluates a dataset per invocation; the
+//! server does that work once at `register` and then serves `check` /
+//! `analyze` / `anonymize` / `query` requests against the interned table,
+//! keeping a pool of warm [`psens_core::VerdictStore`]s per dataset (keyed
+//! by `(p, k, ts)` — a store's monotonicity closure is only sound for one
+//! configuration) so repeated anonymize calls amortize lattice work.
+//!
+//! - [`protocol`]: 4-byte big-endian length-prefixed JSON frames; request /
+//!   response shapes and error codes.
+//! - [`registry`]: the name → dataset map and the warm store pools.
+//! - [`server`]: accept loop, admission gate, per-request cancellation
+//!   (client disconnect → that request's token only; SIGINT / `shutdown` →
+//!   every request, via [`psens_core::CancelToken::child`] parent links).
+//! - [`client`]: the synchronous client used by `psens-load`, the CLI
+//!   `client` subcommand, and the tests.
+//!
+//! DESIGN.md §14 documents the architecture; EXPERIMENTS.md's BENCH_7 holds
+//! the sustained-traffic numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::Client;
+pub use registry::Registry;
+pub use server::{start, ServerConfig, ServerHandle};

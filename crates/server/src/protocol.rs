@@ -1,0 +1,178 @@
+//! Wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! Each frame is a 4-byte big-endian `u32` payload length followed by that
+//! many bytes of UTF-8 JSON. Requests are objects `{"id": N, "op": "...",
+//! ...params}`; responses echo the id as `{"id": N, "ok": true, "result":
+//! {...}}` or `{"id": N, "ok": false, "error": {"code": "...", "message":
+//! "..."}}`. One response per request, in request order per connection —
+//! clients may pipeline.
+//!
+//! The framing is deliberately dumb: no compression, no multiplexing, no
+//! external dependencies. The [`psens_microdata::JsonValue`] parser the rest
+//! of the workspace already uses for reports does the JSON.
+
+use psens_microdata::JsonValue;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a single frame's payload (64 MiB). Registering a large
+/// CSV is the only legitimately big frame; anything larger is a corrupt or
+/// hostile length prefix, and refusing it keeps a bad client from making the
+/// server allocate unbounded memory.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Error codes carried in the `error.code` field of a failure response.
+pub mod codes {
+    /// Malformed frame, unknown op, missing or ill-typed parameter.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The named dataset is not registered.
+    pub const NOT_FOUND: &str = "not_found";
+    /// `register` for a name that is already taken.
+    pub const CONFLICT: &str = "conflict";
+    /// The request's budget tripped (deadline, node budget, disconnect, or
+    /// server shutdown) before the verdict was proven.
+    pub const INTERRUPTED: &str = "interrupted";
+    /// The server is shutting down and no longer admits work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// Anything else (I/O, internal invariant).
+    pub const INTERNAL: &str = "internal";
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream at a frame boundary
+/// (the client closed after its last request); an EOF mid-frame is an error.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<JsonValue>> {
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not UTF-8: {e}")))?;
+    JsonValue::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not JSON: {e}")))
+}
+
+/// Writes one frame and flushes it.
+pub fn write_frame<W: Write>(writer: &mut W, value: &JsonValue) -> io::Result<()> {
+    let payload = value.to_json();
+    let bytes = payload.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds the size limit",
+        ));
+    }
+    writer.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+/// Builds a request frame: `{"id": id, "op": op, ...params}`.
+pub fn request(id: i64, op: &str, params: JsonValue) -> JsonValue {
+    let mut out = JsonValue::object();
+    out.set("id", JsonValue::Int(id));
+    out.set("op", JsonValue::Str(op.to_owned()));
+    if let Ok(entries) = params.as_object() {
+        for (key, value) in entries {
+            out.set(key, value.clone());
+        }
+    }
+    out
+}
+
+/// Builds a success response echoing `id`.
+pub fn ok_response(id: i64, result: JsonValue) -> JsonValue {
+    let mut out = JsonValue::object();
+    out.set("id", JsonValue::Int(id));
+    out.set("ok", JsonValue::Bool(true));
+    out.set("result", result);
+    out
+}
+
+/// Builds a failure response echoing `id`, with a machine-readable `code`
+/// (see [`codes`]) and a human-readable `message`.
+pub fn error_response(id: i64, code: &str, message: &str) -> JsonValue {
+    let mut out = JsonValue::object();
+    out.set("id", JsonValue::Int(id));
+    out.set("ok", JsonValue::Bool(false));
+    let mut error = JsonValue::object();
+    error.set("code", JsonValue::Str(code.to_owned()));
+    error.set("message", JsonValue::Str(message.to_owned()));
+    out.set("error", error);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut params = JsonValue::object();
+        params.set("dataset", JsonValue::Str("adult".into()));
+        params.set("p", JsonValue::Int(2));
+        let req = request(7, "check", params);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let mut cursor = &buf[..];
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back.require("id").unwrap().as_i64().unwrap(), 7);
+        assert_eq!(back.require("op").unwrap().as_str().unwrap(), "check");
+        assert_eq!(back.require("p").unwrap().as_i64().unwrap(), 2);
+        // Stream exhausted cleanly.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_frames_read_in_order() {
+        let mut buf = Vec::new();
+        for id in 0..3 {
+            write_frame(&mut buf, &request(id, "stats", JsonValue::object())).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for id in 0..3 {
+            let frame = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(frame.require("id").unwrap().as_i64().unwrap(), id);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        buf.extend_from_slice(b"xxxx");
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &request(1, "stats", JsonValue::object())).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let resp = error_response(9, codes::NOT_FOUND, "no dataset `x`");
+        assert!(!resp.require("ok").unwrap().as_bool().unwrap());
+        let error = resp.require("error").unwrap();
+        assert_eq!(
+            error.require("code").unwrap().as_str().unwrap(),
+            "not_found"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! The dataset registry: parse and intern a dataset once, serve many
+//! requests against it.
+//!
+//! Each registered dataset keeps a pool of warm [`VerdictStore`]s keyed by
+//! `(p, k, ts)`. A store's monotonicity closure is only sound for one
+//! parameter configuration (see `psens_core::verdict`), so the pool never
+//! shares a store across configurations — but repeated `anonymize` requests
+//! with the *same* parameters replay each other's node verdicts instead of
+//! re-running the kernel, which is where a long-running daemon earns its
+//! keep over one-shot CLI invocations.
+
+use psens_core::VerdictStore;
+use psens_datasets::Spec;
+use psens_hierarchy::QiSpace;
+use psens_microdata::csv::read_table_str;
+use psens_microdata::{JsonValue, Table};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One registered dataset: the interned table, its spec, and the warm
+/// verdict-store pool.
+pub struct Dataset {
+    /// Registry name.
+    pub name: String,
+    /// The parsed, interned table (column-compressed; shared by all
+    /// requests, never re-parsed).
+    pub table: Table,
+    /// The spec the dataset was registered with.
+    pub spec: Spec,
+    /// QI space built once from the spec's key hierarchies.
+    pub qi: QiSpace,
+    stores: Mutex<HashMap<(u32, u32, usize), Arc<VerdictStore>>>,
+    warm_hits: AtomicU64,
+    cold_misses: AtomicU64,
+}
+
+impl Dataset {
+    /// The warm store for `(p, k, ts)`, creating it on first use. The bool
+    /// is `true` when the store already existed (a warm hit): subsequent
+    /// searches replay its verdicts instead of re-checking nodes.
+    pub fn store(&self, p: u32, k: u32, ts: usize) -> (Arc<VerdictStore>, bool) {
+        let mut stores = self.stores.lock().expect("store pool poisoned");
+        match stores.get(&(p, k, ts)) {
+            Some(store) => {
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                (Arc::clone(store), true)
+            }
+            None => {
+                self.cold_misses.fetch_add(1, Ordering::Relaxed);
+                let store = Arc::new(VerdictStore::new(&self.qi.lattice(), ts));
+                stores.insert((p, k, ts), Arc::clone(&store));
+                (store, false)
+            }
+        }
+    }
+
+    /// Pool counters: `(warm_hits, cold_misses, live_stores)`.
+    pub fn store_counters(&self) -> (u64, u64, usize) {
+        let live = self.stores.lock().expect("store pool poisoned").len();
+        (
+            self.warm_hits.load(Ordering::Relaxed),
+            self.cold_misses.load(Ordering::Relaxed),
+            live,
+        )
+    }
+}
+
+/// Thread-safe name → dataset map shared by all connection handlers.
+#[derive(Default)]
+pub struct Registry {
+    datasets: Mutex<HashMap<String, Arc<Dataset>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Parses `csv` against `spec` and registers it under `name`. Errors if
+    /// the name is taken (re-registration would invalidate warm stores other
+    /// requests may be using) or the CSV does not parse against the spec.
+    pub fn register(&self, name: &str, csv: &str, spec: Spec) -> Result<Arc<Dataset>, String> {
+        let schema = spec.schema().map_err(|e| e.to_string())?;
+        let table = read_table_str(csv, schema, true).map_err(|e| e.to_string())?;
+        let qi = spec.qi_space()?;
+        let mut datasets = self.datasets.lock().expect("registry poisoned");
+        if datasets.contains_key(name) {
+            return Err(format!("dataset `{name}` is already registered"));
+        }
+        let dataset = Arc::new(Dataset {
+            name: name.to_owned(),
+            table,
+            spec,
+            qi,
+            stores: Mutex::new(HashMap::new()),
+            warm_hits: AtomicU64::new(0),
+            cold_misses: AtomicU64::new(0),
+        });
+        datasets.insert(name.to_owned(), Arc::clone(&dataset));
+        Ok(dataset)
+    }
+
+    /// Looks up a dataset by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.datasets
+            .lock()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .datasets
+            .lock()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Registry-wide JSON summary for the `stats` op: per-dataset row counts
+    /// and store-pool counters.
+    pub fn to_json(&self) -> JsonValue {
+        let mut out = JsonValue::object();
+        let datasets: Vec<Arc<Dataset>> = {
+            let map = self.datasets.lock().expect("registry poisoned");
+            let mut v: Vec<Arc<Dataset>> = map.values().cloned().collect();
+            v.sort_by(|a, b| a.name.cmp(&b.name));
+            v
+        };
+        let entries = datasets
+            .iter()
+            .map(|d| {
+                let (warm, cold, live) = d.store_counters();
+                let mut e = JsonValue::object();
+                e.set("name", JsonValue::Str(d.name.clone()));
+                e.set("rows", JsonValue::Int(d.table.n_rows() as i64));
+                e.set(
+                    "lattice_nodes",
+                    JsonValue::Int(d.qi.lattice().node_count() as i64),
+                );
+                e.set("store_warm_hits", JsonValue::Int(warm as i64));
+                e.set("store_cold_misses", JsonValue::Int(cold as i64));
+                e.set("live_stores", JsonValue::Int(live as i64));
+                e
+            })
+            .collect();
+        out.set("datasets", JsonValue::Array(entries));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_datasets::fixtures::adult_fixture;
+
+    fn registered() -> (Registry, Arc<Dataset>) {
+        let registry = Registry::new();
+        let fixture = adult_fixture(5, 60);
+        let dataset = registry
+            .register("adult", &fixture.csv, fixture.spec)
+            .unwrap();
+        (registry, dataset)
+    }
+
+    #[test]
+    fn register_then_get() {
+        let (registry, dataset) = registered();
+        assert_eq!(dataset.table.n_rows(), 60);
+        assert!(registry.get("adult").is_some());
+        assert!(registry.get("missing").is_none());
+        assert_eq!(registry.names(), vec!["adult".to_owned()]);
+    }
+
+    #[test]
+    fn duplicate_name_is_refused() {
+        let (registry, _) = registered();
+        let fixture = adult_fixture(5, 10);
+        let err = registry
+            .register("adult", &fixture.csv, fixture.spec)
+            .err()
+            .expect("duplicate register must fail");
+        assert!(err.contains("already registered"), "{err}");
+    }
+
+    #[test]
+    fn store_pool_is_keyed_by_parameters() {
+        let (_, dataset) = registered();
+        let (a1, warm1) = dataset.store(2, 3, 5);
+        let (a2, warm2) = dataset.store(2, 3, 5);
+        let (b, warm_b) = dataset.store(2, 4, 5);
+        assert!(!warm1, "first request is a cold miss");
+        assert!(warm2, "same parameters hit the warm store");
+        assert!(!warm_b, "different k gets its own store");
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert!(!Arc::ptr_eq(&a1, &b));
+        let (warm, cold, live) = dataset.store_counters();
+        assert_eq!((warm, cold, live), (1, 2, 2));
+    }
+
+    #[test]
+    fn bad_csv_is_reported() {
+        let registry = Registry::new();
+        let fixture = adult_fixture(5, 10);
+        assert!(registry
+            .register("broken", "not,a,valid\nheader", fixture.spec)
+            .is_err());
+    }
+}

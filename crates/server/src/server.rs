@@ -1,0 +1,649 @@
+//! The daemon: a TCP accept loop, per-connection handler threads, an
+//! admission gate bounding concurrent work, and per-request cancellation.
+//!
+//! ## Cancellation topology
+//!
+//! Every request gets its own [`CancelToken`] created as a *child* of the
+//! server's shutdown token ([`CancelToken::child`]). Tripping the server
+//! token (SIGINT, `shutdown` op) fans out to every in-flight request;
+//! tripping one request's token — which is what the disconnect watcher does
+//! when that request's client goes away — cannot leak into any other
+//! request. The CLI's cancellation hook is a process-global one-shot SIGINT
+//! token; reusing it for disconnects would make one client's hangup abort
+//! every concurrent search, which the
+//! `disconnect_cancels_only_its_own_request` test pins against.
+//!
+//! ## Admission
+//!
+//! Work ops (`register`, `check`, `analyze`, `anonymize`, `query`, `sleep`)
+//! pass through a counting [`Gate`] before executing. A queued request polls
+//! its cancel token while waiting, so a client that disconnects — or a
+//! server that shuts down — releases its queue slot promptly instead of
+//! executing doomed work.
+
+use crate::protocol::{codes, error_response, ok_response, read_frame, write_frame};
+use crate::registry::Registry;
+use psens_algorithms::samarati::{pk_minimal_generalization_tuned, Pruning};
+use psens_algorithms::Tuning;
+use psens_core::conditions::ConfidentialStats;
+use psens_core::{
+    check_p_sensitivity, max_k, max_p_of_masked, CancelToken, NoopObserver, SearchBudget,
+};
+use psens_datasets::Spec;
+use psens_metrics::{attribute_risk, identity_risk};
+use psens_microdata::csv::to_csv_string;
+use psens_microdata::JsonValue;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Maximum work ops executing at once; further requests queue at the
+    /// admission gate. `0` is treated as `1`.
+    pub max_concurrent: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            max_concurrent: 2,
+        }
+    }
+}
+
+/// Counting semaphore bounding concurrent work-op executions.
+struct Gate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Holds one admission permit; released (and the queue notified) on drop.
+struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Gate {
+        Gate {
+            permits: Mutex::new(permits.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Waits for a permit, polling `cancel` so a dead request leaves the
+    /// queue instead of occupying a slot. `None` means the request was
+    /// cancelled while queued.
+    fn acquire(&self, cancel: &CancelToken) -> Option<GatePermit<'_>> {
+        let mut permits = self.permits.lock().expect("gate poisoned");
+        loop {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            if *permits > 0 {
+                *permits -= 1;
+                return Some(GatePermit { gate: self });
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(permits, Duration::from_millis(20))
+                .expect("gate poisoned");
+            permits = guard;
+        }
+    }
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        *self.gate.permits.lock().expect("gate poisoned") += 1;
+        self.gate.cv.notify_one();
+    }
+}
+
+/// Watches a connection while a request executes: if the client goes away
+/// (EOF or a socket error on `peek`), the *request's own* token is
+/// cancelled. Stopped and joined on drop, so a finished request never leaves
+/// a watcher behind to misfire on a later request's lifetime.
+struct DisconnectWatcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl DisconnectWatcher {
+    /// Poll period: also the worst-case latency `Drop` spends joining the
+    /// watcher after a request finishes, so it is load-bearing for request
+    /// latency, not just disconnect-detection lag.
+    const POLL: Duration = Duration::from_millis(3);
+
+    fn spawn(stream: &TcpStream, token: CancelToken) -> io::Result<DisconnectWatcher> {
+        let peek = stream.try_clone()?;
+        peek.set_read_timeout(Some(DisconnectWatcher::POLL))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            while !stop_flag.load(Ordering::Acquire) {
+                match peek.peek(&mut buf) {
+                    // EOF: the client closed its end mid-request.
+                    Ok(0) => {
+                        token.cancel();
+                        break;
+                    }
+                    // Bytes waiting (a pipelined request): client is alive.
+                    Ok(_) => thread::sleep(DisconnectWatcher::POLL),
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut => {}
+                    Err(_) => {
+                        token.cancel();
+                        break;
+                    }
+                }
+            }
+        });
+        Ok(DisconnectWatcher {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for DisconnectWatcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// State shared by the acceptor and every connection handler.
+pub struct ServerState {
+    /// The dataset registry.
+    pub registry: Registry,
+    gate: Gate,
+    shutdown: CancelToken,
+    addr: SocketAddr,
+    requests_served: AtomicU64,
+    max_concurrent: usize,
+}
+
+/// A running server: bound address plus the handle to stop and join it.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The server's shutdown token; `cancel()` initiates shutdown exactly
+    /// like SIGINT or the `shutdown` op.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.state.shutdown.clone()
+    }
+
+    /// Trips the shutdown token, wakes the acceptor, and joins it. Requests
+    /// already executing observe the cancellation through their child
+    /// tokens and finish as interrupted.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.cancel();
+        wake_acceptor(self.state.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Total requests served so far (all ops, success or failure).
+    pub fn requests_served(&self) -> u64 {
+        self.state.requests_served.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The acceptor blocks in `accept`; a throwaway connection wakes it so it
+/// can observe the tripped shutdown token and exit.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+/// Binds `config.listen` and starts the accept loop on a background thread.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        registry: Registry::new(),
+        gate: Gate::new(config.max_concurrent),
+        shutdown: CancelToken::new(),
+        addr,
+        requests_served: AtomicU64::new(0),
+        max_concurrent: config.max_concurrent.max(1),
+    });
+    let accept_state = Arc::clone(&state);
+    let acceptor = thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_state.shutdown.is_cancelled() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_state = Arc::clone(&accept_state);
+            thread::spawn(move || handle_connection(&conn_state, stream));
+        }
+    });
+    Ok(ServerHandle {
+        state,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Reads frames off one connection and answers them in order. Returns when
+/// the client closes, a frame is malformed, or the server shuts down.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    // Responses are one small frame per request; letting Nagle hold them
+    // for the delayed-ACK timer adds ~40ms to every round trip.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(&stream);
+    loop {
+        let request = match read_frame(&mut reader) {
+            Ok(Some(request)) => request,
+            // Clean close or broken pipe: either way the conversation ends.
+            Ok(None) | Err(_) => return,
+        };
+        let id = request.get("id").and_then(|v| v.as_i64().ok()).unwrap_or(0);
+        let response = dispatch(state, id, &request, &stream);
+        // The disconnect watcher's poll-period read timeout lives on the shared
+        // socket (SO_RCVTIMEO is per-socket, not per-clone); restore
+        // blocking reads so an idle client is not mistaken for a dead one.
+        let _ = stream.set_read_timeout(None);
+        state.requests_served.fetch_add(1, Ordering::Relaxed);
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        // The shutdown op answers its own request, then closes.
+        if request.get("op").and_then(|v| v.as_str().ok()) == Some("shutdown") {
+            return;
+        }
+    }
+}
+
+/// Routes one request to its op handler, wrapping admission and per-request
+/// cancellation around the work ops.
+fn dispatch(
+    state: &Arc<ServerState>,
+    id: i64,
+    request: &JsonValue,
+    stream: &TcpStream,
+) -> JsonValue {
+    let op = match request.get("op").and_then(|v| v.as_str().ok()) {
+        Some(op) => op,
+        None => return error_response(id, codes::BAD_REQUEST, "missing `op`"),
+    };
+    match op {
+        "stats" => ok_response(id, stats_op(state)),
+        "shutdown" => {
+            state.shutdown.cancel();
+            wake_acceptor(state.addr);
+            let mut result = JsonValue::object();
+            result.set("stopping", JsonValue::Bool(true));
+            ok_response(id, result)
+        }
+        "register" | "check" | "analyze" | "anonymize" | "query" | "sleep" => {
+            if state.shutdown.is_cancelled() {
+                return error_response(id, codes::SHUTTING_DOWN, "server is shutting down");
+            }
+            // Per-request token: observes server shutdown through the parent
+            // link; tripped individually by this request's own disconnect.
+            let token = state.shutdown.child();
+            // A failed clone just means no disconnect watching; the request
+            // still honors deadlines and server shutdown.
+            let watcher = DisconnectWatcher::spawn(stream, token.clone()).ok();
+            let Some(_permit) = state.gate.acquire(&token) else {
+                return error_response(
+                    id,
+                    codes::INTERRUPTED,
+                    "request cancelled while queued for admission",
+                );
+            };
+            let outcome = match op {
+                "register" => register_op(state, request),
+                "check" => check_op(state, request),
+                "analyze" => analyze_op(state, request),
+                "anonymize" => anonymize_op(state, request, &token),
+                "query" => query_op(state, request),
+                "sleep" => sleep_op(request, &token),
+                _ => unreachable!("matched above"),
+            };
+            drop(watcher);
+            match outcome {
+                Ok(result) => ok_response(id, result),
+                Err((code, message)) => error_response(id, code, &message),
+            }
+        }
+        other => error_response(id, codes::BAD_REQUEST, &format!("unknown op `{other}`")),
+    }
+}
+
+type OpResult = Result<JsonValue, (&'static str, String)>;
+
+fn bad(message: impl Into<String>) -> (&'static str, String) {
+    (codes::BAD_REQUEST, message.into())
+}
+
+fn param_str<'a>(request: &'a JsonValue, key: &str) -> Result<&'a str, (&'static str, String)> {
+    request
+        .get(key)
+        .ok_or_else(|| bad(format!("missing `{key}`")))?
+        .as_str()
+        .map_err(|e| bad(format!("`{key}`: {e}")))
+}
+
+fn param_u32(request: &JsonValue, key: &str, default: u32) -> Result<u32, (&'static str, String)> {
+    match request.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .as_u64()
+            .ok()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| bad(format!("`{key}` must be a u32"))),
+    }
+}
+
+fn param_usize(
+    request: &JsonValue,
+    key: &str,
+    default: usize,
+) -> Result<usize, (&'static str, String)> {
+    match request.get(key) {
+        None => Ok(default),
+        Some(value) => value.as_usize().map_err(|e| bad(format!("`{key}`: {e}"))),
+    }
+}
+
+fn param_bool(
+    request: &JsonValue,
+    key: &str,
+    default: bool,
+) -> Result<bool, (&'static str, String)> {
+    match request.get(key) {
+        None => Ok(default),
+        Some(value) => value.as_bool().map_err(|e| bad(format!("`{key}`: {e}"))),
+    }
+}
+
+fn lookup_dataset(
+    state: &ServerState,
+    request: &JsonValue,
+) -> Result<Arc<crate::registry::Dataset>, (&'static str, String)> {
+    let name = param_str(request, "dataset")?;
+    state
+        .registry
+        .get(name)
+        .ok_or((codes::NOT_FOUND, format!("no dataset `{name}`")))
+}
+
+fn stats_op(state: &ServerState) -> JsonValue {
+    let mut result = state.registry.to_json();
+    result.set(
+        "requests_served",
+        JsonValue::Int(state.requests_served.load(Ordering::Relaxed) as i64),
+    );
+    result.set(
+        "max_concurrent",
+        JsonValue::Int(state.max_concurrent as i64),
+    );
+    result
+}
+
+/// `register {name, csv, spec}`: parse once, serve many. `spec` is the same
+/// JSON object the CLI's `--spec` file holds.
+fn register_op(state: &ServerState, request: &JsonValue) -> OpResult {
+    let name = param_str(request, "name")?;
+    let csv = param_str(request, "csv")?;
+    let spec_value = request.get("spec").ok_or_else(|| bad("missing `spec`"))?;
+    let spec = Spec::from_json(&spec_value.to_json()).map_err(bad)?;
+    let dataset = state.registry.register(name, csv, spec).map_err(|e| {
+        match e.contains("already registered") {
+            true => (codes::CONFLICT, e),
+            false => bad(e),
+        }
+    })?;
+    let mut result = JsonValue::object();
+    result.set("name", JsonValue::Str(dataset.name.clone()));
+    result.set("rows", JsonValue::Int(dataset.table.n_rows() as i64));
+    result.set(
+        "lattice_nodes",
+        JsonValue::Int(dataset.qi.lattice().node_count() as i64),
+    );
+    Ok(result)
+}
+
+/// `check {dataset, p?, k?}`: the CLI `check` verdict on the interned table
+/// (whole-table serial path — identical results to the chunked one).
+fn check_op(state: &ServerState, request: &JsonValue) -> OpResult {
+    let dataset = lookup_dataset(state, request)?;
+    let k = param_u32(request, "k", 2)?;
+    let p = param_u32(request, "p", 2)?;
+    let schema = dataset.table.schema();
+    let keys = schema.key_indices();
+    let conf = schema.confidential_indices();
+    let report = check_p_sensitivity(&dataset.table, &keys, &conf, p, k);
+    let maxk = max_k(&dataset.table, &keys);
+    let maxp = max_p_of_masked(&dataset.table, &keys, &conf);
+    let mut result = JsonValue::object();
+    result.set("rows", JsonValue::Int(dataset.table.n_rows() as i64));
+    result.set("n_groups", JsonValue::Int(report.n_groups as i64));
+    result.set("k", JsonValue::Int(k as i64));
+    result.set("p", JsonValue::Int(p as i64));
+    result.set("k_anonymous", JsonValue::Bool(report.k_anonymous));
+    result.set("max_k", JsonValue::Int(maxk as i64));
+    result.set("max_p", JsonValue::Int(maxp as i64));
+    result.set("p_sensitive", JsonValue::Bool(report.violations.is_empty()));
+    result.set("violations", JsonValue::Int(report.violations.len() as i64));
+    result.set("satisfied", JsonValue::Bool(report.satisfied()));
+    Ok(result)
+}
+
+/// `analyze {dataset, p?}`: Condition 1 bound and disclosure risks.
+fn analyze_op(state: &ServerState, request: &JsonValue) -> OpResult {
+    let dataset = lookup_dataset(state, request)?;
+    let requested_p = match request.get("p") {
+        Some(value) => Some(
+            value
+                .as_u64()
+                .ok()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad("`p` must be a u32"))?,
+        ),
+        None => None,
+    };
+    let schema = dataset.table.schema();
+    let keys = schema.key_indices();
+    let conf = schema.confidential_indices();
+    let stats = ConfidentialStats::compute(&dataset.table, &conf);
+    let id_risk = identity_risk(&dataset.table, &keys);
+    let attr_risk = attribute_risk(&dataset.table, &keys, &conf);
+    let mut result = JsonValue::object();
+    result.set("rows", JsonValue::Int(dataset.table.n_rows() as i64));
+    result.set("max_p", JsonValue::Int(stats.max_p() as i64));
+    match requested_p {
+        Some(p) => {
+            result.set("requested_p", JsonValue::Int(p as i64));
+            result.set(
+                "satisfiable",
+                JsonValue::Bool((p as usize) <= stats.max_p()),
+            );
+        }
+        None => {
+            result.set("requested_p", JsonValue::Null);
+            result.set("satisfiable", JsonValue::Null);
+        }
+    }
+    let mut identity = JsonValue::object();
+    identity.set("max_risk", JsonValue::Float(id_risk.max_risk));
+    identity.set("avg_risk", JsonValue::Float(id_risk.avg_risk));
+    identity.set("uniques", JsonValue::Int(id_risk.uniques as i64));
+    result.set("identity_risk", identity);
+    let mut attribute = JsonValue::object();
+    attribute.set("disclosures", JsonValue::Int(attr_risk.disclosures as i64));
+    attribute.set(
+        "affected_groups",
+        JsonValue::Int(attr_risk.affected_groups as i64),
+    );
+    attribute.set(
+        "affected_fraction",
+        JsonValue::Float(attr_risk.affected_fraction),
+    );
+    result.set("attribute_risk", attribute);
+    Ok(result)
+}
+
+/// `anonymize {dataset, p?, k?, ts?, threads?, timeout_ms?, max_nodes?,
+/// no_cache?, include_masked?}`: Samarati's search with the paper's
+/// necessary-condition pruning, budgeted by the request deadline and the
+/// request's cancel token, consulting the dataset's warm verdict store for
+/// `(p, k, ts)` unless `no_cache`.
+///
+/// The response's `verdict` object is a pure function of (dataset,
+/// parameters) for completed runs — byte-identical across repeats, warm or
+/// cold, serial or concurrent — which the differential oracle relies on.
+/// Execution-dependent fields (`warm`, `search` stats) live outside it.
+fn anonymize_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -> OpResult {
+    let dataset = lookup_dataset(state, request)?;
+    let k = param_u32(request, "k", 2)?;
+    let p = param_u32(request, "p", 1)?;
+    let ts = param_usize(request, "ts", 0)?;
+    let threads = param_usize(request, "threads", 0)?;
+    let no_cache = param_bool(request, "no_cache", false)?;
+    let include_masked = param_bool(request, "include_masked", false)?;
+    let mut budget = SearchBudget::unlimited().with_cancel(token.clone());
+    if let Some(value) = request.get("timeout_ms") {
+        let ms = value
+            .as_u64()
+            .map_err(|e| bad(format!("`timeout_ms`: {e}")))?;
+        budget = budget.with_timeout(Duration::from_millis(ms));
+    }
+    if let Some(value) = request.get("max_nodes") {
+        let n = value
+            .as_u64()
+            .map_err(|e| bad(format!("`max_nodes`: {e}")))?;
+        budget = budget.with_max_nodes(n);
+    }
+    let (store, warm) = match no_cache {
+        true => (None, false),
+        false => {
+            let (store, warm) = dataset.store(p, k, ts);
+            (Some(store), warm)
+        }
+    };
+    let tuning = Tuning {
+        threads,
+        cache: store.as_deref(),
+        chunk_rows: 0,
+    };
+    let outcome = pk_minimal_generalization_tuned(
+        &dataset.table,
+        &dataset.qi,
+        p,
+        k,
+        ts,
+        Pruning::NecessaryConditions,
+        &budget,
+        tuning,
+        &NoopObserver,
+    )
+    .map_err(|e| (codes::INTERNAL, e.to_string()))?;
+    let mut verdict = JsonValue::object();
+    verdict.set("satisfied", JsonValue::Bool(outcome.node.is_some()));
+    verdict.set(
+        "termination",
+        JsonValue::Str(outcome.termination.as_str().to_owned()),
+    );
+    match &outcome.node {
+        Some(node) => {
+            verdict.set("node", JsonValue::Str(dataset.qi.describe_node(node)));
+            verdict.set(
+                "node_levels",
+                JsonValue::Array(
+                    node.levels()
+                        .iter()
+                        .map(|&l| JsonValue::Int(l as i64))
+                        .collect(),
+                ),
+            );
+            verdict.set("height", JsonValue::Int(node.height() as i64));
+            verdict.set("suppressed", JsonValue::Int(outcome.suppressed as i64));
+            if include_masked {
+                let masked = outcome.masked.as_ref().expect("masked accompanies node");
+                verdict.set("masked_csv", JsonValue::Str(to_csv_string(masked, true)));
+            }
+        }
+        None => {
+            verdict.set("node", JsonValue::Null);
+            verdict.set("node_levels", JsonValue::Null);
+            verdict.set("height", JsonValue::Null);
+            verdict.set("suppressed", JsonValue::Null);
+        }
+    }
+    verdict.set(
+        "proven_min_height",
+        JsonValue::Int(outcome.proven_min_height as i64),
+    );
+    let mut result = JsonValue::object();
+    result.set("verdict", verdict);
+    result.set("warm", JsonValue::Bool(warm));
+    result.set("search", outcome.stats.to_json());
+    Ok(result)
+}
+
+/// `query {dataset, sql}`: the CLI `query` against the interned table
+/// (registered as `data`).
+fn query_op(state: &ServerState, request: &JsonValue) -> OpResult {
+    let dataset = lookup_dataset(state, request)?;
+    let sql = param_str(request, "sql")?;
+    let mut catalog = psens_sql::Catalog::new();
+    catalog.register("data", &dataset.table);
+    let table = psens_sql::execute(&catalog, sql).map_err(|e| bad(e.to_string()))?;
+    let mut result = JsonValue::object();
+    result.set("rows", JsonValue::Int(table.n_rows() as i64));
+    result.set("text", JsonValue::Str(psens_microdata::render(&table, 100)));
+    Ok(result)
+}
+
+/// `sleep {ms}`: a diagnostic op that occupies an admission slot for `ms`
+/// milliseconds, polling its cancel token. Lets tests exercise queueing and
+/// disconnect-cancellation deterministically without a large dataset.
+fn sleep_op(request: &JsonValue, token: &CancelToken) -> OpResult {
+    let ms = param_u32(request, "ms", 0)? as u64;
+    let step = Duration::from_millis(10);
+    let mut remaining = Duration::from_millis(ms);
+    while remaining > Duration::ZERO {
+        if token.is_cancelled() {
+            return Err((codes::INTERRUPTED, "sleep cancelled".to_owned()));
+        }
+        let nap = remaining.min(step);
+        thread::sleep(nap);
+        remaining -= nap;
+    }
+    let mut result = JsonValue::object();
+    result.set("slept_ms", JsonValue::Int(ms as i64));
+    Ok(result)
+}
