@@ -128,8 +128,9 @@ done
 [ -s "$SMOKE_DIR/server.addr" ] \
   || { echo "server never wrote its addr file"; cat "$SMOKE_DIR/server.log"; exit 1; }
 target/release/psens-load --addr-file "$SMOKE_DIR/server.addr" \
-  --clients 3 --requests 12 --rows 150 --out "$SMOKE_DIR/BENCH_7.json" > /dev/null
-grep -q '"warm_vs_cold"' "$SMOKE_DIR/BENCH_7.json"
+  --clients 3 --requests 12 --rows 150 --out "$SMOKE_DIR/BENCH_8.json" > /dev/null
+grep -q '"warm_vs_cold"' "$SMOKE_DIR/BENCH_8.json"
+grep -q '"robustness"' "$SMOKE_DIR/BENCH_8.json"
 # Warm-vs-cold equivalence through the CLI client: the same anonymize with
 # the verdict store disabled, cold, and warm must print byte-identical
 # verdict objects — only the execution-side `warm` flag may differ.
@@ -160,6 +161,104 @@ server_pid=""
   || { echo "server exited $server_rc on SIGINT"; cat "$SMOKE_DIR/server.log"; exit 1; }
 grep -q 'shutdown complete' "$SMOKE_DIR/server.log" \
   || { echo "server log missing shutdown banner"; cat "$SMOKE_DIR/server.log"; exit 1; }
+
+echo "==> chaos: seeded faults under load, kill -9 mid-load, crash recovery"
+# Boot with a state dir, fault injection enabled, and a seeded boot-time
+# fault plan that eats the first anonymize responses and slows every fifth
+# check. Retrying clients must push identical verdicts through the faults;
+# then the server is kill -9'd mid-load and restarted over the same state
+# dir, and the recovered (journal-only, snapshot lost) verdicts must be
+# byte-identical to the pre-crash ones.
+CHAOS_DIR="$SMOKE_DIR/chaos-state"
+PSENS_FAULTS='{"seed":11,"rules":[{"site":"write_response","op":"anonymize","action":"drop","first":2},{"site":"exec","op":"check","action":"delay_ms","ms":25,"every":5}]}' \
+target/release/psens-server --listen 127.0.0.1:0 --max-concurrent 2 \
+  --state-dir "$CHAOS_DIR" --enable-inject \
+  --addr-file "$SMOKE_DIR/chaos.addr" > "$SMOKE_DIR/chaos1.log" 2>&1 &
+server_pid=$!
+tries=0
+while [ ! -s "$SMOKE_DIR/chaos.addr" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+[ -s "$SMOKE_DIR/chaos.addr" ] \
+  || { echo "chaos server never wrote its addr file"; cat "$SMOKE_DIR/chaos1.log"; exit 1; }
+# Pre-crash baseline through the retrying CLI client (the plan drops the
+# first two anonymize responses; --retries must absorb them).
+"$PSENS" client --addr-file "$SMOKE_DIR/chaos.addr" --op register --name chaos-adult \
+  --input "$SMOKE_DIR/data.csv" --spec "$SMOKE_DIR/spec.json" --retries 5 > /dev/null
+"$PSENS" client --addr-file "$SMOKE_DIR/chaos.addr" --op anonymize --dataset chaos-adult \
+  --p 2 --k 3 --ts 500 --retries 5 > "$SMOKE_DIR/chaos_pre.json"
+# Mixed load under the remaining faults: must exit 0 with honest counters.
+target/release/psens-load --addr-file "$SMOKE_DIR/chaos.addr" \
+  --clients 3 --requests 10 --rows 120 --retries 6 \
+  --out "$SMOKE_DIR/BENCH_8_chaos.json" > /dev/null
+grep -q '"robustness"' "$SMOKE_DIR/BENCH_8_chaos.json"
+# kill -9 mid-load: another load starts, the server dies under it.
+target/release/psens-load --addr-file "$SMOKE_DIR/chaos.addr" \
+  --clients 2 --requests 8 --rows 120 --retries 2 > /dev/null 2>&1 &
+load_pid=$!
+sleep 0.3
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+wait "$load_pid" 2>/dev/null || true  # the load loses its server; that IS the test
+# Restart over the same state dir: the write-ahead journal must replay the
+# registrations (the un-synced snapshot never existed — pools rebuild cold).
+target/release/psens-server --listen 127.0.0.1:0 --state-dir "$CHAOS_DIR" \
+  --addr-file "$SMOKE_DIR/chaos.addr2" > "$SMOKE_DIR/chaos2.log" 2>&1 &
+server_pid=$!
+tries=0
+while [ ! -s "$SMOKE_DIR/chaos.addr2" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+[ -s "$SMOKE_DIR/chaos.addr2" ] \
+  || { echo "recovered server never wrote its addr file"; cat "$SMOKE_DIR/chaos2.log"; exit 1; }
+grep -q 'recovered' "$SMOKE_DIR/chaos2.log" \
+  || { echo "restart log missing recovery banner"; cat "$SMOKE_DIR/chaos2.log"; exit 1; }
+# Cold (rebuilt) and warm post-crash verdicts must equal the pre-crash one.
+"$PSENS" client --addr-file "$SMOKE_DIR/chaos.addr2" --op anonymize --dataset chaos-adult \
+  --p 2 --k 3 --ts 500 > "$SMOKE_DIR/chaos_cold.json"
+"$PSENS" client --addr-file "$SMOKE_DIR/chaos.addr2" --op anonymize --dataset chaos-adult \
+  --p 2 --k 3 --ts 500 > "$SMOKE_DIR/chaos_warm.json"
+grep -q '"warm": true' "$SMOKE_DIR/chaos_warm.json" \
+  || { echo "second post-crash anonymize should have hit the warm store"; exit 1; }
+for f in chaos_pre chaos_cold chaos_warm; do
+  sed -n '/"verdict"/,/^  }/p' "$SMOKE_DIR/$f.json" > "$SMOKE_DIR/$f.verdict"
+done
+cmp "$SMOKE_DIR/chaos_pre.verdict" "$SMOKE_DIR/chaos_cold.verdict" \
+  || { echo "pre-crash vs recovered-cold verdicts diverged"; exit 1; }
+cmp "$SMOKE_DIR/chaos_cold.verdict" "$SMOKE_DIR/chaos_warm.verdict" \
+  || { echo "recovered cold vs warm verdicts diverged"; exit 1; }
+# Leak check: a burst of short-lived connections must leave the server's
+# thread and fd counts where they were (per-connection watcher, no
+# per-request spawns, connections fully reaped).
+if [ -r "/proc/$server_pid/status" ]; then
+  sleep 0.5
+  threads_before=$(awk '/^Threads:/{print $2}' "/proc/$server_pid/status")
+  fds_before=$(ls "/proc/$server_pid/fd" | wc -l)
+  i=0
+  while [ "$i" -lt 10 ]; do
+    i=$((i + 1))
+    "$PSENS" client --addr-file "$SMOKE_DIR/chaos.addr2" --op stats > /dev/null
+  done
+  sleep 0.5
+  threads_after=$(awk '/^Threads:/{print $2}' "/proc/$server_pid/status")
+  fds_after=$(ls "/proc/$server_pid/fd" | wc -l)
+  [ "$threads_after" -le "$threads_before" ] \
+    || { echo "server leaked threads: $threads_before -> $threads_after"; exit 1; }
+  [ "$fds_after" -le "$fds_before" ] \
+    || { echo "server leaked fds: $fds_before -> $fds_after"; exit 1; }
+fi
+# Clean shutdown of the recovered server writes the snapshot this time.
+kill -INT "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=""
+[ "$server_rc" -eq 0 ] \
+  || { echo "recovered server exited $server_rc on SIGINT"; cat "$SMOKE_DIR/chaos2.log"; exit 1; }
+grep -q 'shutdown complete' "$SMOKE_DIR/chaos2.log" \
+  || { echo "recovered server log missing shutdown banner"; cat "$SMOKE_DIR/chaos2.log"; exit 1; }
+grep -q 'snapshot written' "$SMOKE_DIR/chaos2.log" \
+  || { echo "clean shutdown should have written a snapshot"; cat "$SMOKE_DIR/chaos2.log"; exit 1; }
 
 echo "==> gate: chunked group-by thread scaling (threads=8 vs 1 at 10M rows)"
 # The morsel executor must actually buy wall-clock on real parallelism:

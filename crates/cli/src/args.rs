@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 /// Option names that are boolean flags: present or absent, no value consumed.
-pub const FLAGS: &[&str] = &["no-cache", "verbose"];
+pub const FLAGS: &[&str] = &["no-cache", "verbose", "clear"];
 
 /// Parsed command line: a subcommand and its `--key value` options.
 #[derive(Debug, Clone, Default)]

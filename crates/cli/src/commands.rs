@@ -93,7 +93,8 @@ COMMANDS:
              [--chunk-rows N] (chunked ingest needs --spec)
   client     Send one request to a running psens-server
              --addr HOST:PORT | --addr-file PATH
-             --op register|check|analyze|anonymize|query|stats|shutdown
+             --op register|check|analyze|anonymize|query|stats|health|
+                  inject|shutdown
              register: --name NAME --input FILE.csv --spec SPEC.json
              check:     --dataset NAME [--p P] [--k K]
              analyze:   --dataset NAME [--p P]
@@ -101,6 +102,10 @@ COMMANDS:
                         [--timeout-ms N] [--max-nodes N] [--threads N]
                         [--no-cache]
              query:     --dataset NAME --sql STATEMENT
+             inject:    --plan JSON | --plan-file PATH | --clear
+                        (server must run with --enable-inject)
+             [--retries N [--retry-base-ms N] [--retry-max-ms N]] retries
+             busy/transport failures with backoff and an idempotent id
              prints the result as JSON; exit codes mirror the offline
              commands (2 verdict violation, 3 interrupted search)
   help       Show this message
@@ -741,11 +746,43 @@ fn client(args: &Args) -> Result<CmdOutput, String> {
                 params.set("sql", JsonValue::Str(sql.to_owned()));
             }
         }
-        "stats" | "shutdown" | "sleep" => {}
+        "inject" => {
+            if args.get_flag("clear") {
+                params.set("clear", JsonValue::Bool(true));
+            } else {
+                let plan_text = match (args.get("plan"), args.get("plan-file")) {
+                    (Some(plan), _) => plan.to_owned(),
+                    (None, Some(path)) => {
+                        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+                    }
+                    (None, None) => {
+                        return Err(
+                            "inject needs --plan JSON, --plan-file PATH, or --clear".to_owned()
+                        )
+                    }
+                };
+                let plan = JsonValue::parse(&plan_text)
+                    .map_err(|e| format!("fault plan is not valid JSON: {e}"))?;
+                params.set("plan", plan);
+            }
+        }
+        "stats" | "health" | "shutdown" | "sleep" => {}
         other => return Err(format!("unknown op `{other}`")),
     }
     let mut client = psens_server::Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    let result = client.call_ok(op, params)?;
+    let retries = args.get_u64("retries", 0)? as u32;
+    let result = if retries > 0 {
+        let policy = psens_server::RetryPolicy {
+            max_retries: retries,
+            base_delay_ms: args.get_u64("retry-base-ms", 20)?,
+            max_delay_ms: args.get_u64("retry-max-ms", 2_000)?,
+            seed: args.get_u64("seed", 1)?,
+        };
+        let mut stats = psens_server::RetryStats::default();
+        client.call_retry(op, params, &policy, &mut stats)?
+    } else {
+        client.call_ok(op, params)?
+    };
     // Map the remote verdict onto the offline exit-code contract.
     let satisfied = result
         .get("satisfied")

@@ -299,6 +299,49 @@ impl VerdictStore {
             .sum()
     }
 
+    /// Approximate heap footprint of the recorded verdicts, in bytes. This
+    /// backs memory-pressure accounting (a pool of stores evicted LRU once
+    /// the sum crosses a budget), so it only needs to be a monotone,
+    /// consistent estimate — per entry: the hash-map slot, the key's level
+    /// vector, and (exact entries) the retained [`NodeCheck`].
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let slot = size_of::<Node>() + size_of::<Verdict>() + 16;
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let map = shard.lock().expect("verdict shard lock poisoned");
+            for (node, verdict) in map.iter() {
+                let levels = node.levels().len();
+                let exact_extra = match verdict {
+                    // The check clones the node again; count its levels too.
+                    Verdict::Exact(_) => levels,
+                    _ => 0,
+                };
+                total += (slot + levels + exact_extra) as u64;
+            }
+        }
+        total
+    }
+
+    /// Every exact verdict in the store, sorted by node levels so the export
+    /// is deterministic (two exports of equally-filled stores are
+    /// byte-identical once serialized). Inferred entries are omitted: the
+    /// monotonicity closure re-derives them for free when the exact checks
+    /// are replayed through [`record`](Self::record).
+    pub fn export_exact(&self) -> Vec<NodeCheck> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().expect("verdict shard lock poisoned");
+            for verdict in map.values() {
+                if let Verdict::Exact(check) = verdict {
+                    out.push(check.clone());
+                }
+            }
+        }
+        out.sort_by(|a, b| a.node.levels().cmp(b.node.levels()));
+        out
+    }
+
     /// True when no verdict has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -412,6 +455,37 @@ mod tests {
         // peek is counter-neutral.
         store.peek(&Node(vec![1, 1]));
         assert_eq!(store.counters(), c);
+    }
+
+    #[test]
+    fn export_is_exact_only_sorted_and_replayable() {
+        let store = VerdictStore::new(&figure2(), 0);
+        store.record(&check(&[1, 1], true, 0)); // also infers <1,2> pass
+        store.record(&check(&[0, 1], false, 1));
+        let exported = store.export_exact();
+        assert_eq!(exported.len(), 2, "inferred entries are not exported");
+        let nodes: Vec<&[u8]> = exported.iter().map(|c| c.node.levels()).collect();
+        assert_eq!(nodes, vec![&[0u8, 1][..], &[1, 1][..]], "sorted by levels");
+        // Replaying the export into a fresh store reconstructs everything,
+        // including the closure-inferred entries.
+        let rebuilt = VerdictStore::new(&figure2(), 0);
+        for c in &exported {
+            rebuilt.record(c);
+        }
+        assert_eq!(rebuilt.len(), store.len());
+        assert_eq!(rebuilt.peek(&Node(vec![1, 2])), Some(Verdict::InferredPass));
+        assert_eq!(rebuilt.export_exact(), exported);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_recorded_verdicts() {
+        let store = VerdictStore::new(&figure2(), 0);
+        assert_eq!(store.approx_bytes(), 0);
+        store.record(&check(&[0, 1], false, 1));
+        let one = store.approx_bytes();
+        assert!(one > 0);
+        store.record(&check(&[1, 1], true, 0));
+        assert!(store.approx_bytes() > one, "more entries, more bytes");
     }
 
     #[test]

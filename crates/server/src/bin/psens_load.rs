@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! psens-load --addr HOST:PORT [--clients N] [--requests N] [--rows N]
-//!            [--seed S] [--out BENCH_7.json]
+//!            [--seed S] [--retries N] [--retry-base-ms N] [--retry-max-ms N]
+//!            [--io-timeout-ms N] [--out BENCH_8.json]
 //! psens-load --addr-file PATH ...
 //! ```
 //!
@@ -10,20 +11,24 @@
 //! concurrent client traffic — `cold` (every anonymize runs `no_cache`) and
 //! `warm` (anonymize requests share the server's pooled verdict store) —
 //! each a mixed cycle of `check` / `analyze` / `anonymize` / `query` ops.
-//! Emits `BENCH_7.json` with per-op throughput and p50/p99 latency, the
-//! warm-hit fraction, and the warm-vs-cold anonymize comparison.
+//! Every request goes through the retrying client path: `busy` sheds and
+//! transport failures back off (exponential + seeded jitter, idempotent
+//! request ids) and are **counted, not hidden** — BENCH_8.json's
+//! `robustness` section reports shed/retried/failed totals alongside the
+//! server's own health counters, so a run that limped through faults looks
+//! different from one that sailed.
 //!
 //! The BENCH file is written with the fail-loudly discipline: the JSON is
 //! re-read and re-parsed after writing, and any emission problem exits
-//! nonzero even though the traffic itself succeeded — a truncated BENCH_7
+//! nonzero even though the traffic itself succeeded — a truncated BENCH_8
 //! must never look like a green run.
 
 use psens_datasets::fixtures::adult_fixture;
 use psens_microdata::JsonValue;
-use psens_server::client::{register_params, Client};
+use psens_server::client::{register_params, Client, RetryPolicy, RetryStats};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct LoadConfig {
     addr: SocketAddr,
@@ -31,7 +36,22 @@ struct LoadConfig {
     requests: usize,
     rows: usize,
     seed: u64,
+    retries: u32,
+    retry_base_ms: u64,
+    retry_max_ms: u64,
+    io_timeout_ms: u64,
     out: Option<String>,
+}
+
+impl LoadConfig {
+    fn policy(&self, client_id: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: self.retries,
+            base_delay_ms: self.retry_base_ms,
+            max_delay_ms: self.retry_max_ms,
+            seed: self.seed ^ ((client_id as u64 + 1) << 32),
+        }
+    }
 }
 
 fn parse_args() -> Result<LoadConfig, String> {
@@ -41,37 +61,37 @@ fn parse_args() -> Result<LoadConfig, String> {
     let mut requests = 24usize;
     let mut rows = 250usize;
     let mut seed = 17u64;
+    let mut retries = 4u32;
+    let mut retry_base_ms = 20u64;
+    let mut retry_max_ms = 2_000u64;
+    let mut io_timeout_ms = 10_000u64;
     let mut out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        fn num<T: std::str::FromStr>(name: &str, text: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            text.parse().map_err(|e| format!("{name}: {e}"))
+        }
         match arg.as_str() {
             "--addr" => addr = Some(take("--addr")?),
             "--addr-file" => addr_file = Some(take("--addr-file")?),
-            "--clients" => {
-                clients = take("--clients")?
-                    .parse()
-                    .map_err(|e| format!("--clients: {e}"))?
-            }
-            "--requests" => {
-                requests = take("--requests")?
-                    .parse()
-                    .map_err(|e| format!("--requests: {e}"))?
-            }
-            "--rows" => {
-                rows = take("--rows")?
-                    .parse()
-                    .map_err(|e| format!("--rows: {e}"))?
-            }
-            "--seed" => {
-                seed = take("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
+            "--clients" => clients = num("--clients", take("--clients")?)?,
+            "--requests" => requests = num("--requests", take("--requests")?)?,
+            "--rows" => rows = num("--rows", take("--rows")?)?,
+            "--seed" => seed = num("--seed", take("--seed")?)?,
+            "--retries" => retries = num("--retries", take("--retries")?)?,
+            "--retry-base-ms" => retry_base_ms = num("--retry-base-ms", take("--retry-base-ms")?)?,
+            "--retry-max-ms" => retry_max_ms = num("--retry-max-ms", take("--retry-max-ms")?)?,
+            "--io-timeout-ms" => io_timeout_ms = num("--io-timeout-ms", take("--io-timeout-ms")?)?,
             "--out" => out = Some(take("--out")?),
             "--help" | "-h" => {
                 return Err("usage: psens-load --addr HOST:PORT | --addr-file PATH \
-                            [--clients N] [--requests N] [--rows N] [--seed S] [--out FILE]"
+                            [--clients N] [--requests N] [--rows N] [--seed S] \
+                            [--retries N] [--retry-base-ms N] [--retry-max-ms N] \
+                            [--io-timeout-ms N] [--out FILE]"
                     .to_owned())
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -96,6 +116,10 @@ fn parse_args() -> Result<LoadConfig, String> {
         requests,
         rows,
         seed,
+        retries,
+        retry_base_ms,
+        retry_max_ms,
+        io_timeout_ms,
         out,
     })
 }
@@ -107,6 +131,21 @@ struct Sample {
     micros: u64,
     warm: Option<bool>,
     verdict: Option<String>,
+}
+
+/// One phase's honest accounting of what went wrong along the way.
+#[derive(Default)]
+struct Robustness {
+    retry: RetryStats,
+    /// Requests that failed even after retries (excluded from latency).
+    failed: u64,
+}
+
+impl Robustness {
+    fn absorb(&mut self, other: &Robustness) {
+        self.retry.absorb(&other.retry);
+        self.failed += other.failed;
+    }
 }
 
 /// The mixed op cycle every client walks, round-robin.
@@ -124,24 +163,33 @@ fn anonymize_params(no_cache: bool) -> JsonValue {
     params
 }
 
-fn run_request(client: &mut Client, op: &'static str, no_cache: bool) -> Result<Sample, String> {
+fn run_request(
+    client: &mut Client,
+    op: &'static str,
+    no_cache: bool,
+    policy: &RetryPolicy,
+    stats: &mut RetryStats,
+) -> Result<Sample, String> {
     let start = Instant::now();
-    let (result, warm, verdict) = match op {
+    let (warm, verdict) = match op {
         "check" => {
             let mut params = JsonValue::object();
             params.set("dataset", JsonValue::Str("load-adult".into()));
             params.set("p", JsonValue::Int(2));
             params.set("k", JsonValue::Int(3));
-            (client.call_ok("check", params)?, None, None)
+            client.call_retry("check", params, policy, stats)?;
+            (None, None)
         }
         "analyze" => {
             let mut params = JsonValue::object();
             params.set("dataset", JsonValue::Str("load-adult".into()));
             params.set("p", JsonValue::Int(2));
-            (client.call_ok("analyze", params)?, None, None)
+            client.call_retry("analyze", params, policy, stats)?;
+            (None, None)
         }
         "anonymize" => {
-            let result = client.call_ok("anonymize", anonymize_params(no_cache))?;
+            let result =
+                client.call_retry("anonymize", anonymize_params(no_cache), policy, stats)?;
             let warm = result
                 .get("warm")
                 .and_then(|v| v.as_bool().ok())
@@ -150,17 +198,17 @@ fn run_request(client: &mut Client, op: &'static str, no_cache: bool) -> Result<
                 .require("verdict")
                 .map_err(|e| e.to_string())?
                 .to_json();
-            (result, Some(warm), Some(verdict))
+            (Some(warm), Some(verdict))
         }
         "query" => {
             let mut params = JsonValue::object();
             params.set("dataset", JsonValue::Str("load-adult".into()));
             params.set("sql", JsonValue::Str("SELECT COUNT(*) FROM data".into()));
-            (client.call_ok("query", params)?, None, None)
+            client.call_retry("query", params, policy, stats)?;
+            (None, None)
         }
         other => return Err(format!("unknown op in mix: {other}")),
     };
-    let _ = result;
     Ok(Sample {
         op,
         micros: start.elapsed().as_micros() as u64,
@@ -170,37 +218,53 @@ fn run_request(client: &mut Client, op: &'static str, no_cache: bool) -> Result<
 }
 
 /// Runs one phase: `clients` threads, each its own connection, each issuing
-/// `requests` ops round-robin through [`MIX`].
-fn run_phase(config: &LoadConfig, no_cache: bool) -> Result<(Vec<Sample>, f64), String> {
+/// `requests` ops round-robin through [`MIX`]. Individual request failures
+/// (after retries) are counted, not fatal — under injected faults the load
+/// must keep going and report honestly.
+fn run_phase(
+    config: &LoadConfig,
+    no_cache: bool,
+) -> Result<(Vec<Sample>, f64, Robustness), String> {
     let wall = Instant::now();
-    let samples = std::thread::scope(|scope| {
+    let (samples, robustness) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients)
             .map(|c| {
-                scope.spawn(move || -> Result<Vec<Sample>, String> {
+                scope.spawn(move || -> Result<(Vec<Sample>, Robustness), String> {
                     let mut client = Client::connect(config.addr)
                         .map_err(|e| format!("client {c}: connect: {e}"))?;
+                    if config.io_timeout_ms > 0 {
+                        client
+                            .set_io_timeout(Some(Duration::from_millis(config.io_timeout_ms)))
+                            .map_err(|e| format!("client {c}: io timeout: {e}"))?;
+                    }
+                    let policy = config.policy(c);
+                    let mut robustness = Robustness::default();
                     let mut samples = Vec::with_capacity(config.requests);
                     for r in 0..config.requests {
                         // Offset by client id so ops overlap across clients.
                         let op = MIX[(c + r) % MIX.len()];
-                        samples.push(
-                            run_request(&mut client, op, no_cache)
-                                .map_err(|e| format!("client {c} request {r}: {e}"))?,
-                        );
+                        match run_request(&mut client, op, no_cache, &policy, &mut robustness.retry)
+                        {
+                            Ok(sample) => samples.push(sample),
+                            Err(_) => robustness.failed += 1,
+                        }
                     }
-                    Ok(samples)
+                    Ok((samples, robustness))
                 })
             })
             .collect();
         let mut all = Vec::new();
+        let mut robustness = Robustness::default();
         for handle in handles {
-            all.extend(handle.join().expect("client thread panicked")?);
+            let (samples, client_robustness) = handle.join().expect("client thread panicked")?;
+            all.extend(samples);
+            robustness.absorb(&client_robustness);
         }
-        Ok::<Vec<Sample>, String>(all)
+        Ok::<(Vec<Sample>, Robustness), String>((all, robustness))
     })?;
     let secs = wall.elapsed().as_secs_f64();
     let req_per_s = samples.len() as f64 / secs.max(1e-9);
-    Ok((samples, req_per_s))
+    Ok((samples, req_per_s, robustness))
 }
 
 fn percentile(sorted: &[u64], pct: f64) -> u64 {
@@ -265,7 +329,7 @@ fn emit_validated(path: &str, report: &JsonValue) -> Result<(), String> {
         return Err(format!("{path}: content mismatch after write"));
     }
     let parsed = JsonValue::parse(&back).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    for key in ["bench", "config", "phases", "warm_vs_cold"] {
+    for key in ["bench", "config", "phases", "warm_vs_cold", "robustness"] {
         parsed
             .require(key)
             .map_err(|e| format!("{path}: missing section: {e}"))?;
@@ -275,22 +339,39 @@ fn emit_validated(path: &str, report: &JsonValue) -> Result<(), String> {
 
 fn run() -> Result<String, String> {
     let config = parse_args()?;
-    // Register the fixture (idempotent across runs would need a fresh name;
-    // the driver assumes a fresh server, as ci.sh provides).
+    // Register the fixture through the retry path. If a fault eats the
+    // first response the retry can race an already-applied register; a
+    // `conflict` after at least one attempt therefore means "registered".
     let fixture = adult_fixture(config.seed, config.rows);
     let mut setup = Client::connect(config.addr).map_err(|e| format!("connect: {e}"))?;
-    setup.call_ok(
+    if config.io_timeout_ms > 0 {
+        setup
+            .set_io_timeout(Some(Duration::from_millis(config.io_timeout_ms)))
+            .map_err(|e| format!("io timeout: {e}"))?;
+    }
+    let mut setup_stats = RetryStats::default();
+    match setup.call_retry(
         "register",
         register_params("load-adult", &fixture.csv, &fixture.spec),
-    )?;
+        &config.policy(usize::MAX),
+        &mut setup_stats,
+    ) {
+        Ok(_) => {}
+        Err(e) if e.contains("conflict") => {}
+        Err(e) => return Err(e),
+    }
 
     // Cold first so its anonymize latencies cannot benefit from a store the
     // warm phase already filled.
-    let (cold_samples, cold_rps) = run_phase(&config, true)?;
-    let (warm_samples, warm_rps) = run_phase(&config, false)?;
+    let (cold_samples, cold_rps, cold_robustness) = run_phase(&config, true)?;
+    let (warm_samples, warm_rps, warm_robustness) = run_phase(&config, false)?;
+    let mut robustness = Robustness::default();
+    robustness.retry.absorb(&setup_stats);
+    robustness.absorb(&cold_robustness);
+    robustness.absorb(&warm_robustness);
 
-    // Every completed anonymize — cold or warm, any client, any order —
-    // must carry the same verdict.
+    // Every completed anonymize — cold or warm, any client, any order,
+    // retried or not — must carry the same verdict.
     let mut verdicts: Vec<&String> = cold_samples
         .iter()
         .chain(&warm_samples)
@@ -306,9 +387,10 @@ fn run() -> Result<String, String> {
     }
 
     let stats = setup.call_ok("stats", JsonValue::object())?;
+    let health = setup.call_ok("health", JsonValue::object())?;
 
     let mut report = JsonValue::object();
-    report.set("bench", JsonValue::Str("BENCH_7".into()));
+    report.set("bench", JsonValue::Str("BENCH_8".into()));
     let mut cfg = JsonValue::object();
     cfg.set("clients", JsonValue::Int(config.clients as i64));
     cfg.set(
@@ -317,12 +399,30 @@ fn run() -> Result<String, String> {
     );
     cfg.set("rows", JsonValue::Int(config.rows as i64));
     cfg.set("seed", JsonValue::Int(config.seed as i64));
+    cfg.set("retries", JsonValue::Int(i64::from(config.retries)));
     report.set("config", cfg);
     let mut phases = JsonValue::object();
     phases.set("cold", phase_json(&cold_samples, cold_rps));
     phases.set("warm", phase_json(&warm_samples, warm_rps));
     report.set("phases", phases);
     report.set("server_stats", stats);
+    let mut robust = JsonValue::object();
+    robust.set(
+        "shed_busy",
+        health.get("shed_total").cloned().unwrap_or(JsonValue::Null),
+    );
+    robust.set(
+        "retries_busy",
+        JsonValue::Int(robustness.retry.busy_retries as i64),
+    );
+    robust.set(
+        "retries_transport",
+        JsonValue::Int(robustness.retry.transport_retries as i64),
+    );
+    robust.set("gave_up", JsonValue::Int(robustness.retry.give_ups as i64));
+    robust.set("failed_requests", JsonValue::Int(robustness.failed as i64));
+    robust.set("server_health", health);
+    report.set("robustness", robust);
     let (cold_p50, cold_p99) = anonymize_percentiles(&cold_samples);
     let (warm_p50, warm_p99) = anonymize_percentiles(&warm_samples);
     let mut cmp = JsonValue::object();
@@ -345,7 +445,8 @@ fn run() -> Result<String, String> {
     }
     Ok(format!(
         "psens-load: {} requests ({} cold @ {:.0} req/s, {} warm @ {:.0} req/s); \
-         anonymize p99 {}us cold -> {}us warm{}",
+         anonymize p99 {}us cold -> {}us warm; \
+         retries {} busy / {} transport, {} gave up, {} failed{}",
         cold_samples.len() + warm_samples.len(),
         cold_samples.len(),
         cold_rps,
@@ -353,6 +454,10 @@ fn run() -> Result<String, String> {
         warm_rps,
         cold_p99,
         warm_p99,
+        robustness.retry.busy_retries,
+        robustness.retry.transport_retries,
+        robustness.retry.give_ups,
+        robustness.failed,
         match &config.out {
             Some(path) => format!("; wrote {path}"),
             None => String::new(),

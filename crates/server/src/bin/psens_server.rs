@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! psens-server [--listen ADDR] [--max-concurrent N] [--addr-file PATH]
+//!              [--queue-depth N] [--max-frame-bytes N]
+//!              [--idle-timeout-ms N] [--stall-timeout-ms N]
+//!              [--write-timeout-ms N] [--max-pool-bytes N]
+//!              [--state-dir DIR] [--enable-inject]
 //! ```
 //!
 //! `--listen 127.0.0.1:0` binds a free port; `--addr-file` publishes the
-//! resolved address (one line) so scripts and tests can find it. SIGINT
-//! trips the server's shutdown token: in-flight requests observe the
+//! resolved address (one line) so scripts and tests can find it.
+//! `--state-dir` makes registrations and warm-pool keys crash-recoverable
+//! (write-ahead journal) and snapshots exact verdicts on clean shutdown.
+//! `--enable-inject` (or env `PSENS_ENABLE_INJECT=1`) allows the test-only
+//! `inject` op; env `PSENS_FAULTS` can carry a boot-time fault plan.
+//! SIGINT trips the server's shutdown token: in-flight requests observe the
 //! cancellation through their child tokens and finish as interrupted, the
-//! acceptor drains, and the process exits 0 after printing
-//! `shutdown complete`.
+//! acceptor drains, the verdict snapshot is written, and the process exits
+//! 0 after printing `shutdown complete`.
 
 use psens_core::CancelToken;
 use psens_server::{start, ServerConfig};
@@ -57,21 +65,56 @@ fn parse_args() -> Result<(ServerConfig, Option<String>), String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        fn num<T: std::str::FromStr>(name: &str, text: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            text.parse().map_err(|e| format!("{name}: {e}"))
+        }
         match arg.as_str() {
             "--listen" => config.listen = take("--listen")?,
             "--max-concurrent" => {
-                config.max_concurrent = take("--max-concurrent")?
-                    .parse()
-                    .map_err(|e| format!("--max-concurrent: {e}"))?
+                config.max_concurrent = num("--max-concurrent", take("--max-concurrent")?)?
             }
+            "--queue-depth" => config.queue_depth = num("--queue-depth", take("--queue-depth")?)?,
+            "--max-frame-bytes" => {
+                config.max_frame_bytes = num("--max-frame-bytes", take("--max-frame-bytes")?)?
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = num("--idle-timeout-ms", take("--idle-timeout-ms")?)?
+            }
+            "--stall-timeout-ms" => {
+                config.stall_timeout_ms = num("--stall-timeout-ms", take("--stall-timeout-ms")?)?
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = num("--write-timeout-ms", take("--write-timeout-ms")?)?
+            }
+            "--max-pool-bytes" => {
+                config.max_pool_bytes = num("--max-pool-bytes", take("--max-pool-bytes")?)?
+            }
+            "--state-dir" => config.state_dir = Some(take("--state-dir")?.into()),
+            "--enable-inject" => config.enable_inject = true,
             "--addr-file" => addr_file = Some(take("--addr-file")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: psens-server [--listen ADDR] [--max-concurrent N] [--addr-file PATH]"
+                    "usage: psens-server [--listen ADDR] [--max-concurrent N] [--addr-file PATH]\n\
+                     \x20                   [--queue-depth N] [--max-frame-bytes N]\n\
+                     \x20                   [--idle-timeout-ms N] [--stall-timeout-ms N]\n\
+                     \x20                   [--write-timeout-ms N] [--max-pool-bytes N]\n\
+                     \x20                   [--state-dir DIR] [--enable-inject]"
                         .to_owned(),
                 )
             }
             other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    // Test-only hooks via environment, for harnesses that can't pass flags.
+    if std::env::var("PSENS_ENABLE_INJECT").is_ok_and(|v| v == "1") {
+        config.enable_inject = true;
+    }
+    if let Ok(plan) = std::env::var("PSENS_FAULTS") {
+        if !plan.is_empty() {
+            config.fault_plan = Some(plan);
         }
     }
     Ok((config, addr_file))
@@ -106,11 +149,27 @@ fn main() -> ExitCode {
         "psens-server: listening on {} (max-concurrent {max_concurrent})",
         handle.addr()
     );
+    let recovery = handle.recovery();
+    if recovery.datasets > 0 || recovery.pools > 0 || recovery.verdicts > 0 {
+        println!(
+            "psens-server: recovered {} dataset(s), {} pool(s), {} verdict(s)",
+            recovery.datasets, recovery.pools, recovery.verdicts
+        );
+    }
+    for warning in &recovery.warnings {
+        eprintln!("psens-server: recovery: {warning}");
+    }
     // Park until SIGINT or a `shutdown` op trips the token.
     while !token.is_cancelled() {
         std::thread::sleep(Duration::from_millis(50));
     }
-    handle.shutdown();
+    let snapshot = handle.shutdown();
+    if let Some(stats) = snapshot {
+        println!(
+            "psens-server: snapshot written ({} verdict(s), {} byte(s))",
+            stats.entries, stats.bytes
+        );
+    }
     println!(
         "psens-server: shutdown complete ({} request(s) served)",
         handle.requests_served()

@@ -1,41 +1,145 @@
 //! A minimal synchronous client for the psens-server protocol, shared by
 //! the `psens-load` driver, the CLI `client` subcommand, and the tests.
+//!
+//! [`Client::call_retry`] layers overload-aware retries on top: `busy`
+//! responses and transport failures are retried with seeded exponential
+//! backoff + jitter under an **idempotent request id** — the id is
+//! allocated once per logical request and reused across attempts, so the
+//! server (and anyone reading a packet capture) can tell a retry from a new
+//! request. All server ops are idempotent by construction (`register` of
+//! the same payload conflicts harmlessly; everything else is a pure read or
+//! a pure function of its parameters), which is what makes blind retry
+//! safe.
 
+use crate::fault::xorshift64;
 use crate::protocol::{read_frame, request, write_frame};
 use psens_microdata::JsonValue;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Retry behaviour for [`Client::call_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling.
+    pub max_delay_ms: u64,
+    /// Jitter seed — fixed seed, fixed jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay_ms: 20,
+            max_delay_ms: 2_000,
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: surface the first `busy` / transport failure.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// What the retry loop did, accumulated across calls for honest reporting
+/// (psens-load publishes these in BENCH_8.json).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryStats {
+    /// Attempts re-issued after a `busy` shed.
+    pub busy_retries: u64,
+    /// Attempts re-issued after a connect/read/write failure.
+    pub transport_retries: u64,
+    /// Logical requests that exhausted their retry budget.
+    pub give_ups: u64,
+}
+
+impl RetryStats {
+    /// Merges another accumulator into this one.
+    pub fn absorb(&mut self, other: &RetryStats) {
+        self.busy_retries += other.busy_retries;
+        self.transport_retries += other.transport_retries;
+        self.give_ups += other.give_ups;
+    }
+}
 
 /// One connection to a psens-server. Requests are answered in order, so a
 /// `call` is a `send` followed by a `recv`; `send`/`recv` can be split to
 /// pipeline.
 pub struct Client {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: i64,
+    io_timeout: Option<Duration>,
+    rng: u64,
 }
 
 impl Client {
     /// Connects to `addr`.
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let writer = BufWriter::new(stream);
+        let (reader, writer) = Client::open(addr, None)?;
         Ok(Client {
+            addr,
             reader,
             writer,
             next_id: 1,
+            io_timeout: None,
+            rng: 0x9e37_79b9_7f4a_7c15,
         })
+    }
+
+    fn open(
+        addr: SocketAddr,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Ok((BufReader::new(stream.try_clone()?), BufWriter::new(stream)))
+    }
+
+    /// Bounds every read/write on this connection: a server that drops or
+    /// stalls a response surfaces as a transport error after `timeout`
+    /// instead of hanging the caller forever. `None` restores blocking I/O.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.io_timeout = timeout;
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)
+    }
+
+    /// Drops the current socket and dials a fresh one, keeping the id
+    /// counter monotonic so replayed ids stay unambiguous server-side.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let (reader, writer) = Client::open(self.addr, self.io_timeout)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// Sends a request without waiting for its response; returns its id.
     pub fn send(&mut self, op: &str, params: JsonValue) -> io::Result<i64> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.writer, &request(id, op, params))?;
-        self.writer.flush()?;
+        self.send_with_id(id, op, params)?;
         Ok(id)
+    }
+
+    fn send_with_id(&mut self, id: i64, op: &str, params: JsonValue) -> io::Result<()> {
+        write_frame(&mut self.writer, &request(id, op, params))?;
+        self.writer.flush()
     }
 
     /// Receives the next response frame.
@@ -58,6 +162,70 @@ impl Client {
             .call(op, params)
             .map_err(|e| format!("{op}: transport: {e}"))?;
         response_result(&response).map_err(|e| format!("{op}: {e}"))
+    }
+
+    /// [`Client::call_ok`] with retries on `busy` sheds and transport
+    /// failures, per `policy`. The request id is allocated once and reused
+    /// verbatim on every attempt (idempotent retry); `stats` accumulates
+    /// what happened for honest reporting.
+    pub fn call_retry(
+        &mut self,
+        op: &str,
+        params: JsonValue,
+        policy: &RetryPolicy,
+        stats: &mut RetryStats,
+    ) -> Result<JsonValue, String> {
+        if self.rng == 0x9e37_79b9_7f4a_7c15 && policy.seed != 0 {
+            // First retry-aware call on this client: mix in the policy seed
+            // so different workers jitter differently but reproducibly.
+            self.rng = policy.seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = self
+                .send_with_id(id, op, params.clone())
+                .and_then(|()| self.recv());
+            let (shed_hint, failure) = match outcome {
+                Ok(response) => match response_result(&response) {
+                    Ok(result) => return Ok(result),
+                    Err(message) if message.starts_with("busy") => {
+                        let hint = response
+                            .get("error")
+                            .and_then(|e| e.get("retry_after_ms"))
+                            .and_then(|v| v.as_u64().ok());
+                        (hint, format!("{op}: {message}"))
+                    }
+                    Err(message) => return Err(format!("{op}: {message}")),
+                },
+                Err(e) => (None, format!("{op}: transport: {e}")),
+            };
+            if attempt >= policy.max_retries {
+                stats.give_ups += 1;
+                return Err(format!("{failure} (after {attempt} retries)"));
+            }
+            attempt += 1;
+            if shed_hint.is_some() {
+                stats.busy_retries += 1;
+            } else {
+                stats.transport_retries += 1;
+                // The socket may be mid-frame or dead; start clean. A failed
+                // reconnect burns this attempt's backoff and tries again.
+                let _ = self.reconnect();
+            }
+            let exp = policy
+                .base_delay_ms
+                .saturating_mul(1u64 << attempt.min(16))
+                .min(policy.max_delay_ms);
+            let base = shed_hint.unwrap_or(exp / 2).min(policy.max_delay_ms);
+            let jitter = if exp / 2 > 0 {
+                xorshift64(&mut self.rng) % (exp / 2 + 1)
+            } else {
+                0
+            };
+            std::thread::sleep(Duration::from_millis(base + jitter));
+        }
     }
 }
 

@@ -1,0 +1,363 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a list of rules, each naming a **site** (where in the
+//! request path the fault fires), an optional **op filter**, an **action**
+//! (what goes wrong), and a **trigger** (which matching arrivals fire).
+//! Everything is deterministic: `every`/`first` triggers count matching
+//! arrivals, and the probabilistic trigger draws from a xorshift RNG seeded
+//! by the plan — the same plan against the same serialized request order
+//! injects the same faults, which is what lets the chaos harness assert the
+//! verdict oracle byte-for-byte *under* faults.
+//!
+//! Plans arrive through the test-only `inject` protocol verb (refused unless
+//! the server was started with injection enabled) or the `PSENS_FAULTS`
+//! environment variable at boot. A production server never evaluates a plan:
+//! the decide path is a single `Mutex<Option<..>>` check that is `None`.
+//!
+//! Plan JSON:
+//!
+//! ```json
+//! {"seed": 7, "rules": [
+//!   {"site": "exec",           "op": "check", "action": "panic",    "first": 1},
+//!   {"site": "write_response", "action": "drop",     "every": 3},
+//!   {"site": "write_response", "action": "truncate", "first": 2},
+//!   {"site": "exec",           "action": "delay_ms", "ms": 40, "prob_pct": 50}
+//! ]}
+//! ```
+
+use psens_microdata::JsonValue;
+
+/// Advances a xorshift64 state and returns the next draw. Deterministic and
+/// dependency-free; also used for client retry jitter.
+pub(crate) fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Where in the request path a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// After the request frame is read, before admission — delays here
+    /// simulate a slow pre-processing path without occupying a work slot.
+    PreDispatch,
+    /// Inside the admitted work op — `panic` here simulates a worker crash
+    /// at a named site, `delay_ms` a slow dataset holding its slot.
+    Exec,
+    /// When the response frame is written — `drop` closes without
+    /// answering, `truncate` writes a torn frame then closes, `delay_ms`
+    /// stalls the response.
+    WriteResponse,
+}
+
+impl Site {
+    fn parse(text: &str) -> Option<Site> {
+        match text {
+            "pre_dispatch" => Some(Site::PreDispatch),
+            "exec" => Some(Site::Exec),
+            "write_response" => Some(Site::WriteResponse),
+            _ => None,
+        }
+    }
+
+    /// The wire name, as accepted in plan JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Site::PreDispatch => "pre_dispatch",
+            Site::Exec => "exec",
+            Site::WriteResponse => "write_response",
+        }
+    }
+}
+
+/// What goes wrong when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Panic the worker thread (the server must contain it).
+    Panic,
+    /// Close the connection without writing the response.
+    Drop,
+    /// Write a torn response frame (full length prefix, half the payload)
+    /// and close.
+    Truncate,
+    /// Sleep this many milliseconds before proceeding.
+    DelayMs(u64),
+}
+
+/// Which matching arrivals a rule fires on.
+#[derive(Debug, Clone, Copy)]
+enum Trigger {
+    /// Fire on every Nth matching arrival (1 = all).
+    Every(u64),
+    /// Fire on the first N matching arrivals only.
+    First(u64),
+    /// Fire with this percent probability per arrival, drawn from the
+    /// plan's seeded RNG (deterministic given arrival order).
+    ProbPct(u64),
+}
+
+/// One fault rule: site + optional op filter + action + trigger, with
+/// arrival/fire counters for the `health`/`inject` reports.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    site: Site,
+    op: Option<String>,
+    action: Action,
+    trigger: Trigger,
+    hits: u64,
+    fired: u64,
+}
+
+impl FaultRule {
+    fn from_json(value: &JsonValue) -> Result<FaultRule, String> {
+        let site_text = value
+            .get("site")
+            .ok_or("rule missing `site`")?
+            .as_str()
+            .map_err(|e| format!("rule `site`: {e}"))?;
+        let site = Site::parse(site_text).ok_or_else(|| {
+            format!("unknown site `{site_text}` (expected pre_dispatch|exec|write_response)")
+        })?;
+        let op = match value.get("op") {
+            Some(v) => Some(
+                v.as_str()
+                    .map_err(|e| format!("rule `op`: {e}"))?
+                    .to_owned(),
+            ),
+            None => None,
+        };
+        let action_text = value
+            .get("action")
+            .ok_or("rule missing `action`")?
+            .as_str()
+            .map_err(|e| format!("rule `action`: {e}"))?;
+        let action = match action_text {
+            "panic" => Action::Panic,
+            "drop" => Action::Drop,
+            "truncate" => Action::Truncate,
+            "delay_ms" => {
+                let ms = value
+                    .get("ms")
+                    .ok_or("delay_ms rule missing `ms`")?
+                    .as_u64()
+                    .map_err(|e| format!("rule `ms`: {e}"))?;
+                Action::DelayMs(ms)
+            }
+            other => return Err(format!("unknown action `{other}`")),
+        };
+        let triggers = [
+            value.get("every").map(|v| ("every", v)),
+            value.get("first").map(|v| ("first", v)),
+            value.get("prob_pct").map(|v| ("prob_pct", v)),
+        ];
+        let mut chosen = None;
+        for (name, v) in triggers.into_iter().flatten() {
+            if chosen.is_some() {
+                return Err("rule must name at most one of every|first|prob_pct".to_owned());
+            }
+            let n = v.as_u64().map_err(|e| format!("rule `{name}`: {e}"))?;
+            chosen = Some(match name {
+                "every" if n == 0 => return Err("`every` must be >= 1".to_owned()),
+                "every" => Trigger::Every(n),
+                "first" => Trigger::First(n),
+                _ if n > 100 => return Err("`prob_pct` must be 0..=100".to_owned()),
+                _ => Trigger::ProbPct(n),
+            });
+        }
+        Ok(FaultRule {
+            site,
+            op,
+            action,
+            // An unadorned rule fires exactly once.
+            trigger: chosen.unwrap_or(Trigger::First(1)),
+            hits: 0,
+            fired: 0,
+        })
+    }
+}
+
+/// A mutable set of fault rules plus the plan's seeded RNG state.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    rng: u64,
+}
+
+impl FaultPlan {
+    /// Parses plan JSON (see the module docs for the shape).
+    pub fn from_json(plan: &JsonValue) -> Result<FaultPlan, String> {
+        let seed = match plan.get("seed") {
+            Some(v) => v.as_u64().map_err(|e| format!("plan `seed`: {e}"))?,
+            None => 1,
+        };
+        let rules_value = plan
+            .get("rules")
+            .ok_or("plan missing `rules`")?
+            .as_array()
+            .map_err(|e| format!("plan `rules`: {e}"))?;
+        let rules = rules_value
+            .iter()
+            .enumerate()
+            .map(|(i, v)| FaultRule::from_json(v).map_err(|e| format!("rule {i}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        if rules.is_empty() {
+            return Err("plan has no rules".to_owned());
+        }
+        Ok(FaultPlan {
+            rules,
+            // A zero xorshift state is a fixed point; force it odd instead.
+            rng: seed | 1,
+        })
+    }
+
+    /// Parses plan JSON from text (the `PSENS_FAULTS` env var path).
+    pub fn from_json_text(text: &str) -> Result<FaultPlan, String> {
+        let value = JsonValue::parse(text).map_err(|e| format!("fault plan JSON: {e}"))?;
+        FaultPlan::from_json(&value)
+    }
+
+    /// Number of rules in the plan.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Records one arrival at `site` for `op` and returns the action of the
+    /// first rule that fires, if any. Non-firing matches still advance their
+    /// rule's counters, so `every`/`first` triggers stay deterministic.
+    pub fn decide(&mut self, site: Site, op: &str) -> Option<Action> {
+        let mut chosen = None;
+        for rule in &mut self.rules {
+            if rule.site != site {
+                continue;
+            }
+            if let Some(filter) = &rule.op {
+                if filter != op {
+                    continue;
+                }
+            }
+            rule.hits += 1;
+            let fires = match rule.trigger {
+                Trigger::Every(n) => rule.hits % n == 0,
+                Trigger::First(n) => rule.hits <= n,
+                Trigger::ProbPct(pct) => xorshift64(&mut self.rng) % 100 < pct,
+            };
+            if fires {
+                rule.fired += 1;
+                if chosen.is_none() {
+                    chosen = Some(rule.action);
+                }
+            }
+        }
+        chosen
+    }
+
+    /// Per-rule arrival/fire counters for the `inject`/`health` reports.
+    pub fn counters(&self) -> JsonValue {
+        JsonValue::Array(
+            self.rules
+                .iter()
+                .map(|rule| {
+                    let mut entry = JsonValue::object();
+                    entry.set("site", JsonValue::Str(rule.site.as_str().to_owned()));
+                    if let Some(op) = &rule.op {
+                        entry.set("op", JsonValue::Str(op.clone()));
+                    }
+                    entry.set(
+                        "action",
+                        JsonValue::Str(
+                            match rule.action {
+                                Action::Panic => "panic",
+                                Action::Drop => "drop",
+                                Action::Truncate => "truncate",
+                                Action::DelayMs(_) => "delay_ms",
+                            }
+                            .to_owned(),
+                        ),
+                    );
+                    entry.set("hits", JsonValue::Int(rule.hits as i64));
+                    entry.set("fired", JsonValue::Int(rule.fired as i64));
+                    entry
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(text: &str) -> FaultPlan {
+        FaultPlan::from_json_text(text).expect("plan parses")
+    }
+
+    #[test]
+    fn every_and_first_triggers_are_deterministic() {
+        let mut p = plan(
+            r#"{"rules": [
+                {"site": "write_response", "action": "drop", "every": 3},
+                {"site": "exec", "op": "check", "action": "panic", "first": 2}
+            ]}"#,
+        );
+        let drops: Vec<bool> = (0..9)
+            .map(|_| p.decide(Site::WriteResponse, "anonymize").is_some())
+            .collect();
+        assert_eq!(
+            drops,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        // The op filter gates matches; non-matching ops never advance hits.
+        assert_eq!(p.decide(Site::Exec, "anonymize"), None);
+        assert_eq!(p.decide(Site::Exec, "check"), Some(Action::Panic));
+        assert_eq!(p.decide(Site::Exec, "check"), Some(Action::Panic));
+        assert_eq!(p.decide(Site::Exec, "check"), None, "first 2 exhausted");
+    }
+
+    #[test]
+    fn seeded_probability_replays_identically() {
+        let text = r#"{"seed": 99, "rules": [
+            {"site": "exec", "action": "delay_ms", "ms": 5, "prob_pct": 40}
+        ]}"#;
+        let mut a = plan(text);
+        let mut b = plan(text);
+        let run = |p: &mut FaultPlan| -> Vec<bool> {
+            (0..64)
+                .map(|_| p.decide(Site::Exec, "sleep").is_some())
+                .collect()
+        };
+        let fa = run(&mut a);
+        assert_eq!(fa, run(&mut b), "same seed, same arrivals, same faults");
+        assert!(fa.iter().any(|&f| f) && !fa.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn malformed_plans_are_refused() {
+        for bad in [
+            r#"{"rules": []}"#,
+            r#"{"rules": [{"action": "drop"}]}"#,
+            r#"{"rules": [{"site": "nowhere", "action": "drop"}]}"#,
+            r#"{"rules": [{"site": "exec", "action": "explode"}]}"#,
+            r#"{"rules": [{"site": "exec", "action": "delay_ms"}]}"#,
+            r#"{"rules": [{"site": "exec", "action": "drop", "every": 0}]}"#,
+            r#"{"rules": [{"site": "exec", "action": "drop", "every": 2, "first": 1}]}"#,
+            r#"{"rules": [{"site": "exec", "action": "drop", "prob_pct": 101}]}"#,
+            "not json",
+        ] {
+            assert!(FaultPlan::from_json_text(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn unadorned_rule_fires_once() {
+        let mut p = plan(r#"{"rules": [{"site": "exec", "action": "panic"}]}"#);
+        assert_eq!(p.decide(Site::Exec, "check"), Some(Action::Panic));
+        assert_eq!(p.decide(Site::Exec, "check"), None);
+        let counters = p.counters();
+        let rule = &counters.as_array().unwrap()[0];
+        assert_eq!(rule.get("hits").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(rule.get("fired").unwrap().as_u64().unwrap(), 1);
+    }
+}

@@ -15,19 +15,28 @@
 //!   (client disconnect → that request's token only; SIGINT / `shutdown` →
 //!   every request, via [`psens_core::CancelToken::child`] parent links).
 //! - [`client`]: the synchronous client used by `psens-load`, the CLI
-//!   `client` subcommand, and the tests.
+//!   `client` subcommand, and the tests; retries `busy` / transport errors
+//!   with seeded exponential backoff and idempotent request ids.
+//! - [`fault`]: deterministic fault injection (test-only `inject` verb) for
+//!   the chaos harness.
+//! - [`state`]: write-ahead registry journal and verdict-store snapshots
+//!   behind `--state-dir`; replayed with hash verification on boot.
 //!
-//! DESIGN.md §14 documents the architecture; EXPERIMENTS.md's BENCH_7 holds
-//! the sustained-traffic numbers.
+//! DESIGN.md §14–15 document the architecture; EXPERIMENTS.md's BENCH_7/8
+//! hold the sustained-traffic and robustness numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod state;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RetryStats};
+pub use fault::FaultPlan;
 pub use registry::Registry;
 pub use server::{start, ServerConfig, ServerHandle};
+pub use state::StateDir;

@@ -33,6 +33,12 @@ pub mod codes {
     pub const INTERRUPTED: &str = "interrupted";
     /// The server is shutting down and no longer admits work.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The admission queue is full; the response carries `retry_after_ms`
+    /// and the client should back off and retry.
+    pub const BUSY: &str = "busy";
+    /// The request frame's length prefix exceeds the server's cap. The
+    /// offending frame is discarded and the connection stays usable.
+    pub const FRAME_TOO_LARGE: &str = "frame_too_large";
     /// Anything else (I/O, internal invariant).
     pub const INTERNAL: &str = "internal";
 }
@@ -112,6 +118,228 @@ pub fn error_response(id: i64, code: &str, message: &str) -> JsonValue {
     out
 }
 
+/// Builds a load-shed response: `busy` with a `retry_after_ms` hint the
+/// client's backoff honours.
+pub fn busy_response(id: i64, retry_after_ms: u64) -> JsonValue {
+    let mut out = error_response(
+        id,
+        codes::BUSY,
+        "admission queue is full; back off and retry",
+    );
+    if let Some(error) = out.get("error").cloned() {
+        let mut error = error;
+        error.set("retry_after_ms", JsonValue::Int(retry_after_ms as i64));
+        out.set("error", error);
+    }
+    out
+}
+
+/// Per-connection limits the hardened [`read_request`] reader enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameLimits {
+    /// Frames with a larger length prefix are discarded and answered with
+    /// [`codes::FRAME_TOO_LARGE`] instead of being allocated.
+    pub max_frame_bytes: u32,
+    /// How long a connection may sit with **no** bytes of a new frame before
+    /// the reaper closes it. `None` disables idle reaping.
+    pub idle_timeout: Option<std::time::Duration>,
+    /// How long a **partially received** frame (e.g. a stalled length
+    /// prefix) may dribble before the connection is closed. `None` disables
+    /// stall reaping.
+    pub stall_timeout: Option<std::time::Duration>,
+}
+
+impl Default for FrameLimits {
+    fn default() -> FrameLimits {
+        FrameLimits {
+            max_frame_bytes: MAX_FRAME_BYTES,
+            idle_timeout: None,
+            stall_timeout: Some(std::time::Duration::from_secs(10)),
+        }
+    }
+}
+
+/// What [`read_request`] observed. Every variant tells the caller exactly
+/// how to respond: answer and continue, answer and close, or just close —
+/// there is no state in which a socket is silently left hanging.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed frame.
+    Frame(JsonValue),
+    /// Clean end-of-stream at a frame boundary.
+    Closed,
+    /// No bytes arrived within the idle timeout; reap the connection.
+    IdleTimedOut,
+    /// A partial frame stalled past the stall timeout (slow-loris); close.
+    Stalled,
+    /// The caller asked to stop (shutdown / peer disconnect) mid-wait.
+    Stopped,
+    /// Length prefix exceeded `max_frame_bytes`. The payload was drained,
+    /// so the caller can answer [`codes::FRAME_TOO_LARGE`] and keep reading.
+    TooLarge(u64),
+    /// The payload was not UTF-8 JSON, or the stream died mid-frame.
+    /// `resynced` is true when the full payload was consumed (answer
+    /// [`codes::BAD_REQUEST`] and continue) and false when framing is lost
+    /// (close the connection).
+    Malformed {
+        /// What was wrong with the frame.
+        message: String,
+        /// Whether the stream is positioned at the next frame boundary.
+        resynced: bool,
+    },
+    /// A non-retryable I/O error; close the connection.
+    Failed(io::Error),
+}
+
+/// True for errors that mean "no data yet", not "the stream is broken".
+/// `WouldBlock`/`TimedOut` come from the poll-interval `SO_RCVTIMEO` the
+/// server keeps on every connection socket.
+fn retryable(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// Reads one request frame under [`FrameLimits`], tolerating a poll-interval
+/// read timeout on the underlying socket. Progress is tracked across
+/// retryable errors, so a frame split at any byte boundary (including inside
+/// the 4-byte length prefix) reassembles correctly. `should_stop` is
+/// consulted on every retryable wakeup; when it returns true the read
+/// abandons ship with [`ReadOutcome::Stopped`].
+pub fn read_request<R: Read>(
+    reader: &mut R,
+    limits: &FrameLimits,
+    should_stop: &mut dyn FnMut() -> bool,
+) -> ReadOutcome {
+    use std::time::Instant;
+
+    let started = Instant::now();
+    let mut first_byte_at: Option<Instant> = None;
+
+    // Phase 1: the 4-byte length prefix, byte by byte across timeouts.
+    let mut prefix = [0u8; 4];
+    let mut have = 0usize;
+    while have < 4 {
+        match reader.read(&mut prefix[have..]) {
+            Ok(0) => {
+                return if have == 0 {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed {
+                        message: format!("stream closed {have} bytes into a length prefix"),
+                        resynced: false,
+                    }
+                };
+            }
+            Ok(n) => {
+                if first_byte_at.is_none() {
+                    first_byte_at = Some(Instant::now());
+                }
+                have += n;
+            }
+            Err(e) if retryable(e.kind()) => {
+                if should_stop() {
+                    return ReadOutcome::Stopped;
+                }
+                match first_byte_at {
+                    None => {
+                        if let Some(idle) = limits.idle_timeout {
+                            if started.elapsed() >= idle {
+                                return ReadOutcome::IdleTimedOut;
+                            }
+                        }
+                    }
+                    Some(first) => {
+                        if let Some(stall) = limits.stall_timeout {
+                            if first.elapsed() >= stall {
+                                return ReadOutcome::Stalled;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => return ReadOutcome::Failed(e),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as u64;
+    let frame_started = first_byte_at.unwrap_or_else(Instant::now);
+    let stalled = |first: Instant| match limits.stall_timeout {
+        Some(stall) => first.elapsed() >= stall,
+        None => false,
+    };
+
+    // Phase 2a: oversized frame — drain it in bounded chunks (never
+    // allocating the advertised length) so the connection can be answered
+    // with a clean error and reused.
+    if len > u64::from(limits.max_frame_bytes) {
+        let mut remaining = len;
+        let mut sink = [0u8; 64 * 1024];
+        while remaining > 0 {
+            let want = remaining.min(sink.len() as u64) as usize;
+            match reader.read(&mut sink[..want]) {
+                Ok(0) => {
+                    return ReadOutcome::Malformed {
+                        message: "stream closed inside an oversized frame".to_owned(),
+                        resynced: false,
+                    };
+                }
+                Ok(n) => remaining -= n as u64,
+                Err(e) if retryable(e.kind()) => {
+                    if should_stop() {
+                        return ReadOutcome::Stopped;
+                    }
+                    if stalled(frame_started) {
+                        return ReadOutcome::Stalled;
+                    }
+                }
+                Err(e) => return ReadOutcome::Failed(e),
+            }
+        }
+        return ReadOutcome::TooLarge(len);
+    }
+
+    // Phase 2b: normal payload, incremental reads with stall accounting.
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match reader.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return ReadOutcome::Malformed {
+                    message: format!("stream closed {filled} bytes into a {len}-byte frame"),
+                    resynced: false,
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if retryable(e.kind()) => {
+                if should_stop() {
+                    return ReadOutcome::Stopped;
+                }
+                if stalled(frame_started) {
+                    return ReadOutcome::Stalled;
+                }
+            }
+            Err(e) => return ReadOutcome::Failed(e),
+        }
+    }
+    let text = match String::from_utf8(payload) {
+        Ok(text) => text,
+        Err(e) => {
+            return ReadOutcome::Malformed {
+                message: format!("frame not UTF-8: {e}"),
+                resynced: true,
+            };
+        }
+    };
+    match JsonValue::parse(&text) {
+        Ok(value) => ReadOutcome::Frame(value),
+        Err(e) => ReadOutcome::Malformed {
+            message: format!("frame not JSON: {e}"),
+            resynced: true,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +391,161 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let mut cursor = &buf[..];
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// A reader that yields its script one item at a time: either a byte
+    /// chunk or a `WouldBlock` (simulating the poll-interval socket
+    /// timeout). Exhausted script = EOF.
+    struct ScriptedReader {
+        script: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                None => Ok(0),
+                Some(Err(kind)) => Err(kind.into()),
+                Some(Ok(bytes)) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    if n < bytes.len() {
+                        self.script.push_front(Ok(bytes[n..].to_vec()));
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    fn scripted(items: Vec<Result<Vec<u8>, io::ErrorKind>>) -> ScriptedReader {
+        ScriptedReader {
+            script: items.into(),
+        }
+    }
+
+    fn no_stop() -> impl FnMut() -> bool {
+        || false
+    }
+
+    #[test]
+    fn read_request_reassembles_one_byte_splits_with_timeouts_between() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &request(3, "stats", JsonValue::object())).unwrap();
+        // Every byte its own read, a WouldBlock between each pair.
+        let mut script = Vec::new();
+        for byte in &buf {
+            script.push(Err(io::ErrorKind::WouldBlock));
+            script.push(Ok(vec![*byte]));
+        }
+        let mut reader = scripted(script);
+        match read_request(&mut reader, &FrameLimits::default(), &mut no_stop()) {
+            ReadOutcome::Frame(frame) => {
+                assert_eq!(frame.require("id").unwrap().as_i64().unwrap(), 3);
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        assert!(matches!(
+            read_request(&mut reader, &FrameLimits::default(), &mut no_stop()),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn read_request_drains_oversized_frames_and_resyncs() {
+        let limits = FrameLimits {
+            max_frame_bytes: 1024,
+            ..FrameLimits::default()
+        };
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(200_000u32).to_be_bytes());
+        buf.extend_from_slice(&vec![b'x'; 200_000]);
+        // A well-formed frame right behind the oversized one.
+        write_frame(&mut buf, &request(9, "stats", JsonValue::object())).unwrap();
+        let mut cursor = &buf[..];
+        match read_request(&mut cursor, &limits, &mut no_stop()) {
+            ReadOutcome::TooLarge(len) => assert_eq!(len, 200_000),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        match read_request(&mut cursor, &limits, &mut no_stop()) {
+            ReadOutcome::Frame(frame) => {
+                assert_eq!(frame.require("id").unwrap().as_i64().unwrap(), 9);
+            }
+            other => panic!("expected the next frame after resync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_request_reports_malformed_payloads_as_resynced() {
+        // Valid framing, invalid JSON: the connection can keep going.
+        let payload = b"{not json";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(payload);
+        match read_request(&mut &buf[..], &FrameLimits::default(), &mut no_stop()) {
+            ReadOutcome::Malformed { resynced, .. } => assert!(resynced),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Truncated frame: framing is lost, the connection must close.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, &request(1, "stats", JsonValue::object())).unwrap();
+        torn.truncate(torn.len() - 2);
+        match read_request(&mut &torn[..], &FrameLimits::default(), &mut no_stop()) {
+            ReadOutcome::Malformed { resynced, .. } => assert!(!resynced),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_request_honours_stop_idle_and_stall() {
+        use std::time::Duration;
+        // Stop request mid-wait.
+        let mut reader = scripted(vec![
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+        ]);
+        let mut stop_now = || true;
+        assert!(matches!(
+            read_request(&mut reader, &FrameLimits::default(), &mut stop_now),
+            ReadOutcome::Stopped
+        ));
+        // Idle timeout with zero budget trips on the first empty wakeup.
+        let limits = FrameLimits {
+            idle_timeout: Some(Duration::ZERO),
+            ..FrameLimits::default()
+        };
+        let mut reader = scripted(vec![Err(io::ErrorKind::WouldBlock)]);
+        assert!(matches!(
+            read_request(&mut reader, &limits, &mut no_stop()),
+            ReadOutcome::IdleTimedOut
+        ));
+        // A stalled prefix (two bytes then silence) trips the stall timeout,
+        // not the idle timeout.
+        let limits = FrameLimits {
+            idle_timeout: None,
+            stall_timeout: Some(Duration::ZERO),
+            ..FrameLimits::default()
+        };
+        let mut reader = scripted(vec![
+            Ok(vec![0, 0]),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+        ]);
+        assert!(matches!(
+            read_request(&mut reader, &limits, &mut no_stop()),
+            ReadOutcome::Stalled
+        ));
+    }
+
+    #[test]
+    fn busy_response_carries_retry_hint() {
+        let resp = busy_response(4, 120);
+        assert!(!resp.require("ok").unwrap().as_bool().unwrap());
+        let error = resp.require("error").unwrap();
+        assert_eq!(error.require("code").unwrap().as_str().unwrap(), "busy");
+        assert_eq!(
+            error.require("retry_after_ms").unwrap().as_u64().unwrap(),
+            120
+        );
     }
 
     #[test]

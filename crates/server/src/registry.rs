@@ -9,6 +9,7 @@
 //! re-running the kernel, which is where a long-running daemon earns its
 //! keep over one-shot CLI invocations.
 
+use crate::state::{SnapshotEntry, StateDir};
 use psens_core::VerdictStore;
 use psens_datasets::Spec;
 use psens_hierarchy::QiSpace;
@@ -17,6 +18,9 @@ use psens_microdata::{JsonValue, Table};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// A warm-pool key: `(dataset, p, k, ts)`.
+pub type PoolKey = (String, u32, u32, usize);
 
 /// One registered dataset: the interned table, its spec, and the warm
 /// verdict-store pool.
@@ -64,30 +68,111 @@ impl Dataset {
             live,
         )
     }
+
+    /// Drops the warm store for `(p, k, ts)` (memory-pressure eviction).
+    /// In-flight searches holding the `Arc` finish unaffected; the next
+    /// request for this key rebuilds the pool cold with identical verdicts.
+    pub fn remove_store(&self, p: u32, k: u32, ts: usize) -> Option<Arc<VerdictStore>> {
+        self.stores
+            .lock()
+            .expect("store pool poisoned")
+            .remove(&(p, k, ts))
+    }
+
+    /// Every live pool, sorted by key — deterministic snapshot order.
+    pub fn pools(&self) -> Vec<((u32, u32, usize), Arc<VerdictStore>)> {
+        let stores = self.stores.lock().expect("store pool poisoned");
+        let mut out: Vec<_> = stores
+            .iter()
+            .map(|(key, store)| (*key, Arc::clone(store)))
+            .collect();
+        out.sort_by_key(|(key, _)| *key);
+        out
+    }
+
+    /// Approximate heap bytes held by this dataset's warm stores.
+    pub fn pool_bytes(&self) -> u64 {
+        self.pools()
+            .iter()
+            .map(|(_, store)| store.approx_bytes())
+            .sum()
+    }
 }
 
-/// Thread-safe name → dataset map shared by all connection handlers.
+/// What a journal+snapshot replay reconstructed, reported by `stats` and
+/// the boot banner.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// Datasets re-interned from the journal.
+    pub datasets: usize,
+    /// Warm pools re-created from the journal.
+    pub pools: usize,
+    /// Exact verdicts replayed from the snapshot.
+    pub verdicts: usize,
+    /// Skipped-line / mismatch notes from the replay (fail-closed skips).
+    pub warnings: Vec<String>,
+}
+
+/// Thread-safe name → dataset map shared by all connection handlers, plus
+/// the write-ahead journal hook and the warm-pool byte budget.
 #[derive(Default)]
 pub struct Registry {
     datasets: Mutex<HashMap<String, Arc<Dataset>>>,
+    state: Option<Arc<StateDir>>,
+    /// 0 = unlimited.
+    max_pool_bytes: u64,
+    /// Pool keys in least-recently-used order (front = coldest).
+    lru: Mutex<Vec<PoolKey>>,
+    evictions: AtomicU64,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with no persistence and no pool budget.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// A registry that journals to `state` (when set) and evicts warm pools
+    /// LRU once their combined footprint exceeds `max_pool_bytes` (0 =
+    /// unlimited).
+    pub fn with_state(state: Option<Arc<StateDir>>, max_pool_bytes: u64) -> Registry {
+        Registry {
+            state,
+            max_pool_bytes,
+            ..Registry::default()
+        }
     }
 
     /// Parses `csv` against `spec` and registers it under `name`. Errors if
     /// the name is taken (re-registration would invalidate warm stores other
     /// requests may be using) or the CSV does not parse against the spec.
+    /// With a state dir, the registration is journaled write-ahead: if the
+    /// journal append fails the registration fails (fail-closed — never an
+    /// in-memory dataset that a restart silently forgets).
     pub fn register(&self, name: &str, csv: &str, spec: Spec) -> Result<Arc<Dataset>, String> {
+        self.register_inner(name, csv, spec, true)
+    }
+
+    fn register_inner(
+        &self,
+        name: &str,
+        csv: &str,
+        spec: Spec,
+        journal: bool,
+    ) -> Result<Arc<Dataset>, String> {
         let schema = spec.schema().map_err(|e| e.to_string())?;
         let table = read_table_str(csv, schema, true).map_err(|e| e.to_string())?;
         let qi = spec.qi_space()?;
         let mut datasets = self.datasets.lock().expect("registry poisoned");
         if datasets.contains_key(name) {
             return Err(format!("dataset `{name}` is already registered"));
+        }
+        if journal {
+            if let Some(state) = &self.state {
+                state
+                    .log_register(name, csv, &spec)
+                    .map_err(|e| format!("state journal append failed: {e}"))?;
+            }
         }
         let dataset = Arc::new(Dataset {
             name: name.to_owned(),
@@ -100,6 +185,163 @@ impl Registry {
         });
         datasets.insert(name.to_owned(), Arc::clone(&dataset));
         Ok(dataset)
+    }
+
+    /// The warm store for `(p, k, ts)` on `dataset`, journaling pool
+    /// creation and maintaining the LRU byte budget. All server request
+    /// paths go through here; `Dataset::store` alone skips persistence.
+    pub fn store_for(
+        &self,
+        dataset: &Arc<Dataset>,
+        p: u32,
+        k: u32,
+        ts: usize,
+    ) -> (Arc<VerdictStore>, bool) {
+        let (store, warm) = dataset.store(p, k, ts);
+        if !warm {
+            if let Some(state) = &self.state {
+                // A lost pool line only costs a cold rebuild after restart
+                // (verdicts are pure functions of the key), so journal
+                // failure here degrades warm-up, never correctness.
+                let _ = state.log_pool(&dataset.name, p, k, ts);
+            }
+        }
+        let key: PoolKey = (dataset.name.clone(), p, k, ts);
+        {
+            let mut lru = self.lru.lock().expect("lru lock poisoned");
+            lru.retain(|entry| entry != &key);
+            lru.push(key.clone());
+        }
+        self.enforce_pool_budget(&key);
+        (store, warm)
+    }
+
+    /// Evicts least-recently-used pools until the combined footprint fits
+    /// the budget. The just-touched key is exempt so the request that
+    /// triggered enforcement keeps its store.
+    fn enforce_pool_budget(&self, keep: &PoolKey) {
+        if self.max_pool_bytes == 0 {
+            return;
+        }
+        while self.pool_bytes() > self.max_pool_bytes {
+            let victim = {
+                let mut lru = self.lru.lock().expect("lru lock poisoned");
+                let at = lru.iter().position(|entry| entry != keep);
+                match at {
+                    Some(at) => lru.remove(at),
+                    None => return,
+                }
+            };
+            let (name, p, k, ts) = victim;
+            if let Some(dataset) = self.get(&name) {
+                if dataset.remove_store(p, k, ts).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Approximate heap bytes across every dataset's warm pools.
+    pub fn pool_bytes(&self) -> u64 {
+        let datasets: Vec<Arc<Dataset>> = {
+            let map = self.datasets.lock().expect("registry poisoned");
+            map.values().cloned().collect()
+        };
+        datasets.iter().map(|d| d.pool_bytes()).sum()
+    }
+
+    /// Pools evicted under memory pressure since boot.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Replays the state dir's journal and snapshot into this registry:
+    /// re-interns verified datasets, re-creates their warm pools, and
+    /// replays snapshot verdicts (each validated against the dataset's
+    /// lattice before `record`). Unverifiable pieces are skipped with a
+    /// warning — recovery can shrink state, never corrupt it.
+    pub fn recover(&self) -> RecoveryStats {
+        let Some(state) = self.state.clone() else {
+            return RecoveryStats::default();
+        };
+        let mut stats = RecoveryStats::default();
+        let recovered = state.replay();
+        stats.warnings = recovered.warnings;
+        for dataset in recovered.registrations {
+            match self.register_inner(&dataset.name, &dataset.csv, dataset.spec, false) {
+                Ok(_) => stats.datasets += 1,
+                Err(e) => stats.warnings.push(format!(
+                    "dataset `{}` failed to re-intern: {e}",
+                    dataset.name
+                )),
+            }
+        }
+        for (name, p, k, ts) in recovered.pools {
+            if let Some(dataset) = self.get(&name) {
+                // Warm the pool without re-journaling its creation.
+                let (_, warm) = dataset.store(p, k, ts);
+                if !warm {
+                    stats.pools += 1;
+                    let mut lru = self.lru.lock().expect("lru lock poisoned");
+                    lru.push((name.clone(), p, k, ts));
+                }
+            }
+        }
+        if let Some(entries) = state.load_snapshot() {
+            for entry in entries {
+                let Some(dataset) = self.get(&entry.dataset) else {
+                    stats.warnings.push(format!(
+                        "snapshot verdict for unknown dataset `{}`; skipped",
+                        entry.dataset
+                    ));
+                    continue;
+                };
+                if !dataset.qi.lattice().contains(&entry.check.node) {
+                    stats.warnings.push(format!(
+                        "snapshot verdict outside `{}`'s lattice; skipped",
+                        entry.dataset
+                    ));
+                    continue;
+                }
+                let (store, _) = dataset.store(entry.p, entry.k, entry.ts);
+                store.record(&entry.check);
+                stats.verdicts += 1;
+            }
+        }
+        stats
+    }
+
+    /// Every exact verdict across every warm pool, ordered by dataset name
+    /// then pool key then node — the deterministic snapshot export.
+    pub fn snapshot_entries(&self) -> Vec<SnapshotEntry> {
+        let datasets: Vec<Arc<Dataset>> = {
+            let map = self.datasets.lock().expect("registry poisoned");
+            let mut v: Vec<Arc<Dataset>> = map.values().cloned().collect();
+            v.sort_by(|a, b| a.name.cmp(&b.name));
+            v
+        };
+        let mut out = Vec::new();
+        for dataset in datasets {
+            for ((p, k, ts), store) in dataset.pools() {
+                for check in store.export_exact() {
+                    out.push(SnapshotEntry {
+                        dataset: dataset.name.clone(),
+                        p,
+                        k,
+                        ts,
+                        check,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes the verdict snapshot if a state dir is configured. Returns
+    /// the stats on success, `None` when persistence is off.
+    pub fn write_snapshot(&self) -> Option<crate::state::SnapshotStats> {
+        let state = self.state.clone()?;
+        state.write_snapshot(&self.snapshot_entries()).ok()
     }
 
     /// Looks up a dataset by name.
@@ -203,6 +445,72 @@ mod tests {
         assert!(!Arc::ptr_eq(&a1, &b));
         let (warm, cold, live) = dataset.store_counters();
         assert_eq!((warm, cold, live), (1, 2, 2));
+    }
+
+    #[test]
+    fn pool_budget_evicts_lru_and_rebuilds_cold() {
+        let registry = Registry::with_state(None, 1); // any pool busts 1 byte
+        let fixture = adult_fixture(5, 60);
+        let dataset = registry
+            .register("adult", &fixture.csv, fixture.spec)
+            .unwrap();
+        let (store_a, _) = registry.store_for(&dataset, 1, 2, 0);
+        store_a.record(&psens_core::NodeCheck {
+            node: dataset.qi.lattice().bottom(),
+            violating_tuples: 3,
+            suppressed: 0,
+            satisfied: false,
+            stage: psens_core::CheckStage::KAnonymity,
+            n_groups: None,
+        });
+        // Touching a second pool pushes total bytes over budget; the first
+        // (LRU) pool is evicted, the just-touched one survives.
+        let (_store_b, _) = registry.store_for(&dataset, 2, 3, 0);
+        assert!(registry.evictions() >= 1);
+        let (rebuilt, warm) = registry.store_for(&dataset, 1, 2, 0);
+        assert!(!warm, "evicted pool rebuilds cold");
+        assert_eq!(rebuilt.len(), 0, "rebuilt store starts empty");
+        // The Arc handed out before eviction still works.
+        assert_eq!(store_a.len(), 1);
+    }
+
+    #[test]
+    fn journal_recovery_reinterns_datasets_and_rewarms_pools() {
+        let root =
+            std::env::temp_dir().join(format!("psens_registry_recover_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let state = Arc::new(crate::state::StateDir::open(&root).unwrap());
+        let fixture = adult_fixture(5, 60);
+
+        let registry = Registry::with_state(Some(Arc::clone(&state)), 0);
+        let dataset = registry
+            .register("adult", &fixture.csv, fixture.spec.clone())
+            .unwrap();
+        let (store, _) = registry.store_for(&dataset, 2, 3, 5);
+        store.record(&psens_core::NodeCheck {
+            node: dataset.qi.lattice().bottom(),
+            violating_tuples: 7,
+            suppressed: 0,
+            satisfied: false,
+            stage: psens_core::CheckStage::KAnonymity,
+            n_groups: Some(4),
+        });
+        registry.write_snapshot().expect("snapshot written");
+
+        // A fresh registry over the same state dir recovers everything.
+        let rebooted = Registry::with_state(Some(state), 0);
+        let stats = rebooted.recover();
+        assert_eq!(
+            (stats.datasets, stats.pools, stats.verdicts),
+            (1, 1, 1),
+            "warnings: {:?}",
+            stats.warnings
+        );
+        let dataset = rebooted.get("adult").expect("dataset recovered");
+        let (store, warm) = dataset.store(2, 3, 5);
+        assert!(warm, "recovered pool is already live");
+        assert_eq!(store.len(), 1, "snapshot verdict replayed");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

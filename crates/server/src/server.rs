@@ -1,28 +1,48 @@
-//! The daemon: a TCP accept loop, per-connection handler threads, an
-//! admission gate bounding concurrent work, and per-request cancellation.
+//! The daemon: a TCP accept loop, per-connection handler threads, a bounded
+//! admission gate with explicit load-shedding, per-request cancellation,
+//! deterministic fault injection, and crash-recoverable state.
 //!
 //! ## Cancellation topology
 //!
 //! Every request gets its own [`CancelToken`] created as a *child* of the
 //! server's shutdown token ([`CancelToken::child`]). Tripping the server
 //! token (SIGINT, `shutdown` op) fans out to every in-flight request;
-//! tripping one request's token — which is what the disconnect watcher does
+//! tripping one request's token — which is what the connection watcher does
 //! when that request's client goes away — cannot leak into any other
 //! request. The CLI's cancellation hook is a process-global one-shot SIGINT
 //! token; reusing it for disconnects would make one client's hangup abort
 //! every concurrent search, which the
 //! `disconnect_cancels_only_its_own_request` test pins against.
 //!
-//! ## Admission
+//! ## Admission and overload
 //!
 //! Work ops (`register`, `check`, `analyze`, `anonymize`, `query`, `sleep`)
-//! pass through a counting [`Gate`] before executing. A queued request polls
-//! its cancel token while waiting, so a client that disconnects — or a
-//! server that shuts down — releases its queue slot promptly instead of
-//! executing doomed work.
+//! pass through a counting [`Gate`] before executing. The queue behind the
+//! gate is **bounded** (`queue_depth`): a request arriving to a full queue
+//! is shed immediately with a `busy` error carrying `retry_after_ms`,
+//! instead of blocking unboundedly — under overload the server stays
+//! responsive and honest rather than building an invisible backlog. Queued
+//! requests poll their cancel token, so a dead client releases its queue
+//! slot promptly. Per-connection read timeouts (idle and stall) reap
+//! silent and slow-loris connections; `anonymize` deadlines are measured
+//! from request *arrival*, so time spent queued counts against the budget
+//! and no request outlives its deadline just because the server was busy.
+//!
+//! ## Degradation is fail-closed
+//!
+//! Every degraded path — shed, reaped, evicted, panicked, recovering —
+//! either answers with an error or closes the connection. None of them
+//! alters a verdict: verdicts stay a pure function of
+//! `(dataset, p, k, ts)`, which the differential oracle and the chaos
+//! harness assert byte-for-byte under injected faults.
 
-use crate::protocol::{codes, error_response, ok_response, read_frame, write_frame};
-use crate::registry::Registry;
+use crate::fault::{Action, FaultPlan, Site};
+use crate::protocol::{
+    busy_response, codes, error_response, ok_response, read_request, write_frame, FrameLimits,
+    ReadOutcome, MAX_FRAME_BYTES,
+};
+use crate::registry::{RecoveryStats, Registry};
+use crate::state::{SnapshotStats, StateDir};
 use psens_algorithms::samarati::{pk_minimal_generalization_tuned, Pruning};
 use psens_algorithms::Tuning;
 use psens_core::conditions::ConfidentialStats;
@@ -33,12 +53,20 @@ use psens_datasets::Spec;
 use psens_metrics::{attribute_risk, identity_risk};
 use psens_microdata::csv::to_csv_string;
 use psens_microdata::JsonValue;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Poll period for the shared per-connection read timeout. `SO_RCVTIMEO`
+/// is a property of the socket, not of an fd clone, so the frame reader and
+/// the connection watcher share this value; it bounds both
+/// disconnect-detection lag and shutdown latency for idle connections.
+const POLL: Duration = Duration::from_millis(20);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +76,32 @@ pub struct ServerConfig {
     /// Maximum work ops executing at once; further requests queue at the
     /// admission gate. `0` is treated as `1`.
     pub max_concurrent: usize,
+    /// Maximum requests waiting at the gate before new arrivals are shed
+    /// with `busy`. `0` sheds immediately once all slots are taken.
+    pub queue_depth: usize,
+    /// Request frames larger than this are refused with `frame_too_large`
+    /// (the connection survives).
+    pub max_frame_bytes: u32,
+    /// Reap a connection that sends nothing for this long. `0` disables
+    /// idle reaping (the default: idle keep-alive connections are legal).
+    pub idle_timeout_ms: u64,
+    /// Reap a connection whose frame stalls mid-transfer (slow-loris) for
+    /// this long. `0` disables stall reaping.
+    pub stall_timeout_ms: u64,
+    /// Bound on blocking response writes; a client that stops draining its
+    /// socket forfeits the connection. `0` disables.
+    pub write_timeout_ms: u64,
+    /// Combined warm-pool byte budget; least-recently-used pools are
+    /// evicted above it. `0` disables eviction.
+    pub max_pool_bytes: u64,
+    /// Directory for the write-ahead registry journal and verdict
+    /// snapshot; `None` runs fully in-memory.
+    pub state_dir: Option<PathBuf>,
+    /// Allows the test-only `inject` op (and a boot-time fault plan).
+    /// Never enable in production.
+    pub enable_inject: bool,
+    /// Fault plan JSON installed at boot (requires `enable_inject`).
+    pub fault_plan: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -55,14 +109,31 @@ impl Default for ServerConfig {
         ServerConfig {
             listen: "127.0.0.1:0".to_owned(),
             max_concurrent: 2,
+            queue_depth: 32,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            idle_timeout_ms: 0,
+            stall_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            max_pool_bytes: 0,
+            state_dir: None,
+            enable_inject: false,
+            fault_plan: None,
         }
     }
 }
 
-/// Counting semaphore bounding concurrent work-op executions.
+struct GateInner {
+    permits: usize,
+    waiting: usize,
+}
+
+/// Counting semaphore bounding concurrent work-op executions, with a
+/// bounded wait queue.
 struct Gate {
-    permits: Mutex<usize>,
+    inner: Mutex<GateInner>,
     cv: Condvar,
+    max_permits: usize,
+    queue_depth: usize,
 }
 
 /// Holds one admission permit; released (and the queue notified) on drop.
@@ -70,94 +141,170 @@ struct GatePermit<'a> {
     gate: &'a Gate,
 }
 
+/// Outcome of asking the gate for a slot.
+enum Admission<'a> {
+    /// Admitted; run the op.
+    Permit(GatePermit<'a>),
+    /// Queue full; shed with `busy`. Carries the queue length observed.
+    Busy { waiting: usize },
+    /// The request was cancelled (disconnect / shutdown) while queued.
+    Cancelled,
+}
+
 impl Gate {
-    fn new(permits: usize) -> Gate {
+    fn new(permits: usize, queue_depth: usize) -> Gate {
+        let max_permits = permits.max(1);
         Gate {
-            permits: Mutex::new(permits.max(1)),
+            inner: Mutex::new(GateInner {
+                permits: max_permits,
+                waiting: 0,
+            }),
             cv: Condvar::new(),
+            max_permits,
+            queue_depth,
         }
     }
 
-    /// Waits for a permit, polling `cancel` so a dead request leaves the
-    /// queue instead of occupying a slot. `None` means the request was
-    /// cancelled while queued.
-    fn acquire(&self, cancel: &CancelToken) -> Option<GatePermit<'_>> {
-        let mut permits = self.permits.lock().expect("gate poisoned");
+    /// Takes a permit, queues within the depth bound, or sheds.
+    fn acquire(&self, cancel: &CancelToken) -> Admission<'_> {
+        let mut inner = self.inner.lock().expect("gate poisoned");
+        if inner.permits > 0 {
+            inner.permits -= 1;
+            return Admission::Permit(GatePermit { gate: self });
+        }
+        if inner.waiting >= self.queue_depth {
+            return Admission::Busy {
+                waiting: inner.waiting,
+            };
+        }
+        inner.waiting += 1;
         loop {
             if cancel.is_cancelled() {
-                return None;
+                inner.waiting -= 1;
+                return Admission::Cancelled;
             }
-            if *permits > 0 {
-                *permits -= 1;
-                return Some(GatePermit { gate: self });
+            if inner.permits > 0 {
+                inner.permits -= 1;
+                inner.waiting -= 1;
+                return Admission::Permit(GatePermit { gate: self });
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(permits, Duration::from_millis(20))
-                .expect("gate poisoned");
-            permits = guard;
+            let (guard, _) = self.cv.wait_timeout(inner, POLL).expect("gate poisoned");
+            inner = guard;
         }
+    }
+
+    /// `(executing, queued)` — a point-in-time load sample for `health`.
+    fn load(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("gate poisoned");
+        (self.max_permits - inner.permits, inner.waiting)
     }
 }
 
 impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
-        *self.gate.permits.lock().expect("gate poisoned") += 1;
+        self.gate.inner.lock().expect("gate poisoned").permits += 1;
         self.gate.cv.notify_one();
     }
 }
 
-/// Watches a connection while a request executes: if the client goes away
-/// (EOF or a socket error on `peek`), the *request's own* token is
-/// cancelled. Stopped and joined on drop, so a finished request never leaves
-/// a watcher behind to misfire on a later request's lifetime.
-struct DisconnectWatcher {
-    stop: Arc<AtomicBool>,
+struct WatchShared {
+    /// Token of the request currently executing on this connection, if any.
+    active: Mutex<Option<CancelToken>>,
+    /// Set once the peer is observed gone; sticky for the connection.
+    dead: AtomicBool,
+    stop: AtomicBool,
+}
+
+/// One watcher thread per **connection** (not per request — the previous
+/// per-request spawn is the ROADMAP item this replaces): it peeks the
+/// socket on the shared poll timeout and, when the peer goes away, cancels
+/// whichever request is active at that moment. Requests hand their token in
+/// and out through the RAII [`ActiveRequest`] guard.
+struct ConnWatch {
+    shared: Arc<WatchShared>,
     handle: Option<JoinHandle<()>>,
 }
 
-impl DisconnectWatcher {
-    /// Poll period: also the worst-case latency `Drop` spends joining the
-    /// watcher after a request finishes, so it is load-bearing for request
-    /// latency, not just disconnect-detection lag.
-    const POLL: Duration = Duration::from_millis(3);
+/// Marks a request as the connection's active one for its execution span.
+struct ActiveRequest<'a> {
+    shared: &'a WatchShared,
+}
 
-    fn spawn(stream: &TcpStream, token: CancelToken) -> io::Result<DisconnectWatcher> {
+impl ConnWatch {
+    fn spawn(stream: &TcpStream) -> io::Result<ConnWatch> {
         let peek = stream.try_clone()?;
-        peek.set_read_timeout(Some(DisconnectWatcher::POLL))?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
+        let shared = Arc::new(WatchShared {
+            active: Mutex::new(None),
+            dead: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
         let handle = thread::spawn(move || {
             let mut buf = [0u8; 1];
-            while !stop_flag.load(Ordering::Acquire) {
+            while !thread_shared.stop.load(Ordering::Acquire) {
                 match peek.peek(&mut buf) {
-                    // EOF: the client closed its end mid-request.
+                    // EOF: the client closed its end.
                     Ok(0) => {
-                        token.cancel();
-                        break;
+                        thread_shared.dead.store(true, Ordering::Release);
+                        if let Some(token) =
+                            thread_shared.active.lock().expect("watch poisoned").take()
+                        {
+                            token.cancel();
+                        }
+                        return;
                     }
-                    // Bytes waiting (a pipelined request): client is alive.
-                    Ok(_) => thread::sleep(DisconnectWatcher::POLL),
+                    // Bytes waiting (a pipelined request): client is alive;
+                    // back off so the poll doesn't spin while data sits.
+                    Ok(_) => thread::sleep(POLL),
+                    // The shared SO_RCVTIMEO poll tick.
                     Err(e)
                         if e.kind() == io::ErrorKind::WouldBlock
                             || e.kind() == io::ErrorKind::TimedOut => {}
                     Err(_) => {
-                        token.cancel();
-                        break;
+                        thread_shared.dead.store(true, Ordering::Release);
+                        if let Some(token) =
+                            thread_shared.active.lock().expect("watch poisoned").take()
+                        {
+                            token.cancel();
+                        }
+                        return;
                     }
                 }
             }
         });
-        Ok(DisconnectWatcher {
-            stop,
+        Ok(ConnWatch {
+            shared,
             handle: Some(handle),
         })
     }
+
+    fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::Acquire)
+    }
+
+    /// Registers `token` as the connection's active request. If the peer is
+    /// already known dead the token is cancelled on the spot, so a doomed
+    /// request never starts real work.
+    fn activate(&self, token: CancelToken) -> ActiveRequest<'_> {
+        if self.is_dead() {
+            token.cancel();
+        }
+        *self.shared.active.lock().expect("watch poisoned") = Some(token);
+        ActiveRequest {
+            shared: &self.shared,
+        }
+    }
 }
 
-impl Drop for DisconnectWatcher {
+impl Drop for ActiveRequest<'_> {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.shared.active.lock().expect("watch poisoned").take();
+    }
+}
+
+impl Drop for ConnWatch {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -171,8 +318,26 @@ pub struct ServerState {
     gate: Gate,
     shutdown: CancelToken,
     addr: SocketAddr,
+    started: Instant,
+    config: ServerConfig,
+    recovery: RecoveryStats,
+    faults: Mutex<Option<FaultPlan>>,
     requests_served: AtomicU64,
-    max_concurrent: usize,
+    shed_total: AtomicU64,
+    idle_reaped: AtomicU64,
+    stall_reaped: AtomicU64,
+    frames_too_large: AtomicU64,
+    malformed_frames: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+impl ServerState {
+    /// Consults the fault plan, if any. A server without an installed plan
+    /// pays one mutex lock and a `None` check per site.
+    fn fault(&self, site: Site, op: &str) -> Option<Action> {
+        let mut faults = self.faults.lock().expect("fault plan poisoned");
+        faults.as_mut().and_then(|plan| plan.decide(site, op))
+    }
 }
 
 /// A running server: bound address plus the handle to stop and join it.
@@ -193,14 +358,24 @@ impl ServerHandle {
         self.state.shutdown.clone()
     }
 
-    /// Trips the shutdown token, wakes the acceptor, and joins it. Requests
-    /// already executing observe the cancellation through their child
-    /// tokens and finish as interrupted.
-    pub fn shutdown(&mut self) {
+    /// What boot-time recovery reconstructed (empty without `--state-dir`).
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.state.recovery
+    }
+
+    /// Trips the shutdown token, wakes the acceptor, joins it, and — on the
+    /// first call, with a state dir configured — writes the verdict
+    /// snapshot. Requests already executing observe the cancellation
+    /// through their child tokens and finish as interrupted.
+    pub fn shutdown(&mut self) -> Option<SnapshotStats> {
         self.state.shutdown.cancel();
         wake_acceptor(self.state.addr);
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
+        match self.acceptor.take() {
+            Some(handle) => {
+                let _ = handle.join();
+                self.state.registry.write_snapshot()
+            }
+            None => None,
         }
     }
 
@@ -222,17 +397,46 @@ fn wake_acceptor(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
 }
 
-/// Binds `config.listen` and starts the accept loop on a background thread.
+/// Binds `config.listen`, replays any `--state-dir` journal + snapshot, and
+/// starts the accept loop on a background thread.
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.listen)?;
     let addr = listener.local_addr()?;
+    let state_dir = match &config.state_dir {
+        Some(dir) => Some(Arc::new(StateDir::open(dir)?)),
+        None => None,
+    };
+    let registry = Registry::with_state(state_dir, config.max_pool_bytes);
+    let recovery = registry.recover();
+    let faults = match (&config.fault_plan, config.enable_inject) {
+        (Some(plan), true) => Some(
+            FaultPlan::from_json_text(plan)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+        ),
+        (Some(_), false) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a boot fault plan requires fault injection to be enabled",
+            ));
+        }
+        (None, _) => None,
+    };
     let state = Arc::new(ServerState {
-        registry: Registry::new(),
-        gate: Gate::new(config.max_concurrent),
+        registry,
+        gate: Gate::new(config.max_concurrent, config.queue_depth),
         shutdown: CancelToken::new(),
         addr,
+        started: Instant::now(),
+        recovery,
+        faults: Mutex::new(faults),
+        config,
         requests_served: AtomicU64::new(0),
-        max_concurrent: config.max_concurrent.max(1),
+        shed_total: AtomicU64::new(0),
+        idle_reaped: AtomicU64::new(0),
+        stall_reaped: AtomicU64::new(0),
+        frames_too_large: AtomicU64::new(0),
+        malformed_frames: AtomicU64::new(0),
+        worker_panics: AtomicU64::new(0),
     });
     let accept_state = Arc::clone(&state);
     let acceptor = thread::spawn(move || {
@@ -252,46 +456,133 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 }
 
 /// Reads frames off one connection and answers them in order. Returns when
-/// the client closes, a frame is malformed, or the server shuts down.
+/// the client closes, framing is lost, a timeout reaps the connection, or
+/// the server shuts down — every exit either answered the last request or
+/// closed the socket, never leaving a client waiting on a frame that will
+/// not come.
 fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     // Responses are one small frame per request; letting Nagle hold them
     // for the delayed-ACK timer adds ~40ms to every round trip.
     let _ = stream.set_nodelay(true);
+    // One poll-interval read timeout for the connection's lifetime, shared
+    // by the frame reader and the watcher (SO_RCVTIMEO is per-socket, not
+    // per-clone). The reader treats the resulting WouldBlock/TimedOut as
+    // "check deadlines and shutdown, then keep reading".
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    if state.config.write_timeout_ms > 0 {
+        let _ =
+            stream.set_write_timeout(Some(Duration::from_millis(state.config.write_timeout_ms)));
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // A failed watcher spawn just means no disconnect detection; requests
+    // still honor deadlines and server shutdown.
+    let watch = ConnWatch::spawn(&stream).ok();
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(&stream);
+    let ms = |n: u64| (n > 0).then(|| Duration::from_millis(n));
+    let limits = FrameLimits {
+        max_frame_bytes: state.config.max_frame_bytes,
+        idle_timeout: ms(state.config.idle_timeout_ms),
+        stall_timeout: ms(state.config.stall_timeout_ms),
+    };
     loop {
-        let request = match read_frame(&mut reader) {
-            Ok(Some(request)) => request,
-            // Clean close or broken pipe: either way the conversation ends.
-            Ok(None) | Err(_) => return,
+        let mut should_stop = || {
+            state.shutdown.is_cancelled() || watch.as_ref().map(ConnWatch::is_dead).unwrap_or(false)
+        };
+        let (request, arrival) = match read_request(&mut reader, &limits, &mut should_stop) {
+            ReadOutcome::Frame(request) => (request, Instant::now()),
+            ReadOutcome::Closed | ReadOutcome::Stopped => return,
+            ReadOutcome::IdleTimedOut => {
+                state.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::Stalled => {
+                state.stall_reaped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::TooLarge(len) => {
+                state.frames_too_large.fetch_add(1, Ordering::Relaxed);
+                state.requests_served.fetch_add(1, Ordering::Relaxed);
+                let response = error_response(
+                    0,
+                    codes::FRAME_TOO_LARGE,
+                    &format!(
+                        "frame of {len} bytes exceeds the {}-byte limit",
+                        state.config.max_frame_bytes
+                    ),
+                );
+                if write_frame(&mut writer, &response).is_err() {
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::Malformed { message, resynced } => {
+                state.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                if !resynced {
+                    return;
+                }
+                state.requests_served.fetch_add(1, Ordering::Relaxed);
+                let response = error_response(0, codes::BAD_REQUEST, &message);
+                if write_frame(&mut writer, &response).is_err() {
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::Failed(_) => return,
         };
         let id = request.get("id").and_then(|v| v.as_i64().ok()).unwrap_or(0);
-        let response = dispatch(state, id, &request, &stream);
-        // The disconnect watcher's poll-period read timeout lives on the shared
-        // socket (SO_RCVTIMEO is per-socket, not per-clone); restore
-        // blocking reads so an idle client is not mistaken for a dead one.
-        let _ = stream.set_read_timeout(None);
+        let op = request
+            .get("op")
+            .and_then(|v| v.as_str().ok())
+            .unwrap_or("")
+            .to_owned();
+        // Pre-dispatch faults: a delay stalls the request before admission;
+        // anything else kills the connection before an answer exists —
+        // exactly what a crash between read and dispatch looks like.
+        match state.fault(Site::PreDispatch, &op) {
+            Some(Action::DelayMs(delay)) => thread::sleep(Duration::from_millis(delay)),
+            Some(_) => return,
+            None => {}
+        }
+        let response = dispatch(state, id, &request, arrival, watch.as_ref());
         state.requests_served.fetch_add(1, Ordering::Relaxed);
+        // Write-response faults: drop closes without answering, truncate
+        // tears the frame mid-payload, delay stalls the write.
+        match state.fault(Site::WriteResponse, &op) {
+            Some(Action::Drop) | Some(Action::Panic) => return,
+            Some(Action::Truncate) => {
+                let payload = response.to_json();
+                let bytes = payload.as_bytes();
+                let _ = writer.write_all(&(bytes.len() as u32).to_be_bytes());
+                let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+                let _ = writer.flush();
+                return;
+            }
+            Some(Action::DelayMs(delay)) => thread::sleep(Duration::from_millis(delay)),
+            None => {}
+        }
         if write_frame(&mut writer, &response).is_err() {
             return;
         }
         // The shutdown op answers its own request, then closes.
-        if request.get("op").and_then(|v| v.as_str().ok()) == Some("shutdown") {
+        if op == "shutdown" {
             return;
         }
     }
 }
 
-/// Routes one request to its op handler, wrapping admission and per-request
-/// cancellation around the work ops.
+/// Routes one request to its op handler, wrapping admission, per-request
+/// cancellation, and worker-panic containment around the work ops.
 fn dispatch(
     state: &Arc<ServerState>,
     id: i64,
     request: &JsonValue,
-    stream: &TcpStream,
+    arrival: Instant,
+    watch: Option<&ConnWatch>,
 ) -> JsonValue {
     let op = match request.get("op").and_then(|v| v.as_str().ok()) {
         Some(op) => op,
@@ -299,6 +590,11 @@ fn dispatch(
     };
     match op {
         "stats" => ok_response(id, stats_op(state)),
+        "health" => ok_response(id, health_op(state)),
+        "inject" => match inject_op(state, request) {
+            Ok(result) => ok_response(id, result),
+            Err((code, message)) => error_response(id, code, &message),
+        },
         "shutdown" => {
             state.shutdown.cancel();
             wake_acceptor(state.addr);
@@ -311,31 +607,63 @@ fn dispatch(
                 return error_response(id, codes::SHUTTING_DOWN, "server is shutting down");
             }
             // Per-request token: observes server shutdown through the parent
-            // link; tripped individually by this request's own disconnect.
+            // link; tripped individually by this connection's watcher when
+            // the client goes away mid-request.
             let token = state.shutdown.child();
-            // A failed clone just means no disconnect watching; the request
-            // still honors deadlines and server shutdown.
-            let watcher = DisconnectWatcher::spawn(stream, token.clone()).ok();
-            let Some(_permit) = state.gate.acquire(&token) else {
-                return error_response(
+            let _active = watch.map(|w| w.activate(token.clone()));
+            match state.gate.acquire(&token) {
+                Admission::Cancelled => error_response(
                     id,
                     codes::INTERRUPTED,
                     "request cancelled while queued for admission",
-                );
-            };
-            let outcome = match op {
-                "register" => register_op(state, request),
-                "check" => check_op(state, request),
-                "analyze" => analyze_op(state, request),
-                "anonymize" => anonymize_op(state, request, &token),
-                "query" => query_op(state, request),
-                "sleep" => sleep_op(request, &token),
-                _ => unreachable!("matched above"),
-            };
-            drop(watcher);
-            match outcome {
-                Ok(result) => ok_response(id, result),
-                Err((code, message)) => error_response(id, code, &message),
+                ),
+                Admission::Busy { waiting } => {
+                    state.shed_total.fetch_add(1, Ordering::Relaxed);
+                    // Scale the hint with observed queue length so a deep
+                    // backlog spreads retries further apart.
+                    let hint = (20 * (waiting as u64 + 1)).min(500);
+                    busy_response(id, hint)
+                }
+                Admission::Permit(_permit) => {
+                    let exec_fault = state.fault(Site::Exec, op);
+                    if let Some(Action::DelayMs(delay)) = exec_fault {
+                        // A slow dataset: the op holds its admission slot
+                        // while the delay runs, exactly like a real stall.
+                        thread::sleep(Duration::from_millis(delay));
+                    }
+                    let inject_panic = matches!(exec_fault, Some(Action::Panic));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if inject_panic {
+                            panic!("injected worker panic (exec site, op `{op}`)");
+                        }
+                        match op {
+                            "register" => register_op(state, request),
+                            "check" => check_op(state, request),
+                            "analyze" => analyze_op(state, request),
+                            "anonymize" => anonymize_op(state, request, &token, arrival),
+                            "query" => query_op(state, request),
+                            "sleep" => sleep_op(request, &token),
+                            _ => unreachable!("matched above"),
+                        }
+                    }));
+                    let outcome = match outcome {
+                        Ok(outcome) => outcome,
+                        Err(_) => {
+                            // The worker died; the connection, its permit,
+                            // and every other request are unaffected. The
+                            // client gets a definite error, not a hang.
+                            state.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            Err((
+                                codes::INTERNAL,
+                                "worker panicked; request aborted (contained)".to_owned(),
+                            ))
+                        }
+                    };
+                    match outcome {
+                        Ok(result) => ok_response(id, result),
+                        Err((code, message)) => error_response(id, code, &message),
+                    }
+                }
             }
         }
         other => error_response(id, codes::BAD_REQUEST, &format!("unknown op `{other}`")),
@@ -400,6 +728,15 @@ fn lookup_dataset(
         .ok_or((codes::NOT_FOUND, format!("no dataset `{name}`")))
 }
 
+fn recovered_json(recovery: &RecoveryStats) -> JsonValue {
+    let mut out = JsonValue::object();
+    out.set("datasets", JsonValue::Int(recovery.datasets as i64));
+    out.set("pools", JsonValue::Int(recovery.pools as i64));
+    out.set("verdicts", JsonValue::Int(recovery.verdicts as i64));
+    out.set("warnings", JsonValue::Int(recovery.warnings.len() as i64));
+    out
+}
+
 fn stats_op(state: &ServerState) -> JsonValue {
     let mut result = state.registry.to_json();
     result.set(
@@ -408,13 +745,95 @@ fn stats_op(state: &ServerState) -> JsonValue {
     );
     result.set(
         "max_concurrent",
-        JsonValue::Int(state.max_concurrent as i64),
+        JsonValue::Int(state.config.max_concurrent.max(1) as i64),
+    );
+    result.set("recovered", recovered_json(&state.recovery));
+    result
+}
+
+/// `health {}`: load, shed, reap, eviction, and recovery counters — the
+/// numbers an operator (or the chaos harness) needs to tell "degraded but
+/// honest" from "wedged". Never gated: health must answer under overload.
+fn health_op(state: &ServerState) -> JsonValue {
+    let (executing, queued) = state.gate.load();
+    let mut result = JsonValue::object();
+    result.set(
+        "uptime_ms",
+        JsonValue::Int(state.started.elapsed().as_millis() as i64),
+    );
+    result.set(
+        "max_concurrent",
+        JsonValue::Int(state.config.max_concurrent.max(1) as i64),
+    );
+    result.set(
+        "queue_depth",
+        JsonValue::Int(state.config.queue_depth as i64),
+    );
+    result.set("executing", JsonValue::Int(executing as i64));
+    result.set("queued", JsonValue::Int(queued as i64));
+    let counter = |n: &AtomicU64| JsonValue::Int(n.load(Ordering::Relaxed) as i64);
+    result.set("requests_served", counter(&state.requests_served));
+    result.set("shed_total", counter(&state.shed_total));
+    result.set("idle_reaped", counter(&state.idle_reaped));
+    result.set("stall_reaped", counter(&state.stall_reaped));
+    result.set("frames_too_large", counter(&state.frames_too_large));
+    result.set("malformed_frames", counter(&state.malformed_frames));
+    result.set("worker_panics", counter(&state.worker_panics));
+    result.set(
+        "pool_bytes",
+        JsonValue::Int(state.registry.pool_bytes() as i64),
+    );
+    result.set(
+        "pool_evictions",
+        JsonValue::Int(state.registry.evictions() as i64),
+    );
+    result.set("recovered", recovered_json(&state.recovery));
+    let faults = state.faults.lock().expect("fault plan poisoned");
+    result.set(
+        "faults",
+        match faults.as_ref() {
+            Some(plan) => plan.counters(),
+            None => JsonValue::Null,
+        },
     );
     result
 }
 
+/// `inject {plan}` / `inject {clear: true}`: installs or clears the fault
+/// plan. Refused unless the server was started with injection enabled, so
+/// a production deployment cannot be told to misbehave over the wire.
+fn inject_op(state: &ServerState, request: &JsonValue) -> OpResult {
+    if !state.config.enable_inject {
+        return Err(bad(
+            "fault injection is disabled (start the server with --enable-inject)",
+        ));
+    }
+    let mut result = JsonValue::object();
+    if param_bool(request, "clear", false)? {
+        let mut faults = state.faults.lock().expect("fault plan poisoned");
+        result.set("cleared", JsonValue::Bool(faults.is_some()));
+        result.set(
+            "counters",
+            match faults.take() {
+                Some(plan) => plan.counters(),
+                None => JsonValue::Null,
+            },
+        );
+        return Ok(result);
+    }
+    let plan_value = request
+        .get("plan")
+        .ok_or_else(|| bad("missing `plan` (or `clear`)"))?;
+    let plan = FaultPlan::from_json(plan_value).map_err(bad)?;
+    result.set("installed", JsonValue::Bool(true));
+    result.set("rules", JsonValue::Int(plan.rule_count() as i64));
+    *state.faults.lock().expect("fault plan poisoned") = Some(plan);
+    Ok(result)
+}
+
 /// `register {name, csv, spec}`: parse once, serve many. `spec` is the same
-/// JSON object the CLI's `--spec` file holds.
+/// JSON object the CLI's `--spec` file holds. With a state dir the
+/// registration is journaled write-ahead before it takes effect.
 fn register_op(state: &ServerState, request: &JsonValue) -> OpResult {
     let name = param_str(request, "name")?;
     let csv = param_str(request, "csv")?;
@@ -522,11 +941,21 @@ fn analyze_op(state: &ServerState, request: &JsonValue) -> OpResult {
 /// request's cancel token, consulting the dataset's warm verdict store for
 /// `(p, k, ts)` unless `no_cache`.
 ///
+/// `timeout_ms` is measured from request **arrival**, so time queued at the
+/// admission gate counts against the deadline — an overloaded server
+/// answers "deadline exceeded" rather than holding the request past the
+/// point the client stopped caring.
+///
 /// The response's `verdict` object is a pure function of (dataset,
 /// parameters) for completed runs — byte-identical across repeats, warm or
 /// cold, serial or concurrent — which the differential oracle relies on.
 /// Execution-dependent fields (`warm`, `search` stats) live outside it.
-fn anonymize_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -> OpResult {
+fn anonymize_op(
+    state: &ServerState,
+    request: &JsonValue,
+    token: &CancelToken,
+    arrival: Instant,
+) -> OpResult {
     let dataset = lookup_dataset(state, request)?;
     let k = param_u32(request, "k", 2)?;
     let p = param_u32(request, "p", 1)?;
@@ -539,7 +968,7 @@ fn anonymize_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -
         let ms = value
             .as_u64()
             .map_err(|e| bad(format!("`timeout_ms`: {e}")))?;
-        budget = budget.with_timeout(Duration::from_millis(ms));
+        budget = budget.with_deadline(arrival + Duration::from_millis(ms));
     }
     if let Some(value) = request.get("max_nodes") {
         let n = value
@@ -550,7 +979,7 @@ fn anonymize_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -
     let (store, warm) = match no_cache {
         true => (None, false),
         false => {
-            let (store, warm) = dataset.store(p, k, ts);
+            let (store, warm) = state.registry.store_for(&dataset, p, k, ts);
             (Some(store), warm)
         }
     };
@@ -629,8 +1058,9 @@ fn query_op(state: &ServerState, request: &JsonValue) -> OpResult {
 }
 
 /// `sleep {ms}`: a diagnostic op that occupies an admission slot for `ms`
-/// milliseconds, polling its cancel token. Lets tests exercise queueing and
-/// disconnect-cancellation deterministically without a large dataset.
+/// milliseconds, polling its cancel token. Lets tests exercise queueing,
+/// shedding, and disconnect-cancellation deterministically without a large
+/// dataset.
 fn sleep_op(request: &JsonValue, token: &CancelToken) -> OpResult {
     let ms = param_u32(request, "ms", 0)? as u64;
     let step = Duration::from_millis(10);

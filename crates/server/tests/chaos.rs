@@ -1,0 +1,400 @@
+//! Chaos differential harness: seeded fault plans against a live server.
+//!
+//! The oracle is the verdict-equivalence contract from DESIGN §14: the
+//! `verdict` object of an `anonymize` response is a pure function of
+//! (dataset, p, k, ts). Here that contract is asserted *under faults* —
+//! dropped responses, torn frames, injected worker panics, pre-dispatch
+//! connection kills, delays, and probabilistic frame loss. Degradation must
+//! be fail-closed: a request either returns the byte-identical verdict or a
+//! typed error; never a silently different answer, never a hung connection.
+//!
+//! Every test drives the real server over real loopback TCP with the
+//! retrying client (idempotent request ids), and finishes by asserting the
+//! gate drained: `health` must report zero executing and zero queued work.
+
+use psens_datasets::fixtures::adult_fixture;
+use psens_microdata::JsonValue;
+use psens_server::client::{register_params, Client, RetryPolicy, RetryStats};
+use psens_server::{start, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Generous bound on any single client read/write: a fault that hangs a
+/// connection turns into a visible transport error, not a stuck test.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn retry_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 6,
+        base_delay_ms: 5,
+        max_delay_ms: 100,
+        seed,
+    }
+}
+
+fn chaos_server() -> (ServerHandle, Client) {
+    let handle = start(ServerConfig {
+        max_concurrent: 2,
+        enable_inject: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    let fixture = adult_fixture(21, 80);
+    client
+        .call_ok(
+            "register",
+            register_params("adult", &fixture.csv, &fixture.spec),
+        )
+        .unwrap();
+    (handle, client)
+}
+
+fn anonymize_params() -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("dataset", JsonValue::Str("adult".into()));
+    params.set("p", JsonValue::Int(2));
+    params.set("k", JsonValue::Int(3));
+    params.set("ts", JsonValue::Int(10));
+    params
+}
+
+fn sleep_params(ms: i64) -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("ms", JsonValue::Int(ms));
+    params
+}
+
+fn inject(client: &mut Client, plan_text: &str) {
+    let plan = JsonValue::parse(plan_text).expect("test plan must be valid JSON");
+    let mut params = JsonValue::object();
+    params.set("plan", plan);
+    let result = client.call_ok("inject", params).unwrap();
+    assert!(result.require("installed").unwrap().as_bool().unwrap());
+}
+
+fn clear_faults(client: &mut Client) {
+    let mut params = JsonValue::object();
+    params.set("clear", JsonValue::Bool(true));
+    client.call_ok("inject", params).unwrap();
+}
+
+fn assert_gate_drained(client: &mut Client, context: &str) {
+    let health = client.call_ok("health", JsonValue::object()).unwrap();
+    assert_eq!(
+        health.require("executing").unwrap().as_i64().unwrap(),
+        0,
+        "{context}: requests still executing after the storm"
+    );
+    assert_eq!(
+        health.require("queued").unwrap().as_i64().unwrap(),
+        0,
+        "{context}: requests still queued after the storm"
+    );
+}
+
+/// The tentpole assertion: for EVERY seeded fault plan, concurrent retrying
+/// clients either obtain the baseline verdict byte-for-byte or a typed
+/// error — and the server drains back to idle.
+#[test]
+fn differential_oracle_holds_under_every_fault_plan() {
+    let (handle, mut control) = chaos_server();
+    let baseline = control
+        .call_ok("anonymize", anonymize_params())
+        .unwrap()
+        .require("verdict")
+        .unwrap()
+        .to_json();
+
+    // (name, plan, max tolerated request failures across 3 clients × 4 reqs)
+    let plans: &[(&str, &str, u64)] = &[
+        (
+            "exec-panic",
+            r#"{"seed":3,"rules":[{"site":"exec","op":"anonymize","action":"panic","first":2}]}"#,
+            // A contained panic answers `internal`; not transport-retried.
+            2,
+        ),
+        (
+            "exec-slow-dataset",
+            r#"{"seed":3,"rules":[{"site":"exec","op":"anonymize","action":"delay_ms","ms":40,"every":2}]}"#,
+            0,
+        ),
+        (
+            "write-drop",
+            r#"{"seed":5,"rules":[{"site":"write_response","op":"anonymize","action":"drop","first":2}]}"#,
+            0,
+        ),
+        (
+            "write-truncate",
+            r#"{"seed":5,"rules":[{"site":"write_response","op":"anonymize","action":"truncate","first":2}]}"#,
+            0,
+        ),
+        (
+            "write-delay",
+            r#"{"seed":5,"rules":[{"site":"write_response","op":"anonymize","action":"delay_ms","ms":30,"every":3}]}"#,
+            0,
+        ),
+        (
+            "predispatch-drop",
+            r#"{"seed":7,"rules":[{"site":"pre_dispatch","op":"anonymize","action":"drop","first":2}]}"#,
+            0,
+        ),
+        (
+            "predispatch-delay",
+            r#"{"seed":7,"rules":[{"site":"pre_dispatch","op":"anonymize","action":"delay_ms","ms":20,"every":3}]}"#,
+            0,
+        ),
+        (
+            "probabilistic-drop",
+            r#"{"seed":11,"rules":[{"site":"write_response","op":"anonymize","action":"drop","prob_pct":30}]}"#,
+            // P(7 consecutive dropped attempts) ≈ 0.02% per request; one
+            // tolerated so a cosmically unlucky seed change stays honest.
+            1,
+        ),
+    ];
+
+    for (name, plan, max_failures) in plans {
+        inject(&mut control, plan);
+        let addr = handle.addr();
+        let (verdicts, failures) = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..3)
+                .map(|c| {
+                    let baseline = &baseline;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        client.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+                        let policy = retry_policy(0x5eed + c as u64);
+                        let mut stats = RetryStats::default();
+                        let mut verdicts = 0u64;
+                        let mut failures = 0u64;
+                        for _ in 0..4 {
+                            match client.call_retry(
+                                "anonymize",
+                                anonymize_params(),
+                                &policy,
+                                &mut stats,
+                            ) {
+                                Ok(result) => {
+                                    let verdict = result.require("verdict").unwrap().to_json();
+                                    assert_eq!(
+                                        &verdict, baseline,
+                                        "{name}: verdict diverged under faults"
+                                    );
+                                    verdicts += 1;
+                                }
+                                Err(e) => {
+                                    // Failures must be typed, never silent.
+                                    assert!(
+                                        e.contains("internal")
+                                            || e.contains("transport")
+                                            || e.contains("busy"),
+                                        "{name}: unexpected failure class: {e}"
+                                    );
+                                    failures += 1;
+                                }
+                            }
+                        }
+                        (verdicts, failures)
+                    })
+                })
+                .collect();
+            let mut verdicts = 0u64;
+            let mut failures = 0u64;
+            for worker in workers {
+                let (v, f) = worker.join().expect("chaos client panicked");
+                verdicts += v;
+                failures += f;
+            }
+            (verdicts, failures)
+        });
+        assert!(
+            failures <= *max_failures,
+            "{name}: {failures} failed requests (allowed {max_failures})"
+        );
+        assert!(verdicts > 0, "{name}: no request produced a verdict");
+        clear_faults(&mut control);
+        assert_gate_drained(&mut control, name);
+    }
+
+    // The control connection itself survived every storm.
+    let after = control
+        .call_ok("anonymize", anonymize_params())
+        .unwrap()
+        .require("verdict")
+        .unwrap()
+        .to_json();
+    assert_eq!(after, baseline);
+}
+
+/// Overload protection: with one slot and a zero-depth queue, surplus
+/// clients are shed with `busy` + `retry_after_ms` and drain via retries —
+/// nobody errors out, nobody hangs, and the shed is counted honestly.
+#[test]
+fn overload_sheds_busy_and_retries_drain() {
+    let handle = start(ServerConfig {
+        max_concurrent: 1,
+        queue_depth: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = handle.addr();
+    let stats = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+                    let policy = RetryPolicy {
+                        max_retries: 50,
+                        base_delay_ms: 10,
+                        max_delay_ms: 200,
+                        seed: c as u64 + 1,
+                    };
+                    let mut stats = RetryStats::default();
+                    let result = client
+                        .call_retry("sleep", sleep_params(150), &policy, &mut stats)
+                        .expect("retries must eventually drain the backlog");
+                    assert_eq!(result.require("slept_ms").unwrap().as_u64().unwrap(), 150);
+                    stats
+                })
+            })
+            .collect();
+        let mut total = RetryStats::default();
+        for worker in workers {
+            total.absorb(&worker.join().expect("load client panicked"));
+        }
+        total
+    });
+    assert!(
+        stats.busy_retries > 0,
+        "four clients against one slot with no queue must observe `busy`"
+    );
+    assert_eq!(stats.give_ups, 0);
+
+    let mut control = Client::connect(addr).unwrap();
+    control.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    let health = control.call_ok("health", JsonValue::object()).unwrap();
+    assert!(
+        health.require("shed_total").unwrap().as_u64().unwrap() > 0,
+        "server must count the sheds it issued"
+    );
+    assert_gate_drained(&mut control, "overload");
+}
+
+/// A client that sends half a length prefix and goes silent (slow-loris) is
+/// reaped after the stall timeout; the socket closes and the reap is
+/// counted. An idle connection with *zero* bytes sent is NOT reaped here
+/// (idle reaping is disabled by default), so keep-alive stays legal.
+#[test]
+fn stalled_prefix_is_reaped_and_counted() {
+    let handle = start(ServerConfig {
+        stall_timeout_ms: 150,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+    raw.write_all(&[0, 0]).unwrap(); // half a length prefix, then silence
+    let mut buf = [0u8; 8];
+    match raw.read(&mut buf) {
+        Ok(0) => {} // server closed: reaped
+        Ok(n) => panic!("server answered {n} bytes to half a prefix"),
+        Err(e) => panic!("expected clean close, got {e}"),
+    }
+    let mut control = Client::connect(handle.addr()).unwrap();
+    control.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    let health = control.call_ok("health", JsonValue::object()).unwrap();
+    assert!(
+        health.require("stall_reaped").unwrap().as_u64().unwrap() >= 1,
+        "the reap must be visible in health"
+    );
+}
+
+/// Idle reaping, when enabled, closes connections that never send a byte.
+#[test]
+fn idle_connection_is_reaped_when_enabled() {
+    let handle = start(ServerConfig {
+        idle_timeout_ms: 150,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+    let mut buf = [0u8; 8];
+    match raw.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("server volunteered {n} bytes to an idle client"),
+        Err(e) => panic!("expected clean close, got {e}"),
+    }
+    let mut control = Client::connect(handle.addr()).unwrap();
+    control.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    let health = control.call_ok("health", JsonValue::object()).unwrap();
+    assert!(health.require("idle_reaped").unwrap().as_u64().unwrap() >= 1);
+}
+
+/// Satellite (b) end-to-end: an oversized frame is refused with a typed
+/// `frame_too_large` error — the payload is drained, never buffered — and
+/// the SAME connection keeps working afterwards.
+#[test]
+fn oversized_frame_is_refused_and_connection_survives() {
+    let handle = start(ServerConfig {
+        max_frame_bytes: 256,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    let mut params = JsonValue::object();
+    params.set("pad", JsonValue::Str("x".repeat(4096)));
+    let err = client.call_ok("sleep", params).unwrap_err();
+    assert!(err.contains("frame_too_large"), "{err}");
+    // Resynced: the next well-formed request on this connection succeeds.
+    let result = client.call_ok("sleep", sleep_params(1)).unwrap();
+    assert_eq!(result.require("slept_ms").unwrap().as_u64().unwrap(), 1);
+    let health = client.call_ok("health", JsonValue::object()).unwrap();
+    assert!(
+        health
+            .require("frames_too_large")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+}
+
+/// `inject` is an attack surface if left open: a server started without
+/// `--enable-inject` must refuse plans outright.
+#[test]
+fn inject_is_refused_unless_enabled() {
+    let handle = start(ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    let mut params = JsonValue::object();
+    params.set(
+        "plan",
+        JsonValue::parse(r#"{"rules":[{"site":"exec","action":"panic"}]}"#).unwrap(),
+    );
+    let err = client.call_ok("inject", params).unwrap_err();
+    assert!(err.contains("disabled"), "{err}");
+}
+
+/// A malformed fault plan must be rejected without installing anything.
+#[test]
+fn malformed_plan_is_rejected_wholesale() {
+    let (_handle, mut client) = chaos_server();
+    let mut params = JsonValue::object();
+    params.set(
+        "plan",
+        JsonValue::parse(r#"{"rules":[{"site":"nowhere","action":"panic"}]}"#).unwrap(),
+    );
+    let err = client.call_ok("inject", params).unwrap_err();
+    assert!(err.contains("bad_request"), "{err}");
+    let health = client.call_ok("health", JsonValue::object()).unwrap();
+    assert_eq!(
+        health.require("faults").unwrap().to_json(),
+        "null",
+        "a refused plan must not be installed"
+    );
+}

@@ -1,0 +1,132 @@
+//! Protocol fuzz (satellite c): arbitrary bytes fired at a live server —
+//! whole, trickled one byte at a time, or framed around garbage payloads —
+//! must never panic the server or hang the client. Every input ends in a
+//! protocol error response or a clean close, and the server stays healthy
+//! for the next well-formed request.
+//!
+//! One shared server serves the whole fuzz run (boot once, hammer many);
+//! `max_frame_bytes` is kept small so random length prefixes routinely
+//! exercise the oversized-drain path too.
+
+use proptest::prelude::*;
+use psens_microdata::JsonValue;
+use psens_server::client::Client;
+use psens_server::{start, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+
+fn fuzz_addr() -> SocketAddr {
+    *ADDR.get_or_init(|| {
+        let handle = start(ServerConfig {
+            max_frame_bytes: 64 * 1024,
+            // A torn random frame must not pin a connection thread for long.
+            stall_timeout_ms: 2_000,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback");
+        let addr = handle.addr();
+        // Deliberately leaked: the server must outlive every proptest case
+        // in this binary; the OS reclaims it at process exit.
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+/// After any fuzz input, the server must still answer a clean request.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("server must still accept");
+    client.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    let health = client
+        .call_ok("health", JsonValue::object())
+        .expect("server must still answer health");
+    health.require("requests_served").unwrap().as_u64().unwrap();
+}
+
+/// Reads until the server closes; panics on a hang (read timeout).
+fn drain_to_close(stream: &mut TcpStream) {
+    let mut sink = [0u8; 4096];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => continue,
+            Err(e) => panic!("connection neither answered nor closed: {e}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    /// Raw garbage, written in arbitrary small chunks (the TrickleReader
+    /// shape: worst case one byte per write), then half-closed.
+    #[test]
+    fn arbitrary_bytes_get_an_answer_or_a_clean_close(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        chunk in 1usize..16,
+    ) {
+        let addr = fuzz_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        for piece in payload.chunks(chunk) {
+            // The server may already have rejected and closed mid-write;
+            // that is a legal outcome, not a fuzz failure.
+            if stream.write_all(piece).is_err() {
+                break;
+            }
+        }
+        // Half-close: the server sees EOF instead of a stalled frame, so
+        // every code path must resolve promptly.
+        let _ = stream.shutdown(Shutdown::Write);
+        drain_to_close(&mut stream);
+        assert_still_serving(addr);
+    }
+
+    /// Correctly framed garbage payloads: the framing layer accepts them,
+    /// the JSON/dispatch layers must answer a typed protocol error (or
+    /// close after a response) without ever killing the server.
+    #[test]
+    fn framed_garbage_payloads_get_protocol_errors(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let addr = fuzz_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        stream
+            .write_all(&(payload.len() as u32).to_be_bytes())
+            .unwrap();
+        stream.write_all(&payload).unwrap();
+        let _ = stream.shutdown(Shutdown::Write);
+        drain_to_close(&mut stream);
+        assert_still_serving(addr);
+    }
+
+    /// Valid JSON value, wrong shape (not a request object): must be
+    /// answered with `bad_request` on a connection that then closes
+    /// cleanly at EOF.
+    #[test]
+    fn well_formed_json_of_the_wrong_shape_is_answered(
+        n in -1_000_000_000i64..1_000_000_000,
+    ) {
+        let addr = fuzz_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        let body = format!("[{n}, {n}]");
+        stream.write_all(&(body.len() as u32).to_be_bytes()).unwrap();
+        stream.write_all(body.as_bytes()).unwrap();
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        prop_assert!(
+            text.contains("bad_request") || text.contains("missing"),
+            "expected a typed protocol error, got: {text:?}"
+        );
+        assert_still_serving(addr);
+    }
+}

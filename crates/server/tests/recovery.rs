@@ -1,0 +1,259 @@
+//! Crash-recovery end-to-end: real servers restarted over a shared
+//! `--state-dir`, with the journal and snapshot attacked between boots.
+//!
+//! The contract under test (DESIGN §15): the journal is written ahead of
+//! every in-memory effect, so after ANY crash point a restart recovers a
+//! prefix of the registrations and pool keys; the snapshot is an
+//! all-or-nothing optimization whose loss costs warm-up, never
+//! correctness. Every recovered path must yield verdicts byte-identical
+//! to the pre-crash (and fresh-boot) ones. Byte-boundary truncation of
+//! journal and snapshot is exhaustively unit-tested in `state.rs`; these
+//! tests drive the same machinery through full server boots.
+
+use psens_datasets::fixtures::adult_fixture;
+use psens_microdata::JsonValue;
+use psens_server::client::{register_params, Client};
+use psens_server::{start, ServerConfig, ServerHandle};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Fresh scratch dir per test, safe under parallel test execution.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psens-recovery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stateful_server(dir: &Path) -> ServerHandle {
+    start(ServerConfig {
+        state_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn client_for(handle: &ServerHandle) -> Client {
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    client
+}
+
+fn anonymize_params() -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("dataset", JsonValue::Str("adult".into()));
+    params.set("p", JsonValue::Int(2));
+    params.set("k", JsonValue::Int(3));
+    params.set("ts", JsonValue::Int(10));
+    params
+}
+
+/// Boots, registers, anonymizes once (journaling the pool key), and shuts
+/// down cleanly (writing the snapshot). Returns the pre-crash verdict.
+fn seed_state(dir: &Path) -> String {
+    let mut handle = stateful_server(dir);
+    let mut client = client_for(&handle);
+    let fixture = adult_fixture(21, 80);
+    client
+        .call_ok(
+            "register",
+            register_params("adult", &fixture.csv, &fixture.spec),
+        )
+        .unwrap();
+    let result = client.call_ok("anonymize", anonymize_params()).unwrap();
+    assert!(!result.require("warm").unwrap().as_bool().unwrap());
+    let verdict = result.require("verdict").unwrap().to_json();
+    drop(client);
+    let snapshot = handle.shutdown().expect("clean shutdown writes a snapshot");
+    assert!(snapshot.entries > 0, "snapshot must hold exact verdicts");
+    verdict
+}
+
+#[test]
+fn clean_restart_replays_journal_and_snapshot_verbatim() {
+    let dir = scratch("clean");
+    let baseline = seed_state(&dir);
+
+    let handle = stateful_server(&dir);
+    let recovery = handle.recovery();
+    assert_eq!(recovery.datasets, 1, "journal replays the registration");
+    assert_eq!(recovery.pools, 1, "journal replays the pool key");
+    assert!(recovery.verdicts > 0, "snapshot replays exact verdicts");
+    assert!(
+        recovery.warnings.is_empty(),
+        "clean state must recover without warnings: {:?}",
+        recovery.warnings
+    );
+
+    let mut client = client_for(&handle);
+    let result = client.call_ok("anonymize", anonymize_params()).unwrap();
+    assert!(
+        result.require("warm").unwrap().as_bool().unwrap(),
+        "the recovered pool must serve the first post-boot request warm"
+    );
+    assert_eq!(result.require("verdict").unwrap().to_json(), baseline);
+    // The recovered store actually replays: some verdicts come from cache.
+    let search = result.require("search").unwrap();
+    let replays = search.require("cache_hits").unwrap().as_u64().unwrap()
+        + search.require("cache_inferred").unwrap().as_u64().unwrap();
+    assert!(replays > 0, "warm boot must reuse snapshot verdicts");
+}
+
+/// kill -9 before the snapshot: the journal alone recovers registrations
+/// and pool keys; pools rebuild cold, verdicts unchanged.
+#[test]
+fn crash_without_snapshot_rebuilds_cold_with_identical_verdicts() {
+    let dir = scratch("no-snapshot");
+    let baseline = seed_state(&dir);
+    // Simulate dying before the shutdown snapshot existed.
+    std::fs::remove_file(dir.join("pools.snap")).unwrap();
+
+    let handle = stateful_server(&dir);
+    let recovery = handle.recovery();
+    assert_eq!(recovery.datasets, 1);
+    assert_eq!(recovery.pools, 1);
+    assert_eq!(recovery.verdicts, 0, "no snapshot, no warm verdicts");
+
+    let mut client = client_for(&handle);
+    let result = client.call_ok("anonymize", anonymize_params()).unwrap();
+    assert_eq!(
+        result.require("verdict").unwrap().to_json(),
+        baseline,
+        "a cold rebuild must not change the verdict"
+    );
+}
+
+/// A torn journal tail (crash mid-append) costs at most the torn record:
+/// the prefix replays, with a warning, and the server boots fine.
+#[test]
+fn torn_journal_tail_recovers_prefix_with_warning() {
+    let dir = scratch("torn");
+    let baseline = seed_state(&dir);
+    let journal = dir.join("registry.journal");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    // Append half a record with no trailing newline — a classic torn write.
+    bytes.extend_from_slice(br#"{"kind":"pool","dataset":"adu"#);
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let handle = stateful_server(&dir);
+    let recovery = handle.recovery();
+    assert_eq!(recovery.datasets, 1, "the intact prefix must replay");
+    assert_eq!(recovery.pools, 1);
+    assert!(
+        recovery.warnings.iter().any(|w| w.contains("torn")),
+        "the torn tail must be reported: {:?}",
+        recovery.warnings
+    );
+
+    let mut client = client_for(&handle);
+    let result = client.call_ok("anonymize", anonymize_params()).unwrap();
+    assert_eq!(result.require("verdict").unwrap().to_json(), baseline);
+}
+
+/// A tampered snapshot is discarded whole (its end-marker hash fails);
+/// recovery falls back to journal-only, verdicts unchanged.
+#[test]
+fn tampered_snapshot_is_discarded_whole() {
+    let dir = scratch("tampered-snap");
+    let baseline = seed_state(&dir);
+    let snap = dir.join("pools.snap");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let handle = stateful_server(&dir);
+    let recovery = handle.recovery();
+    assert_eq!(recovery.datasets, 1);
+    assert_eq!(recovery.pools, 1);
+    assert_eq!(
+        recovery.verdicts, 0,
+        "a snapshot failing its hash must contribute nothing"
+    );
+
+    let mut client = client_for(&handle);
+    let result = client.call_ok("anonymize", anonymize_params()).unwrap();
+    assert_eq!(result.require("verdict").unwrap().to_json(), baseline);
+}
+
+/// A stored CSV whose bytes no longer match the journaled hash (disk
+/// corruption) is refused: the dataset is skipped with a warning rather
+/// than silently serving corrupt data; re-registering works.
+#[test]
+fn stale_csv_hash_skips_dataset_fail_closed() {
+    let dir = scratch("stale-hash");
+    seed_state(&dir);
+    let datasets = dir.join("datasets");
+    let stored: Vec<PathBuf> = std::fs::read_dir(&datasets)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(stored.len(), 1, "one content-addressed CSV expected");
+    let mut csv = std::fs::read(&stored[0]).unwrap();
+    csv[0] ^= 0x01;
+    std::fs::write(&stored[0], &csv).unwrap();
+
+    let handle = stateful_server(&dir);
+    let recovery = handle.recovery();
+    assert_eq!(
+        recovery.datasets, 0,
+        "a hash-mismatched CSV must not be served"
+    );
+    assert_eq!(recovery.pools, 0, "pools of a skipped dataset are dropped");
+    assert!(
+        recovery.warnings.iter().any(|w| w.contains("hash")),
+        "the mismatch must be reported: {:?}",
+        recovery.warnings
+    );
+
+    // The name is free again: a fresh register works and serves.
+    let mut client = client_for(&handle);
+    let fixture = adult_fixture(21, 80);
+    client
+        .call_ok(
+            "register",
+            register_params("adult", &fixture.csv, &fixture.spec),
+        )
+        .unwrap();
+    client.call_ok("anonymize", anonymize_params()).unwrap();
+}
+
+/// Registrations performed AFTER a recovery are journaled too: state
+/// accretes across restarts instead of resetting to the last seed.
+#[test]
+fn journal_accretes_across_restarts() {
+    let dir = scratch("accrete");
+    seed_state(&dir);
+
+    {
+        let handle = stateful_server(&dir);
+        let mut client = client_for(&handle);
+        let fixture = adult_fixture(77, 60);
+        client
+            .call_ok(
+                "register",
+                register_params("adult-2", &fixture.csv, &fixture.spec),
+            )
+            .unwrap();
+    } // drop = clean shutdown
+
+    let handle = stateful_server(&dir);
+    let recovery = handle.recovery();
+    assert_eq!(
+        recovery.datasets, 2,
+        "both generations of registrations must survive"
+    );
+    let mut client = client_for(&handle);
+    let stats = client.call_ok("stats", JsonValue::object()).unwrap();
+    let names: Vec<String> = stats
+        .require("datasets")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|d| d.require("name").unwrap().as_str().unwrap().to_owned())
+        .collect();
+    assert!(names.contains(&"adult".to_owned()), "{names:?}");
+    assert!(names.contains(&"adult-2".to_owned()), "{names:?}");
+}

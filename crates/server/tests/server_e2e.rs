@@ -15,6 +15,7 @@ fn server(max_concurrent: usize) -> ServerHandle {
     start(ServerConfig {
         listen: "127.0.0.1:0".to_owned(),
         max_concurrent,
+        ..ServerConfig::default()
     })
     .expect("bind loopback")
 }

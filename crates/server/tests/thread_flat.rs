@@ -1,0 +1,50 @@
+//! Satellite (a) regression test: request handling must not spawn threads.
+//!
+//! The seed implementation spawned a disconnect-watcher thread per
+//! *request*; the fix is one watcher per *connection*. The observable
+//! contract: across 1000 sequential requests on one connection, the
+//! process thread count stays flat. This test lives in its own integration
+//! binary so no sibling test's servers perturb the count.
+
+use psens_microdata::JsonValue;
+use psens_server::client::Client;
+use psens_server::{start, ServerConfig};
+use std::time::Duration;
+
+fn threads_now() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+#[test]
+fn thread_count_stays_flat_across_1k_sequential_requests() {
+    let Some(_) = threads_now() else {
+        // No procfs (non-Linux): the assertion has nothing to read.
+        return;
+    };
+    let handle = start(ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut params = JsonValue::object();
+    params.set("ms", JsonValue::Int(0));
+
+    // Warm-up: connection thread + its watcher are up and steady.
+    for _ in 0..10 {
+        client.call_ok("sleep", params.clone()).unwrap();
+    }
+    let before = threads_now().unwrap();
+    for _ in 0..1000 {
+        client.call_ok("sleep", params.clone()).unwrap();
+    }
+    let after = threads_now().unwrap();
+    assert!(
+        after <= before,
+        "thread count grew across sequential requests: {before} -> {after} \
+         (a per-request thread is being spawned)"
+    );
+}
