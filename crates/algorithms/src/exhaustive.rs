@@ -9,7 +9,7 @@ use crate::stats::SearchStats;
 use crate::tuning::Tuning;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
+use psens_core::{ModelSpec, NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
 use std::ops::ControlFlow;
@@ -94,17 +94,46 @@ pub fn exhaustive_scan_tuned<O: SearchObserver>(
     tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
+    exhaustive_scan_model(
+        initial,
+        qi,
+        ModelSpec::PSensitiveK { p },
+        k,
+        ts,
+        budget,
+        tuning,
+        observer,
+    )
+}
+
+/// [`exhaustive_scan_tuned`] generalized over the pluggable privacy models:
+/// annotates and classifies every lattice node under `spec` instead of
+/// p-sensitivity. `ModelSpec::PSensitiveK` reproduces the p-sensitive scan
+/// bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn exhaustive_scan_model<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    spec: ModelSpec,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
     let ctx = MaskingContext {
         initial,
         qi,
         k,
-        p,
+        p: spec.conditions_p(),
         ts,
     };
     let stats_im = ctx.initial_stats();
     // Code-mapped kernel: hoist per-(attribute, level) code maps out of the
     // scan, then check each node on u32 vectors — no table materialization.
-    let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
+    let ectx = tuning
+        .configure(EvalContext::build_observed(&ctx, observer)?)
+        .with_model(spec);
     let mut eval = ectx.evaluator();
     let lattice = qi.lattice();
     let state = budget.start();

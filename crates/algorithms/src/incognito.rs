@@ -23,7 +23,7 @@
 use crate::tuning::Tuning;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
+use psens_core::{ModelSpec, NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_hierarchy::{Node, QiCodeMaps, QiSpace};
 use psens_microdata::hash::{FxHashMap, FxHashSet};
 use psens_microdata::{CodeCombiner, Table};
@@ -130,6 +130,34 @@ pub fn incognito_minimal_tuned<O: SearchObserver>(
     tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<IncognitoOutcome, psens_hierarchy::Error> {
+    incognito_minimal_model(
+        initial,
+        qi,
+        ModelSpec::PSensitiveK { p },
+        k,
+        ts,
+        budget,
+        tuning,
+        observer,
+    )
+}
+
+/// [`incognito_minimal_tuned`] generalized over the pluggable privacy
+/// models. Subset pruning stays pure k-anonymity (sound for any model that
+/// requires k-anonymity); `spec` replaces the p-sensitivity check at the
+/// full-QI confirmation stage. `ModelSpec::PSensitiveK` reproduces the
+/// p-sensitive search bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn incognito_minimal_model<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    spec: ModelSpec,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<IncognitoOutcome, psens_hierarchy::Error> {
     let m = qi.len();
     assert!(m <= 16, "QI sets wider than 16 attributes are unsupported");
     let mut stats = IncognitoStats {
@@ -206,17 +234,20 @@ pub fn incognito_minimal_tuned<O: SearchObserver>(
         passing.insert(mask, passed);
     }
 
-    // Full-QI survivors: confirm p-sensitivity on the materialized masking.
+    // Full-QI survivors: confirm the model's group property on the
+    // materialized masking.
     let full_mask = (1u16 << m) - 1;
     let ctx = MaskingContext {
         initial,
         qi,
         k,
-        p,
+        p: spec.conditions_p(),
         ts,
     };
     let im_stats = ctx.initial_stats();
-    let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
+    let ectx = tuning
+        .configure(EvalContext::build_observed(&ctx, observer)?)
+        .with_model(spec);
     let mut eval = ectx.evaluator();
     let mut satisfying: Vec<Node> = Vec::new();
     // `full_mask` is the last subset processed; it is absent exactly when

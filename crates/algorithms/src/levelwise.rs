@@ -15,7 +15,7 @@ use psens_core::budget::BudgetState;
 use psens_core::conditions::ConfidentialStats;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
+use psens_core::{ModelSpec, NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::hash::FxHashSet;
 use psens_microdata::Table;
@@ -107,6 +107,34 @@ pub fn levelwise_minimal_tuned<O: SearchObserver>(
     tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<LevelWiseOutcome, psens_hierarchy::Error> {
+    levelwise_minimal_model(
+        initial,
+        qi,
+        ModelSpec::PSensitiveK { p },
+        k,
+        ts,
+        budget,
+        tuning,
+        observer,
+    )
+}
+
+/// [`levelwise_minimal_tuned`] generalized over the pluggable privacy
+/// models. Rollup relies on monotonicity, which every built-in
+/// [`ModelSpec`] declares; `ModelSpec::PSensitiveK` reproduces the
+/// p-sensitive search bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn levelwise_minimal_model<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    spec: ModelSpec,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<LevelWiseOutcome, psens_hierarchy::Error> {
+    let p = spec.conditions_p();
     let ctx = MaskingContext {
         initial,
         qi,
@@ -135,7 +163,9 @@ pub fn levelwise_minimal_tuned<O: SearchObserver>(
         });
     }
 
-    let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
+    let ectx = tuning
+        .configure(EvalContext::build_observed(&ctx, observer)?)
+        .with_model(spec);
     let mut eval = ectx.evaluator();
     let state = budget.start();
     let mut satisfying: FxHashSet<Node> = FxHashSet::default();

@@ -18,6 +18,9 @@
 //! - [`mondrian`]: multidimensional local-recoding baseline extended with
 //!   the p-sensitivity constraint.
 //! - [`parallel`]: scoped-thread parallel exhaustive scan.
+//! - [`pram_backend`]: greedy PRAM repair — find the k-minimal node, then
+//!   re-randomise confidential cells inside failing groups instead of
+//!   climbing the lattice further (diversity-style models only).
 //! - [`greedy_cluster`]: the authors' follow-up GreedyPKClustering — record
 //!   clustering under the joint size/sensitivity constraint with local
 //!   recoding.
@@ -48,6 +51,7 @@ pub mod incognito;
 pub mod levelwise;
 pub mod mondrian;
 pub mod parallel;
+pub mod pram_backend;
 mod recode;
 pub mod report;
 pub mod samarati;
@@ -55,33 +59,35 @@ pub mod stats;
 pub mod tuning;
 
 pub use exhaustive::{
-    exhaustive_scan, exhaustive_scan_budgeted, exhaustive_scan_observed, exhaustive_scan_tuned,
-    ExhaustiveOutcome,
+    exhaustive_scan, exhaustive_scan_budgeted, exhaustive_scan_model, exhaustive_scan_observed,
+    exhaustive_scan_tuned, ExhaustiveOutcome,
 };
 pub use greedy_cluster::{
     greedy_pk_cluster, greedy_pk_cluster_budgeted, greedy_pk_cluster_observed, ClusterError,
     GreedyClusterConfig, GreedyClusterOutcome,
 };
 pub use incognito::{
-    incognito_minimal, incognito_minimal_budgeted, incognito_minimal_observed,
-    incognito_minimal_tuned, IncognitoOutcome, IncognitoStats,
+    incognito_minimal, incognito_minimal_budgeted, incognito_minimal_model,
+    incognito_minimal_observed, incognito_minimal_tuned, IncognitoOutcome, IncognitoStats,
 };
 pub use levelwise::{
-    levelwise_minimal, levelwise_minimal_budgeted, levelwise_minimal_observed,
-    levelwise_minimal_tuned, LevelWiseOutcome,
+    levelwise_minimal, levelwise_minimal_budgeted, levelwise_minimal_model,
+    levelwise_minimal_observed, levelwise_minimal_tuned, LevelWiseOutcome,
 };
 pub use mondrian::{
     mondrian_anonymize, mondrian_anonymize_budgeted, mondrian_anonymize_observed, MondrianConfig,
     MondrianOutcome,
 };
 pub use parallel::{
-    parallel_exhaustive_scan, parallel_exhaustive_scan_budgeted, parallel_exhaustive_scan_observed,
-    parallel_exhaustive_scan_tuned,
+    parallel_exhaustive_scan, parallel_exhaustive_scan_budgeted, parallel_exhaustive_scan_model,
+    parallel_exhaustive_scan_observed, parallel_exhaustive_scan_tuned,
 };
+pub use pram_backend::{pram_minimal_masking, PramBackendConfig, PramBackendError, PramOutcome};
 pub use report::{RunReport, TerminationReport};
 pub use samarati::{
     k_minimal_generalization, pk_minimal_generalization, pk_minimal_generalization_budgeted,
-    pk_minimal_generalization_observed, pk_minimal_generalization_tuned, Pruning, SearchOutcome,
+    pk_minimal_generalization_model, pk_minimal_generalization_observed,
+    pk_minimal_generalization_tuned, Pruning, SearchOutcome,
 };
 pub use stats::SearchStats;
 pub use tuning::Tuning;

@@ -20,7 +20,7 @@ use crate::stats::SearchStats;
 use crate::tuning::Tuning;
 use psens_core::evaluator::EvalContext;
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchBudget, SearchObserver};
+use psens_core::{ModelSpec, NoopObserver, SearchBudget, SearchObserver};
 use psens_hierarchy::{Node, QiSpace};
 use psens_microdata::Table;
 use std::ops::ControlFlow;
@@ -104,18 +104,46 @@ pub fn parallel_exhaustive_scan_tuned<O: SearchObserver>(
     tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
+    parallel_exhaustive_scan_model(
+        initial,
+        qi,
+        ModelSpec::PSensitiveK { p },
+        k,
+        ts,
+        budget,
+        tuning,
+        observer,
+    )
+}
+
+/// [`parallel_exhaustive_scan_tuned`] generalized over the pluggable privacy
+/// models; identical results to [`crate::exhaustive::exhaustive_scan_model`]
+/// for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_exhaustive_scan_model<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    spec: ModelSpec,
+    k: u32,
+    ts: usize,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<ExhaustiveOutcome, psens_hierarchy::Error> {
     let threads = tuning.effective_threads();
     let cache = tuning.cache;
     let ctx = MaskingContext {
         initial,
         qi,
         k,
-        p,
+        p: spec.conditions_p(),
         ts,
     };
     let stats_im = ctx.initial_stats();
     // One shared, immutable code-map cache; each worker owns its scratch.
-    let ectx = tuning.configure(EvalContext::build_observed(&ctx, observer)?);
+    let ectx = tuning
+        .configure(EvalContext::build_observed(&ctx, observer)?)
+        .with_model(spec);
     let lattice = qi.lattice();
     let nodes = lattice.all_nodes();
     // Work is partitioned by the *requested* worker count (0 = all cores),

@@ -14,7 +14,7 @@ use psens_core::budget::BudgetState;
 use psens_core::conditions::ConfidentialStats;
 use psens_core::evaluator::{EvalContext, NodeEvaluator};
 use psens_core::masking::MaskingContext;
-use psens_core::{NoopObserver, SearchBudget, SearchObserver, Termination};
+use psens_core::{ModelSpec, NoopObserver, SearchBudget, SearchObserver, Termination};
 use psens_hierarchy::{Lattice, Node, QiSpace};
 use psens_microdata::Table;
 use std::ops::ControlFlow;
@@ -80,7 +80,7 @@ pub fn k_minimal_generalization(
     search(
         initial,
         qi,
-        1,
+        ModelSpec::PSensitiveK { p: 1 },
         k,
         ts,
         Pruning::None,
@@ -104,7 +104,7 @@ pub fn pk_minimal_generalization(
     search(
         initial,
         qi,
-        p,
+        ModelSpec::PSensitiveK { p },
         k,
         ts,
         pruning,
@@ -129,7 +129,7 @@ pub fn pk_minimal_generalization_observed<O: SearchObserver>(
     search(
         initial,
         qi,
-        p,
+        ModelSpec::PSensitiveK { p },
         k,
         ts,
         pruning,
@@ -157,7 +157,7 @@ pub fn pk_minimal_generalization_budgeted<O: SearchObserver>(
     search(
         initial,
         qi,
-        p,
+        ModelSpec::PSensitiveK { p },
         k,
         ts,
         pruning,
@@ -190,14 +190,31 @@ pub fn pk_minimal_generalization_tuned<O: SearchObserver>(
     tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
-    search(initial, qi, p, k, ts, pruning, budget, tuning, observer)
+    search(
+        initial,
+        qi,
+        ModelSpec::PSensitiveK { p },
+        k,
+        ts,
+        pruning,
+        budget,
+        tuning,
+        observer,
+    )
 }
 
+/// [`pk_minimal_generalization_tuned`] generalized over the pluggable
+/// privacy models: finds a minimal generalization whose masked microdata is
+/// k-anonymous within `ts` suppressions **and** satisfies `spec` in every
+/// surviving QI-group. `ModelSpec::PSensitiveK` reproduces the p-sensitive
+/// search bit-for-bit; the other models swap the per-group verdict while
+/// keeping the paper's search skeleton (Condition 1 aborts through each
+/// model's [`ModelSpec::conditions_p`] implication).
 #[allow(clippy::too_many_arguments)]
-fn search<O: SearchObserver>(
+pub fn pk_minimal_generalization_model<O: SearchObserver>(
     initial: &Table,
     qi: &QiSpace,
-    p: u32,
+    spec: ModelSpec,
     k: u32,
     ts: usize,
     pruning: Pruning,
@@ -205,6 +222,25 @@ fn search<O: SearchObserver>(
     tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    search(initial, qi, spec, k, ts, pruning, budget, tuning, observer)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    spec: ModelSpec,
+    k: u32,
+    ts: usize,
+    pruning: Pruning,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    // Every model's group verdict implies p-sensitivity at `conditions_p`,
+    // which is what keeps Conditions 1-2 (and winner materialization) sound
+    // below.
+    let p = spec.conditions_p();
     let ctx = MaskingContext {
         initial,
         qi,
@@ -243,9 +279,11 @@ fn search<O: SearchObserver>(
     stats.lattice_nodes = lattice.node_count();
     // Candidate nodes run through the code-mapped kernel; a table is
     // materialized only for each probe's winning node.
-    let ectx = tuning.configure(psens_core::evaluator::EvalContext::build_observed(
-        &ctx, observer,
-    )?);
+    let ectx = tuning
+        .configure(psens_core::evaluator::EvalContext::build_observed(
+            &ctx, observer,
+        )?)
+        .with_model(spec);
     let mut eval = ectx.evaluator();
     let state = budget.start();
     let mut low = 0usize;

@@ -3,13 +3,15 @@
 use crate::args::Args;
 use crate::progress::CliObserver;
 use psens_algorithms::mondrian::{mondrian_anonymize_budgeted, MondrianConfig};
-use psens_algorithms::samarati::{pk_minimal_generalization_tuned, Pruning};
+use psens_algorithms::pram_backend::{pram_minimal_masking, PramBackendConfig};
+use psens_algorithms::samarati::{pk_minimal_generalization_model, Pruning};
 use psens_algorithms::{RunReport, SearchStats, TerminationReport, Tuning};
 use psens_core::conditions::{ConfidentialStats, MaxGroups};
 use psens_core::VerdictStore;
 use psens_core::{
-    check_p_sensitivity, check_p_sensitivity_chunked, max_k, max_k_chunked, max_p_of_masked,
-    max_p_of_masked_chunked, CheckStage, SearchBudget, SearchObserver, Termination,
+    check_p_sensitivity, check_p_sensitivity_chunked, check_table_model, max_k, max_k_chunked,
+    max_p_of_masked, max_p_of_masked_chunked, CheckStage, ModelSpec, SearchBudget, SearchObserver,
+    Termination,
 };
 use psens_datasets::Spec;
 use psens_datasets::{AdultGenerator, ScaleGenerator};
@@ -66,8 +68,11 @@ COMMANDS:
              streams to disk chunk by chunk: bounded memory at any --rows
   spec       Write a built-in spec as JSON
              --out SPEC.json [--profile adult|scale]
-  check      Check p-sensitive k-anonymity of a CSV
-             --spec SPEC.json --input FILE.csv [--k K] [--p P]
+  check      Check a privacy model on a CSV
+             --spec SPEC.json --input FILE.csv [--k K]
+             [--model psens-k|distinct-l|entropy-l|t-closeness]
+             [--p P] [--l L] [--t T]  (--p for psens-k, --l for the
+             l-diversity models, --t in [0,1] for t-closeness)
              [--chunk-rows N] [--threads N]
              [--report FILE.json] [--verbose]
              exits 2 when the property is violated
@@ -78,10 +83,14 @@ COMMANDS:
              exits 2 when Condition 1 makes the requested p unsatisfiable
   anonymize  Produce a masked release
              --spec SPEC.json --input FILE.csv --out FILE.csv
-             [--k K] [--p P] [--ts N] [--algorithm samarati|mondrian]
-             [--timeout SECS] [--max-nodes N]
+             [--k K] [--model NAME] [--p P] [--l L] [--t T] [--ts N]
+             [--algorithm samarati|mondrian|pram]
+             [--timeout SECS] [--max-nodes N] [--seed S]
              [--threads N] [--chunk-rows N] [--no-cache]
              [--report FILE.json] [--verbose]
+             `pram` fixes the QI at the k-minimal node and repairs
+             confidential cells by post-randomisation (--seed) instead of
+             generalizing further; mondrian supports psens-k only
              exits 2 when no masking satisfies the request; exits 3 when
              the search is interrupted (timeout, node budget, or Ctrl-C)
              after writing any best-so-far result
@@ -96,9 +105,11 @@ COMMANDS:
              --op register|check|analyze|anonymize|query|stats|health|
                   inject|shutdown
              register: --name NAME --input FILE.csv --spec SPEC.json
-             check:     --dataset NAME [--p P] [--k K]
+             check:     --dataset NAME [--model NAME] [--p P] [--l L]
+                        [--t-ppm N] [--k K]
              analyze:   --dataset NAME [--p P]
-             anonymize: --dataset NAME [--p P] [--k K] [--ts N]
+             anonymize: --dataset NAME [--model NAME] [--p P] [--l L]
+                        [--t-ppm N] [--k K] [--ts N]
                         [--timeout-ms N] [--max-nodes N] [--threads N]
                         [--no-cache]
              query:     --dataset NAME --sql STATEMENT
@@ -222,6 +233,41 @@ fn threads_arg(args: &Args) -> Result<usize, String> {
     args.get_usize("threads", 0)
 }
 
+/// The `--model` selector plus its parameter flag: `--p` for psens-k
+/// (defaulting to `default_p`, which differs between subcommands for
+/// compatibility), `--l` for the diversity models, `--t` (a fraction in
+/// `[0, 1]`, stored as ppm) for t-closeness.
+fn model_arg(args: &Args, default_p: u32) -> Result<ModelSpec, String> {
+    match args.get("model").unwrap_or("psens-k") {
+        "psens-k" => Ok(ModelSpec::PSensitiveK {
+            p: args.get_u32("p", default_p)?,
+        }),
+        "distinct-l" => Ok(ModelSpec::DistinctL {
+            l: args.get_u32("l", 2)?,
+        }),
+        "entropy-l" => Ok(ModelSpec::EntropyL {
+            l: args.get_u32("l", 2)?,
+        }),
+        "t-closeness" => {
+            let t = match args.get("t") {
+                Some(text) => text
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --t value `{text}`"))?,
+                None => 0.2,
+            };
+            if !(0.0..=1.0).contains(&t) {
+                return Err(format!("--t must be within [0, 1], got {t}"));
+            }
+            Ok(ModelSpec::TCloseness {
+                t_ppm: (t * 1_000_000.0).round() as u32,
+            })
+        }
+        other => Err(format!(
+            "unknown model `{other}` (psens-k|distinct-l|entropy-l|t-closeness)"
+        )),
+    }
+}
+
 fn load_spec(args: &Args) -> Result<Spec, String> {
     let path = args.require("spec")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -275,6 +321,13 @@ fn write_spec(args: &Args) -> Result<String, String> {
 }
 
 fn check(args: &Args) -> Result<CmdOutput, String> {
+    // The default model keeps the original (chunkable, stage-classified)
+    // p-sensitivity path byte-for-byte; other models go through the
+    // whole-table oracle.
+    let spec_model = model_arg(args, 2)?;
+    if !matches!(spec_model, ModelSpec::PSensitiveK { .. }) {
+        return check_model(args, spec_model);
+    }
     let wall = Instant::now();
     let spec = load_spec(args)?;
     let chunk_rows = chunk_rows_arg(args)?;
@@ -386,6 +439,83 @@ fn check(args: &Args) -> Result<CmdOutput, String> {
             node: None,
             search: Some(stats),
             telemetry: Some(observer.telemetry()),
+            termination: None,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+        };
+        write_report(path, &run_report)?;
+        out.push_str(&format!("wrote report to {path}\n"));
+    }
+    Ok(CmdOutput::verdict(out, report.satisfied()))
+}
+
+/// `check --model` for the non-default models: the whole-table oracle
+/// ([`check_table_model`]) over the buffered (or re-materialized chunked)
+/// input.
+fn check_model(args: &Args, spec_model: ModelSpec) -> Result<CmdOutput, String> {
+    let wall = Instant::now();
+    let spec = load_spec(args)?;
+    let chunk_rows = chunk_rows_arg(args)?;
+    let k = args.get_u32("k", 2)?;
+    let table = if chunk_rows > 0 {
+        load_chunked(args, &spec, chunk_rows)?.to_table()
+    } else {
+        load_table(args, &spec)?
+    };
+    let keys = table.schema().key_indices();
+    let conf = table.schema().confidential_indices();
+    let model = spec_model.instantiate();
+    let report = check_table_model(&table, &keys, &conf, model.as_ref(), k);
+    let maxk = max_k(&table, &keys);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rows: {} | QI-groups: {}\n",
+        table.n_rows(),
+        report.n_groups
+    ));
+    out.push_str(&format!(
+        "k-anonymity (k = {k}): {} (max k = {maxk})\n",
+        if report.k_anonymous {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    out.push_str(&format!(
+        "{}: {} ({} violating group-attribute pair(s))\n",
+        spec_model.describe(),
+        if report.violating_pairs == 0 {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        },
+        report.violating_pairs
+    ));
+    if let Some(detail) = report.detail {
+        out.push_str(&format!(
+            "  extremal metric: {} = {}\n",
+            detail.kind(),
+            detail.value()
+        ));
+    }
+    out.push_str(&format!(
+        "verdict: {}\n",
+        if report.satisfied() {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    if let Some(path) = args.get("report") {
+        let run_report = RunReport {
+            command: "check".into(),
+            rows: table.n_rows(),
+            k,
+            p: spec_model.conditions_p(),
+            ts: None,
+            satisfied: Some(report.satisfied()),
+            node: None,
+            search: None,
+            telemetry: None,
             termination: None,
             wall_ns: wall.elapsed().as_nanos() as u64,
         };
@@ -517,7 +647,8 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
     };
     let out_path = args.require("out")?;
     let k = args.get_u32("k", 2)?;
-    let p = args.get_u32("p", 1)?;
+    let spec_model = model_arg(args, 1)?;
+    let p = spec_model.conditions_p();
     let ts = args.get_usize("ts", 0)?;
     let algorithm = args.get("algorithm").unwrap_or("samarati");
     // Default to the machine's parallelism; `--threads 1` forces the serial
@@ -539,17 +670,21 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
             let lattice = qi.lattice();
             // One run cannot revisit nodes, but the store still earns its
             // keep within it: monotonicity closure answers probes above a
-            // pass / below a k-failure without running the kernel.
-            let store = use_cache.then(|| VerdictStore::new(&lattice, ts));
+            // pass / below a k-failure without running the kernel. Store
+            // presence is `--no-cache`'s call alone; whether closure runs
+            // is the model's — a non-monotone model gets a closure-free
+            // store, it does not silently lose caching twice over.
+            let store =
+                use_cache.then(|| VerdictStore::for_model(&lattice, ts, spec_model.is_monotone()));
             let tuning = Tuning {
                 threads,
                 cache: store.as_ref(),
                 chunk_rows,
             };
-            let outcome = pk_minimal_generalization_tuned(
+            let outcome = pk_minimal_generalization_model(
                 &table,
                 &qi,
-                p,
+                spec_model,
                 k,
                 ts,
                 Pruning::NecessaryConditions,
@@ -586,7 +721,8 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
                     satisfied = false;
                     if termination.is_complete() {
                         out.push_str(&format!(
-                            "no masking satisfies p = {p}, k = {k} with TS = {ts}\n"
+                            "no masking satisfies {} with k = {k}, TS = {ts}\n",
+                            spec_model.describe()
                         ));
                     } else {
                         out.push_str(&format!(
@@ -600,6 +736,9 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
             }
         }
         "mondrian" => {
+            if !matches!(spec_model, ModelSpec::PSensitiveK { .. }) {
+                return Err("--algorithm mondrian supports --model psens-k only".to_owned());
+            }
             let outcome = mondrian_anonymize_budgeted(
                 &table,
                 MondrianConfig { k, p },
@@ -628,6 +767,46 @@ fn anonymize(args: &Args) -> Result<CmdOutput, String> {
                     "mondrian could not satisfy p = {p}, k = {k} (input too small or too uniform)\n"
                 ));
                 None
+            }
+        }
+        "pram" => {
+            let qi = spec.qi_space()?;
+            let config = PramBackendConfig {
+                seed: args.get_u64("seed", 42)?,
+                ..PramBackendConfig::default()
+            };
+            let outcome = pram_minimal_masking(&table, &qi, spec_model, k, ts, config)
+                .map_err(|e| e.to_string())?;
+            termination = Termination::Completed;
+            satisfied = outcome.satisfied;
+            match outcome.node {
+                Some(node) => {
+                    winner = Some(qi.describe_node(&node));
+                    out.push_str(&format!(
+                        "pram: k-minimal node {} (height {}), suppressed {} tuple(s), \
+                         {} sweep(s), {} perturbed cell(s)\n",
+                        qi.describe_node(&node),
+                        node.height(),
+                        outcome.suppressed,
+                        outcome.sweeps,
+                        outcome.perturbed_cells
+                    ));
+                    if satisfied {
+                        outcome.masked
+                    } else {
+                        out.push_str(&format!(
+                            "pram could not repair {} within the sweep cap\n",
+                            spec_model.describe()
+                        ));
+                        None
+                    }
+                }
+                None => {
+                    out.push_str(&format!(
+                        "no k-minimal masking exists for k = {k} with TS = {ts}\n"
+                    ));
+                    None
+                }
             }
         }
         other => return Err(format!("unknown algorithm `{other}`")),
@@ -733,7 +912,19 @@ fn client(args: &Args) -> Result<CmdOutput, String> {
                 "dataset",
                 JsonValue::Str(args.require("dataset")?.to_owned()),
             );
-            for key in ["p", "k", "ts", "threads", "timeout-ms", "max-nodes"] {
+            if let Some(model) = args.get("model") {
+                params.set("model", JsonValue::Str(model.to_owned()));
+            }
+            for key in [
+                "p",
+                "l",
+                "t-ppm",
+                "k",
+                "ts",
+                "threads",
+                "timeout-ms",
+                "max-nodes",
+            ] {
                 if args.get(key).is_some() {
                     let value = args.get_u64(key, 0)?;
                     params.set(key.replace('-', "_"), JsonValue::Int(value as i64));
@@ -988,6 +1179,125 @@ mod tests {
         let released = std::fs::read_to_string(&masked).unwrap();
         assert!(released.lines().count() > 100);
         assert!(released.starts_with("Age,MaritalStatus"));
+    }
+
+    #[test]
+    fn every_model_checks_and_anonymizes_adult() {
+        let data = temp_path("modeldata.csv");
+        let spec = temp_path("modelspec.json");
+        let data_s = data.to_str().unwrap();
+        let spec_s = spec.to_str().unwrap();
+        run_line(&["generate", "--rows", "300", "--seed", "7", "--out", data_s]).unwrap();
+        run_line(&["spec", "--out", spec_s]).unwrap();
+        // entropy-l uses l = 1: Adult's confidential skew (capital gain 90%
+        // zero, pay 3:1) keeps every group's entropy below ln 2 even fully
+        // generalized, so l = 2 is unsatisfiable on this data by Condition 1's
+        // entropy analogue — not a search defect.
+        for (model, flag, value) in [
+            ("psens-k", "--p", "2"),
+            ("distinct-l", "--l", "2"),
+            ("entropy-l", "--l", "1"),
+            ("t-closeness", "--t", "0.5"),
+        ] {
+            let checked = run_full(&[
+                "check", "--spec", spec_s, "--input", data_s, "--k", "2", "--model", model, flag,
+                value,
+            ])
+            .unwrap();
+            assert_eq!(checked.code, EXIT_VIOLATION, "raw data: {}", checked.text);
+            let masked = temp_path(&format!("modelmasked_{model}.csv"));
+            let masked_s = masked.to_str().unwrap();
+            let result = run_full(&[
+                "anonymize",
+                "--spec",
+                spec_s,
+                "--input",
+                data_s,
+                "--out",
+                masked_s,
+                "--k",
+                "2",
+                "--ts",
+                "10",
+                "--model",
+                model,
+                flag,
+                value,
+            ])
+            .unwrap();
+            assert_eq!(result.code, 0, "model {model}: {}", result.text);
+            assert!(
+                std::fs::read_to_string(&masked).unwrap().lines().count() > 100,
+                "model {model} released too few rows"
+            );
+        }
+        // Unknown model names are an operational error, not a verdict.
+        assert!(
+            run_full(&["check", "--spec", spec_s, "--input", data_s, "--model", "k-map",]).is_err()
+        );
+    }
+
+    #[test]
+    fn pram_algorithm_repairs_without_generalizing() {
+        let spec = temp_path("pramspec.json");
+        let data = temp_path("pramdata.csv");
+        let masked = temp_path("prammasked.csv");
+        std::fs::write(
+            &spec,
+            r#"{"attributes": [
+                {"name": "Sex", "kind": "cat", "role": "key"},
+                {"name": "Disease", "kind": "cat", "role": "confidential"}
+            ],
+            "hierarchies": {
+                "Sex": {"type": "cat", "ground": ["M", "F"],
+                        "levels": [{"labels": ["*"], "of_ground": [0, 0]}]}
+            }}"#,
+        )
+        .unwrap();
+        // The (M) group is homogeneous: psens-k p=2 fails at the identity
+        // node, and PRAM must repair it in place rather than generalize.
+        std::fs::write(
+            &data,
+            "Sex,Disease\nM,Flu\nM,Flu\nM,Flu\nF,Flu\nF,Cold\nF,Cold\n",
+        )
+        .unwrap();
+        let out = run_full(&[
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            masked.to_str().unwrap(),
+            "--k",
+            "2",
+            "--p",
+            "2",
+            "--algorithm",
+            "pram",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("pram: k-minimal node"), "{}", out.text);
+        let released = std::fs::read_to_string(&masked).unwrap();
+        assert_eq!(released.lines().count(), 7, "header + 6 rows, none lost");
+        // Mondrian rejects non-default models up front.
+        assert!(run_full(&[
+            "anonymize",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            masked.to_str().unwrap(),
+            "--model",
+            "entropy-l",
+            "--algorithm",
+            "mondrian",
+        ])
+        .is_err());
     }
 
     #[test]

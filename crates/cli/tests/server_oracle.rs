@@ -35,6 +35,16 @@ const CLIENTS: usize = 4;
 /// (p, k, ts) parameter sets covering satisfiable and unsatisfiable runs.
 const PARAMS: [(u32, u32, usize); 3] = [(1, 2, 0), (2, 3, 10), (4, 6, 4)];
 
+/// Per-model parameter sets: (wire model name, parameter field, value,
+/// CLI flag, CLI value). Entropy-l uses l = 1 because the synthetic Adult
+/// confidential columns are too skewed for ln 2 at any node — the oracle
+/// cares that all executions agree, not that the run succeeds.
+const MODELS: [(&str, &str, i64, &str, &str); 3] = [
+    ("distinct-l", "l", 2, "--l", "2"),
+    ("entropy-l", "l", 1, "--l", "1"),
+    ("t-closeness", "t_ppm", 500_000, "--t", "0.5"),
+];
+
 fn boot(fixture: &DatasetFixture) -> (psens_server::ServerHandle, SocketAddr) {
     let handle = start(ServerConfig::default()).expect("server boots");
     let addr = handle.addr();
@@ -78,6 +88,17 @@ fn check_string(client: &mut Client, p: u32, k: u32) -> String {
     params.set("p", JsonValue::Int(i64::from(p)));
     params.set("k", JsonValue::Int(i64::from(k)));
     client.call_ok("check", params).expect("check").to_json()
+}
+
+/// Anonymize parameters for a non-default model: `(model, field=value, k, ts)`.
+fn model_params(model: &str, field: &str, value: i64, k: u32, ts: usize) -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("dataset", JsonValue::Str(DATASET.into()));
+    params.set("model", JsonValue::Str(model.into()));
+    params.set(field, JsonValue::Int(value));
+    params.set("k", JsonValue::Int(i64::from(k)));
+    params.set("ts", JsonValue::Int(ts as i64));
+    params
 }
 
 #[test]
@@ -148,7 +169,10 @@ fn concurrent_mixed_traffic_matches_serial_and_cli_verdicts() {
     std::fs::write(&csv_path, &fixture.csv).unwrap();
     std::fs::write(&spec_path, fixture.spec.to_json().to_json()).unwrap();
     for (slot, &(p, k, ts)) in PARAMS.iter().enumerate() {
-        let report = cli_anonymize_report(&dir, &csv_path, &spec_path, p, k, ts, &[]);
+        let (p_s, k_s, ts_s) = (p.to_string(), k.to_string(), ts.to_string());
+        let flags = ["--p", &p_s, "--k", &k_s, "--ts", &ts_s];
+        let tag = format!("{p}_{k}_{ts}");
+        let report = cli_anonymize_report(&dir, &csv_path, &spec_path, &tag, &flags);
         let server = JsonValue::parse(&reference[slot]).expect("verdict parses");
         assert_eq!(
             report.get("satisfied").unwrap().as_bool().unwrap(),
@@ -235,7 +259,13 @@ fn injected_interruption_verdicts_agree_across_clients_and_cli() {
     let spec_path = dir.join("oracle_spec.json");
     std::fs::write(&csv_path, &fixture.csv).unwrap();
     std::fs::write(&spec_path, fixture.spec.to_json().to_json()).unwrap();
-    let report = cli_anonymize_report(&dir, &csv_path, &spec_path, p, k, ts, &["--max-nodes", "0"]);
+    let report = cli_anonymize_report(
+        &dir,
+        &csv_path,
+        &spec_path,
+        "interrupt",
+        &["--p", "2", "--k", "3", "--ts", "10", "--max-nodes", "0"],
+    );
     assert_eq!(
         report
             .get("termination")
@@ -249,18 +279,180 @@ fn injected_interruption_verdicts_agree_across_clients_and_cli() {
     assert!(!report.get("satisfied").unwrap().as_bool().unwrap());
 }
 
+/// The oracle, per pluggable model: serial, concurrent, and CLI executions
+/// of distinct-l, entropy-l, and t-closeness runs must return the same
+/// verdict bytes (server) and the same (satisfied, node, termination)
+/// triple (CLI).
+#[test]
+fn per_model_verdicts_agree_across_serial_concurrent_and_cli() {
+    let fixture = adult_fixture(SEED, ROWS);
+    let (_handle, addr) = boot(&fixture);
+    let (k, ts) = (3u32, 10usize);
+
+    // Serial reference, cold stores.
+    let mut serial = Client::connect(addr).expect("connect");
+    let reference: Vec<String> = MODELS
+        .iter()
+        .map(|&(model, field, value, _, _)| {
+            anonymize_verdict(&mut serial, model_params(model, field, value, k, ts))
+        })
+        .collect();
+    for (slot, &(model, _, _, _, _)) in MODELS.iter().enumerate() {
+        let verdict = JsonValue::parse(&reference[slot]).expect("verdict parses");
+        assert_eq!(
+            verdict.get("model").unwrap().as_str().unwrap(),
+            model,
+            "verdict echoes its model"
+        );
+    }
+
+    // Concurrent pass: rotated model order per client, warm and no-cache
+    // runs interleaved through the admission gate.
+    let divergences: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let divergences = &divergences;
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..MODELS.len() {
+                    let slot = (i + c) % MODELS.len();
+                    let (model, field, value, _, _) = MODELS[slot];
+                    let mut params = model_params(model, field, value, k, ts);
+                    if c % 2 == 1 {
+                        params.set("no_cache", JsonValue::Bool(true));
+                    }
+                    let got = anonymize_verdict(&mut client, params);
+                    if got != reference[slot] {
+                        divergences.lock().unwrap().push(format!(
+                            "client {c} model {model}:\n  got {got}\n  want {}",
+                            reference[slot]
+                        ));
+                    }
+                }
+            });
+        }
+    });
+    let divergences = divergences.into_inner().unwrap();
+    assert!(
+        divergences.is_empty(),
+        "concurrent per-model verdicts diverged from serial:\n{}",
+        divergences.join("\n")
+    );
+
+    // CLI pass on the same CSV, per model.
+    let dir = std::env::temp_dir().join("psens_server_oracle_models");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("oracle.csv");
+    let spec_path = dir.join("oracle_spec.json");
+    std::fs::write(&csv_path, &fixture.csv).unwrap();
+    std::fs::write(&spec_path, fixture.spec.to_json().to_json()).unwrap();
+    let (k_s, ts_s) = (k.to_string(), ts.to_string());
+    for (slot, &(model, _, _, cli_flag, cli_value)) in MODELS.iter().enumerate() {
+        let flags = [
+            "--model", model, cli_flag, cli_value, "--k", &k_s, "--ts", &ts_s,
+        ];
+        let report = cli_anonymize_report(&dir, &csv_path, &spec_path, model, &flags);
+        let server = JsonValue::parse(&reference[slot]).expect("verdict parses");
+        assert_eq!(
+            report.get("satisfied").unwrap().as_bool().unwrap(),
+            server.get("satisfied").unwrap().as_bool().unwrap(),
+            "satisfied diverged for model {model}"
+        );
+        assert_eq!(
+            report.get("node").unwrap().as_str().ok(),
+            server.get("node").unwrap().as_str().ok(),
+            "node diverged for model {model}"
+        );
+        assert_eq!(
+            report
+                .get("termination")
+                .unwrap()
+                .get("reason")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            server.get("termination").unwrap().as_str().unwrap(),
+            "termination diverged for model {model}"
+        );
+    }
+}
+
+/// Warm verdict-store pools are keyed by model: the same dataset under
+/// psens-k and distinct-l builds two independent pools, interleaved warm
+/// re-runs return each model's cold verdict byte-for-byte, and the pool
+/// count proves no store was shared across models.
+#[test]
+fn pools_keyed_by_different_models_never_cross_contaminate() {
+    let fixture = adult_fixture(SEED, ROWS);
+    let (_handle, addr) = boot(&fixture);
+    let (k, ts) = (3u32, 10usize);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let live_stores = |client: &mut Client| -> (u64, u64, u64) {
+        let stats = client.call_ok("stats", JsonValue::object()).expect("stats");
+        let datasets = stats.get("datasets").unwrap().as_array().unwrap();
+        let entry = &datasets[0];
+        (
+            entry.get("store_warm_hits").unwrap().as_u64().unwrap(),
+            entry.get("store_cold_misses").unwrap().as_u64().unwrap(),
+            entry.get("live_stores").unwrap().as_u64().unwrap(),
+        )
+    };
+
+    // Cold runs: psens-k p=2 and distinct-l l=2 share the distinct-count
+    // predicate but must get separate pools.
+    let psens_cold = anonymize_verdict(&mut client, anon_params(2, k, ts));
+    let distinct_cold = anonymize_verdict(&mut client, model_params("distinct-l", "l", 2, k, ts));
+    let (warm, cold, live) = live_stores(&mut client);
+    assert_eq!((warm, cold, live), (0, 2, 2), "two cold pools, no sharing");
+
+    // The predicates coincide, so the search agrees on substance...
+    let psens = JsonValue::parse(&psens_cold).unwrap();
+    let distinct = JsonValue::parse(&distinct_cold).unwrap();
+    for field in ["satisfied", "node", "suppressed"] {
+        assert_eq!(
+            psens.get(field).unwrap().to_json(),
+            distinct.get(field).unwrap().to_json(),
+            "psens-k(p=2) and distinct-l(l=2) agree on {field}"
+        );
+    }
+    // ...while each verdict still names its own model.
+    assert_eq!(psens.get("model").unwrap().as_str().unwrap(), "psens-k");
+    assert_eq!(
+        distinct.get("model").unwrap().as_str().unwrap(),
+        "distinct-l"
+    );
+
+    // Interleaved warm re-runs (reversed order): byte-identical to the cold
+    // verdicts, two warm hits, still exactly two pools.
+    let distinct_warm = anonymize_verdict(&mut client, model_params("distinct-l", "l", 2, k, ts));
+    let psens_warm = anonymize_verdict(&mut client, anon_params(2, k, ts));
+    assert_eq!(distinct_warm, distinct_cold, "warm distinct-l verdict");
+    assert_eq!(psens_warm, psens_cold, "warm psens-k verdict");
+    let (warm, cold, live) = live_stores(&mut client);
+    assert_eq!((warm, cold, live), (2, 2, 2), "warm hits, no new pools");
+
+    // A third model at the same (k, ts) gets its own pool too.
+    let entropy_cold = anonymize_verdict(&mut client, model_params("entropy-l", "l", 1, k, ts));
+    let entropy_warm = anonymize_verdict(&mut client, model_params("entropy-l", "l", 1, k, ts));
+    assert_eq!(entropy_warm, entropy_cold, "warm entropy-l verdict");
+    let (warm, cold, live) = live_stores(&mut client);
+    assert_eq!((warm, cold, live), (3, 3, 3), "three models, three pools");
+}
+
 /// Runs `psens anonymize` in-process and returns the parsed `--report` JSON.
+/// `tag` names the output files; `flags` carries the parameter flags
+/// (`--p`/`--model`/`--k`/...).
 fn cli_anonymize_report(
     dir: &std::path::Path,
     csv_path: &std::path::Path,
     spec_path: &std::path::Path,
-    p: u32,
-    k: u32,
-    ts: usize,
-    extra: &[&str],
+    tag: &str,
+    flags: &[&str],
 ) -> JsonValue {
-    let out_path = dir.join(format!("out_{p}_{k}_{ts}.csv"));
-    let report_path = dir.join(format!("report_{p}_{k}_{ts}.json"));
+    let out_path = dir.join(format!("out_{tag}.csv"));
+    let report_path = dir.join(format!("report_{tag}.json"));
     let mut line: Vec<String> = [
         "anonymize",
         "--input",
@@ -277,13 +469,7 @@ fn cli_anonymize_report(
     .iter()
     .map(ToString::to_string)
     .collect();
-    line.push("--p".into());
-    line.push(p.to_string());
-    line.push("--k".into());
-    line.push(k.to_string());
-    line.push("--ts".into());
-    line.push(ts.to_string());
-    line.extend(extra.iter().map(ToString::to_string));
+    line.extend(flags.iter().map(ToString::to_string));
     let args = Args::parse(line).expect("args parse");
     // Interrupted/violation runs return nonzero codes by design; only a
     // hard error is fatal here.

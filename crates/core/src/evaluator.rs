@@ -30,12 +30,14 @@ use crate::budget::{BudgetState, Termination};
 use crate::checker::CheckStage;
 use crate::conditions::ConfidentialStats;
 use crate::masking::{MaskingContext, Result};
+use crate::model::{CodeDistribution, GroupCheckMode, ModelDetail, ModelSpec, PrivacyModel};
 use crate::observe::{elapsed_since, start_timer, SearchObserver};
 use crate::verdict::{Verdict, VerdictStore};
 use psens_hierarchy::{Error, Node, QiCodeMaps};
 use psens_microdata::hash::{fmix64, mix64, KEY_HASH_SEED};
 use psens_microdata::{group_codes, resolve_threads, CodeCombiner, KeyKernel, Role, DENSE_CAP};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// Where a confidential attribute's per-row codes come from.
 #[derive(Debug, Clone)]
@@ -187,6 +189,16 @@ pub struct EvalContext {
     static_keys: Vec<(Vec<u32>, u32)>,
     /// Confidential attributes, in masked-schema order.
     conf: Vec<ConfSource>,
+    /// The privacy model the detailed scan enforces. Defaults to
+    /// p-sensitive k-anonymity with the context's `p`, which reproduces
+    /// the historical checker verdict-for-verdict; [`Self::with_model`]
+    /// swaps in another model.
+    model: Arc<dyn PrivacyModel>,
+    /// Whole-table code distribution per confidential attribute, computed
+    /// only when the model needs it (t-closeness) and only for static
+    /// sources — a QI-mapped confidential column's distribution depends on
+    /// the node and is tallied per check.
+    globals: Vec<Option<CodeDistribution>>,
     /// Row-range chunk size for chunk-parallel partitioning; 0 disables the
     /// chunked path (the default — behavior is then exactly the serial
     /// kernel).
@@ -213,6 +225,12 @@ pub struct NodeCheck {
     /// QI-group count after suppression, when grouping was reached (`None`
     /// after a Condition 1 rejection).
     pub n_groups: Option<usize>,
+    /// Model-specific payload from the detailed scan: the extremal
+    /// per-group metric observed. `None` before the scan stage, for empty
+    /// tables, and for distinct-count models (whose early-exit scan never
+    /// learns the true minimum) — so p-sensitive verdicts are bit-for-bit
+    /// what they were before models existed.
+    pub detail: Option<ModelDetail>,
 }
 
 /// How [`NodeEvaluator::check_cached`] settled a node.
@@ -261,7 +279,7 @@ impl EvalContext {
             .filter(|&i| !qi_names.contains(&schema.attribute(i).name()))
             .map(|i| ctx.initial.column(i).dense_codes())
             .collect();
-        let conf = schema
+        let conf: Vec<ConfSource> = schema
             .confidential_indices()
             .into_iter()
             .map(|i| {
@@ -275,6 +293,7 @@ impl EvalContext {
                 }
             })
             .collect();
+        let n_conf = conf.len();
         Ok(EvalContext {
             n_rows: ctx.initial.n_rows(),
             k: ctx.k,
@@ -284,9 +303,48 @@ impl EvalContext {
             qi_is_key,
             static_keys,
             conf,
+            model: ModelSpec::PSensitiveK { p: ctx.p }.instantiate(),
+            globals: vec![None; n_conf],
             chunk_rows: 0,
             threads: 1,
         })
+    }
+
+    /// Swaps the detailed-scan model for `spec`'s checker. The context's
+    /// `p` becomes the model's [`ModelSpec::conditions_p`], so Conditions
+    /// 1–2 keep acting as necessary conditions for the new model, and —
+    /// when the model compares distributions — the whole-table code
+    /// distribution of every static confidential attribute is tallied
+    /// once here.
+    pub fn with_model(self, spec: ModelSpec) -> EvalContext {
+        self.with_model_object(spec.instantiate())
+    }
+
+    /// [`Self::with_model`] for an arbitrary (possibly non-monotone,
+    /// test-supplied) [`PrivacyModel`] implementation.
+    pub fn with_model_object(mut self, model: Arc<dyn PrivacyModel>) -> EvalContext {
+        self.p = model.conditions_p();
+        let needs_global = matches!(
+            model.mode(),
+            GroupCheckMode::Histogram { needs_global: true }
+        );
+        self.globals = self
+            .conf
+            .iter()
+            .map(|source| match source {
+                ConfSource::Static(codes, n_codes) if needs_global => Some(
+                    CodeDistribution::from_codes(codes.iter().copied(), *n_codes),
+                ),
+                _ => None,
+            })
+            .collect();
+        self.model = model;
+        self
+    }
+
+    /// The model the detailed scan enforces.
+    pub fn model(&self) -> &Arc<dyn PrivacyModel> {
+        &self.model
     }
 
     /// Enables morsel-parallel QI partitioning: per-node refinement runs on
@@ -328,6 +386,8 @@ impl EvalContext {
             cursor: Vec::new(),
             ordered: Vec::new(),
             stamp: Vec::new(),
+            hist: Vec::new(),
+            counts_buf: Vec::new(),
         }
     }
 
@@ -369,6 +429,12 @@ pub struct NodeEvaluator<'a> {
     /// `stamp[code] == g` ⇔ group g already counted `code` (valid because
     /// groups are scanned as contiguous blocks).
     stamp: Vec<u32>,
+    /// Per-code counts of the group currently scanned (histogram-mode
+    /// models only); reset lazily through `stamp`.
+    hist: Vec<u32>,
+    /// The current group's `(code, count)` pairs handed to
+    /// [`PrivacyModel::check_group`], sorted by code.
+    counts_buf: Vec<(u32, u32)>,
 }
 
 impl NodeEvaluator<'_> {
@@ -405,29 +471,54 @@ impl NodeEvaluator<'_> {
             n_groups as usize
         };
 
-        let check = |satisfied, stage, n_groups| NodeCheck {
+        let check = |satisfied, stage, n_groups, detail| NodeCheck {
             node: node.clone(),
             violating_tuples,
             suppressed,
             satisfied,
             stage,
             n_groups,
+            detail,
         };
         if !stats.condition1(ctx.p) {
-            return Ok(check(false, CheckStage::Condition1, None));
+            return Ok(check(false, CheckStage::Condition1, None, None));
         }
         if !stats.condition2(ctx.p, n_groups_eff) {
-            return Ok(check(false, CheckStage::Condition2, Some(n_groups_eff)));
+            return Ok(check(
+                false,
+                CheckStage::Condition2,
+                Some(n_groups_eff),
+                None,
+            ));
         }
         // k-anonymity: after suppression the table is k-anonymous by
         // construction; otherwise any violating tuple fails the stage.
         if !suppression && violating_tuples > 0 {
-            return Ok(check(false, CheckStage::KAnonymity, Some(n_groups_eff)));
+            return Ok(check(
+                false,
+                CheckStage::KAnonymity,
+                Some(n_groups_eff),
+                None,
+            ));
         }
-        if !self.detailed_scan_passes(node, n_groups, suppression) {
-            return Ok(check(false, CheckStage::DetailedScan, Some(n_groups_eff)));
+        let (scan_ok, detail) = match ctx.model.mode() {
+            GroupCheckMode::Distinct { target } => (
+                self.detailed_scan_passes(node, n_groups, suppression, target),
+                None,
+            ),
+            GroupCheckMode::Histogram { needs_global } => {
+                self.histogram_scan(node, n_groups, suppression, needs_global)
+            }
+        };
+        if !scan_ok {
+            return Ok(check(
+                false,
+                CheckStage::DetailedScan,
+                Some(n_groups_eff),
+                detail,
+            ));
         }
-        Ok(check(true, CheckStage::Passed, Some(n_groups_eff)))
+        Ok(check(true, CheckStage::Passed, Some(n_groups_eff), detail))
     }
 
     /// [`Self::check`], reporting the settled stage, suppression count, and
@@ -587,16 +678,10 @@ impl NodeEvaluator<'_> {
         n_groups
     }
 
-    /// Stage 4: per-group `COUNT(DISTINCT S_j) >= p` for every confidential
-    /// attribute, over the groups surviving suppression.
-    fn detailed_scan_passes(&mut self, node: &Node, n_groups: u32, suppression: bool) -> bool {
-        let ctx = self.ctx;
-        if ctx.conf.is_empty() || n_groups == 0 {
-            return true;
-        }
-        // Counting sort once per node: rows ordered by group id, each group
-        // a contiguous block (the same trick as `GroupBy::distinct_per_group`,
-        // amortized over all confidential attributes).
+    /// Counting sort once per node: rows ordered by group id, each group
+    /// a contiguous block (the same trick as `GroupBy::distinct_per_group`,
+    /// amortized over all confidential attributes).
+    fn order_rows(&mut self, n_groups: u32) {
         self.offsets.clear();
         self.offsets.resize(n_groups as usize + 1, 0);
         for &g in &self.current {
@@ -609,11 +694,28 @@ impl NodeEvaluator<'_> {
         self.cursor
             .extend_from_slice(&self.offsets[..n_groups as usize]);
         self.ordered.clear();
-        self.ordered.resize(ctx.n_rows, 0);
+        self.ordered.resize(self.ctx.n_rows, 0);
         for (row, &g) in self.current.iter().enumerate() {
             self.ordered[self.cursor[g as usize]] = row as u32;
             self.cursor[g as usize] += 1;
         }
+    }
+
+    /// Stage 4 for distinct-count models: per-group
+    /// `COUNT(DISTINCT S_j) >= target` for every confidential attribute,
+    /// over the groups surviving suppression.
+    fn detailed_scan_passes(
+        &mut self,
+        node: &Node,
+        n_groups: u32,
+        suppression: bool,
+        target: u32,
+    ) -> bool {
+        let ctx = self.ctx;
+        if ctx.conf.is_empty() || n_groups == 0 {
+            return true;
+        }
+        self.order_rows(n_groups);
         for source in &ctx.conf {
             let passes = match source {
                 ConfSource::Static(codes, n_codes) => Self::attr_passes(
@@ -622,7 +724,7 @@ impl NodeEvaluator<'_> {
                     &self.sizes,
                     &mut self.stamp,
                     ctx.k,
-                    ctx.p,
+                    target,
                     suppression,
                     *n_codes,
                     |row| codes[row],
@@ -638,7 +740,7 @@ impl NodeEvaluator<'_> {
                         &self.sizes,
                         &mut self.stamp,
                         ctx.k,
-                        ctx.p,
+                        target,
                         suppression,
                         lm.n_codes(),
                         |row| map[base[row] as usize],
@@ -650,6 +752,99 @@ impl NodeEvaluator<'_> {
             }
         }
         true
+    }
+
+    /// Stage 4 for histogram models: builds each surviving group's code
+    /// histogram and asks [`PrivacyModel::check_group`] for the verdict.
+    /// Scans every group of an attribute (no early exit) so the folded
+    /// [`ModelDetail`] is deterministic; a failing attribute still stops
+    /// the remaining attributes. Returns the stage verdict plus the detail
+    /// payload folded over everything scanned.
+    fn histogram_scan(
+        &mut self,
+        node: &Node,
+        n_groups: u32,
+        suppression: bool,
+        needs_global: bool,
+    ) -> (bool, Option<ModelDetail>) {
+        let ctx = self.ctx;
+        if ctx.conf.is_empty() || n_groups == 0 {
+            return (true, None);
+        }
+        self.order_rows(n_groups);
+        let mut min_metric = u64::MAX;
+        let mut max_metric = 0u64;
+        let mut any = false;
+        for (ci, source) in ctx.conf.iter().enumerate() {
+            // A QI-mapped confidential column's code space depends on the
+            // node's level, so its whole-table distribution is tallied
+            // here; static columns were tallied once in `with_model`.
+            let mapped_global: Option<CodeDistribution> = match source {
+                ConfSource::Mapped(qi_idx) if needs_global => {
+                    let attr = ctx.maps.attr(*qi_idx);
+                    let lm = attr.level(node.levels()[*qi_idx] as usize);
+                    let map = lm.map();
+                    Some(CodeDistribution::from_codes(
+                        attr.base().iter().map(|&b| map[b as usize]),
+                        lm.n_codes(),
+                    ))
+                }
+                _ => None,
+            };
+            let global = mapped_global.as_ref().or(ctx.globals[ci].as_ref());
+            let passes = match source {
+                ConfSource::Static(codes, n_codes) => Self::attr_histograms(
+                    &self.ordered,
+                    &self.offsets,
+                    &self.sizes,
+                    &mut self.stamp,
+                    &mut self.hist,
+                    &mut self.counts_buf,
+                    ctx.k,
+                    suppression,
+                    *n_codes,
+                    |row| codes[row],
+                    ctx.model.as_ref(),
+                    global,
+                    &mut min_metric,
+                    &mut max_metric,
+                    &mut any,
+                ),
+                ConfSource::Mapped(qi_idx) => {
+                    let attr = ctx.maps.attr(*qi_idx);
+                    let lm = attr.level(node.levels()[*qi_idx] as usize);
+                    let base = attr.base();
+                    let map = lm.map();
+                    Self::attr_histograms(
+                        &self.ordered,
+                        &self.offsets,
+                        &self.sizes,
+                        &mut self.stamp,
+                        &mut self.hist,
+                        &mut self.counts_buf,
+                        ctx.k,
+                        suppression,
+                        lm.n_codes(),
+                        |row| map[base[row] as usize],
+                        ctx.model.as_ref(),
+                        global,
+                        &mut min_metric,
+                        &mut max_metric,
+                        &mut any,
+                    )
+                }
+            };
+            if !passes {
+                return (
+                    false,
+                    any.then(|| ctx.model.node_detail(min_metric, max_metric)),
+                );
+            }
+        }
+        (
+            true,
+            any.then(|| ctx.model.node_detail(min_metric, max_metric)),
+        )
     }
 
     /// Does every surviving group see at least `p` distinct codes?
@@ -687,6 +882,63 @@ impl NodeEvaluator<'_> {
             }
         }
         true
+    }
+
+    /// Histogram-mode scan of one confidential attribute: per surviving
+    /// group, tallies `(code, count)` pairs (codes in ascending order —
+    /// the stamp doubles as a lazy reset, and the pairs are sorted before
+    /// the model sees them) and folds the model's per-group metrics into
+    /// `min_metric`/`max_metric`. Returns whether every group passed.
+    #[allow(clippy::too_many_arguments)]
+    fn attr_histograms(
+        ordered: &[u32],
+        offsets: &[usize],
+        sizes: &[u32],
+        stamp: &mut Vec<u32>,
+        hist: &mut Vec<u32>,
+        counts_buf: &mut Vec<(u32, u32)>,
+        k: u32,
+        suppression: bool,
+        n_codes: u32,
+        code_of_row: impl Fn(usize) -> u32,
+        model: &dyn PrivacyModel,
+        global: Option<&CodeDistribution>,
+        min_metric: &mut u64,
+        max_metric: &mut u64,
+        any: &mut bool,
+    ) -> bool {
+        stamp.clear();
+        stamp.resize(n_codes as usize, u32::MAX);
+        hist.clear();
+        hist.resize(n_codes as usize, 0);
+        let mut all_pass = true;
+        for (g, &size) in sizes.iter().enumerate() {
+            if suppression && size < k {
+                continue; // group suppressed: its rows are gone
+            }
+            counts_buf.clear();
+            for &row in &ordered[offsets[g]..offsets[g + 1]] {
+                let code = code_of_row(row as usize);
+                if stamp[code as usize] != g as u32 {
+                    stamp[code as usize] = g as u32;
+                    hist[code as usize] = 0;
+                    counts_buf.push((code, 0));
+                }
+                hist[code as usize] += 1;
+            }
+            counts_buf.sort_unstable_by_key(|&(code, _)| code);
+            for entry in counts_buf.iter_mut() {
+                entry.1 = hist[entry.0 as usize];
+            }
+            let verdict = model.check_group(counts_buf, size, global);
+            *any = true;
+            *min_metric = (*min_metric).min(verdict.metric);
+            *max_metric = (*max_metric).max(verdict.metric);
+            if !verdict.passes {
+                all_pass = false;
+            }
+        }
+        all_pass
     }
 }
 
@@ -894,6 +1146,137 @@ mod tests {
             assert_eq!(cc.source, VerdictSource::Cached, "{node}");
             assert_eq!(cc.check.unwrap(), eval.check(&node, &stats).unwrap());
         }
+    }
+
+    #[test]
+    fn model_kernel_agrees_with_table_level_check() {
+        use crate::model::{check_table_model, ModelSpec};
+
+        let t = table();
+        let qi = qi();
+        let specs = [
+            ModelSpec::PSensitiveK { p: 2 },
+            ModelSpec::DistinctL { l: 2 },
+            ModelSpec::EntropyL { l: 2 },
+            ModelSpec::TCloseness { t_ppm: 350_000 },
+        ];
+        for spec in specs {
+            for k in [1u32, 2, 3] {
+                let ctx = MaskingContext {
+                    initial: &t,
+                    qi: &qi,
+                    k,
+                    p: spec.conditions_p(),
+                    ts: 0,
+                };
+                let stats = ctx.initial_stats();
+                let ectx = EvalContext::build(&ctx).unwrap().with_model(spec);
+                let mut eval = ectx.evaluator();
+                for node in qi.lattice().all_nodes() {
+                    let fast = eval.check(&node, &stats).unwrap();
+                    // Materialize the generalized table (ts = 0: no
+                    // suppression) and run the slow table-level oracle.
+                    let masked = qi.apply(&t, &node).unwrap().drop_identifiers();
+                    let slow = check_table_model(
+                        &masked,
+                        &masked.schema().key_indices(),
+                        &masked.schema().confidential_indices(),
+                        spec.instantiate().as_ref(),
+                        k,
+                    );
+                    assert_eq!(
+                        fast.satisfied,
+                        slow.satisfied(),
+                        "{} k={k} node={node}",
+                        spec.describe()
+                    );
+                }
+            }
+        }
+    }
+
+    /// A deliberately non-monotone toy model: a group passes iff its
+    /// confidential distinct count is *exactly* 2, so merging groups can
+    /// turn a pass into a failure — neither closure direction is sound.
+    #[derive(Debug)]
+    struct ExactlyTwo;
+
+    impl crate::model::PrivacyModel for ExactlyTwo {
+        fn name(&self) -> &'static str {
+            "exactly-two"
+        }
+        fn is_monotone(&self) -> bool {
+            false
+        }
+        fn conditions_p(&self) -> u32 {
+            1
+        }
+        fn mode(&self) -> crate::model::GroupCheckMode {
+            crate::model::GroupCheckMode::Histogram {
+                needs_global: false,
+            }
+        }
+        fn check_group(
+            &self,
+            counts: &[(u32, u32)],
+            _group_size: u32,
+            _global: Option<&crate::model::CodeDistribution>,
+        ) -> crate::model::GroupVerdict {
+            crate::model::GroupVerdict {
+                passes: counts.len() == 2,
+                metric: counts.len() as u64,
+            }
+        }
+        fn node_detail(&self, min_metric: u64, _max_metric: u64) -> crate::model::ModelDetail {
+            crate::model::ModelDetail::MinDistinct(min_metric as u32)
+        }
+    }
+
+    #[test]
+    fn non_monotone_toy_model_never_gets_inferred_verdicts() {
+        use crate::budget::SearchBudget;
+        use crate::observe::NoopObserver;
+        use crate::verdict::VerdictStore;
+        use std::sync::Arc;
+
+        let t = table();
+        let qi = qi();
+        let ctx = MaskingContext {
+            initial: &t,
+            qi: &qi,
+            k: 2,
+            p: 1,
+            ts: 2,
+        };
+        let stats = ctx.initial_stats();
+        let model: Arc<dyn crate::model::PrivacyModel> = Arc::new(ExactlyTwo);
+        let ectx = EvalContext::build(&ctx)
+            .unwrap()
+            .with_model_object(Arc::clone(&model));
+        let mut eval = ectx.evaluator();
+        let store = VerdictStore::for_model(&qi.lattice(), 2, model.is_monotone());
+
+        // Check every node twice through the caching path, inferred
+        // verdicts welcome: with closure refused, the second pass must be
+        // answered by exact replays only.
+        let budget = SearchBudget::unlimited().start();
+        for _ in 0..2 {
+            for node in qi.lattice().all_nodes() {
+                let got = eval
+                    .check_cached(&node, &stats, &budget, Some(&store), true, &NoopObserver)
+                    .unwrap();
+                let ControlFlow::Continue(cc) = got else {
+                    panic!("unlimited budget never breaks")
+                };
+                assert_ne!(cc.source, VerdictSource::Inferred, "{node}");
+            }
+        }
+        let counters = store.counters();
+        assert_eq!(counters.recorded_inferred, 0, "closure must never run");
+        assert_eq!(counters.inferred_hits, 0);
+        assert_eq!(counters.recorded_exact as usize, qi.lattice().node_count());
+        assert_eq!(counters.hits as usize, qi.lattice().node_count());
+        assert_eq!(store.len(), qi.lattice().node_count());
     }
 
     #[test]

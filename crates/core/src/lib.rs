@@ -30,6 +30,7 @@
 //! | [`attack`] | the record-linkage / homogeneity attack (Tables 1–2) |
 //! | [`extended`] | extended p-sensitivity over confidential hierarchies (follow-up model) |
 //! | [`verdict`] | shared verdict store with monotonicity closure (Samarati's Algorithm 3 invariant) |
+//! | [`model`] | pluggable privacy models (p-sensitivity, l-diversity, t-closeness) behind one trait |
 //!
 //! ## Example
 //!
@@ -75,6 +76,7 @@ pub mod evaluator;
 pub mod extended;
 pub mod kanonymity;
 pub mod masking;
+pub mod model;
 pub mod observe;
 pub mod psensitive;
 pub mod suppress;
@@ -89,6 +91,11 @@ pub use evaluator::{CacheCheck, EvalContext, NodeCheck, NodeEvaluator, VerdictSo
 pub use extended::{check_extended, extended_max_p, ConfidentialSpec, ExtendedReport};
 pub use kanonymity::{check_k_anonymity, is_k_anonymous, max_k, max_k_chunked, KAnonymityReport};
 pub use masking::{MaskOutcome, MaskingContext};
+pub use model::{
+    check_table_model, CodeDistribution, DistinctLDiversity, EntropyLDiversity, GroupCheckMode,
+    GroupVerdict, ModelDetail, ModelSpec, PSensitiveK, PrivacyModel, TCloseness, TableModelReport,
+    FIXED_POINT_SCALE,
+};
 pub use observe::{
     HeightTelemetry, NoopObserver, RecordingObserver, SearchObserver, StageTelemetry, Telemetry,
 };

@@ -101,6 +101,11 @@ impl StoreCounters {
 pub struct VerdictStore {
     max_levels: Vec<u8>,
     ts: usize,
+    /// Whether monotonicity closure runs on recorded checks. `false` for
+    /// non-monotone privacy models, where neither an ancestor pass nor a
+    /// descendant k-failure is a sound inference — such stores hold exact
+    /// verdicts only.
+    closure: bool,
     shards: Vec<Mutex<FxHashMap<Node, Verdict>>>,
     hits: AtomicU64,
     inferred_hits: AtomicU64,
@@ -114,9 +119,21 @@ impl VerdictStore {
     /// `ts`. The threshold is captured here so [`record`](Self::record) can
     /// decide descendant condemnation without the caller restating it.
     pub fn new(lattice: &Lattice, ts: usize) -> Self {
+        Self::for_model(lattice, ts, true)
+    }
+
+    /// [`Self::new`] with an explicit monotonicity declaration. Stores for
+    /// non-monotone models (`monotone = false`) refuse closure in *both*
+    /// directions: [`record`](Self::record) never writes
+    /// [`Verdict::InferredPass`] or [`Verdict::InferredFailK`], so the
+    /// inferred counters of such a store stay 0 forever and every lookup
+    /// answer is an exact replay. `for_model(lattice, ts, true)` is
+    /// bit-for-bit [`Self::new`].
+    pub fn for_model(lattice: &Lattice, ts: usize, monotone: bool) -> Self {
         VerdictStore {
             max_levels: lattice.max_levels().to_vec(),
             ts,
+            closure: monotone,
             shards: (0..N_SHARDS)
                 .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
@@ -222,6 +239,9 @@ impl VerdictStore {
         };
         if inserted {
             self.recorded_exact.fetch_add(1, Ordering::Relaxed);
+        }
+        if !self.closure {
+            return; // non-monotone model: no inference is sound
         }
         if check.satisfied {
             self.close_over_box(check.node.levels(), Closure::AncestorsPass);
@@ -377,6 +397,7 @@ mod tests {
                 CheckStage::KAnonymity
             },
             n_groups: Some(4),
+            detail: None,
         }
     }
 
@@ -492,6 +513,51 @@ mod tests {
     fn store_is_sync_and_send() {
         fn assert_bounds<T: Sync + Send>() {}
         assert_bounds::<VerdictStore>();
+    }
+
+    #[test]
+    fn non_monotone_store_refuses_closure_in_both_directions() {
+        let store = VerdictStore::for_model(&figure2(), 0, false);
+        // A pass that would close ancestors under a monotone model ...
+        store.record(&check(&[0, 0], true, 0));
+        // ... and a k-failure (violating > ts) that would close descendants.
+        store.record(&check(&[1, 1], false, 3));
+        assert_eq!(store.len(), 2, "only the two exact records exist");
+        for levels in [[0u8, 1], [0, 2], [1, 0], [1, 2]] {
+            assert_eq!(store.peek(&Node(levels.to_vec())), None, "{levels:?}");
+        }
+        // Inferred verdicts were neither recorded nor can they be served.
+        for node in figure2().all_nodes() {
+            let _ = store.lookup(&node, true);
+        }
+        let c = store.counters();
+        assert_eq!(c.recorded_inferred, 0, "closure must never run");
+        assert_eq!(c.inferred_hits, 0, "nothing inferred can be served");
+        assert_eq!((c.hits, c.misses), (2, 4));
+    }
+
+    #[test]
+    fn monotone_for_model_store_is_bit_for_bit_new() {
+        let plain = VerdictStore::new(&figure2(), 2);
+        let modeled = VerdictStore::for_model(&figure2(), 2, true);
+        for c in [
+            check(&[0, 0], false, 3), // k-failure: closes descendants (none)
+            check(&[1, 1], true, 0),  // pass: closes ancestors
+            check(&[0, 1], false, 1), // suppressible failure: no closure
+        ] {
+            plain.record(&c);
+            modeled.record(&c);
+        }
+        for node in figure2().all_nodes() {
+            assert_eq!(plain.peek(&node), modeled.peek(&node), "{node}");
+            assert_eq!(
+                plain.lookup(&node, true),
+                modeled.lookup(&node, true),
+                "{node}"
+            );
+        }
+        assert_eq!(plain.counters(), modeled.counters());
+        assert_eq!(plain.export_exact(), modeled.export_exact());
     }
 
     /// The concurrency stress test the issue asks for: 16 threads hammer one

@@ -12,6 +12,8 @@
 //! - [`scale`]: a size-parameterized Adult-shaped generator (no identifier
 //!   column, bounded dictionaries) for multi-million-row scaling runs, with
 //!   a chunk-streaming mode whose output concatenates to the one-shot table.
+//! - [`related`]: worked examples from the successor papers (l-diversity,
+//!   t-closeness) — golden inputs for the pluggable privacy models.
 //! - [`spec`]: the JSON dataset specification (attribute roles + hierarchies)
 //!   shared by the CLI file format and the server's `register` op.
 //! - [`fixtures`]: ready-to-register CSV + spec bundles for server tests and
@@ -24,6 +26,7 @@ pub mod adult;
 pub mod fixtures;
 pub mod hierarchies;
 pub mod paper;
+pub mod related;
 pub mod scale;
 pub mod spec;
 

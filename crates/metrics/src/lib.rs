@@ -11,6 +11,8 @@
 //!   the two disclosure types the paper distinguishes.
 //! - [`diversity`]: distinct / entropy / recursive (c,l) diversity — the
 //!   successor measures p-sensitivity anticipates, for comparison.
+//! - [`closeness`]: equal-distance earth mover's distance of each group's
+//!   confidential distribution from the table's (t-closeness reporting).
 //!
 //! ## Example
 //!
@@ -28,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod closeness;
 pub mod diversity;
 pub mod loss;
 pub mod risk;
 
+pub use closeness::{closeness_report, ClosenessReport};
 pub use diversity::{diversity_report, is_recursive_cl_diverse, DiversityReport};
 pub use loss::{avg_class_size, discernibility, ncp, precision, suppression_ratio, NcpReport};
 pub use risk::{

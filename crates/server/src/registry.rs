@@ -2,15 +2,18 @@
 //! requests against it.
 //!
 //! Each registered dataset keeps a pool of warm [`VerdictStore`]s keyed by
-//! `(p, k, ts)`. A store's monotonicity closure is only sound for one
-//! parameter configuration (see `psens_core::verdict`), so the pool never
-//! shares a store across configurations — but repeated `anonymize` requests
-//! with the *same* parameters replay each other's node verdicts instead of
-//! re-running the kernel, which is where a long-running daemon earns its
-//! keep over one-shot CLI invocations.
+//! `(model, k, ts)`. A store's verdicts are only sound for one privacy
+//! model and parameter configuration (see `psens_core::verdict`), so the
+//! pool never shares a store across configurations — but repeated
+//! `anonymize` requests with the *same* model and parameters replay each
+//! other's node verdicts instead of re-running the kernel, which is where a
+//! long-running daemon earns its keep over one-shot CLI invocations.
+//! Stores for non-monotone models are created with closure inference off
+//! ([`VerdictStore::for_model`]), so a pooled store can never smuggle an
+//! unsound inferred verdict into a later request.
 
 use crate::state::{SnapshotEntry, StateDir};
-use psens_core::VerdictStore;
+use psens_core::{ModelSpec, VerdictStore};
 use psens_datasets::Spec;
 use psens_hierarchy::QiSpace;
 use psens_microdata::csv::read_table_str;
@@ -19,8 +22,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A warm-pool key: `(dataset, p, k, ts)`.
-pub type PoolKey = (String, u32, u32, usize);
+/// A warm-pool key: `(dataset, model, k, ts)`.
+pub type PoolKey = (String, ModelSpec, u32, usize);
 
 /// One registered dataset: the interned table, its spec, and the warm
 /// verdict-store pool.
@@ -34,26 +37,32 @@ pub struct Dataset {
     pub spec: Spec,
     /// QI space built once from the spec's key hierarchies.
     pub qi: QiSpace,
-    stores: Mutex<HashMap<(u32, u32, usize), Arc<VerdictStore>>>,
+    stores: Mutex<HashMap<(ModelSpec, u32, usize), Arc<VerdictStore>>>,
     warm_hits: AtomicU64,
     cold_misses: AtomicU64,
 }
 
 impl Dataset {
-    /// The warm store for `(p, k, ts)`, creating it on first use. The bool
-    /// is `true` when the store already existed (a warm hit): subsequent
-    /// searches replay its verdicts instead of re-checking nodes.
-    pub fn store(&self, p: u32, k: u32, ts: usize) -> (Arc<VerdictStore>, bool) {
+    /// The warm store for `(model, k, ts)`, creating it on first use. The
+    /// bool is `true` when the store already existed (a warm hit):
+    /// subsequent searches replay its verdicts instead of re-checking
+    /// nodes. New stores inherit the model's monotonicity, so pools for
+    /// non-monotone models never perform closure inference.
+    pub fn store(&self, model: ModelSpec, k: u32, ts: usize) -> (Arc<VerdictStore>, bool) {
         let mut stores = self.stores.lock().expect("store pool poisoned");
-        match stores.get(&(p, k, ts)) {
+        match stores.get(&(model, k, ts)) {
             Some(store) => {
                 self.warm_hits.fetch_add(1, Ordering::Relaxed);
                 (Arc::clone(store), true)
             }
             None => {
                 self.cold_misses.fetch_add(1, Ordering::Relaxed);
-                let store = Arc::new(VerdictStore::new(&self.qi.lattice(), ts));
-                stores.insert((p, k, ts), Arc::clone(&store));
+                let store = Arc::new(VerdictStore::for_model(
+                    &self.qi.lattice(),
+                    ts,
+                    model.is_monotone(),
+                ));
+                stores.insert((model, k, ts), Arc::clone(&store));
                 (store, false)
             }
         }
@@ -69,18 +78,19 @@ impl Dataset {
         )
     }
 
-    /// Drops the warm store for `(p, k, ts)` (memory-pressure eviction).
-    /// In-flight searches holding the `Arc` finish unaffected; the next
-    /// request for this key rebuilds the pool cold with identical verdicts.
-    pub fn remove_store(&self, p: u32, k: u32, ts: usize) -> Option<Arc<VerdictStore>> {
+    /// Drops the warm store for `(model, k, ts)` (memory-pressure
+    /// eviction). In-flight searches holding the `Arc` finish unaffected;
+    /// the next request for this key rebuilds the pool cold with identical
+    /// verdicts.
+    pub fn remove_store(&self, model: ModelSpec, k: u32, ts: usize) -> Option<Arc<VerdictStore>> {
         self.stores
             .lock()
             .expect("store pool poisoned")
-            .remove(&(p, k, ts))
+            .remove(&(model, k, ts))
     }
 
     /// Every live pool, sorted by key — deterministic snapshot order.
-    pub fn pools(&self) -> Vec<((u32, u32, usize), Arc<VerdictStore>)> {
+    pub fn pools(&self) -> Vec<((ModelSpec, u32, usize), Arc<VerdictStore>)> {
         let stores = self.stores.lock().expect("store pool poisoned");
         let mut out: Vec<_> = stores
             .iter()
@@ -187,26 +197,26 @@ impl Registry {
         Ok(dataset)
     }
 
-    /// The warm store for `(p, k, ts)` on `dataset`, journaling pool
+    /// The warm store for `(model, k, ts)` on `dataset`, journaling pool
     /// creation and maintaining the LRU byte budget. All server request
     /// paths go through here; `Dataset::store` alone skips persistence.
     pub fn store_for(
         &self,
         dataset: &Arc<Dataset>,
-        p: u32,
+        model: ModelSpec,
         k: u32,
         ts: usize,
     ) -> (Arc<VerdictStore>, bool) {
-        let (store, warm) = dataset.store(p, k, ts);
+        let (store, warm) = dataset.store(model, k, ts);
         if !warm {
             if let Some(state) = &self.state {
                 // A lost pool line only costs a cold rebuild after restart
                 // (verdicts are pure functions of the key), so journal
                 // failure here degrades warm-up, never correctness.
-                let _ = state.log_pool(&dataset.name, p, k, ts);
+                let _ = state.log_pool(&dataset.name, model, k, ts);
             }
         }
-        let key: PoolKey = (dataset.name.clone(), p, k, ts);
+        let key: PoolKey = (dataset.name.clone(), model, k, ts);
         {
             let mut lru = self.lru.lock().expect("lru lock poisoned");
             lru.retain(|entry| entry != &key);
@@ -232,9 +242,9 @@ impl Registry {
                     None => return,
                 }
             };
-            let (name, p, k, ts) = victim;
+            let (name, model, k, ts) = victim;
             if let Some(dataset) = self.get(&name) {
-                if dataset.remove_store(p, k, ts).is_some() {
+                if dataset.remove_store(model, k, ts).is_some() {
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -276,14 +286,14 @@ impl Registry {
                 )),
             }
         }
-        for (name, p, k, ts) in recovered.pools {
+        for (name, model, k, ts) in recovered.pools {
             if let Some(dataset) = self.get(&name) {
                 // Warm the pool without re-journaling its creation.
-                let (_, warm) = dataset.store(p, k, ts);
+                let (_, warm) = dataset.store(model, k, ts);
                 if !warm {
                     stats.pools += 1;
                     let mut lru = self.lru.lock().expect("lru lock poisoned");
-                    lru.push((name.clone(), p, k, ts));
+                    lru.push((name.clone(), model, k, ts));
                 }
             }
         }
@@ -303,7 +313,7 @@ impl Registry {
                     ));
                     continue;
                 }
-                let (store, _) = dataset.store(entry.p, entry.k, entry.ts);
+                let (store, _) = dataset.store(entry.model, entry.k, entry.ts);
                 store.record(&entry.check);
                 stats.verdicts += 1;
             }
@@ -322,11 +332,11 @@ impl Registry {
         };
         let mut out = Vec::new();
         for dataset in datasets {
-            for ((p, k, ts), store) in dataset.pools() {
+            for ((model, k, ts), store) in dataset.pools() {
                 for check in store.export_exact() {
                     out.push(SnapshotEntry {
                         dataset: dataset.name.clone(),
-                        p,
+                        model,
                         k,
                         ts,
                         check,
@@ -435,16 +445,22 @@ mod tests {
     #[test]
     fn store_pool_is_keyed_by_parameters() {
         let (_, dataset) = registered();
-        let (a1, warm1) = dataset.store(2, 3, 5);
-        let (a2, warm2) = dataset.store(2, 3, 5);
-        let (b, warm_b) = dataset.store(2, 4, 5);
+        let psens2 = ModelSpec::PSensitiveK { p: 2 };
+        let (a1, warm1) = dataset.store(psens2, 3, 5);
+        let (a2, warm2) = dataset.store(psens2, 3, 5);
+        let (b, warm_b) = dataset.store(psens2, 4, 5);
         assert!(!warm1, "first request is a cold miss");
         assert!(warm2, "same parameters hit the warm store");
         assert!(!warm_b, "different k gets its own store");
         assert!(Arc::ptr_eq(&a1, &a2));
         assert!(!Arc::ptr_eq(&a1, &b));
+        // A different model with the same numeric parameter never shares a
+        // store — distinct-l(2) verdicts must not leak into psens-k(2).
+        let (c, warm_c) = dataset.store(ModelSpec::DistinctL { l: 2 }, 3, 5);
+        assert!(!warm_c, "different model gets its own store");
+        assert!(!Arc::ptr_eq(&a1, &c));
         let (warm, cold, live) = dataset.store_counters();
-        assert_eq!((warm, cold, live), (1, 2, 2));
+        assert_eq!((warm, cold, live), (1, 3, 3));
     }
 
     #[test]
@@ -454,7 +470,8 @@ mod tests {
         let dataset = registry
             .register("adult", &fixture.csv, fixture.spec)
             .unwrap();
-        let (store_a, _) = registry.store_for(&dataset, 1, 2, 0);
+        let psens1 = ModelSpec::PSensitiveK { p: 1 };
+        let (store_a, _) = registry.store_for(&dataset, psens1, 2, 0);
         store_a.record(&psens_core::NodeCheck {
             node: dataset.qi.lattice().bottom(),
             violating_tuples: 3,
@@ -462,12 +479,13 @@ mod tests {
             satisfied: false,
             stage: psens_core::CheckStage::KAnonymity,
             n_groups: None,
+            detail: None,
         });
         // Touching a second pool pushes total bytes over budget; the first
         // (LRU) pool is evicted, the just-touched one survives.
-        let (_store_b, _) = registry.store_for(&dataset, 2, 3, 0);
+        let (_store_b, _) = registry.store_for(&dataset, ModelSpec::PSensitiveK { p: 2 }, 3, 0);
         assert!(registry.evictions() >= 1);
-        let (rebuilt, warm) = registry.store_for(&dataset, 1, 2, 0);
+        let (rebuilt, warm) = registry.store_for(&dataset, psens1, 2, 0);
         assert!(!warm, "evicted pool rebuilds cold");
         assert_eq!(rebuilt.len(), 0, "rebuilt store starts empty");
         // The Arc handed out before eviction still works.
@@ -486,7 +504,8 @@ mod tests {
         let dataset = registry
             .register("adult", &fixture.csv, fixture.spec.clone())
             .unwrap();
-        let (store, _) = registry.store_for(&dataset, 2, 3, 5);
+        let psens2 = ModelSpec::PSensitiveK { p: 2 };
+        let (store, _) = registry.store_for(&dataset, psens2, 3, 5);
         store.record(&psens_core::NodeCheck {
             node: dataset.qi.lattice().bottom(),
             violating_tuples: 7,
@@ -494,6 +513,7 @@ mod tests {
             satisfied: false,
             stage: psens_core::CheckStage::KAnonymity,
             n_groups: Some(4),
+            detail: None,
         });
         registry.write_snapshot().expect("snapshot written");
 
@@ -507,7 +527,7 @@ mod tests {
             stats.warnings
         );
         let dataset = rebooted.get("adult").expect("dataset recovered");
-        let (store, warm) = dataset.store(2, 3, 5);
+        let (store, warm) = dataset.store(psens2, 3, 5);
         assert!(warm, "recovered pool is already live");
         assert_eq!(store.len(), 1, "snapshot verdict replayed");
         let _ = std::fs::remove_dir_all(&root);

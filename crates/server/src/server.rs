@@ -33,7 +33,7 @@
 //! Every degraded path — shed, reaped, evicted, panicked, recovering —
 //! either answers with an error or closes the connection. None of them
 //! alters a verdict: verdicts stay a pure function of
-//! `(dataset, p, k, ts)`, which the differential oracle and the chaos
+//! `(dataset, model, k, ts)`, which the differential oracle and the chaos
 //! harness assert byte-for-byte under injected faults.
 
 use crate::fault::{Action, FaultPlan, Site};
@@ -43,11 +43,12 @@ use crate::protocol::{
 };
 use crate::registry::{RecoveryStats, Registry};
 use crate::state::{SnapshotStats, StateDir};
-use psens_algorithms::samarati::{pk_minimal_generalization_tuned, Pruning};
+use psens_algorithms::samarati::{pk_minimal_generalization_model, Pruning};
 use psens_algorithms::Tuning;
 use psens_core::conditions::ConfidentialStats;
 use psens_core::{
-    check_p_sensitivity, max_k, max_p_of_masked, CancelToken, NoopObserver, SearchBudget,
+    check_p_sensitivity, check_table_model, max_k, max_p_of_masked, CancelToken, ModelSpec,
+    NoopObserver, SearchBudget,
 };
 use psens_datasets::Spec;
 use psens_metrics::{attribute_risk, identity_risk};
@@ -717,6 +718,34 @@ fn param_bool(
     }
 }
 
+/// Parses the request's privacy model: optional `model` name (default
+/// `psens-k`) plus its parameter — `p` for psens-k (default `default_p`,
+/// which differs between ops for compatibility), `l` for the diversity
+/// models, `t_ppm` (parts-per-million of t) for t-closeness.
+fn param_model(request: &JsonValue, default_p: u32) -> Result<ModelSpec, (&'static str, String)> {
+    let name = match request.get("model") {
+        Some(value) => value.as_str().map_err(|e| bad(format!("`model`: {e}")))?,
+        None => "psens-k",
+    };
+    match name {
+        "psens-k" => Ok(ModelSpec::PSensitiveK {
+            p: param_u32(request, "p", default_p)?,
+        }),
+        "distinct-l" => Ok(ModelSpec::DistinctL {
+            l: param_u32(request, "l", 2)?,
+        }),
+        "entropy-l" => Ok(ModelSpec::EntropyL {
+            l: param_u32(request, "l", 2)?,
+        }),
+        "t-closeness" => Ok(ModelSpec::TCloseness {
+            t_ppm: param_u32(request, "t_ppm", 200_000)?,
+        }),
+        other => Err(bad(format!(
+            "unknown privacy model `{other}` (expected psens-k, distinct-l, entropy-l, or t-closeness)"
+        ))),
+    }
+}
+
 fn lookup_dataset(
     state: &ServerState,
     request: &JsonValue,
@@ -855,29 +884,54 @@ fn register_op(state: &ServerState, request: &JsonValue) -> OpResult {
     Ok(result)
 }
 
-/// `check {dataset, p?, k?}`: the CLI `check` verdict on the interned table
-/// (whole-table serial path — identical results to the chunked one).
+/// `check {dataset, model?, p?/l?/t_ppm?, k?}`: the CLI `check` verdict on
+/// the interned table (whole-table serial path — identical results to the
+/// chunked one). The default model, `psens-k`, keeps its original response
+/// shape; every model also reports `model`/`param`.
 fn check_op(state: &ServerState, request: &JsonValue) -> OpResult {
     let dataset = lookup_dataset(state, request)?;
     let k = param_u32(request, "k", 2)?;
-    let p = param_u32(request, "p", 2)?;
+    let spec = param_model(request, 2)?;
     let schema = dataset.table.schema();
     let keys = schema.key_indices();
     let conf = schema.confidential_indices();
-    let report = check_p_sensitivity(&dataset.table, &keys, &conf, p, k);
     let maxk = max_k(&dataset.table, &keys);
     let maxp = max_p_of_masked(&dataset.table, &keys, &conf);
     let mut result = JsonValue::object();
     result.set("rows", JsonValue::Int(dataset.table.n_rows() as i64));
-    result.set("n_groups", JsonValue::Int(report.n_groups as i64));
-    result.set("k", JsonValue::Int(k as i64));
-    result.set("p", JsonValue::Int(p as i64));
-    result.set("k_anonymous", JsonValue::Bool(report.k_anonymous));
-    result.set("max_k", JsonValue::Int(maxk as i64));
-    result.set("max_p", JsonValue::Int(maxp as i64));
-    result.set("p_sensitive", JsonValue::Bool(report.violations.is_empty()));
-    result.set("violations", JsonValue::Int(report.violations.len() as i64));
-    result.set("satisfied", JsonValue::Bool(report.satisfied()));
+    match spec {
+        ModelSpec::PSensitiveK { p } => {
+            let report = check_p_sensitivity(&dataset.table, &keys, &conf, p, k);
+            result.set("n_groups", JsonValue::Int(report.n_groups as i64));
+            result.set("k", JsonValue::Int(k as i64));
+            result.set("p", JsonValue::Int(p as i64));
+            result.set("k_anonymous", JsonValue::Bool(report.k_anonymous));
+            result.set("max_k", JsonValue::Int(maxk as i64));
+            result.set("max_p", JsonValue::Int(maxp as i64));
+            result.set("p_sensitive", JsonValue::Bool(report.violations.is_empty()));
+            result.set("violations", JsonValue::Int(report.violations.len() as i64));
+            result.set("satisfied", JsonValue::Bool(report.satisfied()));
+        }
+        _ => {
+            let model = spec.instantiate();
+            let report = check_table_model(&dataset.table, &keys, &conf, model.as_ref(), k);
+            result.set("n_groups", JsonValue::Int(report.n_groups as i64));
+            result.set("k", JsonValue::Int(k as i64));
+            result.set("p", JsonValue::Int(spec.conditions_p() as i64));
+            result.set("k_anonymous", JsonValue::Bool(report.k_anonymous));
+            result.set("max_k", JsonValue::Int(maxk as i64));
+            result.set("max_p", JsonValue::Int(maxp as i64));
+            result.set("p_sensitive", JsonValue::Bool(report.violating_pairs == 0));
+            result.set("violations", JsonValue::Int(report.violating_pairs as i64));
+            result.set("satisfied", JsonValue::Bool(report.satisfied()));
+            if let Some(detail) = report.detail {
+                result.set("detail_kind", JsonValue::Str(detail.kind().to_owned()));
+                result.set("detail_value", JsonValue::Int(detail.value() as i64));
+            }
+        }
+    }
+    result.set("model", JsonValue::Str(spec.name().to_owned()));
+    result.set("param", JsonValue::Int(spec.param() as i64));
     Ok(result)
 }
 
@@ -935,11 +989,13 @@ fn analyze_op(state: &ServerState, request: &JsonValue) -> OpResult {
     Ok(result)
 }
 
-/// `anonymize {dataset, p?, k?, ts?, threads?, timeout_ms?, max_nodes?,
-/// no_cache?, include_masked?}`: Samarati's search with the paper's
-/// necessary-condition pruning, budgeted by the request deadline and the
-/// request's cancel token, consulting the dataset's warm verdict store for
-/// `(p, k, ts)` unless `no_cache`.
+/// `anonymize {dataset, model?, p?/l?/t_ppm?, k?, ts?, threads?,
+/// timeout_ms?, max_nodes?, no_cache?, include_masked?}`: Samarati's
+/// search with the paper's necessary-condition pruning, budgeted by the
+/// request deadline and the request's cancel token, consulting the
+/// dataset's warm verdict store for `(model, k, ts)` unless `no_cache`.
+/// Non-monotone models get a closure-free store from the same pool; the
+/// two knobs never double-disable each other.
 ///
 /// `timeout_ms` is measured from request **arrival**, so time queued at the
 /// admission gate counts against the deadline — an overloaded server
@@ -958,7 +1014,7 @@ fn anonymize_op(
 ) -> OpResult {
     let dataset = lookup_dataset(state, request)?;
     let k = param_u32(request, "k", 2)?;
-    let p = param_u32(request, "p", 1)?;
+    let spec = param_model(request, 1)?;
     let ts = param_usize(request, "ts", 0)?;
     let threads = param_usize(request, "threads", 0)?;
     let no_cache = param_bool(request, "no_cache", false)?;
@@ -979,7 +1035,7 @@ fn anonymize_op(
     let (store, warm) = match no_cache {
         true => (None, false),
         false => {
-            let (store, warm) = state.registry.store_for(&dataset, p, k, ts);
+            let (store, warm) = state.registry.store_for(&dataset, spec, k, ts);
             (Some(store), warm)
         }
     };
@@ -988,10 +1044,10 @@ fn anonymize_op(
         cache: store.as_deref(),
         chunk_rows: 0,
     };
-    let outcome = pk_minimal_generalization_tuned(
+    let outcome = pk_minimal_generalization_model(
         &dataset.table,
         &dataset.qi,
-        p,
+        spec,
         k,
         ts,
         Pruning::NecessaryConditions,
@@ -1001,6 +1057,8 @@ fn anonymize_op(
     )
     .map_err(|e| (codes::INTERNAL, e.to_string()))?;
     let mut verdict = JsonValue::object();
+    verdict.set("model", JsonValue::Str(spec.name().to_owned()));
+    verdict.set("param", JsonValue::Int(spec.param() as i64));
     verdict.set("satisfied", JsonValue::Bool(outcome.node.is_some()));
     verdict.set(
         "termination",

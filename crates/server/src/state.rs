@@ -8,8 +8,13 @@
 //!
 //! ```json
 //! {"kind":"register","name":"adult","file":"datasets/<fnv64>.csv","hash":"<fnv64>","spec":{...}}
-//! {"kind":"pool","dataset":"adult","p":2,"k":3,"ts":10}
+//! {"kind":"pool","dataset":"adult","model":"psens-k","param":2,"p":2,"k":3,"ts":10}
 //! ```
+//!
+//! Pool lines carry the privacy model as a `(model, param)` pair (see
+//! `psens_core::ModelSpec::from_parts`); a line written before models
+//! existed has no `model` field and replays as p-sensitive k-anonymity
+//! with its `p` — old journals stay replayable.
 //!
 //! The dataset CSV itself is stored content-addressed (`datasets/<fnv64 of
 //! bytes>.csv`, written via tmp+rename), so the journal never embeds
@@ -29,10 +34,10 @@
 //! marker carrying the line count and an FNV-1a hash of every preceding
 //! byte. A snapshot that fails any of those checks is discarded *whole*:
 //! pools then rebuild cold, and because a verdict is a pure function of
-//! `(dataset, p, k, ts)` the rebuilt verdicts are byte-identical — losing a
-//! snapshot costs warm-up time, never correctness.
+//! `(dataset, model, k, ts)` the rebuilt verdicts are byte-identical —
+//! losing a snapshot costs warm-up time, never correctness.
 
-use psens_core::{CheckStage, NodeCheck};
+use psens_core::{CheckStage, ModelDetail, ModelSpec, NodeCheck};
 use psens_datasets::Spec;
 use psens_hierarchy::Node;
 use psens_microdata::JsonValue;
@@ -71,8 +76,9 @@ pub struct RecoveredDataset {
 pub struct Recovered {
     /// Datasets whose CSV passed hash verification, in journal order.
     pub registrations: Vec<RecoveredDataset>,
-    /// Warm-pool keys `(dataset, p, k, ts)` to re-create, in journal order.
-    pub pools: Vec<(String, u32, u32, usize)>,
+    /// Warm-pool keys `(dataset, model, k, ts)` to re-create, in journal
+    /// order.
+    pub pools: Vec<(String, ModelSpec, u32, usize)>,
     /// Human-readable notes about skipped lines (torn tail, corrupt line,
     /// hash mismatch). Empty on a clean replay.
     pub warnings: Vec<String>,
@@ -83,8 +89,8 @@ pub struct Recovered {
 pub struct SnapshotEntry {
     /// Dataset the verdict belongs to.
     pub dataset: String,
-    /// Pool key: p.
-    pub p: u32,
+    /// Pool key: the privacy model (with its parameter).
+    pub model: ModelSpec,
     /// Pool key: k.
     pub k: u32,
     /// Pool key: suppression threshold.
@@ -159,11 +165,15 @@ impl StateDir {
     }
 
     /// Journals a warm-pool creation. Call **before** inserting the store.
-    pub fn log_pool(&self, dataset: &str, p: u32, k: u32, ts: usize) -> io::Result<()> {
+    /// The `p` field is still written (as the model's Conditions-`p`) so
+    /// pre-model readers of the journal keep making sense of psens-k lines.
+    pub fn log_pool(&self, dataset: &str, model: ModelSpec, k: u32, ts: usize) -> io::Result<()> {
         let mut line = JsonValue::object();
         line.set("kind", JsonValue::Str("pool".into()));
         line.set("dataset", JsonValue::Str(dataset.to_owned()));
-        line.set("p", JsonValue::Int(i64::from(p)));
+        line.set("model", JsonValue::Str(model.name().to_owned()));
+        line.set("param", JsonValue::Int(model.param() as i64));
+        line.set("p", JsonValue::Int(i64::from(model.conditions_p())));
         line.set("k", JsonValue::Int(i64::from(k)));
         line.set("ts", JsonValue::Int(ts as i64));
         self.append_line(&line)
@@ -230,7 +240,7 @@ impl StateDir {
                     let key = (|| {
                         Some((
                             parsed.get("dataset")?.as_str().ok()?.to_owned(),
-                            u32::try_from(parsed.get("p")?.as_u64().ok()?).ok()?,
+                            parse_model(&parsed)?,
                             u32::try_from(parsed.get("k")?.as_u64().ok()?).ok()?,
                             parsed.get("ts")?.as_usize().ok()?,
                         ))
@@ -381,10 +391,29 @@ fn parse_stage(text: &str) -> Option<CheckStage> {
     })
 }
 
+/// The `(model, param)` pair of a journal/snapshot line, falling back to
+/// p-sensitive k-anonymity with the line's `p` when the line predates
+/// pluggable models.
+fn parse_model(line: &JsonValue) -> Option<ModelSpec> {
+    match line.get("model") {
+        Some(model) => {
+            let name = model.as_str().ok()?;
+            let param = line.get("param")?.as_u64().ok()?;
+            ModelSpec::from_parts(name, param).ok()
+        }
+        None => {
+            let p = u32::try_from(line.get("p")?.as_u64().ok()?).ok()?;
+            Some(ModelSpec::PSensitiveK { p })
+        }
+    }
+}
+
 fn snapshot_line(entry: &SnapshotEntry) -> JsonValue {
     let mut line = JsonValue::object();
     line.set("dataset", JsonValue::Str(entry.dataset.clone()));
-    line.set("p", JsonValue::Int(i64::from(entry.p)));
+    line.set("model", JsonValue::Str(entry.model.name().to_owned()));
+    line.set("param", JsonValue::Int(entry.model.param() as i64));
+    line.set("p", JsonValue::Int(i64::from(entry.model.conditions_p())));
     line.set("k", JsonValue::Int(i64::from(entry.k)));
     line.set("ts", JsonValue::Int(entry.ts as i64));
     line.set(
@@ -416,6 +445,10 @@ fn snapshot_line(entry: &SnapshotEntry) -> JsonValue {
             None => JsonValue::Null,
         },
     );
+    if let Some(detail) = entry.check.detail {
+        line.set("detail_kind", JsonValue::Str(detail.kind().to_owned()));
+        line.set("detail_value", JsonValue::Int(detail.value() as i64));
+    }
     line
 }
 
@@ -432,9 +465,21 @@ fn parse_snapshot_line(text: &str) -> Option<SnapshotEntry> {
         JsonValue::Null => None,
         other => Some(other.as_usize().ok()?),
     };
+    // Detail is optional on the wire (absent for distinct-count models and
+    // for snapshots written before models existed).
+    let detail = match line.get("detail_kind") {
+        Some(kind) => Some(
+            ModelDetail::from_parts(
+                kind.as_str().ok()?,
+                line.get("detail_value")?.as_u64().ok()?,
+            )
+            .ok()?,
+        ),
+        None => None,
+    };
     Some(SnapshotEntry {
         dataset: line.get("dataset")?.as_str().ok()?.to_owned(),
-        p: u32::try_from(line.get("p")?.as_u64().ok()?).ok()?,
+        model: parse_model(&line)?,
         k: u32::try_from(line.get("k")?.as_u64().ok()?).ok()?,
         ts: line.get("ts")?.as_usize().ok()?,
         check: NodeCheck {
@@ -444,6 +489,7 @@ fn parse_snapshot_line(text: &str) -> Option<SnapshotEntry> {
             satisfied: line.get("satisfied")?.as_bool().ok()?,
             stage: parse_stage(line.get("stage")?.as_str().ok()?)?,
             n_groups,
+            detail,
         },
     })
 }
@@ -467,10 +513,16 @@ mod tests {
         state
             .log_register("adult", &fixture.csv, &fixture.spec)
             .unwrap();
-        state.log_pool("adult", 2, 3, 10).unwrap();
-        state.log_pool("adult", 1, 2, 0).unwrap();
+        state
+            .log_pool("adult", ModelSpec::PSensitiveK { p: 2 }, 3, 10)
+            .unwrap();
+        state
+            .log_pool("adult", ModelSpec::DistinctL { l: 3 }, 2, 0)
+            .unwrap();
         // Pool lines for datasets that never registered are dropped.
-        state.log_pool("ghost", 1, 2, 0).unwrap();
+        state
+            .log_pool("ghost", ModelSpec::PSensitiveK { p: 1 }, 2, 0)
+            .unwrap();
 
         let recovered = StateDir::open(&root).unwrap().replay();
         assert_eq!(recovered.registrations.len(), 1);
@@ -479,8 +531,8 @@ mod tests {
         assert_eq!(
             recovered.pools,
             vec![
-                ("adult".to_owned(), 2, 3, 10),
-                ("adult".to_owned(), 1, 2, 0)
+                ("adult".to_owned(), ModelSpec::PSensitiveK { p: 2 }, 3, 10),
+                ("adult".to_owned(), ModelSpec::DistinctL { l: 3 }, 2, 0)
             ]
         );
         assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
@@ -495,7 +547,9 @@ mod tests {
         state
             .log_register("adult", &fixture.csv, &fixture.spec)
             .unwrap();
-        state.log_pool("adult", 2, 3, 10).unwrap();
+        state
+            .log_pool("adult", ModelSpec::PSensitiveK { p: 2 }, 3, 10)
+            .unwrap();
         // Corrupt the stored CSV after the fact.
         let hash = fnv1a64(fixture.csv.as_bytes());
         let path = root.join(format!("datasets/{hash:016x}.csv"));
@@ -522,7 +576,9 @@ mod tests {
         state
             .log_register("adult", &fixture.csv, &fixture.spec)
             .unwrap();
-        state.log_pool("adult", 2, 3, 10).unwrap();
+        state
+            .log_pool("adult", ModelSpec::PSensitiveK { p: 2 }, 3, 10)
+            .unwrap();
         drop(state);
         let journal = root.join(JOURNAL_FILE);
         let full = std::fs::read(&journal).unwrap();
@@ -552,7 +608,7 @@ mod tests {
         let entries = vec![
             SnapshotEntry {
                 dataset: "adult".into(),
-                p: 2,
+                model: ModelSpec::PSensitiveK { p: 2 },
                 k: 3,
                 ts: 10,
                 check: NodeCheck {
@@ -562,11 +618,12 @@ mod tests {
                     satisfied: false,
                     stage: CheckStage::KAnonymity,
                     n_groups: None,
+                    detail: None,
                 },
             },
             SnapshotEntry {
                 dataset: "adult".into(),
-                p: 2,
+                model: ModelSpec::PSensitiveK { p: 2 },
                 k: 3,
                 ts: 10,
                 check: NodeCheck {
@@ -576,11 +633,27 @@ mod tests {
                     satisfied: true,
                     stage: CheckStage::Passed,
                     n_groups: Some(7),
+                    detail: None,
+                },
+            },
+            SnapshotEntry {
+                dataset: "adult".into(),
+                model: ModelSpec::TCloseness { t_ppm: 250_000 },
+                k: 2,
+                ts: 0,
+                check: NodeCheck {
+                    node: Node(vec![1, 0]),
+                    violating_tuples: 0,
+                    suppressed: 0,
+                    satisfied: true,
+                    stage: CheckStage::Passed,
+                    n_groups: Some(4),
+                    detail: Some(ModelDetail::MaxEmdPpm(125_000)),
                 },
             },
         ];
         let stats = state.write_snapshot(&entries).unwrap();
-        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.entries, 3);
         assert_eq!(state.load_snapshot().expect("snapshot loads"), entries);
 
         // Truncation at every byte boundary: the loader either returns the
