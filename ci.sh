@@ -293,6 +293,134 @@ grep -q 'shutdown complete' "$SMOKE_DIR/chaos2.log" \
 grep -q 'snapshot written' "$SMOKE_DIR/chaos2.log" \
   || { echo "clean shutdown should have written a snapshot"; cat "$SMOKE_DIR/chaos2.log"; exit 1; }
 
+echo "==> incremental: 200-delta stream, incremental == scratch, kill -9 mid-stream + resume"
+# The DESIGN.md §17 contract end to end through the release binaries: a
+# seeded 200-batch update stream fed through `client --op update` must leave
+# the live table verdict-identical (at 1 and 8 threads) to a fresh server
+# registered directly with the converged table — and a kill -9 mid-stream
+# must lose nothing acknowledged: the write-ahead delta journal replays the
+# prefix, `stats.deltas_applied` is the resume cursor, and the resumed
+# stream converges to the same verdicts.
+INC_DIR="$SMOKE_DIR/incremental"
+mkdir -p "$INC_DIR"
+"$PSENS" generate --rows 400 --seed 17 --out "$INC_DIR/base.csv" \
+  --deltas 200 --deltas-out "$INC_DIR/deltas.jsonl" --final-out "$INC_DIR/final.csv" > /dev/null
+target/release/psens-server --listen 127.0.0.1:0 --state-dir "$INC_DIR/state" \
+  --addr-file "$INC_DIR/live.addr" > "$INC_DIR/live1.log" 2>&1 &
+server_pid=$!
+tries=0
+while [ ! -s "$INC_DIR/live.addr" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+[ -s "$INC_DIR/live.addr" ] \
+  || { echo "incremental server never wrote its addr file"; cat "$INC_DIR/live1.log"; exit 1; }
+"$PSENS" client --addr-file "$INC_DIR/live.addr" --op register --name inc-adult \
+  --input "$INC_DIR/base.csv" --spec "$SMOKE_DIR/spec.json" > /dev/null
+# A watch keeps a warm pool under selective invalidation across the stream.
+"$PSENS" client --addr-file "$INC_DIR/live.addr" --op watch --dataset inc-adult \
+  --p 2 --k 3 --ts 50 > /dev/null
+# Stream the first 120 batches, then kill -9 with no clean shutdown.
+n=0
+while read -r batch && [ "$n" -lt 120 ]; do
+  n=$((n + 1))
+  "$PSENS" client --addr-file "$INC_DIR/live.addr" --op update --dataset inc-adult \
+    --delta "$batch" > /dev/null
+done < "$INC_DIR/deltas.jsonl"
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+target/release/psens-server --listen 127.0.0.1:0 --state-dir "$INC_DIR/state" \
+  --addr-file "$INC_DIR/live2.addr" > "$INC_DIR/live2.log" 2>&1 &
+server_pid=$!
+tries=0
+while [ ! -s "$INC_DIR/live2.addr" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+[ -s "$INC_DIR/live2.addr" ] \
+  || { echo "restarted incremental server never wrote its addr file"; cat "$INC_DIR/live2.log"; exit 1; }
+# Every acknowledged update was journaled write-ahead (synced per record),
+# so the replayed prefix is exactly the 120 batches the client saw land.
+"$PSENS" client --addr-file "$INC_DIR/live2.addr" --op stats > "$INC_DIR/stats_resume.json"
+applied=$(grep -o '"deltas_applied": [0-9]*' "$INC_DIR/stats_resume.json" | head -1 | grep -o '[0-9]*')
+[ "$applied" = "120" ] \
+  || { echo "resume cursor should be 120 journaled deltas, got '$applied'"; cat "$INC_DIR/live2.log"; exit 1; }
+# Resume exactly where the journal left off and finish the stream.
+n=0
+while read -r batch; do
+  n=$((n + 1))
+  [ "$n" -le "$applied" ] && continue
+  "$PSENS" client --addr-file "$INC_DIR/live2.addr" --op update --dataset inc-adult \
+    --delta "$batch" > /dev/null
+done < "$INC_DIR/deltas.jsonl"
+# The live table must now have converged to final.csv's row count...
+final_rows=$(($(wc -l < "$INC_DIR/final.csv") - 1))
+"$PSENS" client --addr-file "$INC_DIR/live2.addr" --op stats > "$INC_DIR/stats_done.json"
+grep -q "\"rows\": $final_rows" "$INC_DIR/stats_done.json" \
+  || { echo "live table row count diverged from generate --final-out ($final_rows)"; cat "$INC_DIR/stats_done.json"; exit 1; }
+# ...and a scratch server registered with final.csv directly must produce
+# byte-identical verdicts at 1 and 8 threads.
+target/release/psens-server --listen 127.0.0.1:0 \
+  --addr-file "$INC_DIR/scratch.addr" > "$INC_DIR/scratch.log" 2>&1 &
+scratch_pid=$!
+tries=0
+while [ ! -s "$INC_DIR/scratch.addr" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1)); sleep 0.1
+done
+[ -s "$INC_DIR/scratch.addr" ] \
+  || { echo "scratch server never wrote its addr file"; cat "$INC_DIR/scratch.log"; kill -9 "$scratch_pid" 2>/dev/null || true; exit 1; }
+"$PSENS" client --addr-file "$INC_DIR/scratch.addr" --op register --name inc-adult \
+  --input "$INC_DIR/final.csv" --spec "$SMOKE_DIR/spec.json" > /dev/null
+for threads in 1 8; do
+  "$PSENS" client --addr-file "$INC_DIR/live2.addr" --op anonymize --dataset inc-adult \
+    --p 2 --k 3 --ts 50 --threads "$threads" > "$INC_DIR/inc_t$threads.json"
+  "$PSENS" client --addr-file "$INC_DIR/scratch.addr" --op anonymize --dataset inc-adult \
+    --p 2 --k 3 --ts 50 --threads "$threads" > "$INC_DIR/scr_t$threads.json"
+  for f in "inc_t$threads" "scr_t$threads"; do
+    sed -n '/"verdict"/,/^  }/p' "$INC_DIR/$f.json" > "$INC_DIR/$f.verdict"
+  done
+  cmp "$INC_DIR/inc_t$threads.verdict" "$INC_DIR/scr_t$threads.verdict" \
+    || { echo "incremental vs scratch verdicts diverged at threads=$threads"; kill -9 "$scratch_pid" 2>/dev/null || true; exit 1; }
+done
+cmp "$INC_DIR/inc_t1.verdict" "$INC_DIR/inc_t8.verdict" \
+  || { echo "incremental verdicts diverged between 1 and 8 threads"; kill -9 "$scratch_pid" 2>/dev/null || true; exit 1; }
+kill -INT "$scratch_pid"
+wait "$scratch_pid" 2>/dev/null || true
+kill -INT "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=""
+[ "$server_rc" -eq 0 ] \
+  || { echo "incremental server exited $server_rc on SIGINT"; cat "$INC_DIR/live2.log"; exit 1; }
+
+echo "==> guard: every committed .proptest-regressions file replays green"
+# A renamed or deleted proptest suite silently orphans its regression file —
+# the recorded counterexamples then never replay again and a revived bug
+# rides in unnoticed. Re-run the owning test target for every committed
+# regressions file; an orphan fails loudly because the target no longer
+# exists. (The full-suite `cargo test` above already replayed them once;
+# this stage pins the file-to-target correspondence.)
+find . -name '*.proptest-regressions' -not -path './target/*' | while read -r reg; do
+  name=$(basename "$reg" .proptest-regressions)
+  case "$reg" in
+    ./tests/*)
+      [ -f "./tests/$name.rs" ] \
+        || { echo "orphaned regressions file (no tests/$name.rs): $reg"; exit 1; }
+      cargo test -q --locked --test "$name" > /dev/null \
+        || { echo "regressions replay failed for $reg"; exit 1; }
+      ;;
+    ./crates/*/tests/*)
+      crate=${reg#./crates/}; crate=${crate%%/*}
+      [ -f "./crates/$crate/tests/$name.rs" ] \
+        || { echo "orphaned regressions file (no crates/$crate/tests/$name.rs): $reg"; exit 1; }
+      cargo test -q --locked -p "psens-$crate" --test "$name" > /dev/null \
+        || { echo "regressions replay failed for $reg"; exit 1; }
+      ;;
+    *)
+      echo "regressions file in unexpected location: $reg"; exit 1
+      ;;
+  esac
+done
+
 echo "==> gate: chunked group-by thread scaling (threads=8 vs 1 at 10M rows)"
 # The morsel executor must actually buy wall-clock on real parallelism:
 # on hosts with >= 4 cores, 8 threads must beat 1 thread or the gate fails.

@@ -86,8 +86,8 @@ pub use pram_backend::{pram_minimal_masking, PramBackendConfig, PramBackendError
 pub use report::{RunReport, TerminationReport};
 pub use samarati::{
     k_minimal_generalization, pk_minimal_generalization, pk_minimal_generalization_budgeted,
-    pk_minimal_generalization_model, pk_minimal_generalization_observed,
-    pk_minimal_generalization_tuned, Pruning, SearchOutcome,
+    pk_minimal_generalization_model, pk_minimal_generalization_model_with_stats,
+    pk_minimal_generalization_observed, pk_minimal_generalization_tuned, Pruning, SearchOutcome,
 };
 pub use stats::SearchStats;
 pub use tuning::Tuning;

@@ -87,6 +87,7 @@ pub fn k_minimal_generalization(
         &SearchBudget::unlimited(),
         Tuning::default(),
         &NoopObserver,
+        None,
     )
 }
 
@@ -111,6 +112,7 @@ pub fn pk_minimal_generalization(
         &SearchBudget::unlimited(),
         Tuning::default(),
         &NoopObserver,
+        None,
     )
 }
 
@@ -136,6 +138,7 @@ pub fn pk_minimal_generalization_observed<O: SearchObserver>(
         &SearchBudget::unlimited(),
         Tuning::default(),
         observer,
+        None,
     )
 }
 
@@ -164,6 +167,7 @@ pub fn pk_minimal_generalization_budgeted<O: SearchObserver>(
         budget,
         Tuning::default(),
         observer,
+        None,
     )
 }
 
@@ -200,6 +204,7 @@ pub fn pk_minimal_generalization_tuned<O: SearchObserver>(
         budget,
         tuning,
         observer,
+        None,
     )
 }
 
@@ -222,7 +227,43 @@ pub fn pk_minimal_generalization_model<O: SearchObserver>(
     tuning: Tuning<'_>,
     observer: &O,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
-    search(initial, qi, spec, k, ts, pruning, budget, tuning, observer)
+    search(
+        initial, qi, spec, k, ts, pruning, budget, tuning, observer, None,
+    )
+}
+
+/// [`pk_minimal_generalization_model`] with caller-supplied confidential
+/// statistics, skipping the from-scratch [`ConfidentialStats`] recompute.
+/// The incremental update path maintains these statistics across deltas
+/// (`psens-core::incremental::LiveTable::stats`) byte-identically to
+/// [`ConfidentialStats::compute`], so supplying them changes nothing but
+/// the startup cost; passing statistics that do not match `initial` is a
+/// logic error and yields unspecified verdicts.
+#[allow(clippy::too_many_arguments)]
+pub fn pk_minimal_generalization_model_with_stats<O: SearchObserver>(
+    initial: &Table,
+    qi: &QiSpace,
+    spec: ModelSpec,
+    k: u32,
+    ts: usize,
+    pruning: Pruning,
+    budget: &SearchBudget,
+    tuning: Tuning<'_>,
+    observer: &O,
+    stats: &ConfidentialStats,
+) -> Result<SearchOutcome, psens_hierarchy::Error> {
+    search(
+        initial,
+        qi,
+        spec,
+        k,
+        ts,
+        pruning,
+        budget,
+        tuning,
+        observer,
+        Some(stats),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -236,6 +277,7 @@ fn search<O: SearchObserver>(
     budget: &SearchBudget,
     tuning: Tuning<'_>,
     observer: &O,
+    precomputed: Option<&ConfidentialStats>,
 ) -> Result<SearchOutcome, psens_hierarchy::Error> {
     // Every model's group verdict implies p-sensitivity at `conditions_p`,
     // which is what keeps Conditions 1-2 (and winner materialization) sound
@@ -253,7 +295,10 @@ fn search<O: SearchObserver>(
         effective_threads: tuning.effective_threads(),
         ..Default::default()
     };
-    let real_stats = ctx.initial_stats();
+    let real_stats = match precomputed {
+        Some(stats) => stats.clone(),
+        None => ctx.initial_stats(),
+    };
     let check_stats = match pruning {
         Pruning::NecessaryConditions => real_stats.clone(),
         Pruning::None => unbounded_stats(initial.n_rows()),

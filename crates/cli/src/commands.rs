@@ -64,8 +64,12 @@ COMMANDS:
   generate   Generate synthetic microdata
              --rows N [--seed S] --out FILE.csv
              [--profile adult|scale] [--chunk-rows N]
+             [--deltas N --deltas-out FILE.jsonl [--final-out FILE.csv]]
              profile `scale` drops the identifier/weight columns and
              streams to disk chunk by chunk: bounded memory at any --rows
+             --deltas also writes a seeded update sequence (one JSON batch
+             per line, for `client --op update`) plus, with --final-out,
+             the CSV the base table becomes after applying every batch
   spec       Write a built-in spec as JSON
              --out SPEC.json [--profile adult|scale]
   check      Check a privacy model on a CSV
@@ -102,8 +106,8 @@ COMMANDS:
              [--chunk-rows N] (chunked ingest needs --spec)
   client     Send one request to a running psens-server
              --addr HOST:PORT | --addr-file PATH
-             --op register|check|analyze|anonymize|query|stats|health|
-                  inject|shutdown
+             --op register|check|analyze|anonymize|query|update|watch|
+                  stats|health|inject|shutdown
              register: --name NAME --input FILE.csv --spec SPEC.json
              check:     --dataset NAME [--model NAME] [--p P] [--l L]
                         [--t-ppm N] [--k K]
@@ -113,6 +117,15 @@ COMMANDS:
                         [--timeout-ms N] [--max-nodes N] [--threads N]
                         [--no-cache]
              query:     --dataset NAME --sql STATEMENT
+             update:    --dataset NAME --delta JSON | --delta-file PATH
+                        (a {\"appends\":[[cells]],\"deletes\":[ix]} batch, e.g.
+                        one line of `generate --deltas-out`; applies it to
+                        the live table, selectively invalidates warm
+                        verdict pools, and re-verifies active watches)
+             watch:     --dataset NAME [--model NAME] [--p P] [--l L]
+                        [--t-ppm N] [--k K] [--ts N]
+                        (registers the spec for re-verification after
+                        every update; prints the baseline verdict)
              inject:    --plan JSON | --plan-file PATH | --clear
                         (server must run with --enable-inject)
              [--retries N [--retry-base-ms N] [--retry-max-ms N]] retries
@@ -274,15 +287,126 @@ fn load_spec(args: &Args) -> Result<Spec, String> {
     Spec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+/// Tiny xorshift64* PRNG: `generate --deltas` must be reproducible from
+/// `--seed` alone, with no dependency on the `rand` crate from the CLI.
+struct DeltaRng(u64);
+
+impl DeltaRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+/// Emits `n` seeded delta batches as JSON lines (`{"appends":[[cells]],
+/// "deletes":[ix]}`), applying each to the evolving table so deletes index
+/// real rows. The mix deliberately covers the oracle's interesting cases:
+/// duplicate-only appends (sterile candidates), delete-only batches (group
+/// deaths), and fresh-row batches (group births, stats shifts). Returns
+/// the JSONL text and the table after all batches.
+fn generate_delta_sequence(base: &Table, n: usize, seed: u64) -> Result<(String, Table), String> {
+    use psens_microdata::{DeltaBatch, Value};
+    let mut rng = DeltaRng(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut current = base.clone();
+    let mut jsonl = String::new();
+    for i in 0..n {
+        let n_rows = current.n_rows();
+        let mut appends: Vec<Vec<Value>> = Vec::new();
+        let mut deletes: Vec<usize> = Vec::new();
+        let roll = rng.below(100);
+        if roll < 30 && n_rows > 0 {
+            // Exact duplicates of existing rows — the sterile-append path.
+            for _ in 0..1 + rng.below(3) {
+                appends.push(current.row(rng.below(n_rows)).map_err(|e| e.to_string())?);
+            }
+        } else if roll < 60 && n_rows > 4 {
+            // Deletes only — shrinks groups, possibly to death.
+            let mut picks = std::collections::BTreeSet::new();
+            for _ in 0..1 + rng.below(3) {
+                picks.insert(rng.below(n_rows));
+            }
+            deletes = picks.into_iter().collect();
+        } else {
+            // Fresh rows (new value combinations) plus an occasional delete.
+            let fresh =
+                AdultGenerator::new(seed.wrapping_add(1 + i as u64)).generate(1 + rng.below(2));
+            for r in 0..fresh.n_rows() {
+                appends.push(fresh.row(r).map_err(|e| e.to_string())?);
+            }
+            if n_rows > 4 && rng.below(2) == 0 {
+                deletes.push(rng.below(n_rows));
+            }
+        }
+        let mut line = JsonValue::object();
+        line.set(
+            "appends",
+            JsonValue::Array(
+                appends
+                    .iter()
+                    .map(|row| {
+                        JsonValue::Array(
+                            row.iter()
+                                .map(|v| JsonValue::Str(v.render().into_owned()))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        );
+        line.set(
+            "deletes",
+            JsonValue::Array(
+                deletes
+                    .iter()
+                    .map(|&ix| JsonValue::Int(ix as i64))
+                    .collect(),
+            ),
+        );
+        jsonl.push_str(&line.to_json());
+        jsonl.push('\n');
+        let batch = DeltaBatch { appends, deletes };
+        current = batch.apply(&current).map_err(|e| e.to_string())?;
+    }
+    Ok((jsonl, current))
+}
+
 fn generate(args: &Args) -> Result<String, String> {
     let rows = args.get_usize("rows", 1000)?;
     let seed = args.get_u64("seed", 42)?;
+    let deltas = args.get_usize("deltas", 0)?;
     let out = args.require("out")?;
     let mut file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+    if deltas > 0 && args.get("profile").unwrap_or("adult") != "adult" {
+        return Err("--deltas is only supported with --profile adult".to_owned());
+    }
     match args.get("profile").unwrap_or("adult") {
         "adult" => {
             let table = AdultGenerator::new(seed).generate(rows);
             csv::write_table(&mut file, &table, true).map_err(|e| e.to_string())?;
+            if deltas > 0 {
+                let deltas_out = args.require("deltas-out")?;
+                let (jsonl, finished) = generate_delta_sequence(&table, deltas, seed)?;
+                std::fs::write(deltas_out, jsonl)
+                    .map_err(|e| format!("writing {deltas_out}: {e}"))?;
+                if let Some(final_out) = args.get("final-out") {
+                    let mut final_file = std::fs::File::create(final_out)
+                        .map_err(|e| format!("creating {final_out}: {e}"))?;
+                    csv::write_table(&mut final_file, &finished, true)
+                        .map_err(|e| e.to_string())?;
+                }
+                return Ok(format!(
+                    "wrote {rows} rows to {out}, {deltas} deltas to {deltas_out} (final: {} rows)",
+                    finished.n_rows()
+                ));
+            }
         }
         "scale" => {
             // Stream chunk by chunk so --rows 10000000 never holds more
@@ -907,7 +1031,7 @@ fn client(args: &Args) -> Result<CmdOutput, String> {
             params.set("csv", JsonValue::Str(text));
             params.set("spec", load_spec(args)?.to_json());
         }
-        "check" | "analyze" | "anonymize" | "query" => {
+        "check" | "analyze" | "anonymize" | "query" | "watch" => {
             params.set(
                 "dataset",
                 JsonValue::Str(args.require("dataset")?.to_owned()),
@@ -935,6 +1059,31 @@ fn client(args: &Args) -> Result<CmdOutput, String> {
             }
             if let Some(sql) = args.get("sql") {
                 params.set("sql", JsonValue::Str(sql.to_owned()));
+            }
+        }
+        "update" => {
+            params.set(
+                "dataset",
+                JsonValue::Str(args.require("dataset")?.to_owned()),
+            );
+            let delta_text = match (args.get("delta"), args.get("delta-file")) {
+                (Some(delta), _) => delta.to_owned(),
+                (None, Some(path)) => {
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+                }
+                (None, None) => {
+                    return Err("update needs --delta JSON or --delta-file PATH".to_owned())
+                }
+            };
+            let delta = JsonValue::parse(&delta_text)
+                .map_err(|e| format!("delta is not valid JSON: {e}"))?;
+            // Copy only the batch fields: delta lines from `generate
+            // --deltas` carry a `dataset` key of their own which the
+            // --dataset flag overrides.
+            for key in ["appends", "deletes"] {
+                if let Some(value) = delta.get(key) {
+                    params.set(key, value.clone());
+                }
             }
         }
         "inject" => {

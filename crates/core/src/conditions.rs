@@ -60,22 +60,39 @@ pub struct ConfidentialStats {
     pub cf: Vec<usize>,
 }
 
-impl ConfidentialStats {
-    /// Computes the statistics of `table`'s attributes at `confidential`.
-    pub fn compute(table: &Table, confidential: &[usize]) -> ConfidentialStats {
-        let per_attribute: Vec<AttributeFrequencyStats> = confidential
+impl AttributeFrequencyStats {
+    /// Builds one attribute's statistics from its descending-ordered
+    /// frequencies. Every other field (`s`, `cumulative`) is a pure function
+    /// of that sequence, so any producer that reproduces the descending
+    /// counts byte-for-byte — `FrequencySet` or the incremental
+    /// hash-multiset tracker — yields `==` statistics by construction.
+    pub fn from_descending(
+        attribute: usize,
+        name: String,
+        descending: Vec<usize>,
+    ) -> AttributeFrequencyStats {
+        let cumulative = descending
             .iter()
-            .map(|&attr| {
-                let fs = FrequencySet::of(table, &[attr]);
-                AttributeFrequencyStats {
-                    attribute: attr,
-                    name: table.schema().attribute(attr).name().to_owned(),
-                    s: fs.n_combinations(),
-                    descending: fs.descending_counts(),
-                    cumulative: fs.cumulative_descending(),
-                }
+            .scan(0usize, |acc, &f| {
+                *acc += f;
+                Some(*acc)
             })
             .collect();
+        AttributeFrequencyStats {
+            attribute,
+            name,
+            s: descending.len(),
+            descending,
+            cumulative,
+        }
+    }
+}
+
+impl ConfidentialStats {
+    /// Assembles the combined statistics from per-attribute rows: `cf_i =
+    /// max_j cf_i^j` for `i = 1..=maxP`. The single seam every computation
+    /// path (serial, chunk-parallel, incremental) funnels through.
+    pub fn assemble(n: usize, per_attribute: Vec<AttributeFrequencyStats>) -> ConfidentialStats {
         let max_p = per_attribute.iter().map(|a| a.s).min().unwrap_or(0);
         let cf = (0..max_p)
             .map(|i| {
@@ -87,10 +104,26 @@ impl ConfidentialStats {
             })
             .collect();
         ConfidentialStats {
-            n: table.n_rows(),
+            n,
             per_attribute,
             cf,
         }
+    }
+
+    /// Computes the statistics of `table`'s attributes at `confidential`.
+    pub fn compute(table: &Table, confidential: &[usize]) -> ConfidentialStats {
+        let per_attribute = confidential
+            .iter()
+            .map(|&attr| {
+                let fs = FrequencySet::of(table, &[attr]);
+                AttributeFrequencyStats::from_descending(
+                    attr,
+                    table.schema().attribute(attr).name().to_owned(),
+                    fs.descending_counts(),
+                )
+            })
+            .collect();
+        ConfidentialStats::assemble(table.n_rows(), per_attribute)
     }
 
     /// [`ConfidentialStats::compute`] over a [`ChunkedTable`], with the
@@ -103,34 +136,18 @@ impl ConfidentialStats {
         confidential: &[usize],
         threads: usize,
     ) -> ConfidentialStats {
-        let per_attribute: Vec<AttributeFrequencyStats> = confidential
+        let per_attribute = confidential
             .iter()
             .map(|&attr| {
                 let fs = FrequencySet::of_chunked(chunked, &[attr], threads);
-                AttributeFrequencyStats {
-                    attribute: attr,
-                    name: chunked.schema().attribute(attr).name().to_owned(),
-                    s: fs.n_combinations(),
-                    descending: fs.descending_counts(),
-                    cumulative: fs.cumulative_descending(),
-                }
+                AttributeFrequencyStats::from_descending(
+                    attr,
+                    chunked.schema().attribute(attr).name().to_owned(),
+                    fs.descending_counts(),
+                )
             })
             .collect();
-        let max_p = per_attribute.iter().map(|a| a.s).min().unwrap_or(0);
-        let cf = (0..max_p)
-            .map(|i| {
-                per_attribute
-                    .iter()
-                    .map(|a| a.cumulative[i])
-                    .max()
-                    .unwrap_or(0)
-            })
-            .collect();
-        ConfidentialStats {
-            n: chunked.n_rows(),
-            per_attribute,
-            cf,
-        }
+        ConfidentialStats::assemble(chunked.n_rows(), per_attribute)
     }
 
     /// **Condition 1**: the largest `p` any masking of this microdata can

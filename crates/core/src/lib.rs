@@ -74,6 +74,7 @@ pub mod conditions;
 pub mod disclosure;
 pub mod evaluator;
 pub mod extended;
+pub mod incremental;
 pub mod kanonymity;
 pub mod masking;
 pub mod model;
@@ -89,6 +90,7 @@ pub use conditions::{AttributeFrequencyStats, ConfidentialStats, MaxGroups};
 pub use disclosure::{attribute_disclosure_count, attribute_disclosures, AttributeDisclosure};
 pub use evaluator::{CacheCheck, EvalContext, NodeCheck, NodeEvaluator, VerdictSource};
 pub use extended::{check_extended, extended_max_p, ConfidentialSpec, ExtendedReport};
+pub use incremental::{invalidation_for, DeltaEffect, LiveTable};
 pub use kanonymity::{check_k_anonymity, is_k_anonymous, max_k, max_k_chunked, KAnonymityReport};
 pub use masking::{MaskOutcome, MaskingContext};
 pub use model::{
@@ -108,4 +110,4 @@ pub use suppress::{
     locally_suppress_to_k, suppress_to_k, suppress_within_threshold, LocalSuppressionResult,
     SuppressionResult,
 };
-pub use verdict::{StoreCounters, Verdict, VerdictStore};
+pub use verdict::{Invalidation, InvalidationOutcome, StoreCounters, Verdict, VerdictStore};

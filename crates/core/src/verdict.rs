@@ -28,6 +28,8 @@
 //! admission happens strictly after a cache miss (see
 //! `NodeEvaluator::check_cached`).
 
+use crate::checker::CheckStage;
+use crate::conditions::ConfidentialStats;
 use crate::evaluator::NodeCheck;
 use psens_hierarchy::{Lattice, Node};
 use psens_microdata::hash::FxHashMap;
@@ -84,6 +86,11 @@ pub struct StoreCounters {
     pub recorded_exact: u64,
     /// Inferred verdicts recorded by monotonicity closure.
     pub recorded_inferred: u64,
+    /// Verdicts retained across [`VerdictStore::invalidate`] calls because
+    /// the delta provably could not flip them.
+    pub kept: u64,
+    /// Verdicts dropped by [`VerdictStore::invalidate`] calls.
+    pub invalidated: u64,
 }
 
 impl StoreCounters {
@@ -112,6 +119,43 @@ pub struct VerdictStore {
     misses: AtomicU64,
     recorded_exact: AtomicU64,
     recorded_inferred: AtomicU64,
+    kept: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+/// How a delta batch invalidates a store's cached verdicts. Produced by the
+/// incremental layer's classifier (`psens-core::incremental`) from what the
+/// batch actually changed, consumed by [`VerdictStore::invalidate`].
+#[derive(Debug, Clone, Copy)]
+pub enum Invalidation<'a> {
+    /// The batch is net-zero on the row multiset: every `NodeCheck` field is
+    /// a function of that multiset, so every verdict stands.
+    KeepAll,
+    /// No soundness argument applies: drop everything.
+    DropAll,
+    /// The batch was *sterile* — append-only, every appended row an exact
+    /// duplicate of an existing row whose ground QI-group already had `>= k`
+    /// tuples, under a distinct-count model. Partitions, violation counts,
+    /// and per-group distinct sets are then unchanged at every node; only
+    /// the confidential frequency statistics moved. Each entry is re-judged
+    /// against the *new* statistics and kept iff Conditions 1/2 still settle
+    /// it the same way (see DESIGN.md §17 for the full argument).
+    Conditions {
+        /// Confidential statistics of the table *after* the batch.
+        stats: &'a ConfidentialStats,
+        /// The model's sensitivity requirement (`p`, or `l` for the
+        /// distinct-`l` model).
+        p: u32,
+    },
+}
+
+/// What an [`VerdictStore::invalidate`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvalidationOutcome {
+    /// Entries retained because the delta provably cannot flip them.
+    pub kept: u64,
+    /// Entries dropped for re-derivation.
+    pub invalidated: u64,
 }
 
 impl VerdictStore {
@@ -142,6 +186,8 @@ impl VerdictStore {
             misses: AtomicU64::new(0),
             recorded_exact: AtomicU64::new(0),
             recorded_inferred: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -300,6 +346,82 @@ impl VerdictStore {
         }
     }
 
+    /// Applies an invalidation policy after a delta batch, dropping every
+    /// verdict the policy cannot prove stable and counting both sides.
+    ///
+    /// Soundness rests on the policy's precondition, not on anything checked
+    /// here — the incremental layer only emits [`Invalidation::Conditions`]
+    /// for batches where the partition-derived fields of every cached
+    /// [`NodeCheck`] are unchanged (see [`Invalidation`] and DESIGN.md §17),
+    /// in which case an entry survives iff a fresh evaluation against the
+    /// new statistics would reproduce it byte-for-byte:
+    ///
+    /// * [`Verdict::InferredFailK`] is kept: the ancestor's
+    ///   `violating_tuples > ts` certificate is partition-derived.
+    /// * [`Verdict::InferredPass`] is dropped: its witness descendant may
+    ///   itself have flipped on Conditions 1/2.
+    /// * [`Verdict::Exact`] entries are re-judged per stage: a Condition-1
+    ///   failure stands iff the new statistics still refuse `p`; a
+    ///   Condition-2 failure stands iff Condition 1 passes and the recorded
+    ///   group count is still over the new `maxGroups`; any later stage
+    ///   (whose scan outcome is partition-derived) stands iff both
+    ///   conditions still admit it. Entries carrying a histogram `detail`
+    ///   are always dropped — their metrics quote frequencies, which moved.
+    pub fn invalidate(&self, policy: Invalidation<'_>) -> InvalidationOutcome {
+        let mut outcome = InvalidationOutcome::default();
+        match policy {
+            Invalidation::KeepAll => {
+                outcome.kept = self.len() as u64;
+            }
+            Invalidation::DropAll => {
+                for shard in &self.shards {
+                    let mut map = shard.lock().expect("verdict shard lock poisoned");
+                    outcome.invalidated += map.len() as u64;
+                    map.clear();
+                }
+            }
+            Invalidation::Conditions { stats, p } => {
+                for shard in &self.shards {
+                    let mut map = shard.lock().expect("verdict shard lock poisoned");
+                    let before = map.len() as u64;
+                    map.retain(|_, verdict| survives_conditions(verdict, stats, p));
+                    outcome.kept += map.len() as u64;
+                    outcome.invalidated += before - map.len() as u64;
+                }
+            }
+        }
+        self.kept.fetch_add(outcome.kept, Ordering::Relaxed);
+        self.invalidated
+            .fetch_add(outcome.invalidated, Ordering::Relaxed);
+        outcome
+    }
+
+    /// Every entry in the store — exact *and* inferred — sorted by node
+    /// levels. Intended for tests and diagnostics (e.g. rebuilding a store
+    /// to cross-check [`approx_bytes`](Self::approx_bytes)).
+    pub fn snapshot_entries(&self) -> Vec<(Node, Verdict)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().expect("verdict shard lock poisoned");
+            for (node, verdict) in map.iter() {
+                out.push((node.clone(), verdict.clone()));
+            }
+        }
+        out.sort_by(|a, b| a.0.levels().cmp(b.0.levels()));
+        out
+    }
+
+    /// Inserts a raw entry without closure or counter side effects. Test
+    /// support for reconstructing a store from [`Self::snapshot_entries`];
+    /// not part of the serving path.
+    #[doc(hidden)]
+    pub fn insert_raw(&self, node: Node, verdict: Verdict) {
+        self.shard_of(&node)
+            .lock()
+            .expect("verdict shard lock poisoned")
+            .insert(node, verdict);
+    }
+
     /// Snapshot of the traffic and recording counters.
     pub fn counters(&self) -> StoreCounters {
         StoreCounters {
@@ -308,6 +430,8 @@ impl VerdictStore {
             misses: self.misses.load(Ordering::Relaxed),
             recorded_exact: self.recorded_exact.load(Ordering::Relaxed),
             recorded_inferred: self.recorded_inferred.load(Ordering::Relaxed),
+            kept: self.kept.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
         }
     }
 
@@ -373,6 +497,29 @@ impl VerdictStore {
 enum Closure {
     AncestorsPass,
     DescendantsFailK,
+}
+
+/// The per-entry keep rule of [`Invalidation::Conditions`]. See
+/// [`VerdictStore::invalidate`] for the stage-by-stage argument.
+fn survives_conditions(verdict: &Verdict, stats: &ConfidentialStats, p: u32) -> bool {
+    let check = match verdict {
+        Verdict::InferredFailK => return true,
+        Verdict::InferredPass => return false,
+        Verdict::Exact(check) => check,
+    };
+    if check.detail.is_some() {
+        return false; // histogram details quote frequencies, which moved
+    }
+    let c1 = stats.condition1(p);
+    match check.stage {
+        CheckStage::Condition1 => !c1,
+        CheckStage::Condition2 => {
+            c1 && matches!(check.n_groups, Some(g) if !stats.condition2(p, g))
+        }
+        CheckStage::KAnonymity | CheckStage::DetailedScan | CheckStage::Passed => {
+            c1 && matches!(check.n_groups, Some(g) if stats.condition2(p, g))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -507,6 +654,166 @@ mod tests {
         assert!(one > 0);
         store.record(&check(&[1, 1], true, 0));
         assert!(store.approx_bytes() > one, "more entries, more bytes");
+    }
+
+    /// Statistics with one confidential attribute of descending frequencies
+    /// `descending` — `maxP = len(descending)`, `maxGroups(2) = n - f_1`.
+    fn stats_of(descending: &[usize]) -> crate::conditions::ConfidentialStats {
+        use crate::conditions::{AttributeFrequencyStats, ConfidentialStats};
+        let n = descending.iter().sum();
+        ConfidentialStats::assemble(
+            n,
+            vec![AttributeFrequencyStats::from_descending(
+                1,
+                "S".into(),
+                descending.to_vec(),
+            )],
+        )
+    }
+
+    #[test]
+    fn keep_all_and_drop_all_count_every_entry() {
+        let store = VerdictStore::new(&figure2(), 0);
+        store.record(&check(&[1, 1], true, 0)); // + inferred pass at <1,2>
+        store.record(&check(&[0, 1], false, 1)); // + inferred FailK at <0,0>
+        assert_eq!(store.len(), 4);
+        let kept = store.invalidate(Invalidation::KeepAll);
+        assert_eq!(
+            kept,
+            InvalidationOutcome {
+                kept: 4,
+                invalidated: 0
+            }
+        );
+        assert_eq!(store.len(), 4, "keep-all drops nothing");
+        let dropped = store.invalidate(Invalidation::DropAll);
+        assert_eq!(
+            dropped,
+            InvalidationOutcome {
+                kept: 0,
+                invalidated: 4
+            }
+        );
+        assert!(store.is_empty());
+        let c = store.counters();
+        assert_eq!((c.kept, c.invalidated), (4, 4));
+    }
+
+    #[test]
+    fn conditions_policy_rejudges_each_stage() {
+        // New statistics after a sterile append: maxP = 3, maxGroups(2) = 3.
+        let stats = stats_of(&[3, 2, 1]);
+        assert!(stats.condition1(2) && !stats.condition1(4));
+        assert!(stats.condition2(2, 3) && !stats.condition2(2, 4));
+        let lattice = Lattice::new(vec![3, 3]);
+        let entry = |stage, satisfied, n_groups, levels: &[u8]| NodeCheck {
+            stage,
+            satisfied,
+            n_groups,
+            ..check(levels, satisfied, 0)
+        };
+        let survivors = [
+            // Passed with 3 groups: both conditions still admit it.
+            entry(CheckStage::Passed, true, Some(3), &[0, 0]),
+            // Condition-2 failure with 4 groups: still over the bound.
+            entry(CheckStage::Condition2, false, Some(4), &[0, 1]),
+        ];
+        let casualties = [
+            // Passed with 4 groups: Condition 2 now rejects it.
+            entry(CheckStage::Passed, true, Some(4), &[1, 0]),
+            // Condition-2 failure with 3 groups: the bound now admits it.
+            entry(CheckStage::Condition2, false, Some(3), &[1, 1]),
+            // Condition-1 failure at p = 2: the new stats accept p = 2.
+            entry(CheckStage::Condition1, false, None, &[2, 0]),
+            // Histogram detail: metrics quote frequencies, always dropped.
+            NodeCheck {
+                detail: Some(crate::model::ModelDetail::MinEntropyMicroNats(7)),
+                ..entry(CheckStage::Passed, true, Some(3), &[2, 1])
+            },
+        ];
+        let store = VerdictStore::for_model(&lattice, 0, false); // no closure noise
+        for c in survivors.iter().chain(&casualties) {
+            store.record(c);
+        }
+        let outcome = store.invalidate(Invalidation::Conditions {
+            stats: &stats,
+            p: 2,
+        });
+        assert_eq!(
+            outcome,
+            InvalidationOutcome {
+                kept: 2,
+                invalidated: 4
+            }
+        );
+        for c in &survivors {
+            assert_eq!(
+                store.peek(&c.node),
+                Some(Verdict::Exact(c.clone())),
+                "{}",
+                c.node
+            );
+        }
+        for c in &casualties {
+            assert_eq!(store.peek(&c.node), None, "{}", c.node);
+        }
+        // A Condition-1 failure survives when the new stats still refuse p.
+        let store = VerdictStore::for_model(&lattice, 0, false);
+        store.record(&entry(CheckStage::Condition1, false, None, &[0, 0]));
+        let outcome = store.invalidate(Invalidation::Conditions {
+            stats: &stats,
+            p: 4,
+        });
+        assert_eq!(
+            outcome,
+            InvalidationOutcome {
+                kept: 1,
+                invalidated: 0
+            }
+        );
+    }
+
+    #[test]
+    fn conditions_policy_keeps_fail_k_but_drops_inferred_passes() {
+        let stats = stats_of(&[3, 2, 1]);
+        let store = VerdictStore::new(&figure2(), 0);
+        store.record(&check(&[1, 1], true, 0)); // inferred pass at <1,2>
+        store.record(&check(&[0, 1], false, 1)); // violating 1 > ts 0: FailK below
+        assert_eq!(store.peek(&Node(vec![1, 2])), Some(Verdict::InferredPass));
+        assert_eq!(store.peek(&Node(vec![0, 0])), Some(Verdict::InferredFailK));
+        store.invalidate(Invalidation::Conditions {
+            stats: &stats,
+            p: 2,
+        });
+        assert_eq!(
+            store.peek(&Node(vec![1, 2])),
+            None,
+            "inferred passes drop: the witness may itself have flipped"
+        );
+        assert_eq!(
+            store.peek(&Node(vec![0, 0])),
+            Some(Verdict::InferredFailK),
+            "the k-violation certificate is partition-derived and stands"
+        );
+    }
+
+    #[test]
+    fn snapshot_and_raw_insert_round_trip_approx_bytes() {
+        let store = VerdictStore::new(&figure2(), 0);
+        store.record(&check(&[1, 1], true, 0));
+        store.record(&check(&[0, 1], false, 1));
+        let rebuilt = VerdictStore::new(&figure2(), 0);
+        for (node, verdict) in store.snapshot_entries() {
+            rebuilt.insert_raw(node, verdict);
+        }
+        assert_eq!(rebuilt.len(), store.len());
+        assert_eq!(rebuilt.approx_bytes(), store.approx_bytes());
+        assert_eq!(rebuilt.snapshot_entries(), store.snapshot_entries());
+        assert_eq!(
+            rebuilt.counters(),
+            StoreCounters::default(),
+            "raw inserts are counter-neutral"
+        );
     }
 
     #[test]

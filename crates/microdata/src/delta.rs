@@ -1,0 +1,411 @@
+//! Row-level deltas against immutable [`Table`]s, and the incremental
+//! counters the re-anonymization layer maintains across them.
+//!
+//! A [`DeltaBatch`] is the unit of change: a set of appended rows plus a set
+//! of deleted row indices, applied atomically. [`DeltaBatch::apply`] derives
+//! the successor table deterministically — survivors keep their relative
+//! order, appends follow in batch order — so replaying the same batch
+//! sequence always reproduces the same table (the property the write-ahead
+//! delta journal relies on).
+//!
+//! [`RowMultiset`] and [`IncrementalFrequency`] are the multiset-level
+//! counters that survive deltas in O(|delta|) instead of O(n): the paper's
+//! frequency sets (Definition 4) consume only the *counts* of value
+//! combinations, never their order, so a hash multiset reproduces the
+//! descending/cumulative forms byte-for-byte.
+
+use crate::builder::TableBuilder;
+use crate::error::{Error, Result};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One atomic batch of row changes against a table.
+///
+/// `deletes` are row indices into the *current* table (before any append of
+/// this batch); `appends` are full rows in schema order. Deletes are applied
+/// first, then appends, and both happen in one step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaBatch {
+    /// Rows to append, each in schema order.
+    pub appends: Vec<Vec<Value>>,
+    /// Indices of rows to delete from the current table.
+    pub deletes: Vec<usize>,
+}
+
+impl DeltaBatch {
+    /// A batch that only appends rows.
+    pub fn append_rows(appends: Vec<Vec<Value>>) -> DeltaBatch {
+        DeltaBatch {
+            appends,
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A batch that only deletes rows.
+    pub fn delete_rows(deletes: Vec<usize>) -> DeltaBatch {
+        DeltaBatch {
+            appends: Vec::new(),
+            deletes,
+        }
+    }
+
+    /// True when the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.appends.is_empty() && self.deletes.is_empty()
+    }
+
+    /// True when the batch deletes nothing.
+    pub fn is_append_only(&self) -> bool {
+        self.deletes.is_empty()
+    }
+
+    /// Validates the batch against `table`: every append row must match the
+    /// schema's arity (kind mismatches surface in [`apply`](Self::apply)
+    /// through the row builder), and every delete index must be in bounds
+    /// and unique.
+    pub fn validate(&self, table: &Table) -> Result<()> {
+        for row in &self.appends {
+            if row.len() != table.schema().len() {
+                return Err(Error::ArityMismatch {
+                    expected: table.schema().len(),
+                    found: row.len(),
+                });
+            }
+        }
+        let mut seen = vec![false; table.n_rows()];
+        for &ix in &self.deletes {
+            if ix >= table.n_rows() {
+                return Err(Error::RowOutOfBounds {
+                    index: ix,
+                    len: table.n_rows(),
+                });
+            }
+            if seen[ix] {
+                return Err(Error::Io(format!("row {ix} deleted twice in one batch")));
+            }
+            seen[ix] = true;
+        }
+        Ok(())
+    }
+
+    /// Applies the batch, producing the successor table: survivors in their
+    /// original order, then the appended rows in batch order.
+    pub fn apply(&self, table: &Table) -> Result<Table> {
+        self.validate(table)?;
+        let mut deleted = vec![false; table.n_rows()];
+        for &ix in &self.deletes {
+            deleted[ix] = true;
+        }
+        let survivors = table.filter(|i| !deleted[i]);
+        if self.appends.is_empty() {
+            return Ok(survivors);
+        }
+        let mut builder = TableBuilder::new(table.schema().clone());
+        for row in &self.appends {
+            builder.push_row(row.clone())?;
+        }
+        survivors.concat(&builder.finish())
+    }
+}
+
+/// An exact multiset of full rows, maintained across deltas.
+///
+/// Backs the net-zero detection of the invalidation classifier: a batch
+/// whose touched rows all end at their starting count cannot change any
+/// multiset-derived quantity (every `NodeCheck` field is one).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowMultiset {
+    counts: HashMap<Vec<Value>, usize>,
+    total: usize,
+}
+
+impl RowMultiset {
+    /// The multiset of `table`'s rows.
+    pub fn of(table: &Table) -> RowMultiset {
+        let mut set = RowMultiset::default();
+        for i in 0..table.n_rows() {
+            set.insert(table.row(i).expect("index in range"));
+        }
+        set
+    }
+
+    /// Multiplicity of `row` (0 when absent).
+    pub fn count(&self, row: &[Value]) -> usize {
+        self.counts.get(row).copied().unwrap_or(0)
+    }
+
+    /// Number of rows counted, with multiplicity.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct rows.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one occurrence of `row`.
+    pub fn insert(&mut self, row: Vec<Value>) {
+        *self.counts.entry(row).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Removes one occurrence of `row`.
+    ///
+    /// # Panics
+    /// Panics when `row` is not present — the callers maintain the set in
+    /// lockstep with a table, so a miss is a logic error, not bad input.
+    pub fn remove(&mut self, row: &[Value]) {
+        let count = self
+            .counts
+            .get_mut(row)
+            .unwrap_or_else(|| panic!("row absent from multiset"));
+        *count -= 1;
+        if *count == 0 {
+            self.counts.remove(row);
+        }
+        self.total -= 1;
+    }
+}
+
+/// An incrementally maintained frequency set over an attribute subset —
+/// the hash-multiset twin of [`crate::FrequencySet`].
+///
+/// [`crate::FrequencySet`] keeps its keys in first-appearance order, which
+/// deletes and re-inserts cannot reproduce; this tracker therefore promises
+/// equality only at the level the paper's conditions consume: the
+/// key-to-count mapping and its descending/cumulative forms, which are
+/// byte-identical to a from-scratch recompute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalFrequency {
+    by: Vec<usize>,
+    counts: HashMap<Vec<Value>, usize>,
+    total: usize,
+}
+
+impl IncrementalFrequency {
+    /// Builds the tracker from `table`'s attributes at `by`.
+    pub fn of(table: &Table, by: &[usize]) -> IncrementalFrequency {
+        let mut tracker = IncrementalFrequency {
+            by: by.to_vec(),
+            counts: HashMap::new(),
+            total: 0,
+        };
+        for i in 0..table.n_rows() {
+            let key: Vec<Value> = by.iter().map(|&c| table.value(i, c)).collect();
+            tracker.insert_key(key);
+        }
+        tracker
+    }
+
+    /// The attribute indices this tracker projects.
+    pub fn by(&self) -> &[usize] {
+        &self.by
+    }
+
+    /// Extracts this tracker's key from a full row and counts it once more.
+    pub fn insert_row(&mut self, row: &[Value]) {
+        let key: Vec<Value> = self.by.iter().map(|&c| row[c].clone()).collect();
+        self.insert_key(key);
+    }
+
+    /// Extracts this tracker's key from a full row and removes one count.
+    pub fn remove_row(&mut self, row: &[Value]) {
+        let key: Vec<Value> = self.by.iter().map(|&c| row[c].clone()).collect();
+        let count = self
+            .counts
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("key absent from frequency tracker"));
+        *count -= 1;
+        if *count == 0 {
+            self.counts.remove(&key);
+        }
+        self.total -= 1;
+    }
+
+    fn insert_key(&mut self, key: Vec<Value>) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of distinct combinations (the paper's `s_j`).
+    pub fn n_combinations(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total rows counted (the paper's `n`).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Count of one combination, or 0 when absent.
+    pub fn count_of(&self, key: &[Value]) -> usize {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Frequencies sorted descending — byte-identical to
+    /// [`crate::FrequencySet::descending_counts`] on the same table.
+    pub fn descending_counts(&self) -> Vec<usize> {
+        let mut counts: Vec<usize> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::table_from_str_rows;
+    use crate::freq::FrequencySet;
+    use crate::schema::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::cat_key("Sex"),
+            Attribute::int_key("Age"),
+            Attribute::cat_confidential("Illness"),
+        ])
+        .unwrap()
+    }
+
+    fn base() -> Table {
+        table_from_str_rows(
+            schema(),
+            &[
+                &["M", "30", "Flu"],
+                &["F", "40", "HIV"],
+                &["M", "30", "Cold"],
+                &["F", "40", "Flu"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn row(sex: &str, age: i64, illness: &str) -> Vec<Value> {
+        vec![
+            Value::Text(sex.into()),
+            Value::Int(age),
+            Value::Text(illness.into()),
+        ]
+    }
+
+    #[test]
+    fn apply_preserves_survivor_order_then_appends() {
+        let t = base();
+        let batch = DeltaBatch {
+            appends: vec![row("M", 50, "Flu")],
+            deletes: vec![1],
+        };
+        let next = batch.apply(&t).unwrap();
+        assert_eq!(next.n_rows(), 4);
+        assert_eq!(next.row(0).unwrap(), row("M", 30, "Flu"));
+        assert_eq!(next.row(1).unwrap(), row("M", 30, "Cold"));
+        assert_eq!(next.row(2).unwrap(), row("F", 40, "Flu"));
+        assert_eq!(next.row(3).unwrap(), row("M", 50, "Flu"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_batches() {
+        let t = base();
+        let wide = DeltaBatch::append_rows(vec![vec![Value::Missing]]);
+        assert!(matches!(wide.apply(&t), Err(Error::ArityMismatch { .. })));
+        let oob = DeltaBatch::delete_rows(vec![9]);
+        assert!(matches!(oob.apply(&t), Err(Error::RowOutOfBounds { .. })));
+        let twice = DeltaBatch::delete_rows(vec![1, 1]);
+        assert!(twice.apply(&t).is_err());
+        let wrong_kind = DeltaBatch::append_rows(vec![vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Text("x".into()),
+        ]]);
+        assert!(matches!(
+            wrong_kind.apply(&t),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_reproduces_the_table() {
+        let t = base();
+        let next = DeltaBatch::default().apply(&t).unwrap();
+        assert_eq!(next, t);
+    }
+
+    #[test]
+    fn row_multiset_tracks_inserts_and_removes() {
+        let t = base();
+        let mut set = RowMultiset::of(&t);
+        assert_eq!(set.total(), 4);
+        assert_eq!(set.distinct(), 4);
+        set.insert(row("M", 30, "Flu"));
+        assert_eq!(set.count(&row("M", 30, "Flu")), 2);
+        set.remove(&row("M", 30, "Flu"));
+        set.remove(&row("M", 30, "Flu"));
+        assert_eq!(set.count(&row("M", 30, "Flu")), 0);
+        assert_eq!(set.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn removing_an_absent_row_panics() {
+        let mut set = RowMultiset::of(&base());
+        set.remove(&row("X", 1, "Nope"));
+    }
+
+    #[test]
+    fn incremental_frequency_matches_frequency_set_after_deltas() {
+        let mut table = base();
+        let mut tracker = IncrementalFrequency::of(&table, &[2]);
+        let batches = [
+            DeltaBatch::append_rows(vec![row("M", 30, "Flu"), row("F", 20, "Measles")]),
+            DeltaBatch::delete_rows(vec![0, 3]),
+            DeltaBatch {
+                appends: vec![row("M", 60, "Cold")],
+                deletes: vec![1],
+            },
+        ];
+        for batch in &batches {
+            for &ix in &batch.deletes {
+                tracker.remove_row(&table.row(ix).unwrap());
+            }
+            for r in &batch.appends {
+                tracker.insert_row(r);
+            }
+            table = batch.apply(&table).unwrap();
+            let scratch = FrequencySet::of(&table, &[2]);
+            assert_eq!(tracker.total(), scratch.total());
+            assert_eq!(tracker.n_combinations(), scratch.n_combinations());
+            assert_eq!(tracker.descending_counts(), scratch.descending_counts());
+            for (key, count) in scratch.iter() {
+                assert_eq!(tracker.count_of(key), count);
+            }
+        }
+    }
+
+    #[test]
+    fn group_key_deletion_drops_to_zero_and_returns() {
+        // A group death followed by a rebirth: first-appearance order is
+        // unreproducible, the count map is — which is all we promise.
+        let mut table = base();
+        let mut tracker = IncrementalFrequency::of(&table, &[0, 1]);
+        let death = DeltaBatch::delete_rows(vec![1, 3]); // both (F, 40) rows
+        for &ix in &death.deletes {
+            tracker.remove_row(&table.row(ix).unwrap());
+        }
+        table = death.apply(&table).unwrap();
+        assert_eq!(
+            tracker.count_of(&[Value::Text("F".into()), Value::Int(40)]),
+            0
+        );
+        let rebirth = DeltaBatch::append_rows(vec![row("F", 40, "Asthma")]);
+        tracker.insert_row(&rebirth.appends[0]);
+        table = rebirth.apply(&table).unwrap();
+        let scratch = FrequencySet::of(&table, &[0, 1]);
+        assert_eq!(tracker.descending_counts(), scratch.descending_counts());
+        assert_eq!(
+            tracker.count_of(&[Value::Text("F".into()), Value::Int(40)]),
+            1
+        );
+    }
+}

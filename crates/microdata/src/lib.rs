@@ -53,6 +53,7 @@ mod builder;
 mod chunked;
 mod column;
 pub mod csv;
+mod delta;
 mod describe;
 mod dictionary;
 mod display;
@@ -73,6 +74,7 @@ pub use chunked::{
     DictionaryMerger, LocalCodes,
 };
 pub use column::{CatColumn, Column, IntColumn};
+pub use delta::{DeltaBatch, IncrementalFrequency, RowMultiset};
 pub use describe::{describe, describe_column, ColumnSummary};
 pub use dictionary::Dictionary;
 pub use display::render;

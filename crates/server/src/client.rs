@@ -164,6 +164,44 @@ impl Client {
         response_result(&response).map_err(|e| format!("{op}: {e}"))
     }
 
+    /// Polls the `health` op with linear backoff until `ready` accepts the
+    /// report or `timeout` elapses, returning the last report either way
+    /// (`Err` carries it rendered, alongside the last transport error if
+    /// any). Deterministic readiness for tests and scripts: asserting on a
+    /// counter the server increments *around* an observable event (a socket
+    /// close, a drained queue) is a race when read once, and a sleep is a
+    /// guess — this loop is neither.
+    pub fn wait_healthy(
+        &mut self,
+        timeout: Duration,
+        mut ready: impl FnMut(&JsonValue) -> bool,
+    ) -> Result<JsonValue, String> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut delay = Duration::from_millis(5);
+        loop {
+            let last = match self.call_ok("health", JsonValue::object()) {
+                Ok(health) => {
+                    if ready(&health) {
+                        return Ok(health);
+                    }
+                    Ok(health)
+                }
+                Err(e) => Err(e),
+            };
+            if std::time::Instant::now() >= deadline {
+                return Err(match last {
+                    Ok(health) => format!(
+                        "health never became ready; last report: {}",
+                        health.to_json()
+                    ),
+                    Err(e) => format!("health unreachable: {e}"),
+                });
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(100));
+        }
+    }
+
     /// [`Client::call_ok`] with retries on `busy` sheds and transport
     /// failures, per `policy`. The request id is allocated once and reused
     /// verbatim on every attempt (idempotent retry); `stats` accumulates

@@ -13,36 +13,156 @@
 //! unsound inferred verdict into a later request.
 
 use crate::state::{SnapshotEntry, StateDir};
-use psens_core::{ModelSpec, VerdictStore};
+use psens_core::{ConfidentialStats, DeltaEffect, LiveTable, ModelSpec, VerdictStore};
 use psens_datasets::Spec;
 use psens_hierarchy::QiSpace;
 use psens_microdata::csv::read_table_str;
-use psens_microdata::{JsonValue, Table};
+use psens_microdata::{DeltaBatch, JsonValue, Kind, Schema, Table, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A warm-pool key: `(dataset, model, k, ts)`.
 pub type PoolKey = (String, ModelSpec, u32, usize);
 
-/// One registered dataset: the interned table, its spec, and the warm
-/// verdict-store pool.
+/// One `watch` registration: a spec to re-verify after every delta, plus
+/// the last verdict published for it (serialized JSON, so "changed" is a
+/// plain string compare on the exact bytes a client would receive).
+#[derive(Debug, Clone)]
+pub struct WatchEntry {
+    /// Watched privacy model (with its parameter).
+    pub model: ModelSpec,
+    /// Watched k.
+    pub k: u32,
+    /// Watched suppression threshold.
+    pub ts: usize,
+    /// Serialized verdict last published for this spec (`None` until the
+    /// baseline search runs).
+    pub last: Option<String>,
+}
+
+/// One registered dataset: the live table (mutated only through
+/// [`Dataset::apply_delta`]), its spec, the warm verdict-store pool, and
+/// any active watches.
 pub struct Dataset {
     /// Registry name.
     pub name: String,
-    /// The parsed, interned table (column-compressed; shared by all
-    /// requests, never re-parsed).
-    pub table: Table,
+    /// The parsed, interned table plus its incrementally-maintained
+    /// confidential statistics. Columns are `Arc`-shared, so snapshot
+    /// clones handed to requests are cheap.
+    live: RwLock<LiveTable>,
     /// The spec the dataset was registered with.
     pub spec: Spec,
     /// QI space built once from the spec's key hierarchies.
     pub qi: QiSpace,
     stores: Mutex<HashMap<(ModelSpec, u32, usize), Arc<VerdictStore>>>,
+    watches: Mutex<Vec<WatchEntry>>,
     warm_hits: AtomicU64,
     cold_misses: AtomicU64,
 }
 
 impl Dataset {
+    /// A snapshot clone of the current table. Cheap (columns are shared);
+    /// requests work against the snapshot so a concurrent `update` never
+    /// mutates a table mid-search.
+    pub fn table(&self) -> Table {
+        self.live
+            .read()
+            .expect("live table poisoned")
+            .table()
+            .clone()
+    }
+
+    /// Current row count.
+    pub fn n_rows(&self) -> usize {
+        self.live
+            .read()
+            .expect("live table poisoned")
+            .table()
+            .n_rows()
+    }
+
+    /// Deltas applied since registration (journal replay included).
+    pub fn deltas_applied(&self) -> u64 {
+        self.live
+            .read()
+            .expect("live table poisoned")
+            .deltas_applied()
+    }
+
+    /// The incrementally-maintained confidential statistics.
+    pub fn stats(&self) -> ConfidentialStats {
+        self.live.read().expect("live table poisoned").stats()
+    }
+
+    /// Table and statistics under one read lock — the pair is guaranteed
+    /// consistent even while `update`s race, which is what `anonymize`
+    /// needs to reuse the stats as a precomputed search input.
+    pub fn snapshot(&self) -> (Table, ConfidentialStats) {
+        let live = self.live.read().expect("live table poisoned");
+        (live.table().clone(), live.stats())
+    }
+
+    /// Validates and applies a delta batch under the write lock, journaling
+    /// it write-ahead when a state dir is configured. Journal order equals
+    /// apply order because both happen under the same lock hold; a journal
+    /// append failure fails the update (fail-closed, like `register`).
+    pub fn apply_delta(
+        &self,
+        batch: &DeltaBatch,
+        journal: Option<&StateDir>,
+    ) -> Result<DeltaEffect, String> {
+        let mut live = self.live.write().expect("live table poisoned");
+        batch.validate(live.table()).map_err(|e| e.to_string())?;
+        if let Some(state) = journal {
+            let appends: Vec<Vec<String>> = batch
+                .appends
+                .iter()
+                .map(|row| row.iter().map(|v| v.render().into_owned()).collect())
+                .collect();
+            state
+                .log_delta(&self.name, &appends, &batch.deletes)
+                .map_err(|e| format!("state journal append failed: {e}"))?;
+        }
+        live.apply(batch).map_err(|e| e.to_string())
+    }
+
+    /// Registers a watch for `(model, k, ts)`. Returns `false` when the
+    /// spec was already watched (the existing entry, and its last verdict,
+    /// are kept).
+    pub fn register_watch(&self, model: ModelSpec, k: u32, ts: usize) -> bool {
+        let mut watches = self.watches.lock().expect("watches poisoned");
+        if watches
+            .iter()
+            .any(|w| (w.model, w.k, w.ts) == (model, k, ts))
+        {
+            return false;
+        }
+        watches.push(WatchEntry {
+            model,
+            k,
+            ts,
+            last: None,
+        });
+        true
+    }
+
+    /// A snapshot of the active watches (registration order).
+    pub fn watch_snapshot(&self) -> Vec<WatchEntry> {
+        self.watches.lock().expect("watches poisoned").clone()
+    }
+
+    /// Records the verdict just published for a watched spec.
+    pub fn set_watch_verdict(&self, model: ModelSpec, k: u32, ts: usize, verdict: String) {
+        let mut watches = self.watches.lock().expect("watches poisoned");
+        if let Some(entry) = watches
+            .iter_mut()
+            .find(|w| (w.model, w.k, w.ts) == (model, k, ts))
+        {
+            entry.last = Some(verdict);
+        }
+    }
+
     /// The warm store for `(model, k, ts)`, creating it on first use. The
     /// bool is `true` when the store already existed (a warm hit):
     /// subsequent searches replay its verdicts instead of re-checking
@@ -109,6 +229,42 @@ impl Dataset {
     }
 }
 
+/// Parses rendered cell strings back into typed values against `schema`
+/// (`""` decodes to `Missing`, integers kind-aware) — shared by the
+/// `update` op and journal replay so both construct identical rows.
+pub fn parse_cells(schema: &Schema, rows: &[Vec<String>]) -> Result<Vec<Vec<Value>>, String> {
+    let width = schema.attributes().len();
+    rows.iter()
+        .enumerate()
+        .map(|(r, row)| {
+            if row.len() != width {
+                return Err(format!(
+                    "append row {r} has {} cells, schema has {width}",
+                    row.len()
+                ));
+            }
+            row.iter()
+                .enumerate()
+                .map(|(c, cell)| {
+                    let attr = schema.attribute(c);
+                    if cell.is_empty() {
+                        return Ok(Value::Missing);
+                    }
+                    Ok(match attr.kind() {
+                        Kind::Int => Value::Int(cell.parse::<i64>().map_err(|_| {
+                            format!(
+                                "append row {r}, column `{}`: `{cell}` is not an integer",
+                                attr.name()
+                            )
+                        })?),
+                        Kind::Cat => Value::Text(cell.clone()),
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// What a journal+snapshot replay reconstructed, reported by `stats` and
 /// the boot banner.
 #[derive(Debug, Clone, Default)]
@@ -117,6 +273,8 @@ pub struct RecoveryStats {
     pub datasets: usize,
     /// Warm pools re-created from the journal.
     pub pools: usize,
+    /// Update batches re-applied from the journal.
+    pub deltas: usize,
     /// Exact verdicts replayed from the snapshot.
     pub verdicts: usize,
     /// Skipped-line / mismatch notes from the replay (fail-closed skips).
@@ -184,12 +342,16 @@ impl Registry {
                     .map_err(|e| format!("state journal append failed: {e}"))?;
             }
         }
+        let qi_cols = table.schema().key_indices();
+        let conf_cols = table.schema().confidential_indices();
+        let live = LiveTable::new(table, qi_cols, conf_cols).map_err(|e| e.to_string())?;
         let dataset = Arc::new(Dataset {
             name: name.to_owned(),
-            table,
+            live: RwLock::new(live),
             spec,
             qi,
             stores: Mutex::new(HashMap::new()),
+            watches: Mutex::new(Vec::new()),
             warm_hits: AtomicU64::new(0),
             cold_misses: AtomicU64::new(0),
         });
@@ -251,6 +413,18 @@ impl Registry {
         }
     }
 
+    /// Applies a delta batch to `dataset`, journaling it write-ahead when
+    /// persistence is on. All server update paths go through here;
+    /// `Dataset::apply_delta` with `None` skips persistence (journal
+    /// replay uses that so recovery doesn't re-journal its own input).
+    pub fn apply_delta(
+        &self,
+        dataset: &Dataset,
+        batch: &DeltaBatch,
+    ) -> Result<DeltaEffect, String> {
+        dataset.apply_delta(batch, self.state.as_deref())
+    }
+
     /// Approximate heap bytes across every dataset's warm pools.
     pub fn pool_bytes(&self) -> u64 {
         let datasets: Vec<Arc<Dataset>> = {
@@ -297,6 +471,33 @@ impl Registry {
                 }
             }
         }
+        for delta in recovered.deltas {
+            let Some(dataset) = self.get(&delta.dataset) else {
+                // replay() already drops deltas of unrecovered datasets;
+                // this only triggers when the dataset failed to re-intern.
+                stats.warnings.push(format!(
+                    "delta for unrecovered dataset `{}`; skipped",
+                    delta.dataset
+                ));
+                continue;
+            };
+            let replayed = (|| -> Result<(), String> {
+                let table = dataset.table();
+                let appends = parse_cells(table.schema(), &delta.appends)?;
+                let batch = DeltaBatch {
+                    appends,
+                    deletes: delta.deletes.clone(),
+                };
+                dataset.apply_delta(&batch, None).map(|_| ())
+            })();
+            match replayed {
+                Ok(()) => stats.deltas += 1,
+                Err(e) => stats.warnings.push(format!(
+                    "delta for `{}` failed to replay: {e}",
+                    delta.dataset
+                )),
+            }
+        }
         if let Some(entries) = state.load_snapshot() {
             for entry in entries {
                 let Some(dataset) = self.get(&entry.dataset) else {
@@ -306,6 +507,19 @@ impl Registry {
                     ));
                     continue;
                 };
+                if entry.deltas != dataset.deltas_applied() {
+                    // The snapshot predates deltas journaled after it was
+                    // written (clean shutdown, restart, updates, crash):
+                    // its verdicts describe an older table. Skip — the
+                    // pool rebuilds cold against the current table.
+                    stats.warnings.push(format!(
+                        "snapshot verdict for `{}` is stale (snapshot at {} delta(s), table at {}); skipped",
+                        entry.dataset,
+                        entry.deltas,
+                        dataset.deltas_applied()
+                    ));
+                    continue;
+                }
                 if !dataset.qi.lattice().contains(&entry.check.node) {
                     stats.warnings.push(format!(
                         "snapshot verdict outside `{}`'s lattice; skipped",
@@ -332,10 +546,12 @@ impl Registry {
         };
         let mut out = Vec::new();
         for dataset in datasets {
+            let deltas = dataset.deltas_applied();
             for ((model, k, ts), store) in dataset.pools() {
                 for check in store.export_exact() {
                     out.push(SnapshotEntry {
                         dataset: dataset.name.clone(),
+                        deltas,
                         model,
                         k,
                         ts,
@@ -392,7 +608,9 @@ impl Registry {
                 let (warm, cold, live) = d.store_counters();
                 let mut e = JsonValue::object();
                 e.set("name", JsonValue::Str(d.name.clone()));
-                e.set("rows", JsonValue::Int(d.table.n_rows() as i64));
+                e.set("rows", JsonValue::Int(d.n_rows() as i64));
+                e.set("deltas_applied", JsonValue::Int(d.deltas_applied() as i64));
+                e.set("watches", JsonValue::Int(d.watch_snapshot().len() as i64));
                 e.set(
                     "lattice_nodes",
                     JsonValue::Int(d.qi.lattice().node_count() as i64),
@@ -425,7 +643,7 @@ mod tests {
     #[test]
     fn register_then_get() {
         let (registry, dataset) = registered();
-        assert_eq!(dataset.table.n_rows(), 60);
+        assert_eq!(dataset.n_rows(), 60);
         assert!(registry.get("adult").is_some());
         assert!(registry.get("missing").is_none());
         assert_eq!(registry.names(), vec!["adult".to_owned()]);
@@ -530,6 +748,78 @@ mod tests {
         let (store, warm) = dataset.store(psens2, 3, 5);
         assert!(warm, "recovered pool is already live");
         assert_eq!(store.len(), 1, "snapshot verdict replayed");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn delta_replay_reconstructs_table_and_guards_stale_snapshots() {
+        let root =
+            std::env::temp_dir().join(format!("psens_registry_delta_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let state = Arc::new(crate::state::StateDir::open(&root).unwrap());
+        let fixture = adult_fixture(5, 60);
+        let registry = Registry::with_state(Some(Arc::clone(&state)), 0);
+        let dataset = registry
+            .register("adult", &fixture.csv, fixture.spec.clone())
+            .unwrap();
+        let batch = DeltaBatch {
+            appends: vec![],
+            deletes: vec![0, 7],
+        };
+        registry.apply_delta(&dataset, &batch).unwrap();
+        assert_eq!((dataset.n_rows(), dataset.deltas_applied()), (58, 1));
+        let psens2 = ModelSpec::PSensitiveK { p: 2 };
+        let (store, _) = registry.store_for(&dataset, psens2, 3, 5);
+        store.record(&psens_core::NodeCheck {
+            node: dataset.qi.lattice().bottom(),
+            violating_tuples: 7,
+            suppressed: 0,
+            satisfied: false,
+            stage: psens_core::CheckStage::KAnonymity,
+            n_groups: Some(4),
+            detail: None,
+        });
+        registry.write_snapshot().expect("snapshot written");
+
+        // Reboot: the journaled delta replays, so the table matches and the
+        // snapshot verdict (written at the same delta count) is accepted.
+        let rebooted = Registry::with_state(Some(Arc::clone(&state)), 0);
+        let stats = rebooted.recover();
+        assert_eq!(
+            (stats.datasets, stats.deltas, stats.verdicts),
+            (1, 1, 1),
+            "warnings: {:?}",
+            stats.warnings
+        );
+        let recovered = rebooted.get("adult").expect("dataset recovered");
+        assert_eq!(recovered.n_rows(), 58);
+        assert_eq!(
+            recovered.table(),
+            dataset.table(),
+            "replayed table identical"
+        );
+        let (store, warm) = recovered.store(psens2, 3, 5);
+        assert!(warm);
+        assert_eq!(store.len(), 1);
+
+        // One more journaled delta, then a crash (no fresh snapshot): the
+        // old snapshot now describes a table one delta behind and must not
+        // seed its verdicts.
+        rebooted
+            .apply_delta(
+                &recovered,
+                &DeltaBatch {
+                    appends: vec![],
+                    deletes: vec![3],
+                },
+            )
+            .unwrap();
+        let reboot2 = Registry::with_state(Some(state), 0);
+        let stats = reboot2.recover();
+        assert_eq!(stats.deltas, 2, "warnings: {:?}", stats.warnings);
+        assert_eq!(stats.verdicts, 0, "stale snapshot verdicts must not replay");
+        assert!(stats.warnings.iter().any(|w| w.contains("stale")));
+        assert_eq!(reboot2.get("adult").unwrap().n_rows(), 57);
         let _ = std::fs::remove_dir_all(&root);
     }
 

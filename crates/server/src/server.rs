@@ -16,8 +16,9 @@
 //!
 //! ## Admission and overload
 //!
-//! Work ops (`register`, `check`, `analyze`, `anonymize`, `query`, `sleep`)
-//! pass through a counting [`Gate`] before executing. The queue behind the
+//! Work ops (`register`, `check`, `analyze`, `anonymize`, `query`,
+//! `update`, `watch`, `sleep`) pass through a counting [`Gate`] before
+//! executing. The queue behind the
 //! gate is **bounded** (`queue_depth`): a request arriving to a full queue
 //! is shed immediately with a `busy` error carrying `retry_after_ms`,
 //! instead of blocking unboundedly — under overload the server stays
@@ -41,19 +42,21 @@ use crate::protocol::{
     busy_response, codes, error_response, ok_response, read_request, write_frame, FrameLimits,
     ReadOutcome, MAX_FRAME_BYTES,
 };
-use crate::registry::{RecoveryStats, Registry};
+use crate::registry::{parse_cells, RecoveryStats, Registry};
 use crate::state::{SnapshotStats, StateDir};
-use psens_algorithms::samarati::{pk_minimal_generalization_model, Pruning};
+use psens_algorithms::samarati::{
+    pk_minimal_generalization_model_with_stats, Pruning, SearchOutcome,
+};
 use psens_algorithms::Tuning;
-use psens_core::conditions::ConfidentialStats;
 use psens_core::{
-    check_p_sensitivity, check_table_model, max_k, max_p_of_masked, CancelToken, ModelSpec,
-    NoopObserver, SearchBudget,
+    check_p_sensitivity, check_table_model, invalidation_for, max_k, max_p_of_masked, CancelToken,
+    ModelSpec, NoopObserver, SearchBudget,
 };
 use psens_datasets::Spec;
+use psens_hierarchy::QiSpace;
 use psens_metrics::{attribute_risk, identity_risk};
 use psens_microdata::csv::to_csv_string;
-use psens_microdata::JsonValue;
+use psens_microdata::{DeltaBatch, JsonValue};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -603,7 +606,7 @@ fn dispatch(
             result.set("stopping", JsonValue::Bool(true));
             ok_response(id, result)
         }
-        "register" | "check" | "analyze" | "anonymize" | "query" | "sleep" => {
+        "register" | "check" | "analyze" | "anonymize" | "query" | "update" | "watch" | "sleep" => {
             if state.shutdown.is_cancelled() {
                 return error_response(id, codes::SHUTTING_DOWN, "server is shutting down");
             }
@@ -643,6 +646,8 @@ fn dispatch(
                             "analyze" => analyze_op(state, request),
                             "anonymize" => anonymize_op(state, request, &token, arrival),
                             "query" => query_op(state, request),
+                            "update" => update_op(state, request, &token),
+                            "watch" => watch_op(state, request, &token),
                             "sleep" => sleep_op(request, &token),
                             _ => unreachable!("matched above"),
                         }
@@ -761,6 +766,7 @@ fn recovered_json(recovery: &RecoveryStats) -> JsonValue {
     let mut out = JsonValue::object();
     out.set("datasets", JsonValue::Int(recovery.datasets as i64));
     out.set("pools", JsonValue::Int(recovery.pools as i64));
+    out.set("deltas", JsonValue::Int(recovery.deltas as i64));
     out.set("verdicts", JsonValue::Int(recovery.verdicts as i64));
     out.set("warnings", JsonValue::Int(recovery.warnings.len() as i64));
     out
@@ -876,7 +882,7 @@ fn register_op(state: &ServerState, request: &JsonValue) -> OpResult {
     })?;
     let mut result = JsonValue::object();
     result.set("name", JsonValue::Str(dataset.name.clone()));
-    result.set("rows", JsonValue::Int(dataset.table.n_rows() as i64));
+    result.set("rows", JsonValue::Int(dataset.n_rows() as i64));
     result.set(
         "lattice_nodes",
         JsonValue::Int(dataset.qi.lattice().node_count() as i64),
@@ -892,16 +898,17 @@ fn check_op(state: &ServerState, request: &JsonValue) -> OpResult {
     let dataset = lookup_dataset(state, request)?;
     let k = param_u32(request, "k", 2)?;
     let spec = param_model(request, 2)?;
-    let schema = dataset.table.schema();
+    let table = dataset.table();
+    let schema = table.schema();
     let keys = schema.key_indices();
     let conf = schema.confidential_indices();
-    let maxk = max_k(&dataset.table, &keys);
-    let maxp = max_p_of_masked(&dataset.table, &keys, &conf);
+    let maxk = max_k(&table, &keys);
+    let maxp = max_p_of_masked(&table, &keys, &conf);
     let mut result = JsonValue::object();
-    result.set("rows", JsonValue::Int(dataset.table.n_rows() as i64));
+    result.set("rows", JsonValue::Int(table.n_rows() as i64));
     match spec {
         ModelSpec::PSensitiveK { p } => {
-            let report = check_p_sensitivity(&dataset.table, &keys, &conf, p, k);
+            let report = check_p_sensitivity(&table, &keys, &conf, p, k);
             result.set("n_groups", JsonValue::Int(report.n_groups as i64));
             result.set("k", JsonValue::Int(k as i64));
             result.set("p", JsonValue::Int(p as i64));
@@ -914,7 +921,7 @@ fn check_op(state: &ServerState, request: &JsonValue) -> OpResult {
         }
         _ => {
             let model = spec.instantiate();
-            let report = check_table_model(&dataset.table, &keys, &conf, model.as_ref(), k);
+            let report = check_table_model(&table, &keys, &conf, model.as_ref(), k);
             result.set("n_groups", JsonValue::Int(report.n_groups as i64));
             result.set("k", JsonValue::Int(k as i64));
             result.set("p", JsonValue::Int(spec.conditions_p() as i64));
@@ -948,14 +955,15 @@ fn analyze_op(state: &ServerState, request: &JsonValue) -> OpResult {
         ),
         None => None,
     };
-    let schema = dataset.table.schema();
-    let keys = schema.key_indices();
-    let conf = schema.confidential_indices();
-    let stats = ConfidentialStats::compute(&dataset.table, &conf);
-    let id_risk = identity_risk(&dataset.table, &keys);
-    let attr_risk = attribute_risk(&dataset.table, &keys, &conf);
+    // One consistent (table, stats) snapshot; the stats come from the
+    // incrementally-maintained LiveTable (byte-identical to a from-scratch
+    // ConfidentialStats::compute by construction).
+    let (table, stats) = dataset.snapshot();
+    let keys = table.schema().key_indices();
+    let id_risk = identity_risk(&table, &keys);
+    let attr_risk = attribute_risk(&table, &keys, &table.schema().confidential_indices());
     let mut result = JsonValue::object();
-    result.set("rows", JsonValue::Int(dataset.table.n_rows() as i64));
+    result.set("rows", JsonValue::Int(table.n_rows() as i64));
     result.set("max_p", JsonValue::Int(stats.max_p() as i64));
     match requested_p {
         Some(p) => {
@@ -1044,8 +1052,12 @@ fn anonymize_op(
         cache: store.as_deref(),
         chunk_rows: 0,
     };
-    let outcome = pk_minimal_generalization_model(
-        &dataset.table,
+    // One read lock yields a (table, stats) pair that is consistent even
+    // while `update`s race; the search reuses the incrementally-maintained
+    // statistics instead of recomputing them from scratch.
+    let (table, stats) = dataset.snapshot();
+    let outcome = pk_minimal_generalization_model_with_stats(
+        &table,
         &dataset.qi,
         spec,
         k,
@@ -1054,8 +1066,28 @@ fn anonymize_op(
         &budget,
         tuning,
         &NoopObserver,
+        &stats,
     )
     .map_err(|e| (codes::INTERNAL, e.to_string()))?;
+    let mut result = JsonValue::object();
+    result.set(
+        "verdict",
+        verdict_json(&dataset.qi, spec, &outcome, include_masked),
+    );
+    result.set("warm", JsonValue::Bool(warm));
+    result.set("search", outcome.stats.to_json());
+    Ok(result)
+}
+
+/// The pure-function `verdict` object shared by `anonymize`, `watch`, and
+/// `update` re-verification: byte-identical for equal (dataset, model,
+/// parameters), with no execution-dependent fields.
+fn verdict_json(
+    qi: &QiSpace,
+    spec: ModelSpec,
+    outcome: &SearchOutcome,
+    include_masked: bool,
+) -> JsonValue {
     let mut verdict = JsonValue::object();
     verdict.set("model", JsonValue::Str(spec.name().to_owned()));
     verdict.set("param", JsonValue::Int(spec.param() as i64));
@@ -1066,7 +1098,7 @@ fn anonymize_op(
     );
     match &outcome.node {
         Some(node) => {
-            verdict.set("node", JsonValue::Str(dataset.qi.describe_node(node)));
+            verdict.set("node", JsonValue::Str(qi.describe_node(node)));
             verdict.set(
                 "node_levels",
                 JsonValue::Array(
@@ -1094,10 +1126,172 @@ fn anonymize_op(
         "proven_min_height",
         JsonValue::Int(outcome.proven_min_height as i64),
     );
+    verdict
+}
+
+/// Runs the watched search for `(model, k, ts)` against a consistent
+/// snapshot of the dataset, consulting (and warming) the pooled verdict
+/// store, and returns the pure-function verdict object.
+fn watched_verdict(
+    state: &ServerState,
+    dataset: &Arc<crate::registry::Dataset>,
+    spec: ModelSpec,
+    k: u32,
+    ts: usize,
+    token: &CancelToken,
+) -> Result<JsonValue, (&'static str, String)> {
+    let budget = SearchBudget::unlimited().with_cancel(token.clone());
+    let (store, _) = state.registry.store_for(dataset, spec, k, ts);
+    let tuning = Tuning {
+        threads: 0,
+        cache: Some(&store),
+        chunk_rows: 0,
+    };
+    let (table, stats) = dataset.snapshot();
+    let outcome = pk_minimal_generalization_model_with_stats(
+        &table,
+        &dataset.qi,
+        spec,
+        k,
+        ts,
+        Pruning::NecessaryConditions,
+        &budget,
+        tuning,
+        &NoopObserver,
+        &stats,
+    )
+    .map_err(|e| (codes::INTERNAL, e.to_string()))?;
+    Ok(verdict_json(&dataset.qi, spec, &outcome, false))
+}
+
+/// `update {dataset, appends?, deletes?}`: applies a delta batch to the
+/// live table (journaled write-ahead with a state dir), selectively
+/// invalidates every warm verdict store via the Conditions 1/2 bounds
+/// (`psens_core::invalidation_for`), and re-verifies active watches —
+/// republishing a verdict only when it changed.
+///
+/// `appends` is an array of rows, each an array of rendered cell strings
+/// in schema order (`""` = missing); `deletes` is an array of current row
+/// indices (the batch deletes first, then appends, exactly like
+/// `DeltaBatch::apply`).
+fn update_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -> OpResult {
+    let dataset = lookup_dataset(state, request)?;
+    let appends: Vec<Vec<String>> = match request.get("appends") {
+        None => Vec::new(),
+        Some(value) => value
+            .as_array()
+            .map_err(|e| bad(format!("`appends`: {e}")))?
+            .iter()
+            .map(|row| {
+                row.as_array()
+                    .map_err(|e| bad(format!("`appends`: each row must be an array ({e})")))?
+                    .iter()
+                    .map(|cell| {
+                        cell.as_str().map(str::to_owned).map_err(|e| {
+                            bad(format!("`appends`: each cell must be a string ({e})"))
+                        })
+                    })
+                    .collect()
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let deletes: Vec<usize> = match request.get("deletes") {
+        None => Vec::new(),
+        Some(value) => value
+            .as_array()
+            .map_err(|e| bad(format!("`deletes`: {e}")))?
+            .iter()
+            .map(|ix| ix.as_usize().map_err(|e| bad(format!("`deletes`: {e}"))))
+            .collect::<Result<_, _>>()?,
+    };
+    if appends.is_empty() && deletes.is_empty() {
+        return Err(bad("empty update: provide `appends` and/or `deletes`"));
+    }
+    let rows = {
+        let table = dataset.table();
+        parse_cells(table.schema(), &appends).map_err(bad)?
+    };
+    let batch = DeltaBatch {
+        appends: rows,
+        deletes,
+    };
+    let effect = state.registry.apply_delta(&dataset, &batch).map_err(bad)?;
+    // Selective invalidation: each pool is re-judged against the post-delta
+    // Conditions bounds; sterile appends keep partition-derived verdicts.
+    let stats = dataset.stats();
+    let mut kept = 0u64;
+    let mut invalidated = 0u64;
+    for ((model, k, _ts), store) in dataset.pools() {
+        let outcome = store.invalidate(invalidation_for(&effect, &stats, &model, k as usize));
+        kept += outcome.kept;
+        invalidated += outcome.invalidated;
+    }
+    // Re-verify watches; republish only verdicts that changed.
+    let mut checked = 0i64;
+    let mut flipped = 0i64;
+    let mut changed = Vec::new();
+    for watch in dataset.watch_snapshot() {
+        checked += 1;
+        let verdict = watched_verdict(state, &dataset, watch.model, watch.k, watch.ts, token)?;
+        let text = verdict.to_json();
+        if watch.last.as_deref() == Some(text.as_str()) {
+            continue;
+        }
+        if watch.last.is_some() {
+            flipped += 1;
+        }
+        dataset.set_watch_verdict(watch.model, watch.k, watch.ts, text);
+        let mut entry = JsonValue::object();
+        entry.set("model", JsonValue::Str(watch.model.name().to_owned()));
+        entry.set("param", JsonValue::Int(watch.model.param() as i64));
+        entry.set("k", JsonValue::Int(i64::from(watch.k)));
+        entry.set("ts", JsonValue::Int(watch.ts as i64));
+        entry.set("verdict", verdict);
+        changed.push(entry);
+    }
     let mut result = JsonValue::object();
+    result.set("dataset", JsonValue::Str(dataset.name.clone()));
+    result.set("appended", JsonValue::Int(effect.appended as i64));
+    result.set("deleted", JsonValue::Int(effect.deleted as i64));
+    result.set("rows", JsonValue::Int(dataset.n_rows() as i64));
+    result.set(
+        "deltas_applied",
+        JsonValue::Int(dataset.deltas_applied() as i64),
+    );
+    result.set("net_zero", JsonValue::Bool(effect.net_zero));
+    result.set("append_only", JsonValue::Bool(effect.append_only));
+    let mut invalidation = JsonValue::object();
+    invalidation.set("kept", JsonValue::Int(kept as i64));
+    invalidation.set("invalidated", JsonValue::Int(invalidated as i64));
+    result.set("invalidation", invalidation);
+    let mut watches = JsonValue::object();
+    watches.set("checked", JsonValue::Int(checked));
+    watches.set("flipped", JsonValue::Int(flipped));
+    watches.set("changed", JsonValue::Array(changed));
+    result.set("watches", watches);
+    Ok(result)
+}
+
+/// `watch {dataset, model?, p?/l?/t_ppm?, k?, ts?}`: registers a spec to
+/// re-verify after every `update` to the dataset, runs the baseline search
+/// now, and returns its verdict. Watching an already-watched spec is
+/// idempotent (`registered: false`) and keeps the stored last verdict.
+fn watch_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -> OpResult {
+    let dataset = lookup_dataset(state, request)?;
+    let k = param_u32(request, "k", 2)?;
+    let spec = param_model(request, 1)?;
+    let ts = param_usize(request, "ts", 0)?;
+    let registered = dataset.register_watch(spec, k, ts);
+    let verdict = watched_verdict(state, &dataset, spec, k, ts, token)?;
+    dataset.set_watch_verdict(spec, k, ts, verdict.to_json());
+    let mut result = JsonValue::object();
+    result.set("dataset", JsonValue::Str(dataset.name.clone()));
+    result.set("model", JsonValue::Str(spec.name().to_owned()));
+    result.set("param", JsonValue::Int(spec.param() as i64));
+    result.set("k", JsonValue::Int(i64::from(k)));
+    result.set("ts", JsonValue::Int(ts as i64));
+    result.set("registered", JsonValue::Bool(registered));
     result.set("verdict", verdict);
-    result.set("warm", JsonValue::Bool(warm));
-    result.set("search", outcome.stats.to_json());
     Ok(result)
 }
 
@@ -1106,8 +1300,9 @@ fn anonymize_op(
 fn query_op(state: &ServerState, request: &JsonValue) -> OpResult {
     let dataset = lookup_dataset(state, request)?;
     let sql = param_str(request, "sql")?;
+    let table = dataset.table();
     let mut catalog = psens_sql::Catalog::new();
-    catalog.register("data", &dataset.table);
+    catalog.register("data", &table);
     let table = psens_sql::execute(&catalog, sql).map_err(|e| bad(e.to_string()))?;
     let mut result = JsonValue::object();
     result.set("rows", JsonValue::Int(table.n_rows() as i64));

@@ -9,7 +9,17 @@
 //! ```json
 //! {"kind":"register","name":"adult","file":"datasets/<fnv64>.csv","hash":"<fnv64>","spec":{...}}
 //! {"kind":"pool","dataset":"adult","model":"psens-k","param":2,"p":2,"k":3,"ts":10}
+//! {"kind":"delta","dataset":"adult","appends":[["M","30","Flu"]],"deletes":[0,3]}
 //! ```
+//!
+//! Delta lines journal the `update` op write-ahead: cells are rendered
+//! strings (`Value::render`; the empty string encodes `Missing`), parsed
+//! back kind-aware against the dataset's schema on replay. Replaying the
+//! base registration plus every surviving delta line reconstructs the same
+//! table the live server held — a torn final delta (kill -9 mid-append) is
+//! dropped exactly like any other torn tail, leaving the table at the
+//! previous delta, which is also the last state any client saw
+//! acknowledged.
 //!
 //! Pool lines carry the privacy model as a `(model, param)` pair (see
 //! `psens_core::ModelSpec::from_parts`); a line written before models
@@ -71,6 +81,18 @@ pub struct RecoveredDataset {
     pub spec: Spec,
 }
 
+/// One journaled `update` batch: rendered cell strings plus delete indices,
+/// to be re-applied to the dataset in journal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredDelta {
+    /// Dataset the batch applies to.
+    pub dataset: String,
+    /// Appended rows as rendered cell strings (`""` encodes `Missing`).
+    pub appends: Vec<Vec<String>>,
+    /// Row indices deleted from the table as it stood before this batch.
+    pub deletes: Vec<usize>,
+}
+
 /// Everything the journal yielded on replay.
 #[derive(Default)]
 pub struct Recovered {
@@ -79,6 +101,10 @@ pub struct Recovered {
     /// Warm-pool keys `(dataset, model, k, ts)` to re-create, in journal
     /// order.
     pub pools: Vec<(String, ModelSpec, u32, usize)>,
+    /// Update batches to re-apply, in journal order. Journal order equals
+    /// apply order (the `update` op journals under the dataset's write
+    /// lock), so replaying them in sequence reconstructs the same table.
+    pub deltas: Vec<RecoveredDelta>,
     /// Human-readable notes about skipped lines (torn tail, corrupt line,
     /// hash mismatch). Empty on a clean replay.
     pub warnings: Vec<String>,
@@ -89,6 +115,12 @@ pub struct Recovered {
 pub struct SnapshotEntry {
     /// Dataset the verdict belongs to.
     pub dataset: String,
+    /// The dataset's delta count when the snapshot was written. On replay a
+    /// verdict is only recorded if the recovered dataset has applied the
+    /// same number of deltas — a snapshot from an older table state must
+    /// not seed stale verdicts (0 for delta-free datasets and for
+    /// snapshots written before deltas existed).
+    pub deltas: u64,
     /// Pool key: the privacy model (with its parameter).
     pub model: ModelSpec,
     /// Pool key: k.
@@ -179,6 +211,46 @@ impl StateDir {
         self.append_line(&line)
     }
 
+    /// Journals an `update` batch. Call under the dataset's write lock,
+    /// **before** applying the batch, so journal order equals apply order
+    /// and a crash between append and apply replays the batch the client
+    /// never saw acknowledged (write-ahead discipline).
+    pub fn log_delta(
+        &self,
+        dataset: &str,
+        appends: &[Vec<String>],
+        deletes: &[usize],
+    ) -> io::Result<()> {
+        let mut line = JsonValue::object();
+        line.set("kind", JsonValue::Str("delta".into()));
+        line.set("dataset", JsonValue::Str(dataset.to_owned()));
+        line.set(
+            "appends",
+            JsonValue::Array(
+                appends
+                    .iter()
+                    .map(|row| {
+                        JsonValue::Array(
+                            row.iter()
+                                .map(|cell| JsonValue::Str(cell.clone()))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        );
+        line.set(
+            "deletes",
+            JsonValue::Array(
+                deletes
+                    .iter()
+                    .map(|&ix| JsonValue::Int(ix as i64))
+                    .collect(),
+            ),
+        );
+        self.append_line(&line)
+    }
+
     /// Replays the journal, tolerating torn tails and corrupt lines.
     /// Never panics and never errors: anything unverifiable is skipped with
     /// a warning, so recovery is fail-closed — a bad journal yields a
@@ -253,17 +325,26 @@ impl StateDir {
                         )),
                     }
                 }
+                Some("delta") => match parse_delta_line(&parsed) {
+                    Some(delta) => out.deltas.push(delta),
+                    None => out.warnings.push(format!(
+                        "journal line {}: malformed delta entry; skipped",
+                        i + 1
+                    )),
+                },
                 _ => {
                     out.warnings
                         .push(format!("journal line {}: unknown kind; skipped", i + 1));
                 }
             }
         }
-        // Drop pools whose dataset didn't survive verification.
+        // Drop pools and deltas whose dataset didn't survive verification.
         let names: std::collections::HashSet<&str> =
             out.registrations.iter().map(|r| r.name.as_str()).collect();
         out.pools
             .retain(|(dataset, ..)| names.contains(dataset.as_str()));
+        out.deltas
+            .retain(|delta| names.contains(delta.dataset.as_str()));
         out
     }
 
@@ -408,9 +489,44 @@ fn parse_model(line: &JsonValue) -> Option<ModelSpec> {
     }
 }
 
+fn parse_delta_line(line: &JsonValue) -> Option<RecoveredDelta> {
+    let dataset = line.get("dataset")?.as_str().ok()?.to_owned();
+    let appends = line
+        .get("appends")?
+        .as_array()
+        .ok()?
+        .iter()
+        .map(|row| {
+            row.as_array().ok().and_then(|cells| {
+                cells
+                    .iter()
+                    .map(|cell| cell.as_str().ok().map(str::to_owned))
+                    .collect::<Option<Vec<String>>>()
+            })
+        })
+        .collect::<Option<Vec<Vec<String>>>>()?;
+    let deletes = line
+        .get("deletes")?
+        .as_array()
+        .ok()?
+        .iter()
+        .map(|ix| ix.as_usize().ok())
+        .collect::<Option<Vec<usize>>>()?;
+    Some(RecoveredDelta {
+        dataset,
+        appends,
+        deletes,
+    })
+}
+
 fn snapshot_line(entry: &SnapshotEntry) -> JsonValue {
     let mut line = JsonValue::object();
     line.set("dataset", JsonValue::Str(entry.dataset.clone()));
+    // Written only when non-zero so delta-free snapshots stay byte-identical
+    // to the pre-delta format (and old readers keep parsing them).
+    if entry.deltas != 0 {
+        line.set("deltas", JsonValue::Int(entry.deltas as i64));
+    }
     line.set("model", JsonValue::Str(entry.model.name().to_owned()));
     line.set("param", JsonValue::Int(entry.model.param() as i64));
     line.set("p", JsonValue::Int(i64::from(entry.model.conditions_p())));
@@ -477,8 +593,13 @@ fn parse_snapshot_line(text: &str) -> Option<SnapshotEntry> {
         ),
         None => None,
     };
+    let deltas = match line.get("deltas") {
+        Some(v) => v.as_u64().ok()?,
+        None => 0,
+    };
     Some(SnapshotEntry {
         dataset: line.get("dataset")?.as_str().ok()?.to_owned(),
+        deltas,
         model: parse_model(&line)?,
         k: u32::try_from(line.get("k")?.as_u64().ok()?).ok()?,
         ts: line.get("ts")?.as_usize().ok()?,
@@ -608,6 +729,7 @@ mod tests {
         let entries = vec![
             SnapshotEntry {
                 dataset: "adult".into(),
+                deltas: 0,
                 model: ModelSpec::PSensitiveK { p: 2 },
                 k: 3,
                 ts: 10,
@@ -623,6 +745,7 @@ mod tests {
             },
             SnapshotEntry {
                 dataset: "adult".into(),
+                deltas: 0,
                 model: ModelSpec::PSensitiveK { p: 2 },
                 k: 3,
                 ts: 10,
@@ -638,6 +761,7 @@ mod tests {
             },
             SnapshotEntry {
                 dataset: "adult".into(),
+                deltas: 0,
                 model: ModelSpec::TCloseness { t_ppm: 250_000 },
                 k: 2,
                 ts: 0,

@@ -82,17 +82,15 @@ fn clear_faults(client: &mut Client) {
 }
 
 fn assert_gate_drained(client: &mut Client, context: &str) {
-    let health = client.call_ok("health", JsonValue::object()).unwrap();
-    assert_eq!(
-        health.require("executing").unwrap().as_i64().unwrap(),
-        0,
-        "{context}: requests still executing after the storm"
-    );
-    assert_eq!(
-        health.require("queued").unwrap().as_i64().unwrap(),
-        0,
-        "{context}: requests still queued after the storm"
-    );
+    // Clients observe their responses before the gate decrements its
+    // executing counter, so a one-shot read here is a race. Poll instead:
+    // the gate must drain to idle within the timeout, deterministically.
+    client
+        .wait_healthy(IO_TIMEOUT, |health| {
+            health.require("executing").unwrap().as_i64().unwrap() == 0
+                && health.require("queued").unwrap().as_i64().unwrap() == 0
+        })
+        .unwrap_or_else(|e| panic!("{context}: gate never drained: {e}"));
 }
 
 /// The tentpole assertion: for EVERY seeded fault plan, concurrent retrying
@@ -305,11 +303,13 @@ fn stalled_prefix_is_reaped_and_counted() {
     }
     let mut control = Client::connect(handle.addr()).unwrap();
     control.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
-    let health = control.call_ok("health", JsonValue::object()).unwrap();
-    assert!(
-        health.require("stall_reaped").unwrap().as_u64().unwrap() >= 1,
-        "the reap must be visible in health"
-    );
+    // The socket close is observable before the reaper bumps its counter;
+    // poll health until the count lands instead of asserting a one-shot read.
+    control
+        .wait_healthy(IO_TIMEOUT, |health| {
+            health.require("stall_reaped").unwrap().as_u64().unwrap() >= 1
+        })
+        .expect("the reap must become visible in health");
 }
 
 /// Idle reaping, when enabled, closes connections that never send a byte.
@@ -330,8 +330,11 @@ fn idle_connection_is_reaped_when_enabled() {
     }
     let mut control = Client::connect(handle.addr()).unwrap();
     control.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
-    let health = control.call_ok("health", JsonValue::object()).unwrap();
-    assert!(health.require("idle_reaped").unwrap().as_u64().unwrap() >= 1);
+    control
+        .wait_healthy(IO_TIMEOUT, |health| {
+            health.require("idle_reaped").unwrap().as_u64().unwrap() >= 1
+        })
+        .expect("the idle reap must become visible in health");
 }
 
 /// Satellite (b) end-to-end: an oversized frame is refused with a typed

@@ -1,0 +1,296 @@
+//! Crash chaos for the incremental update path: a server killed mid
+//! delta-stream must recover the journaled prefix verbatim and, after the
+//! client resumes the remaining batches (using `deltas_applied` as the
+//! resume cursor), converge to byte-identical verdicts with a server that
+//! lived through the whole stream uninterrupted.
+//!
+//! The `update`/`watch` contract is exercised end to end on the way:
+//! net-zero churn must keep warm verdicts and republish nothing, and a
+//! table collapse must flip the watched verdict exactly once.
+
+use psens_datasets::fixtures::adult_fixture;
+use psens_microdata::JsonValue;
+use psens_server::client::{register_params, Client};
+use psens_server::{start, ServerConfig, ServerHandle};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Fresh scratch dir per test, safe under parallel test execution.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psens-inc-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stateful_server(dir: &Path) -> ServerHandle {
+    start(ServerConfig {
+        state_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn stateless_server() -> ServerHandle {
+    start(ServerConfig::default()).expect("bind loopback")
+}
+
+fn client_for(handle: &ServerHandle) -> Client {
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_io_timeout(Some(IO_TIMEOUT)).unwrap();
+    client
+}
+
+fn anonymize_params() -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("dataset", JsonValue::Str("adult".into()));
+    params.set("p", JsonValue::Int(2));
+    params.set("k", JsonValue::Int(3));
+    params.set("ts", JsonValue::Int(10));
+    params
+}
+
+/// The fixture's data rows as rendered cell strings (header skipped). The
+/// Adult fixture emits plain unquoted cells, so a comma split is exact.
+fn csv_rows(csv: &str) -> Vec<Vec<String>> {
+    csv.lines()
+        .skip(1)
+        .filter(|l| !l.is_empty())
+        .map(|l| l.split(',').map(str::to_owned).collect())
+        .collect()
+}
+
+fn update_params(appends: &[Vec<String>], deletes: &[usize]) -> JsonValue {
+    let mut params = JsonValue::object();
+    params.set("dataset", JsonValue::Str("adult".into()));
+    if !appends.is_empty() {
+        params.set(
+            "appends",
+            JsonValue::Array(
+                appends
+                    .iter()
+                    .map(|row| {
+                        JsonValue::Array(row.iter().map(|c| JsonValue::Str(c.clone())).collect())
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    if !deletes.is_empty() {
+        params.set(
+            "deletes",
+            JsonValue::Array(deletes.iter().map(|&d| JsonValue::Int(d as i64)).collect()),
+        );
+    }
+    params
+}
+
+/// A deterministic 12-batch stream over the 80-row fixture: deletes at
+/// small indices, appends recycled from the original CSV. Every batch is
+/// valid against the evolving table (row count never drops below 70).
+fn delta_plan(rows: &[Vec<String>]) -> Vec<(Vec<Vec<String>>, Vec<usize>)> {
+    (0..12)
+        .map(|i| match i % 4 {
+            0 => (vec![], vec![0, 1]),
+            1 => (vec![rows[i].clone(), rows[i + 7].clone()], vec![]),
+            2 => (vec![rows[i].clone()], vec![2]),
+            _ => (vec![], vec![3]),
+        })
+        .collect()
+}
+
+fn apply_batch(client: &mut Client, batch: &(Vec<Vec<String>>, Vec<usize>)) -> JsonValue {
+    client
+        .call_ok("update", update_params(&batch.0, &batch.1))
+        .unwrap()
+}
+
+/// kill -9 mid-delta: the victim applies a prefix of the stream, dies
+/// without a snapshot and with a torn delta record at the journal tail.
+/// After restart the journaled prefix must have replayed exactly, and
+/// resuming from `deltas_applied` must converge to the same verdict as an
+/// uninterrupted control server.
+#[test]
+fn mid_stream_crash_recovers_prefix_and_converges() {
+    let fixture = adult_fixture(21, 80);
+    let rows = csv_rows(&fixture.csv);
+    let plan = delta_plan(&rows);
+
+    // Control: one uninterrupted life through the full stream.
+    let control_verdict = {
+        let handle = stateless_server();
+        let mut client = client_for(&handle);
+        client
+            .call_ok(
+                "register",
+                register_params("adult", &fixture.csv, &fixture.spec),
+            )
+            .unwrap();
+        for batch in &plan {
+            apply_batch(&mut client, batch);
+        }
+        let result = client.call_ok("anonymize", anonymize_params()).unwrap();
+        result.require("verdict").unwrap().to_json()
+    };
+
+    // Victim: crash after 7 of 12 batches.
+    let dir = scratch("mid-stream");
+    let rows_after_prefix;
+    {
+        let mut handle = stateful_server(&dir);
+        let mut client = client_for(&handle);
+        client
+            .call_ok(
+                "register",
+                register_params("adult", &fixture.csv, &fixture.spec),
+            )
+            .unwrap();
+        let mut last_rows = 0;
+        for batch in &plan[..7] {
+            last_rows = apply_batch(&mut client, batch)
+                .require("rows")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+        }
+        rows_after_prefix = last_rows;
+        drop(client);
+        handle.shutdown();
+    }
+    // The crash: no snapshot survived, and the 8th delta was torn mid-append.
+    let _ = std::fs::remove_file(dir.join("pools.snap"));
+    let journal = dir.join("registry.journal");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    bytes.extend_from_slice(br#"{"kind":"delta","dataset":"adult","appen"#);
+    std::fs::write(&journal, &bytes).unwrap();
+
+    // Restart: the 7-delta prefix replays; the torn tail is reported.
+    let handle = stateful_server(&dir);
+    let recovery = handle.recovery();
+    assert_eq!(recovery.datasets, 1);
+    assert_eq!(recovery.deltas, 7, "journaled delta prefix must replay");
+    assert!(
+        recovery.warnings.iter().any(|w| w.contains("torn")),
+        "torn tail must be reported: {:?}",
+        recovery.warnings
+    );
+
+    let mut client = client_for(&handle);
+    let stats = client.call_ok("stats", JsonValue::object()).unwrap();
+    let datasets = stats
+        .require("datasets")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
+    assert_eq!(datasets.len(), 1);
+    let resumed_from = datasets[0]
+        .require("deltas_applied")
+        .unwrap()
+        .as_u64()
+        .unwrap() as usize;
+    assert_eq!(resumed_from, 7, "the resume cursor is the replayed count");
+    assert_eq!(
+        datasets[0].require("rows").unwrap().as_u64().unwrap(),
+        rows_after_prefix,
+        "the recovered table must match the last acknowledged update"
+    );
+
+    // Resume exactly where the journal left off and finish the stream.
+    for batch in &plan[resumed_from..] {
+        apply_batch(&mut client, batch);
+    }
+    let result = client.call_ok("anonymize", anonymize_params()).unwrap();
+    assert_eq!(
+        result.require("verdict").unwrap().to_json(),
+        control_verdict,
+        "crash + replay + resume must converge to the uninterrupted verdict"
+    );
+}
+
+/// Watch + selective invalidation end to end: net-zero churn keeps warm
+/// verdicts and republishes nothing; collapsing the table flips the
+/// watched verdict exactly once; re-watching an existing spec is
+/// idempotent.
+#[test]
+fn watch_republishes_only_on_verdict_change() {
+    let fixture = adult_fixture(21, 80);
+    let rows = csv_rows(&fixture.csv);
+    let handle = stateless_server();
+    let mut client = client_for(&handle);
+    client
+        .call_ok(
+            "register",
+            register_params("adult", &fixture.csv, &fixture.spec),
+        )
+        .unwrap();
+
+    // Register the watch (warming its verdict pool) and pin the baseline.
+    let mut watch_params = anonymize_params();
+    watch_params.set("model", JsonValue::Str("psens-k".into()));
+    let watched = client.call_ok("watch", watch_params.clone()).unwrap();
+    assert!(watched.require("registered").unwrap().as_bool().unwrap());
+    let baseline = watched.require("verdict").unwrap().to_json();
+
+    let again = client.call_ok("watch", watch_params).unwrap();
+    assert!(
+        !again.require("registered").unwrap().as_bool().unwrap(),
+        "re-watching the same spec must be idempotent"
+    );
+    assert_eq!(again.require("verdict").unwrap().to_json(), baseline);
+
+    // Net-zero churn: delete row 0, append the identical row. Every cached
+    // verdict must be kept and the watch must not republish.
+    let result = client
+        .call_ok("update", update_params(&[rows[0].clone()], &[0]))
+        .unwrap();
+    assert!(result.require("net_zero").unwrap().as_bool().unwrap());
+    let invalidation = result.require("invalidation").unwrap();
+    assert!(
+        invalidation.require("kept").unwrap().as_u64().unwrap() > 0,
+        "net-zero churn must keep the warm pool"
+    );
+    assert_eq!(
+        invalidation
+            .require("invalidated")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        0
+    );
+    let watches = result.require("watches").unwrap();
+    assert_eq!(watches.require("checked").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(watches.require("flipped").unwrap().as_u64().unwrap(), 0);
+    assert!(
+        watches
+            .require("changed")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty(),
+        "an unchanged verdict must not be republished"
+    );
+
+    // Collapse the table to 2 rows: the verdict must flip, once.
+    let deletes: Vec<usize> = (0..78).collect();
+    let result = client
+        .call_ok("update", update_params(&[], &deletes))
+        .unwrap();
+    assert_eq!(result.require("rows").unwrap().as_u64().unwrap(), 2);
+    let watches = result.require("watches").unwrap();
+    assert_eq!(watches.require("flipped").unwrap().as_u64().unwrap(), 1);
+    let changed = watches
+        .require("changed")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
+    assert_eq!(changed.len(), 1, "exactly one republished verdict");
+    let republished = changed[0].require("verdict").unwrap().to_json();
+    assert_ne!(republished, baseline);
+
+    // The republished verdict is what a fresh check sees.
+    let result = client.call_ok("anonymize", anonymize_params()).unwrap();
+    assert_eq!(result.require("verdict").unwrap().to_json(), republished);
+}

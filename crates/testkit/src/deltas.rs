@@ -1,0 +1,193 @@
+//! Seeded delta-sequence generation for the incremental oracles.
+//!
+//! The incremental equivalence suite needs *adversarial* batch mixes —
+//! exact duplicate appends (sterile candidates), delete-only batches that
+//! kill whole QI groups, fresh rows that shift confidential statistics,
+//! and append+delete batches that net out to zero — produced
+//! deterministically from a seed so CI and local runs replay identically.
+
+use psens_microdata::{DeltaBatch, Table, Value};
+use std::collections::BTreeSet;
+
+/// A tiny deterministic generator (xorshift64*), deliberately not a crypto
+/// or statistics RNG: the suites only need seedable, platform-stable
+/// variety.
+#[derive(Debug, Clone)]
+pub struct DeltaRng(u64);
+
+impl DeltaRng {
+    /// Seeds the generator; a zero seed is mapped to 1 (xorshift fixpoint).
+    pub fn new(seed: u64) -> DeltaRng {
+        DeltaRng(seed.max(1))
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A value in `0..bound` (`bound = 0` returns 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// One step of a generated delta script: the batch plus the table it
+/// produced, so assertions can compare against the ground truth without
+/// re-applying.
+#[derive(Debug, Clone)]
+pub struct DeltaStep {
+    /// The batch applied at this step.
+    pub batch: DeltaBatch,
+    /// The table after applying [`batch`](Self::batch).
+    pub after: Table,
+}
+
+/// Generates `n` batches against `base`, deterministically from `seed`.
+///
+/// Per batch (roll ∈ 0..100 against the *current* table):
+///
+/// - roll < 25, table non-empty: **duplicate appends** — 1–3 exact copies
+///   of existing rows. These are the sterile candidates: on a table whose
+///   ground groups are large enough, the invalidation classifier must keep
+///   every cached verdict.
+/// - roll < 50, table has > 4 rows: **delete-only** — 1–3 distinct
+///   indices. Deletes shrink groups toward the k boundary and can kill a
+///   group outright.
+/// - roll < 62, table non-empty: **net-zero churn** — append copies of
+///   1–2 rows and delete those same indices; the row multiset is unchanged
+///   so every model's verdicts must be kept verbatim.
+/// - otherwise: **fresh rows** — 1–2 rows from `fresh`, plus occasionally
+///   one delete. Births new groups and shifts confidential stats.
+///
+/// `fresh` must return full rows in `base`'s schema order.
+pub fn delta_script(
+    base: &Table,
+    n: usize,
+    seed: u64,
+    mut fresh: impl FnMut(&mut DeltaRng) -> Vec<Value>,
+) -> Vec<DeltaStep> {
+    let mut rng = DeltaRng::new(seed);
+    let mut current = base.clone();
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let n_rows = current.n_rows();
+        let roll = rng.below(100);
+        let batch = if roll < 25 && n_rows > 0 {
+            let copies = 1 + rng.below(3);
+            let appends = (0..copies)
+                .map(|_| current.row(rng.below(n_rows)).expect("index in range"))
+                .collect();
+            DeltaBatch::append_rows(appends)
+        } else if roll < 50 && n_rows > 4 {
+            let mut victims = BTreeSet::new();
+            for _ in 0..1 + rng.below(3) {
+                victims.insert(rng.below(n_rows));
+            }
+            DeltaBatch::delete_rows(victims.into_iter().collect())
+        } else if roll < 62 && n_rows > 0 {
+            let mut victims = BTreeSet::new();
+            for _ in 0..1 + rng.below(2) {
+                victims.insert(rng.below(n_rows));
+            }
+            let deletes: Vec<usize> = victims.into_iter().collect();
+            let appends = deletes
+                .iter()
+                .map(|&ix| current.row(ix).expect("index in range"))
+                .collect();
+            DeltaBatch { appends, deletes }
+        } else {
+            let appends: Vec<Vec<Value>> = (0..1 + rng.below(2)).map(|_| fresh(&mut rng)).collect();
+            let deletes = if n_rows > 8 && rng.below(4) == 0 {
+                vec![rng.below(n_rows)]
+            } else {
+                Vec::new()
+            };
+            DeltaBatch { appends, deletes }
+        };
+        current = batch.apply(&current).expect("generated batch is valid");
+        steps.push(DeltaStep {
+            batch,
+            after: current.clone(),
+        });
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{build_wide_table, wide_schema, WideRow};
+
+    fn base() -> Table {
+        let rows: Vec<WideRow> = (0..12)
+            .map(|i| {
+                (
+                    i % 4,
+                    false,
+                    i % 6,
+                    false,
+                    i % 3,
+                    i % 4,
+                    false,
+                    (i % 3) as i64,
+                )
+            })
+            .collect();
+        build_wide_table(&rows)
+    }
+
+    fn fresh_row(rng: &mut DeltaRng) -> Vec<Value> {
+        vec![
+            Value::Text(format!("id-new-{}", rng.below(1000))),
+            Value::Text(format!("x{}", rng.below(4))),
+            Value::Int(rng.below(6) as i64),
+            Value::Text(format!("y{}", rng.below(3))),
+            Value::Text(format!("s{}", rng.below(4))),
+            Value::Int(rng.below(3) as i64),
+        ]
+    }
+
+    #[test]
+    fn script_is_deterministic_and_replayable() {
+        let t = base();
+        let a = delta_script(&t, 40, 7, fresh_row);
+        let b = delta_script(&t, 40, 7, fresh_row);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.batch, y.batch);
+            assert_eq!(x.after, y.after);
+        }
+        // Replaying the batches from scratch reproduces every intermediate.
+        let mut current = t;
+        for step in &a {
+            current = step.batch.apply(&current).unwrap();
+            assert_eq!(current, step.after);
+        }
+    }
+
+    #[test]
+    fn script_mixes_batch_shapes() {
+        let t = base();
+        let steps = delta_script(&t, 120, 3, fresh_row);
+        let append_only = steps.iter().filter(|s| s.batch.is_append_only()).count();
+        let with_deletes = steps.iter().filter(|s| !s.batch.deletes.is_empty()).count();
+        let net_zero = steps
+            .iter()
+            .filter(|s| !s.batch.is_empty() && s.batch.appends.len() == s.batch.deletes.len())
+            .count();
+        assert!(append_only > 10, "append-only batches: {append_only}");
+        assert!(with_deletes > 10, "deleting batches: {with_deletes}");
+        assert!(net_zero > 0, "net-zero-shaped batches: {net_zero}");
+        assert_eq!(steps.last().unwrap().after.schema(), &wide_schema());
+    }
+}

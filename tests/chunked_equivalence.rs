@@ -12,58 +12,28 @@ use psens::algorithms::{
     pk_minimal_generalization_budgeted, pk_minimal_generalization_tuned, Pruning, Tuning,
 };
 use psens::core::{NoopObserver, SearchBudget};
-use psens::hierarchy::{CatHierarchy, Hierarchy, IntHierarchy, IntLevel, QiSpace};
+use psens::hierarchy::QiSpace;
 use psens::prelude::*;
 use psens::sql::{execute, Catalog};
+use psens_testkit::spaces::narrow_qi_space;
+use psens_testkit::tables::{arb_narrow_row, build_narrow_table, NarrowRow};
 
 /// The chunk sizes the acceptance gate names: degenerate one-row chunks, a
 /// ragged prime, and a size larger than any generated table (single chunk).
 const CHUNK_SIZES: [usize; 3] = [1, 7, 4096];
 const THREADS: [usize; 3] = [1, 2, 8];
 
-/// Categorical key X, integer key A, categorical confidential S; the
-/// maskable cells can be missing (missing compares equal to missing).
-fn schema() -> Schema {
-    Schema::new(vec![
-        Attribute::cat_key("X"),
-        Attribute::int_key("A"),
-        Attribute::cat_confidential("S"),
-    ])
-    .unwrap()
-}
-
-type Row = (u8, i64, bool, u8, bool);
+/// The narrow testkit schema: categorical key X, integer key A, categorical
+/// confidential S; the maskable cells can be missing (missing compares
+/// equal to missing).
+type Row = NarrowRow;
 
 fn arb_row() -> impl Strategy<Value = Row> {
-    (
-        0u8..4,        // X index
-        0i64..4,       // A value
-        any::<bool>(), // A missing?
-        0u8..4,        // S index
-        any::<bool>(), // S missing?
-    )
+    arb_narrow_row()
 }
 
 fn build_table(rows: &[Row]) -> Table {
-    let mut builder = TableBuilder::new(schema());
-    for &(x, a, a_miss, s, s_miss) in rows {
-        builder
-            .push_row(vec![
-                Value::Text(format!("x{x}")),
-                if a_miss {
-                    Value::Missing
-                } else {
-                    Value::Int(a)
-                },
-                if s_miss {
-                    Value::Missing
-                } else {
-                    Value::Text(format!("s{s}"))
-                },
-            ])
-            .unwrap();
-    }
-    builder.finish()
+    build_narrow_table(rows)
 }
 
 /// The two ways chunked tables arise: sliced from a buffered table (chunks
@@ -392,25 +362,7 @@ mod injected_panic {
 /// QI space over X (3 levels) and A (2 levels): a 6-node lattice the
 /// search-verdict oracle can walk quickly.
 fn qi_space() -> QiSpace {
-    let x = CatHierarchy::identity(["x0", "x1", "x2", "x3"])
-        .unwrap()
-        .push_level([("x0", "xa"), ("x1", "xa"), ("x2", "xb"), ("x3", "xb")])
-        .unwrap()
-        .push_top("*")
-        .unwrap();
-    let a = IntHierarchy::new(vec![
-        IntLevel::Ranges {
-            cuts: vec![2],
-            labels: vec!["0-1".into(), "2-3".into()],
-        },
-        IntLevel::Single("*".into()),
-    ])
-    .unwrap();
-    QiSpace::new(vec![
-        ("X".into(), Hierarchy::Cat(x)),
-        ("A".into(), Hierarchy::Int(a)),
-    ])
-    .unwrap()
+    narrow_qi_space()
 }
 
 proptest! {

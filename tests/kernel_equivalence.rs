@@ -11,104 +11,30 @@ use proptest::prelude::*;
 use psens::core::evaluator::EvalContext;
 use psens::core::masking::MaskingContext;
 use psens::core::NoopObserver;
-use psens::hierarchy::{builders, CatHierarchy, Hierarchy, IntHierarchy, IntLevel};
 use psens::prelude::*;
+use psens_testkit::spaces::{flat_y_qi_space, wide_qi_space};
+use psens_testkit::tables::{arb_wide_row, build_wide_table, WideRow};
 
-/// Keys: categorical X (in QI space), integer A (in QI space), categorical
-/// Y (key *outside* the QI space — grouped at ground level by both paths).
-/// Confidential: categorical S and integer T. Plus one identifier column.
-fn test_schema() -> Schema {
-    Schema::new(vec![
-        Attribute::cat_identifier("Id"),
-        Attribute::cat_key("X"),
-        Attribute::int_key("A"),
-        Attribute::cat_key("Y"),
-        Attribute::cat_confidential("S"),
-        Attribute::int_confidential("T"),
-    ])
-    .unwrap()
+/// The wide testkit schema: keys X (in QI space), A (in QI space), Y (key
+/// *outside* the QI space — grouped at ground level by both paths),
+/// confidential S and T, plus one identifier column. Y uses its full
+/// three-value domain here.
+fn arb_row() -> impl Strategy<Value = WideRow> {
+    arb_wide_row(3)
 }
 
-/// One random row: domain indices, with independent missing flags for the
-/// maskable cells (X, A, S — missing must group with missing at every level
-/// in both paths).
-type Row = (u8, bool, u8, bool, u8, u8, bool, i64);
-
-fn arb_row() -> impl Strategy<Value = Row> {
-    (
-        0u8..4,        // X index
-        any::<bool>(), // X missing?
-        0u8..6,        // A value
-        any::<bool>(), // A missing?
-        0u8..3,        // Y index
-        0u8..4,        // S index
-        any::<bool>(), // S missing?
-        0i64..3,       // T value
-    )
-}
-
-fn build_table(rows: &[Row]) -> Table {
-    let mut builder = TableBuilder::new(test_schema());
-    for (i, &(x, x_miss, a, a_miss, y, s, s_miss, t)) in rows.iter().enumerate() {
-        let x = if x_miss && x % 3 == 0 {
-            Value::Missing
-        } else {
-            Value::Text(format!("x{x}"))
-        };
-        let a = if a_miss && a % 3 == 0 {
-            Value::Missing
-        } else {
-            Value::Int(a as i64)
-        };
-        let s = if s_miss && s % 3 == 0 {
-            Value::Missing
-        } else {
-            Value::Text(format!("s{s}"))
-        };
-        builder
-            .push_row(vec![
-                Value::Text(format!("id{i}")),
-                x,
-                a,
-                Value::Text(format!("y{y}")),
-                s,
-                Value::Int(t),
-            ])
-            .unwrap();
-    }
-    builder.finish()
+fn build_table(rows: &[WideRow]) -> Table {
+    build_wide_table(rows)
 }
 
 /// QI space over X (3 levels) and A (3 levels); Y is deliberately left out.
 fn test_qi_space() -> QiSpace {
-    let x = CatHierarchy::identity(["x0", "x1", "x2", "x3"])
-        .unwrap()
-        .push_level([("x0", "xa"), ("x1", "xa"), ("x2", "xb"), ("x3", "xb")])
-        .unwrap()
-        .push_top("*")
-        .unwrap();
-    let a = IntHierarchy::new(vec![
-        IntLevel::Ranges {
-            cuts: vec![2, 4],
-            labels: vec!["0-1".into(), "2-3".into(), "4-5".into()],
-        },
-        IntLevel::Single("*".into()),
-    ])
-    .unwrap();
-    QiSpace::new(vec![
-        ("X".into(), Hierarchy::Cat(x)),
-        ("A".into(), Hierarchy::Int(a)),
-    ])
-    .unwrap()
+    wide_qi_space()
 }
 
 /// A flat one-attribute QI space used by the single-attribute variant.
 fn flat_qi_space() -> QiSpace {
-    QiSpace::new(vec![(
-        "Y".into(),
-        builders::flat_hierarchy(vec!["y0", "y1", "y2"]).unwrap(),
-    )])
-    .unwrap()
+    flat_y_qi_space()
 }
 
 /// Asserts the two paths agree on every reported field for every node of

@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 use psens::core::conditions::ConfidentialStats;
 use psens::core::theorems::{theorem1_holds, theorems_hold};
-use psens::core::{check_improved, is_p_sensitive_k_anonymous, max_k, max_p_of_masked};
+use psens::core::{
+    check_improved, is_p_sensitive_k_anonymous, max_k, max_p_of_masked, CheckStage, Invalidation,
+    NodeCheck, VerdictStore,
+};
 use psens::hierarchy::CatHierarchy;
 use psens::microdata::csv;
 use psens::prelude::*;
@@ -279,6 +282,67 @@ proptest! {
             let keys = outcome.masked.schema().key_indices();
             let conf = outcome.masked.schema().confidential_indices();
             prop_assert!(is_p_sensitive_k_anonymous(&outcome.masked, &keys, &conf, p, k));
+        }
+    }
+
+    #[test]
+    fn verdict_store_approx_bytes_never_drifts(
+        ops in prop::collection::vec(
+            (0u8..3, 0u8..3, 0u8..7, 0usize..8, 1usize..6, 1u32..5, any::<bool>()),
+            1..40,
+        ),
+        stat_rows in prop::collection::vec(arb_row(), 1..20),
+        ts in 0usize..4,
+        monotone in any::<bool>(),
+    ) {
+        // `approx_bytes` backs the server's memory-pressure accounting, so
+        // it must be a pure function of the store's *contents*: after any
+        // sequence of records (with closure) and invalidations, a store
+        // rebuilt raw from the snapshot must report the identical footprint
+        // — any drift means the estimate depends on operation history and
+        // the eviction budget silently rots.
+        let lattice = Lattice::new(vec![2, 2]);
+        let stats = ConfidentialStats::compute(&build_table(&stat_rows), &[2, 3]);
+        let store = VerdictStore::for_model(&lattice, ts, monotone);
+        for &(xl, yl, kind, vt, g, p, pass) in &ops {
+            match kind {
+                0..=3 => {
+                    let (stage, n_groups) = match kind {
+                        0 => (CheckStage::Condition1, None),
+                        1 => (CheckStage::Condition2, Some(g)),
+                        2 => (CheckStage::KAnonymity, Some(g)),
+                        _ => (CheckStage::Passed, Some(g)),
+                    };
+                    store.record(&NodeCheck {
+                        node: Node(vec![xl, yl]),
+                        violating_tuples: vt,
+                        suppressed: vt.min(ts),
+                        satisfied: pass && matches!(stage, CheckStage::Passed),
+                        stage,
+                        n_groups,
+                        detail: None,
+                    });
+                }
+                4 => {
+                    store.invalidate(Invalidation::KeepAll);
+                }
+                5 => {
+                    store.invalidate(Invalidation::DropAll);
+                }
+                _ => {
+                    store.invalidate(Invalidation::Conditions { stats: &stats, p });
+                }
+            }
+            let rebuilt = VerdictStore::for_model(&lattice, ts, monotone);
+            for (node, verdict) in store.snapshot_entries() {
+                rebuilt.insert_raw(node, verdict);
+            }
+            prop_assert_eq!(store.len(), rebuilt.len(), "entry count drifted");
+            prop_assert_eq!(
+                store.approx_bytes(),
+                rebuilt.approx_bytes(),
+                "approx_bytes drifted from a rebuilt store"
+            );
         }
     }
 

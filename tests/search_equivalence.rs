@@ -26,99 +26,27 @@ use psens::algorithms::{
     pk_minimal_generalization_tuned, Pruning, SearchStats, Tuning,
 };
 use psens::core::{NoopObserver, SearchBudget, VerdictStore};
-use psens::hierarchy::{builders, CatHierarchy, Hierarchy, IntHierarchy, IntLevel, QiSpace};
+use psens::hierarchy::QiSpace;
 use psens::prelude::*;
+use psens_testkit::spaces::search_qi_space;
+use psens_testkit::tables::{arb_wide_row, build_wide_table, WideRow};
 
-/// Keys: categorical X and integer A (both in the QI space) plus flat
-/// categorical Y. Confidential: categorical S and integer T.
-fn test_schema() -> Schema {
-    Schema::new(vec![
-        Attribute::cat_identifier("Id"),
-        Attribute::cat_key("X"),
-        Attribute::int_key("A"),
-        Attribute::cat_key("Y"),
-        Attribute::cat_confidential("S"),
-        Attribute::int_confidential("T"),
-    ])
-    .unwrap()
+/// The wide testkit schema: keys X and A (both in the QI space) plus flat
+/// categorical Y, confidential S and T. Y's domain is restricted to the two
+/// leaves of the flat Y hierarchy below.
+fn arb_row() -> impl Strategy<Value = WideRow> {
+    arb_wide_row(2)
 }
 
-/// One random row: domain indices with independent missing flags for the
-/// maskable cells.
-type Row = (u8, bool, u8, bool, u8, u8, bool, i64);
-
-fn arb_row() -> impl Strategy<Value = Row> {
-    (
-        0u8..4,        // X index
-        any::<bool>(), // X missing?
-        0u8..6,        // A value
-        any::<bool>(), // A missing?
-        0u8..2,        // Y index
-        0u8..4,        // S index
-        any::<bool>(), // S missing?
-        0i64..3,       // T value
-    )
-}
-
-fn build_table(rows: &[Row]) -> Table {
-    let mut builder = TableBuilder::new(test_schema());
-    for (i, &(x, x_miss, a, a_miss, y, s, s_miss, t)) in rows.iter().enumerate() {
-        let x = if x_miss && x % 3 == 0 {
-            Value::Missing
-        } else {
-            Value::Text(format!("x{x}"))
-        };
-        let a = if a_miss && a % 3 == 0 {
-            Value::Missing
-        } else {
-            Value::Int(a as i64)
-        };
-        let s = if s_miss && s % 3 == 0 {
-            Value::Missing
-        } else {
-            Value::Text(format!("s{s}"))
-        };
-        builder
-            .push_row(vec![
-                Value::Text(format!("id{i}")),
-                x,
-                a,
-                Value::Text(format!("y{y}")),
-                s,
-                Value::Int(t),
-            ])
-            .unwrap();
-    }
-    builder.finish()
+fn build_table(rows: &[WideRow]) -> Table {
+    build_wide_table(rows)
 }
 
 /// QI space over X (3 levels), A (2 levels), and flat Y (2 levels): a
 /// 12-node lattice of height 4 — small enough for exhaustive oracles, big
 /// enough that 8-thread chunking splits real strata.
 fn test_qi_space() -> QiSpace {
-    let x = CatHierarchy::identity(["x0", "x1", "x2", "x3"])
-        .unwrap()
-        .push_level([("x0", "xa"), ("x1", "xa"), ("x2", "xb"), ("x3", "xb")])
-        .unwrap()
-        .push_top("*")
-        .unwrap();
-    let a = IntHierarchy::new(vec![
-        IntLevel::Ranges {
-            cuts: vec![2, 4],
-            labels: vec!["0-1".into(), "2-3".into(), "4-5".into()],
-        },
-        IntLevel::Single("*".into()),
-    ])
-    .unwrap();
-    QiSpace::new(vec![
-        ("X".into(), Hierarchy::Cat(x)),
-        ("A".into(), Hierarchy::Int(a)),
-        (
-            "Y".into(),
-            builders::flat_hierarchy(vec!["y0", "y1"]).unwrap(),
-        ),
-    ])
-    .unwrap()
+    search_qi_space()
 }
 
 /// The stage partition must survive every tuning: cache hits and inferred
