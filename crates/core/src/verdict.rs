@@ -396,6 +396,68 @@ impl VerdictStore {
         outcome
     }
 
+    /// Builds a detached successor store holding exactly the entries that
+    /// survive `policy`, leaving `self` untouched. The successor inherits
+    /// the lattice bounds, suppression threshold, and closure mode, and
+    /// starts from `self`'s cumulative counters (advanced by this call's
+    /// kept/invalidated tallies) so pool statistics survive a swap.
+    ///
+    /// This is the swap half of delta invalidation: the server replaces the
+    /// pooled `Arc` with the successor *under the dataset's write lock*, so
+    /// an in-flight search that acquired the old store against the
+    /// pre-delta table keeps recording into the detached instance — its
+    /// stale verdicts die with that `Arc` instead of poisoning post-delta
+    /// lookups. Entries keep their shard (the shard function depends only
+    /// on the node), so successor and in-place [`invalidate`](Self::invalidate)
+    /// agree entry-for-entry.
+    pub fn invalidated_successor(
+        &self,
+        policy: Invalidation<'_>,
+    ) -> (VerdictStore, InvalidationOutcome) {
+        let prior = self.counters();
+        let successor = VerdictStore {
+            max_levels: self.max_levels.clone(),
+            ts: self.ts,
+            closure: self.closure,
+            shards: (0..N_SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(prior.hits),
+            inferred_hits: AtomicU64::new(prior.inferred_hits),
+            misses: AtomicU64::new(prior.misses),
+            recorded_exact: AtomicU64::new(prior.recorded_exact),
+            recorded_inferred: AtomicU64::new(prior.recorded_inferred),
+            kept: AtomicU64::new(prior.kept),
+            invalidated: AtomicU64::new(prior.invalidated),
+        };
+        let mut outcome = InvalidationOutcome::default();
+        for (ix, shard) in self.shards.iter().enumerate() {
+            let map = shard.lock().expect("verdict shard lock poisoned");
+            let mut survivors = FxHashMap::default();
+            for (node, verdict) in map.iter() {
+                let keep = match policy {
+                    Invalidation::KeepAll => true,
+                    Invalidation::DropAll => false,
+                    Invalidation::Conditions { stats, p } => survives_conditions(verdict, stats, p),
+                };
+                if keep {
+                    survivors.insert(node.clone(), verdict.clone());
+                } else {
+                    outcome.invalidated += 1;
+                }
+            }
+            outcome.kept += survivors.len() as u64;
+            *successor.shards[ix]
+                .lock()
+                .expect("verdict shard lock poisoned") = survivors;
+        }
+        successor.kept.fetch_add(outcome.kept, Ordering::Relaxed);
+        successor
+            .invalidated
+            .fetch_add(outcome.invalidated, Ordering::Relaxed);
+        (successor, outcome)
+    }
+
     /// Every entry in the store — exact *and* inferred — sorted by node
     /// levels. Intended for tests and diagnostics (e.g. rebuilding a store
     /// to cross-check [`approx_bytes`](Self::approx_bytes)).
@@ -795,6 +857,82 @@ mod tests {
             Some(Verdict::InferredFailK),
             "the k-violation certificate is partition-derived and stands"
         );
+    }
+
+    /// Records the same mixed-stage entry set into a fresh store; used to
+    /// compare the successor against in-place invalidation.
+    fn mixed_store(lattice: &Lattice) -> VerdictStore {
+        let entry = |stage, satisfied, n_groups, levels: &[u8]| NodeCheck {
+            stage,
+            satisfied,
+            n_groups,
+            ..check(levels, satisfied, 0)
+        };
+        let store = VerdictStore::for_model(lattice, 0, false); // no closure noise
+        for c in [
+            entry(CheckStage::Passed, true, Some(3), &[0, 0]),
+            entry(CheckStage::Condition2, false, Some(4), &[0, 1]),
+            entry(CheckStage::Passed, true, Some(4), &[1, 0]),
+            entry(CheckStage::Condition1, false, None, &[2, 0]),
+        ] {
+            store.record(&c);
+        }
+        store
+    }
+
+    #[test]
+    fn invalidated_successor_matches_in_place_invalidate() {
+        let lattice = Lattice::new(vec![3, 3]);
+        let stats = stats_of(&[3, 2, 1]);
+        for policy in [
+            Invalidation::KeepAll,
+            Invalidation::DropAll,
+            Invalidation::Conditions {
+                stats: &stats,
+                p: 2,
+            },
+        ] {
+            let original = mixed_store(&lattice);
+            let in_place = mixed_store(&lattice);
+            let before = original.snapshot_entries();
+            let (successor, outcome) = original.invalidated_successor(policy);
+            let expected = in_place.invalidate(policy);
+            assert_eq!(outcome, expected, "{policy:?}");
+            assert_eq!(
+                successor.snapshot_entries(),
+                in_place.snapshot_entries(),
+                "{policy:?}: successor and in-place invalidation must agree"
+            );
+            assert_eq!(
+                original.snapshot_entries(),
+                before,
+                "{policy:?}: the original store is untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn invalidated_successor_carries_counters_and_config() {
+        let lattice = Lattice::new(vec![3, 3]);
+        let original = mixed_store(&lattice);
+        let _ = original.lookup(&Node(vec![0, 0]), true); // a hit
+        let _ = original.lookup(&Node(vec![3, 3]), true); // a miss
+        let prior = original.counters();
+        let (successor, outcome) = original.invalidated_successor(Invalidation::DropAll);
+        assert_eq!(outcome.invalidated, 4);
+        let after = successor.counters();
+        assert_eq!(
+            (after.hits, after.misses, after.recorded_exact),
+            (prior.hits, prior.misses, prior.recorded_exact),
+            "cumulative traffic counters survive the swap"
+        );
+        assert_eq!(after.invalidated, prior.invalidated + 4);
+        assert_eq!(successor.ts(), original.ts());
+        // The closure mode is inherited: a successor of a non-monotone
+        // store must still refuse inference.
+        successor.record(&check(&[1, 1], true, 0));
+        assert_eq!(successor.counters().recorded_inferred, 0);
+        assert_eq!(successor.len(), 1, "no closure entries materialized");
     }
 
     #[test]

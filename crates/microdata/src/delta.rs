@@ -62,8 +62,13 @@ impl DeltaBatch {
 
     /// Validates the batch against `table`: every append row must match the
     /// schema's arity (kind mismatches surface in [`apply`](Self::apply)
-    /// through the row builder), and every delete index must be in bounds
-    /// and unique.
+    /// through the row builder), no append cell may be an empty text value,
+    /// and every delete index must be in bounds and unique.
+    ///
+    /// Empty text is rejected because [`Value::render`] maps both
+    /// `Value::Missing` and `Value::Text("")` to `""`: a journaled batch
+    /// carrying `Text("")` would replay as `Missing` after a crash,
+    /// silently diverging from the table the live server acknowledged.
     pub fn validate(&self, table: &Table) -> Result<()> {
         for row in &self.appends {
             if row.len() != table.schema().len() {
@@ -71,6 +76,14 @@ impl DeltaBatch {
                     expected: table.schema().len(),
                     found: row.len(),
                 });
+            }
+            for (c, value) in row.iter().enumerate() {
+                if matches!(value, Value::Text(s) if s.is_empty()) {
+                    return Err(Error::Io(format!(
+                        "append cell in column {c} is empty text, which renders \
+                         identically to a missing value; use Value::Missing"
+                    )));
+                }
             }
         }
         let mut seen = vec![false; table.n_rows()];
@@ -323,6 +336,27 @@ mod tests {
             wrong_kind.apply(&t),
             Err(Error::TypeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn validation_rejects_empty_text_but_admits_missing() {
+        let t = base();
+        // Text("") renders as "" — indistinguishable from Missing in the
+        // delta journal, so validation refuses it outright.
+        let ambiguous = DeltaBatch::append_rows(vec![vec![
+            Value::Text(String::new()),
+            Value::Int(30),
+            Value::Text("Flu".into()),
+        ]]);
+        let err = ambiguous.apply(&t).expect_err("empty text must be refused");
+        assert!(err.to_string().contains("empty text"), "{err}");
+        // An explicit Missing in the same position is fine.
+        let missing = DeltaBatch::append_rows(vec![vec![
+            Value::Missing,
+            Value::Int(30),
+            Value::Text("Flu".into()),
+        ]]);
+        assert!(missing.validate(&t).is_ok());
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! unsound inferred verdict into a later request.
 
 use crate::state::{SnapshotEntry, StateDir};
-use psens_core::{ConfidentialStats, DeltaEffect, LiveTable, ModelSpec, VerdictStore};
+use psens_core::{
+    invalidation_for, ConfidentialStats, DeltaEffect, Invalidation, LiveTable, ModelSpec,
+    VerdictStore,
+};
 use psens_datasets::Spec;
 use psens_hierarchy::QiSpace;
 use psens_microdata::csv::read_table_str;
@@ -24,6 +27,27 @@ use std::sync::{Arc, Mutex, RwLock};
 
 /// A warm-pool key: `(dataset, model, k, ts)`.
 pub type PoolKey = (String, ModelSpec, u32, usize);
+
+/// Everything one [`Dataset::apply_delta`] call did, computed under a
+/// single hold of the live write lock so every field describes the same
+/// table version — the post-batch one. Pairing the effect with statistics
+/// read after the lock dropped would let a racing second batch leak into
+/// the invalidation judgement.
+#[derive(Debug, Clone)]
+pub struct DeltaOutcome {
+    /// How the batch changed the row multiset.
+    pub effect: DeltaEffect,
+    /// Confidential statistics of the table *after* the batch.
+    pub stats: ConfidentialStats,
+    /// Row count after the batch.
+    pub rows: usize,
+    /// Deltas applied since registration, after this batch.
+    pub deltas_applied: u64,
+    /// Verdicts kept across every warm pool by the invalidation pass.
+    pub kept: u64,
+    /// Verdicts dropped across every warm pool.
+    pub invalidated: u64,
+}
 
 /// One `watch` registration: a spec to re-verify after every delta, plus
 /// the last verdict published for it (serialized JSON, so "changed" is a
@@ -107,11 +131,26 @@ impl Dataset {
     /// it write-ahead when a state dir is configured. Journal order equals
     /// apply order because both happen under the same lock hold; a journal
     /// append failure fails the update (fail-closed, like `register`).
+    /// `batch.validate` refuses empty-text cells, so the rendered journal
+    /// encoding (`"" = Missing`) round-trips injectively on replay.
+    ///
+    /// Warm-pool invalidation also happens here, **before the write lock
+    /// drops**, so delta apply and invalidation are one atomic step with
+    /// respect to every search that acquires its `(store, table, stats)`
+    /// through [`Registry::snapshot_with_store`]'s read-lock hold. Pools
+    /// whose verdicts the batch could flip are *swapped* for a detached
+    /// successor ([`VerdictStore::invalidated_successor`]) rather than
+    /// pruned in place: an in-flight search still holding the pre-delta
+    /// `Arc` keeps recording into the detached store, whose stale verdicts
+    /// die with it instead of poisoning the pool the next request gets. A
+    /// net-zero batch keeps the same `Arc` — the row multiset is unchanged,
+    /// so pre-delta verdicts (including ones recorded late by in-flight
+    /// searches) remain exactly right.
     pub fn apply_delta(
         &self,
         batch: &DeltaBatch,
         journal: Option<&StateDir>,
-    ) -> Result<DeltaEffect, String> {
+    ) -> Result<DeltaOutcome, String> {
         let mut live = self.live.write().expect("live table poisoned");
         batch.validate(live.table()).map_err(|e| e.to_string())?;
         if let Some(state) = journal {
@@ -124,7 +163,34 @@ impl Dataset {
                 .log_delta(&self.name, &appends, &batch.deletes)
                 .map_err(|e| format!("state journal append failed: {e}"))?;
         }
-        live.apply(batch).map_err(|e| e.to_string())
+        let effect = live.apply(batch).map_err(|e| e.to_string())?;
+        let stats = live.stats();
+        let mut kept = 0u64;
+        let mut invalidated = 0u64;
+        {
+            // Lock order live → stores, same as `snapshot_with_store`.
+            let mut stores = self.stores.lock().expect("store pool poisoned");
+            for (&(model, k, _ts), store) in stores.iter_mut() {
+                let policy = invalidation_for(&effect, &stats, &model, k as usize);
+                let outcome = if matches!(policy, Invalidation::KeepAll) {
+                    store.invalidate(policy)
+                } else {
+                    let (successor, outcome) = store.invalidated_successor(policy);
+                    *store = Arc::new(successor);
+                    outcome
+                };
+                kept += outcome.kept;
+                invalidated += outcome.invalidated;
+            }
+        }
+        Ok(DeltaOutcome {
+            effect,
+            stats,
+            rows: live.table().n_rows(),
+            deltas_applied: live.deltas_applied(),
+            kept,
+            invalidated,
+        })
     }
 
     /// Registers a watch for `(model, k, ts)`. Returns `false` when the
@@ -370,6 +436,45 @@ impl Registry {
         ts: usize,
     ) -> (Arc<VerdictStore>, bool) {
         let (store, warm) = dataset.store(model, k, ts);
+        self.note_pool_use(dataset, model, k, ts, warm);
+        (store, warm)
+    }
+
+    /// Store, table, and statistics acquired under **one** hold of the
+    /// dataset's live read lock, so the triple is fully pre-delta or fully
+    /// post-delta with respect to any concurrent update — never a stale
+    /// store paired with a fresh table (which would replay unsound
+    /// verdicts) or the reverse. [`Dataset::apply_delta`] swaps invalidated
+    /// pools while holding the write lock, which is what makes this
+    /// guarantee hold. Pool bookkeeping (journal line, LRU touch, byte
+    /// budget) runs after the lock drops.
+    pub fn snapshot_with_store(
+        &self,
+        dataset: &Arc<Dataset>,
+        model: ModelSpec,
+        k: u32,
+        ts: usize,
+    ) -> (Arc<VerdictStore>, bool, Table, ConfidentialStats) {
+        let (store, warm, table, stats) = {
+            let live = dataset.live.read().expect("live table poisoned");
+            // Lock order live → stores, same as `Dataset::apply_delta`.
+            let (store, warm) = dataset.store(model, k, ts);
+            (store, warm, live.table().clone(), live.stats())
+        };
+        self.note_pool_use(dataset, model, k, ts, warm);
+        (store, warm, table, stats)
+    }
+
+    /// The persistence + LRU tail shared by [`Self::store_for`] and
+    /// [`Self::snapshot_with_store`].
+    fn note_pool_use(
+        &self,
+        dataset: &Arc<Dataset>,
+        model: ModelSpec,
+        k: u32,
+        ts: usize,
+        warm: bool,
+    ) {
         if !warm {
             if let Some(state) = &self.state {
                 // A lost pool line only costs a cold rebuild after restart
@@ -385,7 +490,6 @@ impl Registry {
             lru.push(key.clone());
         }
         self.enforce_pool_budget(&key);
-        (store, warm)
     }
 
     /// Evicts least-recently-used pools until the combined footprint fits
@@ -421,7 +525,7 @@ impl Registry {
         &self,
         dataset: &Dataset,
         batch: &DeltaBatch,
-    ) -> Result<DeltaEffect, String> {
+    ) -> Result<DeltaOutcome, String> {
         dataset.apply_delta(batch, self.state.as_deref())
     }
 
@@ -821,6 +925,87 @@ mod tests {
         assert!(stats.warnings.iter().any(|w| w.contains("stale")));
         assert_eq!(reboot2.get("adult").unwrap().n_rows(), 57);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// An exact check at the lattice bottom; `violating` stays within ts so
+    /// no closure entries muddy the length assertions.
+    fn bottom_check(dataset: &Dataset, violating: usize) -> psens_core::NodeCheck {
+        psens_core::NodeCheck {
+            node: dataset.qi.lattice().bottom(),
+            violating_tuples: violating,
+            suppressed: 0,
+            satisfied: false,
+            stage: psens_core::CheckStage::KAnonymity,
+            n_groups: Some(4),
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn apply_delta_swaps_stores_and_quarantines_stale_recordings() {
+        let (registry, dataset) = registered();
+        let psens2 = ModelSpec::PSensitiveK { p: 2 };
+        let (store, warm, table, _stats) = registry.snapshot_with_store(&dataset, psens2, 3, 5);
+        assert!(!warm);
+        store.record(&bottom_check(&dataset, 3));
+        assert_eq!(store.len(), 1);
+
+        // A bare delete: no soundness argument applies (DropAll), so the
+        // pool entry is swapped for a detached, emptied successor.
+        let outcome = registry
+            .apply_delta(&dataset, &DeltaBatch::delete_rows(vec![0]))
+            .unwrap();
+        assert_eq!((outcome.kept, outcome.invalidated), (0, 1));
+        assert_eq!((outcome.rows, outcome.deltas_applied), (59, 1));
+        assert_eq!(outcome.stats, dataset.stats(), "stats are post-batch");
+
+        // An in-flight search that acquired the store pre-delta finishes
+        // late and records a pre-delta verdict into its (now detached) Arc.
+        let top = psens_hierarchy::Node(dataset.qi.lattice().max_levels().to_vec());
+        store.record(&psens_core::NodeCheck {
+            node: top.clone(),
+            ..bottom_check(&dataset, 3)
+        });
+        assert_eq!(
+            store.len(),
+            2,
+            "the detached store absorbs the stale record"
+        );
+
+        // A fresh acquisition sees the successor: same pool key (warm), a
+        // different instance, and none of the stale verdicts.
+        let (fresh, warm, table_after, _stats) =
+            registry.snapshot_with_store(&dataset, psens2, 3, 5);
+        assert!(warm, "the successor stays pooled under the same key");
+        assert!(
+            !Arc::ptr_eq(&store, &fresh),
+            "the pre-delta Arc was detached"
+        );
+        assert_eq!(fresh.len(), 0, "no stale verdict reaches the new pool");
+        assert!(fresh.peek(&top).is_none());
+        assert_eq!(table_after.n_rows(), table.n_rows() - 1);
+    }
+
+    #[test]
+    fn net_zero_delta_keeps_the_pooled_store_instance() {
+        let (registry, dataset) = registered();
+        let psens2 = ModelSpec::PSensitiveK { p: 2 };
+        let (store, _, table, _) = registry.snapshot_with_store(&dataset, psens2, 3, 5);
+        store.record(&bottom_check(&dataset, 3));
+        // Delete row 0 and append an identical copy: the row multiset is
+        // unchanged, so pre-delta verdicts stay valid and the same Arc may
+        // keep serving (and absorbing) in-flight searches.
+        let batch = DeltaBatch {
+            appends: vec![table.row(0).unwrap()],
+            deletes: vec![0],
+        };
+        let outcome = registry.apply_delta(&dataset, &batch).unwrap();
+        assert!(outcome.effect.net_zero);
+        assert_eq!((outcome.kept, outcome.invalidated), (1, 0));
+        let (same, warm, _, _) = registry.snapshot_with_store(&dataset, psens2, 3, 5);
+        assert!(warm);
+        assert!(Arc::ptr_eq(&store, &same), "net-zero keeps the same Arc");
+        assert_eq!(same.len(), 1);
     }
 
     #[test]

@@ -49,8 +49,8 @@ use psens_algorithms::samarati::{
 };
 use psens_algorithms::Tuning;
 use psens_core::{
-    check_p_sensitivity, check_table_model, invalidation_for, max_k, max_p_of_masked, CancelToken,
-    ModelSpec, NoopObserver, SearchBudget,
+    check_p_sensitivity, check_table_model, max_k, max_p_of_masked, CancelToken, ModelSpec,
+    NoopObserver, SearchBudget,
 };
 use psens_datasets::Spec;
 use psens_hierarchy::QiSpace;
@@ -1040,11 +1040,20 @@ fn anonymize_op(
             .map_err(|e| bad(format!("`max_nodes`: {e}")))?;
         budget = budget.with_max_nodes(n);
     }
-    let (store, warm) = match no_cache {
-        true => (None, false),
+    // One read-lock hold yields a (store, table, stats) triple that is
+    // consistent even while `update`s race: the pooled store always matches
+    // the table version (apply_delta swaps invalidated pools under the same
+    // lock), and the search reuses the incrementally-maintained statistics
+    // instead of recomputing them from scratch.
+    let (store, warm, table, stats) = match no_cache {
+        true => {
+            let (table, stats) = dataset.snapshot();
+            (None, false, table, stats)
+        }
         false => {
-            let (store, warm) = state.registry.store_for(&dataset, spec, k, ts);
-            (Some(store), warm)
+            let (store, warm, table, stats) =
+                state.registry.snapshot_with_store(&dataset, spec, k, ts);
+            (Some(store), warm, table, stats)
         }
     };
     let tuning = Tuning {
@@ -1052,10 +1061,6 @@ fn anonymize_op(
         cache: store.as_deref(),
         chunk_rows: 0,
     };
-    // One read lock yields a (table, stats) pair that is consistent even
-    // while `update`s race; the search reuses the incrementally-maintained
-    // statistics instead of recomputing them from scratch.
-    let (table, stats) = dataset.snapshot();
     let outcome = pk_minimal_generalization_model_with_stats(
         &table,
         &dataset.qi,
@@ -1130,8 +1135,15 @@ fn verdict_json(
 }
 
 /// Runs the watched search for `(model, k, ts)` against a consistent
-/// snapshot of the dataset, consulting (and warming) the pooled verdict
-/// store, and returns the pure-function verdict object.
+/// snapshot of the dataset (store, table, and stats acquired under one
+/// read-lock hold), consulting (and warming) the pooled verdict store, and
+/// returns the pure-function verdict object.
+///
+/// A search that did not run to completion (the request's token was
+/// cancelled) is reported as an `interrupted` error rather than a verdict:
+/// watch results are compared and stored as the spec's last published
+/// verdict, and a best-so-far partial answer must never enter that
+/// comparison.
 fn watched_verdict(
     state: &ServerState,
     dataset: &Arc<crate::registry::Dataset>,
@@ -1141,13 +1153,12 @@ fn watched_verdict(
     token: &CancelToken,
 ) -> Result<JsonValue, (&'static str, String)> {
     let budget = SearchBudget::unlimited().with_cancel(token.clone());
-    let (store, _) = state.registry.store_for(dataset, spec, k, ts);
+    let (store, _, table, stats) = state.registry.snapshot_with_store(dataset, spec, k, ts);
     let tuning = Tuning {
         threads: 0,
         cache: Some(&store),
         chunk_rows: 0,
     };
-    let (table, stats) = dataset.snapshot();
     let outcome = pk_minimal_generalization_model_with_stats(
         &table,
         &dataset.qi,
@@ -1161,19 +1172,36 @@ fn watched_verdict(
         &stats,
     )
     .map_err(|e| (codes::INTERNAL, e.to_string()))?;
+    if !outcome.termination.is_complete() {
+        return Err((
+            codes::INTERRUPTED,
+            format!(
+                "watch re-verification did not complete ({})",
+                outcome.termination.as_str()
+            ),
+        ));
+    }
     Ok(verdict_json(&dataset.qi, spec, &outcome, false))
 }
 
 /// `update {dataset, appends?, deletes?}`: applies a delta batch to the
 /// live table (journaled write-ahead with a state dir), selectively
 /// invalidates every warm verdict store via the Conditions 1/2 bounds
-/// (`psens_core::invalidation_for`), and re-verifies active watches —
-/// republishing a verdict only when it changed.
+/// (`psens_core::invalidation_for`) — apply and invalidation are one
+/// atomic step under the dataset's write lock, see
+/// `Dataset::apply_delta` — and re-verifies active watches, republishing
+/// a verdict only when it changed.
 ///
 /// `appends` is an array of rows, each an array of rendered cell strings
 /// in schema order (`""` = missing); `deletes` is an array of current row
 /// indices (the batch deletes first, then appends, exactly like
 /// `DeltaBatch::apply`).
+///
+/// Once the batch is journaled and applied, the op always acknowledges it
+/// with `ok` — a watch re-verification that fails (cancelled mid-run, or a
+/// search error) lands in `watches.errors` instead of failing the op,
+/// because an error response for a committed update would invite a client
+/// retry that double-applies the batch.
 fn update_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -> OpResult {
     let dataset = lookup_dataset(state, request)?;
     let appends: Vec<Vec<String>> = match request.get("appends") {
@@ -1215,24 +1243,35 @@ fn update_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -> O
         appends: rows,
         deletes,
     };
-    let effect = state.registry.apply_delta(&dataset, &batch).map_err(bad)?;
-    // Selective invalidation: each pool is re-judged against the post-delta
-    // Conditions bounds; sterile appends keep partition-derived verdicts.
-    let stats = dataset.stats();
-    let mut kept = 0u64;
-    let mut invalidated = 0u64;
-    for ((model, k, _ts), store) in dataset.pools() {
-        let outcome = store.invalidate(invalidation_for(&effect, &stats, &model, k as usize));
-        kept += outcome.kept;
-        invalidated += outcome.invalidated;
-    }
-    // Re-verify watches; republish only verdicts that changed.
+    // Apply + selective pool invalidation happen atomically under the
+    // dataset's write lock; the returned outcome pairs the effect with the
+    // post-batch statistics, row count, and invalidation tallies of *this*
+    // batch, untainted by racing updates.
+    let outcome = state.registry.apply_delta(&dataset, &batch).map_err(bad)?;
+    // Re-verify watches; republish only verdicts that changed. From here
+    // on the batch is committed, so per-watch failures are reported in the
+    // response instead of failing the op.
     let mut checked = 0i64;
     let mut flipped = 0i64;
     let mut changed = Vec::new();
+    let mut errors = Vec::new();
     for watch in dataset.watch_snapshot() {
         checked += 1;
-        let verdict = watched_verdict(state, &dataset, watch.model, watch.k, watch.ts, token)?;
+        let verdict = match watched_verdict(state, &dataset, watch.model, watch.k, watch.ts, token)
+        {
+            Ok(verdict) => verdict,
+            Err((code, message)) => {
+                let mut entry = JsonValue::object();
+                entry.set("model", JsonValue::Str(watch.model.name().to_owned()));
+                entry.set("param", JsonValue::Int(watch.model.param() as i64));
+                entry.set("k", JsonValue::Int(i64::from(watch.k)));
+                entry.set("ts", JsonValue::Int(watch.ts as i64));
+                entry.set("code", JsonValue::Str(code.to_owned()));
+                entry.set("error", JsonValue::Str(message));
+                errors.push(entry);
+                continue;
+            }
+        };
         let text = verdict.to_json();
         if watch.last.as_deref() == Some(text.as_str()) {
             continue;
@@ -1251,23 +1290,24 @@ fn update_op(state: &ServerState, request: &JsonValue, token: &CancelToken) -> O
     }
     let mut result = JsonValue::object();
     result.set("dataset", JsonValue::Str(dataset.name.clone()));
-    result.set("appended", JsonValue::Int(effect.appended as i64));
-    result.set("deleted", JsonValue::Int(effect.deleted as i64));
-    result.set("rows", JsonValue::Int(dataset.n_rows() as i64));
+    result.set("appended", JsonValue::Int(outcome.effect.appended as i64));
+    result.set("deleted", JsonValue::Int(outcome.effect.deleted as i64));
+    result.set("rows", JsonValue::Int(outcome.rows as i64));
     result.set(
         "deltas_applied",
-        JsonValue::Int(dataset.deltas_applied() as i64),
+        JsonValue::Int(outcome.deltas_applied as i64),
     );
-    result.set("net_zero", JsonValue::Bool(effect.net_zero));
-    result.set("append_only", JsonValue::Bool(effect.append_only));
+    result.set("net_zero", JsonValue::Bool(outcome.effect.net_zero));
+    result.set("append_only", JsonValue::Bool(outcome.effect.append_only));
     let mut invalidation = JsonValue::object();
-    invalidation.set("kept", JsonValue::Int(kept as i64));
-    invalidation.set("invalidated", JsonValue::Int(invalidated as i64));
+    invalidation.set("kept", JsonValue::Int(outcome.kept as i64));
+    invalidation.set("invalidated", JsonValue::Int(outcome.invalidated as i64));
     result.set("invalidation", invalidation);
     let mut watches = JsonValue::object();
     watches.set("checked", JsonValue::Int(checked));
     watches.set("flipped", JsonValue::Int(flipped));
     watches.set("changed", JsonValue::Array(changed));
+    watches.set("errors", JsonValue::Array(errors));
     result.set("watches", watches);
     Ok(result)
 }
@@ -1329,4 +1369,106 @@ fn sleep_op(request: &JsonValue, token: &CancelToken) -> OpResult {
     let mut result = JsonValue::object();
     result.set("slept_ms", JsonValue::Int(ms as i64));
     Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psens_datasets::fixtures::adult_fixture;
+
+    /// A bare in-process `ServerState` — no sockets, no threads — for
+    /// driving ops directly.
+    fn test_state() -> ServerState {
+        ServerState {
+            registry: Registry::new(),
+            gate: Gate::new(1, 1),
+            shutdown: CancelToken::new(),
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            started: Instant::now(),
+            config: ServerConfig::default(),
+            recovery: RecoveryStats::default(),
+            faults: Mutex::new(None),
+            requests_served: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            stall_reaped: AtomicU64::new(0),
+            frames_too_large: AtomicU64::new(0),
+            malformed_frames: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+        }
+    }
+
+    /// A committed delta must be acknowledged even when a watch
+    /// re-verification fails: the failure lands in `watches.errors`, the
+    /// op returns `ok`, and no partial verdict is published — an error
+    /// response here would invite a client retry that double-applies the
+    /// already-journaled batch.
+    #[test]
+    fn committed_update_reports_watch_failures_instead_of_erroring() {
+        let state = test_state();
+        let fixture = adult_fixture(21, 80);
+        let dataset = state
+            .registry
+            .register("adult", &fixture.csv, fixture.spec)
+            .unwrap();
+        dataset.register_watch(ModelSpec::PSensitiveK { p: 2 }, 3, 10);
+
+        let mut request = JsonValue::object();
+        request.set("dataset", JsonValue::Str("adult".into()));
+        request.set("deletes", JsonValue::Array(vec![JsonValue::Int(0)]));
+
+        // Cancel the request token before the watch search runs: the
+        // search terminates `cancelled`, so re-verification cannot yield a
+        // publishable verdict — but the batch is already applied.
+        let token = CancelToken::new();
+        token.cancel();
+        let result = update_op(&state, &request, &token).expect("committed update must be ok");
+        assert_eq!(result.require("rows").unwrap().as_u64().unwrap(), 79);
+        assert_eq!(dataset.deltas_applied(), 1);
+        let watches = result.require("watches").unwrap();
+        assert_eq!(watches.require("checked").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(watches.require("flipped").unwrap().as_u64().unwrap(), 0);
+        assert!(watches
+            .require("changed")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        let errors = watches
+            .require("errors")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .to_vec();
+        assert_eq!(errors.len(), 1, "the failed watch is reported");
+        assert_eq!(
+            errors[0].require("code").unwrap().as_str().unwrap(),
+            codes::INTERRUPTED
+        );
+        assert!(
+            dataset.watch_snapshot()[0].last.is_none(),
+            "no partial verdict may be published as the watch's last"
+        );
+
+        // The same update with a live token re-verifies cleanly: the watch
+        // publishes its baseline and `errors` is empty.
+        let result = update_op(&state, &request, &CancelToken::new()).unwrap();
+        let watches = result.require("watches").unwrap();
+        assert!(watches
+            .require("errors")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            watches
+                .require("changed")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            1,
+            "first successful re-verification publishes the baseline"
+        );
+    }
 }
